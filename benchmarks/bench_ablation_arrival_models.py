@@ -1,0 +1,81 @@
+"""Ablation — why the arrival model must be bi-modal.
+
+Compares the Section 5.1 Gaussian+Pareto mixture against two simpler
+alternatives on measured per-minute arrival counts:
+
+* a single Gaussian over all minutes (ignoring the circadian dichotomy);
+* a Poisson process with the all-day mean rate.
+
+The quality metric is the EMD between the measured count distribution and
+each model's, plus each model's error on the daytime and nighttime means.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_N_DAYS
+from repro.core.arrivals import fit_arrival_model_from_days
+from repro.dataset.aggregation import minute_arrival_counts
+from repro.dataset.circadian import peak_minute_mask
+from repro.io.tables import format_table
+
+
+def _count_pmf(samples, support):
+    counts = np.bincount(samples.astype(int), minlength=support)[:support]
+    return counts / counts.sum()
+
+
+def _emd_1d(p, q):
+    return float(np.abs(np.cumsum(p - q)).sum())
+
+
+def test_ablation_arrival_model_families(benchmark, bench_campaign, bench_network, emit):
+    decile = 7
+    bs_ids = bench_network.bs_ids_in_decile(decile)
+    counts = minute_arrival_counts(bench_campaign, bs_ids, BENCH_N_DAYS)
+    matrix = counts.reshape(len(bs_ids) * BENCH_N_DAYS, 1440)
+    model = benchmark.pedantic(
+        fit_arrival_model_from_days, args=(matrix,), rounds=3, iterations=1
+    )
+
+    rng = np.random.default_rng(9)
+    mask = np.tile(peak_minute_mask(), matrix.shape[0])
+    measured = matrix.ravel()
+    support = int(measured.max()) + 10
+
+    # Candidate models generate the same number of minutes.
+    bimodal = model.sample_minute_counts(rng, mask)
+    single = np.clip(
+        np.rint(rng.normal(measured.mean(), measured.std(), measured.size)),
+        0,
+        None,
+    ).astype(int)
+    poisson = rng.poisson(measured.mean(), measured.size)
+
+    measured_pmf = _count_pmf(measured, support)
+    rows = []
+    for name, samples in (
+        ("bi-modal (paper)", bimodal),
+        ("single Gaussian", single),
+        ("Poisson", poisson),
+    ):
+        pmf = _count_pmf(samples, support)
+        day_err = abs(samples[mask].mean() - measured[mask].mean())
+        night_err = abs(samples[~mask].mean() - measured[~mask].mean())
+        rows.append(
+            [name, _emd_1d(measured_pmf, pmf), day_err, night_err]
+        )
+    emit(
+        "ablation_arrival_models",
+        f"arrival-count distribution fits, BS decile {decile + 1}:\n"
+        + format_table(
+            ["model", "EMD (counts)", "day mean err", "night mean err"], rows
+        ),
+    )
+
+    # The bi-modal model wins on the full count distribution and on both
+    # phase means.
+    emds = {row[0]: row[1] for row in rows}
+    assert emds["bi-modal (paper)"] < emds["single Gaussian"]
+    assert emds["bi-modal (paper)"] < emds["Poisson"]
+    phase_errors = {row[0]: row[2] + row[3] for row in rows}
+    assert phase_errors["bi-modal (paper)"] == min(phase_errors.values())

@@ -1,0 +1,69 @@
+"""Fig 8 — invariance of session-level statistics across space/time/RAT.
+
+Reproduces: the boxplots of EMD (volume PDFs) and SED (duration–volume
+pairs) for (i) different services ("Apps"), and for the same service across
+(ii) working days vs weekends, (iii) regions, (iv) cities, and (v) 4G vs 5G
+RATs, plus the per-RAT inter-app spreads.  The paper's core finding: the
+same-service distances are negligible compared to the inter-service ones.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_N_DAYS
+from repro.analysis.comparisons import invariance_report
+from repro.analysis.metrics import BoxplotStats
+from repro.dataset.simulator import SimulationConfig
+from repro.io.tables import format_table
+
+SERVICES = (
+    "Facebook",
+    "Instagram",
+    "SnapChat",
+    "Youtube",
+    "Netflix",
+    "Google Maps",
+    "Twitter",
+    "Waze",
+    "Deezer",
+    "Twitch",
+)
+
+
+def test_fig08_invariance_boxplots(benchmark, bench_campaign, bench_network, emit):
+    weekend = SimulationConfig(n_days=BENCH_N_DAYS).weekend_days()
+    report = benchmark.pedantic(
+        invariance_report,
+        args=(bench_campaign, bench_network, list(SERVICES), weekend),
+        rounds=1,
+        iterations=1,
+    )
+
+    def summary_rows(samples_by_tag):
+        rows = []
+        for tag, samples in samples_by_tag.items():
+            if samples.size == 0:
+                continue
+            stats = BoxplotStats.from_samples(samples)
+            rows.append([tag, samples.size, *stats.as_row()])
+        return rows
+
+    header = ["tag", "n", "p5", "q1", "median", "q3", "p95"]
+    emit(
+        "fig08_invariance",
+        "EMD of volume PDFs (Fig 8a/8b):\n"
+        + format_table(header, summary_rows(report.emd_samples))
+        + "\n\nSED of duration-volume pairs (Fig 8c/8d):\n"
+        + format_table(header, summary_rows(report.sed_samples)),
+    )
+
+    apps = np.median(report.emd_samples["Apps"])
+    for tag in ("Days", "Regions", "Cities", "RATs"):
+        same_service = report.emd_samples[tag]
+        if same_service.size:
+            # Same-service differences negligible vs inter-service ones.
+            assert np.median(same_service) < 0.35 * apps, tag
+
+    # Inter-app diversity is stable across RATs (Fig 8b).
+    for tag in ("Apps (4G)", "Apps (5G)"):
+        if report.emd_samples[tag].size:
+            assert np.median(report.emd_samples[tag]) > 0.5 * apps

@@ -1,0 +1,77 @@
+"""Fig 11 — fitted models vs measurement data for a choice of services.
+
+Reproduces: the side-by-side comparison of the modelled volume PDF
+``F~_s(x)`` and power-law ``v~_s(d)`` against the measured statistics for
+the eight services shown in the paper (Twitch, Twitter, Google Maps,
+Amazon, Facebook Live, Facebook, Snapchat, Google Meet).
+"""
+
+from repro.analysis.emd import emd
+from repro.analysis.metrics import r_squared
+from repro.dataset.aggregation import pooled_duration_volume, pooled_volume_pdf
+from repro.io.tables import format_table
+
+import numpy as np
+
+FIG11_SERVICES = (
+    "Twitch",
+    "Twitter",
+    "Google Maps",
+    "Amazon",
+    "FB Live",
+    "Facebook",
+    "SnapChat",
+    "Google Meet",
+)
+
+
+def test_fig11_model_vs_measurement(benchmark, bench_campaign, bench_bank, emit):
+    def evaluate():
+        rows = []
+        for name in FIG11_SERVICES:
+            if name not in bench_bank:
+                continue
+            model = bench_bank.get(name)
+            sub = bench_campaign.for_service(name)
+            measured_pdf = pooled_volume_pdf(sub)
+            model_pdf = model.volume.as_histogram()
+            durations, volumes, _ = pooled_duration_volume(sub).observed()
+            ok = volumes > 0
+            predicted = model.duration.predict_volume_mb(durations[ok])
+            curve_r2 = r_squared(np.log10(volumes[ok]), np.log10(predicted))
+            rows.append(
+                [
+                    name,
+                    emd(model_pdf, measured_pdf),
+                    measured_pdf.mean_mb(),
+                    model_pdf.mean_mb(),
+                    model.duration.beta,
+                    curve_r2,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    emit(
+        "fig11_model_fit",
+        format_table(
+            [
+                "service",
+                "EMD model/meas",
+                "mean MB (meas)",
+                "mean MB (model)",
+                "beta",
+                "v(d) R^2",
+            ],
+            rows,
+        ),
+    )
+
+    for row in rows:
+        name, model_emd, meas_mean, model_mean, _, curve_r2 = row
+        # Volume model error far below inter-service shape distances.
+        assert model_emd < 0.12, name
+        # Mean-load fidelity (mean-calibrated models).
+        assert model_mean == float(np.clip(model_mean, 0.5 * meas_mean, 2.0 * meas_mean)), name
+        # Duration model explains the measured curve.
+        assert curve_r2 > 0.6, name

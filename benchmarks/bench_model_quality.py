@@ -1,0 +1,69 @@
+"""Section 5.4 — model quality across every fitted service.
+
+Reproduces: the quality summary the paper reports for its released models:
+volume-PDF EMD an order of magnitude below the inter-service distances, and
+duration-fit R^2 typically in the 0.7–0.9 band (occasionally as low as 0.5
+on noisy curves).
+"""
+
+import numpy as np
+
+from repro.analysis.emd import emd_matrix
+from repro.analysis.metrics import r_squared
+from repro.analysis.normalization import zero_mean
+from repro.core.model_bank import ModelBank
+from repro.dataset.aggregation import pooled_duration_volume, pooled_volume_pdf
+from repro.io.tables import format_table
+
+
+def test_model_quality_all_services(benchmark, bench_campaign, emit):
+    bank = benchmark.pedantic(
+        ModelBank.fit_from_table,
+        args=(bench_campaign,),
+        kwargs={"min_sessions": 2000},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    pdfs = []
+    for name in bank.services():
+        sub = bench_campaign.for_service(name)
+        measured = pooled_volume_pdf(sub)
+        pdfs.append(zero_mean(measured))
+        model = bank.get(name)
+        durations, volumes, _ = pooled_duration_volume(sub).observed()
+        ok = volumes > 0
+        predicted = model.duration.predict_volume_mb(durations[ok])
+        rows.append(
+            [
+                name,
+                model.volume.error_against(measured),
+                len(model.volume.peaks),
+                model.duration.beta,
+                r_squared(np.log10(volumes[ok]), np.log10(predicted)),
+            ]
+        )
+
+    inter_service = emd_matrix(pdfs)
+    reference = float(
+        inter_service[np.triu_indices(len(pdfs), 1)].mean()
+    )
+    model_emds = [row[1] for row in rows]
+    emit(
+        "model_quality",
+        format_table(
+            ["service", "EMD", "peaks", "beta", "v(d) R^2"], rows
+        )
+        + f"\n\nmean model EMD = {np.mean(model_emds):.4f} decades"
+        f"\nmean inter-service EMD = {reference:.4f} decades"
+        f"\nratio = {np.mean(model_emds) / reference:.3f}"
+        " (paper: model error an order of magnitude below Fig 8a distances)",
+    )
+
+    # Shape assertions.
+    assert np.mean(model_emds) < 0.25 * reference
+    assert all(row[2] <= 3 for row in rows)        # <= 3 peaks per model
+    r2s = [row[4] for row in rows]
+    assert np.median(r2s) > 0.7                    # typical 0.7-0.9
+    assert min(r2s) > 0.4                          # "as low as 0.5"

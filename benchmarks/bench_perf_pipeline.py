@@ -1,0 +1,74 @@
+"""Performance benchmarks of the heavy pipeline stages.
+
+Not a paper artefact: these measure the library's own throughput — the
+simulator (sessions generated per second), the aggregation fast paths and
+the model-driven generator — so regressions in the hot loops are caught.
+"""
+
+import numpy as np
+
+from repro.core.generator import TrafficGenerator
+from repro.core.model_bank import ModelBank
+from repro.core.service_mix import ServiceMix
+from repro.dataset.aggregation import (
+    aggregate_per_bs_day,
+    pooled_duration_volume,
+    pooled_volume_pdf,
+)
+from repro.dataset.network import Network, NetworkConfig
+from repro.dataset.simulator import SimulationConfig, simulate
+from repro.usecases.slicing.demand import demand_matrix
+from repro.usecases.slicing.simulator import fit_antenna_arrival_models
+
+
+def test_perf_simulator(benchmark):
+    network = Network(NetworkConfig(n_bs=10), np.random.default_rng(0))
+    config = SimulationConfig(n_days=1)
+
+    def run():
+        return simulate(network, config, np.random.default_rng(1))
+
+    table = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(table) > 50_000  # meaningful workload
+
+
+def test_perf_pooled_aggregation(benchmark, bench_campaign):
+    sub = bench_campaign.for_service("Facebook")
+
+    def run():
+        return pooled_volume_pdf(sub), pooled_duration_volume(sub)
+
+    pdf, curve = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert pdf.total_mass > 0.99
+
+
+def test_perf_per_bs_day_aggregation(benchmark, bench_campaign):
+    sub = bench_campaign.for_bs_ids(range(8))
+    stats = benchmark.pedantic(
+        aggregate_per_bs_day, args=(sub,), rounds=1, iterations=1
+    )
+    assert len(stats) > 50
+
+
+def test_perf_model_generator(benchmark, bench_campaign, bench_bank):
+    arrival_models = fit_antenna_arrival_models(bench_campaign, [39], 7)
+    mix = ServiceMix.from_measurements(bench_campaign).restricted_to(
+        bench_bank.services()
+    )
+    generator = TrafficGenerator(arrival_models, mix, bench_bank)
+
+    def run():
+        return generator.generate_campaign(1, np.random.default_rng(2))
+
+    table = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(table) > 10_000
+
+
+def test_perf_demand_matrix(benchmark, bench_campaign):
+    table = benchmark.pedantic(
+        demand_matrix,
+        args=(bench_campaign, list(range(10)), 7),
+        rounds=2,
+        iterations=1,
+    )
+    assert table.shape[0] == 10

@@ -1,0 +1,65 @@
+"""Scale validation — the pipeline at a nationwide-fraction campaign.
+
+Runs the full loop (simulate → aggregate → fit → quality check) on a
+campaign an order of magnitude above the test fixtures (200 BSs, i.e.
+all-decile coverage with 20 BSs per class).  Guards two properties:
+
+* throughput: the vectorized substrate stays in the millions-of-sessions
+  per-minute regime;
+* stability: the fitted parameters match the small-campaign fits — the
+  statistics are per-BS, so scale must change precision, not values.
+"""
+
+import numpy as np
+
+from repro.core.duration_model import fit_power_law
+from repro.core.volume_model import fit_volume_model
+from repro.dataset.aggregation import pooled_duration_volume, pooled_volume_pdf
+from repro.dataset.network import Network, NetworkConfig
+from repro.dataset.simulator import SimulationConfig, simulate
+from repro.io.tables import format_table
+
+
+def test_perf_large_campaign(benchmark, emit):
+    network = Network(NetworkConfig(n_bs=200), np.random.default_rng(7))
+    config = SimulationConfig(n_days=1)
+
+    table = benchmark.pedantic(
+        simulate,
+        args=(network, config, np.random.default_rng(8)),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(table) > 2_000_000
+
+    rows = []
+    for service in ("Facebook", "Netflix", "Twitch"):
+        sub = table.for_service(service)
+        volume = fit_volume_model(pooled_volume_pdf(sub))
+        duration = fit_power_law(pooled_duration_volume(sub))
+        rows.append(
+            [
+                service,
+                len(sub),
+                volume.main.mu,
+                volume.main.sigma,
+                duration.beta,
+                duration.r2,
+            ]
+        )
+    emit(
+        "perf_scale",
+        f"campaign: {len(table)} sessions at 200 BSs\n"
+        + format_table(
+            ["service", "sessions", "mu", "sigma", "beta", "R^2"], rows
+        ),
+    )
+
+    fits = {row[0]: row for row in rows}
+    # Large-scale fits recover the ground-truth behaviours (per-BS
+    # statistics are scale-free).
+    assert fits["Netflix"][4] > 1.2      # super-linear
+    assert fits["Facebook"][4] < 1.0     # sub-linear
+    assert fits["Twitch"][4] > 1.4
+    for row in rows:
+        assert row[5] > 0.85             # tight fits at this sample size

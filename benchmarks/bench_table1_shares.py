@@ -1,0 +1,63 @@
+"""Table 1 — session and traffic share per service, with CVs.
+
+Reproduces: the percent contribution of each of the 28 tabulated services
+to the total number of sessions and to the total traffic, plus the
+coefficient of variation of those shares across the network.  Paper shapes:
+Facebook/Instagram/SnapChat dominate sessions (top-3 ~75 %); traffic is
+redistributed towards streaming-heavy services (Netflix 2.4 % of sessions
+but ~11 % of traffic); session-share CVs are small and stable.
+"""
+
+from repro.dataset.aggregation import service_shares, share_variability
+from repro.dataset.services import TABLE1_SERVICES, get_service
+from repro.io.tables import format_table
+
+
+def test_table1_service_shares(benchmark, bench_campaign, emit):
+    shares = benchmark.pedantic(
+        service_shares, args=(bench_campaign,), rounds=3, iterations=1
+    )
+
+    rows = []
+    for name in TABLE1_SERVICES:
+        info = get_service(name)
+        session_share, traffic_share = shares[name]
+        session_cv, traffic_cv = share_variability(bench_campaign, name)
+        rows.append(
+            [
+                name,
+                100 * session_share,
+                info.session_share_pct,
+                100 * traffic_share,
+                info.traffic_share_pct,
+                session_cv,
+                traffic_cv,
+            ]
+        )
+    emit(
+        "table1_shares",
+        format_table(
+            [
+                "service",
+                "sessions % (meas)",
+                "sessions % (paper)",
+                "traffic % (meas)",
+                "traffic % (paper)",
+                "session CV",
+                "traffic CV",
+            ],
+            rows,
+        ),
+    )
+
+    by_name = {row[0]: row for row in rows}
+    # Session shares track Table 1 closely for the head services.
+    for name in ("Facebook", "Instagram", "SnapChat", "Youtube", "Netflix"):
+        measured, paper = by_name[name][1], by_name[name][2]
+        assert abs(measured - paper) < 0.15 * paper + 0.5, name
+    # Traffic redistribution: Netflix's traffic share far exceeds its
+    # session share; Youtube's collapses.
+    assert by_name["Netflix"][3] > 3 * by_name["Netflix"][1]
+    assert by_name["Youtube"][3] < 0.5 * by_name["Youtube"][1]
+    # Session-share CVs are small for the head services (paper: ~1 %).
+    assert by_name["Facebook"][5] < 0.1

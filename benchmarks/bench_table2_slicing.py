@@ -1,0 +1,69 @@
+"""Table 2 + Fig 12 data source — capacity allocation for network slicing.
+
+Reproduces: the percentage of time with no dropped traffic (and its std
+across services/antennas) for the model-driven allocator vs. the two
+literature benchmarks, over an area of 10 antennas with the 28 Table 1
+SPs under a 95 % SLA.
+
+Paper values: model 95.15 % (std 2.1), bm a 89.8 % (4.3), bm b 87.25 %
+(4.2).  The expected *shape*: only the session-level model essentially
+meets the SLA; the category benchmarks fall short and are far more
+variable across services.
+"""
+
+import numpy as np
+
+from repro.usecases.slicing import SlicingScenario, run_slicing_experiment
+from repro.io.tables import format_table
+
+#: Shorter horizon than the paper's full week, preserving every mechanism.
+SCENARIO = SlicingScenario(n_antennas=10, n_days=3, n_model_days=6)
+
+
+def test_table2_slicing_sla(benchmark, emit):
+    outcome = benchmark.pedantic(
+        run_slicing_experiment,
+        args=(np.random.default_rng(2024),),
+        kwargs={"scenario": SCENARIO},
+        rounds=1,
+        iterations=1,
+    )
+
+    paper = {"model": (95.15, 2.1), "bm_a": (89.8, 4.3), "bm_b": (87.25, 4.2)}
+    rows = []
+    for name in ("model", "bm_a", "bm_b"):
+        result = outcome.results[name]
+        rows.append(
+            [
+                name,
+                100 * result.mean_satisfaction,
+                paper[name][0],
+                100 * result.std_satisfaction,
+                paper[name][1],
+            ]
+        )
+    emit(
+        "table2_slicing",
+        format_table(
+            [
+                "strategy",
+                "no-drop % (meas)",
+                "no-drop % (paper)",
+                "std (meas)",
+                "std (paper)",
+            ],
+            rows,
+        ),
+    )
+
+    results = outcome.results
+    # Shape: the model wins, bm a >= bm b, and the model is the only
+    # strategy close to the 95 % SLA.
+    assert (
+        results["model"].mean_satisfaction
+        > results["bm_a"].mean_satisfaction
+        >= results["bm_b"].mean_satisfaction - 0.005
+    )
+    assert results["model"].mean_satisfaction > 0.92
+    # The model's satisfaction is far more uniform across services.
+    assert results["model"].std_satisfaction < 0.5 * results["bm_a"].std_satisfaction

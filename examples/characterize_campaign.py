@@ -1,0 +1,91 @@
+"""Full Section 4 characterization of a measurement campaign.
+
+Runs, in one pass, the analyses the paper uses to motivate its models:
+the service popularity ranking and its exponential law (Fig 4), the shape
+clustering with silhouette scores (Fig 6), and the invariance report
+across day types, regions, cities and RATs (Fig 8).
+
+Run:  python examples/characterize_campaign.py
+"""
+
+import numpy as np
+
+from repro import Network, NetworkConfig, SimulationConfig, simulate
+from repro.analysis.clustering import (
+    CentroidHierarchicalClustering,
+    silhouette_profile,
+)
+from repro.analysis.comparisons import invariance_report
+from repro.analysis.normalization import zero_mean
+from repro.analysis.ranking import (
+    fit_exponential_law,
+    rank_services,
+    top_k_session_fraction,
+)
+from repro.dataset.aggregation import pooled_volume_pdf
+from repro.io.tables import print_table
+
+SERVICES_FOR_INVARIANCE = [
+    "Facebook", "Instagram", "SnapChat", "Netflix", "Youtube",
+    "Twitter", "Waze", "Deezer",
+]
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    network = Network(NetworkConfig(n_bs=30), rng)
+    config = SimulationConfig(n_days=7)
+    print("simulating a 7-day campaign over 30 BSs...")
+    campaign = simulate(network, config, rng)
+    print(f"{len(campaign)} sessions recorded\n")
+
+    # --- Fig 4: popularity ranking. -------------------------------------
+    ranking = rank_services(campaign)
+    law = fit_exponential_law(ranking)
+    print_table(
+        ["rank", "service", "sessions %"],
+        [[r.rank, r.service, 100 * r.session_fraction] for r in ranking[:8]],
+        title="Service ranking (Fig 4)",
+    )
+    print(f"exponential law R^2 = {law.r2:.3f}; "
+          f"top-5 services = {100 * top_k_session_fraction(ranking, 5):.1f} % "
+          "of sessions\n")
+
+    # --- Fig 6: shape clustering. ----------------------------------------
+    names, pdfs = [], []
+    for entry in ranking:
+        sub = campaign.for_service(entry.service)
+        if len(sub) >= 3000:
+            names.append(entry.service)
+            pdfs.append(zero_mean(pooled_volume_pdf(sub)))
+    clustering = CentroidHierarchicalClustering(pdfs)
+    labels = clustering.labels(2)
+    print("Two-way shape clustering (Fig 6):")
+    for label in sorted(set(labels)):
+        members = [names[i] for i in range(len(names)) if labels[i] == label]
+        print(f"  cluster {label}: {', '.join(members)}")
+    profile = silhouette_profile(pdfs, max_clusters=6)
+    print("silhouette per cut: "
+          + ", ".join(f"{k}:{v:.2f}" for k, v in profile) + "\n")
+
+    # --- Fig 8: invariance. ----------------------------------------------
+    report = invariance_report(
+        campaign, network, SERVICES_FOR_INVARIANCE,
+        weekend_days=config.weekend_days(),
+    )
+    print_table(
+        ["dimension", "median EMD (decades)"],
+        [
+            [tag, float(np.median(samples))]
+            for tag, samples in report.emd_samples.items()
+            if samples.size
+        ],
+        title="Invariance of per-service statistics (Fig 8)",
+    )
+    print("Same-service differences across days/regions/cities/RATs are")
+    print("negligible next to inter-service (Apps) diversity — the paper's")
+    print("licence to release one model per service for the whole network.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Fit a session-level model to YOUR OWN session data.
+
+A downstream user rarely has the synthetic substrate — they have raw
+per-session records of their application (from their own probes, server
+logs, or a trace file).  This example shows the minimal path from two
+arrays (duration, volume) to a released parameter tuple:
+
+1. build the volume PDF with ``LogHistogram.from_volumes``;
+2. build the duration–volume curve with
+   ``DurationVolumeCurve.from_sessions``;
+3. fit, inspect and sample the model.
+
+The fake "custom app" below is a cloud-gaming service: near-constant
+bitrate (super-linear beta close to 1), a characteristic ~80 MB mode for
+a standard match, and a short-session head from aborted matches.
+
+Run:  python examples/fit_custom_service.py
+"""
+
+import numpy as np
+
+from repro.analysis.histogram import LogHistogram
+from repro.core.service_model import fit_service_model
+from repro.dataset.aggregation import DurationVolumeCurve
+
+
+def synthesize_my_sessions(rng, n=60_000):
+    """Stand-in for the user's own measurement: a cloud-gaming app."""
+    # 70 % full matches (~12 min at ~0.9 Mbps), 30 % aborted (< 2 min).
+    full = rng.random(n) < 0.7
+    durations = np.where(
+        full,
+        720.0 * 10 ** rng.normal(0, 0.15, n),
+        90.0 * 10 ** rng.normal(0, 0.3, n),
+    )
+    bitrate_mbps = 0.9 * 10 ** rng.normal(0, 0.12, n)
+    volumes = bitrate_mbps * durations / 8.0
+    return durations, volumes
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    durations, volumes = synthesize_my_sessions(rng)
+    print(f"my app: {durations.size} measured sessions, "
+          f"{volumes.sum() / 1e3:.1f} GB total")
+
+    # Steps 1-2: the two aggregated statistics the model needs.
+    volume_pdf = LogHistogram.from_volumes(volumes)
+    curve = DurationVolumeCurve.from_sessions(durations, volumes)
+
+    # Step 3: fit the full session-level model.
+    model = fit_service_model("Clash of Clans", volume_pdf, curve)
+    # (any catalog name works as a label; the fit uses only your data)
+
+    print("\nfitted parameter tuple:")
+    print(f"  volume: mu={model.volume.main.mu:.3f} "
+          f"sigma={model.volume.main.sigma:.3f}, "
+          f"{len(model.volume.peaks)} characteristic peak(s)")
+    for peak in model.volume.peaks:
+        print(f"    peak at {10**peak.mu:.1f} MB (k={peak.weight:.3f})")
+    print(f"  duration: v(d) = {model.duration.alpha:.4f} * "
+          f"d^{model.duration.beta:.2f} (R^2={model.duration.r2:.2f})")
+    print(f"  volume-model EMD: "
+          f"{model.volume_error_against(volume_pdf):.4f} decades")
+
+    batch = model.sample_sessions(rng, 20_000)
+    print(f"\ngenerated sessions: mean {batch.volumes_mb.mean():.1f} MB "
+          f"(measured {volumes.mean():.1f} MB), "
+          f"median throughput {np.median(batch.throughput_mbps):.2f} Mbps "
+          f"(measured {np.median(8 * volumes / durations):.2f} Mbps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Composing session-level models with a packet-level bridge.
+
+Section 1 of the paper: session-level models "can complement studies on
+packet-level modeling so as to reproduce fine-grained mobile traffic loads
+at an individual BS".  This example performs that composition end to end:
+
+1. fit a session-level model on a campaign;
+2. generate one synthetic session from it;
+3. expand the session into a concrete packet schedule (periodic chunks
+   for streaming, on/off bursts for messaging);
+4. verify the composition contract: the packets sum back to the session's
+   volume exactly.
+
+Run:  python examples/packet_level_bridge.py
+"""
+
+import numpy as np
+
+from repro import ModelBank, Network, NetworkConfig, SimulationConfig, simulate
+from repro.core.packet_bridge import packetize_service_session
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    network = Network(NetworkConfig(n_bs=10), rng)
+    campaign = simulate(network, SimulationConfig(n_days=1), rng)
+    bank = ModelBank.fit_from_table(
+        campaign, services=["Netflix", "WhatsApp"], min_sessions=300
+    )
+
+    for service in ("Netflix", "WhatsApp"):
+        batch = bank.get(service).sample_sessions(rng, 1)
+        volume = float(batch.volumes_mb[0])
+        duration = float(batch.durations_s[0])
+        schedule = packetize_service_session(service, volume, duration, rng)
+
+        print(f"{service}: session of {volume:.2f} MB over {duration:.0f} s")
+        print(f"  packets   : {len(schedule)}")
+        print(f"  bursts    : {schedule.burst_count()}")
+        print(f"  bytes     : {schedule.total_bytes} "
+              f"(session: {int(round(volume * 1e6))})")
+        gaps = schedule.inter_arrival_s()
+        if gaps.size:
+            print(f"  inter-arrival: median {np.median(gaps) * 1e3:.3f} ms, "
+                  f"max {gaps.max():.2f} s")
+        print()
+
+    print("The session-level tuple fixes WHAT a session carries; the")
+    print("packet bridge decides WHEN each byte moves — the two layers of")
+    print("Fig 1 composed without double-counting.")
+
+
+if __name__ == "__main__":
+    main()

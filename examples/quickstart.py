@@ -1,0 +1,57 @@
+"""Quickstart: simulate, fit, inspect, generate.
+
+Runs the library's core loop in under a minute:
+
+1. simulate a small synthetic measurement campaign (the stand-in for the
+   paper's proprietary nationwide trace);
+2. fit the session-level model of one service — the released parameter
+   tuple [mu, sigma, {k, mu, sigma}_n, alpha, beta];
+3. generate synthetic sessions from the fitted model and compare their
+   statistics with the measurement.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Network, NetworkConfig, SimulationConfig, simulate
+from repro.core.service_model import fit_service_model
+from repro.dataset.aggregation import pooled_duration_volume, pooled_volume_pdf
+
+SERVICE = "Netflix"
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # 1. A synthetic measurement campaign: 20 BSs, one day.
+    network = Network(NetworkConfig(n_bs=20), rng)
+    campaign = simulate(network, SimulationConfig(n_days=1), rng)
+    print(f"campaign: {len(campaign)} sessions at {len(network)} BSs")
+
+    # 2. Aggregate the Section 3.2 statistics and fit the model.
+    sessions = campaign.for_service(SERVICE)
+    volume_pdf = pooled_volume_pdf(sessions)
+    duration_curve = pooled_duration_volume(sessions)
+    model = fit_service_model(SERVICE, volume_pdf, duration_curve)
+
+    print(f"\n{SERVICE}: {len(sessions)} sessions")
+    print(f"  main component: mu={model.volume.main.mu:.3f} "
+          f"sigma={model.volume.main.sigma:.3f}")
+    for n, peak in enumerate(model.volume.peaks, start=1):
+        print(f"  peak {n}: {10**peak.mu:.1f} MB  (k={peak.weight:.3f})")
+    print(f"  power law: v(d) = {model.duration.alpha:.5f} * d^"
+          f"{model.duration.beta:.2f}   (R^2 = {model.duration.r2:.2f})")
+    print(f"  volume model EMD vs measurement: "
+          f"{model.volume_error_against(volume_pdf):.4f} decades")
+
+    # 3. Generate synthetic sessions and compare.
+    batch = model.sample_sessions(rng, 50_000)
+    print(f"\nsynthetic sessions: mean volume {batch.volumes_mb.mean():.1f} MB "
+          f"(measured {volume_pdf.mean_mb():.1f} MB)")
+    print(f"median duration {np.median(batch.durations_s):.0f} s, "
+          f"median throughput {np.median(batch.throughput_mbps):.3f} Mbps")
+
+
+if __name__ == "__main__":
+    main()

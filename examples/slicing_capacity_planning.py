@@ -1,0 +1,47 @@
+"""Network-slicing capacity planning (the Section 6.1 use case).
+
+An operator serves 28 Service Providers, each with its own slice and a
+95 % SLA.  This example runs the full experiment — measurement campaign,
+model fitting, three allocation strategies, SLA scoring — and prints the
+Table-2-style comparison plus the Fig-12-style view of one slice.
+
+Run:  python examples/slicing_capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.io.tables import print_table
+from repro.usecases.slicing import SlicingScenario, run_slicing_experiment
+
+
+def main() -> None:
+    scenario = SlicingScenario(n_antennas=10, n_days=2, n_model_days=4)
+    print("running the slicing experiment "
+          f"({scenario.n_antennas} antennas, {scenario.n_days} days)...")
+    outcome = run_slicing_experiment(np.random.default_rng(7), scenario)
+
+    print_table(
+        ["strategy", "time with no dropped traffic", "std across slices"],
+        [
+            [name, f"{100 * r.mean_satisfaction:.2f} %",
+             f"{100 * r.std_satisfaction:.2f} %"]
+            for name, r in outcome.results.items()
+        ],
+        title="SLA satisfaction (Table 2)",
+    )
+
+    # The Fig 12 view: Facebook's slice at the busiest antenna.
+    demand, capacity = outcome.timeseries("model", "Facebook", antenna_pos=9)
+    peak_demand = demand[outcome.peak_mask]
+    print("Facebook slice at the busiest antenna:")
+    print(f"  allocated capacity : {capacity:9.1f} MB/min")
+    print(f"  median peak demand : {np.median(peak_demand):9.1f} MB/min")
+    print(f"  maximum peak demand: {peak_demand.max():9.1f} MB/min")
+    print(f"  coverage           : "
+          f"{100 * (peak_demand <= capacity).mean():.2f} % of peak minutes")
+    print("\nNote how the allocation sits far below the demand peaks —")
+    print("dimensioning on peaks would waste reserved resources (Fig 12).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs (offline environments).
+
+The canonical metadata lives in pyproject.toml; this file only lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` work where the
+``wheel`` package (required for PEP 660 editable builds) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Session-level mobile traffic models.
+
+Reproduction of *"Characterizing and Modeling Session-Level Mobile Traffic
+Demands from Large-Scale Measurements"* (Zanella, Bazco-Nogueras, Ziemlicki,
+Fiore — ACM IMC 2023).
+
+The package is organized in four layers:
+
+* :mod:`repro.dataset` — the measurement substrate: a synthetic nationwide
+  4G/5G campaign (BS population, circadian arrivals, mobility truncation,
+  probe emulation) and the Section 3 aggregation pipeline.
+* :mod:`repro.analysis` — the Section 4 characterization toolkit: log-binned
+  PDFs, EMD/SED, clustering, ranking, invariance comparisons.
+* :mod:`repro.core` — the Section 5 models: bi-modal arrivals, log-normal
+  mixture volume PDFs, power-law duration–volume laws, the per-service
+  model bank and the model-driven traffic generator.
+* :mod:`repro.usecases` — the Section 6 applications: slicing capacity
+  allocation and vRAN CU–DU energy orchestration.
+"""
+
+from .core.arrivals import ArrivalModel, fit_arrival_model
+from .core.duration_model import PowerLawModel, fit_power_law
+from .core.generator import TrafficGenerator
+from .core.model_bank import ModelBank
+from .core.service_mix import ServiceMix
+from .core.service_model import SessionLevelModel, fit_service_model
+from .core.volume_model import VolumeModel, fit_volume_model
+from .dataset.network import Network, NetworkConfig
+from .dataset.records import SessionRecord, SessionTable
+from .dataset.simulator import SimulationConfig, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrivalModel",
+    "ModelBank",
+    "Network",
+    "NetworkConfig",
+    "PowerLawModel",
+    "ServiceMix",
+    "SessionLevelModel",
+    "SessionRecord",
+    "SessionTable",
+    "SimulationConfig",
+    "TrafficGenerator",
+    "VolumeModel",
+    "fit_arrival_model",
+    "fit_power_law",
+    "fit_service_model",
+    "fit_volume_model",
+    "simulate",
+    "__version__",
+]

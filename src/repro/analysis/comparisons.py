@@ -1,0 +1,196 @@
+"""Session-level invariance analysis across space, time and RAT (Fig 8).
+
+Section 4.4 quantifies how much a service's session-level statistics change
+across (i) working days vs weekends, (ii) urbanization levels, (iii) large
+cities, and (iv) 4G vs 5G RATs — always concluding that these differences
+are negligible compared to the inter-service diversity ("Apps").  The
+comparison metric is EMD for volume PDFs and SED for duration–volume pairs.
+
+Each function returns the raw sample vectors; the Fig 8 boxplots are their
+:class:`~repro.analysis.metrics.BoxplotStats` summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..dataset.aggregation import pooled_duration_volume, pooled_volume_pdf
+from ..dataset.network import CITIES, RAT, Network, Region
+from ..dataset.records import SessionTable
+from .emd import emd
+from .histogram import LogHistogram
+from .normalization import zero_mean
+from .sed import PairsError, sed
+
+#: Minimum sessions a (service, slice) subset needs to yield a stable PDF.
+MIN_SESSIONS = 200
+
+
+class ComparisonError(ValueError):
+    """Raised when comparison input is insufficient."""
+
+
+@dataclass
+class InvarianceReport:
+    """EMD and SED sample vectors per comparison tag (the Fig 8 data)."""
+
+    emd_samples: dict[str, np.ndarray]
+    sed_samples: dict[str, np.ndarray]
+
+
+def _service_tables(
+    table: SessionTable, services: list[str], min_sessions: int
+) -> dict[str, SessionTable]:
+    out = {}
+    for service in services:
+        sub = table.for_service(service)
+        if len(sub) >= min_sessions:
+            out[service] = sub
+    if len(out) < 2:
+        raise ComparisonError("fewer than two services have enough sessions")
+    return out
+
+
+def _pdf(table: SessionTable) -> LogHistogram:
+    return pooled_volume_pdf(table)
+
+
+def _pairwise_app_distances(
+    tables: dict[str, SessionTable]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inter-service EMDs (zero-mean PDFs, as in Fig 6a) and SEDs."""
+    names = sorted(tables)
+    pdfs = {name: zero_mean(_pdf(tables[name])) for name in names}
+    curves = {name: pooled_duration_volume(tables[name]) for name in names}
+    emds, seds = [], []
+    for a, b in combinations(names, 2):
+        emds.append(emd(pdfs[a], pdfs[b]))
+        try:
+            ca, cb = curves[a], curves[b]
+            da, va, _ = ca.observed()
+            db, vb, _ = cb.observed()
+            seds.append(sed(da, va, db, vb))
+        except PairsError:
+            continue
+    return np.array(emds), np.array(seds)
+
+
+def _split_distances(
+    tables: dict[str, SessionTable],
+    split_masks: dict,
+    min_sessions: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Same-service distances between every pair of subsets of a split.
+
+    ``split_masks`` maps a subset label to a predicate that, given a
+    service's sub-table, returns the boolean row mask of that subset.
+    """
+    emds, seds = [], []
+    for sub in tables.values():
+        # Build per-part tables from the split predicates evaluated on `sub`.
+        parts = [
+            sub.select(predicate(sub)) for predicate in split_masks.values()
+        ]
+        usable = [p for p in parts if len(p) >= min_sessions]
+        if len(usable) < 2:
+            continue
+        pdfs = [_pdf(p) for p in usable]
+        curves = [pooled_duration_volume(p) for p in usable]
+        for i, j in combinations(range(len(usable)), 2):
+            emds.append(emd(pdfs[i], pdfs[j]))
+            try:
+                di, vi, _ = curves[i].observed()
+                dj, vj, _ = curves[j].observed()
+                seds.append(sed(di, vi, dj, vj))
+            except PairsError:
+                continue
+    return np.array(emds), np.array(seds)
+
+
+def invariance_report(
+    table: SessionTable,
+    network: Network,
+    services: list[str],
+    weekend_days: list[int],
+    min_sessions: int = MIN_SESSIONS,
+) -> InvarianceReport:
+    """Compute every Fig 8 comparison in one pass.
+
+    Tags produced (matching the figure's x-axis): ``Apps``, ``Days``,
+    ``Regions``, ``Cities``, ``RATs``, ``Apps (4G)``, ``Apps (5G)``.
+    """
+    tables = _service_tables(table, services, min_sessions)
+    weekend = set(weekend_days)
+
+    emd_samples: dict[str, np.ndarray] = {}
+    sed_samples: dict[str, np.ndarray] = {}
+
+    emd_samples["Apps"], sed_samples["Apps"] = _pairwise_app_distances(tables)
+
+    def day_split(sub: SessionTable, wanted_weekend: bool) -> np.ndarray:
+        is_weekend = np.isin(sub.day, list(weekend))
+        return is_weekend if wanted_weekend else ~is_weekend
+
+    emd_samples["Days"], sed_samples["Days"] = _split_distances(
+        tables,
+        {
+            "workdays": lambda sub: day_split(sub, False),
+            "weekend": lambda sub: day_split(sub, True),
+        },
+        min_sessions,
+    )
+
+    region_masks = {
+        region.value: (
+            lambda sub, ids=frozenset(network.bs_ids_in_region(region)): np.isin(
+                sub.bs_id, list(ids)
+            )
+        )
+        for region in Region
+    }
+    emd_samples["Regions"], sed_samples["Regions"] = _split_distances(
+        tables, region_masks, min_sessions
+    )
+
+    city_masks = {
+        city: (
+            lambda sub, ids=frozenset(network.bs_ids_in_city(city)): np.isin(
+                sub.bs_id, list(ids)
+            )
+        )
+        for city in CITIES
+    }
+    emd_samples["Cities"], sed_samples["Cities"] = _split_distances(
+        tables, city_masks, min_sessions
+    )
+
+    rat_masks = {
+        rat.value: (
+            lambda sub, ids=frozenset(network.bs_ids_with_rat(rat)): np.isin(
+                sub.bs_id, list(ids)
+            )
+        )
+        for rat in RAT
+    }
+    emd_samples["RATs"], sed_samples["RATs"] = _split_distances(
+        tables, rat_masks, min_sessions
+    )
+
+    for rat in RAT:
+        ids = network.bs_ids_with_rat(rat)
+        rat_tables = {}
+        for service, sub in tables.items():
+            part = sub.for_bs_ids(ids)
+            if len(part) >= min_sessions:
+                rat_tables[service] = part
+        tag = f"Apps ({rat.value})"
+        if len(rat_tables) >= 2:
+            emd_samples[tag], sed_samples[tag] = _pairwise_app_distances(rat_tables)
+        else:
+            emd_samples[tag] = np.array([])
+            sed_samples[tag] = np.array([])
+
+    return InvarianceReport(emd_samples=emd_samples, sed_samples=sed_samples)

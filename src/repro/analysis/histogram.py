@@ -1,0 +1,234 @@
+"""Log-binned probability density containers.
+
+The paper represents per-session traffic-volume distributions ``F_s(x)`` as
+probability density functions over a *logarithmic* traffic axis: Eq (3) is a
+Gaussian in ``log10(x)`` with no Jacobian term, i.e. a density over
+``u = log10(x / MB)``.  This module provides the shared container used by the
+whole code base for such densities: a histogram over a fixed, global
+``log10``-spaced grid, so that PDFs from different base stations, days and
+services can be averaged, compared and mixed without re-binning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Lower edge of the global log10(MB) grid (100 B = 1e-4 MB).
+LOG_U_MIN = -4.0
+#: Upper edge of the global log10(MB) grid (100 GB = 1e5 MB).
+LOG_U_MAX = 5.0
+#: Number of bins of the global grid (0.025 decades per bin).
+N_BINS = 360
+
+#: Shared bin edges in ``u = log10(x/MB)`` used by every volume PDF.
+LOG_GRID = np.linspace(LOG_U_MIN, LOG_U_MAX, N_BINS + 1)
+#: Bin centers of :data:`LOG_GRID`.
+LOG_CENTERS = 0.5 * (LOG_GRID[:-1] + LOG_GRID[1:])
+#: Width of one bin of :data:`LOG_GRID` in decades.
+BIN_WIDTH = float(LOG_GRID[1] - LOG_GRID[0])
+
+
+class HistogramError(ValueError):
+    """Raised when a histogram operation receives inconsistent input."""
+
+
+@dataclass
+class LogHistogram:
+    """A probability density over ``u = log10(traffic volume / MB)``.
+
+    The density lives on the shared global grid :data:`LOG_GRID`; the value
+    ``density[i]`` is the probability density (per decade) in bin ``i``, so
+    ``sum(density) * BIN_WIDTH == 1`` for a normalized histogram.
+
+    Parameters
+    ----------
+    density:
+        Array of ``N_BINS`` non-negative densities.  It is not required to be
+        normalized at construction; call :meth:`normalized` when a proper PDF
+        is needed.
+    n_samples:
+        Number of raw samples that produced this histogram (used as the
+        weight in mixture averaging, Eq (2) of the paper).
+    """
+
+    density: np.ndarray
+    n_samples: float = 0.0
+    _cdf_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.density = np.asarray(self.density, dtype=float)
+        if self.density.shape != (N_BINS,):
+            raise HistogramError(
+                f"density must have shape ({N_BINS},), got {self.density.shape}"
+            )
+        if np.any(self.density < 0):
+            raise HistogramError("density must be non-negative")
+        if not np.all(np.isfinite(self.density)):
+            raise HistogramError("density must be finite")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "LogHistogram":
+        """Return an all-zero histogram (no observed sessions)."""
+        return cls(np.zeros(N_BINS), n_samples=0.0)
+
+    @classmethod
+    def from_volumes(cls, volumes_mb: np.ndarray) -> "LogHistogram":
+        """Build a normalized PDF from raw per-session volumes in MB.
+
+        Volumes outside the global grid are clipped to its edges rather than
+        dropped, so probability mass is conserved.
+        """
+        volumes_mb = np.asarray(volumes_mb, dtype=float)
+        if volumes_mb.size == 0:
+            return cls.empty()
+        if np.any(volumes_mb <= 0):
+            raise HistogramError("session volumes must be strictly positive")
+        u = np.clip(np.log10(volumes_mb), LOG_U_MIN, LOG_U_MAX - 1e-12)
+        counts, _ = np.histogram(u, bins=LOG_GRID)
+        density = counts / (volumes_mb.size * BIN_WIDTH)
+        return cls(density, n_samples=float(volumes_mb.size))
+
+    @classmethod
+    def from_log_density(
+        cls, pdf_log10, n_samples: float = 0.0
+    ) -> "LogHistogram":
+        """Discretize a callable density ``pdf_log10(u)`` onto the grid."""
+        density = np.clip(np.asarray(pdf_log10(LOG_CENTERS), dtype=float), 0.0, None)
+        return cls(density, n_samples=n_samples)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def total_mass(self) -> float:
+        """Integral of the density over the grid (1.0 when normalized)."""
+        return float(np.sum(self.density) * BIN_WIDTH)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the histogram carries no probability mass at all."""
+        return not np.any(self.density > 0)
+
+    def normalized(self) -> "LogHistogram":
+        """Return a copy scaled to unit probability mass."""
+        mass = self.total_mass
+        if mass <= 0:
+            raise HistogramError("cannot normalize an empty histogram")
+        return LogHistogram(self.density / mass, n_samples=self.n_samples)
+
+    # ------------------------------------------------------------------
+    # Moments in u = log10(x) space
+    # ------------------------------------------------------------------
+    def mean_log10(self) -> float:
+        """Mean of ``u = log10(x)`` under the (normalized) density."""
+        pdf = self.normalized().density
+        return float(np.sum(pdf * LOG_CENTERS) * BIN_WIDTH)
+
+    def std_log10(self) -> float:
+        """Standard deviation of ``u = log10(x)``."""
+        pdf = self.normalized().density
+        mu = np.sum(pdf * LOG_CENTERS) * BIN_WIDTH
+        var = np.sum(pdf * (LOG_CENTERS - mu) ** 2) * BIN_WIDTH
+        return float(np.sqrt(max(var, 0.0)))
+
+    def skewness_log10(self) -> float:
+        """Skewness of ``u = log10(x)`` (0 for symmetric log-densities)."""
+        pdf = self.normalized().density
+        mu = np.sum(pdf * LOG_CENTERS) * BIN_WIDTH
+        var = np.sum(pdf * (LOG_CENTERS - mu) ** 2) * BIN_WIDTH
+        if var <= 0:
+            return 0.0
+        third = np.sum(pdf * (LOG_CENTERS - mu) ** 3) * BIN_WIDTH
+        return float(third / var**1.5)
+
+    def mode_mb(self) -> float:
+        """Traffic volume (MB) at the highest-density bin."""
+        if self.is_empty:
+            raise HistogramError("empty histogram has no mode")
+        return float(10.0 ** LOG_CENTERS[int(np.argmax(self.density))])
+
+    def mean_mb(self) -> float:
+        """Mean traffic volume in MB (expectation of x, not of log x)."""
+        pdf = self.normalized().density
+        return float(np.sum(pdf * 10.0**LOG_CENTERS) * BIN_WIDTH)
+
+    # ------------------------------------------------------------------
+    # CDF / sampling
+    # ------------------------------------------------------------------
+    def cdf(self) -> np.ndarray:
+        """Cumulative distribution evaluated at the upper edge of each bin."""
+        if self._cdf_cache is None:
+            pdf = self.normalized().density
+            self._cdf_cache = np.cumsum(pdf) * BIN_WIDTH
+        return self._cdf_cache
+
+    def quantile_mb(self, q: float) -> float:
+        """Return the traffic volume (MB) at cumulative probability ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise HistogramError(f"quantile must be in [0, 1], got {q}")
+        cdf = self.cdf()
+        idx = int(np.searchsorted(cdf, q, side="left"))
+        idx = min(idx, N_BINS - 1)
+        return float(10.0 ** LOG_GRID[idx + 1])
+
+    def sample_mb(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` volumes (MB) by inverse-CDF sampling.
+
+        Samples are uniformly jittered within their bin so the output is a
+        continuous variate rather than a grid-valued one.
+        """
+        if self.is_empty:
+            raise HistogramError("cannot sample from an empty histogram")
+        pdf = self.normalized().density
+        probs = pdf * BIN_WIDTH
+        probs = probs / probs.sum()
+        bins = rng.choice(N_BINS, size=size, p=probs)
+        u = LOG_GRID[bins] + rng.random(size) * BIN_WIDTH
+        return 10.0**u
+
+    # ------------------------------------------------------------------
+    # Arithmetic used by averaging / mixtures
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "LogHistogram":
+        """Return a copy with the density multiplied by ``factor >= 0``."""
+        if factor < 0:
+            raise HistogramError("scale factor must be non-negative")
+        return LogHistogram(self.density * factor, n_samples=self.n_samples)
+
+    @staticmethod
+    def weighted_average(
+        histograms: list["LogHistogram"], weights: list[float] | None = None
+    ) -> "LogHistogram":
+        """Weighted mixture of PDFs — Eq (2) of the paper.
+
+        When ``weights`` is omitted, each histogram's ``n_samples`` is used,
+        which matches the session-count weighting ``w_s^{c,t}`` of Eq (2).
+        """
+        if not histograms:
+            raise HistogramError("need at least one histogram to average")
+        if weights is None:
+            weights = [h.n_samples for h in histograms]
+        if len(weights) != len(histograms):
+            raise HistogramError("weights and histograms must align")
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0):
+            raise HistogramError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            return LogHistogram.empty()
+        density = np.zeros(N_BINS)
+        for hist, weight in zip(histograms, w):
+            if weight > 0 and not hist.is_empty:
+                density += weight * hist.normalized().density
+        return LogHistogram(density / total, n_samples=float(total))
+
+    def residual_against(self, other: "LogHistogram") -> np.ndarray:
+        """Positive part of ``self - other`` (Section 5.2, step 1)."""
+        return np.clip(
+            self.normalized().density - other.normalized().density, 0.0, None
+        )

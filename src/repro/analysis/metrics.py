@@ -1,0 +1,90 @@
+"""Scalar goodness-of-fit and dispersion metrics used across the paper.
+
+* ``r_squared`` — coefficient of determination, reported for the power-law
+  duration fits (Fig 10) and the exponential service-ranking fit (Fig 4).
+* ``absolute_percentage_error`` — APE, the metric of the vRAN use case
+  (Fig 13b).
+* ``coefficient_of_variation`` — CV, reported next to every share in
+  Table 1.
+* ``BoxplotStats`` — the five-number summaries drawn in Fig 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class MetricError(ValueError):
+    """Raised when a metric receives unusable input."""
+
+
+def r_squared(observed: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination ``R^2 = 1 - SS_res / SS_tot``.
+
+    Returns 1.0 for a perfect fit; can be negative when the model is worse
+    than predicting the mean.
+    """
+    observed = np.asarray(observed, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if observed.shape != predicted.shape:
+        raise MetricError("observed and predicted must have the same shape")
+    if observed.size < 2:
+        raise MetricError("need at least two points for R^2")
+    ss_res = float(np.sum((observed - predicted) ** 2))
+    ss_tot = float(np.sum((observed - observed.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def absolute_percentage_error(reference, estimate) -> np.ndarray:
+    """Element-wise APE in percent: ``100 * |estimate - reference| / reference``."""
+    reference = np.asarray(reference, dtype=float)
+    estimate = np.asarray(estimate, dtype=float)
+    if reference.shape != estimate.shape:
+        raise MetricError("reference and estimate must have the same shape")
+    if np.any(reference == 0):
+        raise MetricError("APE is undefined where the reference is zero")
+    return 100.0 * np.abs(estimate - reference) / np.abs(reference)
+
+
+def coefficient_of_variation(samples: np.ndarray) -> float:
+    """CV = standard deviation / mean, as reported in Table 1."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size < 2:
+        raise MetricError("need at least two samples for a CV")
+    mean = samples.mean()
+    if mean == 0:
+        raise MetricError("CV is undefined for zero-mean samples")
+    return float(samples.std(ddof=0) / abs(mean))
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary with the whisker convention of Fig 8.
+
+    Whiskers are the 5th and 95th percentiles; the box outlines the first,
+    second (median) and third quartiles — exactly the convention stated in
+    the Fig 8 caption.
+    """
+
+    p5: float
+    q1: float
+    median: float
+    q3: float
+    p95: float
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray) -> "BoxplotStats":
+        """Compute the summary from raw samples."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.size == 0:
+            raise MetricError("cannot summarize an empty sample")
+        p5, q1, median, q3, p95 = np.percentile(samples, [5, 25, 50, 75, 95])
+        return cls(float(p5), float(q1), float(median), float(q3), float(p95))
+
+    def as_row(self) -> tuple[float, float, float, float, float]:
+        """Return the summary as a plain tuple (for table rendering)."""
+        return (self.p5, self.q1, self.median, self.q3, self.p95)

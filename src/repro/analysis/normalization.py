@@ -1,0 +1,50 @@
+"""Zero-mean normalization of log-volume PDFs.
+
+Step (i) of the quantitative analysis in Section 4.3: before comparing the
+shapes of per-service PDFs, each is shifted so that its mean in log-space is
+zero.  This removes the sheer per-session volume of a service and leaves
+only shape features (spread, modes, peaks) to drive the EMD comparison and
+the clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .histogram import BIN_WIDTH, N_BINS, LogHistogram
+
+
+def zero_mean(hist: LogHistogram) -> LogHistogram:
+    """Return a copy of ``hist`` shifted to zero mean in log-space.
+
+    The shift is realized by rolling the density an integer number of bins
+    (the grid is uniform, so a roll is an exact translation up to one bin of
+    rounding); mass rolled past the grid edge is accumulated at the edge so
+    the histogram stays normalized.
+    """
+    normalized = hist.normalized()
+    shift_bins = int(round(normalized.mean_log10() / BIN_WIDTH))
+    if shift_bins == 0:
+        return normalized
+
+    density = normalized.density.copy()
+    if shift_bins > 0:
+        head = density[:shift_bins].sum()
+        rolled = np.concatenate([density[shift_bins:], np.zeros(shift_bins)])
+        rolled[0] += head  # conserve any mass pushed past the lower edge
+    else:
+        k = -shift_bins
+        tail = density[N_BINS - k :].sum()
+        rolled = np.concatenate([np.zeros(k), density[: N_BINS - k]])
+        rolled[-1] += tail
+    return LogHistogram(rolled, n_samples=normalized.n_samples)
+
+
+def center_of_mass(hist: LogHistogram) -> float:
+    """Mean of ``u = log10(x)`` — the quantity zeroed by :func:`zero_mean`."""
+    return hist.mean_log10()
+
+
+def zero_mean_all(histograms: list[LogHistogram]) -> list[LogHistogram]:
+    """Apply :func:`zero_mean` to a collection of PDFs."""
+    return [zero_mean(h) for h in histograms]

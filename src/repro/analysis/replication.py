@@ -1,0 +1,92 @@
+"""Replication helpers: mean ± spread over independent experiment runs.
+
+The paper reports single-run use-case results; a production evaluation
+wants error bars.  :func:`replicate` reruns any seeded experiment with
+independent generators and summarizes each scalar metric across the
+replicas, so a Table 2 row can carry a confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+class ReplicationError(ValueError):
+    """Raised on unusable replication input."""
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Across-replica summary of one scalar metric."""
+
+    mean: float
+    std: float
+    low: float
+    high: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.2g} (n={self.n})"
+
+
+@dataclass
+class ReplicationSummary:
+    """Summaries of every metric produced by the replicated experiment."""
+
+    metrics: dict[str, MetricSummary]
+
+    def __getitem__(self, name: str) -> MetricSummary:
+        return self.metrics[name]
+
+    def rows(self) -> list[list]:
+        """Table rows: metric, mean, std, min, max."""
+        return [
+            [name, m.mean, m.std, m.low, m.high]
+            for name, m in self.metrics.items()
+        ]
+
+
+def replicate(
+    experiment: Callable[[np.random.Generator], dict[str, float]],
+    n_replicas: int,
+    seed: int = 0,
+) -> ReplicationSummary:
+    """Run a seeded experiment ``n_replicas`` times and summarize.
+
+    ``experiment`` receives a fresh independent generator per replica
+    (spawned from one seed sequence, so replicas never share streams) and
+    returns a flat dict of scalar metrics; every replica must return the
+    same metric names.
+    """
+    if n_replicas < 2:
+        raise ReplicationError("need at least 2 replicas to summarize")
+
+    streams = np.random.SeedSequence(seed).spawn(n_replicas)
+    samples: dict[str, list[float]] = {}
+    for i, stream in enumerate(streams):
+        result = experiment(np.random.default_rng(stream))
+        if not result:
+            raise ReplicationError("experiment returned no metrics")
+        if samples and set(result) != set(samples):
+            raise ReplicationError(
+                f"replica {i} returned different metrics: "
+                f"{sorted(result)} vs {sorted(samples)}"
+            )
+        for name, value in result.items():
+            samples.setdefault(name, []).append(float(value))
+
+    return ReplicationSummary(
+        metrics={
+            name: MetricSummary(
+                mean=float(np.mean(values)),
+                std=float(np.std(values, ddof=1)),
+                low=float(np.min(values)),
+                high=float(np.max(values)),
+                n=len(values),
+            )
+            for name, values in samples.items()
+        }
+    )

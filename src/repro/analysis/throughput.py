@@ -1,0 +1,64 @@
+"""Per-session average-throughput distributions.
+
+Section 5.4: the released models reproduce "realistic session-level
+statistics for the traffic volume ..., duration ... and average throughput
+(computed as the ratio of the volume to the duration)".  This module
+derives that third quantity — for measured tables and for fitted models —
+as a density over ``log10(throughput / Mbps)`` on the shared global grid,
+so it can be compared with the same EMD machinery as the volume PDFs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataset.records import SessionTable
+from .histogram import HistogramError, LogHistogram
+
+
+def throughput_pdf_from_samples(
+    volumes_mb: np.ndarray, durations_s: np.ndarray
+) -> LogHistogram:
+    """Density of ``log10(8 * volume / duration)`` (throughput in Mbps).
+
+    The returned :class:`LogHistogram` lives on the global log grid; its
+    axis is decades of Mbps rather than decades of MB.
+    """
+    volumes_mb = np.asarray(volumes_mb, dtype=float)
+    durations_s = np.asarray(durations_s, dtype=float)
+    if volumes_mb.shape != durations_s.shape:
+        raise HistogramError("volumes and durations must align")
+    if volumes_mb.size == 0:
+        return LogHistogram.empty()
+    if np.any(durations_s <= 0):
+        raise HistogramError("durations must be positive")
+    throughput = 8.0 * volumes_mb / durations_s
+    return LogHistogram.from_volumes(throughput)
+
+
+def measured_throughput_pdf(table: SessionTable) -> LogHistogram:
+    """Throughput PDF of all sessions in a measurement table."""
+    return throughput_pdf_from_samples(
+        table.volume_mb.astype(float), table.duration_s.astype(float)
+    )
+
+
+def model_throughput_pdf(
+    model, rng: np.random.Generator, n_samples: int = 100_000
+) -> LogHistogram:
+    """Throughput PDF implied by a fitted :class:`SessionLevelModel`.
+
+    The model couples throughput to volume through the deterministic
+    inverse power law, so the distribution is obtained by sampling.
+    """
+    if n_samples < 1:
+        raise HistogramError("need at least one sample")
+    batch = model.sample_sessions(rng, n_samples)
+    return throughput_pdf_from_samples(batch.volumes_mb, batch.durations_s)
+
+
+def mean_throughput_mbps(table: SessionTable) -> float:
+    """Mean per-session average throughput of a table (Mbps)."""
+    if len(table) == 0:
+        raise HistogramError("empty table")
+    return float(table.throughput_mbps().mean())

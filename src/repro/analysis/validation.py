@@ -1,0 +1,237 @@
+"""Goodness-of-fit helpers and campaign sanity validation.
+
+Two audiences:
+
+* **modelers** get the Kolmogorov–Smirnov distance and QQ points to judge
+  a fitted volume model against its measurement beyond the single EMD
+  number of Section 5.4;
+* **data producers** get :func:`validate_campaign`, a structural check of
+  a measurement campaign against the paper's stylized facts (circadian
+  bi-modality, Table 1 share stability, transient-session presence) that
+  flags simulation/collection mistakes before they poison downstream
+  fits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.circadian import MINUTES_PER_DAY, peak_minute_mask
+from ..dataset.records import SERVICE_INDEX, SessionTable
+from ..dataset.services import session_share_fractions
+from .histogram import BIN_WIDTH, LOG_GRID, LogHistogram
+
+
+class ValidationError(ValueError):
+    """Raised on unusable validation input."""
+
+
+# ----------------------------------------------------------------------
+# Goodness of fit
+# ----------------------------------------------------------------------
+
+def ks_distance(a: LogHistogram, b: LogHistogram) -> float:
+    """Kolmogorov–Smirnov distance: max |CDF_a - CDF_b| on the grid.
+
+    Complements EMD: KS is sensitive to the worst local mismatch, EMD to
+    the total transported mass.
+    """
+    cdf_a = np.cumsum(a.normalized().density) * BIN_WIDTH
+    cdf_b = np.cumsum(b.normalized().density) * BIN_WIDTH
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def qq_points(
+    measured: LogHistogram,
+    model: LogHistogram,
+    quantiles: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantile–quantile points of two volume PDFs, in ``log10(MB)``.
+
+    A perfect model lies on the diagonal; the returned arrays are the
+    measured and modelled quantiles at the requested probabilities
+    (default: 1 %...99 % in 49 steps).
+    """
+    if quantiles is None:
+        quantiles = np.linspace(0.01, 0.99, 49)
+    quantiles = np.asarray(quantiles, dtype=float)
+    if np.any((quantiles <= 0) | (quantiles >= 1)):
+        raise ValidationError("quantiles must lie strictly in (0, 1)")
+    measured_q = np.array(
+        [np.log10(measured.quantile_mb(q)) for q in quantiles]
+    )
+    model_q = np.array([np.log10(model.quantile_mb(q)) for q in quantiles])
+    return measured_q, model_q
+
+
+def qq_max_deviation(measured: LogHistogram, model: LogHistogram) -> float:
+    """Largest |measured - model| quantile gap in decades (1 %..99 %)."""
+    measured_q, model_q = qq_points(measured, model)
+    return float(np.max(np.abs(measured_q - model_q)))
+
+
+# ----------------------------------------------------------------------
+# Campaign validation
+# ----------------------------------------------------------------------
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One observation of the campaign validator."""
+
+    severity: Severity
+    check: str
+    message: str
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of :func:`validate_campaign`."""
+
+    findings: list[Finding]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-level finding was raised."""
+        return all(f.severity is not Severity.ERROR for f in self.findings)
+
+    def errors(self) -> list[Finding]:
+        """The ERROR-level findings."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Finding]:
+        """The WARNING-level findings."""
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+
+def validate_campaign(
+    table: SessionTable,
+    n_days: int,
+    share_tolerance: float = 0.05,
+) -> CampaignReport:
+    """Check a measurement campaign against the paper's stylized facts.
+
+    Checks performed:
+
+    * non-emptiness and day coverage;
+    * circadian bi-modality: daytime arrival rates far above nighttime;
+    * Table 1 share stability: the head services' session shares within
+      ``share_tolerance`` (absolute) of the catalog;
+    * transient sessions present but not dominant (insight e);
+    * volumes within the global PDF grid (silent clipping would bias
+      every downstream fit).
+    """
+    findings: list[Finding] = []
+
+    if len(table) == 0:
+        findings.append(
+            Finding(Severity.ERROR, "non-empty", "campaign has no sessions")
+        )
+        return CampaignReport(findings)
+
+    observed_days = set(np.unique(table.day).tolist())
+    missing = sorted(set(range(n_days)) - observed_days)
+    if missing:
+        findings.append(
+            Finding(
+                Severity.ERROR,
+                "day-coverage",
+                f"days without any session: {missing}",
+            )
+        )
+
+    # Circadian structure.
+    minute_counts = np.bincount(table.start_minute, minlength=MINUTES_PER_DAY)
+    mask = peak_minute_mask()
+    day_rate = minute_counts[mask].mean()
+    night_rate = max(minute_counts[~mask].mean(), 1e-9)
+    if day_rate < 2.0 * night_rate:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "circadian",
+                f"day/night arrival ratio {day_rate / night_rate:.2f} < 2: "
+                "the bi-modal structure of Fig 3 is missing",
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                Severity.INFO,
+                "circadian",
+                f"day/night arrival ratio {day_rate / night_rate:.1f}",
+            )
+        )
+
+    # Table 1 share stability for the head services.
+    counts = np.bincount(table.service_idx, minlength=len(SERVICE_INDEX))
+    total = counts.sum()
+    expected = session_share_fractions()
+    for name in ("Facebook", "Instagram", "SnapChat"):
+        share = counts[SERVICE_INDEX[name]] / total
+        gap = abs(share - expected[name])
+        if gap > share_tolerance:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "table1-shares",
+                    f"{name} session share {100 * share:.1f} % deviates "
+                    f"{100 * gap:.1f} pp from Table 1",
+                )
+            )
+
+    # Transient sessions (insight e).
+    transient_share = float(table.truncated.mean())
+    if transient_share == 0.0:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "transients",
+                "no truncated sessions at all — mobility is off, the "
+                "low-volume head of every PDF will be missing",
+            )
+        )
+    elif transient_share > 0.6:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "transients",
+                f"{100 * transient_share:.0f} % of sessions truncated — "
+                "mobility dominates the statistics",
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                Severity.INFO,
+                "transients",
+                f"truncated-session share {100 * transient_share:.1f} %",
+            )
+        )
+
+    # Grid coverage.
+    log_volumes = np.log10(table.volume_mb.astype(float))
+    clipped = float(
+        np.mean((log_volumes <= LOG_GRID[0]) | (log_volumes >= LOG_GRID[-1]))
+    )
+    if clipped > 0.001:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "grid-coverage",
+                f"{100 * clipped:.2f} % of volumes fall outside the global "
+                "log grid and would be clipped in every PDF",
+            )
+        )
+
+    return CampaignReport(findings)

@@ -1,0 +1,253 @@
+"""Command-line interface: simulate, fit, generate.
+
+Three subcommands cover the library's end-to-end flow:
+
+* ``repro-traffic simulate`` — run a synthetic measurement campaign and
+  print its headline statistics;
+* ``repro-traffic fit`` — run a campaign, fit the session-level models and
+  write a release file with every parameter tuple;
+* ``repro-traffic generate`` — load a release file and generate synthetic
+  session-level traffic from the models;
+* ``repro-traffic validate`` — export a campaign as a trace and check it
+  against the paper's stylized facts;
+* ``repro-traffic reproduce`` — regenerate a paper artefact at laptop
+  scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.arrivals import fit_decile_arrival_models
+from .core.generator import TrafficGenerator
+from .core.model_bank import ModelBank
+from .core.service_mix import ServiceMix
+from .dataset.aggregation import service_shares
+from .dataset.network import Network, NetworkConfig, decile_peak_rate
+from .dataset.simulator import SimulationConfig, simulate
+from .io.params import load_release, save_release
+from .io.tables import print_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-traffic",
+        description="Session-level mobile traffic models (IMC'23 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a synthetic measurement campaign")
+    sim.add_argument("--bs", type=int, default=50, help="number of base stations")
+    sim.add_argument("--days", type=int, default=1, help="number of days")
+    sim.add_argument(
+        "--trace", default=None,
+        help="also export the campaign as a CSV(.gz) session trace",
+    )
+
+    fit = sub.add_parser("fit", help="fit models from a campaign and save them")
+    fit.add_argument("--bs", type=int, default=50)
+    fit.add_argument("--days", type=int, default=2)
+    fit.add_argument("--output", required=True, help="release file path")
+    fit.add_argument(
+        "--from-trace", default=None,
+        help="fit from an existing CSV(.gz) trace instead of simulating",
+    )
+
+    gen = sub.add_parser("generate", help="generate traffic from saved models")
+    gen.add_argument("--models", required=True, help="release file path")
+    gen.add_argument("--days", type=int, default=1)
+    gen.add_argument("--bs", type=int, default=5, help="number of generated BSs")
+    gen.add_argument(
+        "--decile", type=int, default=5, help="load decile of the generated BSs"
+    )
+
+    val = sub.add_parser(
+        "validate", help="validate a session trace against stylized facts"
+    )
+    val.add_argument("--trace", required=True, help="CSV(.gz) trace path")
+    val.add_argument("--days", type=int, required=True, help="days covered")
+
+    rep = sub.add_parser(
+        "reproduce", help="reproduce a paper experiment at laptop scale"
+    )
+    rep.add_argument(
+        "experiment",
+        choices=["table2", "fig10", "fig13b"],
+        help="which paper artefact to regenerate",
+    )
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace, rng: np.random.Generator) -> int:
+    network = Network(NetworkConfig(n_bs=args.bs), rng)
+    table = simulate(network, SimulationConfig(n_days=args.days), rng)
+    shares = service_shares(table)
+    top = sorted(shares.items(), key=lambda kv: kv[1][0], reverse=True)[:10]
+    print(f"sessions: {len(table)}")
+    print(f"total traffic: {table.total_volume_mb() / 1e3:.1f} GB")
+    print_table(
+        ["service", "session %", "traffic %"],
+        [[name, 100 * s, 100 * t] for name, (s, t) in top],
+        title="Top services",
+    )
+    if args.trace:
+        from .io.traces import write_trace
+
+        rows = write_trace(table, args.trace)
+        print(f"trace: {rows} sessions -> {args.trace}")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace, rng: np.random.Generator) -> int:
+    if args.from_trace:
+        from .io.traces import read_trace
+
+        table = read_trace(args.from_trace)
+        bank = ModelBank.fit_from_table(table)
+        save_release(args.output, bank)
+        print(
+            f"fitted {len(bank)} service models from {args.from_trace} "
+            f"-> {args.output}"
+        )
+        return 0
+    network = Network(NetworkConfig(n_bs=args.bs), rng)
+    table = simulate(network, SimulationConfig(n_days=args.days), rng)
+    bank = ModelBank.fit_from_table(table)
+    arrivals = {
+        f"decile-{decile}": model
+        for decile, model in fit_decile_arrival_models(
+            table, network, args.days
+        ).items()
+    }
+    save_release(args.output, bank, arrivals)
+    print(f"fitted {len(bank)} service models -> {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace, rng: np.random.Generator) -> int:
+    bank, arrivals = load_release(args.models)
+    label = f"decile-{args.decile}"
+    if label in arrivals:
+        arrival = arrivals[label]
+    else:
+        # Release without arrival fits: fall back to the published decile
+        # anchors of Section 5.1.
+        peak = decile_peak_rate(args.decile)
+        from .core.arrivals import ArrivalModel
+
+        arrival = ArrivalModel(peak, peak / 10.0, peak / 8.0)
+    mix = ServiceMix.from_table1().restricted_to(bank.services())
+    generator = TrafficGenerator(
+        {bs: arrival for bs in range(args.bs)}, mix, bank
+    )
+    table = generator.generate_campaign(args.days, rng)
+    print(f"generated {len(table)} sessions over {args.bs} BSs, {args.days} day(s)")
+    print(f"total traffic: {table.total_volume_mb() / 1e3:.1f} GB")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace, rng: np.random.Generator) -> int:
+    from .analysis.validation import validate_campaign
+    from .io.traces import read_trace
+
+    table = read_trace(args.trace)
+    report = validate_campaign(table, args.days)
+    print_table(
+        ["severity", "check", "message"],
+        [[f.severity.value, f.check, f.message] for f in report.findings],
+        title=f"Validation of {args.trace} ({len(table)} sessions)",
+    )
+    print("verdict:", "OK" if report.ok else "FAILED")
+    return 0 if report.ok else 1
+
+
+def _cmd_reproduce(args: argparse.Namespace, rng: np.random.Generator) -> int:
+    if args.experiment == "table2":
+        from .usecases.slicing import SlicingScenario, run_slicing_experiment
+
+        outcome = run_slicing_experiment(
+            rng, SlicingScenario(n_antennas=10, n_days=2, n_model_days=4)
+        )
+        print_table(
+            ["strategy", "no-drop %", "std %"],
+            [
+                [name, 100 * r.mean_satisfaction, 100 * r.std_satisfaction]
+                for name, r in outcome.results.items()
+            ],
+            title="Table 2 (paper: model 95.15 / bm a 89.8 / bm b 87.25)",
+        )
+        return 0
+
+    if args.experiment == "fig10":
+        from .core.duration_model import fit_power_law
+        from .dataset.aggregation import pooled_duration_volume
+        from .dataset.records import SERVICE_NAMES
+
+        network = Network(NetworkConfig(n_bs=20), rng)
+        table = simulate(network, SimulationConfig(n_days=1), rng)
+        rows = []
+        for name in SERVICE_NAMES:
+            sub = table.for_service(name)
+            if len(sub) < 2000:
+                continue
+            model = fit_power_law(pooled_duration_volume(sub))
+            rows.append([name, model.beta, model.r2])
+        rows.sort(key=lambda r: -r[1])
+        print_table(
+            ["service", "beta", "R^2"],
+            rows,
+            title="Fig 10 (paper: beta in [0.1, 1.8], video super-linear)",
+        )
+        return 0
+
+    if args.experiment == "fig13b":
+        from .usecases.vran import (
+            VranScenario,
+            VranTopology,
+            run_vran_experiment,
+        )
+
+        network = Network(NetworkConfig(n_bs=20), rng)
+        table = simulate(network, SimulationConfig(n_days=1), rng)
+        outcome = run_vran_experiment(
+            table,
+            rng,
+            VranScenario(
+                topology=VranTopology(n_es=5, n_ru_per_es=4),
+                horizon_s=1200.0,
+                warmup_s=400.0,
+            ),
+        )
+        print_table(
+            ["strategy", "APE power median %", "p95 %"],
+            [
+                [name, stats["power"].median, stats["power"].p95]
+                for name, stats in outcome.summary().items()
+            ],
+            title="Fig 13b (paper: model < 5 %, benchmarks 100-1000 %)",
+        )
+        return 0
+
+    raise AssertionError(f"unhandled experiment {args.experiment!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "fit": _cmd_fit,
+        "generate": _cmd_generate,
+        "validate": _cmd_validate,
+        "reproduce": _cmd_reproduce,
+    }
+    return handlers[args.command](args, rng)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

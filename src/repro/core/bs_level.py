@@ -1,0 +1,146 @@
+"""BS-level aggregate traffic model — the coarse comparator of Fig 1.
+
+The paper positions session-level modeling between packet-level models and
+*BS-level* models that "describe aggregates of the traffic volume across
+all devices associated to the target antenna ... over timescales of
+minutes or hours" (Section 2).  This module implements that coarser
+family — a per-BS circadian profile with log-normal scaling, in the spirit
+of the alpha-stable / generative BS-level literature the paper cites — so
+the two modeling granularities can be compared on equal footing:
+
+* both reproduce the *aggregate* per-minute traffic of a BS;
+* only the session-level models can answer per-service questions
+  (slicing) or per-session questions (vRAN orchestration) — the gap the
+  paper's use cases quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.circadian import MINUTES_PER_DAY, peak_minute_mask
+from ..dataset.records import SessionTable
+from ..usecases.slicing.demand import spread_sessions
+
+
+class BsLevelError(ValueError):
+    """Raised on inconsistent BS-level model input."""
+
+
+def bs_minute_traffic(
+    table: SessionTable, bs_id: int, n_days: int
+) -> np.ndarray:
+    """Measured per-minute aggregate traffic of one BS (MB/minute).
+
+    Sessions spread their volume uniformly over their covered minutes, as
+    in the slicing demand accounting.
+    """
+    sub = table.for_bs_ids([bs_id])
+    flat = spread_sessions(
+        np.zeros(len(sub), dtype=np.int64),
+        1,
+        sub.day,
+        sub.start_minute,
+        sub.volume_mb,
+        sub.duration_s,
+        n_days,
+    )
+    return flat[0]
+
+
+@dataclass(frozen=True)
+class BsLevelModel:
+    """Two-phase log-normal model of a BS's aggregate per-minute traffic.
+
+    Daytime and nighttime minutes each get a log-normal volume (fitted in
+    log10 space), reproducing the circadian aggregate without any notion
+    of sessions or services.
+    """
+
+    day_mu: float
+    day_sigma: float
+    night_mu: float
+    night_sigma: float
+
+    def sample_day(self, rng: np.random.Generator) -> np.ndarray:
+        """One synthetic day of per-minute aggregate traffic (MB/min)."""
+        mask = peak_minute_mask()
+        traffic = np.empty(MINUTES_PER_DAY)
+        n_day = int(mask.sum())
+        traffic[mask] = 10.0 ** rng.normal(self.day_mu, self.day_sigma, n_day)
+        traffic[~mask] = 10.0 ** rng.normal(
+            self.night_mu, self.night_sigma, MINUTES_PER_DAY - n_day
+        )
+        return traffic
+
+    def sample_campaign(
+        self, n_days: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``n_days`` of synthetic per-minute aggregate traffic."""
+        if n_days < 1:
+            raise BsLevelError("n_days must be >= 1")
+        return np.concatenate([self.sample_day(rng) for _ in range(n_days)])
+
+
+def fit_bs_level_model(
+    minute_traffic: np.ndarray, floor_mb: float = 1e-3
+) -> BsLevelModel:
+    """Fit the two-phase log-normal to measured per-minute traffic.
+
+    ``minute_traffic`` must cover whole days (multiples of 1440 minutes);
+    zero-traffic minutes are floored at ``floor_mb`` before the log.
+    """
+    minute_traffic = np.asarray(minute_traffic, dtype=float)
+    if minute_traffic.size == 0 or minute_traffic.size % MINUTES_PER_DAY:
+        raise BsLevelError("traffic must cover whole days (n * 1440 minutes)")
+    if np.any(minute_traffic < 0):
+        raise BsLevelError("traffic cannot be negative")
+
+    n_days = minute_traffic.size // MINUTES_PER_DAY
+    mask = np.tile(peak_minute_mask(), n_days)
+    log_traffic = np.log10(np.maximum(minute_traffic, floor_mb))
+
+    day = log_traffic[mask]
+    night = log_traffic[~mask]
+    return BsLevelModel(
+        day_mu=float(day.mean()),
+        day_sigma=float(max(day.std(ddof=0), 1e-3)),
+        night_mu=float(night.mean()),
+        night_sigma=float(max(night.std(ddof=0), 1e-3)),
+    )
+
+
+def aggregate_accuracy(
+    measured: np.ndarray, synthetic: np.ndarray
+) -> dict[str, float]:
+    """Compare two per-minute aggregate series on scale-free statistics.
+
+    Returns the relative errors of the mean, the p95 and the day/night
+    ratio — the aggregate features a BS-level model is supposed to get
+    right.
+    """
+    measured = np.asarray(measured, dtype=float)
+    synthetic = np.asarray(synthetic, dtype=float)
+    if measured.size % MINUTES_PER_DAY or synthetic.size % MINUTES_PER_DAY:
+        raise BsLevelError("series must cover whole days")
+
+    def day_night_ratio(series: np.ndarray) -> float:
+        mask = np.tile(peak_minute_mask(), series.size // MINUTES_PER_DAY)
+        night_mean = max(float(series[~mask].mean()), 1e-9)
+        return float(series[mask].mean()) / night_mean
+
+    def rel_err(a: float, b: float) -> float:
+        return abs(b - a) / max(abs(a), 1e-9)
+
+    return {
+        "mean": rel_err(float(measured.mean()), float(synthetic.mean())),
+        "p95": rel_err(
+            float(np.percentile(measured, 95)),
+            float(np.percentile(synthetic, 95)),
+        ),
+        "day_night_ratio": rel_err(
+            day_night_ratio(measured), day_night_ratio(synthetic)
+        ),
+    }

@@ -1,0 +1,225 @@
+"""Elementary probability distributions used by the session-level models.
+
+Three families appear in the paper:
+
+* a **Gaussian** for the daytime mode of the per-minute session arrival rate
+  (Section 5.1);
+* a **Pareto** for the nighttime mode of the arrival rate (Section 5.1);
+* a **base-10 log-normal** — a Gaussian over ``u = log10(x)``, Eq (3) — for
+  the per-session traffic volume and its residual peaks (Section 5.2).
+
+All distributions expose ``pdf`` / ``cdf`` / ``ppf`` / ``sample`` and take an
+explicit :class:`numpy.random.Generator`; nothing in this package touches
+global random state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erf, erfinv
+
+_SQRT2 = float(np.sqrt(2.0))
+
+
+class DistributionError(ValueError):
+    """Raised when a distribution is built with invalid parameters."""
+
+
+@dataclass(frozen=True)
+class Gaussian:
+    """Normal distribution ``N(mu, sigma^2)``."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0 or not np.isfinite(self.sigma):
+            raise DistributionError(f"sigma must be positive, got {self.sigma}")
+        if not np.isfinite(self.mu):
+            raise DistributionError(f"mu must be finite, got {self.mu}")
+
+    def pdf(self, x) -> np.ndarray:
+        """Probability density at ``x``."""
+        x = np.asarray(x, dtype=float)
+        z = (x - self.mu) / self.sigma
+        return np.exp(-0.5 * z * z) / (self.sigma * np.sqrt(2 * np.pi))
+
+    def cdf(self, x) -> np.ndarray:
+        """Cumulative probability at ``x``."""
+        x = np.asarray(x, dtype=float)
+        return 0.5 * (1.0 + erf((x - self.mu) / (self.sigma * _SQRT2)))
+
+    def ppf(self, q) -> np.ndarray:
+        """Quantile function (inverse CDF)."""
+        q = np.asarray(q, dtype=float)
+        if np.any((q <= 0) | (q >= 1)):
+            raise DistributionError("quantiles must lie strictly in (0, 1)")
+        return self.mu + self.sigma * _SQRT2 * erfinv(2.0 * q - 1.0)
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` variates."""
+        return rng.normal(self.mu, self.sigma, size=size)
+
+
+@dataclass(frozen=True)
+class Pareto:
+    """Pareto (type I) distribution with density ``b s^b / x^(b+1)``, x >= s.
+
+    ``shape`` is the tail exponent ``b`` and ``scale`` the minimum value
+    ``s`` — the parameterization used in Section 5.1 of the paper, where the
+    shape is fixed to ``b = 1.765`` and only the scale varies across BS load
+    deciles.
+    """
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0 or not np.isfinite(self.shape):
+            raise DistributionError(f"shape must be positive, got {self.shape}")
+        if self.scale <= 0 or not np.isfinite(self.scale):
+            raise DistributionError(f"scale must be positive, got {self.scale}")
+
+    def pdf(self, x) -> np.ndarray:
+        """Probability density at ``x`` (0 below the scale)."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        ok = x >= self.scale
+        out[ok] = self.shape * self.scale**self.shape / x[ok] ** (self.shape + 1)
+        return out
+
+    def cdf(self, x) -> np.ndarray:
+        """Cumulative probability at ``x``."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        ok = x >= self.scale
+        out[ok] = 1.0 - (self.scale / x[ok]) ** self.shape
+        return out
+
+    def ppf(self, q) -> np.ndarray:
+        """Quantile function (inverse CDF)."""
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0) | (q >= 1)):
+            raise DistributionError("quantiles must lie in [0, 1)")
+        return self.scale / (1.0 - q) ** (1.0 / self.shape)
+
+    def mean(self) -> float:
+        """Expected value (infinite when ``shape <= 1``)."""
+        if self.shape <= 1:
+            return float("inf")
+        return self.shape * self.scale / (self.shape - 1)
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` variates via inverse-CDF sampling."""
+        return self.ppf(rng.random(size))
+
+
+@dataclass(frozen=True)
+class LogNormal10:
+    """Base-10 log-normal: ``log10(X) ~ N(mu, sigma^2)`` — Eq (3).
+
+    Following the paper, the density is expressed over ``u = log10(x)``;
+    :meth:`pdf_log10` is the Gaussian of Eq (3) and is what gets compared to
+    the measured PDFs, while :meth:`pdf_x` includes the change-of-variable
+    Jacobian for callers that need a density over linear ``x``.
+    """
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0 or not np.isfinite(self.sigma):
+            raise DistributionError(f"sigma must be positive, got {self.sigma}")
+        if not np.isfinite(self.mu):
+            raise DistributionError(f"mu must be finite, got {self.mu}")
+
+    def _gaussian(self) -> Gaussian:
+        return Gaussian(self.mu, self.sigma)
+
+    def pdf_log10(self, u) -> np.ndarray:
+        """Density over ``u = log10(x)`` — exactly Eq (3) of the paper."""
+        return self._gaussian().pdf(u)
+
+    def pdf_x(self, x) -> np.ndarray:
+        """Density over linear ``x`` (includes the ``1/(x ln 10)`` Jacobian)."""
+        x = np.asarray(x, dtype=float)
+        if np.any(x <= 0):
+            raise DistributionError("x must be strictly positive")
+        return self._gaussian().pdf(np.log10(x)) / (x * np.log(10.0))
+
+    def cdf_x(self, x) -> np.ndarray:
+        """Cumulative probability ``P(X <= x)``."""
+        x = np.asarray(x, dtype=float)
+        if np.any(x <= 0):
+            raise DistributionError("x must be strictly positive")
+        return self._gaussian().cdf(np.log10(x))
+
+    def ppf_x(self, q) -> np.ndarray:
+        """Quantile of ``X`` at cumulative probability ``q``."""
+        return 10.0 ** self._gaussian().ppf(q)
+
+    def median_mb(self) -> float:
+        """Median of ``X`` (``10**mu``)."""
+        return float(10.0**self.mu)
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` variates of ``X``."""
+        return 10.0 ** rng.normal(self.mu, self.sigma, size=size)
+
+
+@dataclass(frozen=True)
+class LogNormalMixture:
+    """Weighted mixture of :class:`LogNormal10` components.
+
+    This is the form of the final volume model, Eq (5): a main component of
+    weight 1 plus up to three residual peaks of weights ``k_n``, normalized
+    by ``1 + sum(k_n)``.  The class stores already-normalized weights.
+    """
+
+    components: tuple[LogNormal10, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.components) == 0:
+            raise DistributionError("mixture needs at least one component")
+        if len(self.components) != len(self.weights):
+            raise DistributionError("components and weights must align")
+        w = np.asarray(self.weights, dtype=float)
+        if np.any(w < 0) or not np.all(np.isfinite(w)):
+            raise DistributionError("weights must be non-negative and finite")
+        if abs(w.sum() - 1.0) > 1e-9:
+            raise DistributionError(f"weights must sum to 1, got {w.sum()}")
+
+    @classmethod
+    def from_unnormalized(
+        cls, components: list[LogNormal10], raw_weights: list[float]
+    ) -> "LogNormalMixture":
+        """Build a mixture from raw weights, normalizing them to sum to 1."""
+        w = np.asarray(raw_weights, dtype=float)
+        if np.any(w < 0):
+            raise DistributionError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            raise DistributionError("at least one weight must be positive")
+        return cls(tuple(components), tuple(w / total))
+
+    def pdf_log10(self, u) -> np.ndarray:
+        """Mixture density over ``u = log10(x)``."""
+        u = np.asarray(u, dtype=float)
+        out = np.zeros_like(u)
+        for comp, weight in zip(self.components, self.weights):
+            out += weight * comp.pdf_log10(u)
+        return out
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` variates by component selection + log-normal draw."""
+        idx = rng.choice(len(self.components), size=size, p=self.weights)
+        u = np.empty(size)
+        for i, comp in enumerate(self.components):
+            mask = idx == i
+            n = int(mask.sum())
+            if n:
+                u[mask] = rng.normal(comp.mu, comp.sigma, size=n)
+        return 10.0**u

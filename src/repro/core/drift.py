@@ -1,0 +1,109 @@
+"""Model drift detection between two fitted model banks.
+
+Section 7: "since our models are at service level, they will require
+updates over the years to consider changes in popularity and new services
+that emerge.  We plan to continuously collect data to provide updated
+models to the community."  This module supports that maintenance loop: it
+compares two :class:`~repro.core.model_bank.ModelBank` releases (e.g. last
+year's and this year's) and quantifies, per service, how much the volume
+PDF, the mean load and the duration law moved — so an operator knows which
+released tuples are stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.emd import emd
+from .model_bank import ModelBank
+
+#: Default drift thresholds: a service is flagged when its PDFs moved by
+#: more than EMD_THRESHOLD decades, its mean load by more than
+#: MEAN_RATIO_THRESHOLD (either direction), or its exponent by more than
+#: BETA_THRESHOLD.
+EMD_THRESHOLD = 0.1
+MEAN_RATIO_THRESHOLD = 1.5
+BETA_THRESHOLD = 0.25
+
+
+class DriftError(ValueError):
+    """Raised on inconsistent drift-comparison input."""
+
+
+@dataclass(frozen=True)
+class ServiceDrift:
+    """Drift of one service between two model releases."""
+
+    service: str
+    volume_emd: float
+    mean_ratio: float
+    beta_delta: float
+
+    def is_significant(
+        self,
+        emd_threshold: float = EMD_THRESHOLD,
+        mean_ratio_threshold: float = MEAN_RATIO_THRESHOLD,
+        beta_threshold: float = BETA_THRESHOLD,
+    ) -> bool:
+        """Whether any drift dimension crosses its threshold."""
+        ratio = max(self.mean_ratio, 1.0 / self.mean_ratio)
+        return (
+            self.volume_emd > emd_threshold
+            or ratio > mean_ratio_threshold
+            or abs(self.beta_delta) > beta_threshold
+        )
+
+
+@dataclass
+class DriftReport:
+    """Full comparison of two model releases."""
+
+    drifts: list[ServiceDrift]
+    only_in_old: list[str]
+    only_in_new: list[str]
+
+    def significant(self, **thresholds) -> list[ServiceDrift]:
+        """Services whose models need refreshing."""
+        return [d for d in self.drifts if d.is_significant(**thresholds)]
+
+    def stable(self, **thresholds) -> list[ServiceDrift]:
+        """Services whose released tuples remain valid."""
+        return [d for d in self.drifts if not d.is_significant(**thresholds)]
+
+
+def compare_banks(old: ModelBank, new: ModelBank) -> DriftReport:
+    """Quantify per-service drift between two model releases.
+
+    For each service present in both banks, reports:
+
+    * ``volume_emd`` — EMD between the two modelled volume PDFs (decades);
+    * ``mean_ratio`` — new mean session volume over old;
+    * ``beta_delta`` — change of the power-law exponent.
+
+    Services present in only one bank are listed separately — emerging
+    services need new models, vanished ones can be retired (the
+    popularity churn the paper's Section 7 anticipates).
+    """
+    old_services = set(old.services())
+    new_services = set(new.services())
+    drifts = []
+    for name in sorted(old_services & new_services):
+        old_model, new_model = old.get(name), new.get(name)
+        old_hist = old_model.volume.as_histogram()
+        new_hist = new_model.volume.as_histogram()
+        old_mean = old_hist.mean_mb()
+        if old_mean <= 0:
+            raise DriftError(f"degenerate old model for {name!r}")
+        drifts.append(
+            ServiceDrift(
+                service=name,
+                volume_emd=emd(old_hist, new_hist),
+                mean_ratio=new_hist.mean_mb() / old_mean,
+                beta_delta=new_model.duration.beta - old_model.duration.beta,
+            )
+        )
+    return DriftReport(
+        drifts=drifts,
+        only_in_old=sorted(old_services - new_services),
+        only_in_new=sorted(new_services - old_services),
+    )

@@ -1,0 +1,210 @@
+"""Power-law model of the duration–volume relationship (Section 5.3).
+
+The mean traffic volume of sessions of duration ``d`` follows
+``v_s(d) = alpha_s * d**beta_s`` for every service, with exponents spanning
+0.1–1.8 (Fig 10): ``beta > 1`` (video streaming) means throughput grows
+with session duration, ``beta < 1`` (interactive services) means longer
+sessions are progressively thinner.  Fits use the in-house
+Levenberg–Marquardt solver, as in the paper; residuals are taken on
+``log10 v`` so the decades-wide dynamic range of volumes does not let a few
+long sessions dominate the fit.
+
+For the Section 5.3 ablation ("upon experimenting with polynomial,
+exponential, and power laws we find that the latter yield the best quality
+of fitting"), :func:`fit_family` also fits the two rejected families.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.metrics import r_squared
+from ..dataset.aggregation import DurationVolumeCurve
+from .fitting.levenberg_marquardt import FitError, fit_curve
+
+
+class DurationModelError(ValueError):
+    """Raised when a duration model cannot be fitted or used."""
+
+
+@dataclass(frozen=True)
+class PowerLawModel:
+    """Fitted ``v(d) = alpha * d**beta`` with its goodness of fit.
+
+    ``alpha`` is in MB (the mean volume of a 1-second session) and ``beta``
+    dimensionless; ``r2`` is the coefficient of determination of the fit in
+    log-space (the quantity printed on top of each bar in Fig 10).
+    """
+
+    alpha: float
+    beta: float
+    r2: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise DurationModelError("alpha must be positive")
+        if not np.isfinite(self.beta):
+            raise DurationModelError("beta must be finite")
+
+    def predict_volume_mb(self, durations_s) -> np.ndarray:
+        """Mean volume (MB) of sessions with the given durations."""
+        durations_s = np.asarray(durations_s, dtype=float)
+        if np.any(durations_s <= 0):
+            raise DurationModelError("durations must be positive")
+        return self.alpha * durations_s**self.beta
+
+    def duration_for_volume_s(self, volumes_mb) -> np.ndarray:
+        """Inverse map ``v^{-1}``: duration of a session of given volume.
+
+        This is how Section 5.4 derives a session duration from a volume
+        sampled out of ``F~_s(x)``.
+        """
+        volumes_mb = np.asarray(volumes_mb, dtype=float)
+        if np.any(volumes_mb <= 0):
+            raise DurationModelError("volumes must be positive")
+        return (volumes_mb / self.alpha) ** (1.0 / self.beta)
+
+    def throughput_mbps(self, durations_s) -> np.ndarray:
+        """Mean throughput of sessions of the given durations (Mbit/s):
+        ``8 * alpha * d**(beta-1)`` — constant iff ``beta == 1``."""
+        durations_s = np.asarray(durations_s, dtype=float)
+        return 8.0 * self.predict_volume_mb(durations_s) / durations_s
+
+    @property
+    def is_super_linear(self) -> bool:
+        """True when throughput increases with session duration."""
+        return self.beta > 1.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable parameters ``[alpha, beta]`` (+ fit quality)."""
+        return {"alpha": self.alpha, "beta": self.beta, "r2": self.r2}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PowerLawModel":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                float(payload["alpha"]),
+                float(payload["beta"]),
+                float(payload.get("r2", float("nan"))),
+            )
+        except (KeyError, TypeError) as exc:
+            raise DurationModelError(f"malformed power-law payload: {exc}") from exc
+
+
+def _observed_log_points(
+    curve: DurationVolumeCurve,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    durations, volumes, counts = curve.observed()
+    ok = volumes > 0
+    if ok.sum() < 3:
+        raise DurationModelError("need at least 3 observed duration bins")
+    return (
+        np.log10(durations[ok]),
+        np.log10(volumes[ok]),
+        counts[ok],
+    )
+
+
+def fit_power_law(curve: DurationVolumeCurve) -> PowerLawModel:
+    """Fit ``{alpha, beta}`` to a duration–volume curve with LM.
+
+    A weighted linear regression in log-log space seeds the LM refinement;
+    weights are the per-bin session counts, so sparsely observed duration
+    bins (often noisy, per Section 5.4) contribute less.
+    """
+    log_d, log_v, counts = _observed_log_points(curve)
+
+    # Seed: weighted least squares on log10 v = log10 alpha + beta log10 d.
+    weights = counts / counts.sum()
+    d_mean = float(np.sum(weights * log_d))
+    v_mean = float(np.sum(weights * log_v))
+    var_d = float(np.sum(weights * (log_d - d_mean) ** 2))
+    if var_d <= 0:
+        raise DurationModelError("duration bins are degenerate")
+    beta0 = float(np.sum(weights * (log_d - d_mean) * (log_v - v_mean)) / var_d)
+    log_alpha0 = v_mean - beta0 * d_mean
+
+    def model(x: np.ndarray, log_alpha: float, beta: float) -> np.ndarray:
+        return log_alpha + beta * x
+
+    try:
+        result = fit_curve(
+            model, log_d, log_v, p0=[log_alpha0, beta0], weights=counts
+        )
+        log_alpha, beta = result.params
+    except FitError:
+        log_alpha, beta = log_alpha0, beta0
+
+    predicted = model(log_d, log_alpha, beta)
+    return PowerLawModel(
+        alpha=float(10.0**log_alpha),
+        beta=float(beta),
+        r2=r_squared(log_v, predicted),
+    )
+
+
+class FitFamily(enum.Enum):
+    """Model families compared in the Section 5.3 ablation."""
+
+    POWER = "power"
+    EXPONENTIAL = "exponential"
+    POLYNOMIAL = "polynomial"
+
+
+@dataclass(frozen=True)
+class FamilyFit:
+    """Result of fitting one family: its parameters and log-space R^2."""
+
+    family: FitFamily
+    params: tuple[float, ...]
+    r2: float
+
+
+def fit_family(curve: DurationVolumeCurve, family: FitFamily) -> FamilyFit:
+    """Fit one of the candidate families to a duration–volume curve.
+
+    All families are fitted and scored on ``log10 v`` against ``log10 d``
+    so their R^2 values are directly comparable:
+
+    * POWER: ``log v = log alpha + beta log d`` (2 parameters);
+    * EXPONENTIAL: ``v = a * exp(b d)`` i.e.
+      ``log v = log a + b d / ln 10`` (2 parameters);
+    * POLYNOMIAL: quadratic in ``d`` on ``log v`` (3 parameters).
+    """
+    log_d, log_v, counts = _observed_log_points(curve)
+    d = 10.0**log_d
+
+    if family is FitFamily.POWER:
+        model = fit_power_law(curve)
+        return FamilyFit(family, (model.alpha, model.beta), model.r2)
+
+    if family is FitFamily.EXPONENTIAL:
+
+        def exp_model(x: np.ndarray, log_a: float, b: float) -> np.ndarray:
+            return log_a + b * x / np.log(10.0)
+
+        p0 = [float(log_v.mean()), 1e-4]
+        result = fit_curve(exp_model, d, log_v, p0=p0, weights=counts)
+        predicted = exp_model(d, *result.params)
+        return FamilyFit(
+            family, tuple(float(p) for p in result.params), r_squared(log_v, predicted)
+        )
+
+    if family is FitFamily.POLYNOMIAL:
+        # Weighted quadratic least squares of log v on d (closed form).
+        weights = counts / counts.sum()
+        design = np.vander(d, 3, increasing=True)
+        weighted = design * weights[:, None]
+        coeffs, *_ = np.linalg.lstsq(
+            weighted.T @ design, weighted.T @ log_v, rcond=None
+        )
+        predicted = design @ coeffs
+        return FamilyFit(
+            family, tuple(float(c) for c in coeffs), r_squared(log_v, predicted)
+        )
+
+    raise DurationModelError(f"unknown family {family!r}")

@@ -1,0 +1,143 @@
+"""Bootstrap confidence intervals for fitted session-level parameters.
+
+The paper releases point estimates.  For a library, users calibrating
+network dimensioning on the fitted tuples also want to know how tight
+those estimates are given a finite measurement campaign; this module
+resamples sessions with replacement and refits, yielding percentile
+confidence intervals for the power-law parameters and the mean session
+volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...dataset.aggregation import pooled_duration_volume, pooled_volume_pdf
+from ...dataset.records import SessionTable
+from ..duration_model import DurationModelError, fit_power_law
+
+
+class BootstrapError(ValueError):
+    """Raised on unusable bootstrap input."""
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided percentile confidence interval around a point estimate."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise BootstrapError("interval bounds out of order")
+
+    @property
+    def width(self) -> float:
+        """Size of the interval."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether a value falls inside the interval."""
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class PowerLawBootstrap:
+    """Bootstrap result for one service's duration–volume law."""
+
+    alpha: ConfidenceInterval
+    beta: ConfidenceInterval
+    n_resamples: int
+
+
+def _resample(table: SessionTable, rng: np.random.Generator) -> SessionTable:
+    idx = rng.integers(0, len(table), size=len(table))
+    mask_based = SessionTable(
+        service_idx=table.service_idx[idx],
+        bs_id=table.bs_id[idx],
+        day=table.day[idx],
+        start_minute=table.start_minute[idx],
+        duration_s=table.duration_s[idx],
+        volume_mb=table.volume_mb[idx],
+        truncated=table.truncated[idx],
+    )
+    return mask_based
+
+
+def bootstrap_power_law(
+    table: SessionTable,
+    rng: np.random.Generator,
+    n_resamples: int = 100,
+    confidence: float = 0.95,
+) -> PowerLawBootstrap:
+    """Percentile bootstrap of ``alpha`` and ``beta`` for one service.
+
+    ``table`` should hold the sessions of a single service.  Resamples
+    whose duration–volume curve is too sparse to regress are skipped; at
+    least half of them must survive for the interval to be meaningful.
+    """
+    if len(table) < 10:
+        raise BootstrapError("need at least 10 sessions to bootstrap")
+    if not 0.5 < confidence < 1.0:
+        raise BootstrapError("confidence must be in (0.5, 1)")
+    if n_resamples < 10:
+        raise BootstrapError("need at least 10 resamples")
+
+    point = fit_power_law(pooled_duration_volume(table))
+    alphas, betas = [], []
+    for _ in range(n_resamples):
+        resampled = _resample(table, rng)
+        try:
+            fit = fit_power_law(pooled_duration_volume(resampled))
+        except DurationModelError:
+            continue
+        alphas.append(fit.alpha)
+        betas.append(fit.beta)
+    if len(alphas) < n_resamples / 2:
+        raise BootstrapError("too many degenerate resamples")
+
+    tail = 100.0 * (1.0 - confidence) / 2.0
+
+    def interval(samples: list[float], estimate: float) -> ConfidenceInterval:
+        low, high = np.percentile(samples, [tail, 100.0 - tail])
+        return ConfidenceInterval(
+            estimate=estimate,
+            low=float(low),
+            high=float(high),
+            confidence=confidence,
+        )
+
+    return PowerLawBootstrap(
+        alpha=interval(alphas, point.alpha),
+        beta=interval(betas, point.beta),
+        n_resamples=len(alphas),
+    )
+
+
+def bootstrap_mean_volume(
+    table: SessionTable,
+    rng: np.random.Generator,
+    n_resamples: int = 200,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Percentile bootstrap of the mean session volume (MB)."""
+    if len(table) < 10:
+        raise BootstrapError("need at least 10 sessions to bootstrap")
+    volumes = table.volume_mb.astype(float)
+    means = [
+        float(volumes[rng.integers(0, volumes.size, volumes.size)].mean())
+        for _ in range(n_resamples)
+    ]
+    tail = 100.0 * (1.0 - confidence) / 2.0
+    low, high = np.percentile(means, [tail, 100.0 - tail])
+    return ConfidenceInterval(
+        estimate=float(pooled_volume_pdf(table).mean_mb()),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )

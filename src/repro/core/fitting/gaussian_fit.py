@@ -1,0 +1,59 @@
+"""Gaussian fitting helpers for densities over ``u = log10(x)``.
+
+The main component of the volume model (Section 5.2, step 1) is a log-normal
+— a Gaussian over the logarithmic traffic axis.  Fitting it to a measured
+log-PDF is done in two stages: a closed-form moment match for the initial
+guess, refined by Levenberg–Marquardt on the density curve itself so that
+heavy residual peaks do not drag the broad-trend component off-center.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...analysis.histogram import BIN_WIDTH, LOG_CENTERS, LogHistogram
+from ..distributions import Gaussian, LogNormal10
+from .levenberg_marquardt import FitError, fit_curve
+
+
+def moment_gaussian(hist: LogHistogram) -> Gaussian:
+    """Closed-form Gaussian fit by matching mean and variance in log-space."""
+    if hist.is_empty:
+        raise FitError("cannot fit a Gaussian to an empty histogram")
+    mu = hist.mean_log10()
+    sigma = max(hist.std_log10(), BIN_WIDTH)
+    return Gaussian(mu, sigma)
+
+
+def _gaussian_density(u: np.ndarray, mu: float, sigma: float) -> np.ndarray:
+    sigma = abs(sigma)
+    if sigma < 1e-6:
+        sigma = 1e-6
+    z = (u - mu) / sigma
+    return np.exp(-0.5 * z * z) / (sigma * np.sqrt(2 * np.pi))
+
+
+def fit_main_lognormal(hist: LogHistogram) -> LogNormal10:
+    """Fit the broad-trend log-normal ``f_s(x)`` of Eq (3) to a volume PDF.
+
+    The moment estimate seeds a Levenberg–Marquardt refinement of
+    ``(mu, sigma)`` against the measured log-density.  If the refinement
+    fails to improve (e.g. the PDF is a single spike), the moment fit is
+    returned unchanged.
+    """
+    initial = moment_gaussian(hist)
+    pdf = hist.normalized().density
+    try:
+        result = fit_curve(
+            _gaussian_density,
+            LOG_CENTERS,
+            pdf,
+            p0=[initial.mu, initial.sigma],
+        )
+        mu, sigma = result.params
+        sigma = abs(float(sigma))
+        if not np.isfinite(mu) or sigma < BIN_WIDTH / 4:
+            raise FitError("degenerate refined parameters")
+        return LogNormal10(float(mu), float(sigma))
+    except FitError:
+        return LogNormal10(initial.mu, initial.sigma)

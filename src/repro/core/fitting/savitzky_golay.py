@@ -1,0 +1,123 @@
+"""Savitzky–Golay smoothing and differentiation, implemented from scratch.
+
+Section 5.2 of the paper smooths the first derivative of the residual
+probability with a first-order Savitzky–Golay filter before thresholding it
+to locate the characteristic probability peaks of each service.  We implement
+the filter directly (least-squares polynomial fit over a sliding window,
+realized as a convolution) rather than relying on :mod:`scipy.signal`; the
+unit tests cross-check this implementation against scipy's.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class FilterError(ValueError):
+    """Raised when filter parameters are inconsistent."""
+
+
+def savgol_coefficients(
+    window_length: int, poly_order: int, deriv: int = 0, delta: float = 1.0
+) -> np.ndarray:
+    """Return the convolution kernel of a Savitzky–Golay filter.
+
+    The kernel, applied as ``np.convolve(y, kernel[::-1], mode="same")``
+    (or via :func:`savgol_filter`), evaluates at each point the ``deriv``-th
+    derivative of the least-squares polynomial of degree ``poly_order``
+    fitted to the surrounding ``window_length`` samples spaced by ``delta``.
+
+    Parameters
+    ----------
+    window_length:
+        Odd number of samples in the sliding window.
+    poly_order:
+        Degree of the fitted polynomial; must be < ``window_length``.
+    deriv:
+        Order of the derivative to estimate (0 = smoothing).
+    delta:
+        Sample spacing used to scale derivative estimates.
+    """
+    if window_length % 2 != 1 or window_length < 1:
+        raise FilterError(f"window_length must be odd and >= 1, got {window_length}")
+    if poly_order >= window_length:
+        raise FilterError("poly_order must be smaller than window_length")
+    if deriv > poly_order:
+        raise FilterError("deriv must not exceed poly_order")
+    if delta <= 0:
+        raise FilterError("delta must be positive")
+
+    half = window_length // 2
+    # Vandermonde matrix of offsets around the window center.
+    offsets = np.arange(-half, half + 1, dtype=float)
+    vander = np.vander(offsets, poly_order + 1, increasing=True)
+    # Least-squares projector: coefficients of the fitted polynomial are
+    # pinv(V) @ y; the deriv-th derivative at the center is deriv! * c_deriv.
+    projector = np.linalg.pinv(vander)
+    kernel = projector[deriv] * math.factorial(deriv) / delta**deriv
+    return kernel
+
+
+def savgol_filter(
+    y: np.ndarray,
+    window_length: int,
+    poly_order: int,
+    deriv: int = 0,
+    delta: float = 1.0,
+) -> np.ndarray:
+    """Apply a Savitzky–Golay filter to ``y``.
+
+    Interior points use the convolution kernel from
+    :func:`savgol_coefficients`; near the edges the polynomial is refitted to
+    the available one-sided window (the ``interp``-free exact treatment),
+    matching scipy's ``mode="interp"`` behaviour.
+    """
+    y = np.asarray(y, dtype=float)
+    if y.ndim != 1:
+        raise FilterError("savgol_filter expects a 1-D array")
+    if y.size < window_length:
+        raise FilterError(
+            f"input of size {y.size} shorter than window {window_length}"
+        )
+
+    kernel = savgol_coefficients(window_length, poly_order, deriv, delta)
+    # Correlation of y with the kernel == applying the least-squares stencil.
+    out = np.convolve(y, kernel[::-1], mode="same")
+
+    # Edge correction: fit one polynomial to each end window and evaluate its
+    # derivative at the edge points (this is what scipy's mode="interp" does).
+    half = window_length // 2
+    offsets = np.arange(window_length, dtype=float)
+    vander = np.vander(offsets, poly_order + 1, increasing=True)
+    pinv = np.linalg.pinv(vander)
+
+    head_coeffs = pinv @ y[:window_length]
+    tail_coeffs = pinv @ y[-window_length:]
+    deriv_factor = math.factorial(deriv) / delta**deriv
+
+    for i in range(half):
+        out[i] = _poly_derivative(head_coeffs, float(i), deriv) * deriv_factor
+        j = y.size - 1 - i
+        local = float(window_length - 1 - i)
+        out[j] = _poly_derivative(tail_coeffs, local, deriv) * deriv_factor
+    return out
+
+
+def _poly_derivative(coeffs: np.ndarray, x: float, deriv: int) -> float:
+    """Evaluate the ``deriv``-th derivative of a polynomial at ``x``.
+
+    ``coeffs`` are in increasing-power order; the returned value is already
+    divided by ``deriv!`` (the caller multiplies it back in), so that the
+    ``deriv = 0`` case is a plain polynomial evaluation.
+    """
+    value = 0.0
+    for power in range(deriv, coeffs.size):
+        # Falling factorial power * (power-1) * ... * (power-deriv+1),
+        # divided by deriv! to match the caller's scaling convention.
+        fall = 1.0
+        for k in range(deriv):
+            fall *= power - k
+        value += coeffs[power] * fall * x ** (power - deriv)
+    return value / math.factorial(deriv)

@@ -1,0 +1,148 @@
+"""Collection of fitted per-service models — the released artefact.
+
+The paper publishes one parameter tuple per service for 31 services.  A
+:class:`ModelBank` holds those tuples, fits them from a measurement
+campaign in one call, and round-trips through JSON so the bank can be
+shipped and reloaded without the measurement data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..dataset.aggregation import pooled_duration_volume, pooled_volume_pdf
+from ..dataset.records import SERVICE_NAMES, SessionTable
+from .duration_model import DurationModelError
+from .service_mix import ServiceMix
+from .service_model import ServiceModelError, SessionLevelModel, fit_service_model
+
+#: Minimum number of sessions a service needs in the campaign for a
+#: trustworthy fit; services below it are skipped with a warning entry.
+MIN_SESSIONS_FOR_FIT = 500
+
+
+class ModelBankError(ValueError):
+    """Raised when bank content or serialization is invalid."""
+
+
+class ModelBank:
+    """A set of fitted :class:`SessionLevelModel`, keyed by service name."""
+
+    def __init__(self, models: dict[str, SessionLevelModel] | None = None):
+        self._models: dict[str, SessionLevelModel] = {}
+        for name, model in (models or {}).items():
+            self.add(model)
+            if model.service != name:
+                raise ModelBankError(
+                    f"key {name!r} does not match model service {model.service!r}"
+                )
+
+    def add(self, model: SessionLevelModel) -> None:
+        """Insert or replace the model of one service."""
+        self._models[model.service] = model
+
+    def get(self, service: str) -> SessionLevelModel:
+        """The fitted model of one service."""
+        try:
+            return self._models[service]
+        except KeyError:
+            raise ModelBankError(f"no model for service {service!r}") from None
+
+    def __contains__(self, service: str) -> bool:
+        return service in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def services(self) -> list[str]:
+        """Names of the modelled services, in catalog order."""
+        return [name for name in SERVICE_NAMES if name in self._models]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit_from_table(
+        cls,
+        table: SessionTable,
+        services: list[str] | None = None,
+        min_sessions: int = MIN_SESSIONS_FOR_FIT,
+    ) -> "ModelBank":
+        """Fit one model per service from a measurement campaign.
+
+        Services with fewer than ``min_sessions`` recorded sessions — or
+        whose duration–volume curve is too sparse to regress — are skipped:
+        the paper likewise models only the services with sufficient support.
+        """
+        bank = cls()
+        wanted = services if services is not None else list(SERVICE_NAMES)
+        for name in wanted:
+            sub = table.for_service(name)
+            if len(sub) < min_sessions:
+                continue
+            try:
+                bank.add(
+                    fit_service_model(
+                        name, pooled_volume_pdf(sub), pooled_duration_volume(sub)
+                    )
+                )
+            except (DurationModelError, ServiceModelError):
+                continue
+        return bank
+
+    # ------------------------------------------------------------------
+    def sample_mixed_sessions(
+        self, mix: ServiceMix, rng: np.random.Generator, size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw sessions whose services follow ``mix``.
+
+        Returns (service indices, volumes MB, durations s).  Services in the
+        mix without a fitted model raise — a silent fallback would skew the
+        generated traffic mix.
+        """
+        service_idx = mix.sample(rng, size)
+        volumes = np.empty(size)
+        durations = np.empty(size)
+        for idx in np.unique(service_idx):
+            name = SERVICE_NAMES[idx]
+            model = self.get(name)
+            mask = service_idx == idx
+            batch = model.sample_sessions(rng, int(mask.sum()))
+            volumes[mask] = batch.volumes_mb
+            durations[mask] = batch.durations_s
+        return service_idx, volumes, durations
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize every model to a JSON document."""
+        return json.dumps(
+            {name: model.to_dict() for name, model in self._models.items()},
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelBank":
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ModelBankError(f"invalid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ModelBankError("bank JSON must be an object")
+        return cls(
+            {
+                name: SessionLevelModel.from_dict(entry)
+                for name, entry in payload.items()
+            }
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the bank to a JSON file."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ModelBank":
+        """Read a bank from a JSON file."""
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,170 @@
+"""Packet-level bridge: expand one session into a packet/burst schedule.
+
+Fig 1 places packet-level models *below* session-level ones, and Section 1
+argues the two granularities compose: session-level models say how much
+traffic a session carries and for how long; packet-level models (NGMN-
+style on/off sources, [2][6][31]) say how the bytes are spaced inside it.
+This module implements that composition: given a session's (volume,
+duration) from a fitted :class:`~repro.core.service_model.SessionLevelModel`
+and its behaviour class, it emits a concrete packet schedule whose total
+size equals the session volume *exactly* and whose span fits the session
+duration.
+
+Two intra-session shapes, following the coarse dichotomy of Section 4.3:
+
+* **streaming** — periodic chunk downloads (DASH-like segments): bursts at
+  a fixed period, each a train of MTU packets;
+* **messaging** — on/off bursts with exponential think times between them.
+
+The bridge keeps the paper's contract: it never alters the session-level
+statistics, only refines them downward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.services import BehaviourClass, get_service
+
+#: Maximum transfer unit used for the packet trains, in bytes.
+MTU_BYTES = 1500
+
+#: Streaming chunk period in seconds (a DASH-like segment cadence).
+STREAMING_CHUNK_PERIOD_S = 4.0
+
+#: Mean number of bursts per minute for messaging-like sessions.
+MESSAGING_BURSTS_PER_MINUTE = 4.0
+
+
+class PacketBridgeError(ValueError):
+    """Raised on invalid packetization input."""
+
+
+@dataclass(frozen=True)
+class PacketSchedule:
+    """A concrete packet schedule for one session.
+
+    ``timestamps_s`` are offsets from the session start, sorted;
+    ``sizes_bytes`` are per-packet sizes.  The schedule conserves the
+    session volume exactly.
+    """
+
+    timestamps_s: np.ndarray
+    sizes_bytes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.timestamps_s.shape != self.sizes_bytes.shape:
+            raise PacketBridgeError("timestamps and sizes must align")
+
+    def __len__(self) -> int:
+        return int(self.timestamps_s.size)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all packet sizes."""
+        return int(self.sizes_bytes.sum())
+
+    def inter_arrival_s(self) -> np.ndarray:
+        """Packet inter-arrival times (empty for < 2 packets)."""
+        return np.diff(self.timestamps_s)
+
+    def burst_count(self, gap_threshold_s: float = 0.5) -> int:
+        """Number of bursts, splitting at inter-arrival gaps above the
+        threshold."""
+        if len(self) == 0:
+            return 0
+        return int(1 + np.sum(self.inter_arrival_s() > gap_threshold_s))
+
+
+def _packet_train(
+    start_s: float, n_bytes: int, rate_bps: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """A back-to-back MTU train carrying ``n_bytes`` from ``start_s``."""
+    n_full, tail = divmod(n_bytes, MTU_BYTES)
+    sizes = [MTU_BYTES] * n_full + ([tail] if tail else [])
+    sizes_arr = np.array(sizes, dtype=np.int64)
+    offsets = np.concatenate([[0.0], np.cumsum(sizes_arr[:-1] * 8.0 / rate_bps)])
+    return start_s + offsets, sizes_arr
+
+
+def packetize_session(
+    volume_mb: float,
+    duration_s: float,
+    behaviour: BehaviourClass,
+    rng: np.random.Generator,
+    link_rate_mbps: float = 100.0,
+) -> PacketSchedule:
+    """Expand one session into a packet schedule.
+
+    Parameters
+    ----------
+    volume_mb / duration_s:
+        The session-level quantities (from a fitted model or a trace).
+    behaviour:
+        Coarse class steering the intra-session shape.
+    rng:
+        Source of burst-timing randomness.
+    link_rate_mbps:
+        Line rate at which the bytes of one burst are clocked out.
+    """
+    if volume_mb <= 0:
+        raise PacketBridgeError("volume must be positive")
+    if duration_s <= 0:
+        raise PacketBridgeError("duration must be positive")
+    if link_rate_mbps <= 0:
+        raise PacketBridgeError("link rate must be positive")
+
+    total_bytes = max(int(round(volume_mb * 1e6)), 1)
+    rate_bps = link_rate_mbps * 1e6
+
+    if behaviour is BehaviourClass.STREAMING:
+        n_chunks = max(int(duration_s / STREAMING_CHUNK_PERIOD_S), 1)
+        starts = np.arange(n_chunks) * (duration_s / n_chunks)
+    else:
+        # Messaging and outlier behaviours: randomized burst times.
+        expected = max(
+            duration_s / 60.0 * MESSAGING_BURSTS_PER_MINUTE, 1.0
+        )
+        n_chunks = max(int(rng.poisson(expected)), 1)
+        starts = np.sort(rng.uniform(0.0, duration_s * 0.95, n_chunks))
+
+    # Split the volume across bursts: equal chunks for streaming (constant
+    # quality), Dirichlet-weighted for bursty behaviours.
+    if behaviour is BehaviourClass.STREAMING or n_chunks == 1:
+        per_chunk = np.full(n_chunks, total_bytes // n_chunks, dtype=np.int64)
+        per_chunk[: total_bytes - int(per_chunk.sum())] += 1
+    else:
+        weights = rng.dirichlet(np.full(n_chunks, 1.5))
+        per_chunk = np.floor(weights * total_bytes).astype(np.int64)
+        per_chunk[np.argmax(per_chunk)] += total_bytes - int(per_chunk.sum())
+        per_chunk = np.maximum(per_chunk, 0)
+
+    times, sizes = [], []
+    for start, n_bytes in zip(starts, per_chunk):
+        if n_bytes <= 0:
+            continue
+        t, s = _packet_train(float(start), int(n_bytes), rate_bps)
+        times.append(t)
+        sizes.append(s)
+    timestamps = np.concatenate(times)
+    packet_sizes = np.concatenate(sizes)
+    order = np.argsort(timestamps, kind="stable")
+    return PacketSchedule(
+        timestamps_s=timestamps[order], sizes_bytes=packet_sizes[order]
+    )
+
+
+def packetize_service_session(
+    service: str,
+    volume_mb: float,
+    duration_s: float,
+    rng: np.random.Generator,
+    link_rate_mbps: float = 100.0,
+) -> PacketSchedule:
+    """Packetize using the service's cataloged behaviour class."""
+    behaviour = get_service(service).behaviour
+    return packetize_session(
+        volume_mb, duration_s, behaviour, rng, link_rate_mbps
+    )

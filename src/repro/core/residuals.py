@@ -1,0 +1,240 @@
+"""Residual-peak extraction for the volume mixture model (Section 5.2).
+
+After subtracting the main log-normal trend from a measured volume PDF, the
+remaining positive residual carries the characteristic probability peaks of
+the service.  The paper automates their identification as follows:
+
+1. compute the first derivative of the residual, smoothed with a
+   first-order Savitzky–Golay filter;
+2. record every continuous interval of traffic values within which the
+   magnitude of the derivative stays seamlessly above a threshold —
+   peaks show "a high rate of change over a short traffic interval",
+   whereas broad fit-mismatch ripples have gentle slopes;
+3. rank the intervals by the residual probability they contain (the
+   integral of the residual over the interval) and keep the strongest ones.
+
+Each retained interval becomes a log-normal component: ``mu`` at the
+maximum-probability traffic value of the interval, ``sigma`` set so that
+99.7 % (3 sigma) of the component lies inside the interval, and weight
+``k`` equal to the contained residual probability (Eq 4).
+
+Two implementation notes relative to the paper's description:
+
+* The numeric threshold value depends on the PDF representation.  The paper
+  quotes 1e-5 for its binning; our PDFs are densities per decade on a
+  0.025-decade grid, so the equivalent default is
+  :data:`DERIVATIVE_THRESHOLD` (density change per decade).  The paper's
+  footnote 3 reports the algorithm is robust to this choice; the ablation
+  benchmark sweeps it.
+* At the apex of a peak the derivative crosses zero, briefly dipping below
+  any threshold; runs separated by such hairline gaps are merged so that
+  one peak yields one interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.histogram import BIN_WIDTH, LOG_CENTERS, N_BINS
+from .distributions import LogNormal10
+from .fitting.savitzky_golay import savgol_filter
+
+#: Threshold on |d residual / d u| (density per decade, per decade) above
+#: which a grid bin is considered part of a peak's steep flank.  The value
+#: is calibrated for the 0.025-decade global grid (the ablation benchmark
+#: sweeps it; extraction is stable over roughly 0.3–1.5).
+DERIVATIVE_THRESHOLD = 0.5
+
+#: Residual peaks lighter than this are noise, not service behaviour
+#: (Section 5.4: "the rare additional peaks have negligible weight k below
+#: 1e-4").
+MIN_PEAK_WEIGHT = 1e-4
+
+#: Maximum number of modelled residual peaks (Section 5.4 limits models to 3).
+MAX_PEAKS = 3
+
+#: Window of the Savitzky–Golay derivative smoother, in grid bins.
+SAVGOL_WINDOW = 7
+
+#: Active runs separated by at most this many inactive bins are merged
+#: (bridges the derivative zero-crossing at each peak apex).
+MERGE_GAP_BINS = 3
+
+
+class ResidualError(ValueError):
+    """Raised on malformed residual input."""
+
+
+@dataclass(frozen=True)
+class ResidualPeak:
+    """One characteristic probability peak extracted from a residual.
+
+    ``weight`` is the scaling ``k_{s,n}`` of Eq (4); ``mu``/``sigma`` are in
+    ``log10(MB)``; ``u_lo``/``u_hi`` delimit the source interval on the
+    log-volume axis.
+    """
+
+    weight: float
+    mu: float
+    sigma: float
+    u_lo: float
+    u_hi: float
+
+    def component(self) -> LogNormal10:
+        """The peak as a log-normal distribution."""
+        return LogNormal10(self.mu, self.sigma)
+
+    def pdf_log10(self, u) -> np.ndarray:
+        """The scaled peak density ``f_{s,n}`` of Eq (4)."""
+        return self.weight * self.component().pdf_log10(u)
+
+
+def smoothed_derivative(residual: np.ndarray) -> np.ndarray:
+    """First derivative of the residual, Savitzky–Golay smoothed (step 1)."""
+    residual = np.asarray(residual, dtype=float)
+    if residual.shape != (N_BINS,):
+        raise ResidualError(f"residual must live on the global grid ({N_BINS} bins)")
+    return savgol_filter(
+        residual, SAVGOL_WINDOW, poly_order=1, deriv=1, delta=BIN_WIDTH
+    )
+
+
+def _active_intervals(
+    mask: np.ndarray, merge_gap: int, residual: np.ndarray
+) -> list[tuple[int, int]]:
+    """Continuous True runs of ``mask``, merging across apex zero-crossings.
+
+    Two adjacent runs are the rising and falling flank of a *single* peak
+    when the short gap between them sits at the peak's apex — i.e. the
+    residual stays high across the gap.  A gap where the residual dips
+    (a valley) separates two distinct peaks and is never merged.
+    Returns (start, end) index pairs with ``end`` exclusive.
+    """
+    raw: list[tuple[int, int]] = []
+    start = None
+    for i, active in enumerate(mask):
+        if active and start is None:
+            start = i
+        elif not active and start is not None:
+            raw.append((start, i))
+            start = None
+    if start is not None:
+        raw.append((start, mask.size))
+
+    merged: list[tuple[int, int]] = []
+    for interval in raw:
+        if merged and interval[0] - merged[-1][1] <= merge_gap:
+            previous = merged[-1]
+            gap_floor = residual[previous[1] : interval[0]].min(initial=np.inf)
+            flank_top = min(
+                residual[previous[0] : previous[1]].max(),
+                residual[interval[0] : interval[1]].max(),
+            )
+            if gap_floor >= 0.5 * flank_top:
+                merged[-1] = (previous[0], interval[1])
+                continue
+        merged.append(interval)
+    return merged
+
+
+#: How far (in bins) an interval may be extended beyond the thresholded
+#: flanks while the residual keeps descending (captures the peak's skirt).
+MAX_EXTENSION_BINS = 12
+
+
+def _extend_to_local_minima(
+    residual: np.ndarray, start: int, end: int
+) -> tuple[int, int]:
+    """Grow an interval outward while the residual keeps falling.
+
+    The derivative threshold marks only the steep flanks of a peak; the
+    probability mass in its skirt belongs to the peak too.  Extension stops
+    at the first local minimum (or after :data:`MAX_EXTENSION_BINS`), so
+    neighbouring peaks are never absorbed.
+    """
+    lo = start
+    while (
+        lo > 0
+        and start - lo < MAX_EXTENSION_BINS
+        and residual[lo - 1] < residual[lo]
+        and residual[lo - 1] > 0
+    ):
+        lo -= 1
+    hi = end
+    while (
+        hi < residual.size
+        and hi - end < MAX_EXTENSION_BINS
+        and residual[hi] < residual[hi - 1]
+        and residual[hi] > 0
+    ):
+        hi += 1
+    return lo, hi
+
+
+def find_residual_peaks(
+    residual: np.ndarray,
+    max_peaks: int = MAX_PEAKS,
+    derivative_threshold: float = DERIVATIVE_THRESHOLD,
+    min_weight: float = MIN_PEAK_WEIGHT,
+) -> list[ResidualPeak]:
+    """Extract the characteristic peaks of a residual density (steps 2–3).
+
+    Parameters
+    ----------
+    residual:
+        Non-negative residual density over the global log-volume grid.
+    max_peaks:
+        Cap on the number of returned peaks (paper: 3).
+    derivative_threshold:
+        Threshold on the magnitude of the smoothed derivative.
+    min_weight:
+        Peaks whose contained probability is below this are dropped.
+
+    Returns
+    -------
+    Peaks sorted by decreasing weight.
+    """
+    residual = np.asarray(residual, dtype=float)
+    if np.any(residual < -1e-12):
+        raise ResidualError("residual must be non-negative")
+    residual = np.clip(residual, 0.0, None)
+    if max_peaks <= 0 or not np.any(residual > 0):
+        return []
+
+    derivative = smoothed_derivative(residual)
+    mask = np.abs(derivative) > derivative_threshold
+
+    candidates: list[ResidualPeak] = []
+    for core_start, core_end in _active_intervals(mask, MERGE_GAP_BINS, residual):
+        # The thresholded run covers the steep flanks and sizes the peak
+        # (sigma from the paper's 0.997 * span / 3 rule); the skirt
+        # extension only collects the remaining probability mass.
+        start, end = _extend_to_local_minima(residual, core_start, core_end)
+        weight = float(residual[start:end].sum() * BIN_WIDTH)
+        if weight < min_weight:
+            continue
+        local = residual[start:end]
+        apex = float(local.max())
+        mu = float(LOG_CENTERS[start + int(np.argmax(local))])
+        # For a Gaussian peak, mass = apex * sigma * sqrt(2 pi) exactly, so
+        # sigma follows from the observed apex height; the paper's
+        # 0.997 * span / 3 rule (99.7 % of the mass within the interval)
+        # serves as an upper cap for flat-topped residuals.
+        span_cap = 0.997 * (end - start) * BIN_WIDTH / 3.0
+        sigma = weight / (apex * math.sqrt(2.0 * math.pi))
+        sigma = float(np.clip(sigma, BIN_WIDTH / 2.0, max(span_cap, BIN_WIDTH)))
+        candidates.append(
+            ResidualPeak(
+                weight=weight,
+                mu=mu,
+                sigma=sigma,
+                u_lo=float(LOG_CENTERS[start]),
+                u_hi=float(LOG_CENTERS[end - 1]),
+            )
+        )
+
+    candidates.sort(key=lambda p: p.weight, reverse=True)
+    return candidates[:max_peaks]

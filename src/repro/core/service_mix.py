@@ -1,0 +1,83 @@
+"""Per-service breakdown of session arrivals (Section 5.1, Table 1).
+
+The paper observes that the share of sessions induced by each service is
+nearly constant across BSs and time (session-share CV ≈ 1 across the
+network), and therefore assigns each newly established session to a service
+by sampling the Table 1 session shares.  :class:`ServiceMix` implements that
+categorical assignment, either from the published table or re-estimated from
+a measurement table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataset.records import SERVICE_INDEX, SERVICE_NAMES, SessionTable
+from ..dataset.services import session_share_fractions
+
+
+class ServiceMixError(ValueError):
+    """Raised when a service mix is malformed."""
+
+
+class ServiceMix:
+    """Categorical distribution assigning new sessions to services."""
+
+    def __init__(self, probabilities: dict[str, float]):
+        unknown = set(probabilities) - set(SERVICE_NAMES)
+        if unknown:
+            raise ServiceMixError(f"unknown services: {sorted(unknown)}")
+        vector = np.zeros(len(SERVICE_NAMES))
+        for name, p in probabilities.items():
+            if p < 0:
+                raise ServiceMixError(f"negative probability for {name}")
+            vector[SERVICE_INDEX[name]] = p
+        total = vector.sum()
+        if total <= 0:
+            raise ServiceMixError("at least one probability must be positive")
+        self._probs = vector / total
+
+    @classmethod
+    def from_table1(cls) -> "ServiceMix":
+        """The published Table 1 session shares."""
+        return cls(session_share_fractions())
+
+    @classmethod
+    def from_measurements(cls, table: SessionTable) -> "ServiceMix":
+        """Empirical session shares of a measurement table."""
+        if len(table) == 0:
+            raise ServiceMixError("empty measurement table")
+        counts = np.bincount(table.service_idx, minlength=len(SERVICE_NAMES))
+        return cls(
+            {name: float(counts[i]) for i, name in enumerate(SERVICE_NAMES)}
+        )
+
+    @classmethod
+    def uniform_over(cls, services: list[str]) -> "ServiceMix":
+        """Uniform mix over a subset of services (used by the benchmarks,
+        which split a category's share uniformly across its services)."""
+        if not services:
+            raise ServiceMixError("need at least one service")
+        return cls({name: 1.0 for name in services})
+
+    def probability(self, service: str) -> float:
+        """Probability that a new session belongs to ``service``."""
+        if service not in SERVICE_INDEX:
+            raise ServiceMixError(f"unknown service {service!r}")
+        return float(self._probs[SERVICE_INDEX[service]])
+
+    def probabilities(self) -> np.ndarray:
+        """The full probability vector in catalog order."""
+        return self._probs.copy()
+
+    def restricted_to(self, services: list[str]) -> "ServiceMix":
+        """Renormalized mix over a subset of services."""
+        return ServiceMix({name: self.probability(name) for name in services})
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` service indices (into ``SERVICE_NAMES``)."""
+        return rng.choice(len(SERVICE_NAMES), size=size, p=self._probs)
+
+    def sample_names(self, rng: np.random.Generator, size: int) -> list[str]:
+        """Draw ``size`` service names."""
+        return [SERVICE_NAMES[i] for i in self.sample(rng, size)]

@@ -1,0 +1,318 @@
+"""Log-normal mixture model of the per-session traffic volume (Section 5.2).
+
+The model ``F~_s(x)`` of Eq (5) is assembled in three steps, mirrored by
+:func:`fit_volume_model`:
+
+1. fit the broad trend with a single log-normal ``f_s`` (Eq 3) and take the
+   positive residual of the measurement against it;
+2. locate the characteristic residual peaks
+   (:mod:`repro.core.residuals`);
+3. model each retained peak as a scaled log-normal ``f_{s,n}`` (Eq 4) and
+   compose ``F~_s = (f_s + sum_n f_{s,n}) / (1 + sum_n k_{s,n})`` (Eq 5).
+
+Compared to generic mixture fitting (e.g. EM), this decomposition yields
+compact models whose components have a clear semantic: one main trend plus
+a handful of characteristic peaks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+_LN10 = math.log(10.0)
+
+from ..analysis.emd import emd
+from ..analysis.histogram import LOG_CENTERS as LOG_CENTERS_
+from ..analysis.histogram import LogHistogram
+from .distributions import LogNormal10, LogNormalMixture
+from .fitting.gaussian_fit import fit_main_lognormal
+from .residuals import (
+    DERIVATIVE_THRESHOLD,
+    MAX_PEAKS,
+    MIN_PEAK_WEIGHT,
+    ResidualPeak,
+    find_residual_peaks,
+)
+
+
+class VolumeModelError(ValueError):
+    """Raised when a volume model is malformed."""
+
+
+@dataclass(frozen=True)
+class VolumeModel:
+    """The fitted mixture ``F~_s(x)`` of Eq (5).
+
+    Attributes
+    ----------
+    main:
+        The broad-trend log-normal ``f_s`` (weight 1 before normalization).
+    peaks:
+        The residual peaks, each carrying its weight ``k_{s,n}``.
+    """
+
+    main: LogNormal10
+    peaks: tuple[ResidualPeak, ...] = ()
+
+    @property
+    def total_peak_weight(self) -> float:
+        """``sum_n k_{s,n}`` — the normalization surplus of Eq (5)."""
+        return sum(p.weight for p in self.peaks)
+
+    def pdf_log10(self, u) -> np.ndarray:
+        """Model density over ``u = log10(x)`` — Eq (5)."""
+        u = np.asarray(u, dtype=float)
+        density = self.main.pdf_log10(u).copy()
+        for peak in self.peaks:
+            density += peak.pdf_log10(u)
+        return density / (1.0 + self.total_peak_weight)
+
+    def as_mixture(self) -> LogNormalMixture:
+        """The model as a normalized sampling-ready mixture."""
+        components = [self.main] + [p.component() for p in self.peaks]
+        weights = [1.0] + [p.weight for p in self.peaks]
+        return LogNormalMixture.from_unnormalized(components, weights)
+
+    def as_histogram(self) -> LogHistogram:
+        """The model discretized on the global grid."""
+        return LogHistogram.from_log_density(self.pdf_log10).normalized()
+
+    def sample_volumes_mb(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Draw per-session volumes in MB from the model."""
+        return self.as_mixture().sample(rng, size=size)
+
+    def error_against(self, measured: LogHistogram) -> float:
+        """EMD between the model and a measured PDF (the Section 5.4
+        quality metric, reported in the order of 1e-5 in the paper)."""
+        return emd(self.as_histogram(), measured)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable parameter tuple [mu, sigma, {k, mu, sigma}_n]."""
+        return {
+            "mu": self.main.mu,
+            "sigma": self.main.sigma,
+            "peaks": [
+                {
+                    "k": p.weight,
+                    "mu": p.mu,
+                    "sigma": p.sigma,
+                    "u_lo": p.u_lo,
+                    "u_hi": p.u_hi,
+                }
+                for p in self.peaks
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VolumeModel":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            main = LogNormal10(float(payload["mu"]), float(payload["sigma"]))
+            peaks = tuple(
+                ResidualPeak(
+                    weight=float(p["k"]),
+                    mu=float(p["mu"]),
+                    sigma=float(p["sigma"]),
+                    u_lo=float(p.get("u_lo", p["mu"])),
+                    u_hi=float(p.get("u_hi", p["mu"])),
+                )
+                for p in payload.get("peaks", [])
+            )
+        except (KeyError, TypeError) as exc:
+            raise VolumeModelError(f"malformed volume model payload: {exc}") from exc
+        return cls(main=main, peaks=peaks)
+
+
+@dataclass(frozen=True)
+class DecompositionTrace:
+    """Intermediate artefacts of the three fitting steps (the Fig 9 panes)."""
+
+    measured: LogHistogram
+    main: LogNormal10
+    residual: np.ndarray
+    peaks: tuple[ResidualPeak, ...]
+    model: VolumeModel
+
+
+#: Calibration modes of the final fitting step.
+CALIBRATION_MODES = ("none", "mean", "quantile")
+
+
+def fit_volume_model(
+    measured: LogHistogram,
+    max_peaks: int = MAX_PEAKS,
+    derivative_threshold: float = DERIVATIVE_THRESHOLD,
+    min_peak_weight: float = MIN_PEAK_WEIGHT,
+    n_refinements: int = 1,
+    calibration: str = "mean",
+    calibration_quantile: float = 0.95,
+) -> VolumeModel:
+    """Fit the Eq (5) mixture to a measured volume PDF."""
+    return decompose_volume_pdf(
+        measured,
+        max_peaks,
+        derivative_threshold,
+        min_peak_weight,
+        n_refinements,
+        calibration,
+        calibration_quantile,
+    ).model
+
+
+def _calibrate_main_sigma(
+    model: VolumeModel,
+    measured: LogHistogram,
+    mode: str,
+    quantile: float,
+) -> VolumeModel:
+    """Recalibrate the main component's sigma against the measured tail.
+
+    A symmetric log-normal fitted by least squares to a left-skewed
+    measured PDF systematically mis-sizes the right tail, which carries
+    most of the traffic load.  This optional final step (an implementation
+    extension over the paper's three modeling steps; the ablation benchmark
+    compares the modes) keeps the fitted ``mu`` and the peaks, and adjusts
+    only ``sigma``:
+
+    * ``"mean"``: closed-form match of the model's analytic mean session
+      volume to the measured mean — exact load fidelity;
+    * ``"quantile"``: bisection on sigma until the model's ``quantile``
+      matches the measured one;
+    * ``"none"``: keep the least-squares sigma.
+    """
+    if mode == "none":
+        return model
+    if mode == "mean":
+        measured_mean = measured.mean_mb()
+        k_total = model.total_peak_weight
+        peak_mass = sum(
+            p.weight * math.exp(p.mu * _LN10 + (p.sigma * _LN10) ** 2 / 2.0)
+            for p in model.peaks
+        )
+        main_target = measured_mean * (1.0 + k_total) - peak_mass
+        if main_target <= 0:
+            # The peaks alone already carry more mean volume than measured;
+            # no main component can compensate — keep the raw fit.
+            return model
+        # The main mean exp(mu ln10 + (sigma ln10)^2/2) is minimized at
+        # sigma -> 0, i.e. at the median 10**mu; when the target sits below
+        # that floor no sigma solves it — shift mu instead (keeping the
+        # fitted sigma), which always has a solution.
+        if main_target <= 10.0**model.main.mu:
+            mu = (
+                math.log(main_target) - (model.main.sigma * _LN10) ** 2 / 2.0
+            ) / _LN10
+            return VolumeModel(
+                LogNormal10(mu, model.main.sigma), model.peaks
+            )
+        sigma = math.sqrt(
+            2.0 * (math.log(main_target) - model.main.mu * _LN10)
+        ) / _LN10
+        return VolumeModel(LogNormal10(model.main.mu, sigma), model.peaks)
+    if mode == "quantile":
+        if not 0.5 < quantile < 1.0:
+            raise VolumeModelError("calibration quantile must be in (0.5, 1)")
+        target = math.log10(measured.quantile_mb(quantile))
+        lo, hi = model.main.sigma * 0.4, model.main.sigma * 3.0
+        for _ in range(40):
+            mid = 0.5 * (lo + hi)
+            trial = VolumeModel(LogNormal10(model.main.mu, mid), model.peaks)
+            if math.log10(trial.as_histogram().quantile_mb(quantile)) < target:
+                lo = mid
+            else:
+                hi = mid
+        return VolumeModel(
+            LogNormal10(model.main.mu, 0.5 * (lo + hi)), model.peaks
+        )
+    raise VolumeModelError(
+        f"unknown calibration mode {mode!r}; pick one of {CALIBRATION_MODES}"
+    )
+
+
+def decompose_volume_pdf(
+    measured: LogHistogram,
+    max_peaks: int = MAX_PEAKS,
+    derivative_threshold: float = DERIVATIVE_THRESHOLD,
+    min_peak_weight: float = MIN_PEAK_WEIGHT,
+    n_refinements: int = 1,
+    calibration: str = "mean",
+    calibration_quantile: float = 0.95,
+) -> DecompositionTrace:
+    """Run the three modeling steps, keeping every intermediate artefact.
+
+    This is the function behind the Fig 9 benchmark: it exposes the main
+    component, the residual curve and the retained peaks, not only the
+    final model.
+
+    ``n_refinements`` adds an implementation refinement on top of the
+    paper's three steps: after the peaks are extracted, the main component
+    is refitted against the peak-subtracted PDF (Eq (5) solved for ``f_s``
+    given the ``f_{s,n}``) and the peaks re-extracted against the refined
+    main.  Without it, heavy characteristic peaks broaden the main fit and
+    inflate the modelled tail; the component semantics are unchanged.  The
+    ablation benchmark sweeps this parameter.
+    """
+    measured = measured.normalized()
+
+    # Step 1: broad trend + positive residual.
+    main = fit_main_lognormal(measured)
+    main_hist = LogHistogram.from_log_density(main.pdf_log10)
+    residual = measured.residual_against(main_hist)
+
+    # Step 2: characteristic peaks of the residual.
+    peaks = find_residual_peaks(
+        residual,
+        max_peaks=max_peaks,
+        derivative_threshold=derivative_threshold,
+        min_weight=min_peak_weight,
+    )
+
+    for _ in range(max(n_refinements, 0)):
+        if not peaks:
+            break
+        # Solve Eq (5) for the main component given the current peaks:
+        # f_s ≈ measured * (1 + sum k_n) - sum f_{s,n}, then refit.
+        k_total = sum(p.weight for p in peaks)
+        peak_density = np.zeros_like(measured.density)
+        for peak in peaks:
+            peak_density += peak.pdf_log10(LOG_CENTERS_)
+        target = np.clip(
+            measured.density * (1.0 + k_total) - peak_density, 0.0, None
+        )
+        if target.sum() <= 0:
+            break
+        main = fit_main_lognormal(
+            LogHistogram(target, n_samples=measured.n_samples).normalized()
+        )
+        main_hist = LogHistogram.from_log_density(main.pdf_log10)
+        residual = np.clip(
+            measured.density * (1.0 + k_total) - main_hist.density, 0.0, None
+        )
+        peaks = find_residual_peaks(
+            residual,
+            max_peaks=max_peaks,
+            derivative_threshold=derivative_threshold,
+            min_weight=min_peak_weight,
+        )
+
+    # Step 3: compose the mixture (Eq 5) and calibrate the tail.
+    model = _calibrate_main_sigma(
+        VolumeModel(main=main, peaks=tuple(peaks)),
+        measured,
+        calibration,
+        calibration_quantile,
+    )
+    main = model.main
+    return DecompositionTrace(
+        measured=measured,
+        main=main,
+        residual=residual,
+        peaks=tuple(peaks),
+        model=model,
+    )

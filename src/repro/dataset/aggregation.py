@@ -1,0 +1,334 @@
+"""Aggregation of raw sessions into the paper's per-(s, c, t) statistics.
+
+Section 3.2: for every service ``s``, BS ``c`` and day ``t`` the dataset
+keeps (i) the number of sessions arriving each minute ``w_s^{c,m}`` (and its
+daily total ``w_s^{c,t}``), (ii) the PDF of the per-session traffic volume
+``F_s^{c,t}(x)`` and (iii) pairs of discretized duration and mean traffic
+volume ``v_s^{c,t}(d)``.  This module computes exactly those objects from a
+:class:`~repro.dataset.records.SessionTable`, plus fast *pooled* variants
+that merge over any subset of BSs and days in one pass (mathematically
+identical to the weighted averages of Section 3.3, since the weights are the
+session counts themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.histogram import (
+    BIN_WIDTH,
+    LOG_GRID,
+    LOG_U_MAX,
+    LOG_U_MIN,
+    N_BINS,
+    LogHistogram,
+)
+from .records import SERVICE_INDEX, SERVICE_NAMES, SessionTable
+
+#: Number of discretized duration bins of the v(d) pairs.
+N_DURATION_BINS = 40
+#: Geometric duration bin edges, 1 second .. 24 hours.
+DURATION_EDGES = np.geomspace(1.0, 86400.0, N_DURATION_BINS + 1)
+#: Geometric centers of the duration bins (seconds).
+DURATION_CENTERS = np.sqrt(DURATION_EDGES[:-1] * DURATION_EDGES[1:])
+
+
+class AggregationError(ValueError):
+    """Raised when aggregation input is inconsistent."""
+
+
+@dataclass
+class DurationVolumeCurve:
+    """Discretized duration – mean traffic volume pairs ``v(d)``.
+
+    ``mean_volume_mb[i]`` is the mean served volume of sessions whose
+    duration falls in bin ``i``; ``counts[i]`` is how many sessions back
+    that mean (zero marks an empty bin).
+    """
+
+    mean_volume_mb: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.mean_volume_mb = np.asarray(self.mean_volume_mb, dtype=float)
+        self.counts = np.asarray(self.counts, dtype=float)
+        if self.mean_volume_mb.shape != (N_DURATION_BINS,):
+            raise AggregationError("mean_volume_mb must have one value per bin")
+        if self.counts.shape != (N_DURATION_BINS,):
+            raise AggregationError("counts must have one value per bin")
+
+    @classmethod
+    def from_sessions(
+        cls, durations_s: np.ndarray, volumes_mb: np.ndarray
+    ) -> "DurationVolumeCurve":
+        """Build the curve directly from raw per-session arrays.
+
+        The entry point for downstream users with their own session data
+        (e.g. read from a trace): durations are binned on the global
+        geometric grid and the mean volume per bin computed.
+        """
+        durations_s = np.asarray(durations_s, dtype=float)
+        volumes_mb = np.asarray(volumes_mb, dtype=float)
+        if durations_s.shape != volumes_mb.shape:
+            raise AggregationError("durations and volumes must align")
+        if durations_s.size == 0:
+            return cls(np.zeros(N_DURATION_BINS), np.zeros(N_DURATION_BINS))
+        if np.any(durations_s <= 0) or np.any(volumes_mb <= 0):
+            raise AggregationError("durations and volumes must be positive")
+        bins = _digitize_durations(durations_s)
+        sums = np.bincount(bins, weights=volumes_mb, minlength=N_DURATION_BINS)
+        counts = np.bincount(bins, minlength=N_DURATION_BINS)
+        means = np.zeros(N_DURATION_BINS)
+        observed = counts > 0
+        means[observed] = sums[observed] / counts[observed]
+        return cls(means, counts.astype(float))
+
+    @property
+    def durations_s(self) -> np.ndarray:
+        """Duration bin centers in seconds."""
+        return DURATION_CENTERS
+
+    def observed(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (durations, mean volumes, counts) of the non-empty bins."""
+        mask = self.counts > 0
+        return DURATION_CENTERS[mask], self.mean_volume_mb[mask], self.counts[mask]
+
+    def throughput_mbps(self) -> tuple[np.ndarray, np.ndarray]:
+        """Mean throughput (Mbit/s) per observed duration bin."""
+        durations, volumes, _ = self.observed()
+        return durations, volumes * 8.0 / durations
+
+
+@dataclass
+class ServiceDayStats:
+    """The (s, c, t) statistics tuple of Section 3.2.
+
+    Attributes
+    ----------
+    service / bs_id / day:
+        The aggregation key.
+    n_sessions:
+        Daily session count ``w_s^{c,t}`` — the weight of Eqs (1)–(2).
+    volume_counts:
+        Session counts per bin of the global log-volume grid; divide by
+        ``n_sessions * BIN_WIDTH`` for the PDF ``F_s^{c,t}(x)``.
+    dv_sums / dv_counts:
+        Per-duration-bin volume sums and session counts backing
+        ``v_s^{c,t}(d)``.
+    minute_counts:
+        Per-minute arrival counts ``w_s^{c,m}`` (length 1440).
+    """
+
+    service: str
+    bs_id: int
+    day: int
+    n_sessions: int
+    volume_counts: np.ndarray
+    dv_sums: np.ndarray
+    dv_counts: np.ndarray
+    minute_counts: np.ndarray
+
+    def volume_pdf(self) -> LogHistogram:
+        """The volume PDF ``F_s^{c,t}(x)`` as a :class:`LogHistogram`."""
+        if self.n_sessions == 0:
+            return LogHistogram.empty()
+        density = self.volume_counts / (self.n_sessions * BIN_WIDTH)
+        return LogHistogram(density, n_samples=float(self.n_sessions))
+
+    def duration_volume(self) -> DurationVolumeCurve:
+        """The pairs ``v_s^{c,t}(d)``."""
+        means = np.zeros(N_DURATION_BINS)
+        mask = self.dv_counts > 0
+        means[mask] = self.dv_sums[mask] / self.dv_counts[mask]
+        return DurationVolumeCurve(means, self.dv_counts.astype(float))
+
+
+def _digitize_volumes(volumes_mb: np.ndarray) -> np.ndarray:
+    """Map volumes to global log-grid bin indices (clipped to the grid)."""
+    u = np.clip(np.log10(volumes_mb), LOG_U_MIN, LOG_U_MAX - 1e-9)
+    return np.minimum(
+        ((u - LOG_U_MIN) / BIN_WIDTH).astype(np.int64), N_BINS - 1
+    )
+
+
+def _digitize_durations(durations_s: np.ndarray) -> np.ndarray:
+    """Map durations to duration-bin indices (clipped to the bins)."""
+    idx = np.searchsorted(DURATION_EDGES, durations_s, side="right") - 1
+    return np.clip(idx, 0, N_DURATION_BINS - 1)
+
+
+def aggregate_per_bs_day(table: SessionTable) -> list[ServiceDayStats]:
+    """Compute the full (s, c, t) statistics of every key present in a table."""
+    if len(table) == 0:
+        return []
+    n_bs = int(table.bs_id.max()) + 1
+    n_days = int(table.day.max()) + 1
+    key = (
+        table.service_idx.astype(np.int64) * n_bs + table.bs_id
+    ) * n_days + table.day
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    boundaries = np.flatnonzero(np.diff(sorted_key)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [len(table)]])
+
+    volumes = table.volume_mb.astype(float)[order]
+    durations = table.duration_s.astype(float)[order]
+    minutes = table.start_minute[order]
+    vol_bins = _digitize_volumes(volumes)
+    dur_bins = _digitize_durations(durations)
+
+    stats: list[ServiceDayStats] = []
+    for start, end in zip(starts, ends):
+        k = int(sorted_key[start])
+        day = k % n_days
+        bs_id = (k // n_days) % n_bs
+        service_idx = k // (n_days * n_bs)
+        n = end - start
+        stats.append(
+            ServiceDayStats(
+                service=SERVICE_NAMES[service_idx],
+                bs_id=bs_id,
+                day=day,
+                n_sessions=int(n),
+                volume_counts=np.bincount(
+                    vol_bins[start:end], minlength=N_BINS
+                ).astype(np.uint32),
+                dv_sums=np.bincount(
+                    dur_bins[start:end],
+                    weights=volumes[start:end],
+                    minlength=N_DURATION_BINS,
+                ),
+                dv_counts=np.bincount(
+                    dur_bins[start:end], minlength=N_DURATION_BINS
+                ).astype(np.uint32),
+                minute_counts=np.bincount(
+                    minutes[start:end], minlength=1440
+                ).astype(np.uint32),
+            )
+        )
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Pooled fast paths.  Pooling raw sessions over a set of (c, t) keys is
+# *exactly* the session-count-weighted average of the per-(c, t) statistics:
+# for PDFs, sum(w_ct * F_ct) / sum(w_ct) = pooled_counts / (N * BIN_WIDTH),
+# which is Eq (2); the analogous identity holds for Eq (1).
+# ----------------------------------------------------------------------
+
+def pooled_volume_pdf(table: SessionTable) -> LogHistogram:
+    """Volume PDF of all sessions in a table — Eq (2) over its (c, t) keys."""
+    if len(table) == 0:
+        return LogHistogram.empty()
+    bins = _digitize_volumes(table.volume_mb.astype(float))
+    counts = np.bincount(bins, minlength=N_BINS)
+    return LogHistogram(
+        counts / (len(table) * BIN_WIDTH), n_samples=float(len(table))
+    )
+
+
+def pooled_duration_volume(table: SessionTable) -> DurationVolumeCurve:
+    """Duration–volume pairs of all sessions in a table — Eq (1)."""
+    if len(table) == 0:
+        return DurationVolumeCurve(
+            np.zeros(N_DURATION_BINS), np.zeros(N_DURATION_BINS)
+        )
+    bins = _digitize_durations(table.duration_s.astype(float))
+    sums = np.bincount(
+        bins, weights=table.volume_mb.astype(float), minlength=N_DURATION_BINS
+    )
+    counts = np.bincount(bins, minlength=N_DURATION_BINS)
+    means = np.zeros(N_DURATION_BINS)
+    mask = counts > 0
+    means[mask] = sums[mask] / counts[mask]
+    return DurationVolumeCurve(means, counts.astype(float))
+
+
+def minute_arrival_counts(
+    table: SessionTable, bs_ids, n_days: int
+) -> np.ndarray:
+    """Per-minute arrival counts over all (BS, day, minute) slots.
+
+    Returns a flat array of length ``len(bs_ids) * n_days * 1440`` including
+    the zero-arrival minutes — the samples whose PDF is plotted in Fig 3.
+    Arrivals are counted across all services, as in Section 4.1.
+    """
+    bs_ids = list(bs_ids)
+    if not bs_ids:
+        raise AggregationError("need at least one BS")
+    sub = table.for_bs_ids(bs_ids)
+    bs_pos = {bs: i for i, bs in enumerate(bs_ids)}
+    positions = np.array([bs_pos[b] for b in sub.bs_id], dtype=np.int64)
+    slot = (positions * n_days + sub.day) * 1440 + sub.start_minute
+    return np.bincount(slot, minlength=len(bs_ids) * n_days * 1440)
+
+
+def service_shares(table: SessionTable) -> dict[str, tuple[float, float]]:
+    """Per-service (session share, traffic share), both as fractions.
+
+    This regenerates the two share columns of Table 1 from raw sessions.
+    """
+    if len(table) == 0:
+        raise AggregationError("cannot compute shares of an empty table")
+    session_counts = np.bincount(
+        table.service_idx, minlength=len(SERVICE_NAMES)
+    ).astype(float)
+    traffic = np.bincount(
+        table.service_idx,
+        weights=table.volume_mb.astype(float),
+        minlength=len(SERVICE_NAMES),
+    )
+    session_share = session_counts / session_counts.sum()
+    traffic_share = traffic / traffic.sum()
+    return {
+        name: (float(session_share[i]), float(traffic_share[i]))
+        for i, name in enumerate(SERVICE_NAMES)
+    }
+
+
+def share_variability(
+    table: SessionTable, service: str
+) -> tuple[float, float]:
+    """CV of a service's session and traffic shares across (BS, day) cells.
+
+    This is the Table 1 "(CV)" column: the expected diversity of the share
+    contributed by the service across different portions of the network.
+    Cells with no sessions at all are skipped (no share is defined there).
+    """
+    if len(table) == 0:
+        raise AggregationError("empty table")
+    if service not in SERVICE_INDEX:
+        raise AggregationError(f"unknown service {service!r}")
+    idx = SERVICE_INDEX[service]
+    n_days = int(table.day.max()) + 1
+    cell = table.bs_id.astype(np.int64) * n_days + table.day
+    n_cells = int(cell.max()) + 1
+
+    total_sessions = np.bincount(cell, minlength=n_cells).astype(float)
+    total_traffic = np.bincount(
+        cell, weights=table.volume_mb.astype(float), minlength=n_cells
+    )
+    is_service = table.service_idx == idx
+    svc_sessions = np.bincount(
+        cell[is_service], minlength=n_cells
+    ).astype(float)
+    svc_traffic = np.bincount(
+        cell[is_service],
+        weights=table.volume_mb.astype(float)[is_service],
+        minlength=n_cells,
+    )
+
+    active = total_sessions > 0
+    session_shares = svc_sessions[active] / total_sessions[active]
+    traffic_shares = svc_traffic[active] / np.clip(total_traffic[active], 1e-12, None)
+
+    def cv(samples: np.ndarray) -> float:
+        mean = samples.mean()
+        if mean == 0:
+            return float("nan")
+        return float(samples.std(ddof=0) / mean)
+
+    return cv(session_shares), cv(traffic_shares)

@@ -1,0 +1,218 @@
+"""Application-layer sessions: groups of related transport sessions.
+
+The paper models *individual* transport-layer sessions and explicitly
+defers the higher layer to future work (footnote 1 and Section 7): "a
+single application may establish multiple transport-layer sessions ...
+over time (e.g., a messaging service initiating new sessions at every time
+the user switches to a new chat) or in parallel (e.g., a large file
+transfer application opening multiple FTP sessions)".
+
+This module implements that future-work layer on top of the substrate:
+an application-layer session is expanded into one or more transport
+sessions, either *sequential* (separated by think-time gaps) or *parallel*
+(overlapping connections splitting the volume), and the grouping is kept
+so the relationship between sibling flows can be analysed.
+
+The expansion conserves the application session's total volume and shifts
+the flow-size distribution accordingly — exactly the effect a study of
+application-layer dynamics would quantify against the paper's
+transport-level models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .profiles import get_profile
+from .records import SERVICE_INDEX, SERVICE_NAMES, SessionTable
+
+
+class AppSessionError(ValueError):
+    """Raised on inconsistent application-session configuration."""
+
+
+@dataclass(frozen=True)
+class AppSessionProfile:
+    """How one service expands application sessions into transport flows.
+
+    Attributes
+    ----------
+    service:
+        Catalog name of the service.
+    mean_flows:
+        Mean number of transport flows per application session; the count
+        is 1 + Geometric(p) with ``p = 1 / mean_flows`` (so at least one
+        flow always exists).
+    parallel_fraction:
+        Probability that a multi-flow app session opens its flows in
+        parallel (volume split across overlapping connections) rather than
+        sequentially (volume split across time with think-time gaps).
+    think_time_s:
+        Mean exponential gap between consecutive sequential flows.
+    """
+
+    service: str
+    mean_flows: float = 1.5
+    parallel_fraction: float = 0.3
+    think_time_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.service not in SERVICE_INDEX:
+            raise AppSessionError(f"unknown service {self.service!r}")
+        if self.mean_flows < 1.0:
+            raise AppSessionError("mean_flows must be >= 1")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise AppSessionError("parallel_fraction must be in [0, 1]")
+        if self.think_time_s < 0:
+            raise AppSessionError("think_time_s must be non-negative")
+
+    def sample_flow_counts(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Number of transport flows for ``size`` application sessions."""
+        if self.mean_flows <= 1.0:
+            return np.ones(size, dtype=np.int64)
+        # Geometric on {1, 2, ...} with the requested mean.
+        return rng.geometric(1.0 / self.mean_flows, size=size).astype(np.int64)
+
+
+#: Default expansion profiles.  Messaging-style services tend to open many
+#: short flows (per chat / per content fetch); streaming keeps one or two
+#: long connections; bulk-transfer outliers parallelize.
+DEFAULT_APP_PROFILES: dict[str, AppSessionProfile] = {}
+for _name in SERVICE_NAMES:
+    if _name in ("Facebook", "Instagram", "SnapChat", "Twitter", "WhatsApp",
+                 "FB Messenger", "Telegram"):
+        DEFAULT_APP_PROFILES[_name] = AppSessionProfile(
+            _name, mean_flows=2.5, parallel_fraction=0.2, think_time_s=25.0
+        )
+    elif _name in ("Netflix", "Twitch", "FB Live", "Youtube", "Deezer",
+                   "Spotify", "Google Meet", "Dailymotion", "Skype"):
+        DEFAULT_APP_PROFILES[_name] = AppSessionProfile(
+            _name, mean_flows=1.2, parallel_fraction=0.5, think_time_s=5.0
+        )
+    elif _name in ("Apple iCloud", "App Store"):
+        DEFAULT_APP_PROFILES[_name] = AppSessionProfile(
+            _name, mean_flows=3.0, parallel_fraction=0.8, think_time_s=2.0
+        )
+    else:
+        DEFAULT_APP_PROFILES[_name] = AppSessionProfile(
+            _name, mean_flows=1.8, parallel_fraction=0.25, think_time_s=15.0
+        )
+
+
+@dataclass
+class AppSessionTable:
+    """Transport sessions annotated with their application session.
+
+    ``flows`` has one row per transport session; ``app_id[i]`` identifies
+    the application session that produced row ``i``.
+    """
+
+    flows: SessionTable
+    app_id: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.app_id = np.asarray(self.app_id, dtype=np.int64)
+        if self.app_id.shape != (len(self.flows),):
+            raise AppSessionError("app_id must align with the flow table")
+
+    def n_app_sessions(self) -> int:
+        """Number of distinct application sessions."""
+        return int(np.unique(self.app_id).size)
+
+    def flows_per_app_session(self) -> np.ndarray:
+        """Histogram sample: transport-flow count of each app session."""
+        return np.bincount(
+            np.unique(self.app_id, return_inverse=True)[1]
+        )
+
+    def app_session_volumes_mb(self) -> np.ndarray:
+        """Total volume of each application session (MB)."""
+        _, inverse = np.unique(self.app_id, return_inverse=True)
+        return np.bincount(
+            inverse, weights=self.flows.volume_mb.astype(float)
+        )
+
+
+def expand_app_sessions(
+    service: str,
+    start_minutes: np.ndarray,
+    day: np.ndarray,
+    bs_id: np.ndarray,
+    rng: np.random.Generator,
+    profile: AppSessionProfile | None = None,
+    first_app_id: int = 0,
+) -> AppSessionTable:
+    """Expand application-session arrivals into transport sessions.
+
+    Each arrival draws a full application-session volume and duration from
+    the service's ground-truth profile, a transport-flow count from the
+    app profile, and splits volume/time across the flows:
+
+    * **parallel**: flows start together, volumes drawn from a symmetric
+      Dirichlet split, durations equal to the app session's;
+    * **sequential**: flows follow each other with exponential think-time
+      gaps; volume and duration are split proportionally to the same
+      Dirichlet weights, so each flow keeps the service's v(d) offset.
+    """
+    start_minutes = np.asarray(start_minutes, dtype=np.int64)
+    day = np.asarray(day, dtype=np.int64)
+    bs_id = np.asarray(bs_id, dtype=np.int64)
+    n = start_minutes.size
+    if not (day.shape == bs_id.shape == (n,)):
+        raise AppSessionError("arrival columns must align")
+    if profile is None:
+        profile = DEFAULT_APP_PROFILES[service]
+    elif profile.service != service:
+        raise AppSessionError("profile service mismatch")
+
+    ground = get_profile(service)
+    volumes = ground.sample_full_volumes(rng, n)
+    durations = ground.duration_for_volume(volumes, rng)
+    counts = profile.sample_flow_counts(rng, n)
+    parallel = rng.random(n) < profile.parallel_fraction
+
+    service_idx = SERVICE_INDEX[service]
+    rows_service, rows_bs, rows_day, rows_minute = [], [], [], []
+    rows_duration, rows_volume, rows_app = [], [], []
+
+    for i in range(n):
+        k = int(counts[i])
+        if k == 1:
+            weights = np.array([1.0])
+        else:
+            weights = rng.dirichlet(np.full(k, 2.0))
+        flow_volumes = np.maximum(volumes[i] * weights, 1e-4)
+        if parallel[i] or k == 1:
+            flow_durations = np.full(k, durations[i])
+            offsets_s = np.zeros(k)
+        else:
+            flow_durations = np.maximum(durations[i] * weights, 1.0)
+            gaps = rng.exponential(profile.think_time_s, size=k)
+            offsets_s = np.concatenate(
+                [[0.0], np.cumsum(flow_durations[:-1] + gaps[:-1])]
+            )
+        minute = np.minimum(
+            start_minutes[i] + (offsets_s // 60).astype(np.int64), 1439
+        )
+        rows_service.append(np.full(k, service_idx))
+        rows_bs.append(np.full(k, bs_id[i]))
+        rows_day.append(np.full(k, day[i]))
+        rows_minute.append(minute)
+        rows_duration.append(flow_durations)
+        rows_volume.append(flow_volumes)
+        rows_app.append(np.full(k, first_app_id + i))
+
+    flows = SessionTable(
+        service_idx=np.concatenate(rows_service),
+        bs_id=np.concatenate(rows_bs),
+        day=np.concatenate(rows_day),
+        start_minute=np.concatenate(rows_minute),
+        duration_s=np.concatenate(rows_duration),
+        volume_mb=np.concatenate(rows_volume),
+        truncated=np.zeros(int(counts.sum()), dtype=bool),
+    )
+    return AppSessionTable(flows=flows, app_id=np.concatenate(rows_app))

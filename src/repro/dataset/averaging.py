@@ -1,0 +1,83 @@
+"""Statistics averaging across BSs and days — Eqs (1) and (2) of the paper.
+
+Section 3.3: per-(c, t) statistics are merged into behaviour averaged over
+any subset of BSs ``C' ⊆ C`` and days ``T' ⊆ T`` by weighting each
+datapoint with the daily session count ``w_s^{c,t}``:
+
+* duration–volume pairs: Eq (1), a weighted average per duration bin;
+* traffic volume PDFs: Eq (2), a finite mixture of the per-(c, t) PDFs.
+
+These explicit implementations operate on :class:`ServiceDayStats` lists and
+are the faithful counterpart of the pooled fast paths in
+:mod:`repro.dataset.aggregation` (the two coincide when every session of a
+bin is weighted by its own (c, t) count — a property the tests verify).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.histogram import LogHistogram
+from .aggregation import (
+    N_DURATION_BINS,
+    AggregationError,
+    DurationVolumeCurve,
+    ServiceDayStats,
+)
+
+
+def filter_stats(
+    stats: list[ServiceDayStats],
+    service: str | None = None,
+    bs_ids=None,
+    days=None,
+) -> list[ServiceDayStats]:
+    """Select the per-(s, c, t) entries matching the given criteria."""
+    selected = stats
+    if service is not None:
+        selected = [s for s in selected if s.service == service]
+    if bs_ids is not None:
+        wanted_bs = set(bs_ids)
+        selected = [s for s in selected if s.bs_id in wanted_bs]
+    if days is not None:
+        wanted_days = set(days)
+        selected = [s for s in selected if s.day in wanted_days]
+    return selected
+
+
+def average_volume_pdf(stats: list[ServiceDayStats]) -> LogHistogram:
+    """Eq (2): session-count-weighted mixture of per-(c, t) volume PDFs."""
+    if not stats:
+        raise AggregationError("no statistics to average")
+    histograms = [s.volume_pdf() for s in stats]
+    weights = [float(s.n_sessions) for s in stats]
+    return LogHistogram.weighted_average(histograms, weights)
+
+
+def average_duration_volume(stats: list[ServiceDayStats]) -> DurationVolumeCurve:
+    """Eq (1): session-count-weighted average of per-(c, t) v(d) pairs.
+
+    For each duration bin, the mean volumes ``v_s^{c,t}(d)`` of the entries
+    that observed that bin are averaged with weights ``w_s^{c,t}``.
+    """
+    if not stats:
+        raise AggregationError("no statistics to average")
+    weighted_sum = np.zeros(N_DURATION_BINS)
+    weight_total = np.zeros(N_DURATION_BINS)
+    counts_total = np.zeros(N_DURATION_BINS)
+    for entry in stats:
+        curve = entry.duration_volume()
+        observed = curve.counts > 0
+        weight = float(entry.n_sessions)
+        weighted_sum[observed] += weight * curve.mean_volume_mb[observed]
+        weight_total[observed] += weight
+        counts_total += curve.counts
+    means = np.zeros(N_DURATION_BINS)
+    mask = weight_total > 0
+    means[mask] = weighted_sum[mask] / weight_total[mask]
+    return DurationVolumeCurve(means, counts_total)
+
+
+def total_sessions(stats: list[ServiceDayStats]) -> int:
+    """Sum of the daily session counts ``w_s^{c,t}`` of the entries."""
+    return sum(s.n_sessions for s in stats)

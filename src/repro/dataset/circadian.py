@@ -1,0 +1,74 @@
+"""Circadian day/night structure of the session arrival process.
+
+Section 4.1 observes that the per-minute session arrival counts at every BS
+follow a *bi-modal* distribution: a high daytime mode and a low nighttime
+mode, with transitions so rapid that intermediate rates have negligible
+probability.  Section 6.1 identifies the off-peak window as 10 pm – 8 am.
+This module encodes that two-state structure and samples per-minute arrival
+counts from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distributions import Gaussian, Pareto
+from .network import PARETO_SHAPE, BaseStation
+
+#: First hour of the daytime (peak) phase.
+DAY_START_HOUR = 8
+#: First hour of the nighttime (off-peak) phase.
+NIGHT_START_HOUR = 22
+
+MINUTES_PER_DAY = 1440
+
+
+def is_peak_minute(minute_of_day: int) -> bool:
+    """Whether a minute-of-day index falls in the daytime (peak) phase."""
+    if not 0 <= minute_of_day < MINUTES_PER_DAY:
+        raise ValueError(f"minute_of_day must be in 0..1439, got {minute_of_day}")
+    hour = minute_of_day // 60
+    return DAY_START_HOUR <= hour < NIGHT_START_HOUR
+
+
+def peak_minute_mask() -> np.ndarray:
+    """Boolean mask over the 1440 minutes of a day (True = peak phase)."""
+    minutes = np.arange(MINUTES_PER_DAY)
+    hours = minutes // 60
+    return (hours >= DAY_START_HOUR) & (hours < NIGHT_START_HOUR)
+
+
+def n_peak_minutes() -> int:
+    """Number of peak-phase minutes in one day."""
+    return int(peak_minute_mask().sum())
+
+
+def sample_day_arrival_counts(
+    station: BaseStation, rng: np.random.Generator, rate_scale: float = 1.0
+) -> np.ndarray:
+    """Per-minute session arrival counts for one BS over one day.
+
+    Daytime minutes draw from the Gaussian ``N(mu_c, (mu_c/10)^2)`` and
+    nighttime minutes from the Pareto with fixed shape 1.765 and per-BS
+    scale — the Section 5.1 model, used here *generatively* as the ground
+    truth the fitting pipeline must recover.  Draws are rounded to integer
+    counts and clipped at zero.
+
+    ``rate_scale`` uniformly scales both phases (e.g. the weekend workload
+    reduction): the *volume* of arrivals changes, the session-level
+    statistics do not — the Section 4.4 distinction.
+    """
+    if rate_scale <= 0:
+        raise ValueError("rate_scale must be positive")
+    mask = peak_minute_mask()
+    counts = np.zeros(MINUTES_PER_DAY)
+
+    day = Gaussian(
+        station.peak_rate * rate_scale, station.peak_sigma * rate_scale
+    )
+    counts[mask] = day.sample(rng, size=int(mask.sum()))
+
+    night = Pareto(PARETO_SHAPE, station.night_scale * rate_scale)
+    counts[~mask] = night.sample(rng, size=int((~mask).sum()))
+
+    return np.clip(np.rint(counts), 0, None).astype(np.int64)

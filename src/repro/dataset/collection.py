@@ -1,0 +1,291 @@
+"""Emulation of the two-probe measurement platform of Section 3.1.
+
+The operator's dataset is produced by two passive systems:
+
+* **gateway probes** at the SGi interface of the PGW observe all IP packets
+  and reconstruct transport-layer sessions: a 5-tuple keyed sequence of
+  packets, opened by the first packet (TCP handshake / first UDP datagram),
+  closed by FIN/RST or by a service-specific idle timeout;
+* **RAN probes** at the S1-MME interfaces observe the signalling of both
+  eNodeBs and gNodeBs and know, at any time, which BS serves each UE.
+
+Crossing the two streams geo-references every (fraction of a) session to the
+correct BS: a session spanning a handover is split into one transport
+session per visited BS (Section 3.2).  This module implements that pipeline
+over explicit packet/attachment event streams; it is the event-level,
+fine-grained counterpart of the vectorized :mod:`repro.dataset.simulator`
+and is exercised by the unit tests and the probe example.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .records import SERVICE_INDEX, SessionRecord
+
+
+class Protocol(enum.Enum):
+    """Transport protocol of a flow."""
+
+    TCP = "tcp"
+    UDP = "udp"
+
+
+#: Default idle timeout (seconds) per protocol when neither a per-service
+#: override nor a behaviour-class default applies.
+DEFAULT_TIMEOUT_S = {Protocol.TCP: 300.0, Protocol.UDP: 120.0}
+
+#: Behaviour-class idle timeouts (Section 3.2: "this timeout depends on the
+#: application that the traffic classification routines associate to the
+#: flow").  Streaming players pause and rebuffer, so their flows survive
+#: longer silences than chatty message exchanges.
+BEHAVIOUR_TIMEOUT_S = {
+    "streaming": 600.0,
+    "messaging": 120.0,
+    "outlier": 300.0,
+}
+
+
+class CollectionError(ValueError):
+    """Raised on malformed probe input."""
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """The 5-tuple uniquely identifying a transport-layer session."""
+
+    protocol: Protocol
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 65535:
+                raise CollectionError(f"invalid port {port}")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One IP packet observed at the SGi interface.
+
+    ``fin`` marks a TCP packet with the FIN or RST bit set, which terminates
+    the session shortly after (Section 3.2).
+    """
+
+    timestamp_s: float
+    five_tuple: FiveTuple
+    ue_id: int
+    size_bytes: int
+    fin: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise CollectionError("packet size must be positive")
+
+
+@dataclass(frozen=True)
+class GatewaySession:
+    """A transport session reconstructed by the gateway probe."""
+
+    five_tuple: FiveTuple
+    ue_id: int
+    service: str
+    start_s: float
+    end_s: float
+    volume_bytes: int
+
+    @property
+    def duration_s(self) -> float:
+        """Session duration in seconds (at least 1 s, as sub-second sessions
+        are rounded up by the probe)."""
+        return max(self.end_s - self.start_s, 1.0)
+
+
+class GatewayProbe:
+    """Reconstructs transport sessions from a packet stream.
+
+    Parameters
+    ----------
+    classifier:
+        Maps a :class:`FiveTuple` to a service name, standing in for the
+        operator's proprietary DPI engine.
+    timeouts_s:
+        Optional per-service idle timeouts, overriding the per-protocol
+        defaults (Section 3.2: "expiration timeouts that are
+        service-specific are also employed").
+    """
+
+    def __init__(self, classifier, timeouts_s: dict[str, float] | None = None):
+        self._classifier = classifier
+        self._timeouts = dict(timeouts_s or {})
+
+    def _timeout_for(self, service: str, protocol: Protocol) -> float:
+        if service in self._timeouts:
+            return self._timeouts[service]
+        from .services import UnknownServiceError, get_service
+
+        try:
+            behaviour = get_service(service).behaviour.value
+        except UnknownServiceError:
+            return DEFAULT_TIMEOUT_S[protocol]
+        return BEHAVIOUR_TIMEOUT_S.get(behaviour, DEFAULT_TIMEOUT_S[protocol])
+
+    def reconstruct(self, packets: list[Packet]) -> list[GatewaySession]:
+        """Group a time-ordered packet stream into transport sessions."""
+        if any(
+            packets[i].timestamp_s > packets[i + 1].timestamp_s
+            for i in range(len(packets) - 1)
+        ):
+            raise CollectionError("packet stream must be time-ordered")
+
+        open_sessions: dict[FiveTuple, dict] = {}
+        finished: list[GatewaySession] = []
+
+        def close(state: dict) -> None:
+            finished.append(
+                GatewaySession(
+                    five_tuple=state["key"],
+                    ue_id=state["ue_id"],
+                    service=state["service"],
+                    start_s=state["start"],
+                    end_s=state["last"],
+                    volume_bytes=state["bytes"],
+                )
+            )
+
+        for packet in packets:
+            key = packet.five_tuple
+            state = open_sessions.get(key)
+            if state is not None:
+                timeout = self._timeout_for(state["service"], key.protocol)
+                if packet.timestamp_s - state["last"] > timeout:
+                    close(state)
+                    state = None
+                    del open_sessions[key]
+            if state is None:
+                service = self._classifier(key)
+                if service not in SERVICE_INDEX:
+                    raise CollectionError(f"classifier returned unknown {service!r}")
+                state = {
+                    "key": key,
+                    "ue_id": packet.ue_id,
+                    "service": service,
+                    "start": packet.timestamp_s,
+                    "last": packet.timestamp_s,
+                    "bytes": 0,
+                }
+                open_sessions[key] = state
+            state["last"] = packet.timestamp_s
+            state["bytes"] += packet.size_bytes
+            if packet.fin and key.protocol is Protocol.TCP:
+                close(state)
+                del open_sessions[key]
+
+        for state in open_sessions.values():
+            close(state)
+        finished.sort(key=lambda s: s.start_s)
+        return finished
+
+
+@dataclass(frozen=True)
+class AttachmentEvent:
+    """A signalling event recorded by the RAN probe: UE attaches to a BS."""
+
+    timestamp_s: float
+    ue_id: int
+    bs_id: int
+
+
+class RanProbe:
+    """Tracks UE-to-BS attachment from S1-MME signalling events."""
+
+    def __init__(self, events: list[AttachmentEvent]):
+        self._by_ue: dict[int, list[AttachmentEvent]] = {}
+        for event in sorted(events, key=lambda e: e.timestamp_s):
+            self._by_ue.setdefault(event.ue_id, []).append(event)
+
+    def serving_bs(self, ue_id: int, timestamp_s: float) -> int:
+        """BS serving a UE at a given time (last attachment before it)."""
+        events = self._by_ue.get(ue_id)
+        if not events or events[0].timestamp_s > timestamp_s:
+            raise CollectionError(
+                f"UE {ue_id} has no attachment at or before t={timestamp_s}"
+            )
+        current = events[0]
+        for event in events[1:]:
+            if event.timestamp_s > timestamp_s:
+                break
+            current = event
+        return current.bs_id
+
+    def attachment_intervals(
+        self, ue_id: int, start_s: float, end_s: float
+    ) -> list[tuple[float, float, int]]:
+        """Chop ``[start, end]`` into per-BS intervals for one UE."""
+        if end_s < start_s:
+            raise CollectionError("interval end before start")
+        events = self._by_ue.get(ue_id)
+        if not events or events[0].timestamp_s > start_s:
+            raise CollectionError(
+                f"UE {ue_id} has no attachment covering t={start_s}"
+            )
+        intervals: list[tuple[float, float, int]] = []
+        current_bs = None
+        current_start = start_s
+        for event in events:
+            if event.timestamp_s <= start_s:
+                current_bs = event.bs_id
+                continue
+            if event.timestamp_s >= end_s:
+                break
+            if event.bs_id != current_bs:
+                intervals.append((current_start, event.timestamp_s, current_bs))
+                current_start = event.timestamp_s
+                current_bs = event.bs_id
+        intervals.append((current_start, end_s, current_bs))
+        return intervals
+
+
+def correlate(
+    gateway_sessions: list[GatewaySession],
+    ran_probe: RanProbe,
+    seconds_per_day: float = 86400.0,
+) -> list[SessionRecord]:
+    """Cross gateway sessions with RAN signalling — the Section 3.1 merge.
+
+    Each gateway session is split at every handover into one
+    :class:`SessionRecord` per visited BS; the session volume is divided
+    proportionally to the time spent in each cell (the probe has no
+    finer-grained accounting), and parts beyond the first are flagged as
+    truncated, matching the "newly established session" semantics of
+    Section 3.2.
+    """
+    records: list[SessionRecord] = []
+    for session in gateway_sessions:
+        intervals = ran_probe.attachment_intervals(
+            session.ue_id, session.start_s, session.end_s
+        )
+        total = max(session.end_s - session.start_s, 1.0)
+        for part_index, (begin, end, bs_id) in enumerate(intervals):
+            span = max(end - begin, 1.0) if len(intervals) > 1 else total
+            fraction = min(span / total, 1.0)
+            volume_mb = session.volume_bytes * fraction / 1e6
+            if volume_mb <= 0:
+                continue
+            day = int(begin // seconds_per_day)
+            minute = int((begin % seconds_per_day) // 60)
+            records.append(
+                SessionRecord(
+                    service=session.service,
+                    bs_id=bs_id,
+                    day=day,
+                    start_minute=minute,
+                    duration_s=span,
+                    volume_mb=volume_mb,
+                    truncated=len(intervals) > 1 and part_index < len(intervals) - 1,
+                )
+            )
+    return records

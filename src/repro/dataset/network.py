@@ -1,0 +1,214 @@
+"""Synthetic radio access network: base stations, deciles, regions, RATs.
+
+The paper's measurements cover 282,000 BSs; shapes of all session-level
+statistics are per-BS, so a scaled-down population preserves every result.
+Each synthetic BS carries the attributes the paper analyses:
+
+* a **load decile** (Section 4.1 / Fig 3): BSs are split into ten classes of
+  growing served traffic; the daytime mean arrival rate grows exponentially
+  from 1.21 sessions/minute (first decile) to 71 (last decile), and the
+  nighttime Pareto scale grows at a similar rate (Section 5.1);
+* an **urbanization level** (dense urban / semi-urban / rural) and possibly
+  one of the 5 largest **cities** (Section 4.4);
+* a **RAT** (4G eNodeB or 5G NSA gNodeB, Section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Daytime Gaussian mean arrival rate (sessions/minute) of the first and
+#: last BS load deciles, as reported in Section 5.1.
+FIRST_DECILE_PEAK_RATE = 1.21
+LAST_DECILE_PEAK_RATE = 71.0
+
+#: Fixed shape of the nighttime Pareto arrival distribution (Section 5.1).
+PARETO_SHAPE = 1.765
+
+#: Ratio sigma/mu of the daytime Gaussian (Section 5.1: sigma ~ mu/10).
+PEAK_SIGMA_RATIO = 0.1
+
+#: Ratio night Pareto scale / daytime mu; the paper reports that the scale
+#: grows across deciles "exponentially with akin rate" to mu.
+NIGHT_SCALE_RATIO = 1.0 / 8.0
+
+#: The five largest metropolitan areas used for the city-level comparison.
+CITIES = ("Paris", "Marseille", "Lyon", "Toulouse", "Nice")
+
+
+class Region(enum.Enum):
+    """Urbanization level of the area served by a BS (Section 4.4)."""
+
+    URBAN = "urban"
+    SEMI_URBAN = "semi-urban"
+    RURAL = "rural"
+
+
+class RAT(enum.Enum):
+    """Radio access technology of a BS (4G eNodeB or 5G NSA gNodeB)."""
+
+    LTE = "4G"
+    NR = "5G"
+
+
+@dataclass(frozen=True)
+class BaseStation:
+    """One cell of the synthetic RAN.
+
+    Attributes
+    ----------
+    bs_id:
+        Dense integer identifier, usable as an array index.
+    decile:
+        Load decile in ``0..9`` (0 = least loaded tenth of the network).
+    region:
+        Urbanization level of the served area.
+    city:
+        One of :data:`CITIES` for urban BSs inside a metro area, else None.
+    rat:
+        Radio access technology.
+    peak_rate:
+        Mean ``mu_c`` of the daytime Gaussian arrival rate (sessions/min).
+    night_scale:
+        Scale ``s_c`` of the nighttime Pareto arrival rate.
+    """
+
+    bs_id: int
+    decile: int
+    region: Region
+    city: str | None
+    rat: RAT
+    peak_rate: float
+    night_scale: float
+
+    @property
+    def peak_sigma(self) -> float:
+        """Daytime Gaussian sigma, tied to the mean as ``mu/10``."""
+        return self.peak_rate * PEAK_SIGMA_RATIO
+
+
+def decile_peak_rate(decile: int) -> float:
+    """Daytime mean arrival rate of a decile (geometric interpolation).
+
+    Decile 0 maps to 1.21 sessions/min and decile 9 to 71, the two anchors
+    quoted in Section 5.1; intermediate deciles grow exponentially, matching
+    the paper's observation of exponential growth across classes.
+    """
+    if not 0 <= decile <= 9:
+        raise ValueError(f"decile must be in 0..9, got {decile}")
+    ratio = LAST_DECILE_PEAK_RATE / FIRST_DECILE_PEAK_RATE
+    return FIRST_DECILE_PEAK_RATE * ratio ** (decile / 9.0)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the synthetic BS population.
+
+    ``n_bs`` defaults to a few hundred stations: all statistics in the paper
+    are per-BS distributions, so the population size only controls sample
+    count, not shape.
+    """
+
+    n_bs: int = 200
+    urban_fraction: float = 0.30
+    semi_urban_fraction: float = 0.40
+    nr_fraction: float = 0.20
+    rate_jitter_dex: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_bs < 10:
+            raise ValueError("need at least 10 BSs (one per decile)")
+        if not 0 <= self.urban_fraction <= 1 or not 0 <= self.semi_urban_fraction <= 1:
+            raise ValueError("region fractions must be in [0, 1]")
+        if self.urban_fraction + self.semi_urban_fraction > 1:
+            raise ValueError("urban + semi-urban fractions exceed 1")
+        if not 0 <= self.nr_fraction <= 1:
+            raise ValueError("nr_fraction must be in [0, 1]")
+
+
+class Network:
+    """The synthetic BS population.
+
+    Construction is deterministic given the RNG: deciles are assigned in
+    equal tenths, regions and RATs are drawn with the configured fractions,
+    and urban BSs are distributed round-robin over the five cities.
+    """
+
+    def __init__(self, config: NetworkConfig, rng: np.random.Generator):
+        self.config = config
+        self.stations: list[BaseStation] = []
+
+        n = config.n_bs
+        deciles = np.repeat(np.arange(10), int(np.ceil(n / 10)))[:n]
+        regions = rng.choice(
+            [Region.URBAN, Region.SEMI_URBAN, Region.RURAL],
+            size=n,
+            p=[
+                config.urban_fraction,
+                config.semi_urban_fraction,
+                1 - config.urban_fraction - config.semi_urban_fraction,
+            ],
+        )
+        rats = rng.choice(
+            [RAT.NR, RAT.LTE],
+            size=n,
+            p=[config.nr_fraction, 1 - config.nr_fraction],
+        )
+        jitter = 10.0 ** rng.normal(0.0, config.rate_jitter_dex, size=n)
+
+        city_counter = 0
+        for bs_id in range(n):
+            decile = int(deciles[bs_id])
+            region = regions[bs_id]
+            if region is Region.URBAN:
+                city: str | None = CITIES[city_counter % len(CITIES)]
+                city_counter += 1
+            else:
+                city = None
+            peak_rate = decile_peak_rate(decile) * float(jitter[bs_id])
+            self.stations.append(
+                BaseStation(
+                    bs_id=bs_id,
+                    decile=decile,
+                    region=region,
+                    city=city,
+                    rat=rats[bs_id],
+                    peak_rate=peak_rate,
+                    night_scale=peak_rate * NIGHT_SCALE_RATIO,
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.stations)
+
+    def __iter__(self):
+        return iter(self.stations)
+
+    def station(self, bs_id: int) -> BaseStation:
+        """Return the BS with the given dense identifier."""
+        return self.stations[bs_id]
+
+    def bs_ids_in_decile(self, decile: int) -> list[int]:
+        """Identifiers of all BSs belonging to one load decile."""
+        return [s.bs_id for s in self.stations if s.decile == decile]
+
+    def bs_ids_in_region(self, region: Region) -> list[int]:
+        """Identifiers of all BSs in one urbanization level."""
+        return [s.bs_id for s in self.stations if s.region == region]
+
+    def bs_ids_in_city(self, city: str) -> list[int]:
+        """Identifiers of all BSs in one metropolitan area."""
+        if city not in CITIES:
+            raise ValueError(f"unknown city {city!r}")
+        return [s.bs_id for s in self.stations if s.city == city]
+
+    def bs_ids_with_rat(self, rat: RAT) -> list[int]:
+        """Identifiers of all BSs using one radio access technology."""
+        return [s.bs_id for s in self.stations if s.rat == rat]
+
+    def peak_rates(self) -> np.ndarray:
+        """Array of daytime mean arrival rates, indexed by ``bs_id``."""
+        return np.array([s.peak_rate for s in self.stations])

@@ -1,0 +1,275 @@
+"""Ground-truth session behaviour profiles for the synthetic substrate.
+
+The paper fits its models on proprietary operator measurements.  Our
+substitute is a generator whose *ground truth* per-service behaviours are
+seeded from everything the paper publishes about each application:
+
+* the characteristic probability peaks of the volume PDFs (Section 4.2:
+  Netflix modes at ~40 MB with a drop past 200 MB, Deezer modes at 3.5 and
+  7.6 MB, Twitch mode at 20 MB with a knee at 800 MB, ...);
+* the broad log-normal trend of every PDF (Section 5.2);
+* the power-law duration–volume relation with per-service exponents in
+  [0.1, 1.8], super-linear for video streaming and sub-linear for
+  interactive services (Section 5.3, Fig 10);
+* the per-service session and traffic shares of Table 1 — the mean session
+  volume of each profile is *solved* so that ``session_share × mean_volume``
+  reproduces the tabulated traffic shares.
+
+A profile describes the behaviour of a *complete* application session; the
+short transient sessions that dominate the left side of the measured PDFs
+are not part of the profile — they emerge from the mobility model
+(:mod:`repro.dataset.mobility`) truncating sessions at cell boundaries,
+exactly as the paper explains (Section 4.2, last paragraph).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.distributions import LogNormal10, LogNormalMixture
+from .services import all_service_names, get_service
+
+_LN10 = math.log(10.0)
+
+#: Anchor translating Table 1 share ratios into absolute mean volumes (MB):
+#: a service whose traffic share equals its session share has a mean session
+#: volume of ANCHOR_MEAN_MB.  Chosen so Netflix lands at ~37 MB mean, in line
+#: with its described 40 MB mode.
+ANCHOR_MEAN_MB = 8.0
+
+#: Log10 standard deviation of the multiplicative noise applied when mapping
+#: a session volume to its duration through the power law.
+DURATION_NOISE_DEX = 0.12
+
+#: Bounds on generated full-session durations (seconds).
+MIN_DURATION_S = 1.0
+MAX_DURATION_S = 86400.0
+
+
+class ProfileError(ValueError):
+    """Raised when a ground-truth profile specification is inconsistent."""
+
+
+@dataclass(frozen=True)
+class VolumePeak:
+    """One characteristic probability peak of a service's volume PDF.
+
+    ``weight`` is the residual probability mass ``k_n`` of Eq (4)-(5),
+    relative to a main component of weight 1; ``mu``/``sigma`` are in
+    ``log10(MB)``.
+    """
+
+    weight: float
+    mu: float
+    sigma: float
+
+    def mean_mb(self) -> float:
+        """Mean (linear MB) of the peak's log-normal."""
+        return math.exp(self.mu * _LN10 + (self.sigma * _LN10) ** 2 / 2.0)
+
+
+@dataclass(frozen=True)
+class GroundTruthProfile:
+    """Complete generative description of one service's sessions.
+
+    Attributes
+    ----------
+    service:
+        Catalog name of the service.
+    mixture:
+        Normalized log-normal mixture of the full-session traffic volume.
+    alpha, beta:
+        Ground-truth power law ``v(d) = alpha * d**beta`` (MB, seconds).
+    typical_duration_s:
+        Duration assigned to a session at the median volume of the main
+        component (anchors ``alpha``).
+    """
+
+    service: str
+    mixture: LogNormalMixture
+    alpha: float
+    beta: float
+    typical_duration_s: float
+
+    def sample_full_volumes(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Draw full-session traffic volumes in MB."""
+        return self.mixture.sample(rng, size=size)
+
+    def duration_for_volume(
+        self, volumes_mb: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Invert the power law to obtain durations for given volumes.
+
+        ``d = (x / alpha) ** (1 / beta)``, with multiplicative log-normal
+        noise of :data:`DURATION_NOISE_DEX` decades when ``rng`` is given;
+        output clipped to ``[MIN_DURATION_S, MAX_DURATION_S]``.
+        """
+        volumes_mb = np.asarray(volumes_mb, dtype=float)
+        if np.any(volumes_mb <= 0):
+            raise ProfileError("volumes must be strictly positive")
+        durations = (volumes_mb / self.alpha) ** (1.0 / self.beta)
+        if rng is not None:
+            durations = durations * 10.0 ** rng.normal(
+                0.0, DURATION_NOISE_DEX, size=durations.shape
+            )
+        return np.clip(durations, MIN_DURATION_S, MAX_DURATION_S)
+
+    def expected_volume_at(self, durations_s: np.ndarray) -> np.ndarray:
+        """Ground-truth ``v(d) = alpha * d**beta`` (no noise)."""
+        durations_s = np.asarray(durations_s, dtype=float)
+        return self.alpha * durations_s**self.beta
+
+    def mean_volume_mb(self) -> float:
+        """Analytic mean session volume of the mixture (MB)."""
+        total = 0.0
+        for comp, weight in zip(self.mixture.components, self.mixture.weights):
+            total += weight * math.exp(
+                comp.mu * _LN10 + (comp.sigma * _LN10) ** 2 / 2.0
+            )
+        return total
+
+
+def _solve_main_mu(
+    target_mean_mb: float, sigma_main: float, peaks: tuple[VolumePeak, ...]
+) -> float:
+    """Solve the main-component ``mu`` so the mixture mean hits the target.
+
+    With main weight 1 and peak weights ``k_n``, the mixture mean is
+    ``(main_mean + sum(k_n * peak_mean_n)) / (1 + sum(k_n))``; the main
+    log-normal mean is ``exp(mu ln10 + (sigma ln10)^2 / 2)``.
+    """
+    k_total = sum(p.weight for p in peaks)
+    peak_mass = sum(p.weight * p.mean_mb() for p in peaks)
+    main_mean = target_mean_mb * (1.0 + k_total) - peak_mass
+    if main_mean <= 0:
+        raise ProfileError(
+            f"peaks carry more mean volume ({peak_mass:.3g} MB) than the "
+            f"target ({target_mean_mb:.3g} MB) allows"
+        )
+    return (math.log(main_mean) - (sigma_main * _LN10) ** 2 / 2.0) / _LN10
+
+
+def _build_profile(
+    service: str,
+    sigma_main: float,
+    peaks: tuple[VolumePeak, ...],
+    beta: float,
+    typical_duration_s: float,
+) -> GroundTruthProfile:
+    """Assemble a profile whose mean volume matches the Table 1 shares."""
+    info = get_service(service)
+    target_mean = (
+        info.traffic_share_pct / info.session_share_pct
+    ) * ANCHOR_MEAN_MB
+    mu_main = _solve_main_mu(target_mean, sigma_main, peaks)
+    components = [LogNormal10(mu_main, sigma_main)] + [
+        LogNormal10(p.mu, p.sigma) for p in peaks
+    ]
+    weights = [1.0] + [p.weight for p in peaks]
+    mixture = LogNormalMixture.from_unnormalized(components, weights)
+    # Anchor alpha so the main-component median volume maps to the typical
+    # duration: median = 10**mu_main, alpha = median / d_typ**beta.
+    alpha = 10.0**mu_main / typical_duration_s**beta
+    return GroundTruthProfile(
+        service=service,
+        mixture=mixture,
+        alpha=alpha,
+        beta=beta,
+        typical_duration_s=typical_duration_s,
+    )
+
+
+# ----------------------------------------------------------------------
+# Profile specification table.
+#
+# Columns: sigma of the main log-normal (decades), characteristic peaks
+# (weight k_n, log10 MB position, log10 sigma), power-law exponent beta
+# (Fig 10: 0.1..1.8, video super-linear), typical duration in seconds.
+#
+# Peak positions for the showcase services come straight from the paper's
+# narrative (Netflix 40 & 200 MB, Deezer 3.5 & 7.6 MB, Twitch 20 & 800 MB);
+# the rest are plausible values at each service's own volume scale.
+# ----------------------------------------------------------------------
+_LOG = math.log10
+# The main-component sigmas encode the paper's coarse shape dichotomy
+# (Section 4.3 / Fig 6): streaming sessions span far more orders of
+# magnitude (sigma ~0.8-1.0 decades) than message-exchange sessions
+# (sigma ~0.4-0.6), while the outliers (iCloud / Telegram / App Store) are
+# strongly bimodal thanks to their heavy bulk-transfer peaks.
+_SPECS: dict[str, tuple[float, tuple[VolumePeak, ...], float, float]] = {
+    "Facebook": (0.55, (VolumePeak(0.05, _LOG(1.5), 0.05),), 0.70, 75.0),
+    "Instagram": (0.60, (VolumePeak(0.06, _LOG(4.0), 0.06),), 0.90, 90.0),
+    "SnapChat": (0.55, (VolumePeak(0.06, _LOG(1.0), 0.05),), 0.80, 60.0),
+    "Youtube": (0.85, (VolumePeak(0.06, _LOG(0.9), 0.06),), 1.20, 180.0),
+    "Google Maps": (0.45, (VolumePeak(0.05, _LOG(0.25), 0.05),), 0.35, 60.0),
+    "Netflix": (
+        0.95,
+        (VolumePeak(0.10, _LOG(40.0), 0.06), VolumePeak(0.04, _LOG(200.0), 0.08)),
+        1.50,
+        600.0,
+    ),
+    "Waze": (0.45, (VolumePeak(0.06, _LOG(0.4), 0.05),), 0.30, 120.0),
+    "Twitter": (0.50, (VolumePeak(0.05, _LOG(0.7), 0.05),), 0.60, 60.0),
+    "Apple iCloud": (0.50, (VolumePeak(0.45, _LOG(60.0), 0.15),), 0.90, 120.0),
+    "FB Live": (0.90, (VolumePeak(0.07, _LOG(15.0), 0.06),), 1.40, 420.0),
+    "Spotify": (0.80, (VolumePeak(0.07, _LOG(3.2), 0.05),), 1.00, 200.0),
+    "Deezer": (
+        0.85,
+        (VolumePeak(0.10, _LOG(3.5), 0.045), VolumePeak(0.06, _LOG(7.6), 0.045)),
+        1.05,
+        220.0,
+    ),
+    "Amazon": (0.50, (VolumePeak(0.07, _LOG(0.12), 0.05),), 0.45, 50.0),
+    "Twitch": (
+        1.00,
+        (VolumePeak(0.08, _LOG(20.0), 0.06), VolumePeak(0.03, _LOG(800.0), 0.09)),
+        1.80,
+        240.0,
+    ),
+    "WhatsApp": (0.50, (VolumePeak(0.06, _LOG(0.45), 0.05),), 0.50, 45.0),
+    "Clothes": (0.50, (VolumePeak(0.05, _LOG(1.2), 0.05),), 0.50, 70.0),
+    "Gmail": (0.45, (VolumePeak(0.04, _LOG(0.08), 0.04),), 0.30, 30.0),
+    "LinkedIn": (0.50, (VolumePeak(0.04, _LOG(1.0), 0.05),), 0.50, 55.0),
+    "Telegram": (0.45, (VolumePeak(0.30, _LOG(10.0), 0.22),), 0.60, 60.0),
+    "Yahoo": (0.45, (VolumePeak(0.04, _LOG(0.3), 0.05),), 0.45, 40.0),
+    "FB Messenger": (0.45, (VolumePeak(0.04, _LOG(0.12), 0.04),), 0.40, 40.0),
+    "Google Meet": (0.85, (VolumePeak(0.05, _LOG(8.0), 0.06),), 1.10, 600.0),
+    "Clash of Clans": (0.40, (VolumePeak(0.04, _LOG(0.5), 0.04),), 0.35, 120.0),
+    "Microsoft Mail": (0.45, (VolumePeak(0.03, _LOG(0.08), 0.04),), 0.30, 30.0),
+    "Google Docs": (0.45, (VolumePeak(0.03, _LOG(0.3), 0.05),), 0.40, 90.0),
+    "Uber": (0.40, (VolumePeak(0.03, _LOG(0.12), 0.04),), 0.20, 120.0),
+    "Wikipedia": (0.45, (VolumePeak(0.03, _LOG(0.2), 0.05),), 0.40, 45.0),
+    "Pokemon GO": (0.40, (VolumePeak(0.05, _LOG(0.10), 0.04),), 0.25, 90.0),
+    "Dailymotion": (0.90, (VolumePeak(0.05, _LOG(10.0), 0.06),), 1.30, 300.0),
+    "Skype": (0.85, (VolumePeak(0.05, _LOG(5.0), 0.06),), 1.00, 400.0),
+    "App Store": (0.45, (VolumePeak(0.40, _LOG(45.0), 0.18),), 0.80, 180.0),
+}
+
+
+def _build_registry() -> dict[str, GroundTruthProfile]:
+    registry: dict[str, GroundTruthProfile] = {}
+    for name in all_service_names():
+        if name not in _SPECS:
+            raise ProfileError(f"no ground-truth spec for service {name!r}")
+        sigma_main, peaks, beta, typical_duration = _SPECS[name]
+        registry[name] = _build_profile(
+            name, sigma_main, peaks, beta, typical_duration
+        )
+    return registry
+
+
+#: Registry of ground-truth profiles, one per cataloged service.
+PROFILES: dict[str, GroundTruthProfile] = _build_registry()
+
+
+def get_profile(service: str) -> GroundTruthProfile:
+    """Look up the ground-truth profile of a service."""
+    try:
+        return PROFILES[service]
+    except KeyError:
+        raise ProfileError(f"unknown service {service!r}") from None

@@ -1,0 +1,168 @@
+"""Columnar container for transport-layer session records.
+
+A simulated campaign easily produces millions of sessions, so records are
+stored column-wise in numpy arrays rather than as one object per session.
+:class:`SessionTable` is the interchange format between the simulator, the
+probe-emulation layer and the aggregation pipeline; :class:`SessionRecord`
+is a convenience row view for tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .services import all_service_names
+
+#: Canonical service index order used by every :class:`SessionTable`.
+SERVICE_NAMES: tuple[str, ...] = tuple(all_service_names())
+SERVICE_INDEX: dict[str, int] = {name: i for i, name in enumerate(SERVICE_NAMES)}
+
+
+class RecordsError(ValueError):
+    """Raised when session-table columns are inconsistent."""
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One transport-layer session, as seen by the gateway+RAN probes."""
+
+    service: str
+    bs_id: int
+    day: int
+    start_minute: int
+    duration_s: float
+    volume_mb: float
+    truncated: bool
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Average session throughput in Mbit/s."""
+        return self.volume_mb * 8.0 / self.duration_s
+
+
+class SessionTable:
+    """Column-wise collection of session records.
+
+    Columns
+    -------
+    service_idx : int16 — index into :data:`SERVICE_NAMES`
+    bs_id       : int32 — serving base station
+    day         : int16 — day index of the campaign
+    start_minute: int16 — minute-of-day of session establishment (0..1439)
+    duration_s  : float32 — served duration in seconds
+    volume_mb   : float32 — served traffic volume in MB
+    truncated   : bool — whether the session was cut by mobility/handover
+    """
+
+    COLUMNS = (
+        "service_idx",
+        "bs_id",
+        "day",
+        "start_minute",
+        "duration_s",
+        "volume_mb",
+        "truncated",
+    )
+
+    def __init__(
+        self,
+        service_idx: np.ndarray,
+        bs_id: np.ndarray,
+        day: np.ndarray,
+        start_minute: np.ndarray,
+        duration_s: np.ndarray,
+        volume_mb: np.ndarray,
+        truncated: np.ndarray,
+    ):
+        self.service_idx = np.asarray(service_idx, dtype=np.int16)
+        self.bs_id = np.asarray(bs_id, dtype=np.int32)
+        self.day = np.asarray(day, dtype=np.int16)
+        self.start_minute = np.asarray(start_minute, dtype=np.int16)
+        self.duration_s = np.asarray(duration_s, dtype=np.float32)
+        self.volume_mb = np.asarray(volume_mb, dtype=np.float32)
+        self.truncated = np.asarray(truncated, dtype=bool)
+
+        n = self.service_idx.size
+        for column in self.COLUMNS:
+            if getattr(self, column).shape != (n,):
+                raise RecordsError(f"column {column} misaligned")
+        if n:
+            if self.service_idx.min() < 0 or self.service_idx.max() >= len(
+                SERVICE_NAMES
+            ):
+                raise RecordsError("service_idx out of catalog range")
+            if np.any(self.duration_s <= 0):
+                raise RecordsError("durations must be positive")
+            if np.any(self.volume_mb <= 0):
+                raise RecordsError("volumes must be positive")
+            if self.start_minute.min() < 0 or self.start_minute.max() > 1439:
+                raise RecordsError("start_minute out of 0..1439")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "SessionTable":
+        """Return a table with zero rows."""
+        z = np.empty(0)
+        return cls(z, z, z, z, z, z, np.empty(0, dtype=bool))
+
+    def __len__(self) -> int:
+        return int(self.service_idx.size)
+
+    def select(self, mask: np.ndarray) -> "SessionTable":
+        """Return the sub-table of rows where ``mask`` is True."""
+        mask = np.asarray(mask)
+        if mask.shape != (len(self),):
+            raise RecordsError("mask must align with the table")
+        return SessionTable(
+            *(getattr(self, column)[mask] for column in self.COLUMNS)
+        )
+
+    def for_service(self, service: str) -> "SessionTable":
+        """Rows belonging to one service."""
+        if service not in SERVICE_INDEX:
+            raise RecordsError(f"unknown service {service!r}")
+        return self.select(self.service_idx == SERVICE_INDEX[service])
+
+    def for_bs_ids(self, bs_ids) -> "SessionTable":
+        """Rows served by any of the given base stations."""
+        return self.select(np.isin(self.bs_id, np.asarray(list(bs_ids))))
+
+    def for_days(self, days) -> "SessionTable":
+        """Rows recorded on any of the given day indices."""
+        return self.select(np.isin(self.day, np.asarray(list(days))))
+
+    @staticmethod
+    def concatenate(tables: list["SessionTable"]) -> "SessionTable":
+        """Stack several tables into one."""
+        if not tables:
+            return SessionTable.empty()
+        return SessionTable(
+            *(
+                np.concatenate([getattr(t, column) for t in tables])
+                for column in SessionTable.COLUMNS
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def throughput_mbps(self) -> np.ndarray:
+        """Per-session average throughput in Mbit/s."""
+        return self.volume_mb.astype(float) * 8.0 / self.duration_s.astype(float)
+
+    def rows(self):
+        """Iterate rows as :class:`SessionRecord` objects (small tables)."""
+        for i in range(len(self)):
+            yield SessionRecord(
+                service=SERVICE_NAMES[self.service_idx[i]],
+                bs_id=int(self.bs_id[i]),
+                day=int(self.day[i]),
+                start_minute=int(self.start_minute[i]),
+                duration_s=float(self.duration_s[i]),
+                volume_mb=float(self.volume_mb[i]),
+                truncated=bool(self.truncated[i]),
+            )
+
+    def total_volume_mb(self) -> float:
+        """Sum of all served volumes in MB."""
+        return float(self.volume_mb.sum())

@@ -1,0 +1,244 @@
+"""End-to-end synthetic measurement campaign.
+
+This is the substitute for the paper's 45-day nationwide trace (Section 3):
+it simulates, minute by minute and BS by BS, the establishment of
+transport-layer sessions, draws each session's service, full volume and
+duration from the ground-truth profiles, applies the mobility model to cut
+sessions at cell boundaries, and re-injects the cut remainders as new
+sessions in neighbouring cells (the handover artefact of Section 3.2).
+
+The output is a :class:`~repro.dataset.records.SessionTable` — the raw
+material every aggregation, characterization and model-fitting step of the
+library consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .circadian import sample_day_arrival_counts
+from .mobility import MobilityModel, truncate_sessions
+from .network import Network
+from .profiles import PROFILES
+from .records import SERVICE_NAMES, SessionTable
+from .services import session_share_fractions
+
+#: Floor on the served volume of heavily truncated sessions (100 bytes).
+MIN_OBSERVED_VOLUME_MB = 1e-4
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of a synthetic measurement campaign.
+
+    Attributes
+    ----------
+    n_days:
+        Number of simulated days; day indices ``d`` with ``d % 7 in {5, 6}``
+        are weekend days.
+    mobility:
+        Dwell-time model used to truncate sessions.
+    handover_continuation:
+        Whether the remainder of a truncated session re-appears as a new
+        session at another BS (Section 3.2).
+    max_handover_chain:
+        Cap on how many times one application session can be handed over.
+    share_jitter_dex:
+        Log10 spread of an optional per-BS-day service-popularity jitter.
+        The paper finds session shares essentially constant across the
+        network (Table 1: CV ≈ 1 %), so the default adds no jitter; the
+        knob exists for robustness experiments.
+    weekend_rate_factor:
+        Arrival-rate multiplier applied on weekend days.  BS-level
+        workloads "differ primarily between working days and weekends"
+        (Section 4.4); the per-session statistics stay identical, which is
+        exactly the invariance Fig 8 measures.
+    """
+
+    n_days: int = 3
+    mobility: MobilityModel = field(default_factory=MobilityModel)
+    handover_continuation: bool = True
+    max_handover_chain: int = 2
+    share_jitter_dex: float = 0.0
+    weekend_rate_factor: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        if self.max_handover_chain < 0:
+            raise ValueError("max_handover_chain must be >= 0")
+        if self.weekend_rate_factor <= 0:
+            raise ValueError("weekend_rate_factor must be positive")
+
+    def weekend_days(self) -> list[int]:
+        """Day indices falling on a weekend."""
+        return [d for d in range(self.n_days) if d % 7 in (5, 6)]
+
+    def working_days(self) -> list[int]:
+        """Day indices falling on working days (Monday–Friday)."""
+        return [d for d in range(self.n_days) if d % 7 not in (5, 6)]
+
+
+_BASE_SHARES = np.array(
+    [session_share_fractions()[name] for name in SERVICE_NAMES]
+)
+_BETAS = np.array([PROFILES[name].beta for name in SERVICE_NAMES])
+
+
+def _jittered_shares(rng: np.random.Generator, jitter_dex: float) -> np.ndarray:
+    """Per-BS-day service shares: catalog shares with log-normal jitter."""
+    if jitter_dex <= 0:
+        return _BASE_SHARES
+    shares = _BASE_SHARES * 10.0 ** rng.normal(0.0, jitter_dex, _BASE_SHARES.size)
+    return shares / shares.sum()
+
+
+def _draw_session_bodies(
+    service_idx: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full-session volumes and durations for an array of service indices."""
+    n = service_idx.size
+    volumes = np.empty(n)
+    durations = np.empty(n)
+    for idx in np.unique(service_idx):
+        mask = service_idx == idx
+        profile = PROFILES[SERVICE_NAMES[idx]]
+        vols = profile.sample_full_volumes(rng, int(mask.sum()))
+        volumes[mask] = vols
+        durations[mask] = profile.duration_for_volume(vols, rng)
+    return volumes, durations
+
+
+def simulate(
+    network: Network, config: SimulationConfig, rng: np.random.Generator
+) -> SessionTable:
+    """Run a measurement campaign over the whole network.
+
+    Returns the table of all transport-layer sessions recorded at every BS
+    during ``config.n_days`` days.
+    """
+    pieces: list[SessionTable] = []
+    # Handovers land in a neighbouring cell of the same load decile: cell
+    # load is spatially correlated, so a session cut at a busy cell almost
+    # always continues in another busy cell (and vice versa).
+    decile_peers = {
+        decile: np.array(network.bs_ids_in_decile(decile))
+        for decile in range(10)
+    }
+    peers_of_bs = {
+        station.bs_id: decile_peers[station.decile] for station in network
+    }
+
+    weekend = set(config.weekend_days())
+    for day in range(config.n_days):
+        rate_scale = config.weekend_rate_factor if day in weekend else 1.0
+        for station in network:
+            counts = sample_day_arrival_counts(station, rng, rate_scale)
+            n = int(counts.sum())
+            if n == 0:
+                continue
+            start_minute = np.repeat(np.arange(1440), counts)
+            shares = _jittered_shares(rng, config.share_jitter_dex)
+            service_idx = rng.choice(len(SERVICE_NAMES), size=n, p=shares)
+            volumes, durations = _draw_session_bodies(service_idx, rng)
+            dwells = config.mobility.sample_dwell_s(rng, n)
+
+            pieces.append(
+                _serve_at_bs(
+                    station.bs_id,
+                    day,
+                    start_minute,
+                    service_idx,
+                    volumes,
+                    durations,
+                    dwells,
+                    rng,
+                    config,
+                    peers_of_bs,
+                    chain_depth=0,
+                )
+            )
+    return SessionTable.concatenate(pieces)
+
+
+def _serve_at_bs(
+    bs_id: int,
+    day: int,
+    start_minute: np.ndarray,
+    service_idx: np.ndarray,
+    volumes: np.ndarray,
+    durations: np.ndarray,
+    dwells: np.ndarray,
+    rng: np.random.Generator,
+    config: SimulationConfig,
+    peers_of_bs: dict[int, np.ndarray],
+    chain_depth: int,
+) -> SessionTable:
+    """Serve sessions at one BS, recursing on handover continuations."""
+    betas = _BETAS[service_idx]
+    observed_vol, observed_dur, truncated = truncate_sessions(
+        volumes, durations, dwells, betas
+    )
+    observed_vol = np.clip(observed_vol, MIN_OBSERVED_VOLUME_MB, None)
+    observed_dur = np.clip(observed_dur, 1.0, None)
+
+    table = SessionTable(
+        service_idx=service_idx,
+        bs_id=np.full(service_idx.size, bs_id),
+        day=np.full(service_idx.size, day),
+        start_minute=start_minute,
+        duration_s=observed_dur,
+        volume_mb=observed_vol,
+        truncated=truncated,
+    )
+
+    if (
+        not config.handover_continuation
+        or chain_depth >= config.max_handover_chain
+        or not np.any(truncated)
+    ):
+        return table
+
+    # The cut remainder continues as a brand-new transport session at a
+    # neighbouring BS (Section 3.2).  Continuations that would start past
+    # midnight are dropped — the probe would attribute them to the next day,
+    # which is irrelevant at our aggregation granularity.
+    rem_volume = volumes[truncated] - observed_vol[truncated]
+    rem_duration = durations[truncated] - observed_dur[truncated]
+    cont_minute = start_minute[truncated] + (dwells[truncated] // 60).astype(int)
+    viable = (rem_volume > MIN_OBSERVED_VOLUME_MB) & (rem_duration > 1.0) & (
+        cont_minute < 1440
+    )
+    if not np.any(viable):
+        return table
+
+    n_cont = int(viable.sum())
+    peers = peers_of_bs[bs_id]
+    neighbour = peers[rng.integers(0, peers.size, size=n_cont)]
+    # Each continuation lands in a single neighbour cell; serve each group.
+    cont_tables = [table]
+    cont_service = service_idx[truncated][viable]
+    cont_vol = rem_volume[viable]
+    cont_dur = rem_duration[viable]
+    cont_start = cont_minute[viable]
+    cont_dwell = config.mobility.sample_dwell_s(rng, n_cont)
+    for nb in np.unique(neighbour):
+        mask = neighbour == nb
+        cont_tables.append(
+            _serve_at_bs(
+                int(nb),
+                day,
+                cont_start[mask],
+                cont_service[mask],
+                cont_vol[mask],
+                cont_dur[mask],
+                cont_dwell[mask],
+                rng,
+                config,
+                peers_of_bs,
+                chain_depth + 1,
+            )
+        )
+    return SessionTable.concatenate(cont_tables)

@@ -1,0 +1,217 @@
+"""Streaming aggregation: paper-duration campaigns in bounded memory.
+
+The paper's campaign covers 45 days; materializing every transport session
+of such a run would take tens of gigabytes.  The fitting pipeline, however,
+only consumes *aggregates* (Section 3.2) — so this module simulates one
+(BS, day) at a time, folds each batch into running statistics, and drops
+the raw sessions immediately.  Peak memory is one BS-day of sessions plus
+the fixed-size accumulators, independent of campaign length.
+
+``CampaignAccumulator`` is also useful on its own to aggregate externally
+produced tables batch by batch (e.g. while reading a huge trace file).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.histogram import BIN_WIDTH, N_BINS, LogHistogram
+from .aggregation import (
+    N_DURATION_BINS,
+    DurationVolumeCurve,
+    _digitize_durations,
+    _digitize_volumes,
+)
+from .circadian import MINUTES_PER_DAY, sample_day_arrival_counts
+from .mobility import truncate_sessions
+from .network import Network
+from .records import SERVICE_NAMES, SessionTable
+from .simulator import (
+    MIN_OBSERVED_VOLUME_MB,
+    SimulationConfig,
+    _draw_session_bodies,
+    _jittered_shares,
+)
+from .simulator import _BETAS as _SIM_BETAS
+
+
+class StreamingError(ValueError):
+    """Raised on inconsistent streaming-aggregation input."""
+
+
+class CampaignAccumulator:
+    """Running per-service statistics over arbitrarily many session batches.
+
+    Accumulates exactly the Section 3.2 aggregates the fitting pipeline
+    needs, pooled over all BSs and days:
+
+    * per-service volume histograms (``F_s``);
+    * per-service duration-bin volume sums and counts (``v_s(d)``);
+    * per-service session counts and traffic totals (Table 1 shares);
+    * per-decile per-minute arrival-count histograms (Fig 3), when decile
+      membership is provided.
+    """
+
+    def __init__(self) -> None:
+        n_services = len(SERVICE_NAMES)
+        self._volume_counts = np.zeros((n_services, N_BINS), dtype=np.int64)
+        self._dv_sums = np.zeros((n_services, N_DURATION_BINS))
+        self._dv_counts = np.zeros((n_services, N_DURATION_BINS), dtype=np.int64)
+        self._sessions = np.zeros(n_services, dtype=np.int64)
+        self._traffic_mb = np.zeros(n_services)
+        self._truncated = 0
+        # Per decile: histogram of per-minute arrival counts.
+        self._arrival_hist: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def update(self, table: SessionTable) -> None:
+        """Fold one batch of sessions into the running statistics."""
+        if len(table) == 0:
+            return
+        volumes = table.volume_mb.astype(float)
+        service = table.service_idx.astype(np.int64)
+        vol_bins = _digitize_volumes(volumes)
+        dur_bins = _digitize_durations(table.duration_s.astype(float))
+
+        np.add.at(self._volume_counts, (service, vol_bins), 1)
+        np.add.at(self._dv_sums, (service, dur_bins), volumes)
+        np.add.at(self._dv_counts, (service, dur_bins), 1)
+        np.add.at(self._sessions, service, 1)
+        np.add.at(self._traffic_mb, service, volumes)
+        self._truncated += int(table.truncated.sum())
+
+    def update_arrivals(self, decile: int, minute_counts: np.ndarray) -> None:
+        """Fold one BS-day of per-minute arrival counts for a load decile."""
+        minute_counts = np.asarray(minute_counts)
+        if minute_counts.shape != (MINUTES_PER_DAY,):
+            raise StreamingError("minute_counts must cover one day")
+        top = int(minute_counts.max()) + 1
+        hist = self._arrival_hist.get(decile)
+        if hist is None or hist.size < top:
+            grown = np.zeros(max(top, 2 * (hist.size if hist is not None else 64)),
+                             dtype=np.int64)
+            if hist is not None:
+                grown[: hist.size] = hist
+            self._arrival_hist[decile] = hist = grown
+        np.add.at(hist, minute_counts.astype(np.int64), 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_sessions(self) -> int:
+        """Total accumulated session count."""
+        return int(self._sessions.sum())
+
+    @property
+    def truncated_fraction(self) -> float:
+        """Share of accumulated sessions cut by mobility."""
+        if self.n_sessions == 0:
+            raise StreamingError("no sessions accumulated")
+        return self._truncated / self.n_sessions
+
+    def volume_pdf(self, service: str) -> LogHistogram:
+        """Pooled volume PDF of one service (Eq 2 over everything seen)."""
+        idx = SERVICE_NAMES.index(service)
+        n = int(self._sessions[idx])
+        if n == 0:
+            return LogHistogram.empty()
+        return LogHistogram(
+            self._volume_counts[idx] / (n * BIN_WIDTH), n_samples=float(n)
+        )
+
+    def duration_volume(self, service: str) -> DurationVolumeCurve:
+        """Pooled duration–volume pairs of one service (Eq 1)."""
+        idx = SERVICE_NAMES.index(service)
+        means = np.zeros(N_DURATION_BINS)
+        counts = self._dv_counts[idx]
+        observed = counts > 0
+        means[observed] = self._dv_sums[idx][observed] / counts[observed]
+        return DurationVolumeCurve(means, counts.astype(float))
+
+    def service_shares(self) -> dict[str, tuple[float, float]]:
+        """Accumulated (session share, traffic share) per service."""
+        if self.n_sessions == 0:
+            raise StreamingError("no sessions accumulated")
+        session_share = self._sessions / self._sessions.sum()
+        traffic_share = self._traffic_mb / self._traffic_mb.sum()
+        return {
+            name: (float(session_share[i]), float(traffic_share[i]))
+            for i, name in enumerate(SERVICE_NAMES)
+        }
+
+    def arrival_count_pmf(self, decile: int) -> np.ndarray:
+        """PMF of per-minute arrival counts for one decile (the Fig 3 data)."""
+        hist = self._arrival_hist.get(decile)
+        if hist is None or hist.sum() == 0:
+            raise StreamingError(f"no arrival data for decile {decile}")
+        return hist / hist.sum()
+
+    def fit_bank(self, min_sessions: int = 500):
+        """Fit a :class:`~repro.core.model_bank.ModelBank` from the
+        accumulated statistics (no raw sessions needed)."""
+        from ..core.duration_model import DurationModelError
+        from ..core.model_bank import ModelBank
+        from ..core.service_model import ServiceModelError, fit_service_model
+
+        bank = ModelBank()
+        for name in SERVICE_NAMES:
+            if self._sessions[SERVICE_NAMES.index(name)] < min_sessions:
+                continue
+            try:
+                bank.add(
+                    fit_service_model(
+                        name, self.volume_pdf(name), self.duration_volume(name)
+                    )
+                )
+            except (DurationModelError, ServiceModelError):
+                continue
+        return bank
+
+
+def simulate_aggregated(
+    network: Network,
+    config: SimulationConfig,
+    rng: np.random.Generator,
+) -> CampaignAccumulator:
+    """Simulate a campaign of any length in bounded memory.
+
+    Statistically equivalent to ``aggregate(simulate(...))`` with one
+    simplification: truncated sessions are *not* re-injected at neighbour
+    BSs (cross-BS continuations would require cross-batch state).  Their
+    contribution is second-order for pooled statistics — the truncated
+    part itself is still recorded — and the regular simulator remains the
+    reference for per-BS analyses.
+    """
+    accumulator = CampaignAccumulator()
+    weekend = set(config.weekend_days())
+    n_services = len(SERVICE_NAMES)
+
+    for day in range(config.n_days):
+        rate_scale = config.weekend_rate_factor if day in weekend else 1.0
+        for station in network:
+            counts = sample_day_arrival_counts(station, rng, rate_scale)
+            accumulator.update_arrivals(station.decile, counts)
+            n = int(counts.sum())
+            if n == 0:
+                continue
+            start_minute = np.repeat(np.arange(MINUTES_PER_DAY), counts)
+            shares = _jittered_shares(rng, config.share_jitter_dex)
+            service_idx = rng.choice(n_services, size=n, p=shares)
+            volumes, durations = _draw_session_bodies(service_idx, rng)
+            dwells = config.mobility.sample_dwell_s(rng, n)
+            observed_vol, observed_dur, truncated = truncate_sessions(
+                volumes, durations, dwells, _SIM_BETAS[service_idx]
+            )
+            accumulator.update(
+                SessionTable(
+                    service_idx=service_idx,
+                    bs_id=np.full(n, station.bs_id),
+                    day=np.full(n, day),
+                    start_minute=start_minute,
+                    duration_s=np.clip(observed_dur, 1.0, None),
+                    volume_mb=np.clip(
+                        observed_vol, MIN_OBSERVED_VOLUME_MB, None
+                    ),
+                    truncated=truncated,
+                )
+            )
+    return accumulator

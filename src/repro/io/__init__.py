@@ -1,0 +1,15 @@
+"""Persistence and presentation helpers."""
+
+from .params import load_release, save_release
+from .tables import format_table, print_table
+from .traces import read_trace, trace_to_string, write_trace
+
+__all__ = [
+    "format_table",
+    "load_release",
+    "print_table",
+    "read_trace",
+    "save_release",
+    "trace_to_string",
+    "write_trace",
+]

@@ -1,0 +1,81 @@
+"""Model-parameter persistence.
+
+The paper releases each service model as the tuple
+``[mu_s, sigma_s, {k_n, mu_n, sigma_n}_n, alpha_s, beta_s]``.  This module
+wraps the JSON round-trip of a whole :class:`~repro.core.model_bank.ModelBank`
+together with the arrival-model parameters, producing a single,
+human-readable release artefact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.arrivals import ArrivalModel
+from ..core.model_bank import ModelBank, ModelBankError
+
+#: Schema tag written into release files.
+FORMAT_VERSION = 1
+
+
+class ParamsError(ValueError):
+    """Raised on malformed release files."""
+
+
+def save_release(
+    path: str | Path,
+    bank: ModelBank,
+    arrival_models: dict[str, ArrivalModel] | None = None,
+) -> None:
+    """Write a model release file.
+
+    ``arrival_models`` maps an arbitrary label (e.g. a BS decile name) to a
+    fitted arrival model; it is optional because the per-service models are
+    meaningful on their own.
+    """
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "services": json.loads(bank.to_json()),
+        "arrivals": {
+            label: {
+                "peak_mu": model.peak_mu,
+                "peak_sigma": model.peak_sigma,
+                "night_scale": model.night_scale,
+                "night_shape": model.night_shape,
+            }
+            for label, model in (arrival_models or {}).items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_release(
+    path: str | Path,
+) -> tuple[ModelBank, dict[str, ArrivalModel]]:
+    """Read a model release file back into live objects."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ParamsError(f"cannot read release file: {exc}") from exc
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ParamsError(
+            f"unsupported format version {payload.get('format_version')!r}"
+        )
+    try:
+        bank = ModelBank.from_json(json.dumps(payload["services"]))
+    except (KeyError, ModelBankError) as exc:
+        raise ParamsError(f"malformed services section: {exc}") from exc
+
+    arrivals: dict[str, ArrivalModel] = {}
+    for label, entry in payload.get("arrivals", {}).items():
+        try:
+            arrivals[label] = ArrivalModel(
+                peak_mu=float(entry["peak_mu"]),
+                peak_sigma=float(entry["peak_sigma"]),
+                night_scale=float(entry["night_scale"]),
+                night_shape=float(entry.get("night_shape", 1.765)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ParamsError(f"malformed arrival entry {label!r}: {exc}") from exc
+    return bank, arrivals

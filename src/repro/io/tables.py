@@ -1,0 +1,60 @@
+"""Fixed-width text table rendering for benchmark and CLI output.
+
+The benchmark harness regenerates the paper's tables and figure series as
+plain text; this module keeps the formatting in one place so every bench
+prints consistent, alignment-stable rows.
+"""
+
+from __future__ import annotations
+
+
+class TableError(ValueError):
+    """Raised on inconsistent table input."""
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as a fixed-width table with a header separator.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Column widths adapt to the content.
+    """
+    if not headers:
+        raise TableError("need at least one column")
+    rendered: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise TableError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: list[str], rows: list[list], title: str | None = None) -> None:
+    """Print a table, optionally preceded by an underlined title."""
+    if title:
+        print(title)
+        print("=" * len(title))
+    print(format_table(headers, rows))
+    print()

@@ -1,0 +1,1 @@
+"""Application use cases: the paper's two (Section 6) plus extensions."""

@@ -1,0 +1,16 @@
+"""Extension use case: downlink QoE under processor sharing."""
+
+from .experiment import (
+    CapacityOutcome,
+    CapacityScenario,
+    run_capacity_experiment,
+)
+from .processor_sharing import SharingResult, simulate_processor_sharing
+
+__all__ = [
+    "CapacityOutcome",
+    "CapacityScenario",
+    "SharingResult",
+    "run_capacity_experiment",
+    "simulate_processor_sharing",
+]

@@ -1,0 +1,156 @@
+"""The downlink QoE experiment: model fidelity under congestion.
+
+Runs the processor-sharing cell under flow arrivals whose volumes come
+from (i) the measured statistics, (ii) the fitted session-level models and
+(iii) the literature category models — the same three-way comparison as
+the paper's use cases, on a metric (slowdown under sharing) that depends
+*only* on arrival times and volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.model_bank import ModelBank
+from ...core.service_mix import ServiceMix
+from ...dataset.records import SERVICE_NAMES, SessionTable
+from ..vran.sources import (
+    CategorySource,
+    MeasurementSource,
+    generate_skeleton,
+)
+from ..vran.topology import RadioUnit, VranTopology
+from .processor_sharing import SharingResult, simulate_processor_sharing
+
+
+class CapacityExperimentError(ValueError):
+    """Raised on inconsistent experiment configuration."""
+
+
+@dataclass(frozen=True)
+class CapacityScenario:
+    """Parameters of the downlink QoE experiment.
+
+    One cell of ``capacity_mbps`` is fed with the arrival process of a BS
+    of the given load decile for ``horizon_s`` seconds.
+    """
+
+    capacity_mbps: float = 300.0
+    decile: int = 7
+    horizon_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise CapacityExperimentError("capacity must be positive")
+        if not 0 <= self.decile <= 9:
+            raise CapacityExperimentError("decile must be in 0..9")
+        if self.horizon_s <= 0:
+            raise CapacityExperimentError("horizon must be positive")
+
+
+@dataclass
+class CapacityOutcome:
+    """QoE statistics per traffic strategy."""
+
+    results: dict[str, SharingResult]
+    utilization: dict[str, float]
+
+    def summary_rows(self) -> list[list]:
+        """Table rows: strategy, mean slowdown, p95 sojourn, completion %,
+        offered utilization %."""
+        rows = []
+        for name, result in self.results.items():
+            rows.append(
+                [
+                    name,
+                    result.mean_slowdown(),
+                    result.p95_sojourn_s(),
+                    100 * result.completion_rate(),
+                    100 * self.utilization[name],
+                ]
+            )
+        return rows
+
+
+class _SingleCellTopology(VranTopology):
+    """A one-RU topology whose single RU carries a chosen load decile."""
+
+    def __init__(self, decile: int):
+        super().__init__(n_es=1, n_ru_per_es=1)
+        object.__setattr__(self, "_decile", decile)
+
+    def radio_units(self) -> list[RadioUnit]:
+        """The single RU, pinned to the configured decile."""
+        return [RadioUnit(ru_id=0, es_id=0, decile=self._decile)]
+
+
+class _BankVolumes:
+    """Decoration adapter: volumes from the fitted session-level models."""
+
+    def __init__(self, bank: ModelBank):
+        self._bank = bank
+
+    def decorate(self, skeleton, rng):
+        """Assign model-sampled volumes (and durations) to the skeleton."""
+        volumes = np.empty(len(skeleton))
+        durations = np.empty(len(skeleton))
+        for idx in np.unique(skeleton.service_idx):
+            model = self._bank.get(SERVICE_NAMES[idx])
+            mask = skeleton.service_idx == idx
+            batch = model.sample_sessions(rng, int(mask.sum()))
+            volumes[mask] = batch.volumes_mb
+            durations[mask] = batch.durations_s
+        return volumes, durations
+
+
+def run_capacity_experiment(
+    measurement_table: SessionTable,
+    rng: np.random.Generator,
+    scenario: CapacityScenario | None = None,
+) -> CapacityOutcome:
+    """Run the three-way QoE comparison on one cell.
+
+    A single-RU topology of the requested decile provides the shared
+    arrival skeleton; each strategy decorates the arrivals with volumes
+    (durations are irrelevant here — sojourns emerge from the sharing).
+    The sharing simulation runs past the arrival horizon so the backlog
+    drains and nearly every flow completes.
+    """
+    scenario = scenario or CapacityScenario()
+
+    measurement = MeasurementSource.from_table(
+        measurement_table, list(SERVICE_NAMES)
+    )
+    covered = [SERVICE_NAMES[i] for i in measurement.service_indices]
+    bank = ModelBank.fit_from_table(measurement_table, services=covered)
+    usable = [name for name in covered if name in bank]
+    mix = ServiceMix.from_measurements(measurement_table).restricted_to(usable)
+    measurement = MeasurementSource.from_table(measurement_table, usable)
+
+    skeleton = generate_skeleton(
+        _SingleCellTopology(scenario.decile), mix, rng, scenario.horizon_s
+    )
+
+    sources = {
+        "measurement": measurement,
+        "model": _BankVolumes(bank),
+        "bm_a": CategorySource.bm_a(),
+        "bm_c": CategorySource.bm_c(measurement, mix),
+    }
+
+    results: dict[str, SharingResult] = {}
+    utilization: dict[str, float] = {}
+    for name, source in sources.items():
+        volumes, _ = source.decorate(skeleton, rng)
+        results[name] = simulate_processor_sharing(
+            skeleton.t_start_s,
+            volumes,
+            scenario.capacity_mbps,
+            horizon_s=scenario.horizon_s * 4,
+        )
+        utilization[name] = float(
+            volumes.sum() * 8.0 / (scenario.capacity_mbps * scenario.horizon_s)
+        )
+    return CapacityOutcome(results=results, utilization=utilization)

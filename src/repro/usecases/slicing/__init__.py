@@ -1,0 +1,37 @@
+"""Capacity allocation for network slicing (Section 6.1)."""
+
+from .allocation import (
+    SLA_PERCENTILE,
+    allocate_with_categories,
+    allocate_with_models,
+    percentile_capacity,
+)
+from .benchmarks import BM_A_SHARES, BM_B_SHARES, CATEGORY_MODELS
+from .demand import campaign_peak_mask, demand_matrix, spread_sessions
+from .simulator import (
+    SlicingOutcome,
+    SlicingScenario,
+    StrategyResult,
+    evaluate_capacity,
+    fit_antenna_arrival_models,
+    run_slicing_experiment,
+)
+
+__all__ = [
+    "BM_A_SHARES",
+    "BM_B_SHARES",
+    "CATEGORY_MODELS",
+    "SLA_PERCENTILE",
+    "SlicingOutcome",
+    "SlicingScenario",
+    "StrategyResult",
+    "allocate_with_categories",
+    "allocate_with_models",
+    "campaign_peak_mask",
+    "demand_matrix",
+    "evaluate_capacity",
+    "fit_antenna_arrival_models",
+    "percentile_capacity",
+    "run_slicing_experiment",
+    "spread_sessions",
+]

@@ -1,0 +1,116 @@
+"""Per-slice, per-antenna traffic demand time series.
+
+The slicing use case (Section 6.1) reasons about the traffic demand each
+Service Provider's slice places on each antenna at every minute.  A session
+of volume ``x`` spread over ``n`` minutes contributes ``x / n`` MB to each
+covered minute of its serving antenna and service — the finest accounting
+the per-minute probe aggregation supports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dataset.circadian import MINUTES_PER_DAY, peak_minute_mask
+from ...dataset.records import SERVICE_NAMES, SessionTable
+
+
+class DemandError(ValueError):
+    """Raised on inconsistent demand-matrix input."""
+
+
+def spread_sessions(
+    group_idx: np.ndarray,
+    n_groups: int,
+    day: np.ndarray,
+    start_minute: np.ndarray,
+    volumes_mb: np.ndarray,
+    durations_s: np.ndarray,
+    n_days: int,
+) -> np.ndarray:
+    """Spread session volumes uniformly over their covered minutes.
+
+    Returns a ``(n_groups, n_days * 1440)`` matrix of MB per minute; the
+    grouping (antenna, service, slice, category, ...) is the caller's
+    choice.  Sessions are clipped at the end of their day.
+    """
+    group_idx = np.asarray(group_idx, dtype=np.int64)
+    day = np.asarray(day, dtype=np.int64)
+    start_minute = np.asarray(start_minute, dtype=np.int64)
+    volumes_mb = np.asarray(volumes_mb, dtype=float)
+    durations_s = np.asarray(durations_s, dtype=float)
+    n = group_idx.size
+    if not (
+        day.shape == start_minute.shape == volumes_mb.shape == durations_s.shape
+        == (n,)
+    ):
+        raise DemandError("all session columns must align")
+    if n_groups < 1 or n_days < 1:
+        raise DemandError("n_groups and n_days must be >= 1")
+    if n and (group_idx.min() < 0 or group_idx.max() >= n_groups):
+        raise DemandError("group index out of range")
+
+    total_minutes = n_days * MINUTES_PER_DAY
+    demand = np.zeros(n_groups * total_minutes)
+    if n == 0:
+        return demand.reshape(n_groups, total_minutes)
+
+    n_minutes = np.ceil(durations_s / 60.0).astype(np.int64)
+    n_minutes = np.minimum(np.maximum(n_minutes, 1), MINUTES_PER_DAY - start_minute)
+    rate = volumes_mb / n_minutes
+    base_slot = (
+        group_idx * total_minutes + day * MINUTES_PER_DAY + start_minute
+    )
+
+    # Iterate over the k-th covered minute, shrinking to the sessions that
+    # actually last that long (descending sort gives a contiguous prefix).
+    order = np.argsort(-n_minutes, kind="stable")
+    n_sorted = n_minutes[order]
+    slot_sorted = base_slot[order]
+    rate_sorted = rate[order]
+    for k in range(int(n_sorted[0])):
+        active = int(np.searchsorted(-n_sorted, -(k + 1), side="right"))
+        if active == 0:
+            break
+        np.add.at(demand, slot_sorted[:active] + k, rate_sorted[:active])
+
+    return demand.reshape(n_groups, total_minutes)
+
+
+def demand_matrix(
+    table: SessionTable, bs_ids: list[int], n_days: int
+) -> np.ndarray:
+    """Per-minute traffic demand in MB, shaped (n_bs, n_services, minutes).
+
+    ``minutes`` runs over the whole campaign (``n_days * 1440``).
+    """
+    if not bs_ids:
+        raise DemandError("need at least one antenna")
+    n_bs = len(bs_ids)
+    n_services = len(SERVICE_NAMES)
+    sub = table.for_bs_ids(bs_ids)
+
+    bs_pos = {bs: i for i, bs in enumerate(bs_ids)}
+    bs_index = np.array([bs_pos[b] for b in sub.bs_id], dtype=np.int64)
+    group = bs_index * n_services + sub.service_idx.astype(np.int64)
+    flat = spread_sessions(
+        group,
+        n_bs * n_services,
+        sub.day,
+        sub.start_minute,
+        sub.volume_mb,
+        sub.duration_s,
+        n_days,
+    )
+    return flat.reshape(n_bs, n_services, n_days * MINUTES_PER_DAY)
+
+
+def campaign_peak_mask(n_days: int) -> np.ndarray:
+    """Boolean mask of the peak-hour minutes over a whole campaign.
+
+    The SLA of Section 6.1 covers peak hours only (all day except the
+    night from 10 pm to 8 am).
+    """
+    if n_days < 1:
+        raise DemandError("n_days must be >= 1")
+    return np.tile(peak_minute_mask(), n_days)

@@ -1,0 +1,198 @@
+"""The Section 6.1 slicing experiment: Table 2 and Fig 12.
+
+One operator signs SLAs with 28 Service Providers (the Table 1 services):
+each SP's slice must see its full traffic demand served at least 95 % of
+the (peak-hour) time at every antenna.  The experiment:
+
+1. simulates the "real world": a measurement campaign over ``n_antennas``
+   BSs and ``n_days`` days;
+2. fits the session-level models on that campaign (arrival models per
+   antenna, service mix, volume + duration models per service);
+3. runs the three allocators — ours, bm a, bm b — which may only use their
+   respective models (never the real demand);
+4. scores each allocation against the real per-minute demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...core.arrivals import ArrivalModel, fit_arrival_model_from_days
+from ...core.model_bank import ModelBank
+from ...core.service_mix import ServiceMix
+from ...dataset.aggregation import minute_arrival_counts
+from ...dataset.network import Network, NetworkConfig
+from ...dataset.records import SERVICE_INDEX, SessionTable
+from ...dataset.services import TABLE1_SERVICES
+from ...dataset.simulator import SimulationConfig, simulate
+from .allocation import (
+    SLA_PERCENTILE,
+    allocate_with_categories,
+    allocate_with_models,
+)
+from .benchmarks import BM_A_SHARES, BM_B_SHARES
+from .demand import campaign_peak_mask, demand_matrix
+
+
+@dataclass(frozen=True)
+class SlicingScenario:
+    """Parameters of the Section 6.1 evaluation.
+
+    Paper values: 10 antennas, one week, the 28 Table 1 services, 95 % SLA.
+    """
+
+    n_antennas: int = 10
+    n_days: int = 7
+    n_model_days: int = 6
+    percentile: float = SLA_PERCENTILE
+    min_fit_sessions: int = 300
+
+    def __post_init__(self) -> None:
+        if self.n_antennas < 1 or self.n_days < 1 or self.n_model_days < 1:
+            raise ValueError("scenario sizes must be >= 1")
+
+
+@dataclass
+class StrategyResult:
+    """Outcome of one allocation strategy.
+
+    ``satisfaction`` is the per-(antenna, service) fraction of peak-hour
+    minutes with no dropped traffic; ``capacity_mb_min`` the allocation.
+    """
+
+    name: str
+    capacity_mb_min: np.ndarray
+    satisfaction: np.ndarray
+
+    @property
+    def mean_satisfaction(self) -> float:
+        """Average over antennas and services — the Table 2 first column."""
+        return float(self.satisfaction.mean())
+
+    @property
+    def std_satisfaction(self) -> float:
+        """Std over antennas and services — the Table 2 second column."""
+        return float(self.satisfaction.std(ddof=0))
+
+
+@dataclass
+class SlicingOutcome:
+    """Everything the Table 2 / Fig 12 benches report."""
+
+    scenario: SlicingScenario
+    results: dict[str, StrategyResult]
+    real_demand: np.ndarray
+    bs_ids: list[int]
+    service_names: list[str]
+    peak_mask: np.ndarray = field(repr=False)
+
+    def timeseries(
+        self, strategy: str, service: str, antenna_pos: int = 0
+    ) -> tuple[np.ndarray, float]:
+        """Fig 12 data: (per-minute real demand, allocated capacity) for one
+        service slice at one antenna."""
+        service_pos = self.service_names.index(service)
+        demand = self.real_demand[antenna_pos, SERVICE_INDEX[service]]
+        capacity = self.results[strategy].capacity_mb_min[
+            antenna_pos, SERVICE_INDEX[service]
+        ]
+        return demand, float(capacity)
+
+
+def fit_antenna_arrival_models(
+    table: SessionTable, bs_ids: list[int], n_days: int
+) -> dict[int, ArrivalModel]:
+    """Fit one bi-modal arrival model per antenna from measured counts."""
+    models: dict[int, ArrivalModel] = {}
+    for bs_id in bs_ids:
+        counts = minute_arrival_counts(table, [bs_id], n_days)
+        models[bs_id] = fit_arrival_model_from_days(counts.reshape(n_days, 1440))
+    return models
+
+
+def evaluate_capacity(
+    real_demand: np.ndarray, capacity: np.ndarray, peak_mask: np.ndarray
+) -> np.ndarray:
+    """Fraction of peak minutes where allocated capacity covers demand."""
+    peak = real_demand[:, :, peak_mask]
+    # A minute with zero demand is trivially satisfied; a tiny epsilon
+    # absorbs float rounding at the exact-capacity boundary.
+    return (peak <= capacity[:, :, None] + 1e-9).mean(axis=2)
+
+
+def run_slicing_experiment(
+    rng: np.random.Generator, scenario: SlicingScenario | None = None
+) -> SlicingOutcome:
+    """Run the full Section 6.1 evaluation and return all artefacts."""
+    scenario = scenario or SlicingScenario()
+
+    # 1. The real world: a measurement campaign over the covered area.
+    network = Network(NetworkConfig(n_bs=max(scenario.n_antennas, 10)), rng)
+    real_table = simulate(
+        network, SimulationConfig(n_days=scenario.n_days), rng
+    )
+    bs_ids = list(range(scenario.n_antennas))
+    real_demand = demand_matrix(real_table, bs_ids, scenario.n_days)
+    peak_mask = campaign_peak_mask(scenario.n_days)
+
+    # 2. Fit the session-level models from the measurements.
+    arrival_models = fit_antenna_arrival_models(
+        real_table, bs_ids, scenario.n_days
+    )
+    bank = ModelBank.fit_from_table(
+        real_table,
+        services=list(TABLE1_SERVICES),
+        min_sessions=scenario.min_fit_sessions,
+    )
+    mix = ServiceMix.from_measurements(real_table).restricted_to(bank.services())
+
+    # 3. The three allocators.
+    capacities = {
+        "model": allocate_with_models(
+            arrival_models,
+            mix,
+            bank,
+            rng,
+            n_sim_days=scenario.n_model_days,
+            percentile=scenario.percentile,
+        ),
+        "bm_a": allocate_with_categories(
+            arrival_models,
+            BM_A_SHARES,
+            rng,
+            n_sim_days=scenario.n_model_days,
+            percentile=scenario.percentile,
+        ),
+        "bm_b": allocate_with_categories(
+            arrival_models,
+            BM_B_SHARES,
+            rng,
+            n_sim_days=scenario.n_model_days,
+            percentile=scenario.percentile,
+        ),
+    }
+
+    # 4. Score against the real demand, on the Table 1 services only.
+    service_names = [
+        name for name in TABLE1_SERVICES if name in bank
+    ]
+    service_cols = [SERVICE_INDEX[name] for name in service_names]
+    results = {}
+    for name, capacity in capacities.items():
+        satisfaction = evaluate_capacity(real_demand, capacity, peak_mask)
+        results[name] = StrategyResult(
+            name=name,
+            capacity_mb_min=capacity,
+            satisfaction=satisfaction[:, service_cols],
+        )
+
+    return SlicingOutcome(
+        scenario=scenario,
+        results=results,
+        real_demand=real_demand,
+        bs_ids=bs_ids,
+        service_names=service_names,
+        peak_mask=peak_mask,
+    )

@@ -1,0 +1,45 @@
+"""Energy consumption in CU-DU vRAN orchestration (Section 6.2)."""
+
+from .binpacking import IncrementalPacker, PackingResult, first_fit_decreasing
+from .power import PS_CAPACITY_MBPS, PS_IDLE_W, PS_MAX_W, PowerModel
+from .simulator import (
+    OrchestrationTrace,
+    VranOutcome,
+    VranScenario,
+    ape_per_ts,
+    run_orchestration,
+    run_vran_experiment,
+)
+from .sources import (
+    ArrivalSkeleton,
+    CategorySource,
+    EmpiricalServiceSampler,
+    MeasurementSource,
+    ModelBankSource,
+    generate_skeleton,
+)
+from .topology import RadioUnit, VranTopology
+
+__all__ = [
+    "ArrivalSkeleton",
+    "CategorySource",
+    "EmpiricalServiceSampler",
+    "IncrementalPacker",
+    "MeasurementSource",
+    "ModelBankSource",
+    "OrchestrationTrace",
+    "PS_CAPACITY_MBPS",
+    "PS_IDLE_W",
+    "PS_MAX_W",
+    "PackingResult",
+    "PowerModel",
+    "RadioUnit",
+    "VranOutcome",
+    "VranScenario",
+    "VranTopology",
+    "ape_per_ts",
+    "first_fit_decreasing",
+    "generate_skeleton",
+    "run_orchestration",
+    "run_vran_experiment",
+]

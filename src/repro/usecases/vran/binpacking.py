@@ -1,0 +1,287 @@
+"""Bin-packing heuristics for session-to-PS placement (Section 6.2.1).
+
+The orchestrator minimizes the number of active physical servers by packing
+the throughput of served sessions into PSs of fixed capacity — the
+classical bin-packing problem, solved with the first-fit(-decreasing)
+heuristics of Johnson's thesis [18], which the paper cites.
+
+Two entry points:
+
+* :func:`first_fit_decreasing` — offline packing of a batch of items;
+* :class:`IncrementalPacker` — the per-time-slot online variant used by
+  the orchestration loop: new sessions are first-fit placed, departed
+  sessions free capacity, and a consolidation pass drains nearly-empty
+  bins so PSs can be switched off.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class PackingError(ValueError):
+    """Raised on invalid packing input."""
+
+
+@dataclass
+class PackingResult:
+    """Outcome of an offline packing run."""
+
+    bin_loads: list[float]
+    assignments: list[int]
+
+    @property
+    def n_bins(self) -> int:
+        """Number of bins opened."""
+        return len(self.bin_loads)
+
+
+def first_fit_decreasing(items, capacity: float) -> PackingResult:
+    """Pack ``items`` into bins of ``capacity`` by first-fit decreasing.
+
+    Returns the bin loads and, for each input item (original order), the
+    index of its bin.  Items larger than the capacity are rejected.
+    """
+    items = np.asarray(items, dtype=float)
+    if capacity <= 0:
+        raise PackingError("capacity must be positive")
+    if items.size and items.max() > capacity * (1 + 1e-12):
+        raise PackingError("an item exceeds the bin capacity")
+    if np.any(items < 0):
+        raise PackingError("items must be non-negative")
+
+    order = np.argsort(-items, kind="stable")
+    loads: list[float] = []
+    assignments = [0] * items.size
+    for idx in order:
+        size = float(items[idx])
+        for b, load in enumerate(loads):
+            if load + size <= capacity + 1e-12:
+                loads[b] = load + size
+                assignments[idx] = b
+                break
+        else:
+            loads.append(size)
+            assignments[idx] = len(loads) - 1
+    return PackingResult(bin_loads=loads, assignments=assignments)
+
+
+@dataclass
+class _Bin:
+    """One active PS: its load, resident sessions and their groups."""
+
+    load: float = 0.0
+    sessions: dict[int, float] = field(default_factory=dict)
+    groups: dict[int, int] = field(default_factory=dict)  # group -> count
+    group_load: dict[int, float] = field(default_factory=dict)
+
+
+class IncrementalPacker:
+    """Online session packing with departures and consolidation.
+
+    Sessions are identified by opaque integer ids.  Capacity checks use a
+    small epsilon so that float accumulation never spuriously rejects a
+    fitting session.
+
+    When ``group_affinity`` is enabled, each session carries a group label
+    (e.g. its Distributed Unit) and first-fit placement prefers PSs
+    already hosting that group — modelling the fronthaul benefit of
+    keeping one DU's processing on few servers.  Affinity is a soft
+    preference: capacity permitting nothing, any PS is used.
+    """
+
+    def __init__(self, capacity: float, group_affinity: bool = False):
+        if capacity <= 0:
+            raise PackingError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.group_affinity = bool(group_affinity)
+        self._bins: dict[int, _Bin] = {}
+        self._session_bin: dict[int, int] = {}
+        self._session_group: dict[int, int] = {}
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_bins(self) -> int:
+        """Number of active PSs."""
+        return len(self._bins)
+
+    @property
+    def total_load(self) -> float:
+        """Aggregate throughput across all PSs."""
+        return sum(b.load for b in self._bins.values())
+
+    def bin_loads(self) -> np.ndarray:
+        """Loads of the active PSs."""
+        return np.array([b.load for b in self._bins.values()])
+
+    # ------------------------------------------------------------------
+    def _candidate_bins(self, group: int | None):
+        """Bins in placement-preference order for a session of ``group``."""
+        if not self.group_affinity or group is None:
+            return list(self._bins.items())
+        # Prefer the bins where this group already concentrates the most
+        # load (mere membership is too weak: one stray session would make
+        # every bin look like a candidate).
+        return sorted(
+            self._bins.items(),
+            key=lambda item: -item[1].group_load.get(group, 0.0),
+        )
+
+    def add(self, session_id: int, size: float, group: int | None = None) -> None:
+        """Place one new session by (affinity-aware) first-fit."""
+        if size < 0 or size > self.capacity * (1 + 1e-12):
+            raise PackingError(f"session size {size} does not fit a PS")
+        if session_id in self._session_bin:
+            raise PackingError(f"session {session_id} already placed")
+        for bin_id, psbin in self._candidate_bins(group):
+            if psbin.load + size <= self.capacity + 1e-9:
+                self._place(bin_id, session_id, size, group)
+                return
+        bin_id = next(self._ids)
+        self._bins[bin_id] = _Bin()
+        self._place(bin_id, session_id, size, group)
+
+    def _place(
+        self, bin_id: int, session_id: int, size: float, group: int | None
+    ) -> None:
+        psbin = self._bins[bin_id]
+        psbin.sessions[session_id] = size
+        psbin.load += size
+        if group is not None:
+            psbin.groups[group] = psbin.groups.get(group, 0) + 1
+            psbin.group_load[group] = psbin.group_load.get(group, 0.0) + size
+            self._session_group[session_id] = group
+        self._session_bin[session_id] = bin_id
+
+    def add_batch(
+        self,
+        session_ids: list[int],
+        sizes: np.ndarray,
+        groups: np.ndarray | None = None,
+    ) -> None:
+        """Place a batch of new sessions, largest first (FFD order)."""
+        sizes = np.asarray(sizes, dtype=float)
+        if len(session_ids) != sizes.size:
+            raise PackingError("ids and sizes must align")
+        if groups is not None and len(session_ids) != len(groups):
+            raise PackingError("ids and groups must align")
+        for pos in np.argsort(-sizes, kind="stable"):
+            group = None if groups is None else int(groups[pos])
+            self.add(session_ids[pos], float(sizes[pos]), group)
+
+    def remove(self, session_id: int) -> None:
+        """Remove a finished session, closing its PS if now empty."""
+        try:
+            bin_id = self._session_bin.pop(session_id)
+        except KeyError:
+            raise PackingError(f"unknown session {session_id}") from None
+        psbin = self._bins[bin_id]
+        size = psbin.sessions.pop(session_id)
+        psbin.load -= size
+        group = self._session_group.pop(session_id, None)
+        if group is not None:
+            psbin.groups[group] -= 1
+            psbin.group_load[group] -= size
+            if psbin.groups[group] == 0:
+                del psbin.groups[group]
+                del psbin.group_load[group]
+        if not psbin.sessions:
+            del self._bins[bin_id]
+
+    # ------------------------------------------------------------------
+    def group_concentration(self) -> float:
+        """Fraction of each group's load hosted on its single best PS.
+
+        Averaged over groups, weighted by group load; 1.0 means every
+        group's processing sits on one server (perfect DU locality), and
+        the value decays towards ``1 / n_bins`` as groups smear out.
+        Returns 1.0 for an empty system.
+        """
+        peak: dict[int, float] = {}
+        total: dict[int, float] = {}
+        for psbin in self._bins.values():
+            for group, load in psbin.group_load.items():
+                total[group] = total.get(group, 0.0) + load
+                peak[group] = max(peak.get(group, 0.0), load)
+        grand_total = sum(total.values())
+        if grand_total <= 0:
+            return 1.0
+        return float(sum(peak.values()) / grand_total)
+
+    def mean_groups_per_bin(self) -> float:
+        """Average number of distinct groups (DUs) hosted per active PS.
+
+        The fronthaul-fragmentation metric of the affinity policy; returns
+        0 for an empty system.
+        """
+        if not self._bins:
+            return 0.0
+        return float(
+            np.mean([max(len(b.groups), 1) for b in self._bins.values()])
+        )
+
+    # ------------------------------------------------------------------
+    def consolidate(self) -> int:
+        """Drain the least-loaded PSs into the rest; returns PSs closed.
+
+        Repeatedly tries to relocate every session of the least-loaded PS
+        into the other PSs (first-fit); stops at the first PS that cannot
+        be fully drained.  This is the per-TS energy-minimization step.
+        """
+        closed = 0
+        while len(self._bins) > 1:
+            victim_id = min(self._bins, key=lambda b: self._bins[b].load)
+            victim = self._bins[victim_id]
+            others = [
+                (bin_id, psbin)
+                for bin_id, psbin in self._bins.items()
+                if bin_id != victim_id
+            ]
+            free = sum(self.capacity - psbin.load for _, psbin in others)
+            if victim.load > free + 1e-9:
+                break
+            # Tentatively relocate, largest session first; with affinity
+            # enabled, target bins already hosting the session's group are
+            # tried first so consolidation does not undo DU locality.
+            moves: list[tuple[int, float, int]] = []
+            feasible = True
+            loads = {bin_id: psbin.load for bin_id, psbin in others}
+            for session_id, size in sorted(
+                victim.sessions.items(), key=lambda kv: -kv[1]
+            ):
+                group = self._session_group.get(session_id)
+                if self.group_affinity and group is not None:
+                    ordered = sorted(
+                        others,
+                        key=lambda item: -item[1].group_load.get(group, 0.0),
+                    )
+                else:
+                    ordered = others
+                for bin_id, _ in ordered:
+                    if loads[bin_id] + size <= self.capacity + 1e-9:
+                        loads[bin_id] += size
+                        moves.append((session_id, size, bin_id))
+                        break
+                else:
+                    feasible = False
+                    break
+            if not feasible:
+                break
+            for session_id, size, bin_id in moves:
+                target = self._bins[bin_id]
+                target.sessions[session_id] = size
+                target.load += size
+                self._session_bin[session_id] = bin_id
+                group = self._session_group.get(session_id)
+                if group is not None:
+                    target.groups[group] = target.groups.get(group, 0) + 1
+                    target.group_load[group] = (
+                        target.group_load.get(group, 0.0) + size
+                    )
+            del self._bins[victim_id]
+            closed += 1
+        return closed

@@ -1,0 +1,73 @@
+"""Physical-server power model of the CU cloud site (Section 6.2.1).
+
+All PSs are identical machines following the IBM server specification the
+paper cites [36]: capacity bounded by a maximum aggregate throughput of
+100 Mbps, idle consumption 60 W, and linear growth to 200 W at full load.
+Under this model, minimizing energy is equivalent to minimizing the number
+of active PSs (the load-proportional term is packing-independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Maximum aggregate throughput one PS can process (Mbps).
+PS_CAPACITY_MBPS = 100.0
+#: Power drawn by an idle (but on) PS, in watts.
+PS_IDLE_W = 60.0
+#: Power drawn by a PS at 100 % load, in watts.
+PS_MAX_W = 200.0
+
+
+class PowerModelError(ValueError):
+    """Raised on invalid power-model input."""
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Linear load-proportional PS power model."""
+
+    capacity_mbps: float = PS_CAPACITY_MBPS
+    idle_w: float = PS_IDLE_W
+    max_w: float = PS_MAX_W
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise PowerModelError("capacity must be positive")
+        if not 0 <= self.idle_w <= self.max_w:
+            raise PowerModelError("need 0 <= idle_w <= max_w")
+
+    def ps_power_w(self, load_mbps) -> np.ndarray:
+        """Power of one PS at the given load (watts)."""
+        load_mbps = np.asarray(load_mbps, dtype=float)
+        if np.any(load_mbps < -1e-9):
+            raise PowerModelError("load cannot be negative")
+        if np.any(load_mbps > self.capacity_mbps * (1 + 1e-9)):
+            raise PowerModelError("load exceeds PS capacity")
+        fraction = np.clip(load_mbps / self.capacity_mbps, 0.0, 1.0)
+        return self.idle_w + (self.max_w - self.idle_w) * fraction
+
+    def total_power_w(self, ps_loads_mbps: np.ndarray) -> float:
+        """Aggregate power of a set of active PSs (watts)."""
+        ps_loads_mbps = np.asarray(ps_loads_mbps, dtype=float)
+        if ps_loads_mbps.size == 0:
+            return 0.0
+        return float(np.sum(self.ps_power_w(ps_loads_mbps)))
+
+    def power_from_counts(self, n_ps: int, total_load_mbps: float) -> float:
+        """Aggregate power from the active-PS count and the total load.
+
+        Because the model is linear, the per-PS split does not matter:
+        ``P = n * idle + (max - idle) * total_load / capacity``.
+        """
+        if n_ps < 0:
+            raise PowerModelError("n_ps cannot be negative")
+        if total_load_mbps < -1e-9:
+            raise PowerModelError("load cannot be negative")
+        if total_load_mbps > n_ps * self.capacity_mbps * (1 + 1e-9):
+            raise PowerModelError("total load exceeds aggregate capacity")
+        return n_ps * self.idle_w + (
+            self.max_w - self.idle_w
+        ) * total_load_mbps / self.capacity_mbps

@@ -1,0 +1,269 @@
+"""The Section 6.2 vRAN energy experiment: Fig 13.
+
+Every second (one time slot, TS), the orchestrator updates the placement of
+served sessions on physical servers: departed sessions free capacity, new
+arrivals are first-fit placed, and a consolidation pass drains nearly-empty
+PSs so they can be switched off.  Energy follows the linear PS power model;
+minimizing energy is minimizing active PSs.
+
+The experiment runs the same arrival skeleton under every traffic source
+(measurement / our models / bm a–c) and reports the per-TS absolute
+percentage error of the active-PS count and of the power draw against the
+measurement-driven run — the Fig 13b distributions — plus the raw power
+time series of Fig 13c.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...analysis.metrics import BoxplotStats
+from ...core.model_bank import ModelBank
+from ...core.service_mix import ServiceMix
+from ...dataset.records import SERVICE_NAMES, SessionTable
+from .binpacking import IncrementalPacker
+from .power import PowerModel
+from .sources import (
+    ArrivalSkeleton,
+    CategorySource,
+    MeasurementSource,
+    ModelBankSource,
+    SourceError,
+    generate_skeleton,
+)
+from .topology import VranTopology
+
+
+@dataclass(frozen=True)
+class VranScenario:
+    """Parameters of the vRAN evaluation.
+
+    Paper values: 20 ES × 20 RU, several emulated days.  The default
+    horizon is shorter (the dynamics repeat with the circadian cycle);
+    ``warmup_s`` TSs are excluded from error statistics so the initially
+    empty system does not bias them.
+    """
+
+    topology: VranTopology = field(default_factory=VranTopology)
+    horizon_s: float = 3600.0
+    start_minute_of_day: int = 600
+    warmup_s: float = 600.0
+    power: PowerModel = field(default_factory=PowerModel)
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if not 0 <= self.warmup_s < self.horizon_s:
+            raise ValueError("warmup must be shorter than the horizon")
+
+
+@dataclass
+class OrchestrationTrace:
+    """Per-TS outcome of one orchestration run.
+
+    ``mean_dus_per_ps`` counts distinct Distributed Units per active PS;
+    ``du_concentration`` is the load-weighted fraction of each DU hosted
+    on its single best PS (1.0 = perfect DU locality).
+    """
+
+    n_ps: np.ndarray
+    power_w: np.ndarray
+    total_load_mbps: np.ndarray
+    mean_dus_per_ps: np.ndarray | None = None
+    du_concentration: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return int(self.n_ps.size)
+
+
+def run_orchestration(
+    skeleton: ArrivalSkeleton,
+    volumes_mb: np.ndarray,
+    durations_s: np.ndarray,
+    scenario: VranScenario,
+    du_affinity: bool = False,
+    utilization_cap: float = 1.0,
+) -> OrchestrationTrace:
+    """Run the per-TS bin-packing orchestration over decorated sessions.
+
+    A session of volume ``x`` and duration ``d`` holds a constant
+    throughput ``8 x / d`` Mbps for ``d`` seconds, clipped at the PS
+    capacity (one session cannot span servers).
+
+    With ``du_affinity`` the placement prefers PSs already hosting the
+    session's Distributed Unit (its ES).  At energy-minimal operation every
+    PS runs full and placement has no freedom, so the preference only pays
+    off combined with ``utilization_cap < 1``: PSs are then filled only to
+    that fraction of their capacity, and the head-room buys DU locality at
+    a quantified energy premium (the trace's ``mean_dus_per_ps``).
+    """
+    if not 0.0 < utilization_cap <= 1.0:
+        raise SourceError("utilization_cap must be in (0, 1]")
+    volumes_mb = np.asarray(volumes_mb, dtype=float)
+    durations_s = np.asarray(durations_s, dtype=float)
+    if volumes_mb.shape != (len(skeleton),) or durations_s.shape != (
+        len(skeleton),
+    ):
+        raise SourceError("decoration must align with the skeleton")
+
+    placement_capacity = scenario.power.capacity_mbps * utilization_cap
+    throughput = np.minimum(8.0 * volumes_mb / durations_s, placement_capacity)
+    t_end = skeleton.t_start_s + durations_s
+
+    n_ts = int(np.ceil(scenario.horizon_s))
+    n_ps = np.zeros(n_ts, dtype=np.int64)
+    power = np.zeros(n_ts)
+    load = np.zeros(n_ts)
+    dus_per_ps = np.zeros(n_ts)
+    concentration = np.zeros(n_ts)
+
+    # DU membership is always tracked (it is cheap and powers the mixing
+    # metric); the affinity flag only controls placement *preference*.
+    du_of_session = skeleton.ru_idx // scenario.topology.n_ru_per_es
+    packer = IncrementalPacker(placement_capacity, group_affinity=du_affinity)
+    departures: list[tuple[float, int]] = []
+    cursor = 0
+    n_sessions = len(skeleton)
+
+    for ts in range(n_ts):
+        now = float(ts + 1)
+        # 1. Departures within this TS.
+        while departures and departures[0][0] <= now:
+            _, session_id = heapq.heappop(departures)
+            packer.remove(session_id)
+        # 2. New arrivals within this TS, placed largest-first.
+        batch_ids: list[int] = []
+        batch_sizes: list[float] = []
+        while cursor < n_sessions and skeleton.t_start_s[cursor] < now:
+            batch_ids.append(cursor)
+            batch_sizes.append(float(throughput[cursor]))
+            heapq.heappush(departures, (float(t_end[cursor]), cursor))
+            cursor += 1
+        if batch_ids:
+            packer.add_batch(
+                batch_ids, np.array(batch_sizes), du_of_session[batch_ids]
+            )
+        # 3. Consolidation: switch off drainable PSs.
+        packer.consolidate()
+
+        n_ps[ts] = packer.n_bins
+        load[ts] = packer.total_load
+        power[ts] = scenario.power.total_power_w(packer.bin_loads())
+        dus_per_ps[ts] = packer.mean_groups_per_bin()
+        concentration[ts] = packer.group_concentration()
+
+    return OrchestrationTrace(
+        n_ps=n_ps,
+        power_w=power,
+        total_load_mbps=load,
+        mean_dus_per_ps=dus_per_ps,
+        du_concentration=concentration,
+    )
+
+
+@dataclass
+class VranOutcome:
+    """Everything the Fig 13 benches report."""
+
+    scenario: VranScenario
+    traces: dict[str, OrchestrationTrace]
+    ape_n_ps: dict[str, np.ndarray]
+    ape_power: dict[str, np.ndarray]
+
+    def summary(self) -> dict[str, dict[str, BoxplotStats]]:
+        """Fig 13b: boxplot summaries of the APE per strategy and metric."""
+        out: dict[str, dict[str, BoxplotStats]] = {}
+        for name in self.ape_n_ps:
+            out[name] = {
+                "n_ps": BoxplotStats.from_samples(self.ape_n_ps[name]),
+                "power": BoxplotStats.from_samples(self.ape_power[name]),
+            }
+        return out
+
+
+def ape_per_ts(
+    reference: OrchestrationTrace,
+    trace: OrchestrationTrace,
+    warmup_ts: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-TS APE of active PSs and power against the reference run."""
+    if len(reference) != len(trace):
+        raise SourceError("traces must cover the same horizon")
+    sl = slice(warmup_ts, None)
+    ref_ps = reference.n_ps[sl].astype(float)
+    ref_pw = reference.power_w[sl]
+    ok = (ref_ps > 0) & (ref_pw > 0)
+    ape_ps = 100.0 * np.abs(trace.n_ps[sl][ok] - ref_ps[ok]) / ref_ps[ok]
+    ape_pw = 100.0 * np.abs(trace.power_w[sl][ok] - ref_pw[ok]) / ref_pw[ok]
+    return ape_ps, ape_pw
+
+
+def run_vran_experiment(
+    measurement_table: SessionTable,
+    rng: np.random.Generator,
+    scenario: VranScenario | None = None,
+    strategies: tuple[str, ...] = ("model", "bm_a", "bm_b", "bm_c"),
+) -> VranOutcome:
+    """Run the full Section 6.2 comparison.
+
+    ``measurement_table`` is a measurement campaign (from
+    :func:`repro.dataset.simulator.simulate`); it provides the measured
+    per-service statistics of strategy (i), the fitting data of strategy
+    (ii), and the normalization references of bm b / bm c.
+    """
+    scenario = scenario or VranScenario()
+
+    measurement = MeasurementSource.from_table(
+        measurement_table, list(SERVICE_NAMES)
+    )
+    covered = [SERVICE_NAMES[i] for i in measurement.service_indices]
+    mix = ServiceMix.from_measurements(measurement_table).restricted_to(covered)
+    bank = ModelBank.fit_from_table(measurement_table, services=covered)
+    # Restrict the mix to services that both sources can emit.
+    usable = [name for name in covered if name in bank]
+    mix = mix.restricted_to(usable)
+    measurement = MeasurementSource.from_table(measurement_table, usable)
+
+    skeleton = generate_skeleton(
+        scenario.topology,
+        mix,
+        rng,
+        scenario.horizon_s,
+        scenario.start_minute_of_day,
+    )
+
+    sources = {"measurement": measurement}
+    for name in strategies:
+        if name == "model":
+            sources[name] = ModelBankSource(bank)
+        elif name == "bm_a":
+            sources[name] = CategorySource.bm_a()
+        elif name == "bm_b":
+            sources[name] = CategorySource.bm_b(measurement, mix)
+        elif name == "bm_c":
+            sources[name] = CategorySource.bm_c(measurement, mix)
+        else:
+            raise SourceError(f"unknown strategy {name!r}")
+
+    traces: dict[str, OrchestrationTrace] = {}
+    for name, source in sources.items():
+        volumes, durations = source.decorate(skeleton, rng)
+        traces[name] = run_orchestration(skeleton, volumes, durations, scenario)
+
+    warmup_ts = int(scenario.warmup_s)
+    ape_n_ps: dict[str, np.ndarray] = {}
+    ape_power: dict[str, np.ndarray] = {}
+    for name in strategies:
+        ape_n_ps[name], ape_power[name] = ape_per_ts(
+            traces["measurement"], traces[name], warmup_ts
+        )
+
+    return VranOutcome(
+        scenario=scenario,
+        traces=traces,
+        ape_n_ps=ape_n_ps,
+        ape_power=ape_power,
+    )

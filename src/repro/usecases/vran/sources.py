@@ -1,0 +1,332 @@
+"""Session traffic sources for the vRAN experiment (Section 6.2.2).
+
+All strategies share one *arrival skeleton* — the same realization of
+per-RU, per-second session arrivals with their service labels ("we employ
+the same realization of class-level session arrivals in all tests to avoid
+biases").  Each source then decorates every arrival with a volume and a
+duration:
+
+* ``measurement`` — strategy (i): sample the measured ``F_s(x)`` and match
+  the volume to the measured ``v_s(d)`` pairs to derive the duration;
+* ``model`` — strategy (ii): the fitted session-level models (Section 5.4);
+* ``bm a / bm b / bm c`` — strategy (iii): the 3-category literature
+  models, raw (a), normalized to the total measured throughput (b), or
+  normalized per category (c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...analysis.histogram import LogHistogram
+from ...core.arrivals import ArrivalModel
+from ...core.model_bank import ModelBank
+from ...core.service_mix import ServiceMix
+from ...dataset.aggregation import (
+    DurationVolumeCurve,
+    pooled_duration_volume,
+    pooled_volume_pdf,
+)
+from ...dataset.records import SERVICE_NAMES, SessionTable
+from ...dataset.services import LiteratureCategory, get_service
+from ..slicing.benchmarks import CATEGORY_MODELS
+from .topology import VranTopology
+
+#: Minimum sessions a service needs in the campaign to enter the experiment.
+MIN_SOURCE_SESSIONS = 300
+
+
+class SourceError(ValueError):
+    """Raised on inconsistent traffic-source configuration."""
+
+
+@dataclass(frozen=True)
+class ArrivalSkeleton:
+    """The shared arrival realization: one row per session."""
+
+    t_start_s: np.ndarray
+    ru_idx: np.ndarray
+    service_idx: np.ndarray
+    horizon_s: float
+
+    def __len__(self) -> int:
+        return int(self.t_start_s.size)
+
+
+def generate_skeleton(
+    topology: VranTopology,
+    mix: ServiceMix,
+    rng: np.random.Generator,
+    horizon_s: float,
+    start_minute_of_day: int = 600,
+) -> ArrivalSkeleton:
+    """Draw the shared arrival realization over all RUs.
+
+    Per-RU per-minute counts follow each RU's bi-modal arrival model
+    (Section 4.1); arrivals are spread uniformly within their minute.
+    ``start_minute_of_day`` anchors the circadian phase (default 10:00).
+    """
+    if horizon_s <= 0:
+        raise SourceError("horizon must be positive")
+    from ...dataset.circadian import DAY_START_HOUR, NIGHT_START_HOUR
+
+    n_minutes = int(np.ceil(horizon_s / 60.0))
+    minute_of_day = (start_minute_of_day + np.arange(n_minutes)) % 1440
+    hours = minute_of_day // 60
+    peak_phase = (hours >= DAY_START_HOUR) & (hours < NIGHT_START_HOUR)
+
+    t_parts, ru_parts = [], []
+    for unit in topology.radio_units():
+        model: ArrivalModel = unit.arrival_model()
+        counts = model.sample_minute_counts(rng, peak_phase)
+        n = int(counts.sum())
+        if n == 0:
+            continue
+        minute = np.repeat(np.arange(n_minutes), counts)
+        t = minute * 60.0 + rng.random(n) * 60.0
+        keep = t < horizon_s
+        t_parts.append(t[keep])
+        ru_parts.append(np.full(int(keep.sum()), unit.ru_id))
+
+    if not t_parts:
+        raise SourceError("arrival models produced no sessions")
+    t_start = np.concatenate(t_parts)
+    ru_idx = np.concatenate(ru_parts)
+    order = np.argsort(t_start, kind="stable")
+    t_start, ru_idx = t_start[order], ru_idx[order]
+    service_idx = mix.sample(rng, t_start.size)
+    return ArrivalSkeleton(
+        t_start_s=t_start,
+        ru_idx=ru_idx,
+        service_idx=service_idx,
+        horizon_s=float(horizon_s),
+    )
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+
+class EmpiricalServiceSampler:
+    """Measured per-service statistics: sample F_s, invert v_s(d).
+
+    The duration of a session of volume ``x`` is read off the measured
+    duration–volume pairs by interpolating ``log d`` against ``log v`` over
+    the observed bins (the paper's "matching the traffic volume values to
+    v_s(d)").
+    """
+
+    def __init__(self, pdf: LogHistogram, curve: DurationVolumeCurve):
+        durations, volumes, _ = curve.observed()
+        ok = volumes > 0
+        if ok.sum() < 2:
+            raise SourceError("duration-volume curve too sparse")
+        log_v = np.log10(volumes[ok])
+        log_d = np.log10(durations[ok])
+        order = np.argsort(log_v)
+        self._log_v = log_v[order]
+        self._log_d = log_d[order]
+        self._pdf = pdf.normalized()
+
+    def sample(
+        self, rng: np.random.Generator, size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw (volumes MB, durations s) for ``size`` sessions."""
+        volumes = self._pdf.sample_mb(rng, size)
+        log_d = np.interp(np.log10(volumes), self._log_v, self._log_d)
+        durations = np.clip(10.0**log_d, 1.0, 86400.0)
+        return volumes, durations
+
+    def mean_volume_mb(self) -> float:
+        """Mean per-session volume of the measured PDF."""
+        return self._pdf.mean_mb()
+
+
+class MeasurementSource:
+    """Strategy (i): sessions drawn from the measured statistics."""
+
+    def __init__(self, samplers: dict[int, EmpiricalServiceSampler]):
+        if not samplers:
+            raise SourceError("need at least one service sampler")
+        self._samplers = samplers
+
+    @classmethod
+    def from_table(
+        cls, table: SessionTable, services: list[str]
+    ) -> "MeasurementSource":
+        """Build per-service samplers from a measurement campaign."""
+        samplers: dict[int, EmpiricalServiceSampler] = {}
+        for idx, name in enumerate(SERVICE_NAMES):
+            if name not in services:
+                continue
+            sub = table.for_service(name)
+            if len(sub) < MIN_SOURCE_SESSIONS:
+                continue
+            samplers[idx] = EmpiricalServiceSampler(
+                pooled_volume_pdf(sub), pooled_duration_volume(sub)
+            )
+        return cls(samplers)
+
+    @property
+    def service_indices(self) -> list[int]:
+        """Catalog indices of the services this source can emit."""
+        return sorted(self._samplers)
+
+    def mean_volume_by_service(self) -> dict[int, float]:
+        """Measured mean session volume per service (normalization ref)."""
+        return {
+            idx: sampler.mean_volume_mb()
+            for idx, sampler in self._samplers.items()
+        }
+
+    def decorate(
+        self, skeleton: ArrivalSkeleton, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assign (volume, duration) to every skeleton arrival."""
+        volumes = np.empty(len(skeleton))
+        durations = np.empty(len(skeleton))
+        for idx in np.unique(skeleton.service_idx):
+            if idx not in self._samplers:
+                raise SourceError(
+                    f"skeleton emits {SERVICE_NAMES[idx]!r} with no sampler"
+                )
+            mask = skeleton.service_idx == idx
+            volumes[mask], durations[mask] = self._samplers[idx].sample(
+                rng, int(mask.sum())
+            )
+        return volumes, durations
+
+
+class ModelBankSource:
+    """Strategy (ii): sessions drawn from the fitted session-level models."""
+
+    def __init__(self, bank: ModelBank):
+        self._bank = bank
+
+    def decorate(
+        self, skeleton: ArrivalSkeleton, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assign (volume, duration) to every skeleton arrival."""
+        volumes = np.empty(len(skeleton))
+        durations = np.empty(len(skeleton))
+        for idx in np.unique(skeleton.service_idx):
+            model = self._bank.get(SERVICE_NAMES[idx])
+            mask = skeleton.service_idx == idx
+            batch = model.sample_sessions(rng, int(mask.sum()))
+            volumes[mask] = batch.volumes_mb
+            durations[mask] = batch.durations_s
+        return volumes, durations
+
+
+class CategorySource:
+    """Strategy (iii): the literature 3-category models (bm a / b / c).
+
+    ``volume_scale`` maps each category to a multiplicative volume
+    correction: all ones for bm a; a single global factor for bm b; the
+    per-category measured/model mean-volume ratio for bm c.
+    """
+
+    def __init__(
+        self, volume_scale: dict[LiteratureCategory, float] | None = None
+    ):
+        self._scale = {c: 1.0 for c in LiteratureCategory}
+        for category, factor in (volume_scale or {}).items():
+            if factor <= 0:
+                raise SourceError("volume scale factors must be positive")
+            self._scale[category] = float(factor)
+
+    @staticmethod
+    def _category_of(service_idx: int) -> LiteratureCategory:
+        return get_service(SERVICE_NAMES[service_idx]).category
+
+    def decorate(
+        self, skeleton: ArrivalSkeleton, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assign (volume, duration) to every skeleton arrival."""
+        volumes = np.empty(len(skeleton))
+        durations = np.empty(len(skeleton))
+        categories = np.array(
+            [self._category_of(i).value for i in skeleton.service_idx]
+        )
+        for category in LiteratureCategory:
+            mask = categories == category.value
+            n = int(mask.sum())
+            if n == 0:
+                continue
+            vols, durs = CATEGORY_MODELS[category].sample_sessions(rng, n)
+            volumes[mask] = vols * self._scale[category]
+            durations[mask] = durs
+        return volumes, durations
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def bm_a(cls) -> "CategorySource":
+        """The literature models, used as published."""
+        return cls()
+
+    @classmethod
+    def bm_b(
+        cls,
+        measurement: MeasurementSource,
+        mix: ServiceMix,
+    ) -> "CategorySource":
+        """Globally normalized: total system throughput matches measurement.
+
+        With a shared arrival skeleton, the steady-state system throughput
+        is proportional to the mix-weighted mean session volume, so one
+        global volume factor aligns the totals.
+        """
+        measured = measurement.mean_volume_by_service()
+        probs = mix.probabilities()
+        measured_mean = sum(probs[idx] * mv for idx, mv in measured.items())
+        bm_mean = 0.0
+        for idx, mv in measured.items():
+            category = cls._category_of(idx)
+            model = CATEGORY_MODELS[category]
+            bm_mean += probs[idx] * _category_mean_volume(model)
+        if bm_mean <= 0:
+            raise SourceError("degenerate benchmark mean volume")
+        factor = measured_mean / bm_mean
+        return cls({c: factor for c in LiteratureCategory})
+
+    @classmethod
+    def bm_c(
+        cls,
+        measurement: MeasurementSource,
+        mix: ServiceMix,
+    ) -> "CategorySource":
+        """Per-category normalization of the class throughput."""
+        measured = measurement.mean_volume_by_service()
+        probs = mix.probabilities()
+        scale: dict[LiteratureCategory, float] = {}
+        for category in LiteratureCategory:
+            weight = 0.0
+            measured_mean = 0.0
+            for idx, mv in measured.items():
+                if cls._category_of(idx) is category:
+                    weight += probs[idx]
+                    measured_mean += probs[idx] * mv
+            if weight <= 0:
+                scale[category] = 1.0
+                continue
+            measured_mean /= weight
+            bm_mean = _category_mean_volume(CATEGORY_MODELS[category])
+            scale[category] = measured_mean / bm_mean
+        return cls(scale)
+
+
+def _category_mean_volume(model) -> float:
+    """Analytic mean session volume (MB) of a category model.
+
+    Volume = throughput × duration / 8 with log-normal duration, so the
+    mean is ``thr/8 * median * exp((sigma ln10)^2 / 2)``.
+    """
+    ln10 = np.log(10.0)
+    return (
+        model.nominal_throughput_mbps
+        / 8.0
+        * model.median_duration_s
+        * float(np.exp((model.sigma_dex * ln10) ** 2 / 2.0))
+    )

@@ -1,0 +1,72 @@
+"""vRAN topology of the Section 6.2 experiment.
+
+One Telco Cloud Site (CS) hosts the Centralized Units serving ``n_es`` Far
+Edge Sites (ES); each ES hosts one Distributed Unit handling ``n_ru_per_es``
+Radio Units (RU).  The paper's scale is 20 ES × 20 RU; smaller instances
+preserve every mechanism and are used by tests.
+
+Each RU is assigned a BS load decile (round-robin over the ten classes) and
+carries the corresponding bi-modal arrival model of Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.arrivals import ArrivalModel
+from ...dataset.network import NIGHT_SCALE_RATIO, PEAK_SIGMA_RATIO, decile_peak_rate
+
+
+@dataclass(frozen=True)
+class RadioUnit:
+    """One RU: its flat index, parent ES and load decile."""
+
+    ru_id: int
+    es_id: int
+    decile: int
+
+    def arrival_model(self) -> ArrivalModel:
+        """The bi-modal arrival model of this RU's load class."""
+        peak = decile_peak_rate(self.decile)
+        return ArrivalModel(
+            peak_mu=peak,
+            peak_sigma=peak * PEAK_SIGMA_RATIO,
+            night_scale=peak * NIGHT_SCALE_RATIO,
+        )
+
+
+@dataclass(frozen=True)
+class VranTopology:
+    """The CS / ES / RU hierarchy.
+
+    Paper values: ``n_es = 20``, ``n_ru_per_es = 20``.
+    """
+
+    n_es: int = 20
+    n_ru_per_es: int = 20
+
+    def __post_init__(self) -> None:
+        if self.n_es < 1 or self.n_ru_per_es < 1:
+            raise ValueError("topology sizes must be >= 1")
+
+    @property
+    def n_ru(self) -> int:
+        """Total number of radio units."""
+        return self.n_es * self.n_ru_per_es
+
+    def radio_units(self) -> list[RadioUnit]:
+        """All RUs, with deciles assigned round-robin so every ES serves a
+        mix of lightly and heavily loaded cells."""
+        units = []
+        for ru_id in range(self.n_ru):
+            units.append(
+                RadioUnit(ru_id=ru_id, es_id=ru_id // self.n_ru_per_es,
+                          decile=ru_id % 10)
+            )
+        return units
+
+    def es_of_ru(self, ru_id: int) -> int:
+        """Parent ES of one RU."""
+        if not 0 <= ru_id < self.n_ru:
+            raise ValueError(f"ru_id out of range: {ru_id}")
+        return ru_id // self.n_ru_per_es

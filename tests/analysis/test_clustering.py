@@ -1,0 +1,117 @@
+"""Tests for the centroid hierarchical clustering and silhouette score."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import (
+    CentroidHierarchicalClustering,
+    ClusteringError,
+    silhouette_profile,
+    silhouette_score,
+)
+from repro.analysis.emd import emd_matrix
+from repro.analysis.histogram import LogHistogram
+
+
+def gaussian_hist(mu, sigma=0.2):
+    return LogHistogram.from_log_density(
+        lambda u: np.exp(-0.5 * ((u - mu) / sigma) ** 2)
+        / (sigma * np.sqrt(2 * np.pi))
+    )
+
+
+def two_group_pdfs():
+    """Six PDFs forming two well-separated groups."""
+    lows = [gaussian_hist(m) for m in (-1.1, -1.0, -0.9)]
+    highs = [gaussian_hist(m) for m in (1.9, 2.0, 2.1)]
+    return lows + highs
+
+
+class TestClustering:
+    def test_needs_at_least_two_items(self):
+        with pytest.raises(ClusteringError):
+            CentroidHierarchicalClustering([gaussian_hist(0.0)])
+
+    def test_fit_produces_n_minus_one_merges(self):
+        pdfs = two_group_pdfs()
+        merges = CentroidHierarchicalClustering(pdfs).fit()
+        assert len(merges) == len(pdfs) - 1
+
+    def test_merge_distances_start_small(self):
+        # The first merges join near-identical PDFs within a group.
+        merges = CentroidHierarchicalClustering(two_group_pdfs()).fit()
+        assert merges[0].distance < merges[-1].distance
+
+    def test_two_clusters_separate_groups(self):
+        pdfs = two_group_pdfs()
+        labels = CentroidHierarchicalClustering(pdfs).labels(2)
+        assert len(set(labels[:3])) == 1
+        assert len(set(labels[3:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_n_clusters_equal_items_is_identity(self):
+        pdfs = two_group_pdfs()
+        labels = CentroidHierarchicalClustering(pdfs).labels(len(pdfs))
+        assert len(set(labels)) == len(pdfs)
+
+    def test_one_cluster_joins_everything(self):
+        pdfs = two_group_pdfs()
+        labels = CentroidHierarchicalClustering(pdfs).labels(1)
+        assert len(set(labels)) == 1
+
+    def test_invalid_cut_raises(self):
+        clustering = CentroidHierarchicalClustering(two_group_pdfs())
+        with pytest.raises(ClusteringError):
+            clustering.labels(0)
+        with pytest.raises(ClusteringError):
+            clustering.labels(7)
+
+    def test_weights_align_with_histograms(self):
+        with pytest.raises(ClusteringError):
+            CentroidHierarchicalClustering(two_group_pdfs(), weights=[1.0])
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self):
+        pdfs = two_group_pdfs()
+        matrix = emd_matrix(pdfs)
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        assert silhouette_score(matrix, labels) > 0.8
+
+    def test_random_labels_score_low(self):
+        pdfs = two_group_pdfs()
+        matrix = emd_matrix(pdfs)
+        labels = np.array([0, 1, 0, 1, 0, 1])
+        assert silhouette_score(matrix, labels) < 0.2
+
+    def test_single_cluster_raises(self):
+        matrix = np.zeros((3, 3))
+        with pytest.raises(ClusteringError):
+            silhouette_score(matrix, np.zeros(3, dtype=int))
+
+    def test_singletons_contribute_zero(self):
+        matrix = np.array(
+            [[0.0, 1.0, 5.0], [1.0, 0.0, 5.0], [5.0, 5.0, 0.0]]
+        )
+        labels = np.array([0, 0, 1])
+        # Third item is a singleton with s = 0; others score high.
+        score = silhouette_score(matrix, labels)
+        assert 0.4 < score < 0.7
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ClusteringError):
+            silhouette_score(np.zeros((2, 3)), np.array([0, 1]))
+
+
+class TestSilhouetteProfile:
+    def test_profile_covers_requested_levels(self):
+        profile = silhouette_profile(two_group_pdfs(), max_clusters=4)
+        assert [k for k, _ in profile] == [2, 3, 4]
+
+    def test_profile_peaks_at_true_group_count(self):
+        profile = dict(silhouette_profile(two_group_pdfs(), max_clusters=5))
+        assert profile[2] == max(profile.values())
+
+    def test_profile_score_drops_past_true_count(self):
+        profile = dict(silhouette_profile(two_group_pdfs(), max_clusters=5))
+        assert profile[4] < profile[2]

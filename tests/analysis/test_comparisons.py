@@ -1,0 +1,65 @@
+"""Tests for the Fig 8 invariance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparisons import ComparisonError, invariance_report
+
+SERVICES = ["Facebook", "Instagram", "SnapChat", "Netflix", "Youtube"]
+
+
+@pytest.fixture(scope="module")
+def report(campaign, network):
+    from tests.conftest import CAMPAIGN_DAYS
+
+    weekend = [d for d in range(CAMPAIGN_DAYS) if d % 7 in (5, 6)]
+    return invariance_report(
+        campaign, network, SERVICES, weekend_days=weekend, min_sessions=150
+    )
+
+
+class TestInvarianceReport:
+    def test_all_tags_present(self, report):
+        expected = {"Apps", "Days", "Regions", "Cities", "RATs", "Apps (4G)", "Apps (5G)"}
+        assert expected <= set(report.emd_samples)
+        assert expected <= set(report.sed_samples)
+
+    def test_apps_pairwise_count(self, report):
+        n = len(SERVICES)
+        assert report.emd_samples["Apps"].size == n * (n - 1) // 2
+
+    def test_inter_service_diversity_dominates_rats(self, report):
+        # The paper's core finding: same-service cross-RAT distances are
+        # negligible compared to inter-service distances.
+        if report.emd_samples["RATs"].size:
+            assert (
+                np.median(report.emd_samples["Apps"])
+                > 3 * np.median(report.emd_samples["RATs"])
+            )
+
+    def test_inter_service_diversity_dominates_regions(self, report):
+        if report.emd_samples["Regions"].size:
+            assert (
+                np.median(report.emd_samples["Apps"])
+                > 3 * np.median(report.emd_samples["Regions"])
+            )
+
+    def test_app_diversity_stable_across_rats(self, report):
+        # Fig 8b: Apps (4G) and Apps (5G) distances match plain Apps.
+        for tag in ("Apps (4G)", "Apps (5G)"):
+            if report.emd_samples[tag].size:
+                assert np.median(report.emd_samples[tag]) == pytest.approx(
+                    np.median(report.emd_samples["Apps"]), rel=0.5
+                )
+
+    def test_distances_nonnegative(self, report):
+        for samples in report.emd_samples.values():
+            assert np.all(samples >= 0)
+        for samples in report.sed_samples.values():
+            assert np.all(samples >= 0)
+
+    def test_too_few_services_raises(self, campaign, network):
+        with pytest.raises(ComparisonError):
+            invariance_report(
+                campaign, network, ["Facebook"], weekend_days=[], min_sessions=1
+            )

@@ -1,0 +1,241 @@
+"""Tests for the log-binned PDF container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.histogram import (
+    BIN_WIDTH,
+    LOG_CENTERS,
+    LOG_GRID,
+    LOG_U_MAX,
+    LOG_U_MIN,
+    N_BINS,
+    HistogramError,
+    LogHistogram,
+)
+
+
+def gaussian_density(mu, sigma):
+    return lambda u: np.exp(-0.5 * ((u - mu) / sigma) ** 2) / (
+        sigma * np.sqrt(2 * np.pi)
+    )
+
+
+class TestGrid:
+    def test_grid_spans_configured_range(self):
+        assert LOG_GRID[0] == LOG_U_MIN
+        assert LOG_GRID[-1] == LOG_U_MAX
+
+    def test_grid_has_uniform_bins(self):
+        widths = np.diff(LOG_GRID)
+        assert np.allclose(widths, BIN_WIDTH)
+
+    def test_centers_between_edges(self):
+        assert np.all(LOG_CENTERS > LOG_GRID[:-1])
+        assert np.all(LOG_CENTERS < LOG_GRID[1:])
+
+
+class TestConstruction:
+    def test_empty_histogram_has_no_mass(self):
+        assert LogHistogram.empty().is_empty
+        assert LogHistogram.empty().total_mass == 0.0
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(HistogramError):
+            LogHistogram(np.zeros(N_BINS + 1))
+
+    def test_rejects_negative_density(self):
+        density = np.zeros(N_BINS)
+        density[5] = -1.0
+        with pytest.raises(HistogramError):
+            LogHistogram(density)
+
+    def test_rejects_nan_density(self):
+        density = np.zeros(N_BINS)
+        density[5] = np.nan
+        with pytest.raises(HistogramError):
+            LogHistogram(density)
+
+    def test_from_volumes_is_normalized(self):
+        hist = LogHistogram.from_volumes(np.array([1.0, 2.0, 5.0, 10.0]))
+        assert hist.total_mass == pytest.approx(1.0)
+        assert hist.n_samples == 4
+
+    def test_from_volumes_rejects_nonpositive(self):
+        with pytest.raises(HistogramError):
+            LogHistogram.from_volumes(np.array([1.0, 0.0]))
+
+    def test_from_volumes_empty_input(self):
+        assert LogHistogram.from_volumes(np.array([])).is_empty
+
+    def test_from_volumes_clips_outliers_conserving_mass(self):
+        hist = LogHistogram.from_volumes(np.array([1e-9, 1e9]))
+        assert hist.total_mass == pytest.approx(1.0)
+
+    def test_from_log_density_matches_callable(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.5, 0.4))
+        assert hist.total_mass == pytest.approx(1.0, abs=1e-3)
+
+
+class TestMoments:
+    def test_mean_of_gaussian_density(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.7, 0.3))
+        assert hist.mean_log10() == pytest.approx(0.7, abs=0.01)
+
+    def test_std_of_gaussian_density(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.7, 0.3))
+        assert hist.std_log10() == pytest.approx(0.3, abs=0.01)
+
+    def test_skewness_of_symmetric_density_is_zero(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.0, 0.5))
+        assert hist.skewness_log10() == pytest.approx(0.0, abs=0.02)
+
+    def test_mode_of_gaussian_density(self):
+        hist = LogHistogram.from_log_density(gaussian_density(1.0, 0.2))
+        assert np.log10(hist.mode_mb()) == pytest.approx(1.0, abs=BIN_WIDTH)
+
+    def test_mode_of_empty_raises(self):
+        with pytest.raises(HistogramError):
+            LogHistogram.empty().mode_mb()
+
+    def test_mean_mb_exceeds_median_for_lognormal(self):
+        # E[X] > median for any log-normal.
+        hist = LogHistogram.from_log_density(gaussian_density(0.0, 0.5))
+        assert hist.mean_mb() > 1.0
+
+
+class TestCdfAndSampling:
+    def test_cdf_monotone_and_ends_at_one(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.3, 0.5))
+        cdf = hist.cdf()
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_quantile_bounds(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.3, 0.5))
+        assert hist.quantile_mb(0.05) < hist.quantile_mb(0.95)
+
+    def test_median_of_gaussian_density(self):
+        hist = LogHistogram.from_log_density(gaussian_density(1.2, 0.3))
+        assert np.log10(hist.quantile_mb(0.5)) == pytest.approx(1.2, abs=0.05)
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.0, 0.3))
+        with pytest.raises(HistogramError):
+            hist.quantile_mb(1.5)
+
+    def test_sampling_recovers_distribution(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.5, 0.4))
+        samples = hist.sample_mb(np.random.default_rng(0), size=20000)
+        assert np.log10(samples).mean() == pytest.approx(0.5, abs=0.02)
+        assert np.log10(samples).std() == pytest.approx(0.4, abs=0.02)
+
+    def test_sampling_empty_raises(self):
+        with pytest.raises(HistogramError):
+            LogHistogram.empty().sample_mb(np.random.default_rng(0))
+
+    def test_round_trip_samples_to_histogram(self):
+        source = LogHistogram.from_log_density(gaussian_density(0.2, 0.6))
+        samples = source.sample_mb(np.random.default_rng(1), size=50000)
+        rebuilt = LogHistogram.from_volumes(samples)
+        assert rebuilt.mean_log10() == pytest.approx(source.mean_log10(), abs=0.02)
+
+
+class TestAveraging:
+    def test_weighted_average_of_identical_is_identity(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.0, 0.5))
+        avg = LogHistogram.weighted_average([hist, hist], [1.0, 3.0])
+        assert np.allclose(avg.density, hist.normalized().density)
+
+    def test_weighted_average_uses_weights(self):
+        a = LogHistogram.from_log_density(gaussian_density(-1.0, 0.2))
+        b = LogHistogram.from_log_density(gaussian_density(1.0, 0.2))
+        avg = LogHistogram.weighted_average([a, b], [3.0, 1.0])
+        assert avg.mean_log10() == pytest.approx(-0.5, abs=0.02)
+
+    def test_weighted_average_defaults_to_n_samples(self):
+        a = LogHistogram.from_volumes(np.full(300, 0.1))
+        b = LogHistogram.from_volumes(np.full(100, 10.0))
+        avg = LogHistogram.weighted_average([a, b])
+        # 3:1 weighting towards 0.1 MB (u = -1).
+        assert avg.mean_log10() == pytest.approx(-0.5, abs=BIN_WIDTH)
+
+    def test_weighted_average_rejects_mismatched_weights(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.0, 0.5))
+        with pytest.raises(HistogramError):
+            LogHistogram.weighted_average([hist], [1.0, 2.0])
+
+    def test_weighted_average_zero_weights_gives_empty(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.0, 0.5))
+        assert LogHistogram.weighted_average([hist], [0.0]).is_empty
+
+    def test_scaled_by_zero_is_empty(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.0, 0.5))
+        assert hist.scaled(0.0).is_empty
+
+    def test_scaled_rejects_negative(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.0, 0.5))
+        with pytest.raises(HistogramError):
+            hist.scaled(-1.0)
+
+    def test_residual_against_is_nonnegative(self):
+        a = LogHistogram.from_log_density(gaussian_density(0.0, 0.3))
+        b = LogHistogram.from_log_density(gaussian_density(0.5, 0.3))
+        residual = a.residual_against(b)
+        assert np.all(residual >= 0)
+
+
+class TestNormalization:
+    def test_normalized_total_mass(self):
+        density = np.zeros(N_BINS)
+        density[100:110] = 3.0
+        hist = LogHistogram(density)
+        assert hist.normalized().total_mass == pytest.approx(1.0)
+
+    def test_normalize_empty_raises(self):
+        with pytest.raises(HistogramError):
+            LogHistogram.empty().normalized()
+
+
+@given(
+    mu=st.floats(min_value=-1.0, max_value=2.0),
+    sigma=st.floats(min_value=0.1, max_value=0.6),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_gaussian_moments_recovered(mu, sigma):
+    """Moment extraction inverts density construction.
+
+    ``mu``/``sigma`` are constrained so the density fits well inside the
+    grid — a Gaussian overlapping a grid edge is clipped and its moments
+    legitimately shift.
+    """
+    hist = LogHistogram.from_log_density(gaussian_density(mu, sigma))
+    assert abs(hist.mean_log10() - mu) < 0.05
+    assert abs(hist.std_log10() - sigma) < 0.05
+
+
+@given(
+    volumes=st.lists(
+        st.floats(min_value=1e-3, max_value=1e4), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_property_from_volumes_always_normalized(volumes):
+    """Any positive sample set yields a unit-mass PDF."""
+    hist = LogHistogram.from_volumes(np.array(volumes))
+    assert hist.total_mass == pytest.approx(1.0)
+    assert hist.n_samples == len(volumes)
+
+
+class TestFromLogDensityClipping:
+    def test_negative_density_values_clipped(self):
+        # A callable returning negative values (e.g. a residual difference)
+        # is clipped to a valid density rather than rejected.
+        hist = LogHistogram.from_log_density(lambda u: np.sin(u))
+        assert np.all(hist.density >= 0)
+
+    def test_quantile_zero_returns_grid_floor(self):
+        hist = LogHistogram.from_log_density(gaussian_density(0.0, 0.3))
+        assert hist.quantile_mb(0.0) <= hist.quantile_mb(0.5)

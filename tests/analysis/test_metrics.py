@@ -1,0 +1,121 @@
+"""Tests for goodness-of-fit and dispersion metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    BoxplotStats,
+    MetricError,
+    absolute_percentage_error,
+    coefficient_of_variation,
+    r_squared,
+)
+
+
+class TestRSquared:
+    def test_perfect_fit_is_one(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.array([3.0, 2.0, 1.0])) < 0
+
+    def test_constant_observed_perfect(self):
+        y = np.full(4, 5.0)
+        assert r_squared(y, y) == 1.0
+
+    def test_constant_observed_imperfect(self):
+        y = np.full(4, 5.0)
+        assert r_squared(y, y + 1.0) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(MetricError):
+            r_squared(np.zeros(3), np.zeros(4))
+
+    def test_single_point_raises(self):
+        with pytest.raises(MetricError):
+            r_squared(np.zeros(1), np.zeros(1))
+
+
+class TestApe:
+    def test_exact_estimate_zero(self):
+        assert absolute_percentage_error(np.array([2.0]), np.array([2.0]))[0] == 0.0
+
+    def test_double_is_hundred_percent(self):
+        assert absolute_percentage_error(np.array([2.0]), np.array([4.0]))[
+            0
+        ] == pytest.approx(100.0)
+
+    def test_symmetric_in_magnitude(self):
+        under = absolute_percentage_error(np.array([10.0]), np.array([5.0]))[0]
+        assert under == pytest.approx(50.0)
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(MetricError):
+            absolute_percentage_error(np.array([0.0]), np.array([1.0]))
+
+
+class TestCv:
+    def test_constant_samples_zero(self):
+        assert coefficient_of_variation(np.full(10, 3.0)) == 0.0
+
+    def test_known_value(self):
+        samples = np.array([1.0, 3.0])  # mean 2, std 1
+        assert coefficient_of_variation(samples) == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        assert coefficient_of_variation(samples) == pytest.approx(
+            coefficient_of_variation(samples * 100)
+        )
+
+    def test_single_sample_raises(self):
+        with pytest.raises(MetricError):
+            coefficient_of_variation(np.array([1.0]))
+
+    def test_zero_mean_raises(self):
+        with pytest.raises(MetricError):
+            coefficient_of_variation(np.array([-1.0, 1.0]))
+
+
+class TestBoxplotStats:
+    def test_ordering_of_summary(self):
+        stats = BoxplotStats.from_samples(np.random.default_rng(0).normal(size=500))
+        assert stats.p5 <= stats.q1 <= stats.median <= stats.q3 <= stats.p95
+
+    def test_known_percentiles(self):
+        stats = BoxplotStats.from_samples(np.arange(101, dtype=float))
+        assert stats.median == pytest.approx(50.0)
+        assert stats.q1 == pytest.approx(25.0)
+        assert stats.p95 == pytest.approx(95.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(MetricError):
+            BoxplotStats.from_samples(np.array([]))
+
+    def test_as_row_matches_fields(self):
+        stats = BoxplotStats.from_samples(np.arange(11, dtype=float))
+        assert stats.as_row() == (stats.p5, stats.q1, stats.median, stats.q3, stats.p95)
+
+
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=50),
+    st.floats(min_value=0.01, max_value=10),
+    st.floats(min_value=-50, max_value=50),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_r_squared_affine_invariance(values, scale, shift):
+    """A perfect affine relation has R^2 == 1 against itself."""
+    observed = np.asarray(values)
+    if np.allclose(observed, observed[0]):
+        return
+    assert r_squared(observed, observed) == 1.0
+    # Shifting predictions strictly reduces R^2.
+    assert r_squared(observed, observed + abs(shift) + 0.1) < 1.0

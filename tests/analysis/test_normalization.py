@@ -1,0 +1,64 @@
+"""Tests for zero-mean normalization of log-PDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.emd import emd
+from repro.analysis.histogram import BIN_WIDTH, LogHistogram
+from repro.analysis.normalization import center_of_mass, zero_mean, zero_mean_all
+
+
+def gaussian_hist(mu, sigma=0.3):
+    return LogHistogram.from_log_density(
+        lambda u: np.exp(-0.5 * ((u - mu) / sigma) ** 2)
+        / (sigma * np.sqrt(2 * np.pi))
+    )
+
+
+class TestZeroMean:
+    def test_mean_is_zeroed(self):
+        shifted = zero_mean(gaussian_hist(1.7))
+        assert shifted.mean_log10() == pytest.approx(0.0, abs=BIN_WIDTH)
+
+    def test_negative_mean_is_zeroed(self):
+        shifted = zero_mean(gaussian_hist(-2.1))
+        assert shifted.mean_log10() == pytest.approx(0.0, abs=BIN_WIDTH)
+
+    def test_mass_is_conserved(self):
+        shifted = zero_mean(gaussian_hist(2.5))
+        assert shifted.total_mass == pytest.approx(1.0, abs=1e-9)
+
+    def test_shape_is_preserved(self):
+        original = gaussian_hist(1.5, sigma=0.4)
+        shifted = zero_mean(original)
+        assert shifted.std_log10() == pytest.approx(0.4, abs=0.02)
+
+    def test_already_centered_is_unchanged(self):
+        original = gaussian_hist(0.0)
+        shifted = zero_mean(original)
+        assert np.allclose(shifted.density, original.normalized().density)
+
+    def test_removes_scale_difference_for_emd(self):
+        # Same shape at different scales becomes EMD-identical.
+        a, b = gaussian_hist(-1.0), gaussian_hist(2.0)
+        assert emd(zero_mean(a), zero_mean(b)) == pytest.approx(0.0, abs=2 * BIN_WIDTH)
+
+    def test_center_of_mass_matches_mean(self):
+        hist = gaussian_hist(0.8)
+        assert center_of_mass(hist) == pytest.approx(hist.mean_log10())
+
+    def test_zero_mean_all_applies_elementwise(self):
+        hists = [gaussian_hist(m) for m in (-1.0, 0.5, 2.0)]
+        for shifted in zero_mean_all(hists):
+            assert shifted.mean_log10() == pytest.approx(0.0, abs=BIN_WIDTH)
+
+
+@given(mu=st.floats(min_value=-2.5, max_value=3.5))
+@settings(max_examples=25, deadline=None)
+def test_property_zero_mean_idempotent(mu):
+    """zero_mean applied twice equals once."""
+    once = zero_mean(gaussian_hist(mu))
+    twice = zero_mean(once)
+    assert np.allclose(once.density, twice.density)

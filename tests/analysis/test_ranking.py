@@ -1,0 +1,91 @@
+"""Tests for the service ranking and exponential-law fit (Fig 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import MetricError
+from repro.analysis.ranking import (
+    fit_exponential_law,
+    rank_services,
+    top_k_session_fraction,
+)
+from repro.dataset.records import SERVICE_NAMES
+
+
+class TestRankServices:
+    def test_ranking_is_sorted_by_session_fraction(self, campaign):
+        ranking = rank_services(campaign)
+        fractions = [r.session_fraction for r in ranking]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_ranks_are_one_based_and_dense(self, campaign):
+        ranking = rank_services(campaign)
+        assert [r.rank for r in ranking] == list(range(1, len(ranking) + 1))
+
+    def test_facebook_tops_the_ranking(self, campaign):
+        # Table 1: Facebook generates by far the most sessions.
+        assert rank_services(campaign)[0].service == "Facebook"
+
+    def test_fractions_sum_to_one(self, campaign):
+        ranking = rank_services(campaign)
+        assert sum(r.session_fraction for r in ranking) == pytest.approx(1.0)
+        assert sum(r.traffic_fraction for r in ranking) == pytest.approx(1.0)
+
+    def test_all_catalog_services_present(self, campaign):
+        ranking = rank_services(campaign)
+        assert {r.service for r in ranking} <= set(SERVICE_NAMES)
+
+
+class TestExponentialLaw:
+    def test_fit_on_exact_exponential_is_perfect(self):
+        from repro.analysis.ranking import RankedService
+
+        ranking = [
+            RankedService(k, f"s{k}", 0.5 * np.exp(-0.3 * k), 0.0)
+            for k in range(1, 20)
+        ]
+        fit = fit_exponential_law(ranking)
+        assert fit.decay == pytest.approx(0.3, rel=1e-6)
+        assert fit.amplitude == pytest.approx(0.5, rel=1e-6)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_campaign_ranking_follows_exponential_law(self, campaign):
+        # The paper reports R^2 ~ 0.97 for the measured ranking.
+        fit = fit_exponential_law(rank_services(campaign))
+        assert fit.r2 > 0.85
+        assert fit.decay > 0
+
+    def test_prediction_decreases_with_rank(self):
+        from repro.analysis.ranking import ExponentialLawFit
+
+        fit = ExponentialLawFit(amplitude=0.5, decay=0.2, r2=1.0)
+        predictions = fit.predict([1, 5, 10])
+        assert predictions[0] > predictions[1] > predictions[2]
+
+    def test_too_few_services_raises(self):
+        from repro.analysis.ranking import RankedService
+
+        with pytest.raises(MetricError):
+            fit_exponential_law(
+                [RankedService(1, "a", 0.9, 0.0), RankedService(2, "b", 0.1, 0.0)]
+            )
+
+
+class TestTopK:
+    def test_top_20_concentration(self, campaign):
+        # The paper: top-20 services produce over 78 % of sessions.
+        ranking = rank_services(campaign)
+        assert top_k_session_fraction(ranking, 20) > 0.78
+
+    def test_top_all_is_one(self, campaign):
+        ranking = rank_services(campaign)
+        assert top_k_session_fraction(ranking, len(ranking)) == pytest.approx(1.0)
+
+    def test_monotone_in_k(self, campaign):
+        ranking = rank_services(campaign)
+        values = [top_k_session_fraction(ranking, k) for k in (1, 5, 10, 20)]
+        assert values == sorted(values)
+
+    def test_invalid_k_raises(self, campaign):
+        with pytest.raises(MetricError):
+            top_k_session_fraction(rank_services(campaign), 0)

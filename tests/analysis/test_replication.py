@@ -1,0 +1,66 @@
+"""Tests for the replication helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.replication import (
+    MetricSummary,
+    ReplicationError,
+    replicate,
+)
+
+
+class TestReplicate:
+    def test_deterministic_experiment_zero_spread(self):
+        summary = replicate(lambda rng: {"x": 5.0}, n_replicas=4)
+        assert summary["x"].mean == 5.0
+        assert summary["x"].std == 0.0
+        assert summary["x"].n == 4
+
+    def test_replicas_use_independent_streams(self):
+        summary = replicate(
+            lambda rng: {"u": float(rng.random())}, n_replicas=10
+        )
+        assert summary["u"].std > 0.0
+        assert 0.0 <= summary["u"].low < summary["u"].high <= 1.0
+
+    def test_same_seed_is_reproducible(self):
+        fn = lambda rng: {"u": float(rng.random())}
+        a = replicate(fn, 5, seed=3)
+        b = replicate(fn, 5, seed=3)
+        assert a["u"].mean == b["u"].mean
+
+    def test_different_seed_changes_samples(self):
+        fn = lambda rng: {"u": float(rng.random())}
+        a = replicate(fn, 5, seed=3)
+        b = replicate(fn, 5, seed=4)
+        assert a["u"].mean != b["u"].mean
+
+    def test_mean_concentrates_with_replicas(self):
+        fn = lambda rng: {"u": float(rng.normal(10.0, 1.0))}
+        small = replicate(fn, 5, seed=0)
+        large = replicate(fn, 50, seed=0)
+        assert abs(large["u"].mean - 10.0) < abs(small["u"].mean - 10.0) + 0.5
+
+    def test_too_few_replicas_rejected(self):
+        with pytest.raises(ReplicationError):
+            replicate(lambda rng: {"x": 1.0}, n_replicas=1)
+
+    def test_inconsistent_metrics_rejected(self):
+        calls = iter([{"a": 1.0}, {"b": 2.0}])
+
+        with pytest.raises(ReplicationError):
+            replicate(lambda rng: next(calls), n_replicas=2)
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ReplicationError):
+            replicate(lambda rng: {}, n_replicas=2)
+
+    def test_rows_rendering(self):
+        summary = replicate(lambda rng: {"x": 1.0, "y": 2.0}, 3)
+        rows = summary.rows()
+        assert {row[0] for row in rows} == {"x", "y"}
+
+    def test_summary_str(self):
+        metric = MetricSummary(mean=1.234, std=0.1, low=1.1, high=1.4, n=5)
+        assert "n=5" in str(metric)

@@ -1,0 +1,70 @@
+"""Tests for the squared Euclidean distance between v(d) curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sed import PairsError, align_pairs, sed
+
+
+class TestAlignPairs:
+    def test_keeps_only_common_bins(self):
+        a, b = align_pairs(
+            np.array([1.0, 2.0, 3.0]),
+            np.array([10.0, 20.0, 30.0]),
+            np.array([2.0, 3.0, 4.0]),
+            np.array([22.0, 33.0, 44.0]),
+        )
+        assert list(a) == [20.0, 30.0]
+        assert list(b) == [22.0, 33.0]
+
+    def test_no_overlap_raises(self):
+        with pytest.raises(PairsError):
+            align_pairs(
+                np.array([1.0]), np.array([1.0]),
+                np.array([2.0]), np.array([2.0]),
+            )
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(PairsError):
+            align_pairs(
+                np.array([1.0, 2.0]), np.array([1.0]),
+                np.array([1.0]), np.array([1.0]),
+            )
+
+
+class TestSed:
+    def test_identical_curves_zero(self):
+        d = np.array([1.0, 10.0, 100.0])
+        v = np.array([2.0, 15.0, 80.0])
+        assert sed(d, v, d, v) == 0.0
+
+    def test_symmetric(self):
+        d = np.array([1.0, 10.0, 100.0])
+        va = np.array([2.0, 15.0, 80.0])
+        vb = np.array([3.0, 10.0, 90.0])
+        assert sed(d, va, d, vb) == pytest.approx(sed(d, vb, d, va))
+
+    def test_log_space_measures_ratio(self):
+        d = np.array([1.0, 10.0])
+        va = np.array([1.0, 1.0])
+        vb = np.array([10.0, 10.0])  # one decade above everywhere
+        assert sed(d, va, d, vb) == pytest.approx(1.0)
+
+    def test_linear_space_option(self):
+        d = np.array([1.0, 10.0])
+        va = np.array([1.0, 1.0])
+        vb = np.array([3.0, 3.0])
+        assert sed(d, va, d, vb, log_space=False) == pytest.approx(4.0)
+
+    def test_mean_normalization_ignores_overlap_size(self):
+        # Same per-bin discrepancy, different overlap size: equal SED.
+        d_small = np.array([1.0, 2.0])
+        d_large = np.array([1.0, 2.0, 3.0, 4.0])
+        small = sed(d_small, np.full(2, 1.0), d_small, np.full(2, 10.0))
+        large = sed(d_large, np.full(4, 1.0), d_large, np.full(4, 10.0))
+        assert small == pytest.approx(large)
+
+    def test_log_space_rejects_all_nonpositive(self):
+        d = np.array([1.0, 2.0])
+        with pytest.raises(PairsError):
+            sed(d, np.zeros(2), d, np.ones(2))

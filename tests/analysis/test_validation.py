@@ -1,0 +1,133 @@
+"""Tests for goodness-of-fit helpers and campaign validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import LogHistogram
+from repro.analysis.validation import (
+    CampaignReport,
+    Finding,
+    Severity,
+    ValidationError,
+    ks_distance,
+    qq_max_deviation,
+    qq_points,
+    validate_campaign,
+)
+from repro.dataset.records import SessionTable
+
+
+def gaussian_hist(mu, sigma=0.3):
+    return LogHistogram.from_log_density(
+        lambda u: np.exp(-0.5 * ((u - mu) / sigma) ** 2)
+        / (sigma * np.sqrt(2 * np.pi))
+    )
+
+
+class TestKsDistance:
+    def test_identical_is_zero(self):
+        h = gaussian_hist(0.5)
+        assert ks_distance(h, h) == 0.0
+
+    def test_symmetric(self):
+        a, b = gaussian_hist(0.0), gaussian_hist(1.0)
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+    def test_bounded_by_one(self):
+        a, b = gaussian_hist(-2.0, 0.1), gaussian_hist(3.0, 0.1)
+        assert 0.99 < ks_distance(a, b) <= 1.0
+
+    def test_grows_with_separation(self):
+        base = gaussian_hist(0.0)
+        d_small = ks_distance(base, gaussian_hist(0.1))
+        d_large = ks_distance(base, gaussian_hist(0.8))
+        assert d_small < d_large
+
+
+class TestQq:
+    def test_identical_on_diagonal(self):
+        h = gaussian_hist(0.5)
+        measured, model = qq_points(h, h)
+        assert np.allclose(measured, model)
+
+    def test_shift_appears_as_offset(self):
+        a, b = gaussian_hist(0.0), gaussian_hist(1.0)
+        measured, model = qq_points(a, b)
+        assert np.allclose(model - measured, 1.0, atol=0.05)
+
+    def test_max_deviation_matches_shift(self):
+        a, b = gaussian_hist(0.0), gaussian_hist(0.5)
+        assert qq_max_deviation(a, b) == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_quantiles_rejected(self):
+        h = gaussian_hist(0.0)
+        with pytest.raises(ValidationError):
+            qq_points(h, h, quantiles=np.array([0.0, 0.5]))
+
+
+class TestValidateCampaign:
+    def test_healthy_campaign_is_ok(self, campaign):
+        from tests.conftest import CAMPAIGN_DAYS
+
+        report = validate_campaign(campaign, CAMPAIGN_DAYS)
+        assert report.ok
+        assert not report.errors()
+        checks = {f.check for f in report.findings}
+        assert "circadian" in checks
+        assert "transients" in checks
+
+    def test_empty_campaign_is_error(self):
+        report = validate_campaign(SessionTable.empty(), 1)
+        assert not report.ok
+        assert report.errors()[0].check == "non-empty"
+
+    def test_missing_day_flagged(self, campaign):
+        report = validate_campaign(campaign, n_days=5)
+        assert not report.ok
+        assert any(f.check == "day-coverage" for f in report.errors())
+
+    def test_share_deviation_flagged(self):
+        # A single-service campaign wildly violates Table 1.
+        n = 3000
+        rng = np.random.default_rng(0)
+        table = SessionTable(
+            service_idx=np.zeros(n, dtype=int),  # everything is Facebook
+            bs_id=np.zeros(n, dtype=int),
+            day=np.zeros(n, dtype=int),
+            start_minute=rng.integers(480, 1320, n),
+            duration_s=rng.uniform(1, 100, n),
+            volume_mb=rng.uniform(0.1, 10, n),
+            truncated=rng.random(n) < 0.1,
+        )
+        report = validate_campaign(table, 1)
+        assert any(f.check == "table1-shares" for f in report.warnings())
+
+    def test_no_transients_flagged(self):
+        n = 1000
+        rng = np.random.default_rng(1)
+        table = SessionTable(
+            service_idx=rng.integers(0, 5, n),
+            bs_id=np.zeros(n, dtype=int),
+            day=np.zeros(n, dtype=int),
+            start_minute=rng.integers(480, 1320, n),
+            duration_s=rng.uniform(1, 100, n),
+            volume_mb=rng.uniform(0.1, 10, n),
+            truncated=np.zeros(n, dtype=bool),
+        )
+        report = validate_campaign(table, 1)
+        assert any(
+            f.check == "transients" and f.severity is Severity.WARNING
+            for f in report.findings
+        )
+
+    def test_report_helpers(self):
+        report = CampaignReport(
+            findings=[
+                Finding(Severity.INFO, "a", "fine"),
+                Finding(Severity.WARNING, "b", "meh"),
+                Finding(Severity.ERROR, "c", "bad"),
+            ]
+        )
+        assert not report.ok
+        assert len(report.warnings()) == 1
+        assert len(report.errors()) == 1

@@ -1,0 +1,189 @@
+"""Tests for the bi-modal session arrival model (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.arrivals import (
+    ArrivalFitError,
+    ArrivalModel,
+    fit_arrival_model,
+    fit_arrival_model_from_days,
+)
+from repro.dataset.circadian import peak_minute_mask
+from repro.dataset.network import PARETO_SHAPE
+
+
+def reference_model():
+    return ArrivalModel(peak_mu=20.0, peak_sigma=2.0, night_scale=2.5)
+
+
+class TestArrivalModel:
+    def test_components_have_configured_parameters(self):
+        model = reference_model()
+        assert model.peak.mu == 20.0
+        assert model.night.scale == 2.5
+        assert model.night.shape == PARETO_SHAPE
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ArrivalFitError):
+            ArrivalModel(peak_mu=0.0, peak_sigma=1.0, night_scale=1.0)
+        with pytest.raises(ArrivalFitError):
+            ArrivalModel(peak_mu=1.0, peak_sigma=0.0, night_scale=1.0)
+        with pytest.raises(ArrivalFitError):
+            ArrivalModel(peak_mu=1.0, peak_sigma=1.0, night_scale=-1.0)
+
+    def test_mixture_pdf_is_bimodal(self):
+        model = reference_model()
+        rates = np.linspace(0.1, 30, 600)
+        pdf = model.mixture_pdf(rates)
+        # High density both near the Pareto scale and near the peak mean.
+        assert pdf[np.argmin(np.abs(rates - 2.6))] > pdf[np.argmin(np.abs(rates - 10))]
+        assert pdf[np.argmin(np.abs(rates - 20))] > pdf[np.argmin(np.abs(rates - 10))]
+
+    def test_mixture_pdf_integrates_to_one(self):
+        model = reference_model()
+        rates = np.linspace(1e-3, 200, 200001)
+        assert np.trapezoid(model.mixture_pdf(rates), rates) == pytest.approx(
+            1.0, abs=1e-2
+        )
+
+    def test_sample_day_shape_and_sign(self):
+        counts = reference_model().sample_day(np.random.default_rng(0))
+        assert counts.shape == (1440,)
+        assert counts.min() >= 0
+
+    def test_day_counts_exceed_night_counts(self):
+        counts = reference_model().sample_day(np.random.default_rng(0))
+        mask = peak_minute_mask()
+        assert counts[mask].mean() > 3 * counts[~mask].mean()
+
+    def test_sample_counts_match_phases(self):
+        model = reference_model()
+        phase = np.array([True] * 500 + [False] * 500)
+        counts = model.sample_minute_counts(np.random.default_rng(1), phase)
+        assert counts[:500].mean() == pytest.approx(20.0, rel=0.05)
+
+
+class TestFitArrivalModel:
+    def test_round_trip_recovers_parameters(self):
+        truth = reference_model()
+        rng = np.random.default_rng(2)
+        counts = np.concatenate([truth.sample_day(rng) for _ in range(20)])
+        phase = np.tile(peak_minute_mask(), 20)
+        fitted = fit_arrival_model(counts, phase)
+        assert fitted.peak_mu == pytest.approx(truth.peak_mu, rel=0.03)
+        assert fitted.night_scale == pytest.approx(truth.night_scale, rel=0.15)
+
+    def test_sigma_is_tied_to_mu(self):
+        counts = np.concatenate([np.full(100, 30.0), np.full(100, 1.0)])
+        phase = np.array([True] * 100 + [False] * 100)
+        fitted = fit_arrival_model(counts, phase)
+        assert fitted.peak_sigma == pytest.approx(fitted.peak_mu / 10.0)
+
+    def test_night_shape_stays_fixed(self):
+        counts = np.concatenate([np.full(100, 30.0), np.full(100, 1.0)])
+        phase = np.array([True] * 100 + [False] * 100)
+        assert fit_arrival_model(counts, phase).night_shape == PARETO_SHAPE
+
+    def test_needs_both_phases(self):
+        with pytest.raises(ArrivalFitError):
+            fit_arrival_model(np.ones(10), np.ones(10, dtype=bool))
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(ArrivalFitError):
+            fit_arrival_model(np.ones(10), np.ones(9, dtype=bool))
+
+    def test_zero_daytime_mean_raises(self):
+        counts = np.zeros(20)
+        phase = np.array([True] * 10 + [False] * 10)
+        with pytest.raises(ArrivalFitError):
+            fit_arrival_model(counts, phase)
+
+
+class TestFitFromDays:
+    def test_matrix_interface(self):
+        truth = reference_model()
+        rng = np.random.default_rng(3)
+        matrix = np.stack([truth.sample_day(rng) for _ in range(10)])
+        fitted = fit_arrival_model_from_days(matrix)
+        assert fitted.peak_mu == pytest.approx(truth.peak_mu, rel=0.05)
+
+    def test_single_day_vector_is_accepted(self):
+        truth = reference_model()
+        day = truth.sample_day(np.random.default_rng(4))
+        fitted = fit_arrival_model_from_days(day)
+        assert fitted.peak_mu > 0
+
+    def test_wrong_width_raises(self):
+        with pytest.raises(ArrivalFitError):
+            fit_arrival_model_from_days(np.ones((2, 100)))
+
+
+class TestFitDecileModels:
+    def test_one_model_per_decile(self, campaign, network):
+        from tests.conftest import CAMPAIGN_DAYS
+        from repro.core.arrivals import fit_decile_arrival_models
+
+        models = fit_decile_arrival_models(campaign, network, CAMPAIGN_DAYS)
+        assert set(models) == set(range(10))
+
+    def test_decile_rates_grow(self, campaign, network):
+        from tests.conftest import CAMPAIGN_DAYS
+        from repro.core.arrivals import fit_decile_arrival_models
+
+        models = fit_decile_arrival_models(campaign, network, CAMPAIGN_DAYS)
+        mus = [models[d].peak_mu for d in range(10)]
+        assert mus == sorted(mus)
+        assert mus[9] > 20 * mus[0]
+
+
+class TestArrivalGoodnessOfFit:
+    def test_model_pmf_normalizes(self):
+        from repro.core.arrivals import arrival_count_pmf
+
+        model = reference_model()
+        pmf = arrival_count_pmf(model, max_count=60)
+        assert pmf.sum() == pytest.approx(1.0, abs=0.02)
+        assert np.all(pmf >= 0)
+
+    def test_model_pmf_is_bimodal(self):
+        from repro.core.arrivals import arrival_count_pmf
+
+        model = reference_model()
+        pmf = arrival_count_pmf(model, max_count=60)
+        # Night mass near the Pareto scale, day mass near the Gaussian mean.
+        assert pmf[2:5].sum() > 0.1
+        assert pmf[18:23].sum() > 0.3
+        assert pmf[10:14].sum() < 0.05  # depleted valley
+
+    def test_fit_error_small_for_own_samples(self):
+        from repro.core.arrivals import arrival_fit_error
+
+        truth = reference_model()
+        rng = np.random.default_rng(11)
+        counts = np.concatenate([truth.sample_day(rng) for _ in range(30)])
+        fitted = fit_arrival_model(counts, np.tile(peak_minute_mask(), 30))
+        assert arrival_fit_error(counts, fitted) < 1.0
+
+    def test_fit_error_large_for_wrong_model(self):
+        from repro.core.arrivals import ArrivalModel, arrival_fit_error
+
+        truth = reference_model()
+        rng = np.random.default_rng(12)
+        counts = np.concatenate([truth.sample_day(rng) for _ in range(10)])
+        wrong = ArrivalModel(peak_mu=60.0, peak_sigma=6.0, night_scale=8.0)
+        assert arrival_fit_error(counts, wrong) > 5 * arrival_fit_error(
+            counts, truth
+        )
+
+    def test_invalid_max_count_rejected(self):
+        from repro.core.arrivals import arrival_count_pmf
+
+        with pytest.raises(ArrivalFitError):
+            arrival_count_pmf(reference_model(), max_count=0)
+
+    def test_empty_samples_rejected(self):
+        from repro.core.arrivals import arrival_fit_error
+
+        with pytest.raises(ArrivalFitError):
+            arrival_fit_error(np.array([]), reference_model())

@@ -1,0 +1,105 @@
+"""Tests for the BS-level aggregate comparator model."""
+
+import numpy as np
+import pytest
+
+from repro.core.bs_level import (
+    BsLevelError,
+    BsLevelModel,
+    aggregate_accuracy,
+    bs_minute_traffic,
+    fit_bs_level_model,
+)
+from repro.dataset.circadian import MINUTES_PER_DAY, peak_minute_mask
+
+
+def synthetic_series(n_days=2, day_level=100.0, night_level=5.0, seed=0):
+    rng = np.random.default_rng(seed)
+    mask = np.tile(peak_minute_mask(), n_days)
+    series = np.empty(n_days * MINUTES_PER_DAY)
+    series[mask] = day_level * 10 ** rng.normal(0, 0.1, mask.sum())
+    series[~mask] = night_level * 10 ** rng.normal(0, 0.2, (~mask).sum())
+    return series
+
+
+class TestBsMinuteTraffic:
+    def test_volume_conserved(self, campaign):
+        from tests.conftest import CAMPAIGN_DAYS
+
+        series = bs_minute_traffic(campaign, 9, CAMPAIGN_DAYS)
+        sub = campaign.for_bs_ids([9])
+        assert series.sum() <= sub.total_volume_mb() * (1 + 1e-6)
+        assert series.sum() > 0.85 * sub.total_volume_mb()
+
+    def test_circadian_shape(self, campaign):
+        from tests.conftest import CAMPAIGN_DAYS
+
+        series = bs_minute_traffic(campaign, 9, CAMPAIGN_DAYS)
+        mask = np.tile(peak_minute_mask(), CAMPAIGN_DAYS)
+        assert series[mask].mean() > 2 * series[~mask].mean()
+
+
+class TestFitBsLevelModel:
+    def test_round_trip_recovery(self):
+        series = synthetic_series()
+        model = fit_bs_level_model(series)
+        assert 10**model.day_mu == pytest.approx(100.0, rel=0.1)
+        assert 10**model.night_mu == pytest.approx(5.0, rel=0.2)
+
+    def test_partial_day_rejected(self):
+        with pytest.raises(BsLevelError):
+            fit_bs_level_model(np.ones(1000))
+
+    def test_negative_traffic_rejected(self):
+        series = -np.ones(MINUTES_PER_DAY)
+        with pytest.raises(BsLevelError):
+            fit_bs_level_model(series)
+
+    def test_zero_minutes_floored(self):
+        series = np.zeros(MINUTES_PER_DAY)
+        series[peak_minute_mask()] = 10.0
+        model = fit_bs_level_model(series)
+        assert model.night_mu == pytest.approx(-3.0)
+
+
+class TestBsLevelModel:
+    def test_sampled_day_has_circadian_structure(self):
+        model = BsLevelModel(2.0, 0.1, 0.5, 0.2)
+        day = model.sample_day(np.random.default_rng(1))
+        mask = peak_minute_mask()
+        assert day[mask].mean() > 5 * day[~mask].mean()
+
+    def test_campaign_length(self):
+        model = BsLevelModel(2.0, 0.1, 0.5, 0.2)
+        series = model.sample_campaign(3, np.random.default_rng(2))
+        assert series.size == 3 * MINUTES_PER_DAY
+
+    def test_invalid_days_rejected(self):
+        model = BsLevelModel(2.0, 0.1, 0.5, 0.2)
+        with pytest.raises(BsLevelError):
+            model.sample_campaign(0, np.random.default_rng(0))
+
+    def test_fit_sample_round_trip_accuracy(self):
+        series = synthetic_series(n_days=4)
+        model = fit_bs_level_model(series)
+        synthetic = model.sample_campaign(4, np.random.default_rng(3))
+        errors = aggregate_accuracy(series, synthetic)
+        assert errors["mean"] < 0.1
+        assert errors["day_night_ratio"] < 0.2
+
+
+class TestAggregateAccuracy:
+    def test_identical_series_zero_error(self):
+        series = synthetic_series()
+        errors = aggregate_accuracy(series, series)
+        assert all(v == 0.0 for v in errors.values())
+
+    def test_scaled_series_mean_error(self):
+        series = synthetic_series()
+        errors = aggregate_accuracy(series, series * 2.0)
+        assert errors["mean"] == pytest.approx(1.0)
+        assert errors["day_night_ratio"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_partial_days_rejected(self):
+        with pytest.raises(BsLevelError):
+            aggregate_accuracy(np.ones(1000), np.ones(1000))

@@ -1,0 +1,201 @@
+"""Tests for the elementary distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import (
+    DistributionError,
+    Gaussian,
+    LogNormal10,
+    LogNormalMixture,
+    Pareto,
+)
+
+
+class TestGaussian:
+    def test_pdf_peaks_at_mean(self):
+        g = Gaussian(2.0, 0.5)
+        assert g.pdf(2.0) > g.pdf(1.0)
+        assert g.pdf(2.0) > g.pdf(3.0)
+
+    def test_pdf_integrates_to_one(self):
+        g = Gaussian(0.0, 1.0)
+        x = np.linspace(-8, 8, 4001)
+        assert np.trapezoid(g.pdf(x), x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_at_mean_is_half(self):
+        assert Gaussian(3.0, 2.0).cdf(3.0) == pytest.approx(0.5)
+
+    def test_ppf_inverts_cdf(self):
+        g = Gaussian(1.0, 0.7)
+        for q in (0.05, 0.5, 0.95):
+            assert g.cdf(g.ppf(q)) == pytest.approx(q)
+
+    def test_ppf_rejects_boundary(self):
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, 1.0).ppf(0.0)
+
+    def test_sampling_moments(self):
+        samples = Gaussian(5.0, 2.0).sample(np.random.default_rng(0), 50000)
+        assert samples.mean() == pytest.approx(5.0, abs=0.05)
+        assert samples.std() == pytest.approx(2.0, abs=0.05)
+
+    def test_invalid_sigma_raises(self):
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, 0.0)
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, -1.0)
+
+
+class TestPareto:
+    def test_pdf_zero_below_scale(self):
+        p = Pareto(1.765, 2.0)
+        assert p.pdf(np.array([1.0, 1.9]))[0] == 0.0
+
+    def test_pdf_integrates_to_one(self):
+        p = Pareto(1.765, 1.0)
+        x = np.geomspace(1.0, 1e6, 200001)
+        assert np.trapezoid(p.pdf(x), x) == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_at_scale_is_zero(self):
+        p = Pareto(2.0, 3.0)
+        assert p.cdf(3.0) == pytest.approx(0.0)
+
+    def test_ppf_inverts_cdf(self):
+        p = Pareto(1.765, 0.5)
+        for q in (0.0, 0.3, 0.9):
+            assert p.cdf(p.ppf(q)) == pytest.approx(q)
+
+    def test_mean_formula(self):
+        p = Pareto(3.0, 2.0)
+        assert p.mean() == pytest.approx(3.0)
+
+    def test_mean_infinite_for_heavy_shape(self):
+        assert Pareto(0.9, 1.0).mean() == float("inf")
+
+    def test_sampling_respects_scale(self):
+        samples = Pareto(1.765, 4.0).sample(np.random.default_rng(0), 1000)
+        assert samples.min() >= 4.0
+
+    def test_sampling_mean_for_finite_case(self):
+        p = Pareto(3.0, 1.0)
+        samples = p.sample(np.random.default_rng(1), 200000)
+        assert samples.mean() == pytest.approx(p.mean(), rel=0.05)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(DistributionError):
+            Pareto(0.0, 1.0)
+        with pytest.raises(DistributionError):
+            Pareto(1.0, 0.0)
+
+
+class TestLogNormal10:
+    def test_pdf_log10_is_eq3_gaussian(self):
+        ln = LogNormal10(0.5, 0.3)
+        g = Gaussian(0.5, 0.3)
+        u = np.linspace(-1, 2, 50)
+        assert np.allclose(ln.pdf_log10(u), g.pdf(u))
+
+    def test_pdf_x_includes_jacobian(self):
+        ln = LogNormal10(0.0, 0.5)
+        x = np.array([1.0])
+        expected = ln.pdf_log10(0.0) / (1.0 * np.log(10))
+        assert ln.pdf_x(x)[0] == pytest.approx(float(expected))
+
+    def test_pdf_x_integrates_to_one(self):
+        ln = LogNormal10(0.2, 0.4)
+        x = np.geomspace(1e-4, 1e4, 100001)
+        assert np.trapezoid(ln.pdf_x(x), x) == pytest.approx(1.0, abs=1e-4)
+
+    def test_median(self):
+        assert LogNormal10(1.3, 0.4).median_mb() == pytest.approx(10**1.3)
+
+    def test_cdf_at_median_is_half(self):
+        ln = LogNormal10(0.7, 0.6)
+        assert ln.cdf_x(ln.median_mb()) == pytest.approx(0.5)
+
+    def test_ppf_inverts_cdf(self):
+        ln = LogNormal10(-0.5, 0.8)
+        for q in (0.1, 0.5, 0.9):
+            assert ln.cdf_x(ln.ppf_x(q)) == pytest.approx(q)
+
+    def test_sampling_log_moments(self):
+        samples = LogNormal10(0.8, 0.25).sample(np.random.default_rng(0), 50000)
+        assert np.log10(samples).mean() == pytest.approx(0.8, abs=0.01)
+        assert np.log10(samples).std() == pytest.approx(0.25, abs=0.01)
+
+    def test_pdf_x_rejects_nonpositive(self):
+        with pytest.raises(DistributionError):
+            LogNormal10(0.0, 1.0).pdf_x(np.array([0.0]))
+
+
+class TestLogNormalMixture:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(DistributionError):
+            LogNormalMixture((LogNormal10(0, 1),), (0.5,))
+
+    def test_from_unnormalized_normalizes(self):
+        mix = LogNormalMixture.from_unnormalized(
+            [LogNormal10(0, 1), LogNormal10(1, 1)], [1.0, 3.0]
+        )
+        assert mix.weights == (0.25, 0.75)
+
+    def test_pdf_is_weighted_sum(self):
+        a, b = LogNormal10(-1.0, 0.2), LogNormal10(1.0, 0.2)
+        mix = LogNormalMixture((a, b), (0.3, 0.7))
+        u = np.array([0.0, 1.0])
+        expected = 0.3 * a.pdf_log10(u) + 0.7 * b.pdf_log10(u)
+        assert np.allclose(mix.pdf_log10(u), expected)
+
+    def test_pdf_integrates_to_one(self):
+        mix = LogNormalMixture.from_unnormalized(
+            [LogNormal10(0.0, 0.5), LogNormal10(2.0, 0.1)], [1.0, 0.1]
+        )
+        u = np.linspace(-4, 5, 10001)
+        assert np.trapezoid(mix.pdf_log10(u), u) == pytest.approx(1.0, abs=1e-4)
+
+    def test_sampling_respects_weights(self):
+        mix = LogNormalMixture(
+            (LogNormal10(-2.0, 0.05), LogNormal10(2.0, 0.05)), (0.25, 0.75)
+        )
+        samples = mix.sample(np.random.default_rng(0), 20000)
+        high_fraction = (np.log10(samples) > 0).mean()
+        assert high_fraction == pytest.approx(0.75, abs=0.02)
+
+    def test_empty_mixture_raises(self):
+        with pytest.raises(DistributionError):
+            LogNormalMixture((), ())
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(DistributionError):
+            LogNormalMixture.from_unnormalized(
+                [LogNormal10(0, 1), LogNormal10(1, 1)], [1.0, -0.5]
+            )
+
+
+@given(
+    mu=st.floats(min_value=-3, max_value=3),
+    sigma=st.floats(min_value=0.05, max_value=2.0),
+    q=st.floats(min_value=0.01, max_value=0.99),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_gaussian_ppf_cdf_roundtrip(mu, sigma, q):
+    """ppf and cdf are exact inverses over the open unit interval."""
+    g = Gaussian(mu, sigma)
+    assert g.cdf(g.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+
+@given(
+    shape=st.floats(min_value=0.5, max_value=5.0),
+    scale=st.floats(min_value=0.01, max_value=100.0),
+    q=st.floats(min_value=0.0, max_value=0.99),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_pareto_ppf_cdf_roundtrip(shape, scale, q):
+    """Pareto quantiles invert the CDF and respect the scale floor."""
+    p = Pareto(shape, scale)
+    x = p.ppf(q)
+    assert x >= scale
+    assert p.cdf(x) == pytest.approx(q, abs=1e-9)

@@ -1,0 +1,98 @@
+"""Tests for model drift detection between releases."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import LogNormal10
+from repro.core.drift import (
+    DriftReport,
+    ServiceDrift,
+    compare_banks,
+)
+from repro.core.duration_model import PowerLawModel
+from repro.core.model_bank import ModelBank
+from repro.core.service_model import SessionLevelModel
+from repro.core.volume_model import VolumeModel
+
+
+def make_model(service, mu=0.5, sigma=0.5, alpha=0.01, beta=1.0):
+    return SessionLevelModel(
+        service=service,
+        volume=VolumeModel(main=LogNormal10(mu, sigma)),
+        duration=PowerLawModel(alpha=alpha, beta=beta, r2=0.9),
+    )
+
+
+def bank_of(*models):
+    bank = ModelBank()
+    for model in models:
+        bank.add(model)
+    return bank
+
+
+class TestServiceDrift:
+    def test_no_drift_not_significant(self):
+        drift = ServiceDrift("Facebook", 0.0, 1.0, 0.0)
+        assert not drift.is_significant()
+
+    def test_emd_drift_flags(self):
+        assert ServiceDrift("x", 0.5, 1.0, 0.0).is_significant()
+
+    def test_mean_drift_flags_both_directions(self):
+        assert ServiceDrift("x", 0.0, 2.0, 0.0).is_significant()
+        assert ServiceDrift("x", 0.0, 0.4, 0.0).is_significant()
+
+    def test_beta_drift_flags(self):
+        assert ServiceDrift("x", 0.0, 1.0, 0.5).is_significant()
+
+    def test_custom_thresholds(self):
+        drift = ServiceDrift("x", 0.05, 1.1, 0.1)
+        assert not drift.is_significant()
+        assert drift.is_significant(emd_threshold=0.01)
+
+
+class TestCompareBanks:
+    def test_identical_banks_show_no_drift(self):
+        bank = bank_of(make_model("Facebook"), make_model("Netflix"))
+        report = compare_banks(bank, bank)
+        assert report.significant() == []
+        assert len(report.stable()) == 2
+        assert report.only_in_old == []
+        assert report.only_in_new == []
+
+    def test_shifted_volume_detected(self):
+        old = bank_of(make_model("Facebook", mu=0.0))
+        new = bank_of(make_model("Facebook", mu=1.0))
+        report = compare_banks(old, new)
+        assert len(report.significant()) == 1
+        drift = report.drifts[0]
+        assert drift.volume_emd == pytest.approx(1.0, abs=0.05)
+        assert drift.mean_ratio == pytest.approx(10.0, rel=0.05)
+
+    def test_beta_shift_detected(self):
+        old = bank_of(make_model("Netflix", beta=1.0))
+        new = bank_of(make_model("Netflix", beta=1.5))
+        report = compare_banks(old, new)
+        assert report.drifts[0].beta_delta == pytest.approx(0.5)
+        assert report.significant()
+
+    def test_emerging_and_retired_services_listed(self):
+        old = bank_of(make_model("Facebook"), make_model("Yahoo"))
+        new = bank_of(make_model("Facebook"), make_model("Uber"))
+        report = compare_banks(old, new)
+        assert report.only_in_old == ["Yahoo"]
+        assert report.only_in_new == ["Uber"]
+        assert [d.service for d in report.drifts] == ["Facebook"]
+
+    def test_refit_on_same_substrate_is_stable(self, campaign, bank):
+        # Two independent fits on halves of the same campaign barely drift.
+        half_a = campaign.for_days([0])
+        half_b = campaign.for_days([1])
+        bank_a = ModelBank.fit_from_table(
+            half_a, services=["Facebook", "Instagram"], min_sessions=300
+        )
+        bank_b = ModelBank.fit_from_table(
+            half_b, services=["Facebook", "Instagram"], min_sessions=300
+        )
+        report = compare_banks(bank_a, bank_b)
+        assert report.significant() == []

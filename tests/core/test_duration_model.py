@@ -1,0 +1,137 @@
+"""Tests for the power-law duration–volume model (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.aggregation import (
+    DURATION_CENTERS,
+    N_DURATION_BINS,
+    DurationVolumeCurve,
+)
+from repro.core.duration_model import (
+    DurationModelError,
+    FitFamily,
+    PowerLawModel,
+    fit_family,
+    fit_power_law,
+)
+
+
+def synthetic_curve(alpha, beta, noise=0.0, rng=None):
+    """A v(d) curve sampled from a known power law."""
+    means = alpha * DURATION_CENTERS**beta
+    if noise and rng is not None:
+        means = means * 10.0 ** rng.normal(0, noise, size=means.shape)
+    counts = np.full(N_DURATION_BINS, 100.0)
+    return DurationVolumeCurve(means, counts)
+
+
+class TestPowerLawModel:
+    def test_predict_volume(self):
+        model = PowerLawModel(alpha=0.01, beta=1.5, r2=1.0)
+        assert model.predict_volume_mb(100.0) == pytest.approx(0.01 * 100**1.5)
+
+    def test_inverse_round_trip(self):
+        model = PowerLawModel(alpha=0.02, beta=0.7, r2=1.0)
+        volumes = np.array([0.1, 1.0, 50.0])
+        recovered = model.predict_volume_mb(model.duration_for_volume_s(volumes))
+        assert np.allclose(recovered, volumes)
+
+    def test_throughput_constant_iff_linear(self):
+        linear = PowerLawModel(alpha=0.05, beta=1.0, r2=1.0)
+        thr = linear.throughput_mbps(np.array([10.0, 100.0, 1000.0]))
+        assert np.allclose(thr, thr[0])
+
+    def test_super_linear_throughput_grows(self):
+        model = PowerLawModel(alpha=0.001, beta=1.8, r2=1.0)
+        thr = model.throughput_mbps(np.array([10.0, 1000.0]))
+        assert thr[1] > thr[0]
+        assert model.is_super_linear
+
+    def test_sub_linear_throughput_shrinks(self):
+        model = PowerLawModel(alpha=0.5, beta=0.3, r2=1.0)
+        thr = model.throughput_mbps(np.array([10.0, 1000.0]))
+        assert thr[1] < thr[0]
+        assert not model.is_super_linear
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(DurationModelError):
+            PowerLawModel(alpha=0.0, beta=1.0, r2=1.0)
+
+    def test_nonpositive_inputs_raise(self):
+        model = PowerLawModel(alpha=1.0, beta=1.0, r2=1.0)
+        with pytest.raises(DurationModelError):
+            model.predict_volume_mb(np.array([0.0]))
+        with pytest.raises(DurationModelError):
+            model.duration_for_volume_s(np.array([-1.0]))
+
+    def test_serialization_round_trip(self):
+        model = PowerLawModel(alpha=0.003, beta=1.4, r2=0.87)
+        restored = PowerLawModel.from_dict(model.to_dict())
+        assert restored.alpha == model.alpha
+        assert restored.beta == model.beta
+        assert restored.r2 == model.r2
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(DurationModelError):
+            PowerLawModel.from_dict({"alpha": 1.0})
+
+
+class TestFitPowerLaw:
+    def test_exact_recovery_without_noise(self):
+        model = fit_power_law(synthetic_curve(0.004, 1.3))
+        assert model.alpha == pytest.approx(0.004, rel=0.01)
+        assert model.beta == pytest.approx(1.3, abs=0.01)
+        assert model.r2 == pytest.approx(1.0, abs=1e-6)
+
+    def test_recovery_under_noise(self):
+        rng = np.random.default_rng(0)
+        model = fit_power_law(synthetic_curve(0.05, 0.6, noise=0.1, rng=rng))
+        assert model.beta == pytest.approx(0.6, abs=0.08)
+        assert 0.6 < model.r2 <= 1.0
+
+    def test_weights_follow_counts(self):
+        # A contaminated sparse bin should barely move the fit.
+        means = 0.01 * DURATION_CENTERS**1.2
+        counts = np.full(N_DURATION_BINS, 1000.0)
+        means[5] *= 100.0
+        counts[5] = 1.0
+        model = fit_power_law(DurationVolumeCurve(means, counts))
+        assert model.beta == pytest.approx(1.2, abs=0.05)
+
+    def test_too_few_bins_raise(self):
+        means = np.zeros(N_DURATION_BINS)
+        counts = np.zeros(N_DURATION_BINS)
+        means[3], counts[3] = 1.0, 10.0
+        means[7], counts[7] = 2.0, 10.0
+        with pytest.raises(DurationModelError):
+            fit_power_law(DurationVolumeCurve(means, counts))
+
+    def test_fits_campaign_service(self, campaign):
+        from repro.dataset.aggregation import pooled_duration_volume
+
+        curve = pooled_duration_volume(campaign.for_service("Netflix"))
+        model = fit_power_law(curve)
+        # Fig 10: video streaming services are super-linear.
+        assert model.beta > 1.0
+        assert model.r2 > 0.7
+
+
+class TestFitFamilies:
+    def test_power_law_wins_on_power_data(self):
+        # Section 5.3's ablation: the power family fits best.
+        rng = np.random.default_rng(1)
+        curve = synthetic_curve(0.01, 1.4, noise=0.05, rng=rng)
+        fits = {f: fit_family(curve, f) for f in FitFamily}
+        assert fits[FitFamily.POWER].r2 == max(f.r2 for f in fits.values())
+
+    def test_exponential_family_fits_exponential_data(self):
+        means = 0.5 * np.exp(2e-4 * DURATION_CENTERS)
+        curve = DurationVolumeCurve(means, np.full(N_DURATION_BINS, 50.0))
+        fit = fit_family(curve, FitFamily.EXPONENTIAL)
+        assert fit.r2 > 0.99
+
+    def test_polynomial_family_returns_three_coefficients(self):
+        curve = synthetic_curve(0.01, 1.0)
+        fit = fit_family(curve, FitFamily.POLYNOMIAL)
+        assert len(fit.params) == 3

@@ -1,0 +1,56 @@
+"""Tests for the main-component Gaussian fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import LogHistogram
+from repro.core.fitting.gaussian_fit import fit_main_lognormal, moment_gaussian
+from repro.core.fitting.levenberg_marquardt import FitError
+
+
+def gaussian_hist(mu, sigma):
+    return LogHistogram.from_log_density(
+        lambda u: np.exp(-0.5 * ((u - mu) / sigma) ** 2)
+        / (sigma * np.sqrt(2 * np.pi))
+    )
+
+
+class TestMomentGaussian:
+    def test_recovers_clean_gaussian(self):
+        fit = moment_gaussian(gaussian_hist(0.8, 0.4))
+        assert fit.mu == pytest.approx(0.8, abs=0.01)
+        assert fit.sigma == pytest.approx(0.4, abs=0.01)
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(FitError):
+            moment_gaussian(LogHistogram.empty())
+
+
+class TestFitMainLognormal:
+    def test_recovers_clean_gaussian(self):
+        fit = fit_main_lognormal(gaussian_hist(1.1, 0.5))
+        assert fit.mu == pytest.approx(1.1, abs=0.01)
+        assert fit.sigma == pytest.approx(0.5, abs=0.01)
+
+    def test_lm_beats_moments_under_contamination(self):
+        # Body + a far contaminating bump: moments get dragged, LM less so.
+        body = gaussian_hist(0.0, 0.3)
+        bump = gaussian_hist(2.5, 0.1)
+        mixed = LogHistogram.weighted_average([body, bump], [0.9, 0.1])
+        moment = moment_gaussian(mixed)
+        refined = fit_main_lognormal(mixed)
+        assert abs(refined.mu - 0.0) < abs(moment.mu - 0.0)
+        assert abs(refined.sigma - 0.3) < abs(moment.sigma - 0.3)
+
+    def test_fit_from_samples(self):
+        rng = np.random.default_rng(0)
+        volumes = 10.0 ** rng.normal(0.5, 0.35, size=30000)
+        fit = fit_main_lognormal(LogHistogram.from_volumes(volumes))
+        assert fit.mu == pytest.approx(0.5, abs=0.02)
+        assert fit.sigma == pytest.approx(0.35, abs=0.02)
+
+    def test_narrow_spike_does_not_crash(self):
+        volumes = np.full(1000, 3.0)
+        fit = fit_main_lognormal(LogHistogram.from_volumes(volumes))
+        assert fit.mu == pytest.approx(np.log10(3.0), abs=0.05)
+        assert fit.sigma > 0

@@ -1,0 +1,70 @@
+"""Tests for the model-driven traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.arrivals import ArrivalModel
+from repro.core.generator import GeneratorError, TrafficGenerator
+from repro.core.service_mix import ServiceMix
+from repro.dataset.circadian import peak_minute_mask
+from repro.dataset.records import SERVICE_NAMES
+
+
+@pytest.fixture(scope="module")
+def generator(bank):
+    arrival = ArrivalModel(peak_mu=10.0, peak_sigma=1.0, night_scale=1.2)
+    mix = ServiceMix.from_table1().restricted_to(bank.services())
+    return TrafficGenerator({0: arrival, 1: arrival}, mix, bank)
+
+
+class TestConstruction:
+    def test_requires_arrival_models(self, bank):
+        mix = ServiceMix.from_table1().restricted_to(bank.services())
+        with pytest.raises(GeneratorError):
+            TrafficGenerator({}, mix, bank)
+
+    def test_mix_must_be_covered_by_bank(self, bank):
+        # Uber is too rare in the small fixture campaign to be fitted.
+        uncovered = [n for n in SERVICE_NAMES if n not in bank]
+        if not uncovered:
+            pytest.skip("fixture bank covers every service")
+        mix = ServiceMix({uncovered[0]: 1.0})
+        arrival = ArrivalModel(5.0, 0.5, 0.6)
+        with pytest.raises(GeneratorError):
+            TrafficGenerator({0: arrival}, mix, bank)
+
+
+class TestGeneration:
+    def test_day_table_schema(self, generator):
+        day = generator.generate_bs_day(0, 0, np.random.default_rng(0))
+        table = day.table
+        assert len(table) == int(day.minute_counts.sum())
+        assert np.all(table.bs_id == 0)
+        assert np.all(table.day == 0)
+        assert np.all(table.volume_mb > 0)
+        assert np.all(table.duration_s >= 1.0)
+
+    def test_day_counts_follow_arrival_model(self, generator):
+        day = generator.generate_bs_day(0, 0, np.random.default_rng(1))
+        mask = peak_minute_mask()
+        assert day.minute_counts[mask].mean() == pytest.approx(10.0, rel=0.1)
+
+    def test_unknown_bs_raises(self, generator):
+        with pytest.raises(GeneratorError):
+            generator.generate_bs_day(99, 0, np.random.default_rng(0))
+
+    def test_campaign_covers_all_bs_and_days(self, generator):
+        table = generator.generate_campaign(2, np.random.default_rng(2))
+        assert set(np.unique(table.bs_id)) == {0, 1}
+        assert set(np.unique(table.day)) == {0, 1}
+
+    def test_campaign_rejects_zero_days(self, generator):
+        with pytest.raises(GeneratorError):
+            generator.generate_campaign(0, np.random.default_rng(0))
+
+    def test_generated_mix_matches_requested(self, generator, bank):
+        table = generator.generate_campaign(1, np.random.default_rng(3))
+        fb = SERVICE_NAMES.index("Facebook")
+        share = float((table.service_idx == fb).mean())
+        expected = generator.mix.probability("Facebook")
+        assert share == pytest.approx(expected, abs=0.02)

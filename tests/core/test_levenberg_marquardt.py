@@ -1,0 +1,125 @@
+"""Tests for the in-house Levenberg–Marquardt solver (vs scipy.curve_fit)."""
+
+import numpy as np
+import pytest
+from scipy.optimize import curve_fit
+
+from repro.core.fitting.levenberg_marquardt import (
+    FitError,
+    fit_curve,
+    levenberg_marquardt,
+)
+
+
+def power_law(x, alpha, beta):
+    return alpha * x**beta
+
+
+class TestLevenbergMarquardt:
+    def test_exact_linear_system(self):
+        # Residuals of a linear model: converges to the least-squares solution.
+        x = np.linspace(0, 10, 30)
+        y = 3.0 + 2.0 * x
+
+        def residual(p):
+            return y - (p[0] + p[1] * x)
+
+        result = levenberg_marquardt(residual, np.array([0.0, 0.0]))
+        assert result.converged
+        assert result.params == pytest.approx([3.0, 2.0], abs=1e-6)
+
+    def test_nonlinear_power_law(self):
+        x = np.geomspace(1, 1000, 40)
+        y = 0.05 * x**1.3
+
+        def residual(p):
+            return y - p[0] * x ** p[1]
+
+        # LM is local: start within the basin of the optimum.
+        result = levenberg_marquardt(residual, np.array([0.1, 1.2]))
+        assert result.params[0] == pytest.approx(0.05, rel=1e-3)
+        assert result.params[1] == pytest.approx(1.3, rel=1e-3)
+
+    def test_multi_start_rescues_bad_power_law_start(self):
+        # From (1, 1) a single LM run falls into the flat alpha<0 basin;
+        # fit_curve's deterministic multi-start recovers the optimum.
+        x = np.geomspace(1, 1000, 40)
+        y = 0.05 * x**1.3
+        result = fit_curve(lambda x, a, b: a * x**b, x, y, p0=[1.0, 1.0])
+        assert result.params[0] == pytest.approx(0.05, rel=1e-3)
+        assert result.params[1] == pytest.approx(1.3, rel=1e-3)
+
+    def test_cost_decreases(self):
+        x = np.linspace(1, 5, 20)
+        y = np.exp(0.8 * x)
+
+        def residual(p):
+            return y - np.exp(p[0] * x)
+
+        start = residual(np.array([0.1]))
+        result = levenberg_marquardt(residual, np.array([0.1]))
+        assert result.cost < 0.5 * float(start @ start)
+
+    def test_non_finite_initial_residuals_raise(self):
+        def residual(p):
+            return np.array([np.nan])
+
+        with pytest.raises(FitError):
+            levenberg_marquardt(residual, np.array([1.0]))
+
+    def test_matrix_initial_guess_raises(self):
+        with pytest.raises(FitError):
+            levenberg_marquardt(lambda p: p, np.zeros((2, 2)))
+
+
+class TestFitCurve:
+    def test_matches_scipy_curve_fit_on_power_law(self):
+        rng = np.random.default_rng(0)
+        x = np.geomspace(1, 500, 50)
+        y = 0.02 * x**1.4 * (1 + 0.01 * rng.normal(size=50))
+        ours = fit_curve(power_law, x, y, p0=[1.0, 1.0])
+        theirs, _ = curve_fit(power_law, x, y, p0=[1.0, 1.0], method="lm")
+        assert ours.params == pytest.approx(theirs, rel=1e-4)
+
+    def test_matches_scipy_on_gaussian(self):
+        def gauss(x, mu, sigma):
+            return np.exp(-0.5 * ((x - mu) / sigma) ** 2)
+
+        x = np.linspace(-3, 5, 100)
+        y = gauss(x, 1.2, 0.8)
+        ours = fit_curve(gauss, x, y, p0=[0.0, 1.0])
+        theirs, _ = curve_fit(gauss, x, y, p0=[0.0, 1.0], method="lm")
+        assert abs(ours.params[0]) == pytest.approx(abs(theirs[0]), rel=1e-4)
+        assert abs(ours.params[1]) == pytest.approx(abs(theirs[1]), rel=1e-4)
+
+    def test_weights_prioritize_heavy_points(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([1.0, 2.0, 3.0, 100.0])  # outlier at the end
+
+        def line(x, a):
+            return a * x
+
+        balanced = fit_curve(line, x, y, p0=[1.0])
+        down_weighted = fit_curve(
+            line, x, y, p0=[1.0], weights=np.array([1.0, 1.0, 1.0, 1e-6])
+        )
+        assert down_weighted.params[0] == pytest.approx(1.0, abs=0.05)
+        assert balanced.params[0] > 5.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(FitError):
+            fit_curve(power_law, np.zeros(3), np.zeros(4), p0=[1.0, 1.0])
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(FitError):
+            fit_curve(power_law, np.array([1.0]), np.array([1.0]), p0=[1.0, 1.0])
+
+    def test_weight_shape_mismatch_raises(self):
+        with pytest.raises(FitError):
+            fit_curve(
+                power_law,
+                np.ones(5),
+                np.ones(5),
+                p0=[1.0, 1.0],
+                weights=np.ones(4),
+            )

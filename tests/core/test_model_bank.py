@@ -1,0 +1,93 @@
+"""Tests for the model bank (fit, sample, JSON round-trip)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_bank import ModelBank, ModelBankError
+from repro.core.service_mix import ServiceMix
+from repro.dataset.records import SERVICE_NAMES
+
+
+class TestFitFromTable:
+    def test_fits_all_major_services(self, bank):
+        for name in ("Facebook", "Instagram", "SnapChat", "Netflix"):
+            assert name in bank
+
+    def test_skips_undersampled_services(self, campaign):
+        sparse = ModelBank.fit_from_table(campaign, min_sessions=10**9)
+        assert len(sparse) == 0
+
+    def test_services_listed_in_catalog_order(self, bank):
+        services = bank.services()
+        order = {name: i for i, name in enumerate(SERVICE_NAMES)}
+        assert services == sorted(services, key=order.__getitem__)
+
+    def test_restricting_services_argument(self, campaign):
+        small = ModelBank.fit_from_table(
+            campaign, services=["Facebook"], min_sessions=100
+        )
+        assert small.services() == ["Facebook"]
+
+
+class TestAccess:
+    def test_get_unknown_raises(self, bank):
+        with pytest.raises(ModelBankError):
+            bank.get("Not A Service")
+
+    def test_contains(self, bank):
+        assert "Facebook" in bank
+        assert "Not A Service" not in bank
+
+    def test_mismatched_key_raises(self, bank):
+        model = bank.get("Facebook")
+        with pytest.raises(ModelBankError):
+            ModelBank({"Netflix": model})
+
+
+class TestMixedSampling:
+    def test_sampled_services_follow_mix(self, bank):
+        mix = ServiceMix(
+            {"Facebook": 0.8, "Netflix": 0.2}
+        )
+        idx, volumes, durations = bank.sample_mixed_sessions(
+            mix, np.random.default_rng(0), 10000
+        )
+        fb = SERVICE_NAMES.index("Facebook")
+        assert (idx == fb).mean() == pytest.approx(0.8, abs=0.02)
+        assert volumes.shape == durations.shape == (10000,)
+        assert np.all(volumes > 0)
+        assert np.all(durations >= 1.0)
+
+    def test_mix_with_unmodelled_service_raises(self, campaign):
+        tiny_bank = ModelBank.fit_from_table(
+            campaign, services=["Facebook"], min_sessions=100
+        )
+        mix = ServiceMix({"Facebook": 0.5, "Netflix": 0.5})
+        with pytest.raises(ModelBankError):
+            tiny_bank.sample_mixed_sessions(mix, np.random.default_rng(0), 100)
+
+
+class TestJson:
+    def test_round_trip_preserves_parameters(self, bank):
+        restored = ModelBank.from_json(bank.to_json())
+        assert set(restored.services()) == set(bank.services())
+        for name in bank.services():
+            assert restored.get(name).duration.beta == pytest.approx(
+                bank.get(name).duration.beta
+            )
+            assert restored.get(name).volume.main.mu == pytest.approx(
+                bank.get(name).volume.main.mu
+            )
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ModelBankError):
+            ModelBank.from_json("{not json")
+
+    def test_non_object_json_raises(self):
+        with pytest.raises(ModelBankError):
+            ModelBank.from_json("[1, 2]")
+
+    def test_save_load_file(self, bank, tmp_path):
+        path = tmp_path / "bank.json"
+        bank.save(path)
+        assert set(ModelBank.load(path).services()) == set(bank.services())

@@ -1,0 +1,136 @@
+"""Tests for the session → packet-schedule bridge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packet_bridge import (
+    MTU_BYTES,
+    PacketBridgeError,
+    PacketSchedule,
+    packetize_service_session,
+    packetize_session,
+)
+from repro.dataset.services import BehaviourClass
+
+
+class TestPacketSchedule:
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(PacketBridgeError):
+            PacketSchedule(np.zeros(2), np.zeros(3))
+
+    def test_burst_count_on_two_separated_trains(self):
+        schedule = PacketSchedule(
+            timestamps_s=np.array([0.0, 0.001, 5.0, 5.001]),
+            sizes_bytes=np.array([1500, 1500, 1500, 1500]),
+        )
+        assert schedule.burst_count() == 2
+
+    def test_empty_schedule_has_zero_bursts(self):
+        schedule = PacketSchedule(np.array([]), np.array([]))
+        assert schedule.burst_count() == 0
+
+
+class TestPacketizeSession:
+    def test_volume_conserved_exactly_streaming(self):
+        schedule = packetize_session(
+            5.0, 60.0, BehaviourClass.STREAMING, np.random.default_rng(0)
+        )
+        assert schedule.total_bytes == 5_000_000
+
+    def test_volume_conserved_exactly_messaging(self):
+        schedule = packetize_session(
+            0.731, 45.0, BehaviourClass.MESSAGING, np.random.default_rng(1)
+        )
+        assert schedule.total_bytes == 731_000
+
+    def test_timestamps_within_session(self):
+        schedule = packetize_session(
+            2.0, 30.0, BehaviourClass.STREAMING, np.random.default_rng(2)
+        )
+        assert schedule.timestamps_s.min() >= 0.0
+        assert schedule.timestamps_s.max() <= 30.0 + 1.0  # last train drains
+
+    def test_timestamps_sorted(self):
+        schedule = packetize_session(
+            1.0, 120.0, BehaviourClass.MESSAGING, np.random.default_rng(3)
+        )
+        assert np.all(np.diff(schedule.timestamps_s) >= 0)
+
+    def test_packet_sizes_bounded_by_mtu(self):
+        schedule = packetize_session(
+            3.0, 60.0, BehaviourClass.STREAMING, np.random.default_rng(4)
+        )
+        assert schedule.sizes_bytes.max() <= MTU_BYTES
+        assert schedule.sizes_bytes.min() > 0
+
+    def test_streaming_is_periodic(self):
+        # One chunk every 4 s over 40 s -> 10 bursts.
+        schedule = packetize_session(
+            10.0, 40.0, BehaviourClass.STREAMING, np.random.default_rng(5)
+        )
+        assert schedule.burst_count(gap_threshold_s=1.0) == 10
+
+    def test_messaging_burst_count_scales_with_duration(self):
+        rng = np.random.default_rng(6)
+        short = packetize_session(1.0, 30.0, BehaviourClass.MESSAGING, rng)
+        long = packetize_session(1.0, 600.0, BehaviourClass.MESSAGING, rng)
+        assert long.burst_count() > short.burst_count()
+
+    def test_tiny_volume_single_packet(self):
+        schedule = packetize_session(
+            1e-6, 10.0, BehaviourClass.MESSAGING, np.random.default_rng(7)
+        )
+        assert len(schedule) == 1
+        assert schedule.total_bytes == 1
+
+    def test_invalid_inputs_rejected(self):
+        rng = np.random.default_rng(8)
+        with pytest.raises(PacketBridgeError):
+            packetize_session(0.0, 10.0, BehaviourClass.STREAMING, rng)
+        with pytest.raises(PacketBridgeError):
+            packetize_session(1.0, 0.0, BehaviourClass.STREAMING, rng)
+        with pytest.raises(PacketBridgeError):
+            packetize_session(
+                1.0, 10.0, BehaviourClass.STREAMING, rng, link_rate_mbps=0.0
+            )
+
+    def test_service_dispatch_uses_catalog_class(self):
+        rng = np.random.default_rng(9)
+        netflix = packetize_service_session("Netflix", 20.0, 120.0, rng)
+        # Streaming cadence: 120 s / 4 s = 30 periodic bursts.
+        assert netflix.burst_count(gap_threshold_s=1.0) == 30
+
+
+class TestComposition:
+    def test_bridge_preserves_session_level_statistics(self, bank):
+        # Packetizing model-generated sessions must leave the session-level
+        # totals untouched (the composition contract of Section 1).
+        rng = np.random.default_rng(10)
+        model = bank.get("Facebook")
+        batch = model.sample_sessions(rng, 50)
+        for volume, duration in zip(batch.volumes_mb[:10], batch.durations_s[:10]):
+            schedule = packetize_service_session(
+                "Facebook", float(volume), float(duration), rng
+            )
+            assert schedule.total_bytes == pytest.approx(
+                volume * 1e6, abs=1.0
+            )
+
+
+@given(
+    volume=st.floats(min_value=1e-4, max_value=100.0),
+    duration=st.floats(min_value=1.0, max_value=3600.0),
+    behaviour=st.sampled_from(list(BehaviourClass)),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_packetization_invariants(volume, duration, behaviour, seed):
+    """Exact volume conservation and valid packet sizes for any session."""
+    rng = np.random.default_rng(seed)
+    schedule = packetize_session(volume, duration, behaviour, rng)
+    assert schedule.total_bytes == max(int(round(volume * 1e6)), 1)
+    assert schedule.sizes_bytes.min() > 0
+    assert schedule.sizes_bytes.max() <= MTU_BYTES
+    assert np.all(np.diff(schedule.timestamps_s) >= 0)

@@ -1,0 +1,107 @@
+"""Tests for residual-peak extraction (Section 5.2 step 2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import BIN_WIDTH, LOG_CENTERS, N_BINS
+from repro.core.residuals import (
+    ResidualError,
+    ResidualPeak,
+    find_residual_peaks,
+    smoothed_derivative,
+)
+
+
+def make_peak(mu, sigma, weight):
+    """A scaled Gaussian bump on the global grid."""
+    return weight * np.exp(-0.5 * ((LOG_CENTERS - mu) / sigma) ** 2) / (
+        sigma * np.sqrt(2 * np.pi)
+    )
+
+
+class TestSmoothedDerivative:
+    def test_zero_residual_gives_zero_derivative(self):
+        deriv = smoothed_derivative(np.zeros(N_BINS))
+        assert np.allclose(deriv, 0.0)
+
+    def test_linear_ramp_gives_constant_slope(self):
+        ramp = np.linspace(0, 1, N_BINS)
+        deriv = smoothed_derivative(ramp)
+        expected = 1.0 / (N_BINS - 1) / BIN_WIDTH
+        assert np.allclose(deriv[10:-10], expected, rtol=1e-6)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ResidualError):
+            smoothed_derivative(np.zeros(10))
+
+
+class TestFindResidualPeaks:
+    def test_single_peak_recovered(self):
+        residual = make_peak(1.0, 0.06, 0.08)
+        peaks = find_residual_peaks(residual)
+        assert len(peaks) == 1
+        assert peaks[0].mu == pytest.approx(1.0, abs=2 * BIN_WIDTH)
+        assert peaks[0].weight == pytest.approx(0.08, rel=0.15)
+        assert peaks[0].sigma == pytest.approx(0.06, abs=0.05)
+
+    def test_two_separated_peaks_recovered(self):
+        residual = make_peak(0.54, 0.045, 0.10) + make_peak(0.88, 0.045, 0.06)
+        peaks = find_residual_peaks(residual)
+        assert len(peaks) == 2
+        mus = sorted(p.mu for p in peaks)
+        assert mus[0] == pytest.approx(0.54, abs=2 * BIN_WIDTH)
+        assert mus[1] == pytest.approx(0.88, abs=2 * BIN_WIDTH)
+
+    def test_peaks_ranked_by_weight(self):
+        residual = make_peak(-1.0, 0.05, 0.02) + make_peak(2.0, 0.05, 0.09)
+        peaks = find_residual_peaks(residual)
+        assert peaks[0].weight > peaks[1].weight
+        assert peaks[0].mu == pytest.approx(2.0, abs=2 * BIN_WIDTH)
+
+    def test_max_peaks_cap(self):
+        residual = sum(
+            make_peak(mu, 0.05, 0.05) for mu in (-1.0, 0.0, 1.0, 2.0, 3.0)
+        )
+        assert len(find_residual_peaks(residual, max_peaks=3)) == 3
+        assert len(find_residual_peaks(residual, max_peaks=5)) == 5
+
+    def test_zero_max_peaks_returns_nothing(self):
+        residual = make_peak(0.0, 0.05, 0.1)
+        assert find_residual_peaks(residual, max_peaks=0) == []
+
+    def test_negligible_weight_filtered(self):
+        # Section 5.4: peaks with weight below 1e-4 are noise.
+        residual = make_peak(0.0, 0.05, 5e-5)
+        assert find_residual_peaks(residual) == []
+
+    def test_broad_gentle_bump_not_a_peak(self):
+        # A wide, low-slope residual is fit mismatch, not a service peak.
+        residual = make_peak(0.5, 1.5, 0.05)
+        assert find_residual_peaks(residual) == []
+
+    def test_empty_residual_gives_no_peaks(self):
+        assert find_residual_peaks(np.zeros(N_BINS)) == []
+
+    def test_negative_residual_raises(self):
+        residual = np.zeros(N_BINS)
+        residual[100] = -0.5
+        with pytest.raises(ResidualError):
+            find_residual_peaks(residual)
+
+    def test_peak_component_is_lognormal(self):
+        peak = ResidualPeak(weight=0.1, mu=0.5, sigma=0.05, u_lo=0.4, u_hi=0.6)
+        component = peak.component()
+        assert component.mu == 0.5
+        assert component.sigma == 0.05
+
+    def test_peak_pdf_scales_with_weight(self):
+        peak = ResidualPeak(weight=0.1, mu=0.5, sigma=0.05, u_lo=0.4, u_hi=0.6)
+        u = np.array([0.5])
+        assert peak.pdf_log10(u)[0] == pytest.approx(
+            0.1 * peak.component().pdf_log10(u)[0]
+        )
+
+    def test_interval_bounds_bracket_mu(self):
+        residual = make_peak(1.2, 0.06, 0.08)
+        peak = find_residual_peaks(residual)[0]
+        assert peak.u_lo <= peak.mu <= peak.u_hi

@@ -1,0 +1,93 @@
+"""Tests for the in-house Savitzky–Golay filter (cross-checked vs scipy)."""
+
+import numpy as np
+import pytest
+from scipy.signal import savgol_filter as scipy_savgol
+
+from repro.core.fitting.savitzky_golay import (
+    FilterError,
+    savgol_coefficients,
+    savgol_filter,
+)
+
+
+class TestCoefficients:
+    def test_smoothing_kernel_sums_to_one(self):
+        kernel = savgol_coefficients(7, 2, deriv=0)
+        assert kernel.sum() == pytest.approx(1.0)
+
+    def test_derivative_kernel_sums_to_zero(self):
+        kernel = savgol_coefficients(7, 2, deriv=1)
+        assert kernel.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_scipy_coefficients(self):
+        from scipy.signal import savgol_coeffs
+
+        ours = savgol_coefficients(9, 3, deriv=0)
+        # scipy returns the kernel for convolution (reversed order).
+        theirs = savgol_coeffs(9, 3, deriv=0)
+        assert np.allclose(ours, theirs[::-1])
+
+    def test_even_window_rejected(self):
+        with pytest.raises(FilterError):
+            savgol_coefficients(8, 2)
+
+    def test_order_must_be_below_window(self):
+        with pytest.raises(FilterError):
+            savgol_coefficients(5, 5)
+
+    def test_deriv_must_not_exceed_order(self):
+        with pytest.raises(FilterError):
+            savgol_coefficients(7, 1, deriv=2)
+
+    def test_delta_scaling(self):
+        k1 = savgol_coefficients(7, 1, deriv=1, delta=1.0)
+        k2 = savgol_coefficients(7, 1, deriv=1, delta=0.5)
+        assert np.allclose(k2, k1 * 2.0)
+
+
+class TestFilter:
+    def test_polynomial_is_reproduced_exactly(self):
+        # A SG filter of order p reproduces degree-p polynomials exactly.
+        x = np.arange(50, dtype=float)
+        y = 2.0 + 0.3 * x + 0.01 * x**2
+        smoothed = savgol_filter(y, 9, 2)
+        assert np.allclose(smoothed, y, atol=1e-8)
+
+    def test_derivative_of_line_is_constant_slope(self):
+        y = 5.0 + 0.7 * np.arange(40, dtype=float)
+        deriv = savgol_filter(y, 7, 1, deriv=1)
+        assert np.allclose(deriv, 0.7, atol=1e-8)
+
+    def test_derivative_respects_delta(self):
+        y = 3.0 * np.arange(40, dtype=float) * 0.1  # slope 0.3 per sample
+        deriv = savgol_filter(y, 7, 1, deriv=1, delta=0.1)
+        assert np.allclose(deriv, 3.0, atol=1e-8)
+
+    def test_matches_scipy_interior_and_edges(self):
+        rng = np.random.default_rng(0)
+        y = np.sin(np.linspace(0, 4 * np.pi, 120)) + 0.1 * rng.normal(size=120)
+        ours = savgol_filter(y, 11, 3)
+        theirs = scipy_savgol(y, 11, 3, mode="interp")
+        assert np.allclose(ours, theirs, atol=1e-10)
+
+    def test_matches_scipy_first_derivative(self):
+        rng = np.random.default_rng(1)
+        y = np.cumsum(rng.normal(size=80))
+        ours = savgol_filter(y, 7, 1, deriv=1, delta=0.025)
+        theirs = scipy_savgol(y, 7, 1, deriv=1, delta=0.025, mode="interp")
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    def test_smoothing_reduces_noise_variance(self):
+        rng = np.random.default_rng(2)
+        noise = rng.normal(size=500)
+        smoothed = savgol_filter(noise, 21, 2)
+        assert smoothed.std() < 0.5 * noise.std()
+
+    def test_input_shorter_than_window_raises(self):
+        with pytest.raises(FilterError):
+            savgol_filter(np.zeros(5), 7, 1)
+
+    def test_two_dimensional_input_raises(self):
+        with pytest.raises(FilterError):
+            savgol_filter(np.zeros((4, 4)), 3, 1)

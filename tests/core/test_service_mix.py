@@ -1,0 +1,107 @@
+"""Tests for the per-service arrival breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.core.service_mix import ServiceMix, ServiceMixError
+from repro.dataset.records import SERVICE_NAMES
+from repro.dataset.services import get_service
+
+
+class TestConstruction:
+    def test_probabilities_normalized(self):
+        mix = ServiceMix({"Facebook": 3.0, "Netflix": 1.0})
+        assert mix.probability("Facebook") == pytest.approx(0.75)
+        assert mix.probability("Netflix") == pytest.approx(0.25)
+
+    def test_unknown_service_raises(self):
+        with pytest.raises(ServiceMixError):
+            ServiceMix({"NotAService": 1.0})
+
+    def test_negative_probability_raises(self):
+        with pytest.raises(ServiceMixError):
+            ServiceMix({"Facebook": -0.1})
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ServiceMixError):
+            ServiceMix({"Facebook": 0.0})
+
+    def test_vector_covers_catalog(self):
+        mix = ServiceMix.from_table1()
+        assert mix.probabilities().shape == (len(SERVICE_NAMES),)
+        assert mix.probabilities().sum() == pytest.approx(1.0)
+
+
+class TestFromTable1:
+    def test_facebook_share_matches_table(self):
+        mix = ServiceMix.from_table1()
+        # Table 1: Facebook ~36.5 % of sessions (renormalized).
+        assert mix.probability("Facebook") == pytest.approx(0.365, abs=0.01)
+
+    def test_ordering_follows_table(self):
+        mix = ServiceMix.from_table1()
+        assert mix.probability("Facebook") > mix.probability("Instagram")
+        assert mix.probability("Instagram") > mix.probability("Netflix")
+
+
+class TestFromMeasurements:
+    def test_recovers_empirical_shares(self, campaign):
+        mix = ServiceMix.from_measurements(campaign)
+        counts = np.bincount(campaign.service_idx, minlength=len(SERVICE_NAMES))
+        empirical = counts / counts.sum()
+        for i, name in enumerate(SERVICE_NAMES):
+            assert mix.probability(name) == pytest.approx(float(empirical[i]))
+
+    def test_empty_table_raises(self):
+        from repro.dataset.records import SessionTable
+
+        with pytest.raises(ServiceMixError):
+            ServiceMix.from_measurements(SessionTable.empty())
+
+
+class TestRestriction:
+    def test_restricted_renormalizes(self):
+        mix = ServiceMix.from_table1().restricted_to(["Facebook", "Netflix"])
+        assert mix.probability("Facebook") + mix.probability("Netflix") == pytest.approx(1.0)
+        assert mix.probability("Instagram") == 0.0
+
+    def test_uniform_over(self):
+        mix = ServiceMix.uniform_over(["Amazon", "Waze", "Uber"])
+        for name in ("Amazon", "Waze", "Uber"):
+            assert mix.probability(name) == pytest.approx(1 / 3)
+
+    def test_uniform_over_empty_raises(self):
+        with pytest.raises(ServiceMixError):
+            ServiceMix.uniform_over([])
+
+
+class TestSampling:
+    def test_sampling_matches_probabilities(self):
+        mix = ServiceMix({"Facebook": 0.7, "Netflix": 0.3})
+        idx = mix.sample(np.random.default_rng(0), 20000)
+        names = [SERVICE_NAMES[i] for i in idx]
+        assert names.count("Facebook") / 20000 == pytest.approx(0.7, abs=0.02)
+
+    def test_sample_names(self):
+        mix = ServiceMix({"Waze": 1.0})
+        assert mix.sample_names(np.random.default_rng(0), 5) == ["Waze"] * 5
+
+    def test_probability_of_unknown_raises(self):
+        with pytest.raises(ServiceMixError):
+            ServiceMix.from_table1().probability("Nope")
+
+
+class TestCatalogConsistency:
+    def test_category_shares_match_paper_aggregation(self):
+        # Section 6.1.1: aggregating Table 1 over IW/CS/MS gives bm a's
+        # shares (IW 49.30, CS 48.46, MS 2.24) up to rounding.
+        from repro.dataset.services import category_session_shares, LiteratureCategory
+
+        shares = category_session_shares()
+        assert shares[LiteratureCategory.INTERACTIVE_WEB] == pytest.approx(0.493, abs=0.01)
+        assert shares[LiteratureCategory.CASUAL_STREAMING] == pytest.approx(0.485, abs=0.01)
+        assert shares[LiteratureCategory.MOVIE_STREAMING] == pytest.approx(0.022, abs=0.005)
+
+    def test_every_service_has_category(self):
+        for name in SERVICE_NAMES:
+            assert get_service(name).category is not None

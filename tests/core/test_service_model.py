@@ -1,0 +1,92 @@
+"""Tests for the complete per-service session-level model (Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.duration_model import PowerLawModel
+from repro.core.service_model import (
+    ServiceModelError,
+    SessionLevelModel,
+    fit_service_model,
+)
+from repro.core.volume_model import VolumeModel
+from repro.core.distributions import LogNormal10
+from repro.dataset.aggregation import pooled_duration_volume, pooled_volume_pdf
+
+
+def toy_model():
+    return SessionLevelModel(
+        service="Netflix",
+        volume=VolumeModel(main=LogNormal10(1.0, 0.4)),
+        duration=PowerLawModel(alpha=0.005, beta=1.5, r2=0.9),
+    )
+
+
+class TestSampling:
+    def test_sample_sizes(self):
+        batch = toy_model().sample_sessions(np.random.default_rng(0), 1000)
+        assert len(batch) == 1000
+        assert batch.volumes_mb.shape == (1000,)
+        assert batch.durations_s.shape == (1000,)
+
+    def test_durations_follow_inverse_power_law(self):
+        model = toy_model()
+        batch = model.sample_sessions(np.random.default_rng(1), 5000)
+        expected = model.duration.duration_for_volume_s(batch.volumes_mb)
+        assert np.allclose(batch.durations_s, np.clip(expected, 1.0, None))
+
+    def test_throughput_is_volume_over_duration(self):
+        batch = toy_model().sample_sessions(np.random.default_rng(2), 100)
+        assert np.allclose(
+            batch.throughput_mbps, batch.volumes_mb * 8.0 / batch.durations_s
+        )
+
+    def test_durations_at_least_one_second(self):
+        batch = toy_model().sample_sessions(np.random.default_rng(3), 10000)
+        assert batch.durations_s.min() >= 1.0
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ServiceModelError):
+            toy_model().sample_sessions(np.random.default_rng(0), -1)
+
+    def test_zero_size_is_empty(self):
+        batch = toy_model().sample_sessions(np.random.default_rng(0), 0)
+        assert len(batch) == 0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        model = toy_model()
+        restored = SessionLevelModel.from_dict(model.to_dict())
+        assert restored.service == model.service
+        assert restored.volume.main == model.volume.main
+        assert restored.duration.alpha == model.duration.alpha
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ServiceModelError):
+            SessionLevelModel.from_dict({"service": "x"})
+
+
+class TestFitServiceModel:
+    def test_fit_from_campaign_statistics(self, campaign):
+        sub = campaign.for_service("Deezer")
+        model = fit_service_model(
+            "Deezer", pooled_volume_pdf(sub), pooled_duration_volume(sub)
+        )
+        assert model.service == "Deezer"
+        assert model.duration.r2 > 0.5
+
+    def test_fitted_model_reproduces_mean_volume(self, campaign):
+        sub = campaign.for_service("Facebook")
+        pdf = pooled_volume_pdf(sub)
+        model = fit_service_model(
+            "Facebook", pdf, pooled_duration_volume(sub)
+        )
+        batch = model.sample_sessions(np.random.default_rng(0), 200000)
+        assert batch.volumes_mb.mean() == pytest.approx(pdf.mean_mb(), rel=0.1)
+
+    def test_volume_error_metric_is_small(self, campaign):
+        sub = campaign.for_service("Amazon")
+        pdf = pooled_volume_pdf(sub)
+        model = fit_service_model("Amazon", pdf, pooled_duration_volume(sub))
+        assert model.volume_error_against(pdf) < 0.1

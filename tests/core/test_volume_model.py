@@ -1,0 +1,145 @@
+"""Tests for the log-normal mixture volume model (Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import BIN_WIDTH, LOG_CENTERS, LogHistogram
+from repro.core.distributions import LogNormal10, LogNormalMixture
+from repro.core.residuals import ResidualPeak
+from repro.core.volume_model import (
+    VolumeModel,
+    VolumeModelError,
+    decompose_volume_pdf,
+    fit_volume_model,
+)
+
+
+def synthetic_service_pdf(rng, n=200000):
+    """Samples from a known mixture: main LogN(0.8, 0.5) + peak at 40 MB."""
+    mixture = LogNormalMixture.from_unnormalized(
+        [LogNormal10(0.8, 0.5), LogNormal10(np.log10(40.0), 0.06)],
+        [1.0, 0.10],
+    )
+    return LogHistogram.from_volumes(mixture.sample(rng, n))
+
+
+class TestVolumeModel:
+    def test_pdf_is_normalized(self):
+        model = VolumeModel(
+            main=LogNormal10(0.5, 0.4),
+            peaks=(ResidualPeak(0.1, 1.5, 0.05, 1.4, 1.6),),
+        )
+        u = np.linspace(-4, 5, 20001)
+        assert np.trapezoid(model.pdf_log10(u), u) == pytest.approx(1.0, abs=1e-3)
+
+    def test_eq5_normalization_factor(self):
+        main = LogNormal10(0.0, 0.3)
+        peak = ResidualPeak(0.25, 2.0, 0.05, 1.9, 2.1)
+        model = VolumeModel(main=main, peaks=(peak,))
+        u = np.array([0.0])
+        expected = (main.pdf_log10(u) + peak.pdf_log10(u)) / 1.25
+        assert model.pdf_log10(u)[0] == pytest.approx(float(expected[0]))
+
+    def test_as_mixture_round_trips_density(self):
+        model = VolumeModel(
+            main=LogNormal10(0.5, 0.4),
+            peaks=(ResidualPeak(0.1, 1.5, 0.05, 1.4, 1.6),),
+        )
+        u = np.linspace(-2, 3, 100)
+        assert np.allclose(model.as_mixture().pdf_log10(u), model.pdf_log10(u))
+
+    def test_sampling_matches_pdf_moments(self):
+        model = VolumeModel(main=LogNormal10(0.3, 0.4))
+        samples = model.sample_volumes_mb(np.random.default_rng(0), 50000)
+        assert np.log10(samples).mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_error_against_self_is_tiny(self):
+        model = VolumeModel(main=LogNormal10(0.5, 0.5))
+        assert model.error_against(model.as_histogram()) < 1e-9
+
+    def test_serialization_round_trip(self):
+        model = VolumeModel(
+            main=LogNormal10(0.5, 0.4),
+            peaks=(
+                ResidualPeak(0.1, 1.5, 0.05, 1.4, 1.6),
+                ResidualPeak(0.02, 2.3, 0.08, 2.2, 2.4),
+            ),
+        )
+        restored = VolumeModel.from_dict(model.to_dict())
+        assert restored.main == model.main
+        assert restored.peaks == model.peaks
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(VolumeModelError):
+            VolumeModel.from_dict({"nope": 1})
+
+
+class TestFitVolumeModel:
+    def test_recovers_main_component(self):
+        hist = synthetic_service_pdf(np.random.default_rng(0))
+        model = fit_volume_model(hist)
+        assert model.main.mu == pytest.approx(0.8, abs=0.06)
+        assert model.main.sigma == pytest.approx(0.5, abs=0.06)
+
+    def test_recovers_characteristic_peak(self):
+        hist = synthetic_service_pdf(np.random.default_rng(1))
+        model = fit_volume_model(hist)
+        assert len(model.peaks) >= 1
+        strongest = max(model.peaks, key=lambda p: p.weight)
+        assert 10**strongest.mu == pytest.approx(40.0, rel=0.1)
+
+    def test_model_error_much_below_shape_scale(self):
+        # Section 5.4: model EMD is an order of magnitude below typical
+        # inter-service distances (which are O(0.1..1) decades).
+        hist = synthetic_service_pdf(np.random.default_rng(2))
+        model = fit_volume_model(hist)
+        assert model.error_against(hist) < 0.05
+
+    def test_mean_calibration_matches_measured_mean(self):
+        hist = synthetic_service_pdf(np.random.default_rng(3))
+        model = fit_volume_model(hist, calibration="mean")
+        assert model.as_histogram().mean_mb() == pytest.approx(
+            hist.mean_mb(), rel=0.02
+        )
+
+    def test_quantile_calibration_matches_measured_quantile(self):
+        hist = synthetic_service_pdf(np.random.default_rng(4))
+        model = fit_volume_model(
+            hist, calibration="quantile", calibration_quantile=0.9
+        )
+        assert np.log10(model.as_histogram().quantile_mb(0.9)) == pytest.approx(
+            np.log10(hist.quantile_mb(0.9)), abs=2 * BIN_WIDTH
+        )
+
+    def test_unknown_calibration_raises(self):
+        hist = synthetic_service_pdf(np.random.default_rng(5), n=20000)
+        with pytest.raises(VolumeModelError):
+            fit_volume_model(hist, calibration="bogus")
+
+    def test_pure_lognormal_yields_no_peaks(self):
+        rng = np.random.default_rng(6)
+        hist = LogHistogram.from_volumes(10.0 ** rng.normal(0.5, 0.5, 200000))
+        model = fit_volume_model(hist)
+        assert sum(p.weight for p in model.peaks) < 0.02
+
+    def test_max_peaks_respected(self):
+        hist = synthetic_service_pdf(np.random.default_rng(7))
+        model = fit_volume_model(hist, max_peaks=1)
+        assert len(model.peaks) <= 1
+
+
+class TestDecomposition:
+    def test_trace_exposes_all_steps(self):
+        hist = synthetic_service_pdf(np.random.default_rng(8))
+        trace = decompose_volume_pdf(hist)
+        assert trace.measured.total_mass == pytest.approx(1.0)
+        assert trace.residual.shape == LOG_CENTERS.shape
+        assert np.all(trace.residual >= 0)
+        assert trace.model.main == trace.main
+
+    def test_refinement_tightens_main_sigma(self):
+        # Without refinement the 40 MB peak broadens the main component.
+        hist = synthetic_service_pdf(np.random.default_rng(9))
+        raw = decompose_volume_pdf(hist, n_refinements=0, calibration="none")
+        refined = decompose_volume_pdf(hist, n_refinements=1, calibration="none")
+        assert refined.main.sigma <= raw.main.sigma + 1e-9

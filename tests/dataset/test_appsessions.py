@@ -1,0 +1,178 @@
+"""Tests for the application-layer session extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.appsessions import (
+    DEFAULT_APP_PROFILES,
+    AppSessionError,
+    AppSessionProfile,
+    AppSessionTable,
+    expand_app_sessions,
+)
+from repro.dataset.records import SERVICE_INDEX, SERVICE_NAMES, SessionTable
+
+
+def arrivals(n, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return (
+        rng.integers(0, 1200, n),
+        np.zeros(n, dtype=int),
+        rng.integers(0, 5, n),
+    )
+
+
+class TestAppSessionProfile:
+    def test_unknown_service_rejected(self):
+        with pytest.raises(AppSessionError):
+            AppSessionProfile("nope")
+
+    def test_invalid_mean_flows_rejected(self):
+        with pytest.raises(AppSessionError):
+            AppSessionProfile("Facebook", mean_flows=0.5)
+
+    def test_invalid_parallel_fraction_rejected(self):
+        with pytest.raises(AppSessionError):
+            AppSessionProfile("Facebook", parallel_fraction=1.5)
+
+    def test_flow_count_mean(self):
+        profile = AppSessionProfile("Facebook", mean_flows=2.5)
+        counts = profile.sample_flow_counts(np.random.default_rng(1), 50000)
+        assert counts.min() >= 1
+        assert counts.mean() == pytest.approx(2.5, rel=0.05)
+
+    def test_single_flow_profile(self):
+        profile = AppSessionProfile("Netflix", mean_flows=1.0)
+        counts = profile.sample_flow_counts(np.random.default_rng(2), 100)
+        assert np.all(counts == 1)
+
+    def test_default_profiles_cover_catalog(self):
+        assert set(DEFAULT_APP_PROFILES) == set(SERVICE_NAMES)
+        # Messaging services open more flows than streaming ones.
+        assert (
+            DEFAULT_APP_PROFILES["WhatsApp"].mean_flows
+            > DEFAULT_APP_PROFILES["Netflix"].mean_flows
+        )
+
+
+class TestExpandAppSessions:
+    def test_volume_conserved_per_app_session(self):
+        rng = np.random.default_rng(3)
+        minutes, day, bs = arrivals(200)
+        table = expand_app_sessions("Facebook", minutes, day, bs, rng)
+        app_volumes = table.app_session_volumes_mb()
+        assert np.all(app_volumes > 0)
+        assert table.n_app_sessions() == 200
+        assert table.flows.volume_mb.sum() == pytest.approx(
+            app_volumes.sum(), rel=1e-5
+        )
+
+    def test_flow_count_matches_app_ids(self):
+        rng = np.random.default_rng(4)
+        minutes, day, bs = arrivals(100)
+        table = expand_app_sessions("Telegram", minutes, day, bs, rng)
+        assert table.flows_per_app_session().sum() == len(table.flows)
+
+    def test_all_flows_carry_the_service(self):
+        rng = np.random.default_rng(5)
+        minutes, day, bs = arrivals(50)
+        table = expand_app_sessions("Deezer", minutes, day, bs, rng)
+        assert np.all(table.flows.service_idx == SERVICE_INDEX["Deezer"])
+
+    def test_sequential_flows_start_later(self):
+        rng = np.random.default_rng(6)
+        profile = AppSessionProfile(
+            "Facebook", mean_flows=4.0, parallel_fraction=0.0,
+            think_time_s=300.0,
+        )
+        minutes = np.zeros(50, dtype=int)
+        table = expand_app_sessions(
+            "Facebook", minutes, np.zeros(50, int), np.zeros(50, int),
+            rng, profile=profile,
+        )
+        # With zero start minutes and long think times, later flows of
+        # multi-flow sessions start at later minutes.
+        assert table.flows.start_minute.max() > 0
+
+    def test_parallel_flows_start_together(self):
+        rng = np.random.default_rng(7)
+        profile = AppSessionProfile(
+            "App Store", mean_flows=3.0, parallel_fraction=1.0
+        )
+        minutes = np.full(30, 100)
+        table = expand_app_sessions(
+            "App Store", minutes, np.zeros(30, int), np.zeros(30, int),
+            rng, profile=profile,
+        )
+        assert np.all(table.flows.start_minute == 100)
+
+    def test_flow_sizes_smaller_than_app_sessions(self):
+        # Splitting shifts the per-flow volume distribution left.
+        rng = np.random.default_rng(8)
+        minutes, day, bs = arrivals(3000)
+        table = expand_app_sessions("WhatsApp", minutes, day, bs, rng)
+        mean_flow = table.flows.volume_mb.mean()
+        mean_app = table.app_session_volumes_mb().mean()
+        assert mean_flow < mean_app
+
+    def test_profile_service_mismatch_rejected(self):
+        rng = np.random.default_rng(9)
+        minutes, day, bs = arrivals(5)
+        with pytest.raises(AppSessionError):
+            expand_app_sessions(
+                "Facebook", minutes, day, bs, rng,
+                profile=AppSessionProfile("Netflix"),
+            )
+
+    def test_misaligned_columns_rejected(self):
+        rng = np.random.default_rng(10)
+        with pytest.raises(AppSessionError):
+            expand_app_sessions(
+                "Facebook", np.zeros(3, int), np.zeros(2, int),
+                np.zeros(3, int), rng,
+            )
+
+    def test_first_app_id_offsets_grouping(self):
+        rng = np.random.default_rng(11)
+        minutes, day, bs = arrivals(10)
+        table = expand_app_sessions(
+            "Facebook", minutes, day, bs, rng, first_app_id=1000
+        )
+        assert table.app_id.min() == 1000
+
+
+class TestAppSessionTable:
+    def test_misaligned_app_ids_rejected(self):
+        flows = SessionTable(
+            service_idx=np.array([0]),
+            bs_id=np.array([0]),
+            day=np.array([0]),
+            start_minute=np.array([0]),
+            duration_s=np.array([1.0]),
+            volume_mb=np.array([1.0]),
+            truncated=np.array([False]),
+        )
+        with pytest.raises(AppSessionError):
+            AppSessionTable(flows=flows, app_id=np.array([0, 1]))
+
+
+@given(
+    service=st.sampled_from(["Facebook", "Netflix", "Apple iCloud"]),
+    n=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_expansion_invariants(service, n, seed):
+    """Expansion always yields >= n flows, valid minutes, positive sizes."""
+    rng = np.random.default_rng(seed)
+    minutes = rng.integers(0, 1440, n)
+    table = expand_app_sessions(
+        service, minutes, np.zeros(n, int), np.zeros(n, int), rng
+    )
+    assert len(table.flows) >= n
+    assert table.n_app_sessions() == n
+    assert table.flows.start_minute.max() <= 1439
+    assert np.all(table.flows.volume_mb > 0)
+    assert np.all(table.flows.duration_s >= 1.0)

@@ -1,0 +1,105 @@
+"""Tests for the Eq (1)/(2) statistics averaging."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.aggregation import AggregationError
+from repro.dataset.averaging import (
+    average_duration_volume,
+    average_volume_pdf,
+    filter_stats,
+    total_sessions,
+)
+
+
+class TestFilterStats:
+    def test_filter_by_service(self, campaign_stats):
+        selected = filter_stats(campaign_stats, service="Netflix")
+        assert selected
+        assert all(s.service == "Netflix" for s in selected)
+
+    def test_filter_by_bs(self, campaign_stats):
+        selected = filter_stats(campaign_stats, bs_ids=[0, 1])
+        assert {s.bs_id for s in selected} <= {0, 1}
+
+    def test_filter_by_day(self, campaign_stats):
+        selected = filter_stats(campaign_stats, days=[0])
+        assert {s.day for s in selected} == {0}
+
+    def test_combined_filter(self, campaign_stats):
+        selected = filter_stats(
+            campaign_stats, service="Facebook", bs_ids=[3], days=[1]
+        )
+        for s in selected:
+            assert (s.service, s.bs_id, s.day) == ("Facebook", 3, 1)
+
+
+class TestAverageVolumePdf:
+    def test_average_is_normalized(self, campaign_stats):
+        pdf = average_volume_pdf(filter_stats(campaign_stats, service="Facebook"))
+        assert pdf.total_mass == pytest.approx(1.0)
+
+    def test_weights_are_session_counts(self, campaign_stats):
+        stats = filter_stats(campaign_stats, service="Deezer")
+        pdf = average_volume_pdf(stats)
+        assert pdf.n_samples == pytest.approx(total_sessions(stats))
+
+    def test_single_entry_average_is_itself(self, campaign_stats):
+        entry = filter_stats(campaign_stats, service="Facebook")[0]
+        pdf = average_volume_pdf([entry])
+        assert np.allclose(pdf.density, entry.volume_pdf().density)
+
+    def test_empty_selection_raises(self):
+        with pytest.raises(AggregationError):
+            average_volume_pdf([])
+
+
+class TestAverageDurationVolume:
+    def test_average_covers_union_of_bins(self, campaign_stats):
+        stats = filter_stats(campaign_stats, service="Facebook")
+        merged = average_duration_volume(stats)
+        observed_bins = set()
+        for entry in stats:
+            observed_bins |= set(np.flatnonzero(entry.dv_counts > 0))
+        assert set(np.flatnonzero(merged.counts > 0)) == observed_bins
+
+    def test_eq1_weighting(self, campaign_stats):
+        # Hand-check Eq (1) on one duration bin across two entries.
+        stats = filter_stats(campaign_stats, service="Instagram")[:2]
+        merged = average_duration_volume(stats)
+        curves = [s.duration_volume() for s in stats]
+        shared = (
+            (curves[0].counts > 0) & (curves[1].counts > 0)
+        )
+        if not shared.any():
+            pytest.skip("fixture entries share no duration bin")
+        b = int(np.flatnonzero(shared)[0])
+        w0, w1 = stats[0].n_sessions, stats[1].n_sessions
+        expected = (
+            w0 * curves[0].mean_volume_mb[b] + w1 * curves[1].mean_volume_mb[b]
+        ) / (w0 + w1)
+        assert merged.mean_volume_mb[b] == pytest.approx(expected)
+
+    def test_counts_accumulate(self, campaign_stats):
+        stats = filter_stats(campaign_stats, service="Facebook")
+        merged = average_duration_volume(stats)
+        assert merged.counts.sum() == sum(s.dv_counts.sum() for s in stats)
+
+    def test_empty_selection_raises(self):
+        with pytest.raises(AggregationError):
+            average_duration_volume([])
+
+
+class TestTotalSessions:
+    def test_total_matches_sum_of_weights(self, campaign_stats):
+        from repro.dataset.averaging import total_sessions
+
+        selected = campaign_stats[:25]
+        assert total_sessions(selected) == sum(
+            s.n_sessions for s in selected
+        )
+
+    def test_empty_selection_is_zero(self):
+        from repro.dataset.averaging import total_sessions
+
+        assert total_sessions([]) == 0

@@ -1,0 +1,77 @@
+"""Tests for the circadian day/night arrival structure."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.circadian import (
+    DAY_START_HOUR,
+    MINUTES_PER_DAY,
+    NIGHT_START_HOUR,
+    is_peak_minute,
+    n_peak_minutes,
+    peak_minute_mask,
+    sample_day_arrival_counts,
+)
+from repro.dataset.network import Network, NetworkConfig
+
+
+class TestPhases:
+    def test_peak_window_boundaries(self):
+        assert not is_peak_minute(DAY_START_HOUR * 60 - 1)
+        assert is_peak_minute(DAY_START_HOUR * 60)
+        assert is_peak_minute(NIGHT_START_HOUR * 60 - 1)
+        assert not is_peak_minute(NIGHT_START_HOUR * 60)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            is_peak_minute(MINUTES_PER_DAY)
+        with pytest.raises(ValueError):
+            is_peak_minute(-1)
+
+    def test_mask_matches_predicate(self):
+        mask = peak_minute_mask()
+        assert mask.shape == (MINUTES_PER_DAY,)
+        for minute in (0, 479, 480, 720, 1319, 1320, 1439):
+            assert mask[minute] == is_peak_minute(minute)
+
+    def test_peak_covers_14_hours(self):
+        # 8:00 to 22:00 is 14 hours (Section 6.1: off-peak 10pm-8am).
+        assert n_peak_minutes() == 14 * 60
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def station(self):
+        return Network(NetworkConfig(n_bs=10), np.random.default_rng(0)).station(9)
+
+    def test_counts_shape_and_type(self, station):
+        counts = sample_day_arrival_counts(station, np.random.default_rng(1))
+        assert counts.shape == (MINUTES_PER_DAY,)
+        assert counts.dtype == np.int64
+        assert counts.min() >= 0
+
+    def test_day_mean_matches_station_rate(self, station):
+        rng = np.random.default_rng(2)
+        days = np.stack(
+            [sample_day_arrival_counts(station, rng) for _ in range(10)]
+        )
+        mask = peak_minute_mask()
+        assert days[:, mask].mean() == pytest.approx(station.peak_rate, rel=0.05)
+
+    def test_night_much_quieter_than_day(self, station):
+        rng = np.random.default_rng(3)
+        counts = sample_day_arrival_counts(station, rng)
+        mask = peak_minute_mask()
+        assert counts[~mask].mean() < 0.3 * counts[mask].mean()
+
+    def test_transitions_are_sharp(self, station):
+        # Bi-modality: intermediate rates between the night scale and the
+        # day mean are rare (Section 4.1).
+        rng = np.random.default_rng(4)
+        days = np.stack(
+            [sample_day_arrival_counts(station, rng) for _ in range(5)]
+        ).ravel()
+        lo = station.night_scale * 3
+        hi = station.peak_rate * 0.7
+        intermediate = np.mean((days > lo) & (days < hi))
+        assert intermediate < 0.1

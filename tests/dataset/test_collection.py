@@ -1,0 +1,218 @@
+"""Tests for the two-probe measurement platform emulation (Section 3.1)."""
+
+import pytest
+
+from repro.dataset.collection import (
+    AttachmentEvent,
+    CollectionError,
+    FiveTuple,
+    GatewayProbe,
+    Packet,
+    Protocol,
+    RanProbe,
+    correlate,
+)
+
+
+def tcp_tuple(port=443):
+    return FiveTuple(Protocol.TCP, "10.0.0.1", "151.101.1.1", 50000, port)
+
+
+def udp_tuple(port=3478):
+    return FiveTuple(Protocol.UDP, "10.0.0.2", "151.101.1.2", 50001, port)
+
+
+def classifier(five_tuple):
+    return "Netflix" if five_tuple.protocol is Protocol.TCP else "WhatsApp"
+
+
+class TestFiveTuple:
+    def test_invalid_port_rejected(self):
+        with pytest.raises(CollectionError):
+            FiveTuple(Protocol.TCP, "a", "b", -1, 443)
+
+    def test_hashable_as_flow_key(self):
+        assert tcp_tuple() == tcp_tuple()
+        assert hash(tcp_tuple()) == hash(tcp_tuple())
+
+
+class TestGatewayProbe:
+    def test_single_session_reconstruction(self):
+        probe = GatewayProbe(classifier)
+        packets = [
+            Packet(0.0, tcp_tuple(), ue_id=1, size_bytes=1000),
+            Packet(5.0, tcp_tuple(), ue_id=1, size_bytes=2000),
+            Packet(9.0, tcp_tuple(), ue_id=1, size_bytes=500, fin=True),
+        ]
+        sessions = probe.reconstruct(packets)
+        assert len(sessions) == 1
+        assert sessions[0].volume_bytes == 3500
+        assert sessions[0].service == "Netflix"
+        assert sessions[0].start_s == 0.0
+        assert sessions[0].end_s == 9.0
+
+    def test_fin_terminates_session(self):
+        probe = GatewayProbe(classifier)
+        packets = [
+            Packet(0.0, tcp_tuple(), 1, 100, fin=True),
+            Packet(1.0, tcp_tuple(), 1, 200),
+        ]
+        sessions = probe.reconstruct(packets)
+        assert len(sessions) == 2
+
+    def test_udp_idle_timeout_splits_sessions(self):
+        probe = GatewayProbe(classifier)
+        packets = [
+            Packet(0.0, udp_tuple(), 2, 100),
+            Packet(500.0, udp_tuple(), 2, 100),  # > 120 s UDP timeout
+        ]
+        sessions = probe.reconstruct(packets)
+        assert len(sessions) == 2
+
+    def test_service_specific_timeout_override(self):
+        # Section 3.2: timeouts are service-specific.
+        probe = GatewayProbe(classifier, timeouts_s={"WhatsApp": 1000.0})
+        packets = [
+            Packet(0.0, udp_tuple(), 2, 100),
+            Packet(500.0, udp_tuple(), 2, 100),
+        ]
+        assert len(probe.reconstruct(packets)) == 1
+
+    def test_parallel_flows_kept_apart(self):
+        probe = GatewayProbe(classifier)
+        packets = sorted(
+            [
+                Packet(0.0, tcp_tuple(443), 1, 100),
+                Packet(0.5, tcp_tuple(8443), 1, 200),
+                Packet(1.0, tcp_tuple(443), 1, 100),
+            ],
+            key=lambda p: p.timestamp_s,
+        )
+        sessions = probe.reconstruct(packets)
+        assert len(sessions) == 2
+
+    def test_unordered_stream_rejected(self):
+        probe = GatewayProbe(classifier)
+        packets = [
+            Packet(5.0, tcp_tuple(), 1, 100),
+            Packet(0.0, tcp_tuple(), 1, 100),
+        ]
+        with pytest.raises(CollectionError):
+            probe.reconstruct(packets)
+
+    def test_unknown_service_from_classifier_rejected(self):
+        probe = GatewayProbe(lambda ft: "MadeUpApp")
+        with pytest.raises(CollectionError):
+            probe.reconstruct([Packet(0.0, tcp_tuple(), 1, 100)])
+
+
+class TestRanProbe:
+    def test_serving_bs_follows_handover(self):
+        probe = RanProbe(
+            [
+                AttachmentEvent(0.0, ue_id=1, bs_id=10),
+                AttachmentEvent(50.0, ue_id=1, bs_id=11),
+            ]
+        )
+        assert probe.serving_bs(1, 10.0) == 10
+        assert probe.serving_bs(1, 60.0) == 11
+
+    def test_unknown_ue_raises(self):
+        probe = RanProbe([])
+        with pytest.raises(CollectionError):
+            probe.serving_bs(9, 0.0)
+
+    def test_attachment_intervals_split_at_handover(self):
+        probe = RanProbe(
+            [
+                AttachmentEvent(0.0, 1, 10),
+                AttachmentEvent(30.0, 1, 11),
+            ]
+        )
+        intervals = probe.attachment_intervals(1, 10.0, 70.0)
+        assert intervals == [(10.0, 30.0, 10), (30.0, 70.0, 11)]
+
+    def test_single_cell_interval(self):
+        probe = RanProbe([AttachmentEvent(0.0, 1, 10)])
+        assert probe.attachment_intervals(1, 5.0, 25.0) == [(5.0, 25.0, 10)]
+
+
+class TestCorrelate:
+    def test_handover_creates_two_transport_sessions(self):
+        # Section 3.2: a handover is recorded as a concluded session at the
+        # old BS and a newly established one at the new BS.
+        gateway = GatewayProbe(classifier)
+        packets = [
+            Packet(0.0, tcp_tuple(), 1, 1_000_000),
+            Packet(100.0, tcp_tuple(), 1, 1_000_000, fin=True),
+        ]
+        sessions = gateway.reconstruct(packets)
+        ran = RanProbe(
+            [AttachmentEvent(0.0, 1, 10), AttachmentEvent(60.0, 1, 11)]
+        )
+        records = correlate(sessions, ran)
+        assert len(records) == 2
+        assert records[0].bs_id == 10
+        assert records[1].bs_id == 11
+        assert records[0].truncated
+        assert not records[1].truncated
+        # Volume split proportionally to time in cell.
+        assert records[0].volume_mb == pytest.approx(1.2)
+        assert records[1].volume_mb == pytest.approx(0.8)
+
+    def test_stationary_session_single_record(self):
+        gateway = GatewayProbe(classifier)
+        sessions = gateway.reconstruct(
+            [
+                Packet(0.0, tcp_tuple(), 1, 500_000),
+                Packet(30.0, tcp_tuple(), 1, 500_000, fin=True),
+            ]
+        )
+        ran = RanProbe([AttachmentEvent(0.0, 1, 7)])
+        records = correlate(sessions, ran)
+        assert len(records) == 1
+        assert records[0].bs_id == 7
+        assert not records[0].truncated
+        assert records[0].volume_mb == pytest.approx(1.0)
+
+    def test_day_and_minute_attribution(self):
+        gateway = GatewayProbe(classifier)
+        start = 86400.0 + 3600.0  # day 1, minute 60
+        sessions = gateway.reconstruct(
+            [
+                Packet(start, tcp_tuple(), 1, 1000),
+                Packet(start + 10, tcp_tuple(), 1, 1000, fin=True),
+            ]
+        )
+        ran = RanProbe([AttachmentEvent(0.0, 1, 3)])
+        record = correlate(sessions, ran)[0]
+        assert record.day == 1
+        assert record.start_minute == 60
+
+
+class TestServiceSpecificTimeouts:
+    def test_streaming_flows_survive_longer_silences(self):
+        # Netflix (streaming class): 600 s idle timeout by default.
+        probe = GatewayProbe(lambda ft: "Netflix")
+        packets = [
+            Packet(0.0, tcp_tuple(), 1, 100),
+            Packet(400.0, tcp_tuple(), 1, 100),  # > TCP default, < streaming
+        ]
+        assert len(probe.reconstruct(packets)) == 1
+
+    def test_messaging_flows_time_out_quickly(self):
+        # WhatsApp (messaging class): 120 s idle timeout.
+        probe = GatewayProbe(lambda ft: "WhatsApp")
+        packets = [
+            Packet(0.0, tcp_tuple(), 1, 100),
+            Packet(200.0, tcp_tuple(), 1, 100),
+        ]
+        assert len(probe.reconstruct(packets)) == 2
+
+    def test_explicit_override_beats_behaviour_default(self):
+        probe = GatewayProbe(lambda ft: "Netflix", timeouts_s={"Netflix": 10.0})
+        packets = [
+            Packet(0.0, tcp_tuple(), 1, 100),
+            Packet(50.0, tcp_tuple(), 1, 100),
+        ]
+        assert len(probe.reconstruct(packets)) == 2

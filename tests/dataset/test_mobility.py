@@ -1,0 +1,107 @@
+"""Tests for the mobility model and session truncation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.mobility import MobilityModel, truncate_sessions
+
+
+class TestMobilityModel:
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityModel(transit_fraction=1.5)
+
+    def test_invalid_median_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityModel(stationary_median_s=0.0)
+
+    def test_dwell_samples_positive(self):
+        model = MobilityModel()
+        dwells = model.sample_dwell_s(np.random.default_rng(0), 10000)
+        assert np.all(dwells > 0)
+
+    def test_two_populations_visible(self):
+        model = MobilityModel(transit_fraction=0.5)
+        dwells = model.sample_dwell_s(np.random.default_rng(1), 50000)
+        short = np.mean(dwells < 600)
+        assert short == pytest.approx(0.5, abs=0.03)
+
+    def test_all_transit(self):
+        model = MobilityModel(transit_fraction=1.0)
+        dwells = model.sample_dwell_s(np.random.default_rng(2), 5000)
+        assert np.median(dwells) == pytest.approx(model.transit_median_s, rel=0.1)
+
+    def test_no_transit(self):
+        model = MobilityModel(transit_fraction=0.0)
+        dwells = model.sample_dwell_s(np.random.default_rng(3), 5000)
+        assert np.median(dwells) == pytest.approx(
+            model.stationary_median_s, rel=0.1
+        )
+
+
+class TestTruncation:
+    def test_untouched_when_dwell_exceeds_duration(self):
+        volumes, durations, truncated = truncate_sessions(
+            np.array([10.0]), np.array([100.0]), np.array([500.0]), np.array([1.0])
+        )
+        assert volumes[0] == 10.0
+        assert durations[0] == 100.0
+        assert not truncated[0]
+
+    def test_linear_accrual_for_beta_one(self):
+        volumes, durations, truncated = truncate_sessions(
+            np.array([10.0]), np.array([100.0]), np.array([50.0]), np.array([1.0])
+        )
+        assert truncated[0]
+        assert durations[0] == 50.0
+        assert volumes[0] == pytest.approx(5.0)
+
+    def test_superlinear_accrual_backloads_volume(self):
+        # beta > 1: early truncation captures less than the linear share.
+        volumes, _, _ = truncate_sessions(
+            np.array([10.0]), np.array([100.0]), np.array([50.0]), np.array([2.0])
+        )
+        assert volumes[0] == pytest.approx(2.5)
+
+    def test_sublinear_accrual_frontloads_volume(self):
+        volumes, _, _ = truncate_sessions(
+            np.array([10.0]), np.array([100.0]), np.array([50.0]), np.array([0.5])
+        )
+        assert volumes[0] == pytest.approx(10.0 / np.sqrt(2.0))
+
+    def test_truncated_sessions_stay_on_power_law(self):
+        # The session's offset from v(d) = alpha d^beta is preserved.
+        alpha, beta = 0.01, 1.4
+        full_duration = np.array([1000.0])
+        full_volume = alpha * full_duration**beta * 1.7  # offset 1.7
+        dwell = np.array([200.0])
+        volumes, durations, _ = truncate_sessions(
+            full_volume, full_duration, dwell, np.array([beta])
+        )
+        offset = volumes / (alpha * durations**beta)
+        assert offset[0] == pytest.approx(1.7)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            truncate_sessions(
+                np.ones(2), np.ones(3), np.ones(2), np.ones(2)
+            )
+
+
+@given(
+    volume=st.floats(min_value=0.01, max_value=1e4),
+    duration=st.floats(min_value=1.0, max_value=1e5),
+    dwell=st.floats(min_value=0.5, max_value=1e5),
+    beta=st.floats(min_value=0.1, max_value=1.8),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_truncation_never_increases(volume, duration, dwell, beta):
+    """Truncation can only reduce volume and duration, never below zero."""
+    volumes, durations, truncated = truncate_sessions(
+        np.array([volume]), np.array([duration]), np.array([dwell]), np.array([beta])
+    )
+    assert 0 < volumes[0] <= volume * (1 + 1e-12)
+    assert 0 < durations[0] <= duration
+    assert truncated[0] == (dwell < duration)

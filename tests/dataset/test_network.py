@@ -1,0 +1,105 @@
+"""Tests for the synthetic BS population."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.network import (
+    CITIES,
+    FIRST_DECILE_PEAK_RATE,
+    LAST_DECILE_PEAK_RATE,
+    RAT,
+    Network,
+    NetworkConfig,
+    Region,
+    decile_peak_rate,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return Network(NetworkConfig(n_bs=100), np.random.default_rng(0))
+
+
+class TestDecilePeakRate:
+    def test_anchors_match_paper(self):
+        # Section 5.1: 1.21 sessions/min (first decile) to 71 (last).
+        assert decile_peak_rate(0) == FIRST_DECILE_PEAK_RATE
+        assert decile_peak_rate(9) == LAST_DECILE_PEAK_RATE
+
+    def test_growth_is_geometric(self):
+        ratios = [
+            decile_peak_rate(i + 1) / decile_peak_rate(i) for i in range(9)
+        ]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            decile_peak_rate(10)
+        with pytest.raises(ValueError):
+            decile_peak_rate(-1)
+
+
+class TestNetworkConfig:
+    def test_too_small_network_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(n_bs=5)
+
+    def test_region_fractions_validated(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(urban_fraction=0.8, semi_urban_fraction=0.5)
+
+    def test_nr_fraction_validated(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(nr_fraction=1.5)
+
+
+class TestNetwork:
+    def test_population_size(self, net):
+        assert len(net) == 100
+
+    def test_deciles_equal_tenths(self, net):
+        for decile in range(10):
+            assert len(net.bs_ids_in_decile(decile)) == 10
+
+    def test_peak_rates_grow_with_decile(self, net):
+        means = [
+            np.mean([net.station(b).peak_rate for b in net.bs_ids_in_decile(d)])
+            for d in range(10)
+        ]
+        assert means == sorted(means)
+        assert means[0] == pytest.approx(FIRST_DECILE_PEAK_RATE, rel=0.2)
+        assert means[9] == pytest.approx(LAST_DECILE_PEAK_RATE, rel=0.2)
+
+    def test_night_scale_tracks_peak_rate(self, net):
+        for station in net:
+            assert station.night_scale == pytest.approx(station.peak_rate / 8.0)
+
+    def test_peak_sigma_is_tenth_of_mu(self, net):
+        for station in net:
+            assert station.peak_sigma == pytest.approx(station.peak_rate / 10.0)
+
+    def test_regions_cover_population(self, net):
+        total = sum(len(net.bs_ids_in_region(r)) for r in Region)
+        assert total == len(net)
+
+    def test_cities_only_in_urban_areas(self, net):
+        for city in CITIES:
+            for bs_id in net.bs_ids_in_city(city):
+                assert net.station(bs_id).region is Region.URBAN
+
+    def test_unknown_city_raises(self, net):
+        with pytest.raises(ValueError):
+            net.bs_ids_in_city("Atlantis")
+
+    def test_rats_cover_population(self, net):
+        total = sum(len(net.bs_ids_with_rat(r)) for r in RAT)
+        assert total == len(net)
+
+    def test_nr_fraction_approximate(self, net):
+        nr = len(net.bs_ids_with_rat(RAT.NR))
+        assert nr / len(net) == pytest.approx(0.2, abs=0.1)
+
+    def test_peak_rates_array_indexed_by_bs_id(self, net):
+        rates = net.peak_rates()
+        for station in net:
+            assert rates[station.bs_id] == station.peak_rate

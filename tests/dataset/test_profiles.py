@@ -1,0 +1,115 @@
+"""Tests for the ground-truth generative profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.profiles import (
+    ANCHOR_MEAN_MB,
+    MAX_DURATION_S,
+    MIN_DURATION_S,
+    PROFILES,
+    ProfileError,
+    get_profile,
+)
+from repro.dataset.services import SERVICES, get_service
+
+
+class TestRegistry:
+    def test_every_service_has_a_profile(self):
+        assert set(PROFILES) == {s.name for s in SERVICES}
+
+    def test_get_profile_unknown_raises(self):
+        with pytest.raises(ProfileError):
+            get_profile("nope")
+
+    def test_mean_volume_solves_table1_traffic_ratio(self):
+        # The profile mean is solved so that session_share * mean_volume
+        # reproduces the Table 1 traffic shares (with ANCHOR_MEAN_MB = 8).
+        for service in ("Facebook", "Netflix", "Deezer", "Gmail"):
+            info = get_service(service)
+            target = info.traffic_share_pct / info.session_share_pct * ANCHOR_MEAN_MB
+            assert PROFILES[service].mean_volume_mb() == pytest.approx(
+                target, rel=0.01
+            )
+
+    def test_betas_span_papers_range(self):
+        # Fig 10: exponents span roughly 0.1 .. 1.8.
+        betas = [p.beta for p in PROFILES.values()]
+        assert min(betas) >= 0.1
+        assert max(betas) <= 1.85
+        assert max(betas) > 1.5  # video streaming super-linear exists
+
+    def test_video_streaming_super_linear(self):
+        for service in ("Netflix", "Twitch", "FB Live", "Youtube"):
+            assert PROFILES[service].beta > 1.0
+
+    def test_interactive_sub_linear(self):
+        for service in ("Facebook", "Amazon", "Waze", "Pokemon GO", "Uber"):
+            assert PROFILES[service].beta < 1.0
+
+    def test_netflix_has_paper_peaks(self):
+        # Section 4.2: Netflix modes at ~40 MB and a drop past 200 MB.
+        mus = [10**c.mu for c in PROFILES["Netflix"].mixture.components[1:]]
+        assert any(abs(m - 40.0) < 1.0 for m in mus)
+        assert any(abs(m - 200.0) < 5.0 for m in mus)
+
+    def test_deezer_has_two_song_modes(self):
+        mus = [10**c.mu for c in PROFILES["Deezer"].mixture.components[1:]]
+        assert any(abs(m - 3.5) < 0.2 for m in mus)
+        assert any(abs(m - 7.6) < 0.3 for m in mus)
+
+
+class TestSampling:
+    def test_volumes_positive(self):
+        rng = np.random.default_rng(0)
+        volumes = PROFILES["Facebook"].sample_full_volumes(rng, 1000)
+        assert np.all(volumes > 0)
+
+    def test_sample_mean_matches_analytic(self):
+        rng = np.random.default_rng(1)
+        profile = PROFILES["Instagram"]
+        volumes = profile.sample_full_volumes(rng, 400000)
+        assert volumes.mean() == pytest.approx(profile.mean_volume_mb(), rel=0.05)
+
+    def test_duration_bounds(self):
+        rng = np.random.default_rng(2)
+        profile = PROFILES["Netflix"]
+        volumes = profile.sample_full_volumes(rng, 10000)
+        durations = profile.duration_for_volume(volumes, rng)
+        assert durations.min() >= MIN_DURATION_S
+        assert durations.max() <= MAX_DURATION_S
+
+    def test_duration_noiseless_is_exact_inverse(self):
+        profile = PROFILES["Deezer"]
+        volumes = np.array([1.0, 5.0, 20.0])
+        durations = profile.duration_for_volume(volumes)
+        assert np.allclose(
+            profile.expected_volume_at(durations), volumes, rtol=1e-9
+        )
+
+    def test_duration_rejects_nonpositive_volume(self):
+        with pytest.raises(ProfileError):
+            PROFILES["Waze"].duration_for_volume(np.array([0.0]))
+
+    def test_power_law_anchored_at_typical_duration(self):
+        profile = PROFILES["Netflix"]
+        median = 10 ** profile.mixture.components[0].mu
+        duration = profile.duration_for_volume(np.array([median]))[0]
+        assert duration == pytest.approx(profile.typical_duration_s, rel=0.01)
+
+
+@given(service=st.sampled_from([s.name for s in SERVICES]))
+@settings(max_examples=31, deadline=None)
+def test_property_profiles_internally_consistent(service):
+    """Every profile has positive alpha, a normalized mixture and durations
+    that invert the power law."""
+    profile = PROFILES[service]
+    assert profile.alpha > 0
+    assert sum(profile.mixture.weights) == pytest.approx(1.0)
+    volumes = np.array([0.5 * profile.mean_volume_mb(), profile.mean_volume_mb()])
+    durations = profile.duration_for_volume(volumes)
+    clipped = (durations == MIN_DURATION_S) | (durations == MAX_DURATION_S)
+    recovered = profile.expected_volume_at(durations)
+    assert np.allclose(recovered[~clipped], volumes[~clipped], rtol=1e-9)

@@ -1,0 +1,98 @@
+"""Tests for the Table 1 service catalog."""
+
+import pytest
+
+from repro.dataset.services import (
+    SERVICES,
+    TABLE1_SERVICES,
+    BehaviourClass,
+    LiteratureCategory,
+    UnknownServiceError,
+    all_service_names,
+    category_session_shares,
+    get_service,
+    services_in_category,
+    session_share_fractions,
+    traffic_share_fractions,
+)
+
+
+class TestCatalog:
+    def test_31_modelled_services(self):
+        # Section 5.4: models for 31 services, including all of Table 1.
+        assert len(SERVICES) == 31
+
+    def test_28_table1_rows(self):
+        assert len(TABLE1_SERVICES) == 28
+
+    def test_names_are_unique(self):
+        names = all_service_names()
+        assert len(names) == len(set(names))
+
+    def test_table1_facebook_row(self):
+        fb = get_service("Facebook")
+        assert fb.session_share_pct == 36.52
+        assert fb.session_share_cv == 1.15
+        assert fb.traffic_share_pct == 32.53
+        assert fb.traffic_share_cv == 1.68
+
+    def test_table1_netflix_row(self):
+        nf = get_service("Netflix")
+        assert nf.session_share_pct == 2.40
+        assert nf.traffic_share_pct == 11.10
+
+    def test_unknown_service_raises(self):
+        with pytest.raises(UnknownServiceError):
+            get_service("TikTak")
+
+    def test_session_shares_roughly_total_100(self):
+        total = sum(s.session_share_pct for s in SERVICES)
+        assert total == pytest.approx(100.0, abs=1.0)
+
+    def test_traffic_shares_roughly_total_100(self):
+        total = sum(s.traffic_share_pct for s in SERVICES)
+        assert total == pytest.approx(100.0, abs=1.0)
+
+
+class TestFractions:
+    def test_session_fractions_are_a_distribution(self):
+        fractions = session_share_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert all(f >= 0 for f in fractions.values())
+
+    def test_traffic_fractions_are_a_distribution(self):
+        fractions = traffic_share_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fraction_ordering_matches_table(self):
+        fractions = session_share_fractions()
+        assert fractions["Facebook"] > fractions["Instagram"] > fractions["Uber"]
+
+
+class TestCategories:
+    def test_every_service_categorized(self):
+        members = [
+            name
+            for category in LiteratureCategory
+            for name in services_in_category(category)
+        ]
+        assert sorted(members) == sorted(all_service_names())
+
+    def test_movie_streaming_is_netflix(self):
+        # Section 6.1.1 aggregation: MS carries ~2.24 % of sessions, which
+        # in Table 1 is the Netflix share.
+        assert services_in_category(LiteratureCategory.MOVIE_STREAMING) == [
+            "Netflix"
+        ]
+
+    def test_category_shares_sum_to_one(self):
+        shares = category_session_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_behaviour_classes_cover_catalog(self):
+        classes = {s.behaviour for s in SERVICES}
+        assert classes == set(BehaviourClass)
+
+    def test_streaming_services_marked_streaming(self):
+        for name in ("Netflix", "Twitch", "Deezer", "FB Live", "Spotify"):
+            assert get_service(name).behaviour is BehaviourClass.STREAMING

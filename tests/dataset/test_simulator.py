@@ -1,0 +1,133 @@
+"""Tests for the end-to-end measurement campaign simulator."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.circadian import peak_minute_mask
+from repro.dataset.network import Network, NetworkConfig
+from repro.dataset.records import SERVICE_INDEX
+from repro.dataset.simulator import SimulationConfig, simulate
+
+
+class TestSimulationConfig:
+    def test_invalid_days_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_days=0)
+
+    def test_invalid_chain_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(max_handover_chain=-1)
+
+    def test_weekend_day_classification(self):
+        config = SimulationConfig(n_days=9)
+        assert config.weekend_days() == [5, 6]
+        assert config.working_days() == [0, 1, 2, 3, 4, 7, 8]
+
+
+class TestSimulate:
+    def test_campaign_covers_all_days(self, campaign):
+        from tests.conftest import CAMPAIGN_DAYS
+
+        assert set(np.unique(campaign.day)) == set(range(CAMPAIGN_DAYS))
+
+    def test_campaign_covers_all_bs(self, campaign, network):
+        assert set(np.unique(campaign.bs_id)) == set(range(len(network)))
+
+    def test_session_shares_match_table1(self, campaign):
+        counts = np.bincount(campaign.service_idx, minlength=31)
+        share_fb = counts[SERVICE_INDEX["Facebook"]] / counts.sum()
+        assert share_fb == pytest.approx(0.366, abs=0.02)
+
+    def test_busy_bs_serves_more_sessions(self, campaign, network):
+        low = len(campaign.for_bs_ids(network.bs_ids_in_decile(0)))
+        high = len(campaign.for_bs_ids(network.bs_ids_in_decile(9)))
+        assert high > 10 * low
+
+    def test_arrivals_follow_circadian_rhythm(self, campaign):
+        mask = peak_minute_mask()
+        minute_counts = np.bincount(campaign.start_minute, minlength=1440)
+        assert minute_counts[mask].mean() > 3 * minute_counts[~mask].mean()
+
+    def test_transient_sessions_present_with_significant_frequency(self, campaign):
+        # Insight (e): partial sessions occur with significant frequency.
+        assert 0.02 < campaign.truncated.mean() < 0.5
+
+    def test_transients_populate_low_volume_head(self, campaign):
+        # Section 4.2: in-transit truncation produces "many very short
+        # sessions generating reduced traffic loads in the left part of the
+        # distributions".  For a streaming service, the typical truncated
+        # session carries far less than the typical complete one.
+        netflix = campaign.for_service("Netflix")
+        cut = netflix.select(netflix.truncated)
+        full = netflix.select(~netflix.truncated)
+        assert np.median(cut.volume_mb) < np.median(full.volume_mb)
+        assert np.median(cut.duration_s) < np.median(full.duration_s)
+
+    def test_no_continuation_variant(self, network):
+        rng = np.random.default_rng(5)
+        table = simulate(
+            network,
+            SimulationConfig(n_days=1, handover_continuation=False),
+            rng,
+        )
+        assert len(table) > 0
+
+    def test_reproducible_with_same_seed(self, network):
+        config = SimulationConfig(n_days=1)
+        a = simulate(network, config, np.random.default_rng(42))
+        b = simulate(network, config, np.random.default_rng(42))
+        assert len(a) == len(b)
+        assert np.array_equal(a.volume_mb, b.volume_mb)
+
+    def test_handovers_stay_within_decile(self):
+        # Continuations land at cells of the same load class.
+        rng = np.random.default_rng(6)
+        net = Network(NetworkConfig(n_bs=20), np.random.default_rng(7))
+        table = simulate(net, SimulationConfig(n_days=1), rng)
+        deciles = {s.bs_id: s.decile for s in net}
+        # Low-decile cells must not show sessions far above their organic
+        # volume scale at a rate that only busy-cell spillover would cause.
+        low = table.for_bs_ids(net.bs_ids_in_decile(0))
+        high = table.for_bs_ids(net.bs_ids_in_decile(9))
+        assert len(low) < 0.1 * len(high)
+
+
+class TestWeekendRates:
+    def test_weekend_days_carry_fewer_arrivals(self):
+        # Days 5-6 are the weekend; BS-level workload drops while the
+        # session-level statistics stay put (Section 4.4).
+        net = Network(NetworkConfig(n_bs=10), np.random.default_rng(20))
+        table = simulate(
+            net,
+            SimulationConfig(n_days=7, weekend_rate_factor=0.7),
+            np.random.default_rng(21),
+        )
+        per_day = np.bincount(table.day, minlength=7)
+        workdays = per_day[[0, 1, 2, 3, 4]].mean()
+        weekend = per_day[[5, 6]].mean()
+        assert weekend < 0.85 * workdays
+
+    def test_session_statistics_invariant_across_day_types(self):
+        from repro.analysis.emd import emd
+        from repro.dataset.aggregation import pooled_volume_pdf
+
+        net = Network(NetworkConfig(n_bs=10), np.random.default_rng(22))
+        config = SimulationConfig(n_days=7, weekend_rate_factor=0.7)
+        table = simulate(net, config, np.random.default_rng(23))
+        fb = table.for_service("Facebook")
+        work = pooled_volume_pdf(fb.for_days(config.working_days()))
+        weekend = pooled_volume_pdf(fb.for_days(config.weekend_days()))
+        assert emd(work, weekend) < 0.03
+
+    def test_invalid_weekend_factor_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(weekend_rate_factor=0.0)
+
+    def test_rate_scale_validated(self):
+        from repro.dataset.circadian import sample_day_arrival_counts
+
+        net = Network(NetworkConfig(n_bs=10), np.random.default_rng(24))
+        with pytest.raises(ValueError):
+            sample_day_arrival_counts(
+                net.station(0), np.random.default_rng(0), rate_scale=0.0
+            )

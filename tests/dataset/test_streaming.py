@@ -1,0 +1,135 @@
+"""Tests for the bounded-memory streaming aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.network import Network, NetworkConfig
+from repro.dataset.simulator import SimulationConfig
+from repro.dataset.streaming import (
+    CampaignAccumulator,
+    StreamingError,
+    simulate_aggregated,
+)
+
+
+class TestCampaignAccumulator:
+    def test_matches_pooled_aggregation(self, campaign):
+        from repro.dataset.aggregation import (
+            pooled_duration_volume,
+            pooled_volume_pdf,
+        )
+
+        accumulator = CampaignAccumulator()
+        # Feed the campaign in awkward batch sizes.
+        edges = [0, 1000, 5000, len(campaign)]
+        index = np.arange(len(campaign))
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            accumulator.update(
+                campaign.select((index >= lo) & (index < hi))
+            )
+
+        assert accumulator.n_sessions == len(campaign)
+        for service in ("Facebook", "Netflix"):
+            streamed = accumulator.volume_pdf(service)
+            pooled = pooled_volume_pdf(campaign.for_service(service))
+            assert np.allclose(streamed.density, pooled.density)
+            streamed_curve = accumulator.duration_volume(service)
+            pooled_curve = pooled_duration_volume(campaign.for_service(service))
+            assert np.allclose(
+                streamed_curve.mean_volume_mb, pooled_curve.mean_volume_mb
+            )
+
+    def test_shares_match_table_computation(self, campaign):
+        from repro.dataset.aggregation import service_shares
+
+        accumulator = CampaignAccumulator()
+        accumulator.update(campaign)
+        streamed = accumulator.service_shares()
+        direct = service_shares(campaign)
+        for name in ("Facebook", "Deezer"):
+            assert streamed[name][0] == pytest.approx(direct[name][0])
+            assert streamed[name][1] == pytest.approx(direct[name][1], rel=1e-5)
+
+    def test_truncated_fraction(self, campaign):
+        accumulator = CampaignAccumulator()
+        accumulator.update(campaign)
+        assert accumulator.truncated_fraction == pytest.approx(
+            float(campaign.truncated.mean())
+        )
+
+    def test_empty_accumulator_raises(self):
+        accumulator = CampaignAccumulator()
+        with pytest.raises(StreamingError):
+            accumulator.service_shares()
+        with pytest.raises(StreamingError):
+            accumulator.truncated_fraction
+
+    def test_empty_batch_is_noop(self):
+        from repro.dataset.records import SessionTable
+
+        accumulator = CampaignAccumulator()
+        accumulator.update(SessionTable.empty())
+        assert accumulator.n_sessions == 0
+
+    def test_arrival_histogram_growth(self):
+        accumulator = CampaignAccumulator()
+        counts = np.zeros(1440, dtype=int)
+        counts[0] = 500  # forces histogram growth past the initial size
+        accumulator.update_arrivals(3, counts)
+        pmf = accumulator.arrival_count_pmf(3)
+        assert pmf[500] > 0
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_arrival_pmf_unknown_decile_raises(self):
+        with pytest.raises(StreamingError):
+            CampaignAccumulator().arrival_count_pmf(0)
+
+    def test_bad_minute_counts_rejected(self):
+        with pytest.raises(StreamingError):
+            CampaignAccumulator().update_arrivals(0, np.zeros(10))
+
+
+class TestSimulateAggregated:
+    @pytest.fixture(scope="class")
+    def accumulator(self):
+        network = Network(NetworkConfig(n_bs=10), np.random.default_rng(0))
+        return simulate_aggregated(
+            network, SimulationConfig(n_days=2), np.random.default_rng(1)
+        )
+
+    def test_produces_sessions(self, accumulator):
+        assert accumulator.n_sessions > 10_000
+
+    def test_statistics_match_materialized_simulation(self, accumulator):
+        # Same network/seed structure at small scale: shares and shapes
+        # agree with the materializing simulator within sampling noise.
+        from repro.dataset.simulator import simulate
+
+        network = Network(NetworkConfig(n_bs=10), np.random.default_rng(0))
+        table = simulate(
+            network,
+            SimulationConfig(n_days=2, handover_continuation=False),
+            np.random.default_rng(2),
+        )
+        streamed = accumulator.service_shares()["Facebook"][0]
+        from repro.dataset.aggregation import service_shares
+
+        direct = service_shares(table)["Facebook"][0]
+        assert streamed == pytest.approx(direct, rel=0.05)
+
+    def test_arrival_pmf_is_bimodal(self, accumulator):
+        # Decile 10: night Pareto (scale ~9) and day Gaussian (mu ~73)
+        # modes with a depleted valley in between (Fig 3's bi-modality).
+        pmf = accumulator.arrival_count_pmf(9)
+        night = pmf[:36].sum()
+        valley = pmf[36:55].sum()
+        day = pmf[55:].sum()
+        assert night > 0.25
+        assert day > 0.3
+        assert valley < 0.5 * min(night, day)
+
+    def test_fit_bank_from_streamed_statistics(self, accumulator):
+        bank = accumulator.fit_bank(min_sessions=500)
+        assert "Facebook" in bank
+        assert "Netflix" in bank
+        assert bank.get("Netflix").duration.beta > 1.0

@@ -1,0 +1,56 @@
+"""Tests for model-release persistence."""
+
+import json
+
+import pytest
+
+from repro.core.arrivals import ArrivalModel
+from repro.io.params import ParamsError, load_release, save_release
+
+
+class TestReleaseRoundTrip:
+    def test_services_round_trip(self, bank, tmp_path):
+        path = tmp_path / "release.json"
+        save_release(path, bank)
+        restored, arrivals = load_release(path)
+        assert set(restored.services()) == set(bank.services())
+        assert arrivals == {}
+
+    def test_arrivals_round_trip(self, bank, tmp_path):
+        path = tmp_path / "release.json"
+        model = ArrivalModel(peak_mu=12.0, peak_sigma=1.2, night_scale=1.5)
+        save_release(path, bank, {"decile-5": model})
+        _, arrivals = load_release(path)
+        assert arrivals["decile-5"].peak_mu == 12.0
+        assert arrivals["decile-5"].night_shape == 1.765
+
+    def test_release_is_human_readable_json(self, bank, tmp_path):
+        path = tmp_path / "release.json"
+        save_release(path, bank)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert "services" in payload
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ParamsError):
+            load_release(tmp_path / "absent.json")
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "services": {}}))
+        with pytest.raises(ParamsError):
+            load_release(path)
+
+    def test_malformed_arrival_entry_raises(self, bank, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "services": {},
+                    "arrivals": {"x": {"peak_mu": 1.0}},
+                }
+            )
+        )
+        with pytest.raises(ParamsError):
+            load_release(path)

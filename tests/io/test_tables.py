@@ -1,0 +1,45 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.io.tables import TableError, format_table, print_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[3.14159265]], float_format="{:.1f}")
+        assert "3.1" in text
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [["xxxx", "y"], ["z", "wwww"]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_empty_rows_allowed(self):
+        text = format_table(["only", "header"], [])
+        assert "only" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(TableError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(TableError):
+            format_table([], [])
+
+    def test_print_table_with_title(self, capsys):
+        print_table(["h"], [["v"]], title="My Table")
+        out = capsys.readouterr().out
+        assert "My Table" in out
+        assert "=" * len("My Table") in out

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_simulate_prints_summary(self, capsys):
+        assert main(["--seed", "1", "simulate", "--bs", "10", "--days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sessions:" in out
+        assert "Facebook" in out
+
+    def test_fit_writes_release(self, tmp_path, capsys):
+        path = tmp_path / "models.json"
+        code = main(
+            ["--seed", "1", "fit", "--bs", "10", "--days", "1", "--output", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "fitted" in capsys.readouterr().out
+
+    def test_generate_from_release(self, tmp_path, capsys):
+        path = tmp_path / "models.json"
+        main(["--seed", "1", "fit", "--bs", "10", "--days", "1", "--output", str(path)])
+        capsys.readouterr()
+        code = main(
+            [
+                "--seed", "2", "generate", "--models", str(path),
+                "--bs", "2", "--days", "1", "--decile", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generated" in out
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReproduce:
+    def test_fig10_reproduction(self, capsys):
+        assert main(["--seed", "3", "reproduce", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 10" in out
+        assert "Twitch" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig99"])
+
+
+class TestValidate:
+    def test_validate_healthy_trace(self, tmp_path, campaign, capsys):
+        from repro.io.traces import write_trace
+        from tests.conftest import CAMPAIGN_DAYS
+
+        path = tmp_path / "trace.csv.gz"
+        write_trace(campaign.select(campaign.bs_id < 3), path)
+        code = main(
+            ["validate", "--trace", str(path), "--days", str(CAMPAIGN_DAYS)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: OK" in out
+
+    def test_validate_flags_missing_days(self, tmp_path, campaign, capsys):
+        from repro.io.traces import write_trace
+
+        path = tmp_path / "trace.csv"
+        write_trace(campaign.for_days([0]), path)
+        code = main(["validate", "--trace", str(path), "--days", "3"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "verdict: FAILED" in out
+
+
+class TestTraceFlags:
+    def test_simulate_exports_trace(self, tmp_path, capsys):
+        path = tmp_path / "campaign.csv.gz"
+        code = main(
+            ["--seed", "4", "simulate", "--bs", "10", "--days", "1",
+             "--trace", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "trace:" in capsys.readouterr().out
+
+    def test_fit_from_trace(self, tmp_path, capsys):
+        trace = tmp_path / "campaign.csv.gz"
+        main(["--seed", "4", "simulate", "--bs", "10", "--days", "1",
+              "--trace", str(trace)])
+        capsys.readouterr()
+        release = tmp_path / "models.json"
+        code = main(
+            ["fit", "--from-trace", str(trace), "--output", str(release)]
+        )
+        assert code == 0
+        assert release.exists()
+        assert "from" in capsys.readouterr().out

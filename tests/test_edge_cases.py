@@ -1,0 +1,153 @@
+"""Cross-cutting edge-case and invariant tests.
+
+Covers paths the per-module suites leave thin: handover chains, calibration
+corner cases, degenerate inputs, and randomized whole-table invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.volume_model import VolumeModel, VolumeModelError, fit_volume_model
+from repro.dataset.aggregation import minute_arrival_counts, service_shares
+from repro.dataset.mobility import MobilityModel
+from repro.dataset.network import Network, NetworkConfig
+from repro.dataset.records import SERVICE_NAMES, SessionTable
+from repro.dataset.simulator import SimulationConfig, simulate
+from repro.usecases.slicing.demand import demand_matrix
+
+
+# ----------------------------------------------------------------------
+# Handover chains
+# ----------------------------------------------------------------------
+class TestHandoverChains:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return Network(NetworkConfig(n_bs=10), np.random.default_rng(0))
+
+    def _simulate(self, network, **kwargs):
+        mobility = MobilityModel(transit_fraction=0.9, transit_median_s=30.0)
+        config = SimulationConfig(n_days=1, mobility=mobility, **kwargs)
+        return simulate(network, config, np.random.default_rng(1))
+
+    def test_continuations_add_sessions(self, network):
+        with_chain = self._simulate(network, max_handover_chain=3)
+        without = self._simulate(network, handover_continuation=False)
+        assert len(with_chain) > len(without)
+
+    def test_chain_depth_monotone(self, network):
+        counts = [
+            len(self._simulate(network, max_handover_chain=depth))
+            for depth in (0, 1, 3)
+        ]
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_zero_chain_equals_no_continuation(self, network):
+        zero_chain = self._simulate(network, max_handover_chain=0)
+        disabled = self._simulate(network, handover_continuation=False)
+        # Same RNG stream, same physics: identical tables.
+        assert len(zero_chain) == len(disabled)
+
+
+# ----------------------------------------------------------------------
+# Volume model corner cases
+# ----------------------------------------------------------------------
+class TestVolumeModelEdges:
+    def test_invalid_quantile_calibration_rejected(self, campaign):
+        from repro.dataset.aggregation import pooled_volume_pdf
+
+        pdf = pooled_volume_pdf(campaign.for_service("Facebook"))
+        with pytest.raises(VolumeModelError):
+            fit_volume_model(pdf, calibration="quantile", calibration_quantile=0.3)
+
+    def test_from_dict_defaults_peak_intervals(self):
+        model = VolumeModel.from_dict(
+            {
+                "mu": 0.5,
+                "sigma": 0.4,
+                "peaks": [{"k": 0.1, "mu": 1.5, "sigma": 0.05}],
+            }
+        )
+        assert model.peaks[0].u_lo == 1.5
+        assert model.peaks[0].u_hi == 1.5
+
+    def test_model_without_peaks_serializes(self):
+        from repro.core.distributions import LogNormal10
+
+        model = VolumeModel(main=LogNormal10(0.2, 0.3))
+        restored = VolumeModel.from_dict(model.to_dict())
+        assert restored.peaks == ()
+        assert restored.total_peak_weight == 0.0
+
+    def test_zero_refinement_matches_paper_procedure(self, campaign):
+        from repro.dataset.aggregation import pooled_volume_pdf
+
+        pdf = pooled_volume_pdf(campaign.for_service("Amazon"))
+        model = fit_volume_model(pdf, n_refinements=0, calibration="none")
+        # Still a valid normalized mixture.
+        assert model.as_histogram().total_mass == pytest.approx(1.0, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Network edge sizes
+# ----------------------------------------------------------------------
+class TestNetworkEdges:
+    def test_minimum_network_covers_all_deciles(self):
+        network = Network(NetworkConfig(n_bs=10), np.random.default_rng(2))
+        for decile in range(10):
+            assert len(network.bs_ids_in_decile(decile)) == 1
+
+    def test_non_multiple_of_ten_population(self):
+        network = Network(NetworkConfig(n_bs=23), np.random.default_rng(3))
+        assert len(network) == 23
+        sizes = [len(network.bs_ids_in_decile(d)) for d in range(10)]
+        assert sum(sizes) == 23
+        assert max(sizes) - min(sizes) <= 3
+
+
+# ----------------------------------------------------------------------
+# Randomized whole-table invariants
+# ----------------------------------------------------------------------
+@st.composite
+def session_tables(draw):
+    n = draw(st.integers(min_value=1, max_value=300))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    return SessionTable(
+        service_idx=rng.integers(0, len(SERVICE_NAMES), n),
+        bs_id=rng.integers(0, 4, n),
+        day=rng.integers(0, 2, n),
+        start_minute=rng.integers(0, 1440, n),
+        duration_s=rng.uniform(1.0, 5000.0, n),
+        volume_mb=rng.uniform(1e-3, 100.0, n),
+        truncated=rng.random(n) < 0.2,
+    )
+
+
+@given(table=session_tables())
+@settings(max_examples=30, deadline=None)
+def test_property_service_shares_form_distribution(table):
+    """Session and traffic shares always sum to 1 over the catalog."""
+    shares = service_shares(table)
+    assert sum(s for s, _ in shares.values()) == pytest.approx(1.0)
+    assert sum(t for _, t in shares.values()) == pytest.approx(1.0)
+    assert all(s >= 0 and t >= 0 for s, t in shares.values())
+
+
+@given(table=session_tables())
+@settings(max_examples=30, deadline=None)
+def test_property_demand_matrix_conserves_volume(table):
+    """Demand spreading never creates volume; clipping only sheds it."""
+    demand = demand_matrix(table, [0, 1, 2, 3], 2)
+    total = float(table.volume_mb.sum())
+    assert demand.sum() <= total * (1 + 1e-6)
+    assert demand.sum() >= 0.3 * total  # clipping is bounded
+
+
+@given(table=session_tables())
+@settings(max_examples=30, deadline=None)
+def test_property_minute_counts_account_for_every_session(table):
+    """Per-minute arrival counts over all BSs sum to the table size."""
+    counts = minute_arrival_counts(table, [0, 1, 2, 3], 2)
+    assert counts.sum() == len(table)

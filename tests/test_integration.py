@@ -1,0 +1,141 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests exercise the paper's full loop: simulate a campaign → aggregate
+→ fit models → generate synthetic traffic → verify the synthetic traffic
+reproduces the measured statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.emd import emd
+from repro.analysis.normalization import zero_mean
+from repro.core.arrivals import fit_arrival_model_from_days
+from repro.core.generator import TrafficGenerator
+from repro.core.model_bank import ModelBank
+from repro.core.service_mix import ServiceMix
+from repro.dataset.aggregation import (
+    minute_arrival_counts,
+    pooled_duration_volume,
+    pooled_volume_pdf,
+    service_shares,
+)
+from repro.dataset.records import SERVICE_NAMES
+
+
+@pytest.fixture(scope="module")
+def generated(campaign, bank):
+    """A synthetic campaign generated from models fitted on the fixture."""
+    from tests.conftest import CAMPAIGN_DAYS
+
+    arrival_models = {}
+    for bs_id in (0, 9, 19):
+        counts = minute_arrival_counts(campaign, [bs_id], CAMPAIGN_DAYS)
+        arrival_models[bs_id] = fit_arrival_model_from_days(
+            counts.reshape(CAMPAIGN_DAYS, 1440)
+        )
+    mix = ServiceMix.from_measurements(campaign).restricted_to(bank.services())
+    generator = TrafficGenerator(arrival_models, mix, bank)
+    return generator.generate_campaign(2, np.random.default_rng(123))
+
+
+class TestFullLoop:
+    def test_generated_session_shares_match_measured(self, campaign, generated):
+        measured = service_shares(campaign)
+        synthetic = service_shares(generated)
+        for name in ("Facebook", "Instagram", "SnapChat"):
+            assert synthetic[name][0] == pytest.approx(measured[name][0], rel=0.1)
+
+    def test_generated_volume_pdfs_match_measured(self, campaign, generated):
+        # Model-vs-measurement EMD must be far below inter-service EMD.
+        for name in ("Facebook", "Netflix", "Deezer"):
+            measured = pooled_volume_pdf(campaign.for_service(name))
+            synthetic = pooled_volume_pdf(generated.for_service(name))
+            assert emd(measured, synthetic) < 0.15
+
+    def test_inter_service_diversity_preserved(self, campaign, generated):
+        fb = zero_mean(pooled_volume_pdf(generated.for_service("Facebook")))
+        nf = zero_mean(pooled_volume_pdf(generated.for_service("Netflix")))
+        same_service = emd(
+            zero_mean(pooled_volume_pdf(campaign.for_service("Netflix"))), nf
+        )
+        assert emd(fb, nf) > 2 * same_service
+
+    def test_generated_mean_volume_matches(self, campaign, generated):
+        for name in ("Facebook", "Instagram"):
+            measured = pooled_volume_pdf(campaign.for_service(name)).mean_mb()
+            synthetic = pooled_volume_pdf(generated.for_service(name)).mean_mb()
+            assert synthetic == pytest.approx(measured, rel=0.15)
+
+    def test_generated_duration_volume_power_law_matches(self, campaign, generated):
+        from repro.core.duration_model import fit_power_law
+
+        for name in ("Netflix", "Facebook"):
+            measured_beta = fit_power_law(
+                pooled_duration_volume(campaign.for_service(name))
+            ).beta
+            synthetic_beta = fit_power_law(
+                pooled_duration_volume(generated.for_service(name))
+            ).beta
+            assert synthetic_beta == pytest.approx(measured_beta, abs=0.25)
+
+    def test_arrival_counts_match_measured_rates(self, campaign, generated):
+        from tests.conftest import CAMPAIGN_DAYS
+
+        measured = minute_arrival_counts(campaign, [9], CAMPAIGN_DAYS)
+        synthetic = minute_arrival_counts(generated, [9], 2)
+        assert synthetic.mean() == pytest.approx(measured.mean(), rel=0.1)
+
+    def test_release_file_reproduces_generation(self, bank, tmp_path):
+        from repro.io.params import load_release, save_release
+
+        path = tmp_path / "release.json"
+        save_release(path, bank)
+        restored, _ = load_release(path)
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        name = bank.services()[0]
+        a = bank.get(name).sample_sessions(rng_a, 1000)
+        b = restored.get(name).sample_sessions(rng_b, 1000)
+        assert np.allclose(a.volumes_mb, b.volumes_mb)
+        assert np.allclose(a.durations_s, b.durations_s)
+
+
+class TestParameterTuple:
+    def test_released_tuple_is_complete(self, bank):
+        # Section 5.4: [mu, sigma, {k, mu, sigma}_n, alpha, beta].
+        payload = bank.get("Netflix").to_dict()
+        assert {"mu", "sigma", "peaks"} <= set(payload["volume"])
+        assert {"alpha", "beta"} <= set(payload["duration"])
+        for peak in payload["volume"]["peaks"]:
+            assert {"k", "mu", "sigma"} <= set(peak)
+
+    def test_at_most_three_peaks_per_model(self, bank):
+        for name in bank.services():
+            assert len(bank.get(name).volume.peaks) <= 3
+
+
+class TestCliPipelineChain:
+    def test_simulate_trace_fit_generate_validate(self, tmp_path, capsys):
+        """The full CLI story: campaign -> trace -> models -> synthetic
+        traffic -> validation, all through the public command line."""
+        from repro.cli import main
+
+        trace = tmp_path / "campaign.csv.gz"
+        release = tmp_path / "models.json"
+
+        assert main(
+            ["--seed", "9", "simulate", "--bs", "10", "--days", "1",
+             "--trace", str(trace)]
+        ) == 0
+        assert main(
+            ["fit", "--from-trace", str(trace), "--output", str(release)]
+        ) == 0
+        assert main(
+            ["--seed", "10", "generate", "--models", str(release),
+             "--bs", "2", "--days", "1", "--decile", "6"]
+        ) == 0
+        assert main(
+            ["validate", "--trace", str(trace), "--days", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out

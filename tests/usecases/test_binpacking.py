@@ -1,0 +1,199 @@
+"""Tests for the bin-packing heuristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.usecases.vran.binpacking import (
+    IncrementalPacker,
+    PackingError,
+    first_fit_decreasing,
+)
+
+
+class TestFirstFitDecreasing:
+    def test_single_item(self):
+        result = first_fit_decreasing([3.0], 10.0)
+        assert result.n_bins == 1
+        assert result.bin_loads == [3.0]
+
+    def test_perfect_packing(self):
+        result = first_fit_decreasing([6.0, 4.0, 7.0, 3.0], 10.0)
+        assert result.n_bins == 2
+        assert sorted(result.bin_loads) == [10.0, 10.0]
+
+    def test_assignments_consistent_with_loads(self):
+        items = [5.0, 2.0, 9.0, 4.0]
+        result = first_fit_decreasing(items, 10.0)
+        rebuilt = [0.0] * result.n_bins
+        for item, bin_id in zip(items, result.assignments):
+            rebuilt[bin_id] += item
+        assert rebuilt == pytest.approx(result.bin_loads)
+
+    def test_oversized_item_rejected(self):
+        with pytest.raises(PackingError):
+            first_fit_decreasing([11.0], 10.0)
+
+    def test_negative_item_rejected(self):
+        with pytest.raises(PackingError):
+            first_fit_decreasing([-1.0], 10.0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(PackingError):
+            first_fit_decreasing([1.0], 0.0)
+
+    def test_empty_input(self):
+        assert first_fit_decreasing([], 10.0).n_bins == 0
+
+    def test_ffd_respects_lower_bound(self):
+        rng = np.random.default_rng(0)
+        items = rng.uniform(0.1, 5.0, size=200)
+        result = first_fit_decreasing(items, 10.0)
+        assert result.n_bins >= int(np.ceil(items.sum() / 10.0))
+
+    def test_ffd_within_approximation_guarantee(self):
+        # FFD uses at most 11/9 OPT + 1 bins; OPT >= ceil(sum/capacity).
+        rng = np.random.default_rng(1)
+        items = rng.uniform(0.1, 9.9, size=300)
+        result = first_fit_decreasing(items, 10.0)
+        lower = int(np.ceil(items.sum() / 10.0))
+        assert result.n_bins <= np.ceil(11 / 9 * lower) + 1
+
+
+class TestIncrementalPacker:
+    def test_add_and_remove_round_trip(self):
+        packer = IncrementalPacker(10.0)
+        packer.add(1, 4.0)
+        packer.add(2, 5.0)
+        assert packer.n_bins == 1
+        packer.remove(1)
+        assert packer.total_load == pytest.approx(5.0)
+        packer.remove(2)
+        assert packer.n_bins == 0
+
+    def test_overflow_opens_new_bin(self):
+        packer = IncrementalPacker(10.0)
+        packer.add(1, 7.0)
+        packer.add(2, 6.0)
+        assert packer.n_bins == 2
+
+    def test_duplicate_session_rejected(self):
+        packer = IncrementalPacker(10.0)
+        packer.add(1, 1.0)
+        with pytest.raises(PackingError):
+            packer.add(1, 1.0)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(PackingError):
+            IncrementalPacker(10.0).remove(1)
+
+    def test_oversized_session_rejected(self):
+        with pytest.raises(PackingError):
+            IncrementalPacker(10.0).add(1, 10.5)
+
+    def test_batch_adds_largest_first(self):
+        packer = IncrementalPacker(10.0)
+        packer.add_batch([1, 2, 3], np.array([2.0, 9.0, 7.0]))
+        # FFD order: 9 | 7+2 -> two bins, not three.
+        assert packer.n_bins == 2
+
+    def test_consolidation_closes_drained_bins(self):
+        packer = IncrementalPacker(10.0)
+        packer.add(1, 5.0)
+        packer.add(2, 4.0)  # same bin as session 1 (load 9.0)
+        packer.add(3, 2.0)  # does not fit -> second bin
+        assert packer.n_bins == 2
+        packer.remove(2)  # first bin drops to 5.0
+        closed = packer.consolidate()  # session 3 relocates into bin 1
+        assert closed == 1
+        assert packer.n_bins == 1
+        assert packer.total_load == pytest.approx(7.0)
+
+    def test_consolidation_noop_when_full(self):
+        packer = IncrementalPacker(10.0)
+        packer.add(1, 9.5)
+        packer.add(2, 9.5)
+        assert packer.consolidate() == 0
+        assert packer.n_bins == 2
+
+    def test_loads_never_exceed_capacity(self):
+        rng = np.random.default_rng(2)
+        packer = IncrementalPacker(10.0)
+        for i in range(500):
+            packer.add(i, float(rng.uniform(0.1, 9.9)))
+            if i % 3 == 0 and i > 0:
+                packer.remove(i - 1)
+            packer.consolidate()
+            assert np.all(packer.bin_loads() <= 10.0 + 1e-6)
+
+
+@given(
+    items=st.lists(
+        st.floats(min_value=0.01, max_value=9.99), min_size=1, max_size=120
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_packer_conserves_load_and_respects_capacity(items):
+    """Invariants: total load conserved; no bin over capacity; consolidation
+    never increases the bin count."""
+    packer = IncrementalPacker(10.0)
+    for i, size in enumerate(items):
+        packer.add(i, size)
+    assert packer.total_load == pytest.approx(sum(items))
+    before = packer.n_bins
+    packer.consolidate()
+    assert packer.n_bins <= before
+    assert packer.total_load == pytest.approx(sum(items))
+    assert np.all(packer.bin_loads() <= 10.0 + 1e-9)
+    lower_bound = int(np.ceil(sum(items) / 10.0))
+    assert packer.n_bins >= lower_bound
+
+
+class TestGroupAffinity:
+    def test_affinity_prefers_same_group_bin(self):
+        packer = IncrementalPacker(10.0, group_affinity=True)
+        packer.add(1, 5.0, group=0)   # bin A
+        packer.add(2, 9.0, group=1)   # does not fit A -> bin B
+        packer.add(3, 1.0, group=1)   # fits A too, but prefers B (group 1)
+        assert packer.n_bins == 2
+        assert packer._session_bin[3] == packer._session_bin[2]
+
+    def test_plain_first_fit_ignores_groups(self):
+        packer = IncrementalPacker(10.0, group_affinity=False)
+        packer.add(1, 5.0, group=0)
+        packer.add(2, 9.0, group=1)
+        packer.add(3, 1.0, group=1)   # plain FF: first bin with space
+        assert packer._session_bin[3] == packer._session_bin[1]
+
+    def test_affinity_falls_back_when_group_bin_full(self):
+        packer = IncrementalPacker(10.0, group_affinity=True)
+        packer.add(1, 9.0, group=0)
+        packer.add(2, 5.0, group=0)  # group bin full -> any/new bin
+        assert packer.n_bins == 2
+
+    def test_mean_groups_per_bin_tracks_mixing(self):
+        packer = IncrementalPacker(10.0, group_affinity=True)
+        packer.add(1, 2.0, group=0)
+        packer.add(2, 2.0, group=1)
+        assert packer.mean_groups_per_bin() == pytest.approx(2.0)
+        packer.remove(2)
+        assert packer.mean_groups_per_bin() == pytest.approx(1.0)
+
+    def test_mean_groups_empty_system(self):
+        assert IncrementalPacker(10.0).mean_groups_per_bin() == 0.0
+
+    def test_group_bookkeeping_survives_consolidation(self):
+        packer = IncrementalPacker(10.0, group_affinity=True)
+        packer.add(1, 5.0, group=0)
+        packer.add(2, 4.0, group=0)
+        packer.add(3, 2.0, group=1)
+        packer.remove(2)
+        packer.consolidate()
+        assert packer.n_bins == 1
+        assert packer.mean_groups_per_bin() == pytest.approx(2.0)
+
+    def test_batch_with_groups_alignment_checked(self):
+        packer = IncrementalPacker(10.0, group_affinity=True)
+        with pytest.raises(PackingError):
+            packer.add_batch([1, 2], np.array([1.0, 2.0]), np.array([0]))

@@ -1,0 +1,132 @@
+"""Tests for the processor-sharing downlink and the QoE experiment."""
+
+import numpy as np
+import pytest
+
+from repro.usecases.capacity import (
+    CapacityScenario,
+    run_capacity_experiment,
+    simulate_processor_sharing,
+)
+from repro.usecases.capacity.processor_sharing import CapacityError
+
+
+class TestProcessorSharing:
+    def test_single_flow_runs_at_full_rate(self):
+        # 10 MB at 80 Mbps: exactly 1 second, slowdown 1.
+        result = simulate_processor_sharing(
+            np.array([0.0]), np.array([10.0]), capacity_mbps=80.0
+        )
+        assert result.sojourn_s[0] == pytest.approx(1.0)
+        assert result.slowdown[0] == pytest.approx(1.0)
+        assert result.finished.all()
+
+    def test_two_simultaneous_flows_share_equally(self):
+        # Two identical flows from t=0: each gets C/2, doubling the sojourn.
+        result = simulate_processor_sharing(
+            np.array([0.0, 0.0]), np.array([10.0, 10.0]), capacity_mbps=80.0
+        )
+        assert result.sojourn_s[0] == pytest.approx(2.0)
+        assert result.slowdown[1] == pytest.approx(2.0)
+
+    def test_staggered_overlap_hand_computed(self):
+        # Flow A: 10 MB at t=0; flow B: 5 MB at t=0.5 (C = 80 Mbps).
+        # 0.0-0.5: A alone, delivers 40 Mbit (40 left).
+        # From 0.5: A and B share 40 Mbps each; B (40 Mbit) and A (40 Mbit)
+        # finish together at t = 1.5.
+        result = simulate_processor_sharing(
+            np.array([0.0, 0.5]), np.array([10.0, 5.0]), capacity_mbps=80.0
+        )
+        assert result.sojourn_s[0] == pytest.approx(1.5)
+        assert result.sojourn_s[1] == pytest.approx(1.0)
+
+    def test_work_conservation(self):
+        # Total completion time of a busy period equals total work / C.
+        rng = np.random.default_rng(0)
+        volumes = rng.uniform(1.0, 20.0, 50)
+        result = simulate_processor_sharing(
+            np.zeros(50), volumes, capacity_mbps=100.0
+        )
+        busy_period = volumes.sum() * 8.0 / 100.0
+        assert result.sojourn_s.max() == pytest.approx(busy_period)
+
+    def test_horizon_marks_unfinished(self):
+        result = simulate_processor_sharing(
+            np.array([0.0]), np.array([1000.0]), capacity_mbps=8.0,
+            horizon_s=10.0,
+        )
+        assert not result.finished[0]
+        assert result.completion_rate() == 0.0
+
+    def test_slowdown_at_least_one(self):
+        rng = np.random.default_rng(1)
+        arrivals = np.sort(rng.uniform(0, 100, 200))
+        volumes = rng.uniform(0.5, 30.0, 200)
+        result = simulate_processor_sharing(arrivals, volumes, 150.0)
+        assert np.all(result.slowdown[result.finished] >= 1.0 - 1e-9)
+
+    def test_unsorted_arrivals_rejected(self):
+        with pytest.raises(CapacityError):
+            simulate_processor_sharing(
+                np.array([1.0, 0.0]), np.array([1.0, 1.0]), 10.0
+            )
+
+    def test_nonpositive_volume_rejected(self):
+        with pytest.raises(CapacityError):
+            simulate_processor_sharing(
+                np.array([0.0]), np.array([0.0]), 10.0
+            )
+
+    def test_no_finished_flows_statistics_raise(self):
+        result = simulate_processor_sharing(
+            np.array([0.0]), np.array([1000.0]), 8.0, horizon_s=1.0
+        )
+        with pytest.raises(CapacityError):
+            result.mean_slowdown()
+
+
+class TestCapacityExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self, campaign):
+        return run_capacity_experiment(
+            campaign,
+            np.random.default_rng(3),
+            CapacityScenario(capacity_mbps=250.0, decile=7, horizon_s=600.0),
+        )
+
+    def test_all_strategies_present(self, outcome):
+        assert set(outcome.results) == {
+            "measurement", "model", "bm_a", "bm_c",
+        }
+
+    def test_model_tracks_measured_qoe(self, outcome):
+        measured = outcome.results["measurement"].mean_slowdown()
+        modelled = outcome.results["model"].mean_slowdown()
+        assert modelled == pytest.approx(measured, rel=0.2)
+
+    def test_bm_a_overloads_the_cell(self, outcome):
+        # The raw literature model's offered load is far above reality.
+        assert outcome.utilization["bm_a"] > 2 * outcome.utilization["measurement"]
+
+    def test_summary_rows_shape(self, outcome):
+        rows = outcome.summary_rows()
+        assert len(rows) == 4
+        assert all(len(row) == 5 for row in rows)
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(Exception):
+            CapacityScenario(capacity_mbps=0.0)
+        with pytest.raises(Exception):
+            CapacityScenario(decile=11)
+
+
+class TestSingleCellTopology:
+    def test_pinned_decile(self):
+        from repro.usecases.capacity.experiment import _SingleCellTopology
+
+        topo = _SingleCellTopology(decile=9)
+        units = topo.radio_units()
+        assert len(units) == 1
+        assert units[0].decile == 9
+        # The pinned RU's arrival model carries the busiest class's rate.
+        assert units[0].arrival_model().peak_mu > 50.0

@@ -1,0 +1,116 @@
+"""Tests for the per-slice demand time series (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.records import SERVICE_INDEX, SERVICE_NAMES, SessionTable
+from repro.usecases.slicing.demand import (
+    DemandError,
+    campaign_peak_mask,
+    demand_matrix,
+    spread_sessions,
+)
+
+
+def one_session_table(minute=100, duration=150.0, volume=9.0):
+    return SessionTable(
+        service_idx=np.array([SERVICE_INDEX["Netflix"]]),
+        bs_id=np.array([0]),
+        day=np.array([0]),
+        start_minute=np.array([minute]),
+        duration_s=np.array([duration]),
+        volume_mb=np.array([volume]),
+        truncated=np.array([False]),
+    )
+
+
+class TestSpreadSessions:
+    def test_volume_spread_uniformly(self):
+        demand = spread_sessions(
+            np.array([0]), 1, np.array([0]), np.array([10]),
+            np.array([9.0]), np.array([150.0]), 1,
+        )
+        # 150 s -> 3 minutes of 3 MB each.
+        assert demand[0, 10] == pytest.approx(3.0)
+        assert demand[0, 11] == pytest.approx(3.0)
+        assert demand[0, 12] == pytest.approx(3.0)
+        assert demand[0, 13] == 0.0
+
+    def test_total_volume_conserved(self):
+        rng = np.random.default_rng(0)
+        n = 500
+        demand = spread_sessions(
+            rng.integers(0, 3, n), 3,
+            rng.integers(0, 2, n), rng.integers(0, 1000, n),
+            rng.uniform(0.1, 10.0, n), rng.uniform(1.0, 4000.0, n), 2,
+        )
+        # Clipping at day end may shed a little; never create volume.
+        assert demand.sum() <= 500 * 10.0
+
+    def test_sub_minute_session_lands_in_one_minute(self):
+        demand = spread_sessions(
+            np.array([0]), 1, np.array([0]), np.array([5]),
+            np.array([2.0]), np.array([30.0]), 1,
+        )
+        assert demand[0, 5] == pytest.approx(2.0)
+        assert demand[0, 6] == 0.0
+
+    def test_clipped_at_midnight(self):
+        demand = spread_sessions(
+            np.array([0]), 1, np.array([0]), np.array([1438]),
+            np.array([10.0]), np.array([600.0]), 1,
+        )
+        # Only 2 minutes remain in the day.
+        assert demand[0, 1438] == pytest.approx(5.0)
+        assert demand[0, 1439] == pytest.approx(5.0)
+
+    def test_group_out_of_range_rejected(self):
+        with pytest.raises(DemandError):
+            spread_sessions(
+                np.array([5]), 2, np.array([0]), np.array([0]),
+                np.array([1.0]), np.array([1.0]), 1,
+            )
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(DemandError):
+            spread_sessions(
+                np.array([0]), 1, np.array([0, 0]), np.array([0]),
+                np.array([1.0]), np.array([1.0]), 1,
+            )
+
+
+class TestDemandMatrix:
+    def test_shape(self):
+        demand = demand_matrix(one_session_table(), [0, 1], 1)
+        assert demand.shape == (2, len(SERVICE_NAMES), 1440)
+
+    def test_attribution_to_bs_and_service(self):
+        demand = demand_matrix(one_session_table(), [0, 1], 1)
+        netflix = SERVICE_INDEX["Netflix"]
+        assert demand[0, netflix].sum() == pytest.approx(9.0)
+        assert demand[1].sum() == 0.0
+
+    def test_empty_antenna_list_rejected(self):
+        with pytest.raises(DemandError):
+            demand_matrix(one_session_table(), [], 1)
+
+    def test_campaign_demand_conserves_volume(self, campaign):
+        from tests.conftest import CAMPAIGN_DAYS
+
+        demand = demand_matrix(campaign, [0, 1], CAMPAIGN_DAYS)
+        sub = campaign.for_bs_ids([0, 1])
+        assert demand.sum() <= sub.total_volume_mb() * (1 + 1e-6)
+        assert demand.sum() > 0.9 * sub.total_volume_mb()
+
+
+class TestPeakMask:
+    def test_mask_length(self):
+        assert campaign_peak_mask(3).shape == (3 * 1440,)
+
+    def test_mask_repeats_daily_pattern(self):
+        mask = campaign_peak_mask(2)
+        assert np.array_equal(mask[:1440], mask[1440:])
+
+    def test_invalid_days_rejected(self):
+        with pytest.raises(DemandError):
+            campaign_peak_mask(0)

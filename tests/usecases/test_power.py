@@ -1,0 +1,78 @@
+"""Tests for the PS power model (Section 6.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.usecases.vran.power import (
+    PS_CAPACITY_MBPS,
+    PS_IDLE_W,
+    PS_MAX_W,
+    PowerModel,
+    PowerModelError,
+)
+
+
+class TestConstants:
+    def test_paper_values(self):
+        assert PS_CAPACITY_MBPS == 100.0
+        assert PS_IDLE_W == 60.0
+        assert PS_MAX_W == 200.0
+
+
+class TestPowerModel:
+    def test_idle_power(self):
+        assert PowerModel().ps_power_w(0.0) == pytest.approx(60.0)
+
+    def test_full_load_power(self):
+        assert PowerModel().ps_power_w(100.0) == pytest.approx(200.0)
+
+    def test_linear_interpolation(self):
+        assert PowerModel().ps_power_w(50.0) == pytest.approx(130.0)
+
+    def test_monotone_in_load(self):
+        model = PowerModel()
+        loads = np.linspace(0, 100, 11)
+        powers = model.ps_power_w(loads)
+        assert np.all(np.diff(powers) > 0)
+
+    def test_load_above_capacity_rejected(self):
+        with pytest.raises(PowerModelError):
+            PowerModel().ps_power_w(101.0)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(PowerModelError):
+            PowerModel().ps_power_w(-5.0)
+
+    def test_total_power_sums_servers(self):
+        model = PowerModel()
+        assert model.total_power_w(np.array([0.0, 100.0])) == pytest.approx(260.0)
+
+    def test_total_power_empty_is_zero(self):
+        assert PowerModel().total_power_w(np.array([])) == 0.0
+
+    def test_power_from_counts_equals_per_ps_sum(self):
+        # Linearity: split across PSs does not matter.
+        model = PowerModel()
+        loads = np.array([10.0, 60.0, 30.0])
+        assert model.power_from_counts(3, float(loads.sum())) == pytest.approx(
+            model.total_power_w(loads)
+        )
+
+    def test_power_from_counts_rejects_overload(self):
+        with pytest.raises(PowerModelError):
+            PowerModel().power_from_counts(1, 150.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(PowerModelError):
+            PowerModel(capacity_mbps=0.0)
+        with pytest.raises(PowerModelError):
+            PowerModel(idle_w=300.0, max_w=200.0)
+
+    def test_energy_minimization_equivalence(self):
+        # Section 6.2.1: minimizing energy == minimizing active PSs, since
+        # the load term is packing-independent.
+        model = PowerModel()
+        few_bins = model.power_from_counts(2, 150.0)
+        many_bins = model.power_from_counts(3, 150.0)
+        assert few_bins < many_bins
+        assert many_bins - few_bins == pytest.approx(model.idle_w)

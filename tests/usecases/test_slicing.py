@@ -1,0 +1,179 @@
+"""Tests for the slicing allocators, benchmarks and full experiment."""
+
+import numpy as np
+import pytest
+
+from repro.core.arrivals import ArrivalModel
+from repro.core.service_mix import ServiceMix
+from repro.dataset.services import LiteratureCategory
+from repro.usecases.slicing.allocation import (
+    AllocationError,
+    allocate_with_categories,
+    allocate_with_models,
+    percentile_capacity,
+)
+from repro.usecases.slicing.benchmarks import (
+    BM_A_SHARES,
+    BM_B_SHARES,
+    CATEGORY_MODELS,
+    BenchmarkError,
+    normalized_shares,
+    sample_category_sessions,
+)
+from repro.usecases.slicing.demand import campaign_peak_mask
+from repro.usecases.slicing.simulator import (
+    SlicingScenario,
+    evaluate_capacity,
+    run_slicing_experiment,
+)
+
+
+class TestBenchmarkModels:
+    def test_bm_shares_match_paper(self):
+        assert BM_A_SHARES[LiteratureCategory.INTERACTIVE_WEB] == pytest.approx(0.4930)
+        assert BM_B_SHARES[LiteratureCategory.MOVIE_STREAMING] == pytest.approx(0.0789)
+
+    def test_normalized_shares_sum_to_one(self):
+        shares = normalized_shares(BM_A_SHARES)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(BenchmarkError):
+            normalized_shares({LiteratureCategory.INTERACTIVE_WEB: -1.0})
+
+    def test_category_sampling_follows_shares(self):
+        cats, volumes, durations = sample_category_sessions(
+            BM_B_SHARES, np.random.default_rng(0), 20000
+        )
+        ms = sum(1 for c in cats if c is LiteratureCategory.MOVIE_STREAMING)
+        assert ms / 20000 == pytest.approx(0.0789, abs=0.01)
+        assert np.all(volumes > 0)
+        assert np.all(durations >= 1.0)
+
+    def test_category_volumes_scale_with_bitrate(self):
+        rng = np.random.default_rng(1)
+        iw = CATEGORY_MODELS[LiteratureCategory.INTERACTIVE_WEB]
+        ms = CATEGORY_MODELS[LiteratureCategory.MOVIE_STREAMING]
+        iw_vol, _ = iw.sample_sessions(rng, 5000)
+        ms_vol, _ = ms.sample_sessions(rng, 5000)
+        assert ms_vol.mean() > 10 * iw_vol.mean()
+
+
+class TestPercentileCapacity:
+    def test_constant_demand(self):
+        demand = np.full((2, 3, 100), 5.0)
+        mask = np.ones(100, dtype=bool)
+        assert np.allclose(percentile_capacity(demand, mask), 5.0)
+
+    def test_percentile_selects_peak_hours_only(self):
+        demand = np.zeros((1, 1, 100))
+        demand[0, 0, 50:] = 10.0
+        mask = np.zeros(100, dtype=bool)
+        mask[50:] = True
+        assert percentile_capacity(demand, mask)[0, 0] == pytest.approx(10.0)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(AllocationError):
+            percentile_capacity(np.zeros((2, 2)), np.ones(2, dtype=bool))
+        with pytest.raises(AllocationError):
+            percentile_capacity(
+                np.zeros((1, 1, 5)), np.ones(4, dtype=bool)
+            )
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(AllocationError):
+            percentile_capacity(
+                np.zeros((1, 1, 5)), np.ones(5, dtype=bool), percentile=0.0
+            )
+
+
+class TestAllocators:
+    @pytest.fixture(scope="class")
+    def arrival_models(self):
+        return {
+            0: ArrivalModel(5.0, 0.5, 0.6),
+            1: ArrivalModel(20.0, 2.0, 2.5),
+        }
+
+    def test_model_allocation_shape(self, arrival_models, bank):
+        mix = ServiceMix.from_table1().restricted_to(bank.services())
+        capacity = allocate_with_models(
+            arrival_models, mix, bank, np.random.default_rng(0), n_sim_days=1
+        )
+        assert capacity.shape == (2, 31)
+        assert np.all(capacity >= 0)
+
+    def test_busier_antenna_gets_more_capacity(self, arrival_models, bank):
+        mix = ServiceMix.from_table1().restricted_to(bank.services())
+        capacity = allocate_with_models(
+            arrival_models, mix, bank, np.random.default_rng(1), n_sim_days=1
+        )
+        assert capacity[1].sum() > capacity[0].sum()
+
+    def test_category_allocation_uniform_within_category(self, arrival_models):
+        from repro.dataset.records import SERVICE_INDEX
+        from repro.dataset.services import services_in_category
+
+        capacity = allocate_with_categories(
+            arrival_models, BM_A_SHARES, np.random.default_rng(2), n_sim_days=1
+        )
+        iw = services_in_category(LiteratureCategory.INTERACTIVE_WEB)
+        cols = [SERVICE_INDEX[name] for name in iw]
+        assert np.allclose(capacity[0, cols], capacity[0, cols[0]])
+
+
+class TestEvaluation:
+    def test_evaluate_capacity_full_coverage(self):
+        demand = np.random.default_rng(0).uniform(0, 1, (2, 3, 200))
+        mask = np.ones(200, dtype=bool)
+        satisfaction = evaluate_capacity(demand, np.full((2, 3), 2.0), mask)
+        assert np.all(satisfaction == 1.0)
+
+    def test_evaluate_capacity_zero_allocation(self):
+        demand = np.ones((1, 1, 100))
+        mask = np.ones(100, dtype=bool)
+        satisfaction = evaluate_capacity(demand, np.zeros((1, 1)), mask)
+        assert satisfaction[0, 0] == 0.0
+
+    def test_exact_capacity_counts_as_served(self):
+        demand = np.full((1, 1, 10), 3.0)
+        mask = np.ones(10, dtype=bool)
+        satisfaction = evaluate_capacity(demand, np.full((1, 1), 3.0), mask)
+        assert satisfaction[0, 0] == 1.0
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_slicing_experiment(
+            np.random.default_rng(7),
+            SlicingScenario(n_antennas=10, n_days=1, n_model_days=2),
+        )
+
+    def test_three_strategies(self, outcome):
+        assert set(outcome.results) == {"model", "bm_a", "bm_b"}
+
+    def test_model_close_to_sla(self, outcome):
+        # Table 2: the model-driven allocation essentially meets the 95 %
+        # SLA; short fixture horizons cost a little percentile accuracy.
+        assert outcome.results["model"].mean_satisfaction > 0.88
+
+    def test_model_has_lowest_variability(self, outcome):
+        stds = {k: r.std_satisfaction for k, r in outcome.results.items()}
+        assert stds["model"] == min(stds.values())
+
+    def test_timeseries_accessor(self, outcome):
+        demand, capacity = outcome.timeseries("model", "Facebook", 0)
+        assert demand.shape == (outcome.scenario.n_days * 1440,)
+        assert capacity >= 0
+
+
+class TestAllocatorErrorPaths:
+    def test_category_allocation_without_sessions_raises(self):
+        # Arrival models with sub-rounding rates never emit a session.
+        models = {0: ArrivalModel(1e-9 + 0.01, 0.001, 1e-6)}
+        # peak mu 0.01 -> rounded counts are always 0.
+        with pytest.raises(AllocationError):
+            allocate_with_categories(
+                models, BM_A_SHARES, np.random.default_rng(0), n_sim_days=1
+            )

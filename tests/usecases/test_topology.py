@@ -1,0 +1,46 @@
+"""Tests for the vRAN topology."""
+
+import pytest
+
+from repro.usecases.vran.topology import RadioUnit, VranTopology
+
+
+class TestVranTopology:
+    def test_paper_default_scale(self):
+        topo = VranTopology()
+        assert topo.n_es == 20
+        assert topo.n_ru_per_es == 20
+        assert topo.n_ru == 400
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            VranTopology(n_es=0)
+
+    def test_radio_units_enumeration(self):
+        topo = VranTopology(n_es=3, n_ru_per_es=4)
+        units = topo.radio_units()
+        assert len(units) == 12
+        assert [u.ru_id for u in units] == list(range(12))
+
+    def test_es_assignment(self):
+        topo = VranTopology(n_es=3, n_ru_per_es=4)
+        units = topo.radio_units()
+        assert units[0].es_id == 0
+        assert units[4].es_id == 1
+        assert topo.es_of_ru(11) == 2
+
+    def test_es_of_ru_bounds(self):
+        topo = VranTopology(n_es=2, n_ru_per_es=2)
+        with pytest.raises(ValueError):
+            topo.es_of_ru(4)
+
+    def test_deciles_round_robin(self):
+        topo = VranTopology(n_es=2, n_ru_per_es=10)
+        units = topo.radio_units()
+        assert [u.decile for u in units[:10]] == list(range(10))
+
+    def test_arrival_model_scales_with_decile(self):
+        low = RadioUnit(0, 0, 0).arrival_model()
+        high = RadioUnit(9, 0, 9).arrival_model()
+        assert high.peak_mu > 10 * low.peak_mu
+        assert low.peak_sigma == pytest.approx(low.peak_mu / 10.0)

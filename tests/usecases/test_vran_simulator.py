@@ -1,0 +1,140 @@
+"""Tests for the vRAN orchestration loop and experiment (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.usecases.vran.simulator import (
+    OrchestrationTrace,
+    VranScenario,
+    ape_per_ts,
+    run_orchestration,
+    run_vran_experiment,
+)
+from repro.usecases.vran.sources import ArrivalSkeleton, SourceError
+from repro.usecases.vran.topology import VranTopology
+
+
+def tiny_scenario(horizon=120.0, warmup=30.0):
+    return VranScenario(
+        topology=VranTopology(n_es=2, n_ru_per_es=3),
+        horizon_s=horizon,
+        warmup_s=warmup,
+    )
+
+
+def manual_skeleton():
+    # Three sessions: two overlapping heavy ones, one later light one.
+    return ArrivalSkeleton(
+        t_start_s=np.array([0.5, 1.5, 60.0]),
+        ru_idx=np.array([0, 1, 2]),
+        service_idx=np.array([0, 0, 0]),
+        horizon_s=120.0,
+    )
+
+
+class TestVranScenario:
+    def test_warmup_must_fit_horizon(self):
+        with pytest.raises(ValueError):
+            VranScenario(horizon_s=100.0, warmup_s=100.0)
+
+
+class TestRunOrchestration:
+    def test_manual_session_occupancy(self):
+        scenario = tiny_scenario()
+        volumes = np.array([75.0, 75.0, 1.0])   # MB
+        durations = np.array([10.0, 10.0, 20.0])  # -> 60, 60, 0.4 Mbps
+        trace = run_orchestration(manual_skeleton(), volumes, durations, scenario)
+        # During overlap two 60 Mbps sessions need two PSs.
+        assert trace.n_ps[5] == 2
+        # After both finish, zero PSs until the light session arrives.
+        assert trace.n_ps[30] == 0
+        assert trace.n_ps[65] == 1
+
+    def test_power_follows_load_and_count(self):
+        scenario = tiny_scenario()
+        volumes = np.array([75.0, 75.0, 1.0])
+        durations = np.array([10.0, 10.0, 20.0])
+        trace = run_orchestration(manual_skeleton(), volumes, durations, scenario)
+        # Two PSs at 60 Mbps each: 2*60 idle + 140*120/100 = 288 W.
+        assert trace.power_w[5] == pytest.approx(288.0)
+        assert trace.power_w[30] == 0.0
+
+    def test_throughput_clipped_to_ps_capacity(self):
+        scenario = tiny_scenario()
+        volumes = np.array([10000.0, 1.0, 1.0])  # absurd rate
+        durations = np.array([10.0, 100.0, 100.0])
+        trace = run_orchestration(manual_skeleton(), volumes, durations, scenario)
+        assert trace.total_load_mbps.max() <= 3 * scenario.power.capacity_mbps
+
+    def test_misaligned_decoration_rejected(self):
+        with pytest.raises(SourceError):
+            run_orchestration(
+                manual_skeleton(), np.ones(2), np.ones(2), tiny_scenario()
+            )
+
+    def test_sessions_eventually_leave(self):
+        scenario = tiny_scenario()
+        volumes = np.array([10.0, 10.0, 10.0])
+        durations = np.array([5.0, 5.0, 5.0])
+        trace = run_orchestration(manual_skeleton(), volumes, durations, scenario)
+        assert trace.n_ps[-1] == 0
+
+
+class TestApe:
+    def test_identical_traces_zero_error(self):
+        trace = OrchestrationTrace(
+            n_ps=np.array([1, 2, 2]), power_w=np.array([100.0, 150.0, 150.0]),
+            total_load_mbps=np.zeros(3),
+        )
+        ape_ps, ape_pw = ape_per_ts(trace, trace, warmup_ts=0)
+        assert np.all(ape_ps == 0)
+        assert np.all(ape_pw == 0)
+
+    def test_warmup_skipped(self):
+        ref = OrchestrationTrace(
+            n_ps=np.array([0, 2]), power_w=np.array([0.0, 100.0]),
+            total_load_mbps=np.zeros(2),
+        )
+        est = OrchestrationTrace(
+            n_ps=np.array([5, 2]), power_w=np.array([500.0, 100.0]),
+            total_load_mbps=np.zeros(2),
+        )
+        ape_ps, _ = ape_per_ts(ref, est, warmup_ts=1)
+        assert np.all(ape_ps == 0)
+
+    def test_length_mismatch_rejected(self):
+        a = OrchestrationTrace(np.zeros(2), np.zeros(2), np.zeros(2))
+        b = OrchestrationTrace(np.zeros(3), np.zeros(3), np.zeros(3))
+        with pytest.raises(SourceError):
+            ape_per_ts(a, b, 0)
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self, campaign):
+        return run_vran_experiment(
+            campaign,
+            np.random.default_rng(0),
+            tiny_scenario(horizon=400.0, warmup=150.0),
+        )
+
+    def test_all_strategies_present(self, outcome):
+        assert set(outcome.traces) == {
+            "measurement", "model", "bm_a", "bm_b", "bm_c",
+        }
+
+    def test_model_beats_benchmarks(self, outcome):
+        # Fig 13b: our model's median APE is far below the benchmarks'.
+        model = np.median(outcome.ape_power["model"])
+        bm_a = np.median(outcome.ape_power["bm_a"])
+        assert model < bm_a
+
+    def test_bm_a_errors_are_large(self, outcome):
+        # The unnormalized literature model is off by ~100 % or more.
+        assert np.median(outcome.ape_power["bm_a"]) > 50.0
+
+    def test_summary_structure(self, outcome):
+        summary = outcome.summary()
+        assert set(summary) == {"model", "bm_a", "bm_b", "bm_c"}
+        for stats in summary.values():
+            assert stats["power"].p5 <= stats["power"].p95

@@ -1,0 +1,182 @@
+"""Tests for the vRAN traffic sources and arrival skeleton."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_bank import ModelBank
+from repro.core.service_mix import ServiceMix
+from repro.dataset.records import SERVICE_NAMES
+from repro.usecases.vran.sources import (
+    CategorySource,
+    MeasurementSource,
+    ModelBankSource,
+    SourceError,
+    generate_skeleton,
+)
+from repro.usecases.vran.topology import VranTopology
+
+
+@pytest.fixture(scope="module")
+def measurement(campaign, bank):
+    return MeasurementSource.from_table(campaign, bank.services())
+
+
+@pytest.fixture(scope="module")
+def mix(campaign, bank, measurement):
+    covered = [SERVICE_NAMES[i] for i in measurement.service_indices]
+    return ServiceMix.from_measurements(campaign).restricted_to(covered)
+
+
+@pytest.fixture(scope="module")
+def skeleton(mix):
+    topo = VranTopology(n_es=2, n_ru_per_es=5)
+    return generate_skeleton(
+        topo, mix, np.random.default_rng(0), horizon_s=600.0
+    )
+
+
+class TestSkeleton:
+    def test_arrivals_sorted_in_time(self, skeleton):
+        assert np.all(np.diff(skeleton.t_start_s) >= 0)
+
+    def test_arrivals_within_horizon(self, skeleton):
+        assert skeleton.t_start_s.max() < 600.0
+        assert skeleton.t_start_s.min() >= 0.0
+
+    def test_rus_within_topology(self, skeleton):
+        assert skeleton.ru_idx.max() < 10
+
+    def test_invalid_horizon_raises(self, mix):
+        with pytest.raises(SourceError):
+            generate_skeleton(
+                VranTopology(2, 2), mix, np.random.default_rng(0), horizon_s=0.0
+            )
+
+
+class TestMeasurementSource:
+    def test_decoration_shapes(self, measurement, skeleton):
+        volumes, durations = measurement.decorate(
+            skeleton, np.random.default_rng(1)
+        )
+        assert volumes.shape == durations.shape == (len(skeleton),)
+        assert np.all(volumes > 0)
+        assert np.all(durations >= 1.0)
+
+    def test_mean_volume_reference(self, measurement, campaign):
+        from repro.dataset.aggregation import pooled_volume_pdf
+        from repro.dataset.records import SERVICE_INDEX
+
+        means = measurement.mean_volume_by_service()
+        fb = SERVICE_INDEX["Facebook"]
+        expected = pooled_volume_pdf(campaign.for_service("Facebook")).mean_mb()
+        assert means[fb] == pytest.approx(expected, rel=1e-6)
+
+    def test_durations_track_measured_curve(self, measurement, campaign, skeleton):
+        # Large-volume sessions must get long durations (matching v(d)).
+        volumes, durations = measurement.decorate(
+            skeleton, np.random.default_rng(2)
+        )
+        big = volumes > np.percentile(volumes, 95)
+        small = volumes < np.percentile(volumes, 20)
+        assert durations[big].mean() > durations[small].mean()
+
+
+class TestModelBankSource:
+    def test_decoration_uses_bank_models(self, bank, skeleton):
+        source = ModelBankSource(bank)
+        volumes, durations = source.decorate(skeleton, np.random.default_rng(3))
+        assert np.all(volumes > 0)
+        assert np.all(durations >= 1.0)
+
+    def test_model_matches_measurement_scale(
+        self, bank, measurement, skeleton
+    ):
+        mv, _ = measurement.decorate(skeleton, np.random.default_rng(4))
+        sv, _ = ModelBankSource(bank).decorate(skeleton, np.random.default_rng(5))
+        assert sv.mean() == pytest.approx(mv.mean(), rel=0.25)
+
+
+class TestCategorySource:
+    def test_bm_a_is_unscaled(self, skeleton):
+        source = CategorySource.bm_a()
+        volumes, durations = source.decorate(skeleton, np.random.default_rng(6))
+        assert np.all(volumes > 0)
+
+    def test_bm_b_matches_total_mean_volume(self, measurement, mix, skeleton):
+        source = CategorySource.bm_b(measurement, mix)
+        volumes, _ = source.decorate(skeleton, np.random.default_rng(7))
+        mv, _ = measurement.decorate(skeleton, np.random.default_rng(8))
+        assert volumes.mean() == pytest.approx(mv.mean(), rel=0.3)
+
+    def test_bm_c_normalizes_each_category(self, measurement, mix, skeleton):
+        from repro.dataset.services import LiteratureCategory, get_service
+
+        source = CategorySource.bm_c(measurement, mix)
+        volumes, _ = source.decorate(skeleton, np.random.default_rng(9))
+        mv, _ = measurement.decorate(skeleton, np.random.default_rng(10))
+        categories = np.array(
+            [
+                get_service(SERVICE_NAMES[i]).category.value
+                for i in skeleton.service_idx
+            ]
+        )
+        for category in LiteratureCategory:
+            mask = categories == category.value
+            if mask.sum() < 200:
+                continue
+            assert volumes[mask].mean() == pytest.approx(
+                mv[mask].mean(), rel=0.5
+            )
+
+    def test_negative_scale_rejected(self):
+        from repro.dataset.services import LiteratureCategory
+
+        with pytest.raises(SourceError):
+            CategorySource({LiteratureCategory.INTERACTIVE_WEB: -1.0})
+
+
+class TestSourceErrorPaths:
+    def test_sparse_curve_rejected(self):
+        import numpy as np
+        from repro.dataset.aggregation import (
+            N_DURATION_BINS,
+            DurationVolumeCurve,
+        )
+        from repro.analysis.histogram import LogHistogram
+        from repro.usecases.vran.sources import EmpiricalServiceSampler
+
+        means = np.zeros(N_DURATION_BINS)
+        counts = np.zeros(N_DURATION_BINS)
+        means[5], counts[5] = 1.0, 10.0  # single observed bin
+        pdf = LogHistogram.from_volumes(np.ones(100))
+        with pytest.raises(SourceError):
+            EmpiricalServiceSampler(pdf, DurationVolumeCurve(means, counts))
+
+    def test_empty_measurement_source_rejected(self):
+        with pytest.raises(SourceError):
+            MeasurementSource({})
+
+    def test_decorating_uncovered_service_rejected(self, campaign, skeleton):
+        source = MeasurementSource.from_table(campaign, ["Facebook"])
+        # The module-level skeleton emits many services.
+        with pytest.raises(SourceError):
+            source.decorate(skeleton, np.random.default_rng(0))
+
+    def test_unknown_strategy_rejected(self, campaign):
+        from repro.usecases.vran.simulator import (
+            VranScenario,
+            run_vran_experiment,
+        )
+        from repro.usecases.vran.topology import VranTopology
+
+        with pytest.raises(SourceError):
+            run_vran_experiment(
+                campaign,
+                np.random.default_rng(0),
+                VranScenario(
+                    topology=VranTopology(n_es=1, n_ru_per_es=2),
+                    horizon_s=120.0,
+                    warmup_s=30.0,
+                ),
+                strategies=("nope",),
+            )
