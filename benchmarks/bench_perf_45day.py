@@ -8,6 +8,9 @@ horizon on a scaled BS population, verifying:
   paper's day-type invariance implies.
 """
 
+import os
+import time
+
 import numpy as np
 
 from repro.core.duration_model import fit_power_law
@@ -15,6 +18,7 @@ from repro.dataset.network import Network, NetworkConfig
 from repro.dataset.simulator import SimulationConfig
 from repro.dataset.streaming import simulate_aggregated
 from repro.io.tables import format_table
+from repro.pipeline import make_executor
 
 
 def test_perf_45_day_streaming_campaign(benchmark, emit):
@@ -63,3 +67,40 @@ def test_perf_45_day_streaming_campaign(benchmark, emit):
     for row in rows:
         assert abs(row[3] / row[2] - 1) < 0.05   # mean-calibrated fits
         assert row[5] > 0.9                      # huge-sample regressions
+
+
+def test_perf_45_day_parallel_speedup(emit):
+    """Serial vs ``--jobs 4`` wall clock at the paper-duration scale.
+
+    The 450 (day, BS) work units are embarrassingly parallel, so four
+    workers should cut the campaign at least in half on a 4-core machine;
+    on smaller machines the numbers are still emitted but not asserted.
+    Output equality is asserted unconditionally — parallelism must never
+    change a single accumulator cell.
+    """
+    jobs = 4
+    network = Network(NetworkConfig(n_bs=10), np.random.default_rng(12))
+    config = SimulationConfig(n_days=45)
+
+    start = time.perf_counter()
+    serial = simulate_aggregated(network, config, 13)
+    serial_s = time.perf_counter() - start
+
+    with make_executor(jobs) as executor:
+        executor.map(len, [()])  # warm the pool outside the timed region
+        start = time.perf_counter()
+        parallel = simulate_aggregated(network, config, 13, executor=executor)
+        parallel_s = time.perf_counter() - start
+
+    assert parallel.n_sessions == serial.n_sessions
+    assert np.array_equal(parallel._traffic_mb, serial._traffic_mb)
+
+    speedup = serial_s / parallel_s
+    emit(
+        "perf_45day_parallel",
+        f"45-day streaming campaign ({serial.n_sessions} sessions): "
+        f"serial {serial_s:.1f}s, --jobs {jobs} {parallel_s:.1f}s "
+        f"(speedup {speedup:.2f}x on {os.cpu_count()} CPUs)",
+    )
+    if (os.cpu_count() or 1) >= jobs:
+        assert speedup >= 2.0

@@ -5,6 +5,9 @@ simulator (sessions generated per second), the aggregation fast paths and
 the model-driven generator — so regressions in the hot loops are caught.
 """
 
+import os
+import time
+
 import numpy as np
 
 from repro.core.generator import TrafficGenerator
@@ -17,8 +20,12 @@ from repro.dataset.aggregation import (
 )
 from repro.dataset.network import Network, NetworkConfig
 from repro.dataset.simulator import SimulationConfig, simulate
+from repro.pipeline import make_executor
 from repro.usecases.slicing.demand import demand_matrix
 from repro.usecases.slicing.simulator import fit_antenna_arrival_models
+
+#: Worker count of the parallel benchmark variants.
+PARALLEL_JOBS = 4
 
 
 def test_perf_simulator(benchmark):
@@ -30,6 +37,43 @@ def test_perf_simulator(benchmark):
 
     table = benchmark.pedantic(run, rounds=3, iterations=1)
     assert len(table) > 50_000  # meaningful workload
+
+
+def test_perf_simulator_parallel(benchmark, emit):
+    """The same campaign fanned out over a process pool.
+
+    Always checks bit-identity against the serial run; the speedup assertion
+    only fires on machines with enough cores to host the workers.
+    """
+    network = Network(NetworkConfig(n_bs=10), np.random.default_rng(0))
+    config = SimulationConfig(n_days=4)
+
+    start = time.perf_counter()
+    serial = simulate(network, config, 1)
+    serial_s = time.perf_counter() - start
+
+    with make_executor(PARALLEL_JOBS) as executor:
+        executor.map(len, [()])  # warm the pool outside the timed region
+
+        def run():
+            return simulate(network, config, 1, executor=executor)
+
+        parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.mean
+
+    assert len(parallel) == len(serial)
+    assert np.array_equal(parallel.volume_mb, serial.volume_mb)
+    assert np.array_equal(parallel.bs_id, serial.bs_id)
+
+    speedup = serial_s / parallel_s
+    emit(
+        "perf_pipeline_parallel",
+        f"simulate 10 BS x 4 days: serial {serial_s:.2f}s, "
+        f"--jobs {PARALLEL_JOBS} {parallel_s:.2f}s "
+        f"(speedup {speedup:.2f}x on {os.cpu_count()} CPUs)",
+    )
+    if (os.cpu_count() or 1) >= PARALLEL_JOBS:
+        assert speedup > 1.5
 
 
 def test_perf_pooled_aggregation(benchmark, bench_campaign):

@@ -10,6 +10,9 @@ all-decile coverage with 20 BSs per class).  Guards two properties:
   statistics are per-BS, so scale must change precision, not values.
 """
 
+import os
+import time
+
 import numpy as np
 
 from repro.core.duration_model import fit_power_law
@@ -18,6 +21,7 @@ from repro.dataset.aggregation import pooled_duration_volume, pooled_volume_pdf
 from repro.dataset.network import Network, NetworkConfig
 from repro.dataset.simulator import SimulationConfig, simulate
 from repro.io.tables import format_table
+from repro.pipeline import make_executor
 
 
 def test_perf_large_campaign(benchmark, emit):
@@ -63,3 +67,34 @@ def test_perf_large_campaign(benchmark, emit):
     assert fits["Twitch"][4] > 1.4
     for row in rows:
         assert row[5] > 0.85             # tight fits at this sample size
+
+
+def test_perf_large_campaign_parallel(emit):
+    """The 200-BS campaign across worker processes, checked bit-identical."""
+    jobs = 4
+    network = Network(NetworkConfig(n_bs=200), np.random.default_rng(7))
+    config = SimulationConfig(n_days=1)
+
+    start = time.perf_counter()
+    serial = simulate(network, config, 8)
+    serial_s = time.perf_counter() - start
+
+    with make_executor(jobs) as executor:
+        executor.map(len, [()])  # warm the pool outside the timed region
+        start = time.perf_counter()
+        parallel = simulate(network, config, 8, executor=executor)
+        parallel_s = time.perf_counter() - start
+
+    assert len(parallel) == len(serial)
+    assert np.array_equal(parallel.volume_mb, serial.volume_mb)
+    assert np.array_equal(parallel.service_idx, serial.service_idx)
+
+    speedup = serial_s / parallel_s
+    emit(
+        "perf_scale_parallel",
+        f"200-BS campaign ({len(serial)} sessions): serial {serial_s:.1f}s, "
+        f"--jobs {jobs} {parallel_s:.1f}s "
+        f"(speedup {speedup:.2f}x on {os.cpu_count()} CPUs)",
+    )
+    if (os.cpu_count() or 1) >= jobs:
+        assert speedup > 1.5

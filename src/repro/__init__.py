@@ -19,6 +19,13 @@ The package is organized in four layers:
 """
 
 from .core.arrivals import ArrivalModel, fit_arrival_model
+from .pipeline import (
+    ParallelExecutor,
+    Pipeline,
+    RunContext,
+    SerialExecutor,
+    make_executor,
+)
 from .core.duration_model import PowerLawModel, fit_power_law
 from .core.generator import TrafficGenerator
 from .core.model_bank import ModelBank
@@ -36,7 +43,11 @@ __all__ = [
     "ModelBank",
     "Network",
     "NetworkConfig",
+    "ParallelExecutor",
+    "Pipeline",
     "PowerLawModel",
+    "RunContext",
+    "SerialExecutor",
     "ServiceMix",
     "SessionLevelModel",
     "SessionRecord",
@@ -48,6 +59,7 @@ __all__ = [
     "fit_power_law",
     "fit_service_model",
     "fit_volume_model",
+    "make_executor",
     "simulate",
     "__version__",
 ]

@@ -1,6 +1,8 @@
 """Command-line interface: simulate, fit, generate.
 
-Three subcommands cover the library's end-to-end flow:
+Subcommands cover the library's end-to-end flow, each assembled from the
+staged pipeline engine (:mod:`repro.pipeline`) so campaigns run as
+independent per-(day, BS) seed-stream work units:
 
 * ``repro-traffic simulate`` — run a synthetic measurement campaign and
   print its headline statistics;
@@ -8,10 +10,17 @@ Three subcommands cover the library's end-to-end flow:
   write a release file with every parameter tuple;
 * ``repro-traffic generate`` — load a release file and generate synthetic
   session-level traffic from the models;
-* ``repro-traffic validate`` — export a campaign as a trace and check it
-  against the paper's stylized facts;
+* ``repro-traffic validate`` — check a campaign (simulated and cached, or
+  an exported trace) against the paper's stylized facts;
 * ``repro-traffic reproduce`` — regenerate a paper artefact at laptop
   scale.
+
+Every subcommand accepts ``--jobs N`` to fan the heavy stages out across
+worker processes — output is bit-identical for any worker count thanks to
+the per-unit seed streams.  ``simulate``/``fit``/``validate`` cache the
+simulated campaign under ``--cache-dir`` (default ``.repro-cache`` or
+``$REPRO_CACHE_DIR``), so repeated runs with unchanged config and seed skip
+re-simulation; pass ``--no-cache`` to opt out.
 """
 
 from __future__ import annotations
@@ -19,17 +28,34 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
+from .io.cache import ArtifactCache
+from .pipeline.context import RunContext
+from .pipeline.stages import Pipeline, StageEvent
+from .pipeline.standard import (
+    fit_arrivals_stage,
+    fit_models_stage,
+    network_stage,
+    read_trace_stage,
+    simulate_stage,
+    validate_stage,
+)
 
-from .core.arrivals import fit_decile_arrival_models
-from .core.generator import TrafficGenerator
-from .core.model_bank import ModelBank
-from .core.service_mix import ServiceMix
-from .dataset.aggregation import service_shares
-from .dataset.network import Network, NetworkConfig, decile_peak_rate
-from .dataset.simulator import SimulationConfig, simulate
-from .io.params import load_release, save_release
-from .io.tables import print_table
+
+def _add_run_flags(sub: argparse.ArgumentParser, cache: bool = True) -> None:
+    """Attach the pipeline flags (``--jobs``, cache control) to a subcommand."""
+    sub.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the fan-out stages (default 1 = serial)",
+    )
+    if cache:
+        sub.add_argument(
+            "--cache-dir", default=None,
+            help="artifact cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+        )
+        sub.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the artifact cache for this run",
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,6 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", default=None,
         help="also export the campaign as a CSV(.gz) session trace",
     )
+    _add_run_flags(sim)
 
     fit = sub.add_parser("fit", help="fit models from a campaign and save them")
     fit.add_argument("--bs", type=int, default=50)
@@ -56,6 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--from-trace", default=None,
         help="fit from an existing CSV(.gz) trace instead of simulating",
     )
+    _add_run_flags(fit)
 
     gen = sub.add_parser("generate", help="generate traffic from saved models")
     gen.add_argument("--models", required=True, help="release file path")
@@ -64,12 +92,21 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--decile", type=int, default=5, help="load decile of the generated BSs"
     )
+    _add_run_flags(gen, cache=False)
 
     val = sub.add_parser(
-        "validate", help="validate a session trace against stylized facts"
+        "validate", help="validate a campaign against stylized facts"
     )
-    val.add_argument("--trace", required=True, help="CSV(.gz) trace path")
+    val.add_argument(
+        "--trace", default=None,
+        help="CSV(.gz) trace path (default: simulate a campaign instead)",
+    )
     val.add_argument("--days", type=int, required=True, help="days covered")
+    val.add_argument(
+        "--bs", type=int, default=20,
+        help="number of base stations when simulating (no --trace)",
+    )
+    _add_run_flags(val)
 
     rep = sub.add_parser(
         "reproduce", help="reproduce a paper experiment at laptop scale"
@@ -79,12 +116,35 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["table2", "fig10", "fig13b"],
         help="which paper artefact to regenerate",
     )
+    _add_run_flags(rep, cache=False)
     return parser
 
 
-def _cmd_simulate(args: argparse.Namespace, rng: np.random.Generator) -> int:
-    network = Network(NetworkConfig(n_bs=args.bs), rng)
-    table = simulate(network, SimulationConfig(n_days=args.days), rng)
+def _make_context(args: argparse.Namespace) -> RunContext:
+    """Build the run context a subcommand executes under."""
+    cache = None
+    if hasattr(args, "no_cache") and not args.no_cache:
+        cache = ArtifactCache(args.cache_dir)
+    return RunContext(
+        seed=args.seed, jobs=getattr(args, "jobs", 1), cache=cache
+    )
+
+
+def _print_event(event: StageEvent) -> None:
+    """Surface one pipeline stage outcome (cache hits stay visible)."""
+    print(f"[pipeline] {event.describe()}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .dataset.aggregation import service_shares
+    from .io.tables import print_table
+
+    ctx = _make_context(args)
+    pipeline = Pipeline(
+        [network_stage(args.bs), simulate_stage(args.days)]
+    )
+    run = pipeline.run(ctx, observer=_print_event)
+    table = run.artifact("campaign")
     shares = service_shares(table)
     top = sorted(shares.items(), key=lambda kv: kv[1][0], reverse=True)[:10]
     print(f"sessions: {len(table)}")
@@ -102,33 +162,44 @@ def _cmd_simulate(args: argparse.Namespace, rng: np.random.Generator) -> int:
     return 0
 
 
-def _cmd_fit(args: argparse.Namespace, rng: np.random.Generator) -> int:
-    if args.from_trace:
-        from .io.traces import read_trace
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from .io.params import save_release
 
-        table = read_trace(args.from_trace)
-        bank = ModelBank.fit_from_table(table)
+    ctx = _make_context(args)
+    if args.from_trace:
+        pipeline = Pipeline(
+            [read_trace_stage(args.from_trace), fit_models_stage()]
+        )
+        run = pipeline.run(ctx, observer=_print_event)
+        bank = run.artifact("bank")
         save_release(args.output, bank)
         print(
             f"fitted {len(bank)} service models from {args.from_trace} "
             f"-> {args.output}"
         )
         return 0
-    network = Network(NetworkConfig(n_bs=args.bs), rng)
-    table = simulate(network, SimulationConfig(n_days=args.days), rng)
-    bank = ModelBank.fit_from_table(table)
-    arrivals = {
-        f"decile-{decile}": model
-        for decile, model in fit_decile_arrival_models(
-            table, network, args.days
-        ).items()
-    }
-    save_release(args.output, bank, arrivals)
+    pipeline = Pipeline(
+        [
+            network_stage(args.bs),
+            simulate_stage(args.days),
+            fit_models_stage(),
+            fit_arrivals_stage(args.days),
+        ]
+    )
+    run = pipeline.run(ctx, observer=_print_event)
+    bank = run.artifact("bank")
+    save_release(args.output, bank, run.artifact("arrivals"))
     print(f"fitted {len(bank)} service models -> {args.output}")
     return 0
 
 
-def _cmd_generate(args: argparse.Namespace, rng: np.random.Generator) -> int:
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .core.generator import TrafficGenerator
+    from .core.service_mix import ServiceMix
+    from .dataset.network import decile_peak_rate
+    from .io.params import load_release
+
+    ctx = _make_context(args)
     bank, arrivals = load_release(args.models)
     label = f"decile-{args.decile}"
     if label in arrivals:
@@ -144,33 +215,50 @@ def _cmd_generate(args: argparse.Namespace, rng: np.random.Generator) -> int:
     generator = TrafficGenerator(
         {bs: arrival for bs in range(args.bs)}, mix, bank
     )
-    table = generator.generate_campaign(args.days, rng)
+    table = generator.generate_campaign(args.days, ctx.rng("generate"))
     print(f"generated {len(table)} sessions over {args.bs} BSs, {args.days} day(s)")
     print(f"total traffic: {table.total_volume_mb() / 1e3:.1f} GB")
     return 0
 
 
-def _cmd_validate(args: argparse.Namespace, rng: np.random.Generator) -> int:
-    from .analysis.validation import validate_campaign
-    from .io.traces import read_trace
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .io.tables import print_table
 
-    table = read_trace(args.trace)
-    report = validate_campaign(table, args.days)
+    ctx = _make_context(args)
+    if args.trace:
+        stages = [read_trace_stage(args.trace), validate_stage(args.days)]
+        source = args.trace
+    else:
+        stages = [
+            network_stage(args.bs),
+            simulate_stage(args.days),
+            validate_stage(args.days),
+        ]
+        source = f"simulated campaign ({args.bs} BSs, {args.days} day(s))"
+    run = Pipeline(stages).run(ctx, observer=_print_event)
+    table = run.artifact("campaign")
+    report = run.artifact("report")
     print_table(
         ["severity", "check", "message"],
         [[f.severity.value, f.check, f.message] for f in report.findings],
-        title=f"Validation of {args.trace} ({len(table)} sessions)",
+        title=f"Validation of {source} ({len(table)} sessions)",
     )
     print("verdict:", "OK" if report.ok else "FAILED")
     return 0 if report.ok else 1
 
 
-def _cmd_reproduce(args: argparse.Namespace, rng: np.random.Generator) -> int:
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .dataset.network import Network, NetworkConfig
+    from .dataset.simulator import SimulationConfig, simulate
+    from .io.tables import print_table
+
+    ctx = _make_context(args)
     if args.experiment == "table2":
         from .usecases.slicing import SlicingScenario, run_slicing_experiment
 
         outcome = run_slicing_experiment(
-            rng, SlicingScenario(n_antennas=10, n_days=2, n_model_days=4)
+            ctx.rng("reproduce", "table2"),
+            SlicingScenario(n_antennas=10, n_days=2, n_model_days=4),
         )
         print_table(
             ["strategy", "no-drop %", "std %"],
@@ -187,8 +275,11 @@ def _cmd_reproduce(args: argparse.Namespace, rng: np.random.Generator) -> int:
         from .dataset.aggregation import pooled_duration_volume
         from .dataset.records import SERVICE_NAMES
 
-        network = Network(NetworkConfig(n_bs=20), rng)
-        table = simulate(network, SimulationConfig(n_days=1), rng)
+        network = Network(NetworkConfig(n_bs=20), ctx.rng("network"))
+        with ctx.executor() as executor:
+            table = simulate(
+                network, SimulationConfig(n_days=1), ctx.seed, executor=executor
+            )
         rows = []
         for name in SERVICE_NAMES:
             sub = table.for_service(name)
@@ -211,11 +302,14 @@ def _cmd_reproduce(args: argparse.Namespace, rng: np.random.Generator) -> int:
             run_vran_experiment,
         )
 
-        network = Network(NetworkConfig(n_bs=20), rng)
-        table = simulate(network, SimulationConfig(n_days=1), rng)
+        network = Network(NetworkConfig(n_bs=20), ctx.rng("network"))
+        with ctx.executor() as executor:
+            table = simulate(
+                network, SimulationConfig(n_days=1), ctx.seed, executor=executor
+            )
         outcome = run_vran_experiment(
             table,
-            rng,
+            ctx.rng("reproduce", "fig13b"),
             VranScenario(
                 topology=VranTopology(n_es=5, n_ru_per_es=4),
                 horizon_s=1200.0,
@@ -238,7 +332,6 @@ def _cmd_reproduce(args: argparse.Namespace, rng: np.random.Generator) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    rng = np.random.default_rng(args.seed)
     handlers = {
         "simulate": _cmd_simulate,
         "fit": _cmd_fit,
@@ -246,7 +339,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "reproduce": _cmd_reproduce,
     }
-    return handlers[args.command](args, rng)
+    return handlers[args.command](args)
 
 
 if __name__ == "__main__":

@@ -28,6 +28,24 @@ class ModelBankError(ValueError):
     """Raised when bank content or serialization is invalid."""
 
 
+def _fit_service_job(
+    item: tuple[str, SessionTable],
+) -> SessionLevelModel | None:
+    """Executor work function: aggregate and fit one service's model.
+
+    Returns ``None`` when the service's duration–volume curve is too sparse
+    to regress — the caller simply skips it, as the paper models only the
+    services with sufficient support.
+    """
+    name, sub = item
+    try:
+        return fit_service_model(
+            name, pooled_volume_pdf(sub), pooled_duration_volume(sub)
+        )
+    except (DurationModelError, ServiceModelError):
+        return None
+
+
 class ModelBank:
     """A set of fitted :class:`SessionLevelModel`, keyed by service name."""
 
@@ -68,27 +86,32 @@ class ModelBank:
         table: SessionTable,
         services: list[str] | None = None,
         min_sessions: int = MIN_SESSIONS_FOR_FIT,
+        executor=None,
     ) -> "ModelBank":
         """Fit one model per service from a measurement campaign.
 
         Services with fewer than ``min_sessions`` recorded sessions — or
         whose duration–volume curve is too sparse to regress — are skipped:
         the paper likewise models only the services with sufficient support.
+
+        ``executor`` (any :mod:`repro.pipeline.executors` executor) fans the
+        per-service aggregation + fit out across workers; fitting is
+        deterministic, so the bank is identical for any worker count.
         """
         bank = cls()
         wanted = services if services is not None else list(SERVICE_NAMES)
+        jobs = []
         for name in wanted:
             sub = table.for_service(name)
-            if len(sub) < min_sessions:
-                continue
-            try:
-                bank.add(
-                    fit_service_model(
-                        name, pooled_volume_pdf(sub), pooled_duration_volume(sub)
-                    )
-                )
-            except (DurationModelError, ServiceModelError):
-                continue
+            if len(sub) >= min_sessions:
+                jobs.append((name, sub))
+        if executor is None:
+            fitted = [_fit_service_job(job) for job in jobs]
+        else:
+            fitted = executor.map(_fit_service_job, jobs)
+        for model in fitted:
+            if model is not None:
+                bank.add(model)
         return bank
 
     # ------------------------------------------------------------------

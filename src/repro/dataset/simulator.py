@@ -7,6 +7,13 @@ duration from the ground-truth profiles, applies the mobility model to cut
 sessions at cell boundaries, and re-injects the cut remainders as new
 sessions in neighbouring cells (the handover artefact of Section 3.2).
 
+The campaign decomposes into independent **(day, BS) work units**: each
+unit owns a private RNG spawned from the root seed via
+``np.random.SeedSequence`` (see :mod:`repro.pipeline.context`), so the
+output is bit-identical regardless of iteration order or worker count.
+:func:`simulate_bs_day` is the pure per-unit kernel; :func:`simulate`
+orchestrates the units across any :mod:`repro.pipeline.executors` executor.
+
 The output is a :class:`~repro.dataset.records.SessionTable` — the raw
 material every aggregation, characterization and model-fitting step of the
 library consumes.
@@ -18,15 +25,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..pipeline.context import coerce_root_seed, stream_seed
+from ..pipeline.executors import ParallelExecutor, SerialExecutor
 from .circadian import sample_day_arrival_counts
 from .mobility import MobilityModel, truncate_sessions
-from .network import Network
+from .network import BaseStation, Network
 from .profiles import PROFILES
 from .records import SERVICE_NAMES, SessionTable
 from .services import session_share_fractions
 
 #: Floor on the served volume of heavily truncated sessions (100 bytes).
 MIN_OBSERVED_VOLUME_MB = 1e-4
+
+#: Stream label of per-(day, BS) simulation RNGs (see :func:`unit_seed`).
+UNIT_STREAM = "bs-day"
 
 
 @dataclass(frozen=True)
@@ -80,6 +92,10 @@ class SimulationConfig:
         """Day indices falling on working days (Monday–Friday)."""
         return [d for d in range(self.n_days) if d % 7 not in (5, 6)]
 
+    def rate_scale_for_day(self, day: int) -> float:
+        """Arrival-rate multiplier of one day (weekend factor or 1)."""
+        return self.weekend_rate_factor if day % 7 in (5, 6) else 1.0
+
 
 _BASE_SHARES = np.array(
     [session_share_fractions()[name] for name in SERVICE_NAMES]
@@ -111,56 +127,132 @@ def _draw_session_bodies(
     return volumes, durations
 
 
+# ----------------------------------------------------------------------
+# Per-(day, BS) work units
+# ----------------------------------------------------------------------
+def unit_seed(root_seed: int, day: int, bs_id: int) -> np.random.SeedSequence:
+    """Seed sequence of one (day, BS) simulation work unit.
+
+    Derived from the root seed and the unit's identity alone, so the unit's
+    sessions are reproducible no matter where or in what order the unit
+    runs — the property the determinism suite pins down.
+    """
+    return stream_seed(root_seed, UNIT_STREAM, day, bs_id)
+
+
+def campaign_units(
+    network: Network, config: SimulationConfig
+) -> list[tuple[int, int]]:
+    """Canonical (day, bs_id) work-unit order of a campaign.
+
+    Results are always assembled in this order, so the campaign table is
+    identical whichever executor ran the units.
+    """
+    return [
+        (day, station.bs_id)
+        for day in range(config.n_days)
+        for station in network
+    ]
+
+
+def decile_peer_map(network: Network) -> dict[int, np.ndarray]:
+    """BS identifiers of each load decile, as handover-target arrays.
+
+    Handovers land in a neighbouring cell of the same load decile: cell
+    load is spatially correlated, so a session cut at a busy cell almost
+    always continues in another busy cell (and vice versa).
+    """
+    return {
+        decile: np.array(network.bs_ids_in_decile(decile))
+        for decile in range(10)
+    }
+
+
+def simulate_bs_day(
+    station: BaseStation,
+    day: int,
+    config: SimulationConfig,
+    peers: np.ndarray,
+    rng: np.random.Generator,
+) -> SessionTable:
+    """Pure per-unit kernel: one BS over one day, plus its handovers.
+
+    ``peers`` is the array of same-decile BS identifiers continuations may
+    land at (see :func:`decile_peer_map`).  All randomness comes from
+    ``rng``, so the unit is fully deterministic given its seed stream.
+    """
+    counts = sample_day_arrival_counts(
+        station, rng, config.rate_scale_for_day(day)
+    )
+    return _sessions_from_counts(station.bs_id, day, counts, config, peers, rng)
+
+
+def _sessions_from_counts(
+    bs_id: int,
+    day: int,
+    counts: np.ndarray,
+    config: SimulationConfig,
+    peers: np.ndarray,
+    rng: np.random.Generator,
+) -> SessionTable:
+    """Serve one BS-day of arrivals drawn as per-minute ``counts``."""
+    n = int(counts.sum())
+    if n == 0:
+        return SessionTable.empty()
+    start_minute = np.repeat(np.arange(1440), counts)
+    shares = _jittered_shares(rng, config.share_jitter_dex)
+    service_idx = rng.choice(len(SERVICE_NAMES), size=n, p=shares)
+    volumes, durations = _draw_session_bodies(service_idx, rng)
+    dwells = config.mobility.sample_dwell_s(rng, n)
+    return _serve_at_bs(
+        bs_id,
+        day,
+        start_minute,
+        service_idx,
+        volumes,
+        durations,
+        dwells,
+        rng,
+        config,
+        peers,
+        chain_depth=0,
+    )
+
+
+def _simulate_unit(
+    item: tuple[BaseStation, int, SimulationConfig, np.ndarray, int],
+) -> SessionTable:
+    """Executor work function: run one (day, BS) unit on its own stream."""
+    station, day, config, peers, root_seed = item
+    rng = np.random.default_rng(unit_seed(root_seed, day, station.bs_id))
+    return simulate_bs_day(station, day, config, peers, rng)
+
+
 def simulate(
-    network: Network, config: SimulationConfig, rng: np.random.Generator
+    network: Network,
+    config: SimulationConfig,
+    rng: np.random.Generator | int,
+    executor: SerialExecutor | ParallelExecutor | None = None,
 ) -> SessionTable:
     """Run a measurement campaign over the whole network.
+
+    ``rng`` may be an integer root seed or a ``Generator`` (from which one
+    root seed is drawn).  Each (day, BS) unit then runs on its own spawned
+    seed stream, mapped over ``executor`` (serial by default) — the
+    resulting table is bit-identical for any executor and unit order.
 
     Returns the table of all transport-layer sessions recorded at every BS
     during ``config.n_days`` days.
     """
-    pieces: list[SessionTable] = []
-    # Handovers land in a neighbouring cell of the same load decile: cell
-    # load is spatially correlated, so a session cut at a busy cell almost
-    # always continues in another busy cell (and vice versa).
-    decile_peers = {
-        decile: np.array(network.bs_ids_in_decile(decile))
-        for decile in range(10)
-    }
-    peers_of_bs = {
-        station.bs_id: decile_peers[station.decile] for station in network
-    }
-
-    weekend = set(config.weekend_days())
-    for day in range(config.n_days):
-        rate_scale = config.weekend_rate_factor if day in weekend else 1.0
-        for station in network:
-            counts = sample_day_arrival_counts(station, rng, rate_scale)
-            n = int(counts.sum())
-            if n == 0:
-                continue
-            start_minute = np.repeat(np.arange(1440), counts)
-            shares = _jittered_shares(rng, config.share_jitter_dex)
-            service_idx = rng.choice(len(SERVICE_NAMES), size=n, p=shares)
-            volumes, durations = _draw_session_bodies(service_idx, rng)
-            dwells = config.mobility.sample_dwell_s(rng, n)
-
-            pieces.append(
-                _serve_at_bs(
-                    station.bs_id,
-                    day,
-                    start_minute,
-                    service_idx,
-                    volumes,
-                    durations,
-                    dwells,
-                    rng,
-                    config,
-                    peers_of_bs,
-                    chain_depth=0,
-                )
-            )
-    return SessionTable.concatenate(pieces)
+    root_seed = coerce_root_seed(rng)
+    peers = decile_peer_map(network)
+    items = [
+        (network.station(bs_id), day, config, peers[network.station(bs_id).decile],
+         root_seed)
+        for day, bs_id in campaign_units(network, config)
+    ]
+    pieces = (executor or SerialExecutor()).map(_simulate_unit, items)
+    return SessionTable.concatenate(list(pieces))
 
 
 def _serve_at_bs(
@@ -173,7 +265,7 @@ def _serve_at_bs(
     dwells: np.ndarray,
     rng: np.random.Generator,
     config: SimulationConfig,
-    peers_of_bs: dict[int, np.ndarray],
+    peers: np.ndarray,
     chain_depth: int,
 ) -> SessionTable:
     """Serve sessions at one BS, recursing on handover continuations."""
@@ -215,7 +307,6 @@ def _serve_at_bs(
         return table
 
     n_cont = int(viable.sum())
-    peers = peers_of_bs[bs_id]
     neighbour = peers[rng.integers(0, peers.size, size=n_cont)]
     # Each continuation lands in a single neighbour cell; serve each group.
     cont_tables = [table]
@@ -237,7 +328,7 @@ def _serve_at_bs(
                 cont_dwell[mask],
                 rng,
                 config,
-                peers_of_bs,
+                peers,
                 chain_depth + 1,
             )
         )

@@ -3,9 +3,16 @@
 The paper's campaign covers 45 days; materializing every transport session
 of such a run would take tens of gigabytes.  The fitting pipeline, however,
 only consumes *aggregates* (Section 3.2) — so this module simulates one
-(BS, day) at a time, folds each batch into running statistics, and drops
-the raw sessions immediately.  Peak memory is one BS-day of sessions plus
-the fixed-size accumulators, independent of campaign length.
+(BS, day) work unit at a time, folds each batch into running statistics,
+and drops the raw sessions immediately.  Peak memory is one BS-day of
+sessions plus the fixed-size accumulators, independent of campaign length.
+
+Units are grouped into fixed-size chunks, each chunk reduced to one
+:class:`CampaignAccumulator`, and the chunk accumulators merged in
+canonical order.  Because the chunking is independent of the executor and
+every unit runs on its own spawned seed stream (the same per-(day, BS)
+streams the materializing simulator uses), serial and parallel runs produce
+bit-identical statistics.
 
 ``CampaignAccumulator`` is also useful on its own to aggregate externally
 produced tables batch by batch (e.g. while reading a huge trace file).
@@ -13,9 +20,13 @@ produced tables batch by batch (e.g. while reading a huge trace file).
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from ..analysis.histogram import BIN_WIDTH, N_BINS, LogHistogram
+from ..pipeline.context import coerce_root_seed
+from ..pipeline.executors import ParallelExecutor, SerialExecutor
 from .aggregation import (
     N_DURATION_BINS,
     DurationVolumeCurve,
@@ -23,16 +34,19 @@ from .aggregation import (
     _digitize_volumes,
 )
 from .circadian import MINUTES_PER_DAY, sample_day_arrival_counts
-from .mobility import truncate_sessions
-from .network import Network
+from .network import BaseStation, Network
 from .records import SERVICE_NAMES, SessionTable
 from .simulator import (
-    MIN_OBSERVED_VOLUME_MB,
     SimulationConfig,
-    _draw_session_bodies,
-    _jittered_shares,
+    _sessions_from_counts,
+    campaign_units,
+    unit_seed,
 )
-from .simulator import _BETAS as _SIM_BETAS
+
+#: Work units folded into one accumulator per executor task.  Fixed (not a
+#: function of worker count) so the merge tree — and therefore the floating
+#: point sums — are identical for serial and parallel execution.
+UNITS_PER_CHUNK = 16
 
 
 class StreamingError(ValueError):
@@ -94,6 +108,30 @@ class CampaignAccumulator:
                 grown[: hist.size] = hist
             self._arrival_hist[decile] = hist = grown
         np.add.at(hist, minute_counts.astype(np.int64), 1)
+
+    def merge(self, other: "CampaignAccumulator") -> None:
+        """Fold another accumulator into this one (in place).
+
+        The reduction step of the chunked streaming pipeline: chunk
+        accumulators are merged in canonical chunk order, which keeps the
+        floating-point sums identical across executors.
+        """
+        self._volume_counts += other._volume_counts
+        self._dv_sums += other._dv_sums
+        self._dv_counts += other._dv_counts
+        self._sessions += other._sessions
+        self._traffic_mb += other._traffic_mb
+        self._truncated += other._truncated
+        for decile, hist in other._arrival_hist.items():
+            mine = self._arrival_hist.get(decile)
+            if mine is None:
+                self._arrival_hist[decile] = hist.copy()
+            elif mine.size >= hist.size:
+                mine[: hist.size] += hist
+            else:
+                grown = hist.copy()
+                grown[: mine.size] += mine
+                self._arrival_hist[decile] = grown
 
     # ------------------------------------------------------------------
     @property
@@ -167,10 +205,37 @@ class CampaignAccumulator:
         return bank
 
 
+def _aggregate_chunk(
+    item: tuple[list[tuple[BaseStation, int]], SimulationConfig, int],
+) -> CampaignAccumulator:
+    """Executor work function: reduce one chunk of (BS, day) units.
+
+    Each unit runs on the same spawned seed stream the materializing
+    simulator would use, so the streamed statistics match ``simulate``'s
+    output for the same root seed (up to the dropped continuations).
+    """
+    units, config, root_seed = item
+    accumulator = CampaignAccumulator()
+    no_peers = np.empty(0, dtype=np.int64)
+    for station, day in units:
+        rng = np.random.default_rng(unit_seed(root_seed, day, station.bs_id))
+        counts = sample_day_arrival_counts(
+            station, rng, config.rate_scale_for_day(day)
+        )
+        accumulator.update_arrivals(station.decile, counts)
+        accumulator.update(
+            _sessions_from_counts(
+                station.bs_id, day, counts, config, no_peers, rng
+            )
+        )
+    return accumulator
+
+
 def simulate_aggregated(
     network: Network,
     config: SimulationConfig,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
+    executor: SerialExecutor | ParallelExecutor | None = None,
 ) -> CampaignAccumulator:
     """Simulate a campaign of any length in bounded memory.
 
@@ -180,38 +245,25 @@ def simulate_aggregated(
     contribution is second-order for pooled statistics — the truncated
     part itself is still recorded — and the regular simulator remains the
     reference for per-BS analyses.
-    """
-    accumulator = CampaignAccumulator()
-    weekend = set(config.weekend_days())
-    n_services = len(SERVICE_NAMES)
 
-    for day in range(config.n_days):
-        rate_scale = config.weekend_rate_factor if day in weekend else 1.0
-        for station in network:
-            counts = sample_day_arrival_counts(station, rng, rate_scale)
-            accumulator.update_arrivals(station.decile, counts)
-            n = int(counts.sum())
-            if n == 0:
-                continue
-            start_minute = np.repeat(np.arange(MINUTES_PER_DAY), counts)
-            shares = _jittered_shares(rng, config.share_jitter_dex)
-            service_idx = rng.choice(n_services, size=n, p=shares)
-            volumes, durations = _draw_session_bodies(service_idx, rng)
-            dwells = config.mobility.sample_dwell_s(rng, n)
-            observed_vol, observed_dur, truncated = truncate_sessions(
-                volumes, durations, dwells, _SIM_BETAS[service_idx]
-            )
-            accumulator.update(
-                SessionTable(
-                    service_idx=service_idx,
-                    bs_id=np.full(n, station.bs_id),
-                    day=np.full(n, day),
-                    start_minute=start_minute,
-                    duration_s=np.clip(observed_dur, 1.0, None),
-                    volume_mb=np.clip(
-                        observed_vol, MIN_OBSERVED_VOLUME_MB, None
-                    ),
-                    truncated=truncated,
-                )
-            )
-    return accumulator
+    ``rng`` may be an integer root seed or a ``Generator``; units are
+    chunked deterministically and mapped over ``executor``, with
+    bit-identical results for any worker count.
+    """
+    root_seed = coerce_root_seed(rng)
+    # Continuations are disabled per-unit rather than globally so that the
+    # base draws stay on the same streams as the materializing simulator.
+    unit_config = dataclasses.replace(config, handover_continuation=False)
+    units = [
+        (network.station(bs_id), day)
+        for day, bs_id in campaign_units(network, config)
+    ]
+    chunks = [
+        (units[lo: lo + UNITS_PER_CHUNK], unit_config, root_seed)
+        for lo in range(0, len(units), UNITS_PER_CHUNK)
+    ]
+    accumulators = (executor or SerialExecutor()).map(_aggregate_chunk, chunks)
+    total = CampaignAccumulator()
+    for accumulator in accumulators:
+        total.merge(accumulator)
+    return total

@@ -1,0 +1,172 @@
+"""Content-keyed artifact cache: skip recomputation of unchanged stages.
+
+A pipeline stage's product is fully determined by its configuration and the
+run's root seed, so both are folded into a canonical digest — the *content
+key* — and the artifact is persisted under it.  A later run with the same
+key loads the artifact instead of recomputing it; any change to the
+configuration, the seed, or the artifact-format version produces a
+different key and a clean miss (stale entries are simply never read).
+
+Layout on disk: ``<root>/<kind>/<key><suffix>``, e.g.
+``.repro-cache/campaign/1f0c9a….npz``.  Writes go through a temporary file
+plus atomic rename, so a crashed run can never leave a truncated artifact
+behind that a later run would trust.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dataset.records import SessionTable
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump when a cached artifact's on-disk format changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+
+class CacheError(ValueError):
+    """Raised on invalid cache keys or unreadable cached artifacts."""
+
+
+def describe(value: Any) -> Any:
+    """Canonical JSON-able description of a configuration value.
+
+    Dataclasses become ``{"__type__": name, **fields}``, enums their value,
+    numpy scalars plain Python numbers, mappings and sequences recurse.
+    Used to build stable content keys from configuration objects without
+    each of them having to implement a serialization protocol.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        described = {
+            field.name: describe(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        described["__type__"] = type(value).__name__
+        return described
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Mapping):
+        return {str(k): describe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [describe(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise CacheError(
+        f"cannot build a content key from a {type(value).__name__} value"
+    )
+
+
+def content_key(parts: Mapping[str, Any]) -> str:
+    """Stable hexadecimal digest of a configuration mapping.
+
+    The mapping is canonicalized with :func:`describe`, serialized with
+    sorted keys and hashed with SHA-256; the first 20 hex characters are
+    plenty against accidental collisions.
+    """
+    payload = describe(dict(parts, cache_format=CACHE_FORMAT_VERSION))
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:20]
+
+
+def default_cache_root() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``.repro-cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+class ArtifactCache:
+    """Directory of cached artifacts addressed by (kind, content key)."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def path_for(self, kind: str, key: str, suffix: str) -> Path:
+        """Path an artifact of ``kind`` with content ``key`` lives at."""
+        if not kind or any(sep in kind for sep in "/\\"):
+            raise CacheError(f"invalid artifact kind {kind!r}")
+        if not key:
+            raise CacheError("empty content key")
+        return self.root / kind / f"{key}{suffix}"
+
+    def has(self, kind: str, key: str, suffix: str) -> bool:
+        """Whether an artifact is present for this content key."""
+        return self.path_for(kind, key, suffix).exists()
+
+    def store(
+        self,
+        kind: str,
+        key: str,
+        suffix: str,
+        save: Callable[[Path], None],
+    ) -> Path:
+        """Persist an artifact atomically via the ``save(path)`` callback.
+
+        ``save`` writes to a temporary path; the file is renamed into place
+        only after the write completed, so concurrent or crashed runs never
+        expose partial artifacts.
+        """
+        final = self.path_for(kind, key, suffix)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.with_name(f".tmp-{os.getpid()}-{final.name}")
+        try:
+            save(tmp)
+            os.replace(tmp, final)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return final
+
+    def fetch(
+        self,
+        kind: str,
+        key: str,
+        suffix: str,
+        load: Callable[[Path], Any],
+    ) -> Any:
+        """Load a cached artifact via the ``load(path)`` callback."""
+        path = self.path_for(kind, key, suffix)
+        if not path.exists():
+            raise CacheError(f"no cached {kind} artifact for key {key}")
+        try:
+            return load(path)
+        except Exception as exc:
+            raise CacheError(f"cannot load cached {kind} at {path}: {exc}") from exc
+
+
+def save_table(path: str | Path, table: "SessionTable") -> None:
+    """Persist a :class:`SessionTable` as a compressed ``.npz`` archive."""
+    from ..dataset.records import SessionTable
+
+    np.savez_compressed(
+        str(path), **{col: getattr(table, col) for col in SessionTable.COLUMNS}
+    )
+
+
+def load_table(path: str | Path) -> "SessionTable":
+    """Inverse of :func:`save_table`."""
+    from ..dataset.records import SessionTable
+
+    try:
+        with np.load(str(path)) as archive:
+            return SessionTable(
+                *(archive[col] for col in SessionTable.COLUMNS)
+            )
+    except (OSError, KeyError, ValueError) as exc:
+        raise CacheError(f"cannot read session table at {path}: {exc}") from exc

@@ -41,30 +41,40 @@ def _open_text(path: Path, mode: str):
     return open(path, mode, encoding="utf-8", newline="")
 
 
-def write_trace(table: SessionTable, path: str | Path) -> int:
+#: Rows formatted and flushed per chunk during export.
+WRITE_CHUNK_ROWS = 100_000
+
+_SERVICE_NAME_ARRAY = np.asarray(SERVICE_NAMES, dtype=object)
+
+
+def write_trace(
+    table: SessionTable, path: str | Path, chunk_rows: int = WRITE_CHUNK_ROWS
+) -> int:
     """Write a session table as CSV (gzip if the path ends in ``.gz``).
 
     Returns the number of rows written.  Services are stored by name, so
     traces stay readable and robust to catalog reordering.  Rows are
-    rendered column-wise (vectorized formatting) so multi-million-session
-    campaigns export in seconds.
+    rendered and flushed in chunks of ``chunk_rows``: each chunk's columns
+    are formatted vectorized (multi-million-session campaigns export in
+    seconds) but only one chunk of formatted strings is ever held in
+    memory, so export memory stays bounded regardless of campaign size.
     """
+    if chunk_rows < 1:
+        raise TraceError(f"chunk_rows must be >= 1, got {chunk_rows}")
     path = Path(path)
-    names = np.asarray(SERVICE_NAMES, dtype=object)[table.service_idx]
-    columns = [
-        names,
-        table.bs_id.astype(str),
-        table.day.astype(str),
-        table.start_minute.astype(str),
-        np.char.mod("%.3f", table.duration_s.astype(float)),
-        np.char.mod("%.6f", table.volume_mb.astype(float)),
-        table.truncated.astype(int).astype(str),
-    ]
     with _open_text(path, "w") as handle:
         handle.write(",".join(TRACE_COLUMNS) + "\r\n")
-        for lo in range(0, len(table), 100_000):
-            hi = min(lo + 100_000, len(table))
-            block = [col[lo:hi] for col in columns]
+        for lo in range(0, len(table), chunk_rows):
+            hi = min(lo + chunk_rows, len(table))
+            block = [
+                _SERVICE_NAME_ARRAY[table.service_idx[lo:hi]],
+                table.bs_id[lo:hi].astype(str),
+                table.day[lo:hi].astype(str),
+                table.start_minute[lo:hi].astype(str),
+                np.char.mod("%.3f", table.duration_s[lo:hi].astype(float)),
+                np.char.mod("%.6f", table.volume_mb[lo:hi].astype(float)),
+                table.truncated[lo:hi].astype(int).astype(str),
+            ]
             lines = [",".join(row) for row in zip(*block)]
             if lines:
                 handle.write("\r\n".join(lines) + "\r\n")

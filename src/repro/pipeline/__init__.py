@@ -1,0 +1,49 @@
+"""Staged run engine: seed streams, executors, pipelines, cached artifacts.
+
+The end-to-end flow of the library (simulate → aggregate → fit → generate →
+validate) is expressed as a :class:`~repro.pipeline.stages.Pipeline` of named
+stages over typed artifacts.  Three properties make the flow scale the way
+the paper's nationwide processing does (each spatial/temporal unit an
+independent work item):
+
+* **seed streams** — :class:`~repro.pipeline.context.RunContext` derives an
+  independent RNG per (day, BS) work unit via ``np.random.SeedSequence``
+  spawn keys, so results never depend on iteration order or worker count;
+* **pluggable executors** — :class:`~repro.pipeline.executors.SerialExecutor`
+  and the process-backed :class:`~repro.pipeline.executors.ParallelExecutor`
+  map per-unit kernels across workers with identical semantics;
+* **artifact caching** — stages declare how their product is keyed and
+  persisted (:class:`~repro.pipeline.stages.ArtifactSpec`), so repeated runs
+  with unchanged config/seed skip re-simulation entirely.
+"""
+
+from .context import RunContext, coerce_root_seed, stream_rng, stream_seed
+from .executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from .stages import (
+    ArtifactSpec,
+    Pipeline,
+    PipelineError,
+    PipelineRun,
+    Stage,
+    StageEvent,
+)
+
+__all__ = [
+    "ArtifactSpec",
+    "ParallelExecutor",
+    "Pipeline",
+    "PipelineError",
+    "PipelineRun",
+    "RunContext",
+    "SerialExecutor",
+    "Stage",
+    "StageEvent",
+    "coerce_root_seed",
+    "make_executor",
+    "stream_rng",
+    "stream_seed",
+]

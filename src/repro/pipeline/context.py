@@ -1,0 +1,130 @@
+"""Deterministic seed streams and shared state of one pipeline run.
+
+Reproducibility at scale requires that every work unit — a (day, BS) cell of
+a measurement campaign, a fitted service, a generated BS — draws from its
+*own* random stream, derived from the run's root seed and the unit's
+identity alone.  ``np.random.SeedSequence`` provides exactly this: a child
+sequence built with a ``spawn_key`` is statistically independent of every
+other child and of the parent, and depends only on ``(root entropy,
+spawn_key)`` — not on how many other streams were created before it or on
+which worker creates it.  Execution order and parallelism therefore cannot
+change results.
+
+String stream names are folded to stable 64-bit words with SHA-256, so
+``stream_rng(seed, "simulate", day, bs_id)`` is reproducible across
+processes and Python versions (no reliance on ``hash()`` randomization).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..io.cache import ArtifactCache
+
+#: Root seeds drawn from a Generator are taken uniformly below this bound.
+MAX_ROOT_SEED = 2**63
+
+
+class SeedStreamError(ValueError):
+    """Raised on invalid seed-stream keys or root seeds."""
+
+
+def _key_word(part: int | str) -> int:
+    """Map one key element to a non-negative integer spawn-key word."""
+    if isinstance(part, (int, np.integer)) and not isinstance(part, bool):
+        if part < 0:
+            raise SeedStreamError(f"stream key ints must be >= 0, got {part}")
+        return int(part)
+    if isinstance(part, str):
+        digest = hashlib.sha256(part.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+    raise SeedStreamError(
+        f"stream key elements must be ints or strings, got {type(part).__name__}"
+    )
+
+
+def coerce_root_seed(seed: int | np.integer | np.random.Generator) -> int:
+    """Normalize a root-seed argument to a plain non-negative integer.
+
+    Accepts either an explicit integer seed or a ``Generator`` (the
+    historical entry-point signature), from which one 63-bit root seed is
+    drawn — so twin generators still yield twin campaigns.
+    """
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, MAX_ROOT_SEED))
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        if seed < 0:
+            raise SeedStreamError(f"root seed must be >= 0, got {seed}")
+        return int(seed)
+    raise SeedStreamError(
+        f"seed must be an int or np.random.Generator, got {type(seed).__name__}"
+    )
+
+
+def stream_seed(root_seed: int, *key: int | str) -> np.random.SeedSequence:
+    """Child ``SeedSequence`` of ``root_seed`` for one named work unit.
+
+    ``key`` identifies the unit (e.g. ``("bs-day", day, bs_id)``); equal keys
+    give equal sequences, different keys independent ones, regardless of the
+    order in which streams are materialized.
+    """
+    if not key:
+        raise SeedStreamError("stream key must not be empty")
+    return np.random.SeedSequence(
+        int(root_seed), spawn_key=tuple(_key_word(part) for part in key)
+    )
+
+
+def stream_rng(root_seed: int, *key: int | str) -> np.random.Generator:
+    """Fresh ``Generator`` seeded from :func:`stream_seed`."""
+    return np.random.default_rng(stream_seed(root_seed, *key))
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Shared state of one pipeline run: root seed, parallelism, cache.
+
+    Attributes
+    ----------
+    seed:
+        Root seed of the run; every random stream is derived from it.
+    jobs:
+        Worker-process count for the fan-out stages (1 = serial).
+    cache:
+        Optional :class:`~repro.io.cache.ArtifactCache`; when set, stages
+        that declare an :class:`~repro.pipeline.stages.ArtifactSpec` are
+        skipped on matching keys.
+    """
+
+    seed: int
+    jobs: int = 1
+    cache: "ArtifactCache | None" = None
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise SeedStreamError("seed must be >= 0")
+        if self.jobs < 1:
+            raise SeedStreamError("jobs must be >= 1")
+
+    def seed_sequence(self, *key: int | str) -> np.random.SeedSequence:
+        """The run's seed stream for one named work unit."""
+        return stream_seed(self.seed, *key)
+
+    def rng(self, *key: int | str) -> np.random.Generator:
+        """Fresh generator on the run's stream for one named work unit."""
+        return stream_rng(self.seed, *key)
+
+    def executor(self):
+        """New executor matching the run's ``jobs`` setting.
+
+        The caller owns the executor's lifetime (use it as a context
+        manager so worker processes are reaped).
+        """
+        from .executors import make_executor
+
+        return make_executor(self.jobs)

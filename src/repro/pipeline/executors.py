@@ -1,0 +1,112 @@
+"""Pluggable executors mapping per-unit kernels across workers.
+
+Both executors expose the same order-preserving ``map`` contract, so any
+fan-out written against it (per-(day, BS) simulation, per-service fitting)
+runs serially or across a process pool without code changes — and, combined
+with the seed streams of :mod:`repro.pipeline.context`, with bit-identical
+results.
+
+Work functions handed to :class:`ParallelExecutor` must be picklable
+module-level callables and their items picklable values — the standard
+``ProcessPoolExecutor`` constraints.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ExecutorError(RuntimeError):
+    """Raised on invalid executor configuration."""
+
+
+class SerialExecutor:
+    """In-process executor: ``map`` is a plain ordered loop.
+
+    The reference implementation the parallel path must match bit-for-bit;
+    also the right choice for tiny workloads where process startup would
+    dominate.
+    """
+
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, preserving input order."""
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        """No resources to release; present for interface symmetry."""
+
+    def __enter__(self) -> "SerialExecutor":
+        """Enter a no-op context (symmetry with the parallel executor)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Leave the no-op context."""
+        self.close()
+
+
+class ParallelExecutor:
+    """Process-pool executor fanning ``map`` across worker processes.
+
+    The pool is created lazily on first use and must be released with
+    :meth:`close` (or by using the executor as a context manager).  Results
+    are returned in input order, so callers see serial semantics.
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ExecutorError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item across the pool, preserving order."""
+        materialized: Sequence[T] = list(items)
+        if not materialized:
+            return []
+        # A handful of chunks per worker balances pickling overhead against
+        # load imbalance from heterogeneous unit costs (busy vs. quiet BSs).
+        chunksize = max(1, math.ceil(len(materialized) / (self.jobs * 4)))
+        return list(
+            self._ensure_pool().map(fn, materialized, chunksize=chunksize)
+        )
+
+    def close(self) -> None:
+        """Shut the pool down and reap the worker processes."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        """Enter a context that owns the worker pool."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Release the worker pool on context exit."""
+        self.close()
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine (its CPU count)."""
+    return os.cpu_count() or 1
+
+
+def make_executor(jobs: int) -> SerialExecutor | ParallelExecutor:
+    """Executor for a ``--jobs N`` setting: serial at 1, processes above."""
+    if jobs < 1:
+        raise ExecutorError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)

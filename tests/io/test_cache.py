@@ -1,0 +1,158 @@
+"""Tests for the content-keyed artifact cache."""
+
+import dataclasses
+import enum
+
+import numpy as np
+import pytest
+
+from repro.dataset.records import SessionTable
+from repro.dataset.simulator import SimulationConfig
+from repro.io.cache import (
+    CACHE_DIR_ENV,
+    ArtifactCache,
+    CacheError,
+    content_key,
+    default_cache_root,
+    describe,
+    load_table,
+    save_table,
+)
+
+
+class _Colour(enum.Enum):
+    RED = "red"
+
+
+@dataclasses.dataclass(frozen=True)
+class _Cfg:
+    n: int
+    label: str
+
+
+class TestDescribe:
+    def test_primitives_pass_through(self):
+        assert describe(None) is None
+        assert describe(3) == 3
+        assert describe(1.5) == 1.5
+        assert describe("x") == "x"
+        assert describe(True) is True
+
+    def test_dataclass_carries_type_name(self):
+        described = describe(_Cfg(n=2, label="a"))
+        assert described == {"n": 2, "label": "a", "__type__": "_Cfg"}
+
+    def test_enum_and_numpy(self):
+        assert describe(_Colour.RED) == "red"
+        assert describe(np.int64(7)) == 7
+        assert describe(np.array([1, 2])) == [1, 2]
+
+    def test_nested_containers(self):
+        assert describe({"a": (1, [2.0, "x"])}) == {"a": [1, [2.0, "x"]]}
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CacheError):
+            describe(object())
+
+
+class TestContentKey:
+    def test_stable_across_insertion_order(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert content_key({"a": 1}) != content_key({"a": 2})
+        assert content_key({"a": 1}) != content_key({"b": 1})
+
+    def test_simulation_config_keys_differ_by_field(self):
+        base = content_key({"sim": SimulationConfig(n_days=1)})
+        other = content_key({"sim": SimulationConfig(n_days=2)})
+        assert base != other
+
+    def test_key_is_short_hex(self):
+        key = content_key({"a": 1})
+        assert len(key) == 20
+        int(key, 16)  # parses as hexadecimal
+
+
+class TestArtifactCache:
+    def test_store_then_fetch(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert not cache.has("kind", "abc", ".txt")
+        path = cache.store(
+            "kind", "abc", ".txt", lambda p: p.write_text("payload")
+        )
+        assert path == tmp_path / "kind" / "abc.txt"
+        assert cache.has("kind", "abc", ".txt")
+        assert cache.fetch("kind", "abc", ".txt", lambda p: p.read_text()) == (
+            "payload"
+        )
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("kind", "abc", ".txt", lambda p: p.write_text("x"))
+        names = [p.name for p in (tmp_path / "kind").iterdir()]
+        assert names == ["abc.txt"]
+
+    def test_failed_store_cleans_up(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+
+        def explode(path):
+            path.write_text("partial")
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError):
+            cache.store("kind", "abc", ".txt", explode)
+        assert not cache.has("kind", "abc", ".txt")
+        assert list((tmp_path / "kind").iterdir()) == []
+
+    def test_fetch_missing_raises(self, tmp_path):
+        with pytest.raises(CacheError):
+            ArtifactCache(tmp_path).fetch(
+                "kind", "absent", ".txt", lambda p: p.read_text()
+            )
+
+    def test_invalid_kind_and_key_rejected(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(CacheError):
+            cache.path_for("bad/kind", "abc", ".txt")
+        with pytest.raises(CacheError):
+            cache.path_for("kind", "", ".txt")
+
+    def test_default_root_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_root() == tmp_path / "elsewhere"
+        assert ArtifactCache().root == tmp_path / "elsewhere"
+
+
+class TestTablePersistence:
+    def _table(self):
+        return SessionTable(
+            service_idx=np.array([0, 5, 13], dtype=np.int16),
+            bs_id=np.array([1, 2, 3]),
+            day=np.array([0, 0, 1]),
+            start_minute=np.array([10, 500, 1400]),
+            duration_s=np.array([12.5, 300.0, 60.0]),
+            volume_mb=np.array([0.5, 42.0, 7.25]),
+            truncated=np.array([False, True, False]),
+        )
+
+    def test_round_trip_is_exact(self, tmp_path):
+        path = tmp_path / "table.npz"
+        original = self._table()
+        save_table(path, original)
+        restored = load_table(path)
+        for column in SessionTable.COLUMNS:
+            assert np.array_equal(
+                getattr(restored, column), getattr(original, column)
+            )
+
+    def test_empty_table_round_trip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_table(path, SessionTable.empty())
+        assert len(load_table(path)) == 0
+
+    def test_unreadable_file_raises(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not an archive")
+        with pytest.raises(CacheError):
+            load_table(path)

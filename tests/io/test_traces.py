@@ -52,6 +52,28 @@ class TestRoundTrip:
         write_trace(SessionTable.empty(), path)
         assert len(read_trace(path)) == 0
 
+    def test_chunked_write_matches_single_chunk(self, tmp_path):
+        # The chunked streaming path must produce byte-identical files for
+        # any chunk size, including chunks smaller than the table.
+        whole = tmp_path / "whole.csv"
+        chunked = tmp_path / "chunked.csv"
+        write_trace(small_table(), whole)
+        assert write_trace(small_table(), chunked, chunk_rows=2) == 3
+        assert whole.read_bytes() == chunked.read_bytes()
+
+    def test_chunked_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_trace(small_table(), path, chunk_rows=1)
+        restored = read_trace(path)
+        original = small_table()
+        assert len(restored) == 3
+        assert np.array_equal(restored.service_idx, original.service_idx)
+        assert np.allclose(restored.volume_mb, original.volume_mb, rtol=1e-5)
+
+    def test_invalid_chunk_size_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            write_trace(small_table(), tmp_path / "x.csv", chunk_rows=0)
+
     def test_campaign_subset_round_trip(self, campaign, tmp_path):
         sub = campaign.select(campaign.bs_id == 0)
         path = tmp_path / "bs0.csv.gz"

@@ -1,0 +1,114 @@
+"""Tests for seed streams and the run context."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.context import (
+    MAX_ROOT_SEED,
+    RunContext,
+    SeedStreamError,
+    coerce_root_seed,
+    stream_rng,
+    stream_seed,
+)
+
+
+class TestStreamSeed:
+    def test_equal_keys_equal_streams(self):
+        a = stream_rng(7, "bs-day", 3, 12).integers(0, 1 << 30, 8)
+        b = stream_rng(7, "bs-day", 3, 12).integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = stream_rng(7, "bs-day", 3, 12).integers(0, 1 << 30, 8)
+        b = stream_rng(7, "bs-day", 3, 13).integers(0, 1 << 30, 8)
+        c = stream_rng(7, "bs-day", 4, 12).integers(0, 1 << 30, 8)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_different_roots_differ(self):
+        a = stream_rng(7, "network").integers(0, 1 << 30, 8)
+        b = stream_rng(8, "network").integers(0, 1 << 30, 8)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_is_irrelevant(self):
+        # Materializing streams in any order yields the same draws: the
+        # stream depends only on (root, key), never on spawn history.
+        forward = [stream_rng(5, "u", i).integers(0, 1 << 30) for i in range(6)]
+        backward = [
+            stream_rng(5, "u", i).integers(0, 1 << 30)
+            for i in reversed(range(6))
+        ]
+        assert forward == backward[::-1]
+
+    def test_string_words_are_stable(self):
+        # Pinned values: string key elements must hash identically across
+        # processes, platforms and Python versions (SHA-256, not hash()).
+        seq = stream_seed(0, "bs-day", 1)
+        assert seq.spawn_key == (8989963400969191037, 1)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SeedStreamError):
+            stream_seed(0)
+
+    def test_negative_int_key_rejected(self):
+        with pytest.raises(SeedStreamError):
+            stream_seed(0, -1)
+
+    def test_non_int_non_str_key_rejected(self):
+        with pytest.raises(SeedStreamError):
+            stream_seed(0, 1.5)
+        with pytest.raises(SeedStreamError):
+            stream_seed(0, True)
+
+
+class TestCoerceRootSeed:
+    def test_int_passthrough(self):
+        assert coerce_root_seed(42) == 42
+        assert coerce_root_seed(np.int64(42)) == 42
+
+    def test_generator_twins_draw_same_root(self):
+        a = coerce_root_seed(np.random.default_rng(3))
+        b = coerce_root_seed(np.random.default_rng(3))
+        assert a == b
+        assert 0 <= a < MAX_ROOT_SEED
+
+    def test_negative_rejected(self):
+        with pytest.raises(SeedStreamError):
+            coerce_root_seed(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(SeedStreamError):
+            coerce_root_seed(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(SeedStreamError):
+            coerce_root_seed("seed")
+
+
+class TestRunContext:
+    def test_rng_matches_stream_rng(self):
+        ctx = RunContext(seed=11)
+        a = ctx.rng("network").integers(0, 1 << 30, 4)
+        b = stream_rng(11, "network").integers(0, 1 << 30, 4)
+        assert np.array_equal(a, b)
+
+    def test_seed_sequence_key(self):
+        ctx = RunContext(seed=11)
+        assert ctx.seed_sequence("a", 2).spawn_key == stream_seed(
+            11, "a", 2
+        ).spawn_key
+
+    def test_executor_matches_jobs(self):
+        from repro.pipeline.executors import ParallelExecutor, SerialExecutor
+
+        assert isinstance(RunContext(seed=0).executor(), SerialExecutor)
+        with RunContext(seed=0, jobs=2).executor() as executor:
+            assert isinstance(executor, ParallelExecutor)
+            assert executor.jobs == 2
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(SeedStreamError):
+            RunContext(seed=-1)
+        with pytest.raises(SeedStreamError):
+            RunContext(seed=0, jobs=0)

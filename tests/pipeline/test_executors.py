@@ -1,0 +1,70 @@
+"""Tests for the serial and process-pool executors."""
+
+import pytest
+
+from repro.pipeline.executors import (
+    ExecutorError,
+    ParallelExecutor,
+    SerialExecutor,
+    default_jobs,
+    make_executor,
+)
+
+
+def _square(x):
+    """Module-level work function (picklable for the process pool)."""
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_map_empty(self):
+        assert SerialExecutor().map(_square, []) == []
+
+    def test_context_manager_is_noop(self):
+        with SerialExecutor() as executor:
+            assert executor.jobs == 1
+        executor.close()  # idempotent
+
+
+class TestParallelExecutor:
+    def test_map_matches_serial(self):
+        items = list(range(20))
+        expected = SerialExecutor().map(_square, items)
+        with ParallelExecutor(jobs=2) as executor:
+            assert executor.map(_square, items) == expected
+
+    def test_map_empty_without_spawning_pool(self):
+        executor = ParallelExecutor(jobs=2)
+        assert executor.map(_square, []) == []
+        assert executor._pool is None  # lazy: no workers for empty input
+
+    def test_close_reaps_pool(self):
+        executor = ParallelExecutor(jobs=2)
+        executor.map(_square, [1, 2, 3])
+        assert executor._pool is not None
+        executor.close()
+        assert executor._pool is None
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ExecutorError):
+            ParallelExecutor(jobs=0)
+
+
+class TestMakeExecutor:
+    def test_one_job_is_serial(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_many_jobs_is_parallel(self):
+        executor = make_executor(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 3
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ExecutorError):
+            make_executor(0)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1

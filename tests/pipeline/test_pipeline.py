@@ -1,0 +1,168 @@
+"""Tests for stage wiring, execution and artifact caching."""
+
+import json
+
+import pytest
+
+from repro.io.cache import ArtifactCache
+from repro.pipeline.context import RunContext
+from repro.pipeline.stages import (
+    ArtifactSpec,
+    Pipeline,
+    PipelineError,
+    Stage,
+)
+
+
+def _const_stage(name, value, requires=(), spec=None):
+    """A stage producing a fixed value under its own name."""
+    return Stage(
+        name=name,
+        produces=name,
+        fn=lambda ctx, artifacts: value,
+        requires=tuple(requires),
+        spec=spec,
+    )
+
+
+def _json_spec(key_parts):
+    """Artifact spec persisting a JSON-able value."""
+    return ArtifactSpec(
+        kind="testkind",
+        suffix=".json",
+        save=lambda path, value: path.write_text(json.dumps(value)),
+        load=lambda path: json.loads(path.read_text()),
+        key_parts=key_parts,
+    )
+
+
+class TestWiring:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(PipelineError):
+            Pipeline([])
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(PipelineError):
+            Pipeline([_const_stage("a", 1), _const_stage("a", 2)])
+
+    def test_unsatisfiable_requirement_rejected(self):
+        with pytest.raises(PipelineError, match="requires"):
+            Pipeline([_const_stage("a", 1, requires=("missing",))])
+
+    def test_requirement_from_declared_input_accepted(self):
+        pipeline = Pipeline(
+            [_const_stage("a", 1, requires=("seeded",))], inputs=("seeded",)
+        )
+        run = pipeline.run(RunContext(seed=0), initial={"seeded": 9})
+        assert run.artifact("a") == 1
+
+    def test_double_produce_rejected(self):
+        stage_b = Stage(name="b", produces="a", fn=lambda ctx, artifacts: 2)
+        with pytest.raises(PipelineError, match="produced twice"):
+            Pipeline([_const_stage("a", 1), stage_b])
+
+    def test_missing_initial_input_rejected(self):
+        pipeline = Pipeline([_const_stage("a", 1)], inputs=("seeded",))
+        with pytest.raises(PipelineError, match="missing initial"):
+            pipeline.run(RunContext(seed=0))
+
+
+class TestExecution:
+    def test_stages_see_prior_artifacts(self):
+        double = Stage(
+            name="double",
+            produces="doubled",
+            fn=lambda ctx, artifacts: artifacts["base"] * 2,
+            requires=("base",),
+        )
+        run = Pipeline([_const_stage("base", 21), double]).run(
+            RunContext(seed=0)
+        )
+        assert run.artifact("doubled") == 42
+
+    def test_stage_sees_run_context(self):
+        seeded = Stage(
+            name="seeded",
+            produces="value",
+            fn=lambda ctx, artifacts: int(ctx.rng("x").integers(0, 1 << 30)),
+        )
+        a = Pipeline([seeded]).run(RunContext(seed=5)).artifact("value")
+        b = Pipeline([seeded]).run(RunContext(seed=5)).artifact("value")
+        assert a == b
+
+    def test_events_and_observer(self):
+        seen = []
+        run = Pipeline([_const_stage("a", 1), _const_stage("b", 2)]).run(
+            RunContext(seed=0), observer=seen.append
+        )
+        assert [e.stage for e in run.events] == ["a", "b"]
+        assert seen == run.events
+        assert run.event("a").status == "computed"
+        assert "computed" in run.event("a").describe()
+
+    def test_unknown_artifact_and_event_raise(self):
+        run = Pipeline([_const_stage("a", 1)]).run(RunContext(seed=0))
+        with pytest.raises(PipelineError):
+            run.artifact("nope")
+        with pytest.raises(PipelineError):
+            run.event("nope")
+
+
+class TestCaching:
+    def _counting_stage(self, calls, spec):
+        def fn(ctx, artifacts):
+            calls.append(1)
+            return {"seed": ctx.seed, "n": len(calls)}
+
+        return Stage(name="work", produces="work", fn=fn, spec=spec)
+
+    def test_second_run_hits_cache(self, tmp_path):
+        calls = []
+        spec = _json_spec(lambda ctx, artifacts: {"seed": ctx.seed})
+        pipeline = Pipeline([self._counting_stage(calls, spec)])
+        ctx = RunContext(seed=3, cache=ArtifactCache(tmp_path))
+
+        first = pipeline.run(ctx)
+        second = pipeline.run(ctx)
+        assert len(calls) == 1  # stage body ran once
+        assert first.event("work").status == "computed"
+        assert second.event("work").status == "cached"
+        assert second.event("work").key == first.event("work").key
+        assert "cache hit" in second.event("work").describe()
+        assert second.artifact("work") == first.artifact("work")
+
+    def test_key_change_misses(self, tmp_path):
+        calls = []
+        spec = _json_spec(lambda ctx, artifacts: {"seed": ctx.seed})
+        pipeline = Pipeline([self._counting_stage(calls, spec)])
+        cache = ArtifactCache(tmp_path)
+
+        pipeline.run(RunContext(seed=3, cache=cache))
+        pipeline.run(RunContext(seed=4, cache=cache))
+        assert len(calls) == 2  # different seed, different key
+
+    def test_corrupt_entry_recomputed_and_overwritten(self, tmp_path):
+        calls = []
+        spec = _json_spec(lambda ctx, artifacts: {"seed": ctx.seed})
+        pipeline = Pipeline([self._counting_stage(calls, spec)])
+        cache = ArtifactCache(tmp_path)
+        ctx = RunContext(seed=3, cache=cache)
+
+        first = pipeline.run(ctx)
+        key = first.event("work").key
+        cache.path_for("testkind", key, ".json").write_text("not json {")
+
+        second = pipeline.run(ctx)
+        assert len(calls) == 2  # recomputed, not crashed
+        assert second.event("work").status == "computed"
+        # The broken artifact was overwritten; a third run hits again.
+        assert pipeline.run(ctx).event("work").status == "cached"
+
+    def test_no_cache_always_computes(self, tmp_path):
+        calls = []
+        spec = _json_spec(lambda ctx, artifacts: {"seed": ctx.seed})
+        pipeline = Pipeline([self._counting_stage(calls, spec)])
+
+        pipeline.run(RunContext(seed=3))
+        pipeline.run(RunContext(seed=3))
+        assert len(calls) == 2

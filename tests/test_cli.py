@@ -5,6 +5,18 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path_factory, monkeypatch):
+    """Point the artifact cache at a per-test directory.
+
+    The cache is on by default, so without this every CLI test would write
+    ``.repro-cache`` into the working directory and later tests could hit
+    artifacts cached by earlier ones.
+    """
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+
+
 class TestCli:
     def test_simulate_prints_summary(self, capsys):
         assert main(["--seed", "1", "simulate", "--bs", "10", "--days", "1"]) == 0
@@ -75,6 +87,60 @@ class TestValidate:
         out = capsys.readouterr().out
         assert code == 1
         assert "verdict: FAILED" in out
+
+
+class TestPipelineFlags:
+    def test_fit_jobs_byte_identical(self, tmp_path, capsys):
+        """``--jobs N`` must not change the fitted release at all."""
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        base = ["--seed", "5", "fit", "--bs", "10", "--days", "1", "--no-cache"]
+        assert main(base + ["--jobs", "1", "--output", str(serial)]) == 0
+        assert main(base + ["--jobs", "2", "--output", str(parallel)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_validate_second_run_hits_cache(self, capsys):
+        args = ["--seed", "6", "validate", "--bs", "10", "--days", "1"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "simulate: computed" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "simulate: cache hit" in second
+
+    def test_no_cache_disables_reuse(self, capsys):
+        args = ["--seed", "6", "validate", "--bs", "10", "--days", "1",
+                "--no-cache"]
+        main(args)
+        main(args)
+        out = capsys.readouterr().out
+        assert "cache hit" not in out
+
+    def test_cache_dir_flag_overrides_env(self, tmp_path, capsys):
+        cache_dir = tmp_path / "explicit-cache"
+        args = ["--seed", "6", "validate", "--bs", "10", "--days", "1",
+                "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert (cache_dir / "campaign").exists()
+
+    def test_simulate_with_jobs_matches_serial(self, capsys):
+        base = ["--seed", "7", "simulate", "--bs", "10", "--days", "1",
+                "--no-cache"]
+        main(base + ["--jobs", "1"])
+        serial = capsys.readouterr().out
+        main(base + ["--jobs", "2"])
+        parallel = capsys.readouterr().out
+        # Identical session counts and service table, stage timings aside.
+        def summary(out):
+            return [
+                line for line in out.splitlines()
+                if not line.startswith("[pipeline]")
+            ]
+
+        assert summary(serial) == summary(parallel)
+        assert "sessions:" in serial
 
 
 class TestTraceFlags:

@@ -96,6 +96,15 @@ class TestSeedDeterminism:
         tb = simulate(network, config, np.random.default_rng(5))
         assert np.array_equal(ta.volume_mb, tb.volume_mb)
 
+    def test_simulation_int_seed(self, network):
+        # An explicit integer root seed is a first-class entry point (the
+        # CLI uses it so cache keys stay stable).
+        config = SimulationConfig(n_days=1)
+        ta = simulate(network, config, 7)
+        tb = simulate(network, config, 7)
+        assert np.array_equal(ta.volume_mb, tb.volume_mb)
+        assert np.array_equal(ta.bs_id, tb.bs_id)
+
     def test_use_case_experiment_determinism(self, campaign):
         from repro.usecases.vran import VranScenario, VranTopology as VT
         from repro.usecases.vran import run_vran_experiment
@@ -112,3 +121,79 @@ class TestSeedDeterminism:
         assert np.array_equal(
             out_a.traces["model"].power_w, out_b.traces["model"].power_w
         )
+
+
+class TestOrderIndependence:
+    """Campaign output must not depend on unit order or worker count.
+
+    Each (day, BS) work unit draws from its own spawned seed stream, so
+    running units in any order — or across any number of processes — must
+    reassemble into the exact same campaign table.
+    """
+
+    def test_permuted_unit_order(self, network):
+        from repro.dataset.simulator import (
+            campaign_units,
+            decile_peer_map,
+            simulate_bs_day,
+            unit_seed,
+        )
+
+        config = SimulationConfig(n_days=2)
+        root_seed = 7
+        reference = simulate(network, config, root_seed)
+
+        units = campaign_units(network, config)
+        peers = decile_peer_map(network)
+        shuffled = list(units)
+        np.random.default_rng(99).shuffle(shuffled)
+        pieces = {}
+        for day, bs_id in shuffled:
+            station = network.station(bs_id)
+            rng = np.random.default_rng(unit_seed(root_seed, day, bs_id))
+            pieces[(day, bs_id)] = simulate_bs_day(
+                station, day, config, peers[station.decile], rng
+            )
+        # Reassemble in canonical order: identical to the one-shot run.
+        from repro.dataset.records import SessionTable
+
+        reassembled = SessionTable.concatenate(
+            [pieces[unit] for unit in units]
+        )
+        assert len(reassembled) == len(reference)
+        assert np.array_equal(reassembled.volume_mb, reference.volume_mb)
+        assert np.array_equal(reassembled.bs_id, reference.bs_id)
+        assert np.array_equal(reassembled.service_idx, reference.service_idx)
+
+    def test_serial_vs_parallel_simulation(self, network):
+        from repro.pipeline import make_executor
+
+        config = SimulationConfig(n_days=1)
+        serial = simulate(network, config, 7)
+        with make_executor(2) as executor:
+            parallel = simulate(network, config, 7, executor=executor)
+        assert len(serial) == len(parallel)
+        assert np.array_equal(serial.volume_mb, parallel.volume_mb)
+        assert np.array_equal(serial.duration_s, parallel.duration_s)
+        assert np.array_equal(serial.bs_id, parallel.bs_id)
+
+    def test_serial_vs_parallel_streaming(self, network):
+        from repro.dataset.streaming import simulate_aggregated
+        from repro.pipeline import make_executor
+
+        config = SimulationConfig(n_days=1)
+        serial = simulate_aggregated(network, config, 7)
+        with make_executor(2) as executor:
+            parallel = simulate_aggregated(network, config, 7, executor=executor)
+        assert serial.n_sessions == parallel.n_sessions
+        assert np.array_equal(serial._traffic_mb, parallel._traffic_mb)
+
+    def test_parallel_fit_matches_serial(self, campaign):
+        from repro.pipeline import make_executor
+
+        serial = ModelBank.fit_from_table(campaign, services=["Facebook"])
+        with make_executor(2) as executor:
+            parallel = ModelBank.fit_from_table(
+                campaign, services=["Facebook"], executor=executor
+            )
+        assert serial.to_json() == parallel.to_json()

@@ -50,6 +50,74 @@ class TestHandoverChains:
         assert len(zero_chain) == len(disabled)
 
 
+class TestHandoverEdges:
+    """Controlled-input checks on the handover kernel itself."""
+
+    def _serve(self, config, start_minute, volumes, durations, dwells):
+        from repro.dataset.simulator import _serve_at_bs
+
+        n = len(volumes)
+        return _serve_at_bs(
+            bs_id=0,
+            day=0,
+            start_minute=np.asarray(start_minute, dtype=int),
+            service_idx=np.zeros(n, dtype=int),
+            volumes=np.asarray(volumes, dtype=float),
+            durations=np.asarray(durations, dtype=float),
+            dwells=np.asarray(dwells, dtype=float),
+            rng=np.random.default_rng(0),
+            config=config,
+            peers=np.array([1]),
+            chain_depth=0,
+        )
+
+    def test_continuation_lands_at_peer(self):
+        config = SimulationConfig(n_days=1)
+        # One long, heavy session cut after 10 minutes: remainder continues.
+        table = self._serve(config, [100], [500.0], [3600.0], [600.0])
+        assert len(table) >= 2
+        assert table.bs_id[0] == 0
+        assert set(table.bs_id[1:]) == {1}
+        assert bool(table.truncated[0])
+
+    def test_zero_chain_cap_blocks_viable_continuation(self):
+        config = SimulationConfig(n_days=1, max_handover_chain=0)
+        table = self._serve(config, [100], [500.0], [3600.0], [600.0])
+        assert len(table) == 1
+        assert bool(table.truncated[0])
+
+    def test_past_midnight_continuation_dropped(self):
+        config = SimulationConfig(n_days=1)
+        # Cut after a 10-minute dwell starting at 23:55: the continuation
+        # would begin at minute 1445 of the day, so the probe never sees it.
+        table = self._serve(config, [1435], [500.0], [3600.0], [600.0])
+        assert len(table) == 1
+        # Same session starting at midnight does continue.
+        early = self._serve(config, [0], [500.0], [3600.0], [600.0])
+        assert len(early) >= 2
+        assert early.start_minute[1] == 10
+
+    def test_observed_volume_clipped_to_floor(self):
+        from repro.dataset.simulator import MIN_OBSERVED_VOLUME_MB
+
+        config = SimulationConfig(n_days=1)
+        # A near-empty session cut almost immediately: the probe still
+        # records the 100-byte floor, and the sub-floor remainder dies.
+        table = self._serve(config, [10], [1e-8], [7200.0], [5.0])
+        assert len(table) == 1
+        assert table.volume_mb[0] == MIN_OBSERVED_VOLUME_MB
+        assert np.all(table.volume_mb >= MIN_OBSERVED_VOLUME_MB)
+        assert np.all(table.duration_s >= 1.0)
+
+    def test_untruncated_sessions_never_continue(self):
+        config = SimulationConfig(n_days=1)
+        # Dwell longer than the session: no truncation, no continuation.
+        table = self._serve(config, [100], [5.0], [60.0], [600.0])
+        assert len(table) == 1
+        assert not bool(table.truncated[0])
+        assert table.duration_s[0] == 60.0
+
+
 # ----------------------------------------------------------------------
 # Volume model corner cases
 # ----------------------------------------------------------------------
