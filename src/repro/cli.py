@@ -12,6 +12,9 @@ independent per-(day, BS) seed-stream work units:
   session-level traffic from the models;
 * ``repro-traffic validate`` — check a campaign (simulated and cached, or
   an exported trace) against the paper's stylized facts;
+* ``repro-traffic verify`` — run the statistical fidelity gate: simulate
+  the baseline campaign, measure the paper's headline statistics and judge
+  them against the golden tolerance bands (exit 1 on any breach);
 * ``repro-traffic reproduce`` — regenerate a paper artefact at laptop
   scale.
 
@@ -107,6 +110,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="number of base stations when simulating (no --trace)",
     )
     _add_run_flags(val)
+
+    ver = sub.add_parser(
+        "verify", help="run the statistical fidelity gate against the baseline"
+    )
+    ver.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON path (default: $REPRO_BASELINE or the "
+        "checked-in baselines/paper_claims.json)",
+    )
+    ver.add_argument(
+        "--report", default=None,
+        help="also write the machine-readable JSON report to this path",
+    )
+    ver.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline's informational 'observed' values from "
+        "this run (tolerance bands are never touched)",
+    )
+    _add_run_flags(ver)
 
     rep = sub.add_parser(
         "reproduce", help="reproduce a paper experiment at laptop scale"
@@ -247,6 +269,41 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .io.tables import print_table
+    from .verify import Baseline, default_baseline_path, run_verification
+
+    ctx = _make_context(args)
+    path = (
+        args.baseline if args.baseline is not None else default_baseline_path()
+    )
+    baseline = Baseline.load(path)
+    report, _run = run_verification(ctx, baseline=baseline, observer=_print_event)
+    report.meta["baseline"] = str(path)
+    print_table(
+        ["claim", "value", "lo", "hi", "verdict"],
+        [
+            [r.claim, r.value, r.lo, r.hi, "pass" if r.passed else "FAIL"]
+            for r in report.results
+        ],
+        title=f"Fidelity gate (seed {ctx.seed}, baseline {path})",
+    )
+    summary = report.summary()
+    print(
+        f"claims: {summary['claims']}  checks: {summary['checks']}  "
+        f"failed: {summary['failed']}"
+    )
+    print("verdict:", summary["verdict"])
+    if args.report:
+        report.write(args.report)
+        print(f"report: {args.report}")
+    if args.update_baseline:
+        measured = {r.statistic: r.value for r in report.results}
+        baseline.with_observed(measured).save(path)
+        print(f"baseline observations refreshed: {path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .dataset.network import Network, NetworkConfig
     from .dataset.simulator import SimulationConfig, simulate
@@ -337,6 +394,7 @@ def main(argv: list[str] | None = None) -> int:
         "fit": _cmd_fit,
         "generate": _cmd_generate,
         "validate": _cmd_validate,
+        "verify": _cmd_verify,
         "reproduce": _cmd_reproduce,
     }
     return handlers[args.command](args)

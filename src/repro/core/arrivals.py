@@ -186,22 +186,68 @@ def arrival_fit_error(
     return float(np.abs(np.cumsum(empirical - modelled)).sum())
 
 
-def fit_decile_arrival_models(table, network, n_days: int) -> dict[int, ArrivalModel]:
-    """Fit one arrival model per BS load decile from a campaign.
+@dataclass(frozen=True)
+class DecileArrivalFit:
+    """One decile's fitted arrival model plus its fit diagnostics.
+
+    Attributes
+    ----------
+    decile:
+        BS load decile index (0..9).
+    model:
+        The fitted bi-modal :class:`ArrivalModel`.
+    emd:
+        Earth-mover distance (sessions/minute) between the pooled measured
+        per-minute counts and the model-implied PMF — the Fig 3
+        goodness-of-fit number.
+    n_minutes:
+        Number of pooled per-minute count samples backing the fit.
+    """
+
+    decile: int
+    model: ArrivalModel
+    emd: float
+    n_minutes: int
+
+
+def fit_decile_arrivals_diagnosed(
+    table, network, n_days: int
+) -> dict[int, DecileArrivalFit]:
+    """Fit one arrival model per BS load decile, with fit diagnostics.
 
     This is the Fig 3 fitting loop as a reusable helper: per decile, the
-    per-minute counts of all its BSs over all days are pooled and fitted.
-    Returns a dict keyed by decile index (0..9).
+    per-minute counts of all its BSs over all days are pooled and fitted,
+    and the fit's EMD against the pooled counts is recorded alongside the
+    model.  Returns a dict keyed by decile index (0..9).
     """
     from ..dataset.aggregation import minute_arrival_counts
 
-    models: dict[int, ArrivalModel] = {}
+    fits: dict[int, DecileArrivalFit] = {}
     for decile in range(10):
         bs_ids = network.bs_ids_in_decile(decile)
         if not bs_ids:
             continue
         counts = minute_arrival_counts(table, bs_ids, n_days)
-        models[decile] = fit_arrival_model_from_days(
-            counts.reshape(len(bs_ids) * n_days, MINUTES_PER_DAY)
+        flat = counts.reshape(len(bs_ids) * n_days, MINUTES_PER_DAY)
+        model = fit_arrival_model_from_days(flat)
+        fits[decile] = DecileArrivalFit(
+            decile=decile,
+            model=model,
+            emd=arrival_fit_error(flat.ravel().astype(np.int64), model),
+            n_minutes=int(flat.size),
         )
-    return models
+    return fits
+
+
+def fit_decile_arrival_models(table, network, n_days: int) -> dict[int, ArrivalModel]:
+    """Fit one arrival model per BS load decile from a campaign.
+
+    Bare-model view of :func:`fit_decile_arrivals_diagnosed`, kept for
+    callers that only need the sampled-from models (e.g. the release file).
+    """
+    return {
+        decile: fit.model
+        for decile, fit in fit_decile_arrivals_diagnosed(
+            table, network, n_days
+        ).items()
+    }

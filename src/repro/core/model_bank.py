@@ -17,7 +17,12 @@ from ..dataset.aggregation import pooled_duration_volume, pooled_volume_pdf
 from ..dataset.records import SERVICE_NAMES, SessionTable
 from .duration_model import DurationModelError
 from .service_mix import ServiceMix
-from .service_model import ServiceModelError, SessionLevelModel, fit_service_model
+from .service_model import (
+    FitDiagnostics,
+    ServiceModelError,
+    SessionLevelModel,
+    fit_service_model,
+)
 
 #: Minimum number of sessions a service needs in the campaign for a
 #: trustworthy fit; services below it are skipped with a warning entry.
@@ -78,6 +83,18 @@ class ModelBank:
     def services(self) -> list[str]:
         """Names of the modelled services, in catalog order."""
         return [name for name in SERVICE_NAMES if name in self._models]
+
+    def diagnostics(self) -> dict[str, FitDiagnostics]:
+        """Fit diagnostics of every service fitted with them recorded.
+
+        Models loaded from releases predating the diagnostics field are
+        simply absent from the mapping.
+        """
+        return {
+            name: model.diagnostics
+            for name, model in self._models.items()
+            if model.diagnostics is not None
+        }
 
     # ------------------------------------------------------------------
     @classmethod

@@ -18,8 +18,10 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
@@ -36,6 +38,9 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Bump when a cached artifact's on-disk format changes incompatibly.
 CACHE_FORMAT_VERSION = 1
+
+#: Monotonic counter making concurrent same-process writes collision-free.
+_TMP_COUNTER = itertools.count()
 
 
 class CacheError(ValueError):
@@ -120,17 +125,22 @@ class ArtifactCache:
 
         ``save`` writes to a temporary path; the file is renamed into place
         only after the write completed, so concurrent or crashed runs never
-        expose partial artifacts.
+        expose partial artifacts.  The temporary name is unique per process,
+        thread *and* store call, so concurrent writers of the same key never
+        step on each other's half-written file — the last rename wins and
+        every intermediate state of the final path is a complete artifact.
         """
         final = self.path_for(kind, key, suffix)
         final.parent.mkdir(parents=True, exist_ok=True)
-        tmp = final.with_name(f".tmp-{os.getpid()}-{final.name}")
+        tmp = final.with_name(
+            f".tmp-{os.getpid()}-{threading.get_ident()}-"
+            f"{next(_TMP_COUNTER)}-{final.name}"
+        )
         try:
             save(tmp)
             os.replace(tmp, final)
         finally:
-            if tmp.exists():
-                tmp.unlink()
+            tmp.unlink(missing_ok=True)
         return final
 
     def fetch(
@@ -160,7 +170,14 @@ def save_table(path: str | Path, table: "SessionTable") -> None:
 
 
 def load_table(path: str | Path) -> "SessionTable":
-    """Inverse of :func:`save_table`."""
+    """Inverse of :func:`save_table`.
+
+    Any way the archive can be broken — truncated zip, missing columns,
+    arrays that fail :class:`SessionTable` validation — surfaces as
+    :class:`CacheError`, so callers have a single corruption signal.
+    """
+    import zipfile
+
     from ..dataset.records import SessionTable
 
     try:
@@ -168,5 +185,5 @@ def load_table(path: str | Path) -> "SessionTable":
             return SessionTable(
                 *(archive[col] for col in SessionTable.COLUMNS)
             )
-    except (OSError, KeyError, ValueError) as exc:
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile, EOFError) as exc:
         raise CacheError(f"cannot read session table at {path}: {exc}") from exc

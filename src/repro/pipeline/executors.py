@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -24,6 +25,52 @@ R = TypeVar("R")
 
 class ExecutorError(RuntimeError):
     """Raised on invalid executor configuration."""
+
+
+class WorkerError(ExecutorError):
+    """One work unit failed inside a worker process.
+
+    The original exception's type, message and full traceback (captured in
+    the worker) are embedded in the error text, and the failing unit is
+    identified by its input-order index — so a failing fan-out stage reports
+    the *same* unit with the *same* traceback on every run, no matter how
+    the pool scheduled the work.
+
+    Attributes
+    ----------
+    item_index:
+        Input-order index of the failing work item.
+    worker_traceback:
+        The traceback formatted inside the worker process.
+    """
+
+    def __init__(self, item_index: int, worker_traceback: str):
+        self.item_index = item_index
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"work item #{item_index} failed in a worker process; "
+            f"original worker traceback:\n{worker_traceback}"
+        )
+
+
+class _CapturedCall:
+    """Picklable wrapper running one unit and capturing any exception.
+
+    Returns ``(True, result)`` on success and ``(False, formatted
+    traceback)`` on failure — strings survive pickling even when the
+    original exception object would not, so a failing unit can never break
+    the pool itself.
+    """
+
+    def __init__(self, fn: Callable[[T], R]):
+        self.fn = fn
+
+    def __call__(self, item: T) -> tuple[bool, object]:
+        """Run the wrapped function, trading exceptions for markers."""
+        try:
+            return True, self.fn(item)
+        except Exception:
+            return False, traceback.format_exc()
 
 
 class SerialExecutor:
@@ -72,16 +119,29 @@ class ParallelExecutor:
         return self._pool
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        """Apply ``fn`` to every item across the pool, preserving order."""
+        """Apply ``fn`` to every item across the pool, preserving order.
+
+        A unit that raises does not abort the others mid-flight or tear the
+        pool down: every unit runs, and the failure of the *first* failing
+        item (in input order) is then re-raised as :class:`WorkerError`
+        carrying the original worker traceback — deterministic regardless of
+        worker scheduling.
+        """
         materialized: Sequence[T] = list(items)
         if not materialized:
             return []
         # A handful of chunks per worker balances pickling overhead against
         # load imbalance from heterogeneous unit costs (busy vs. quiet BSs).
         chunksize = max(1, math.ceil(len(materialized) / (self.jobs * 4)))
-        return list(
-            self._ensure_pool().map(fn, materialized, chunksize=chunksize)
+        outcomes = list(
+            self._ensure_pool().map(
+                _CapturedCall(fn), materialized, chunksize=chunksize
+            )
         )
+        for index, (ok, value) in enumerate(outcomes):
+            if not ok:
+                raise WorkerError(index, str(value))
+        return [value for _, value in outcomes]
 
     def close(self) -> None:
         """Shut the pool down and reap the worker processes."""

@@ -70,6 +70,12 @@ class Stage:
         Artifact names the stage consumes; checked before the body runs.
     spec:
         Optional :class:`ArtifactSpec` enabling caching of the product.
+    summarize:
+        Optional ``summarize(value) -> mapping`` turning the stage's product
+        into a small JSON-able payload attached to the emitted
+        :class:`StageEvent` (on cache hits too) — how result-bearing stages
+        such as the fidelity gate surface their outcome through the event
+        mechanism.
     """
 
     name: str
@@ -77,23 +83,35 @@ class Stage:
     fn: Callable[[RunContext, dict[str, Any]], Any]
     requires: tuple[str, ...] = ()
     spec: ArtifactSpec | None = None
+    summarize: Callable[[Any], Mapping[str, Any]] | None = None
 
 
 @dataclass(frozen=True)
 class StageEvent:
-    """Outcome of one executed stage (for logs and cache introspection)."""
+    """Outcome of one executed stage (for logs and cache introspection).
+
+    ``payload`` carries the stage's machine-readable summary (built by the
+    stage's ``summarize`` hook), so observers can stream structured results
+    — e.g. the fidelity gate's per-check verdict counts — without reaching
+    into the artifact namespace.
+    """
 
     stage: str
     status: str  # "computed" | "cached"
     seconds: float
     key: str | None = None
+    payload: Mapping[str, Any] | None = None
 
     def describe(self) -> str:
         """One-line human-readable rendering of the event."""
+        extra = ""
+        if self.payload:
+            parts = ", ".join(f"{k}={v}" for k, v in self.payload.items())
+            extra = f" [{parts}]"
         if self.status == "cached":
-            return f"{self.stage}: cache hit ({self.key})"
+            return f"{self.stage}: cache hit ({self.key}){extra}"
         suffix = f", key {self.key}" if self.key else ""
-        return f"{self.stage}: computed in {self.seconds:.2f}s{suffix}"
+        return f"{self.stage}: computed in {self.seconds:.2f}s{suffix}{extra}"
 
 
 @dataclass
@@ -199,7 +217,11 @@ class Pipeline:
                     pass
                 else:
                     seconds = time.perf_counter() - start
-                    return StageEvent(stage.name, "cached", seconds, key), value
+                    event = StageEvent(
+                        stage.name, "cached", seconds, key,
+                        payload=self._summarize(stage, value),
+                    )
+                    return event, value
         start = time.perf_counter()
         value = stage.fn(ctx, artifacts)
         seconds = time.perf_counter() - start
@@ -207,4 +229,14 @@ class Pipeline:
             ctx.cache.store(
                 spec.kind, key, spec.suffix, lambda path: spec.save(path, value)
             )
-        return StageEvent(stage.name, "computed", seconds, key), value
+        event = StageEvent(
+            stage.name, "computed", seconds, key,
+            payload=self._summarize(stage, value),
+        )
+        return event, value
+
+    @staticmethod
+    def _summarize(stage: Stage, value: Any) -> Mapping[str, Any] | None:
+        if stage.summarize is None:
+            return None
+        return dict(stage.summarize(value))

@@ -8,7 +8,10 @@ Builders for the named stages the CLI (and scripts) assemble into runs:
 * ``fit-models`` — per-service session-level model fitting fan-out;
 * ``fit-arrivals`` — per-decile bi-modal arrival model fitting;
 * ``read-trace`` — load a campaign from a CSV(.gz) trace instead;
-* ``validate`` — check a campaign against the paper's stylized facts.
+* ``validate`` — check a campaign against the paper's stylized facts;
+* ``verify`` — the statistical fidelity gate: measure the paper's headline
+  statistics on the run's artifacts and judge them against the golden
+  baseline of tolerance bands.
 
 Each builder closes over its scalar configuration and returns a
 :class:`~repro.pipeline.stages.Stage`; the cacheable ones declare the
@@ -122,6 +125,45 @@ def fit_arrivals_stage(n_days: int) -> Stage:
         produces="arrivals",
         requires=("campaign", "network"),
         fn=run,
+    )
+
+
+def verify_stage(baseline, n_days: int) -> Stage:
+    """Stage running the statistical fidelity gate on the run's artifacts.
+
+    Measures the paper's headline statistics (service ranking, volume and
+    duration model fidelity, arrival-process recovery, circadian structure)
+    on the campaign/network/bank artifacts and judges them against the
+    ``baseline`` tolerance bands.  The produced ``fidelity`` artifact is a
+    :class:`~repro.verify.report.FidelityReport`; its verdict counts are
+    surfaced through the stage-event payload, so observers see the outcome
+    without touching the artifact namespace.
+    """
+
+    def run(ctx, artifacts):
+        # Imported lazily: repro.verify's runner assembles pipelines from
+        # this module, so a module-level import would be circular.
+        from ..verify.checks import evaluate, measure_all
+
+        measured = measure_all(
+            artifacts["campaign"],
+            artifacts["network"],
+            artifacts["bank"],
+            n_days,
+            ctx.rng("verify"),
+        )
+        report = evaluate(measured, baseline)
+        report.meta.update(
+            {"seed": ctx.seed, "campaign": baseline.campaign.to_dict()}
+        )
+        return report
+
+    return Stage(
+        name="verify",
+        produces="fidelity",
+        requires=("campaign", "network", "bank"),
+        fn=run,
+        summarize=lambda report: report.summary(),
     )
 
 

@@ -1,0 +1,42 @@
+"""Statistical fidelity gate: regression-test the paper's claims end-to-end.
+
+This package turns the paper's headline quantitative results — the Fig 4
+exponential service ranking, the Section 5.2 volume-mixture fidelity, the
+Fig 10 duration–volume power laws, the Section 5.1 bi-modal arrival process
+and the Fig 3 circadian structure — into an executable gate: a small
+deterministic campaign is simulated through the standard pipeline, the
+statistics are measured on its artifacts, and each is judged against the
+tolerance bands of the checked-in golden baseline
+(``baselines/paper_claims.json``).
+
+Entry points: the ``repro-traffic verify`` CLI subcommand, the
+``pytest -m fidelity`` test marker, and :func:`run_verification` for
+programmatic use.
+"""
+
+from .baseline import (
+    Baseline,
+    BaselineError,
+    CampaignSpec,
+    ClaimBand,
+    default_baseline_path,
+)
+from .checks import CheckError, evaluate, measure_all
+from .report import CheckResult, FidelityReport, ReportError
+from .runner import run_verification, verify_pipeline
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "CampaignSpec",
+    "CheckError",
+    "CheckResult",
+    "ClaimBand",
+    "FidelityReport",
+    "ReportError",
+    "default_baseline_path",
+    "evaluate",
+    "measure_all",
+    "run_verification",
+    "verify_pipeline",
+]

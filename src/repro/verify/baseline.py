@@ -1,0 +1,222 @@
+"""Golden baseline of the paper's quantitative claims and their tolerances.
+
+The checked-in baseline (``baselines/paper_claims.json``) pins down, for
+every gated statistic: the paper provenance of the claim, the tolerance
+band ``[lo, hi]`` the statistic must stay inside, and the value observed
+when the baseline was last regenerated (informational — the *band* is what
+gates).  It also pins the campaign configuration the gate simulates, so the
+statistics are measured on exactly the population the bands were calibrated
+for.
+
+Bands are deliberately calibrated across several root seeds (see
+``docs/VALIDATION.md``): the gate must fail on genuine statistical drift,
+never on seed-to-seed noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Environment variable overriding the baseline file location.
+BASELINE_ENV = "REPRO_BASELINE"
+
+#: Repository-relative path of the checked-in golden baseline.
+DEFAULT_BASELINE_RELPATH = Path("baselines") / "paper_claims.json"
+
+
+class BaselineError(ValueError):
+    """Raised on missing or malformed baseline files."""
+
+
+@dataclass(frozen=True)
+class ClaimBand:
+    """Tolerance band of one gated statistic.
+
+    Attributes
+    ----------
+    lo / hi:
+        Inclusive bounds the measured statistic must fall within.
+    provenance:
+        The paper figure/table/section the claim reproduces.
+    observed:
+        The value measured when the baseline was last regenerated; kept for
+        context in reviews and reports, not used for gating.
+    """
+
+    lo: float
+    hi: float
+    provenance: str = ""
+    observed: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.lo <= self.hi:
+            raise BaselineError(
+                f"empty tolerance band [{self.lo}, {self.hi}]"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering of the band."""
+        payload: dict[str, Any] = {
+            "lo": self.lo,
+            "hi": self.hi,
+            "provenance": self.provenance,
+        }
+        if self.observed is not None:
+            payload["observed"] = self.observed
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ClaimBand":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            observed = payload.get("observed")
+            return cls(
+                lo=float(payload["lo"]),
+                hi=float(payload["hi"]),
+                provenance=str(payload.get("provenance", "")),
+                observed=None if observed is None else float(observed),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(f"malformed claim band: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The fixed small campaign the fidelity gate simulates.
+
+    The spec is part of the baseline because the tolerance bands are only
+    valid for the population they were calibrated on — changing the scale
+    requires recalibrating the bands.
+    """
+
+    n_bs: int = 20
+    n_days: int = 1
+    min_sessions: int = 300
+
+    def __post_init__(self) -> None:
+        if self.n_bs < 10 or self.n_days < 1 or self.min_sessions < 1:
+            raise BaselineError(
+                f"invalid campaign spec ({self.n_bs} BSs, {self.n_days} "
+                f"days, min {self.min_sessions} sessions)"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering of the spec."""
+        return {
+            "n_bs": self.n_bs,
+            "n_days": self.n_days,
+            "min_sessions": self.min_sessions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                n_bs=int(payload["n_bs"]),
+                n_days=int(payload["n_days"]),
+                min_sessions=int(payload["min_sessions"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(f"malformed campaign spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The full golden baseline: campaign spec plus one band per claim."""
+
+    campaign: CampaignSpec = field(default_factory=CampaignSpec)
+    claims: dict[str, ClaimBand] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.claims:
+            raise BaselineError("a baseline needs at least one claim")
+
+    def with_observed(self, measured: Mapping[str, float]) -> "Baseline":
+        """Copy of the baseline with refreshed ``observed`` values.
+
+        Only the informational observations change — the tolerance bands
+        themselves are never rewritten programmatically, so regenerating a
+        baseline cannot silently widen the gate.
+        """
+        unknown = sorted(set(measured) - set(self.claims))
+        if unknown:
+            raise BaselineError(f"measured unknown claims: {unknown}")
+        claims = {
+            key: (
+                replace(band, observed=float(measured[key]))
+                if key in measured
+                else band
+            )
+            for key, band in self.claims.items()
+        }
+        return Baseline(campaign=self.campaign, claims=claims)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering of the baseline."""
+        return {
+            "campaign": self.campaign.to_dict(),
+            "claims": {
+                key: band.to_dict() for key, band in self.claims.items()
+            },
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline as an indented JSON document."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Baseline":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            campaign = CampaignSpec.from_dict(payload["campaign"])
+            claims_payload = payload["claims"]
+            if not isinstance(claims_payload, Mapping):
+                raise BaselineError("'claims' must be an object")
+            claims = {
+                str(key): ClaimBand.from_dict(band)
+                for key, band in claims_payload.items()
+            }
+        except (KeyError, TypeError) as exc:
+            raise BaselineError(f"malformed baseline payload: {exc}") from exc
+        return cls(campaign=campaign, claims=claims)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline from a JSON file."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(
+                f"cannot read baseline at {path}: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+
+def default_baseline_path(start: str | Path | None = None) -> Path:
+    """Locate the golden baseline file.
+
+    Resolution order: the :data:`BASELINE_ENV` environment variable, then
+    ``baselines/paper_claims.json`` relative to ``start`` (default: the
+    working directory) and each of its parents — so the gate finds the
+    checked-in baseline from any subdirectory of the repository.
+    """
+    override = os.environ.get(BASELINE_ENV)
+    if override:
+        return Path(override)
+    base = Path(start) if start is not None else Path.cwd()
+    for directory in [base, *base.resolve().parents]:
+        candidate = directory / DEFAULT_BASELINE_RELPATH
+        if candidate.exists():
+            return candidate
+    raise BaselineError(
+        f"no {DEFAULT_BASELINE_RELPATH} found from {base} upward; pass an "
+        f"explicit path or set ${BASELINE_ENV}"
+    )

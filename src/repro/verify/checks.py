@@ -1,0 +1,255 @@
+"""Measurement of the paper's headline statistics on a simulated campaign.
+
+Each ``measure_*`` function computes one family of quantitative claims from
+the paper on the artifacts of a pipeline run (campaign table, BS network,
+fitted model bank) and returns scalar statistics keyed by *claim name* —
+the keys the golden baseline (:mod:`repro.verify.baseline`) attaches
+tolerance bands to.  :func:`evaluate` then turns measured statistics plus a
+baseline into a :class:`~repro.verify.report.FidelityReport`.
+
+The statistics and their provenance (see also ``docs/VALIDATION.md``):
+
+* ``rank-exponential-r2`` / ``top20-session-share`` — the negative
+  exponential service ranking of Fig 4 (paper: R² ≈ 0.97, top-20 ≈ 78 %);
+* ``modeled-services`` — the bank covers most of the 31-service catalog;
+* ``volume-emd`` / ``volume-emd-generated`` — Section 5.4 model quality:
+  EMD of each fitted mixture against the measured volume PDF, and against
+  a histogram of samples drawn back out of the model;
+* ``beta-*`` / ``powerlaw-r2-median`` — the Fig 10 duration–volume power
+  laws: exponents span [0.1, 1.8], video is super-linear, and the fits
+  recover the generator's ground-truth exponents;
+* ``arrival-*`` / ``pareto-shape-hill`` — the Section 5.1 bi-modal arrival
+  process: Gaussian ``mu`` and Pareto scale recovery per load decile, the
+  Fig 3 fit EMD, and a Hill estimate of the fixed Pareto shape 1.765;
+* ``circadian-day-night-ratio`` — the Fig 3 day/night bi-modality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .report import CheckResult, FidelityReport
+
+
+class CheckError(ValueError):
+    """Raised when a statistic cannot be measured on the given artifacts."""
+
+
+#: Number of top-ranked services whose volume models are EMD-checked.
+TOP_SERVICES = 10
+
+#: Sample count drawn from each volume model for the generated-sample EMD.
+N_GENERATED = 20_000
+
+#: Services this close to ``beta = 1`` are excluded from the linearity
+#: agreement statistic: their super/sub-linear class is not identifiable.
+BETA_LINEARITY_MARGIN = 0.15
+
+
+def measure_ranking(table) -> dict[str, float]:
+    """Fig 4 statistics: exponential-law R² and top-20 concentration."""
+    from ..analysis.ranking import (
+        fit_exponential_law,
+        rank_services,
+        top_k_session_fraction,
+    )
+
+    ranking = rank_services(table)
+    law = fit_exponential_law(ranking)
+    return {
+        "rank-exponential-r2": float(law.r2),
+        "top20-session-share": float(top_k_session_fraction(ranking, 20)),
+    }
+
+
+def measure_volume_models(
+    table, bank, rng: np.random.Generator
+) -> dict[str, float]:
+    """Section 5.2/5.4 statistics: per-service volume-model fidelity.
+
+    ``volume-emd`` is the worst model-vs-measured EMD among the
+    :data:`TOP_SERVICES` most popular modeled services, taken from the fit
+    diagnostics the bank records; ``volume-emd-generated`` closes the loop
+    generatively — histograms of :data:`N_GENERATED` samples drawn from each
+    model must EMD-match the model's own analytic PDF.
+    """
+    from ..analysis.emd import emd
+    from ..analysis.histogram import LogHistogram
+    from ..analysis.ranking import rank_services
+
+    top = [r.service for r in rank_services(table) if r.service in bank]
+    top = top[:TOP_SERVICES]
+    if not top:
+        raise CheckError("no ranked service has a fitted model")
+    diagnostics = bank.diagnostics()
+    missing = [name for name in top if name not in diagnostics]
+    if missing:
+        raise CheckError(f"models without fit diagnostics: {missing}")
+
+    generated_emds = []
+    for name in top:
+        model = bank.get(name).volume
+        samples = model.sample_volumes_mb(rng, N_GENERATED)
+        generated_emds.append(
+            emd(model.as_histogram(), LogHistogram.from_volumes(samples))
+        )
+    return {
+        "modeled-services": float(len(bank)),
+        "volume-emd": max(diagnostics[name].volume_emd for name in top),
+        "volume-emd-generated": float(max(generated_emds)),
+    }
+
+
+def measure_duration_models(bank) -> dict[str, float]:
+    """Fig 10 statistics: power-law exponent range, recovery, fit quality.
+
+    The generator's ground-truth exponents (:data:`repro.dataset.profiles.PROFILES`)
+    are known, so besides the paper's published range [0.1, 1.8] the gate
+    checks that fitting *recovers* them — absolute error and, for services
+    clearly away from ``beta = 1``, the super/sub-linear classification.
+    """
+    from ..dataset.profiles import PROFILES
+
+    betas = {name: bank.get(name).duration.beta for name in bank.services()}
+    r2s = [bank.get(name).duration.r2 for name in bank.services()]
+    if not betas:
+        raise CheckError("the bank holds no fitted duration models")
+    errors = [abs(betas[s] - PROFILES[s].beta) for s in betas]
+    classed = [
+        float(np.sign(betas[s] - 1.0) == np.sign(PROFILES[s].beta - 1.0))
+        for s in betas
+        if abs(PROFILES[s].beta - 1.0) > BETA_LINEARITY_MARGIN
+    ]
+    if not classed:
+        raise CheckError("no service is clearly super- or sub-linear")
+    return {
+        "beta-min": float(min(betas.values())),
+        "beta-max": float(max(betas.values())),
+        "beta-recovery-max-abs-error": float(max(errors)),
+        "beta-linearity-agreement": float(np.mean(classed)),
+        "powerlaw-r2-median": float(np.median(r2s)),
+    }
+
+
+def measure_arrivals(table, network, n_days: int) -> dict[str, float]:
+    """Section 5.1 / Fig 3 statistics: bi-modal arrival-model recovery.
+
+    Per load decile, the fitted daytime Gaussian mean and nighttime Pareto
+    scale are compared against the decile's ground-truth station parameters
+    (averaged over its jittered BSs); the fit EMD is the Fig 3 curve
+    distance.  The Pareto shape (fixed at 1.765) is re-estimated from the
+    pooled nighttime counts of the busiest decile with the Hill estimator —
+    biased low by the integer rounding of counts, hence the wide band in the
+    baseline.
+    """
+    from ..core.arrivals import fit_decile_arrivals_diagnosed
+    from ..dataset.aggregation import minute_arrival_counts
+    from ..dataset.circadian import MINUTES_PER_DAY, peak_minute_mask
+
+    fits = fit_decile_arrivals_diagnosed(table, network, n_days)
+    if not fits:
+        raise CheckError("no decile has any BS to fit arrivals from")
+    mu_errors, scale_errors, emds = [], [], []
+    for decile, fit in fits.items():
+        stations = [
+            network.station(i) for i in network.bs_ids_in_decile(decile)
+        ]
+        true_mu = float(np.mean([s.peak_rate for s in stations]))
+        true_scale = float(np.mean([s.night_scale for s in stations]))
+        mu_errors.append(abs(fit.model.peak_mu - true_mu) / true_mu)
+        scale_errors.append(
+            abs(fit.model.night_scale - true_scale) / true_scale
+        )
+        emds.append(fit.emd)
+
+    # Hill estimate of the Pareto shape from the busiest fitted decile.
+    busiest = max(fits)
+    ids = network.bs_ids_in_decile(busiest)
+    counts = minute_arrival_counts(table, ids, n_days).reshape(
+        len(ids) * n_days, MINUTES_PER_DAY
+    )
+    night = counts[:, ~peak_minute_mask()].ravel().astype(float)
+    scale = float(
+        np.mean([network.station(i).night_scale for i in ids])
+    )
+    tail = night[night >= scale]
+    if tail.size < 10:
+        raise CheckError("too few nighttime counts above the Pareto scale")
+    log_excess = float(np.sum(np.log(tail / scale)))
+    if log_excess <= 0:
+        raise CheckError("nighttime counts are degenerate at the scale")
+    return {
+        "arrival-peak-mu-max-rel-error": float(max(mu_errors)),
+        "arrival-night-scale-max-rel-error": float(max(scale_errors)),
+        "arrival-emd-max": float(max(emds)),
+        "pareto-shape-hill": float(tail.size / log_excess),
+    }
+
+
+def measure_circadian(table) -> dict[str, float]:
+    """Fig 3 bi-modality: arrival-rate ratio of the day and night phases."""
+    from ..dataset.circadian import MINUTES_PER_DAY, peak_minute_mask
+
+    if len(table) == 0:
+        raise CheckError("cannot measure circadian structure of no sessions")
+    per_minute = np.bincount(
+        np.asarray(table.start_minute), minlength=MINUTES_PER_DAY
+    )
+    mask = peak_minute_mask()
+    night_mean = float(per_minute[~mask].mean())
+    if night_mean <= 0:
+        raise CheckError("no nighttime arrivals at all")
+    return {
+        "circadian-day-night-ratio": float(per_minute[mask].mean())
+        / night_mean
+    }
+
+
+def measure_all(
+    table, network, bank, n_days: int, rng: np.random.Generator
+) -> dict[str, float]:
+    """Measure every gated statistic on one campaign's artifacts."""
+    measured: dict[str, float] = {}
+    measured.update(measure_ranking(table))
+    measured.update(measure_volume_models(table, bank, rng))
+    measured.update(measure_duration_models(bank))
+    measured.update(measure_arrivals(table, network, n_days))
+    measured.update(measure_circadian(table))
+    return measured
+
+
+def evaluate(measured: dict[str, float], baseline) -> FidelityReport:
+    """Judge measured statistics against a baseline's tolerance bands.
+
+    Every baseline claim must have been measured — a silently skipped claim
+    would let a regression of the measurement code itself pass the gate —
+    and every measured statistic must have a band, so new statistics cannot
+    ship ungated.  A non-finite measurement always fails its band.
+    """
+    unknown = sorted(set(measured) - set(baseline.claims))
+    if unknown:
+        raise CheckError(
+            f"measured statistics without a baseline band: {unknown}"
+        )
+    missing = sorted(set(baseline.claims) - set(measured))
+    if missing:
+        raise CheckError(f"baseline claims never measured: {missing}")
+    results = []
+    for key in baseline.claims:
+        claim = baseline.claims[key]
+        value = float(measured[key])
+        passed = bool(
+            np.isfinite(value) and claim.lo <= value <= claim.hi
+        )
+        results.append(
+            CheckResult(
+                claim=key,
+                statistic=key,
+                value=value,
+                lo=claim.lo,
+                hi=claim.hi,
+                passed=passed,
+                provenance=claim.provenance,
+            )
+        )
+    return FidelityReport(results=results)

@@ -1,0 +1,159 @@
+"""Machine-readable outcome of the statistical fidelity gate.
+
+A :class:`FidelityReport` is the gate's product: one :class:`CheckResult`
+per measured statistic, each carrying the measured value, the tolerance
+band it was judged against and the paper provenance of the claim.  The
+report serializes to JSON so CI can archive it as a build artifact and
+later runs can be diffed statistic by statistic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+
+class ReportError(ValueError):
+    """Raised on malformed report payloads."""
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Verdict on one measured statistic of one paper claim.
+
+    Attributes
+    ----------
+    claim:
+        Baseline claim key the statistic was judged against.
+    statistic:
+        Fully qualified statistic name — equals ``claim`` for scalar
+        claims, ``claim[qualifier]`` for per-service families.
+    value:
+        The measured value.
+    lo / hi:
+        The tolerance band the value must fall inside (inclusive).
+    passed:
+        Whether ``lo <= value <= hi``.
+    provenance:
+        Paper figure/table/section the claim reproduces.
+    """
+
+    claim: str
+    statistic: str
+    value: float
+    lo: float
+    hi: float
+    passed: bool
+    provenance: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering of the verdict."""
+        return {
+            "claim": self.claim,
+            "statistic": self.statistic,
+            "value": self.value,
+            "lo": self.lo,
+            "hi": self.hi,
+            "passed": self.passed,
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CheckResult":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                claim=str(payload["claim"]),
+                statistic=str(payload["statistic"]),
+                value=float(payload["value"]),
+                lo=float(payload["lo"]),
+                hi=float(payload["hi"]),
+                passed=bool(payload["passed"]),
+                provenance=str(payload.get("provenance", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReportError(f"malformed check result: {exc}") from exc
+
+
+@dataclass
+class FidelityReport:
+    """Full outcome of one fidelity-gate run.
+
+    ``meta`` records the run configuration (seed, campaign scale, baseline
+    path) so an archived report is self-describing.
+    """
+
+    results: list[CheckResult] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every statistic sits inside its tolerance band."""
+        return all(r.passed for r in self.results)
+
+    def failures(self) -> list[CheckResult]:
+        """The statistics that left their tolerance band."""
+        return [r for r in self.results if not r.passed]
+
+    def claims(self) -> list[str]:
+        """Distinct claim keys covered, in first-appearance order."""
+        seen: list[str] = []
+        for result in self.results:
+            if result.claim not in seen:
+                seen.append(result.claim)
+        return seen
+
+    def result(self, statistic: str) -> CheckResult:
+        """Look one statistic's verdict up by its qualified name."""
+        for result in self.results:
+            if result.statistic == statistic:
+                return result
+        raise ReportError(f"no statistic named {statistic!r} in the report")
+
+    def summary(self) -> dict[str, Any]:
+        """Compact payload for the pipeline's stage-event mechanism."""
+        return {
+            "checks": len(self.results),
+            "claims": len(self.claims()),
+            "failed": len(self.failures()),
+            "verdict": "OK" if self.ok else "FAILED",
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering of the whole report."""
+        return {
+            "ok": self.ok,
+            "meta": self.meta,
+            "summary": self.summary(),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self) -> str:
+        """The report as an indented JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str | Path) -> None:
+        """Write the JSON report to ``path``."""
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FidelityReport":
+        """Inverse of :meth:`to_dict` (``ok``/``summary`` are derived)."""
+        try:
+            results = [CheckResult.from_dict(r) for r in payload["results"]]
+            meta = dict(payload.get("meta", {}))
+        except (KeyError, TypeError) as exc:
+            raise ReportError(f"malformed report payload: {exc}") from exc
+        return cls(results=results, meta=meta)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FidelityReport":
+        """Read a report back from a JSON file."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReportError(f"cannot read report at {path}: {exc}") from exc
+        return cls.from_dict(payload)

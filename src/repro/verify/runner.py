@@ -1,0 +1,75 @@
+"""End-to-end driver of the statistical fidelity gate.
+
+:func:`run_verification` assembles the verification pipeline — simulate the
+baseline's small deterministic campaign, fit the session-level models, then
+run the :func:`~repro.pipeline.standard.verify_stage` — and returns the
+resulting :class:`~repro.verify.report.FidelityReport`.  Everything is
+driven by the run's root seed through the pipeline's spawned seed streams,
+so a given ``(seed, baseline)`` pair always yields the same report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from ..pipeline.context import RunContext
+from ..pipeline.stages import Pipeline, PipelineRun, StageEvent
+from ..pipeline.standard import (
+    fit_models_stage,
+    network_stage,
+    simulate_stage,
+    verify_stage,
+)
+from .baseline import Baseline, default_baseline_path
+from .report import FidelityReport
+
+
+def verify_pipeline(baseline: Baseline) -> Pipeline:
+    """The four-stage verification pipeline for one baseline.
+
+    ``network -> simulate -> fit-models -> verify``: the campaign scale and
+    the fitting threshold come from the baseline's campaign spec, so the
+    statistics are measured on exactly the population the tolerance bands
+    were calibrated for.  The simulated campaign is cached like any other
+    pipeline campaign, so repeated gate runs skip re-simulation.
+    """
+    spec = baseline.campaign
+    return Pipeline(
+        [
+            network_stage(spec.n_bs),
+            simulate_stage(spec.n_days),
+            fit_models_stage(spec.min_sessions),
+            verify_stage(baseline, spec.n_days),
+        ]
+    )
+
+
+def run_verification(
+    ctx: RunContext,
+    baseline: Baseline | None = None,
+    baseline_path: str | Path | None = None,
+    observer: Callable[[StageEvent], None] | None = None,
+) -> tuple[FidelityReport, PipelineRun]:
+    """Run the fidelity gate under one run context.
+
+    ``baseline`` takes precedence; otherwise the file at ``baseline_path``
+    (default: the checked-in golden baseline, located via
+    :func:`~repro.verify.baseline.default_baseline_path`) is loaded.
+    Returns the report plus the full pipeline run, so callers can reuse the
+    campaign and bank artifacts (e.g. for diagnostics on a failed gate).
+    """
+    if baseline is None:
+        path = (
+            Path(baseline_path)
+            if baseline_path is not None
+            else default_baseline_path()
+        )
+        baseline = Baseline.load(path)
+        source = str(path)
+    else:
+        source = "in-memory"
+    run = verify_pipeline(baseline).run(ctx, observer=observer)
+    report: FidelityReport = run.artifact("fidelity")
+    report.meta["baseline"] = source
+    return report, run

@@ -18,6 +18,15 @@ from repro.core.volume_model import fit_volume_model
 from repro.dataset.aggregation import DurationVolumeCurve
 
 
+from repro.core.fitting.gaussian_fit import fit_main_lognormal
+from repro.core.fitting.levenberg_marquardt import (
+    FitError,
+    fit_curve,
+    levenberg_marquardt,
+)
+from repro.core.fitting.savitzky_golay import FilterError, savgol_filter
+
+
 @st.composite
 def mixtures(draw):
     # Bounded so essentially no probability mass leaves the global
@@ -106,3 +115,163 @@ def test_property_full_model_round_trip(mixture, alpha, beta, seed):
         volumes.mean(), rel=0.25
     )
     assert np.all(batch.durations_s >= 1.0)
+
+
+def _exp_decay(x, a, b):
+    """Module-level test model: ``a * exp(-b x)``."""
+    return a * np.exp(-b * x)
+
+
+class TestLevenbergMarquardtProperties:
+    """The in-house LM solver on arbitrary well-posed and degenerate input."""
+
+    @given(
+        a=st.floats(min_value=0.5, max_value=20.0),
+        b=st.floats(min_value=0.1, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_exponential_decay_parameters(self, a, b, seed):
+        rng = np.random.default_rng(seed)
+        x = np.linspace(0.0, 4.0, 60)
+        y = _exp_decay(x, a, b) * (1.0 + rng.normal(0, 0.01, x.size))
+        result = fit_curve(_exp_decay, x, y, p0=[1.0, 1.0])
+        assert np.all(np.isfinite(result.params))
+        assert result.params[0] == pytest.approx(a, rel=0.1)
+        assert result.params[1] == pytest.approx(b, rel=0.1)
+
+    @given(
+        offset=st.floats(min_value=-5.0, max_value=5.0),
+        n=st.integers(min_value=2, max_value=50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_constant_data_never_yields_non_finite_params(self, offset, n):
+        """Flat data is a degenerate fit; it must stay finite, not NaN."""
+        x = np.linspace(0.0, 1.0, n)
+        y = np.full(n, offset)
+        try:
+            result = fit_curve(_exp_decay, x, y, p0=[1.0, 1.0])
+        except FitError:
+            return  # rejecting the degenerate input is equally acceptable
+        assert np.all(np.isfinite(result.params))
+        assert np.isfinite(result.cost)
+
+    def test_non_finite_initial_residuals_rejected(self):
+        with pytest.raises(FitError):
+            levenberg_marquardt(
+                lambda p: np.array([np.inf, 0.0]), np.array([1.0])
+            )
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(FitError):
+            fit_curve(_exp_decay, np.array([1.0]), np.array([2.0]), p0=[1, 1])
+
+
+class TestGaussianFitProperties:
+    """fit_main_lognormal on exact, sampled and degenerate densities."""
+
+    @given(
+        mu=st.floats(min_value=-1.5, max_value=2.0),
+        sigma=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_parameters_of_exact_density(self, mu, sigma):
+        exact = LogHistogram.from_log_density(LogNormal10(mu, sigma).pdf_log10)
+        fitted = fit_main_lognormal(exact)
+        assert fitted.mu == pytest.approx(mu, abs=0.05)
+        assert fitted.sigma == pytest.approx(sigma, abs=0.05)
+
+    @given(
+        mu=st.floats(min_value=-1.0, max_value=1.5),
+        sigma=st.floats(min_value=0.1, max_value=0.8),
+        n=st.integers(min_value=500, max_value=20000),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_parameters_from_samples(self, mu, sigma, n, seed):
+        rng = np.random.default_rng(seed)
+        volumes = 10.0 ** rng.normal(mu, sigma, n)
+        fitted = fit_main_lognormal(LogHistogram.from_volumes(volumes))
+        assert fitted.mu == pytest.approx(mu, abs=0.15)
+        assert fitted.sigma == pytest.approx(sigma, abs=0.15)
+
+    @given(bin_index=st.integers(min_value=0, max_value=359))
+    @settings(max_examples=20, deadline=None)
+    def test_single_spike_histogram_stays_finite(self, bin_index):
+        """A delta-like PDF must yield a finite, valid log-normal."""
+        density = np.zeros(360)
+        density[bin_index] = 1.0
+        fitted = fit_main_lognormal(LogHistogram(density).normalized())
+        assert np.isfinite(fitted.mu)
+        assert np.isfinite(fitted.sigma) and fitted.sigma > 0
+
+    def test_empty_histogram_rejected(self):
+        from repro.core.fitting.levenberg_marquardt import FitError as LMError
+
+        with pytest.raises(LMError):
+            fit_main_lognormal(LogHistogram.empty())
+
+
+class TestSavitzkyGolayProperties:
+    """The from-scratch filter on polynomials and degenerate windows."""
+
+    @given(
+        degree=st.integers(min_value=0, max_value=5),
+        window=st.sampled_from([5, 7, 9, 13, 17, 21]),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reproduces_polynomials_exactly_including_edges(
+        self, degree, window, seed
+    ):
+        """A poly_order >= degree filter is exact everywhere, edges too."""
+        from hypothesis import assume
+
+        poly_order = min(degree, window - 1)
+        assume(poly_order >= degree)
+        rng = np.random.default_rng(seed)
+        coeffs = rng.uniform(-2.0, 2.0, degree + 1)
+        x = np.arange(50, dtype=float)
+        y = np.polyval(coeffs, x / 10.0)
+        smoothed = savgol_filter(y, window, poly_order)
+        np.testing.assert_allclose(smoothed, y, rtol=1e-7, atol=1e-7)
+
+    @given(
+        slope=st.floats(min_value=-3.0, max_value=3.0),
+        window=st.sampled_from([5, 9, 15, 21]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_first_derivative_of_a_line_is_its_slope(self, slope, window):
+        y = slope * np.arange(40, dtype=float)
+        deriv = savgol_filter(y, window, poly_order=2, deriv=1)
+        np.testing.assert_allclose(deriv, slope, rtol=1e-7, atol=1e-7)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=21,
+            max_size=60,
+        ),
+        window=st.sampled_from([5, 7, 11, 21]),
+        poly_order=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_finite_input_never_yields_non_finite_output(
+        self, values, window, poly_order
+    ):
+        from hypothesis import assume
+
+        assume(poly_order < window)
+        out = savgol_filter(np.array(values), window, poly_order)
+        assert np.all(np.isfinite(out))
+
+    def test_invalid_parameters_rejected(self):
+        y = np.zeros(30)
+        with pytest.raises(FilterError):
+            savgol_filter(y, 4, 2)  # even window
+        with pytest.raises(FilterError):
+            savgol_filter(y, 5, 5)  # poly_order >= window
+        with pytest.raises(FilterError):
+            savgol_filter(y, 5, 2, deriv=3)  # deriv > poly_order
+        with pytest.raises(FilterError):
+            savgol_filter(np.zeros(3), 5, 2)  # input shorter than window

@@ -156,3 +156,107 @@ class TestTablePersistence:
         path.write_bytes(b"not an archive")
         with pytest.raises(CacheError):
             load_table(path)
+
+
+class TestCorruptionRecovery:
+    """Corrupted cache entries must lead to recomputation, never a crash."""
+
+    def _table(self, n=4):
+        rng = np.random.default_rng(0)
+        return SessionTable(
+            service_idx=np.arange(n, dtype=np.int16) % 10,
+            bs_id=np.arange(n),
+            day=np.zeros(n, dtype=int),
+            start_minute=rng.integers(0, 1440, n),
+            duration_s=rng.uniform(1.0, 100.0, n),
+            volume_mb=rng.uniform(0.1, 10.0, n),
+            truncated=np.zeros(n, dtype=bool),
+        )
+
+    def test_truncated_archive_raises_cache_error(self, tmp_path):
+        path = tmp_path / "table.npz"
+        save_table(path, self._table())
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CacheError):
+            load_table(path)
+
+    def test_wrong_key_archive_raises_cache_error(self, tmp_path):
+        # A valid npz written under the right cache path but with the wrong
+        # arrays inside — e.g. produced by an older, incompatible layout.
+        cache = ArtifactCache(tmp_path)
+        path = cache.path_for("campaign", "deadbeef", ".npz")
+        path.parent.mkdir(parents=True)
+        np.savez(path, wrong=np.arange(3), keys=np.arange(3))
+        with pytest.raises(CacheError):
+            cache.fetch("campaign", "deadbeef", ".npz", load_table)
+
+    def test_pipeline_recomputes_over_corrupt_entry(self, tmp_path):
+        """A poisoned cache entry is silently recomputed and overwritten."""
+        from repro.pipeline.context import RunContext
+        from repro.pipeline.stages import ArtifactSpec, Pipeline, Stage
+
+        table = self._table()
+        spec = ArtifactSpec(
+            kind="campaign",
+            suffix=".npz",
+            save=save_table,
+            load=load_table,
+            key_parts=lambda ctx, artifacts: {"seed": ctx.seed},
+        )
+        pipeline = Pipeline(
+            [Stage("make", "table", lambda ctx, artifacts: table, spec=spec)]
+        )
+        ctx = RunContext(seed=0, cache=ArtifactCache(tmp_path))
+
+        first = pipeline.run(ctx)
+        assert first.event("make").status == "computed"
+        key = first.event("make").key
+        assert pipeline.run(ctx).event("make").status == "cached"
+
+        # Poison the stored artifact in place; the next run must recompute
+        # instead of crashing, and must heal the cache for the run after.
+        cached_path = ctx.cache.path_for("campaign", key, ".npz")
+        cached_path.write_bytes(b"garbage")
+        healed = pipeline.run(ctx)
+        assert healed.event("make").status == "computed"
+        assert len(healed.artifact("table")) == len(table)
+        assert pipeline.run(ctx).event("make").status == "cached"
+
+    def test_concurrent_writers_of_one_key_never_collide(self, tmp_path):
+        import threading
+
+        cache = ArtifactCache(tmp_path)
+        table = self._table(n=50)
+        n_writers = 8
+        barrier = threading.Barrier(n_writers)
+        errors = []
+
+        def write():
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    cache.store(
+                        "campaign", "samekey", ".npz",
+                        lambda p: save_table(p, table),
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write) for _ in range(n_writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        # The surviving artifact is complete and valid, and no temporary
+        # file escaped its writer.
+        restored = cache.fetch("campaign", "samekey", ".npz", load_table)
+        assert len(restored) == len(table)
+        leftovers = [
+            p.name
+            for p in (tmp_path / "campaign").iterdir()
+            if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []

@@ -6,6 +6,7 @@ from repro.pipeline.executors import (
     ExecutorError,
     ParallelExecutor,
     SerialExecutor,
+    WorkerError,
     default_jobs,
     make_executor,
 )
@@ -13,6 +14,13 @@ from repro.pipeline.executors import (
 
 def _square(x):
     """Module-level work function (picklable for the process pool)."""
+    return x * x
+
+
+def _boom_on_negative(x):
+    """Module-level work function that fails on negative input."""
+    if x < 0:
+        raise ValueError(f"boom on {x}")
     return x * x
 
 
@@ -51,6 +59,55 @@ class TestParallelExecutor:
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ExecutorError):
             ParallelExecutor(jobs=0)
+
+
+class TestWorkerFailures:
+    """A raising work unit surfaces its original traceback, deterministically."""
+
+    def test_serial_executor_propagates_original_exception(self):
+        with pytest.raises(ValueError, match="boom on -3"):
+            SerialExecutor().map(_boom_on_negative, [1, -3, 2])
+
+    def test_worker_error_carries_original_traceback(self):
+        with ParallelExecutor(jobs=2) as executor:
+            with pytest.raises(WorkerError) as excinfo:
+                executor.map(_boom_on_negative, [1, 2, -3, 4])
+        message = str(excinfo.value)
+        assert "ValueError: boom on -3" in message
+        assert "Traceback" in message
+        assert "_boom_on_negative" in excinfo.value.worker_traceback
+
+    def test_first_failing_input_index_reported(self):
+        # Several failing items: the reported unit must be the first in
+        # *input* order, not whichever worker happened to finish first.
+        items = [5, -1, 3, -7, -2, 8]
+        with ParallelExecutor(jobs=4) as executor:
+            with pytest.raises(WorkerError) as excinfo:
+                executor.map(_boom_on_negative, items)
+        assert excinfo.value.item_index == 1
+
+    def test_failure_index_stable_across_runs(self):
+        items = list(range(30)) + [-9] + list(range(30)) + [-4]
+        indices = set()
+        for _ in range(3):
+            with ParallelExecutor(jobs=4) as executor:
+                with pytest.raises(WorkerError) as excinfo:
+                    executor.map(_boom_on_negative, items)
+            indices.add(excinfo.value.item_index)
+        assert indices == {30}
+
+    def test_pool_survives_a_failing_map(self):
+        executor = ParallelExecutor(jobs=2)
+        try:
+            with pytest.raises(WorkerError):
+                executor.map(_boom_on_negative, [1, -1])
+            # The same pool must keep serving subsequent maps.
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        finally:
+            executor.close()
+
+    def test_worker_error_is_an_executor_error(self):
+        assert issubclass(WorkerError, ExecutorError)
 
 
 class TestMakeExecutor:

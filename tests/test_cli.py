@@ -143,6 +143,87 @@ class TestPipelineFlags:
         assert "sessions:" in serial
 
 
+class TestVerify:
+    """The ``verify`` subcommand drives the statistical fidelity gate."""
+
+    @pytest.fixture()
+    def golden_path(self):
+        from repro.verify import default_baseline_path
+
+        return default_baseline_path()
+
+    def test_verify_passes_against_golden_baseline(self, golden_path, capsys):
+        code = main(
+            ["--seed", "0", "verify", "--baseline", str(golden_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: OK" in out
+        assert "rank-exponential-r2" in out
+        assert "FAIL" not in out
+
+    def test_verify_writes_json_report(self, golden_path, tmp_path, capsys):
+        from repro.verify import FidelityReport
+
+        report_path = tmp_path / "fidelity.json"
+        code = main(
+            ["--seed", "0", "verify", "--baseline", str(golden_path),
+             "--report", str(report_path)]
+        )
+        assert code == 0
+        assert "report:" in capsys.readouterr().out
+        report = FidelityReport.load(report_path)
+        assert report.ok
+        assert len(report.claims()) >= 6
+        assert report.meta["seed"] == 0
+
+    def test_verify_fails_on_breached_band(self, golden_path, tmp_path, capsys):
+        import json
+
+        # Doctor one claim into an impossible band: the gate must exit 1.
+        payload = json.loads(golden_path.read_text())
+        band = payload["claims"]["circadian-day-night-ratio"]
+        band["lo"], band["hi"] = 100.0, 200.0
+        doctored = tmp_path / "impossible.json"
+        doctored.write_text(json.dumps(payload))
+
+        code = main(["--seed", "0", "verify", "--baseline", str(doctored)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "verdict: FAILED" in out
+        assert "FAIL" in out
+
+    def test_update_baseline_rewrites_observations_only(
+        self, golden_path, tmp_path, capsys
+    ):
+        import json
+        import shutil
+
+        from repro.verify import Baseline
+
+        copy = tmp_path / "baseline.json"
+        shutil.copy(golden_path, copy)
+        # Blank out the recorded observations so the refresh is visible.
+        payload = json.loads(copy.read_text())
+        for band in payload["claims"].values():
+            band.pop("observed", None)
+        copy.write_text(json.dumps(payload))
+
+        code = main(
+            ["--seed", "0", "verify", "--baseline", str(copy),
+             "--update-baseline"]
+        )
+        assert code == 0
+        assert "refreshed" in capsys.readouterr().out
+        before = Baseline.load(golden_path)
+        after = Baseline.load(copy)
+        for key, band in after.claims.items():
+            assert band.observed is not None
+            assert band.lo == before.claims[key].lo
+            assert band.hi == before.claims[key].hi
+            assert band.provenance == before.claims[key].provenance
+
+
 class TestTraceFlags:
     def test_simulate_exports_trace(self, tmp_path, capsys):
         path = tmp_path / "campaign.csv.gz"

@@ -1,0 +1,136 @@
+"""Tests for the golden-baseline container and its discovery rules."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.baseline import (
+    BASELINE_ENV,
+    Baseline,
+    BaselineError,
+    CampaignSpec,
+    ClaimBand,
+    default_baseline_path,
+)
+
+REPO_BASELINE = (
+    Path(__file__).resolve().parents[2] / "baselines" / "paper_claims.json"
+)
+
+
+def _baseline(**claims):
+    claims = claims or {"a": ClaimBand(lo=0.0, hi=1.0, provenance="Fig 1")}
+    return Baseline(campaign=CampaignSpec(), claims=claims)
+
+
+class TestClaimBand:
+    def test_empty_band_rejected(self):
+        with pytest.raises(BaselineError):
+            ClaimBand(lo=2.0, hi=1.0)
+
+    def test_round_trip_with_and_without_observed(self):
+        with_obs = ClaimBand(lo=0.0, hi=1.0, provenance="p", observed=0.5)
+        assert ClaimBand.from_dict(with_obs.to_dict()) == with_obs
+        without = ClaimBand(lo=0.0, hi=1.0)
+        payload = without.to_dict()
+        assert "observed" not in payload
+        assert ClaimBand.from_dict(payload) == without
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(BaselineError):
+            ClaimBand.from_dict({"lo": 0.0})
+
+
+class TestCampaignSpec:
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(BaselineError):
+            CampaignSpec(n_bs=5)
+        with pytest.raises(BaselineError):
+            CampaignSpec(n_days=0)
+
+    def test_round_trip(self):
+        spec = CampaignSpec(n_bs=30, n_days=2, min_sessions=100)
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestBaseline:
+    def test_needs_claims(self):
+        with pytest.raises(BaselineError):
+            Baseline(campaign=CampaignSpec(), claims={})
+
+    def test_file_round_trip(self, tmp_path):
+        baseline = _baseline(
+            x=ClaimBand(lo=0.0, hi=1.0, provenance="Fig 4", observed=0.97),
+            y=ClaimBand(lo=1.0, hi=2.0),
+        )
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        restored = Baseline.load(path)
+        assert restored == baseline
+
+    def test_with_observed_updates_only_observations(self):
+        baseline = _baseline(
+            x=ClaimBand(lo=0.0, hi=1.0, provenance="Fig 4"),
+            y=ClaimBand(lo=1.0, hi=2.0, observed=1.5),
+        )
+        updated = baseline.with_observed({"x": 0.42})
+        assert updated.claims["x"].observed == 0.42
+        assert updated.claims["x"].lo == 0.0
+        assert updated.claims["x"].hi == 1.0
+        assert updated.claims["x"].provenance == "Fig 4"
+        # Unmeasured claims keep their previous observation untouched.
+        assert updated.claims["y"] == baseline.claims["y"]
+
+    def test_with_observed_rejects_unknown_claims(self):
+        with pytest.raises(BaselineError):
+            _baseline().with_observed({"nope": 1.0})
+
+    def test_unreadable_file_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("[")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+        with pytest.raises(BaselineError):
+            Baseline.load(tmp_path / "absent.json")
+
+
+class TestDefaultBaselinePath:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        override = tmp_path / "elsewhere.json"
+        monkeypatch.setenv(BASELINE_ENV, str(override))
+        assert default_baseline_path() == override
+
+    def test_walks_up_to_repo_baseline(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(BASELINE_ENV, raising=False)
+        root = tmp_path / "repo"
+        nested = root / "src" / "deep"
+        nested.mkdir(parents=True)
+        (root / "baselines").mkdir()
+        target = root / "baselines" / "paper_claims.json"
+        target.write_text("{}")
+        assert default_baseline_path(nested).resolve() == target.resolve()
+
+    def test_missing_baseline_raises(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(BASELINE_ENV, raising=False)
+        with pytest.raises(BaselineError):
+            default_baseline_path(tmp_path)
+
+
+class TestGoldenBaseline:
+    """The checked-in baseline itself must stay well-formed."""
+
+    def test_loads_and_covers_enough_claims(self):
+        baseline = Baseline.load(REPO_BASELINE)
+        assert len(baseline.claims) >= 6
+        for key, band in baseline.claims.items():
+            assert band.provenance, f"claim {key} lacks paper provenance"
+            assert band.lo < band.hi
+
+    def test_observed_values_sit_inside_their_bands(self):
+        baseline = Baseline.load(REPO_BASELINE)
+        for key, band in baseline.claims.items():
+            assert band.observed is not None, f"claim {key} never observed"
+            assert band.lo <= band.observed <= band.hi, (
+                f"claim {key}: recorded observation {band.observed} outside "
+                f"[{band.lo}, {band.hi}]"
+            )

@@ -1,0 +1,111 @@
+"""Tests for the statistic measurement functions and the band evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.verify.baseline import Baseline, CampaignSpec, ClaimBand
+from repro.verify.checks import (
+    CheckError,
+    evaluate,
+    measure_all,
+    measure_arrivals,
+    measure_circadian,
+    measure_duration_models,
+    measure_ranking,
+    measure_volume_models,
+)
+from tests.conftest import CAMPAIGN_DAYS
+
+
+class TestMeasurements:
+    """Each measure_* family yields finite, plausibly ranged statistics."""
+
+    def test_ranking(self, campaign):
+        measured = measure_ranking(campaign)
+        assert set(measured) == {"rank-exponential-r2", "top20-session-share"}
+        assert 0.0 <= measured["rank-exponential-r2"] <= 1.0
+        assert 0.5 <= measured["top20-session-share"] <= 1.0
+
+    def test_volume_models(self, campaign, bank):
+        measured = measure_volume_models(
+            campaign, bank, np.random.default_rng(7)
+        )
+        assert measured["modeled-services"] == len(bank)
+        assert 0.0 <= measured["volume-emd"] < 1.0
+        assert 0.0 <= measured["volume-emd-generated"] < 0.5
+
+    def test_duration_models(self, bank):
+        measured = measure_duration_models(bank)
+        assert measured["beta-min"] <= measured["beta-max"]
+        assert measured["beta-recovery-max-abs-error"] >= 0.0
+        assert 0.0 <= measured["beta-linearity-agreement"] <= 1.0
+        assert 0.0 <= measured["powerlaw-r2-median"] <= 1.0
+
+    def test_arrivals(self, campaign, network):
+        measured = measure_arrivals(campaign, network, CAMPAIGN_DAYS)
+        assert measured["arrival-peak-mu-max-rel-error"] >= 0.0
+        assert measured["arrival-night-scale-max-rel-error"] >= 0.0
+        assert measured["arrival-emd-max"] >= 0.0
+        assert measured["pareto-shape-hill"] > 0.0
+
+    def test_circadian(self, campaign):
+        measured = measure_circadian(campaign)
+        # The generator's day phase is far busier than the night phase.
+        assert measured["circadian-day-night-ratio"] > 1.0
+
+    def test_measure_all_covers_every_family(self, campaign, network, bank):
+        measured = measure_all(
+            campaign, network, bank, CAMPAIGN_DAYS, np.random.default_rng(7)
+        )
+        assert len(measured) == 15
+        assert all(np.isfinite(v) for v in measured.values())
+
+    def test_empty_table_raises(self):
+        from repro.dataset.records import SessionTable
+
+        with pytest.raises(CheckError):
+            measure_circadian(SessionTable.empty())
+
+
+def _baseline(**bands):
+    return Baseline(
+        campaign=CampaignSpec(),
+        claims={
+            key: ClaimBand(lo=lo, hi=hi, provenance="test")
+            for key, (lo, hi) in bands.items()
+        },
+    )
+
+
+class TestEvaluate:
+    def test_all_inside_bands_passes(self):
+        report = evaluate(
+            {"a": 0.5, "b": 1.0}, _baseline(a=(0.0, 1.0), b=(1.0, 2.0))
+        )
+        assert report.ok
+        assert len(report.results) == 2
+        assert report.result("a").provenance == "test"
+
+    def test_breach_fails_only_that_claim(self):
+        report = evaluate(
+            {"a": 0.5, "b": 5.0}, _baseline(a=(0.0, 1.0), b=(1.0, 2.0))
+        )
+        assert not report.ok
+        assert [r.claim for r in report.failures()] == ["b"]
+        assert report.result("a").passed
+
+    def test_bounds_are_inclusive(self):
+        report = evaluate({"a": 1.0}, _baseline(a=(0.0, 1.0)))
+        assert report.ok
+
+    def test_non_finite_measurement_fails(self):
+        report = evaluate({"a": float("nan")}, _baseline(a=(0.0, 1.0)))
+        assert not report.ok
+
+    def test_unmeasured_claim_is_an_error(self):
+        with pytest.raises(CheckError, match="never measured"):
+            evaluate({"a": 0.5}, _baseline(a=(0.0, 1.0), b=(1.0, 2.0)))
+
+    def test_unknown_statistic_is_an_error(self):
+        with pytest.raises(CheckError, match="without a baseline band"):
+            evaluate({"a": 0.5, "zz": 1.0}, _baseline(a=(0.0, 1.0)))

@@ -1,0 +1,80 @@
+"""Tests for the fidelity report containers."""
+
+import pytest
+
+from repro.verify.report import CheckResult, FidelityReport, ReportError
+
+
+def _result(claim="c", value=1.0, passed=True):
+    return CheckResult(
+        claim=claim,
+        statistic=claim,
+        value=value,
+        lo=0.0,
+        hi=2.0,
+        passed=passed,
+        provenance="Fig X",
+    )
+
+
+class TestCheckResult:
+    def test_round_trip(self):
+        original = _result()
+        assert CheckResult.from_dict(original.to_dict()) == original
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ReportError):
+            CheckResult.from_dict({"claim": "c"})
+
+
+class TestFidelityReport:
+    def test_ok_iff_all_passed(self):
+        assert FidelityReport(results=[_result(), _result("d")]).ok
+        report = FidelityReport(results=[_result(), _result("d", passed=False)])
+        assert not report.ok
+        assert [r.claim for r in report.failures()] == ["d"]
+
+    def test_claims_deduplicate_in_order(self):
+        report = FidelityReport(
+            results=[_result("b"), _result("a"), _result("b")]
+        )
+        assert report.claims() == ["b", "a"]
+
+    def test_result_lookup(self):
+        report = FidelityReport(results=[_result("a"), _result("b")])
+        assert report.result("b").claim == "b"
+        with pytest.raises(ReportError):
+            report.result("absent")
+
+    def test_summary_counts(self):
+        report = FidelityReport(results=[_result(), _result("d", passed=False)])
+        assert report.summary() == {
+            "checks": 2,
+            "claims": 2,
+            "failed": 1,
+            "verdict": "FAILED",
+        }
+
+    def test_json_file_round_trip(self, tmp_path):
+        report = FidelityReport(
+            results=[_result(), _result("d", passed=False)],
+            meta={"seed": 0},
+        )
+        path = tmp_path / "report.json"
+        report.write(path)
+        restored = FidelityReport.load(path)
+        assert restored.results == report.results
+        assert restored.meta == {"seed": 0}
+        assert not restored.ok
+
+    def test_unreadable_file_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ReportError):
+            FidelityReport.load(path)
+        with pytest.raises(ReportError):
+            FidelityReport.load(tmp_path / "absent.json")
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ReportError):
+            FidelityReport.from_dict({"meta": {}})
