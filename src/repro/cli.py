@@ -23,7 +23,10 @@ worker processes — output is bit-identical for any worker count thanks to
 the per-unit seed streams.  ``simulate``/``fit``/``validate`` cache the
 simulated campaign under ``--cache-dir`` (default ``.repro-cache`` or
 ``$REPRO_CACHE_DIR``), so repeated runs with unchanged config and seed skip
-re-simulation; pass ``--no-cache`` to opt out.
+re-simulation; pass ``--no-cache`` to opt out.  ``generate`` runs the
+batched synthesis engine: ``--chunk-size`` bounds peak memory by spooling
+the campaign chunk-wise through the cache, and repeated runs resume from
+already-spooled chunks.
 """
 
 from __future__ import annotations
@@ -95,7 +98,16 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--decile", type=int, default=5, help="load decile of the generated BSs"
     )
-    _add_run_flags(gen, cache=False)
+    gen.add_argument(
+        "--chunk-size", type=int, default=None, metavar="SESSIONS",
+        help="expected sessions per output chunk (bounds peak memory; "
+        "default 1000000)",
+    )
+    gen.add_argument(
+        "--trace", default=None,
+        help="also export the generated campaign as a CSV(.gz) trace",
+    )
+    _add_run_flags(gen)
 
     val = sub.add_parser(
         "validate", help="validate a campaign against stylized facts"
@@ -220,6 +232,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from .core.service_mix import ServiceMix
     from .dataset.network import decile_peak_rate
     from .io.params import load_release
+    from .pipeline.standard import generate_stage
 
     ctx = _make_context(args)
     bank, arrivals = load_release(args.models)
@@ -237,9 +250,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     generator = TrafficGenerator(
         {bs: arrival for bs in range(args.bs)}, mix, bank
     )
-    table = generator.generate_campaign(args.days, ctx.rng("generate"))
-    print(f"generated {len(table)} sessions over {args.bs} BSs, {args.days} day(s)")
-    print(f"total traffic: {table.total_volume_mb() / 1e3:.1f} GB")
+    pipeline = Pipeline(
+        [
+            generate_stage(
+                args.days,
+                chunk_sessions=args.chunk_size,
+                materialize=bool(args.trace),
+            )
+        ],
+        inputs=("generator",),
+    )
+    run = pipeline.run(
+        ctx, initial={"generator": generator}, observer=_print_event
+    )
+    result = run.artifact("generated")
+    print(
+        f"generated {result.n_sessions} sessions over {args.bs} BSs, "
+        f"{args.days} day(s) in {result.n_chunks} chunk(s)"
+    )
+    print(f"total traffic: {result.total_volume_mb / 1e3:.1f} GB")
+    if args.trace:
+        from .io.traces import write_trace
+
+        rows = write_trace(result.table, args.trace)
+        print(f"trace: {rows} sessions -> {args.trace}")
     return 0
 
 

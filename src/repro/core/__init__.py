@@ -11,7 +11,14 @@ from .arrivals import (
 from .distributions import Gaussian, LogNormal10, LogNormalMixture, Pareto
 from .drift import DriftReport, ServiceDrift, compare_banks
 from .duration_model import FitFamily, PowerLawModel, fit_family, fit_power_law
-from .generator import TrafficGenerator
+from .generator import (
+    BatchSampler,
+    CampaignChunk,
+    CampaignManifest,
+    GenerationResult,
+    TrafficGenerator,
+    generate_campaign_reference,
+)
 from .model_bank import ModelBank
 from .packet_bridge import PacketSchedule, packetize_service_session, packetize_session
 from .residuals import ResidualPeak, find_residual_peaks
@@ -21,8 +28,12 @@ from .volume_model import VolumeModel, decompose_volume_pdf, fit_volume_model
 
 __all__ = [
     "ArrivalModel",
+    "BatchSampler",
+    "CampaignChunk",
+    "CampaignManifest",
     "FitFamily",
     "DriftReport",
+    "GenerationResult",
     "Gaussian",
     "LogNormal10",
     "LogNormalMixture",
@@ -48,6 +59,7 @@ __all__ = [
     "fit_power_law",
     "fit_service_model",
     "fit_volume_model",
+    "generate_campaign_reference",
     "packetize_service_session",
     "packetize_session",
 ]

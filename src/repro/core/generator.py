@@ -1,4 +1,4 @@
-"""Model-driven session traffic generator.
+"""Model-driven session traffic generator — the batched synthesis engine.
 
 This is the "consumer side" of the library: given fitted arrival models,
 a service mix and a :class:`~repro.core.model_bank.ModelBank`, it produces
@@ -7,18 +7,78 @@ same schema the measurement substrate produces — so any analysis, use case
 or network simulator can run interchangeably on measured or generated
 traffic.  This interchangeability is exactly what the paper's use cases
 (Section 6) exploit.
+
+The engine mirrors the simulator's run architecture:
+
+* **Per-(day, BS) seed streams** — every work unit draws from its own
+  ``np.random.SeedSequence`` stream derived from the root seed and the
+  unit's identity alone (:func:`unit_seed`), so the campaign is
+  bit-identical for any unit order, chunking, or worker count.  The
+  historical single-shared-RNG loop (kept as
+  :func:`generate_campaign_reference`) silently depended on dict iteration
+  order and could never match a parallel run.
+* **Batched sampling** — per-service volume/duration draws go through one
+  flattened :class:`BatchSampler` table: a unit contributes three primitive
+  draw arrays (service uniforms, component uniforms, standard normals) and
+  the mixture gather + power-law inversion run vectorized across every
+  session of a whole unit block, instead of per-(unit, service) Python
+  calls.  The sampled distribution is exactly that of
+  :meth:`~repro.core.model_bank.ModelBank.sample_mixed_sessions`.
+* **Chunked output** — :meth:`TrafficGenerator.iter_campaign_chunks`
+  partitions the campaign into chunks of a configurable expected session
+  count, and :meth:`TrafficGenerator.spool_campaign` streams those chunks
+  through the artifact cache, so peak memory stays bounded at 45-day ×
+  thousands-of-BS scale.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
-from ..dataset.records import SessionTable
+from ..dataset.circadian import MINUTES_PER_DAY, peak_minute_mask
+from ..dataset.records import SERVICE_INDEX, SERVICE_NAMES, SessionTable
+from ..pipeline.context import coerce_root_seed, stream_seed
+from ..pipeline.executors import ParallelExecutor, SerialExecutor, make_executor
 from .arrivals import ArrivalModel
 from .model_bank import ModelBank
 from .service_mix import ServiceMix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..io.cache import ArtifactCache
+
+#: Stream label of per-(day, BS) generation RNGs (see :func:`unit_seed`).
+UNIT_STREAM = "generate"
+
+#: Seconds in one generated day; sessions whose sampled duration crosses
+#: this boundary are flagged ``truncated`` (the paper's transient-session
+#: semantics, Section 4.3).
+SECONDS_PER_DAY = 86400.0
+
+#: Default expected-sessions budget of one output chunk.
+DEFAULT_CHUNK_SESSIONS = 1_000_000
+
+#: (day, BS) units synthesized together in one executor work item; bounds
+#: both the pickling payload per task and the transient batch arrays.
+BLOCK_UNITS = 16
+
+#: Cache artifact family of spooled campaign chunks.
+GENERATED_KIND = "generated"
+
+#: Minute-of-day index reused by every unit's ``np.repeat`` expansion.
+_MINUTE_INDEX = np.arange(MINUTES_PER_DAY, dtype=np.int16)
+
+#: ln(10) — volumes/durations are modeled in log10 space but evaluated via
+#: the (faster) natural ``exp``.
+_LN10 = float(np.log(10.0))
+
+#: Buckets of the inverse-CDF lookup table accelerating cell resolution.
+#: 2**16 buckets keep the table L2-resident while leaving at most a couple
+#: of CDF boundaries per bucket for realistic cell counts.
+_LUT_BUCKETS = 1 << 16
 
 
 class GeneratorError(ValueError):
@@ -31,6 +91,391 @@ class GeneratedDay:
 
     table: SessionTable
     minute_counts: np.ndarray
+
+
+def unit_seed(
+    root_seed: int, day: int, bs_id: int
+) -> np.random.SeedSequence:
+    """Seed sequence of one (day, BS) generation work unit.
+
+    Derived from the root seed and the unit's identity alone — the same
+    spawn-key scheme :class:`~repro.pipeline.context.RunContext` uses — so
+    the unit's sessions are reproducible no matter where, in what order, or
+    in which chunk the unit runs.
+    """
+    return stream_seed(root_seed, UNIT_STREAM, day, bs_id)
+
+
+@dataclass(frozen=True)
+class BatchSampler:
+    """Flattened numpy tables of a (mix, bank) pair for single-pass sampling.
+
+    The service mix and every per-service log-normal mixture component are
+    unrolled into one global *cell* table: cell ``i`` is one (service,
+    component) pair, carrying the component's volume parameters and the
+    service's duration power law.  Its joint probability — the service's
+    mix share times the component's mixture weight — becomes one interval
+    of a single global CDF, so each session resolves service AND mixture
+    component with one ``searchsorted`` over one uniform, followed by flat
+    per-cell gathers.  This replaces the per-unique-service Python loop of
+    :meth:`~repro.core.model_bank.ModelBank.sample_mixed_sessions` (and its
+    nested per-component masking) with a handful of full-batch array ops.
+
+    Cell boundaries that end a service are set to that service's exact
+    cumulative mix probability, so the resolved service indices are
+    bit-identical to :meth:`~repro.core.service_mix.ServiceMix.sample`
+    draws from the same uniforms.  Zero-width cells — unmodelled or
+    zero-probability services, zero-weight mixture components — are
+    dropped outright: ``searchsorted(side='right')`` can never land on
+    them, and a strictly increasing CDF keeps the lookup table's
+    correction loop (see :meth:`cells_from_uniforms`) short.
+
+    Attributes
+    ----------
+    mix_cdf:
+        Cumulative service-mix probabilities in catalog order (float64).
+    cell_cdf:
+        Strictly increasing cumulative probability of the selectable
+        (service, component) cells (float64, last entry exactly 1.0).
+    cell_service:
+        Catalog service index of each cell (int16).
+    cell_mu / cell_sigma:
+        Per-cell log10-volume parameters of Eq (5) (float32).
+    cell_log10_alpha / cell_inv_beta:
+        Per-cell duration power-law coefficients ``log10(alpha_s)`` and
+        ``1/beta_s`` of the Section 5.3 inverse map (float32), pre-shaped
+        so durations resolve as one log-space ``exp``.
+    lut / lut_span:
+        Per-bucket starting cell index over :data:`_LUT_BUCKETS` equal
+        uniform intervals, and the maximum number of cell boundaries any
+        bucket contains — together they turn the per-session binary search
+        into one gather plus ``lut_span`` vectorized compare-and-bump
+        passes, with results identical to ``searchsorted``.
+    """
+
+    mix_cdf: np.ndarray
+    cell_cdf: np.ndarray
+    cell_service: np.ndarray
+    cell_mu: np.ndarray
+    cell_sigma: np.ndarray
+    cell_log10_alpha: np.ndarray
+    cell_inv_beta: np.ndarray
+    lut: np.ndarray
+    lut_span: int
+
+    @classmethod
+    def from_models(cls, mix: ServiceMix, bank: ModelBank) -> "BatchSampler":
+        """Flatten a service mix and model bank into the cell tables."""
+        probs = mix.probabilities()
+        if probs.sum() <= 0:
+            raise GeneratorError("mix assigns zero total probability")
+        # Normalize by the cumulative sum's own last entry — the exact
+        # recipe of ``Generator.choice`` — so the final boundary is 1.0 to
+        # the bit and service draws match ``ServiceMix.sample``.
+        mix_cdf = probs.cumsum()
+        mix_cdf /= mix_cdf[-1]
+
+        cdf_parts: list[float] = []
+        service_parts: list[int] = []
+        mu_parts: list[float] = []
+        sigma_parts: list[float] = []
+        la_parts: list[float] = []
+        ib_parts: list[float] = []
+        lo = 0.0
+        for idx, name in enumerate(SERVICE_NAMES):
+            hi = float(mix_cdf[idx])
+            if name in bank:
+                model = bank.get(name)
+                mixture = model.volume.as_mixture()
+                weights = np.asarray(mixture.weights, dtype=float)
+                comp_cdf = weights.cumsum()
+                comp_cdf /= comp_cdf[-1]
+                la = float(np.log10(model.duration.alpha))
+                ib = 1.0 / model.duration.beta
+                width = hi - lo
+                last = len(mixture.components) - 1
+                for j, component in enumerate(mixture.components):
+                    # The service's closing cell lands exactly on its mix
+                    # CDF value: service resolution stays bit-identical to
+                    # a searchsorted over ``mix_cdf`` alone.
+                    boundary = hi if j == last else lo + comp_cdf[j] * width
+                    cdf_parts.append(boundary)
+                    service_parts.append(idx)
+                    mu_parts.append(component.mu)
+                    sigma_parts.append(component.sigma)
+                    la_parts.append(la)
+                    ib_parts.append(ib)
+            lo = hi
+        cell_cdf = np.asarray(cdf_parts, dtype=np.float64)
+        # Drop zero-width cells (duplicate boundaries): side='right' skips
+        # past them, so the owner of each interval — the FIRST cell of any
+        # duplicate run — is the one that stays selectable.
+        keep = cell_cdf > np.concatenate(([0.0], cell_cdf[:-1]))
+        cell_cdf = cell_cdf[keep]
+        if len(cell_cdf) == 0 or cell_cdf[-1] != 1.0:
+            raise GeneratorError(
+                "mix probability mass is not carried by modelled services"
+            )
+        pick = np.flatnonzero(keep)
+
+        edges = np.arange(_LUT_BUCKETS, dtype=np.float64) / _LUT_BUCKETS
+        lut_lo = cell_cdf.searchsorted(edges, side="right")
+        lut_hi = cell_cdf.searchsorted(edges + 1.0 / _LUT_BUCKETS, side="left")
+        # One trailing duplicate bucket: ``u * BUCKETS`` can round up to
+        # exactly BUCKETS for u just below 1.0, and the correction loop
+        # only moves forward, so that bucket must start low and bump.
+        lut = np.concatenate((lut_lo, lut_lo[-1:])).astype(np.intp)
+        return cls(
+            mix_cdf=mix_cdf,
+            cell_cdf=cell_cdf,
+            cell_service=np.asarray(service_parts, dtype=np.int16)[pick],
+            cell_mu=np.asarray(mu_parts, dtype=np.float32)[pick],
+            cell_sigma=np.asarray(sigma_parts, dtype=np.float32)[pick],
+            cell_log10_alpha=np.asarray(la_parts, dtype=np.float32)[pick],
+            cell_inv_beta=np.asarray(ib_parts, dtype=np.float32)[pick],
+            lut=lut,
+            lut_span=int((lut_hi - lut_lo).max()),
+        )
+
+    def cells_from_uniforms(self, u: np.ndarray) -> np.ndarray:
+        """Resolve uniforms to (service, component) cell indices.
+
+        Inverse-CDF sampling over the global cell CDF — identical results
+        to ``cell_cdf.searchsorted(u, side='right')`` — picks both the
+        service and its mixture component in one pass.  The per-session
+        binary search is replaced by a bucket lookup plus ``lut_span``
+        (typically one) vectorized compare-and-bump passes: each pass
+        advances exactly the sessions whose uniform still sits at or above
+        their candidate cell's boundary, which is the linear tail of the
+        search the bucket already localized.  A uniform strictly below 1.0
+        always lands on a valid cell because the CDF ends at exactly 1.0.
+        """
+        idx = self.lut.take((u * _LUT_BUCKETS).astype(np.intp))
+        cdf = self.cell_cdf
+        bump = cdf.take(idx) <= u
+        idx += bump
+        # Only a session that just advanced can need advancing again, and
+        # only past boundaries sharing its bucket — a vanishing fraction —
+        # so later passes run on the shrinking active subset.
+        if self.lut_span > 1:
+            active = np.flatnonzero(bump)
+            for _ in range(self.lut_span - 1):
+                if active.size == 0:
+                    break
+                bump = cdf.take(idx.take(active)) <= u.take(active)
+                idx[active] += bump
+                active = active[bump]
+        return idx
+
+    def services_of_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Catalog service index (int16) of each resolved cell."""
+        return self.cell_service.take(cells)
+
+    def services_from_uniforms(self, u_service: np.ndarray) -> np.ndarray:
+        """Resolve service uniforms to catalog indices by inverse CDF.
+
+        ``Generator.choice`` with probabilities is inverse-CDF sampling
+        over ``rng.random``; resolving through the cell table reproduces
+        those draws exactly (the cells refine the service CDF without
+        moving its boundaries) while skipping the per-call probability
+        validation.
+        """
+        return self.services_of_cells(self.cells_from_uniforms(u_service))
+
+    def sample_services(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Draw ``size`` service indices, matching ``ServiceMix.sample``."""
+        return self.services_from_uniforms(rng.random(size))
+
+    def sample_bodies(
+        self, cells: np.ndarray, z: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Volumes (MB) and durations (s) from resolved cells and normals.
+
+        ``z`` is each session's standard-normal log10-volume draw (float32
+        precision — the draws feed distributions, not reproducibility
+        contracts with the legacy path).  Volumes and durations both
+        resolve as single float32 log-space ``exp`` evaluations — the
+        duration power law ``(v / alpha) ** (1 / beta)`` collapses to
+        ``exp(ln10 * (log10 v - log10 alpha) / beta)`` — matching the
+        per-session distribution of sampling each service's model
+        separately.  Durations are clipped to one second, as in
+        :meth:`~repro.core.service_model.SessionLevelModel.sample_sessions`.
+        """
+        ln10 = np.float32(_LN10)
+        log10_volume = self.cell_sigma.take(cells)
+        log10_volume *= z.astype(np.float32, copy=False)
+        log10_volume += self.cell_mu.take(cells)
+        durations = log10_volume - self.cell_log10_alpha.take(cells)
+        durations *= self.cell_inv_beta.take(cells)
+        durations *= ln10
+        np.exp(durations, out=durations)
+        np.maximum(durations, np.float32(1.0), out=durations)
+        volumes = log10_volume
+        volumes *= ln10
+        np.exp(volumes, out=volumes)
+        return volumes, durations
+
+
+def _assemble_unit_columns(
+    sampler: BatchSampler,
+    rng: np.random.Generator,
+    counts: np.ndarray,
+    bs_id: int,
+    day: int,
+) -> tuple[np.ndarray, ...] | None:
+    """Draw one unit's primitive arrays in the canonical stream order.
+
+    Returns ``(cells, bs_col, day_col, start_minute, z)`` or ``None`` for a
+    unit with zero arrivals.  The draw order — arrival counts, service
+    uniforms, normals — is part of the reproducibility contract: both the
+    campaign blocks and :meth:`TrafficGenerator.generate_bs_day` follow it,
+    so a single unit regenerated standalone matches its slice of the full
+    campaign.
+    """
+    n = int(counts.sum())
+    if n == 0:
+        return None
+    cells = sampler.cells_from_uniforms(rng.random(n))
+    z = rng.standard_normal(n, dtype=np.float32)
+    return (
+        cells,
+        np.full(n, bs_id, dtype=np.int32),
+        np.full(n, day, dtype=np.int16),
+        np.repeat(_MINUTE_INDEX, counts),
+        z,
+    )
+
+
+def _finish_columns(
+    sampler: BatchSampler,
+    cells: np.ndarray,
+    bs_col: np.ndarray,
+    day_col: np.ndarray,
+    start_minute: np.ndarray,
+    z: np.ndarray,
+) -> tuple[np.ndarray, ...]:
+    """Resolve primitive draws into the seven schema-exact table columns.
+
+    Column dtypes match the measurement substrate's schema directly (no
+    platform-dependent default-int detours), and sessions whose sampled
+    duration crosses the day boundary are flagged ``truncated`` — the
+    transient-session semantics of Section 4.3.  Their sampled duration and
+    volume are kept intact so the per-service distributions stay exactly
+    those of the fitted models.
+    """
+    service_idx = sampler.services_of_cells(cells)
+    volume_mb, duration_s = sampler.sample_bodies(cells, z)
+    truncated = (
+        start_minute.astype(np.float64) * 60.0 + duration_s > SECONDS_PER_DAY
+    )
+    return (
+        service_idx,
+        bs_col,
+        day_col,
+        start_minute,
+        duration_s,
+        volume_mb,
+        truncated,
+    )
+
+
+def _generate_block(
+    item: tuple[BatchSampler, list[tuple[int, int, ArrivalModel]], int],
+) -> tuple[np.ndarray, ...] | None:
+    """Executor work function: synthesize one block of (day, BS) units.
+
+    Each unit draws its primitives from its own seed stream; the mixture
+    gather and power-law inversion then run once over the concatenated
+    block, which is where the batching speedup comes from.  Returns the
+    block's finished column arrays (or ``None`` for an all-empty block);
+    table construction — and its validation pass — happens once per chunk,
+    not once per block.
+    """
+    sampler, units, root_seed = item
+    parts: list[tuple[np.ndarray, ...]] = []
+    for day, bs_id, arrival in units:
+        rng = np.random.default_rng(unit_seed(root_seed, day, bs_id))
+        counts = arrival.sample_day(rng)
+        columns = _assemble_unit_columns(sampler, rng, counts, bs_id, day)
+        if columns is not None:
+            parts.append(columns)
+    if not parts:
+        return None
+    merged = tuple(
+        np.concatenate([part[i] for part in parts]) for i in range(5)
+    )
+    return _finish_columns(sampler, *merged)
+
+
+@dataclass(frozen=True)
+class CampaignChunk:
+    """One memory-bounded piece of a generated campaign.
+
+    Chunks arrive in canonical unit order; concatenating their tables
+    yields exactly the unchunked campaign.
+    """
+
+    index: int
+    n_chunks: int
+    units: tuple[tuple[int, int], ...]
+    table: SessionTable
+
+
+@dataclass(frozen=True)
+class CampaignManifest:
+    """Index of a campaign spooled chunk-by-chunk into an artifact cache.
+
+    Attributes
+    ----------
+    kind:
+        Cache artifact family the chunks live under.
+    chunk_keys:
+        Content keys of the chunks, in canonical campaign order.
+    n_sessions / total_volume_mb:
+        Campaign-level totals accumulated while spooling.
+    """
+
+    kind: str
+    chunk_keys: tuple[str, ...]
+    n_sessions: int
+    total_volume_mb: float
+
+    def iter_tables(self, cache: "ArtifactCache") -> Iterator[SessionTable]:
+        """Yield each spooled chunk table in canonical campaign order."""
+        from ..io.cache import load_table
+
+        for key in self.chunk_keys:
+            yield cache.fetch(self.kind, key, ".npz", load_table)
+
+    def load(self, cache: "ArtifactCache") -> SessionTable:
+        """Materialize the full campaign (memory-unbounded: prefer
+        :meth:`iter_tables` for large spools)."""
+        return SessionTable.concatenate(list(self.iter_tables(cache)))
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Summary of one campaign generation run (chunked or materialized).
+
+    Attributes
+    ----------
+    n_sessions / total_volume_mb / n_chunks:
+        Campaign totals, available even when the table was never
+        materialized.
+    chunk_keys:
+        Content keys of the spooled chunks (empty when the run did not go
+        through an artifact cache).
+    table:
+        The materialized campaign, or ``None`` for summary-only runs.
+    """
+
+    n_sessions: int
+    total_volume_mb: float
+    n_chunks: int
+    chunk_keys: tuple[str, ...] = ()
+    table: SessionTable | None = None
 
 
 class TrafficGenerator:
@@ -59,11 +504,10 @@ class TrafficGenerator:
         self.arrival_models = dict(arrival_models)
         self.mix = mix
         self.bank = bank
+        self._sampler: BatchSampler | None = None
 
     @staticmethod
     def _check_mix_covered(mix: ServiceMix, bank: ModelBank) -> None:
-        from ..dataset.records import SERVICE_NAMES
-
         probs = mix.probabilities()
         uncovered = [
             SERVICE_NAMES[i]
@@ -75,44 +519,321 @@ class TrafficGenerator:
                 f"mix emits services without fitted models: {uncovered}"
             )
 
+    def sampler(self) -> BatchSampler:
+        """The flattened sampling tables of this generator's models."""
+        if self._sampler is None:
+            self._sampler = BatchSampler.from_models(self.mix, self.bank)
+        return self._sampler
+
+    # ------------------------------------------------------------------
+    # Per-unit generation
     # ------------------------------------------------------------------
     def generate_bs_day(
         self, bs_id: int, day: int, rng: np.random.Generator
     ) -> GeneratedDay:
-        """Generate one day of sessions at one BS."""
+        """Generate one day of sessions at one BS.
+
+        Drawing from ``np.random.default_rng(unit_seed(seed, day, bs_id))``
+        reproduces exactly the unit's slice of a campaign generated under
+        root seed ``seed``.
+        """
         try:
             arrivals = self.arrival_models[bs_id]
         except KeyError:
             raise GeneratorError(f"no arrival model for BS {bs_id}") from None
         minute_counts = arrivals.sample_day(rng)
-        n = int(minute_counts.sum())
-        if n == 0:
+        columns = _assemble_unit_columns(
+            self.sampler(), rng, minute_counts, bs_id, day
+        )
+        if columns is None:
             return GeneratedDay(SessionTable.empty(), minute_counts)
-
-        start_minute = np.repeat(np.arange(1440), minute_counts)
-        service_idx, volumes, durations = self.bank.sample_mixed_sessions(
-            self.mix, rng, n
-        )
-        table = SessionTable(
-            service_idx=service_idx,
-            bs_id=np.full(n, bs_id),
-            day=np.full(n, day),
-            start_minute=start_minute,
-            duration_s=durations,
-            volume_mb=volumes,
-            truncated=np.zeros(n, dtype=bool),
-        )
+        table = SessionTable(*_finish_columns(self.sampler(), *columns))
         return GeneratedDay(table, minute_counts)
 
-    def generate_campaign(
-        self, n_days: int, rng: np.random.Generator
-    ) -> SessionTable:
-        """Generate ``n_days`` of sessions over every configured BS."""
+    # ------------------------------------------------------------------
+    # Campaign planning
+    # ------------------------------------------------------------------
+    def campaign_units(self, n_days: int) -> list[tuple[int, int]]:
+        """Canonical (day, bs_id) work-unit order of a campaign.
+
+        BS identifiers are sorted, so the campaign does not depend on the
+        insertion order of the ``arrival_models`` mapping.
+        """
         if n_days < 1:
             raise GeneratorError("n_days must be >= 1")
-        pieces = [
-            self.generate_bs_day(bs_id, day, rng).table
-            for day in range(n_days)
-            for bs_id in self.arrival_models
+        bs_order = sorted(self.arrival_models)
+        return [(day, bs_id) for day in range(n_days) for bs_id in bs_order]
+
+    def expected_unit_sessions(self, bs_id: int) -> float:
+        """Expected sessions of one BS-day under its arrival model.
+
+        The chunk planner uses this to bound each chunk's expected session
+        count before anything is sampled.  Pareto night modes with infinite
+        mean (shape <= 1) fall back to a finite multiple of their scale.
+        """
+        try:
+            model = self.arrival_models[bs_id]
+        except KeyError:
+            raise GeneratorError(f"no arrival model for BS {bs_id}") from None
+        n_peak = int(peak_minute_mask().sum())
+        night_mean = model.night.mean()
+        if not np.isfinite(night_mean):
+            night_mean = model.night_scale * 4.0
+        return n_peak * model.peak_mu + (MINUTES_PER_DAY - n_peak) * night_mean
+
+    def plan_chunks(
+        self, n_days: int, chunk_sessions: int | None = None
+    ) -> list[list[tuple[int, int]]]:
+        """Partition the canonical unit list into bounded chunks.
+
+        Each chunk's *expected* session count stays at or below
+        ``chunk_sessions`` (default :data:`DEFAULT_CHUNK_SESSIONS`) except
+        when a single unit alone exceeds the budget.  The plan depends only
+        on the models and the budget — never on sampled data — so chunking
+        cannot perturb the generated campaign.
+        """
+        budget = (
+            DEFAULT_CHUNK_SESSIONS if chunk_sessions is None
+            else int(chunk_sessions)
+        )
+        if budget < 1:
+            raise GeneratorError("chunk_sessions must be >= 1")
+        chunks: list[list[tuple[int, int]]] = []
+        current: list[tuple[int, int]] = []
+        accumulated = 0.0
+        for day, bs_id in self.campaign_units(n_days):
+            expected = self.expected_unit_sessions(bs_id)
+            if current and accumulated + expected > budget:
+                chunks.append(current)
+                current, accumulated = [], 0.0
+            current.append((day, bs_id))
+            accumulated += expected
+        chunks.append(current)
+        return chunks
+
+    def _generate_chunk(
+        self,
+        sampler: BatchSampler,
+        units: Sequence[tuple[int, int]],
+        root_seed: int,
+        executor: SerialExecutor | ParallelExecutor,
+    ) -> SessionTable:
+        items = []
+        for lo in range(0, len(units), BLOCK_UNITS):
+            block = [
+                (day, bs_id, self.arrival_models[bs_id])
+                for day, bs_id in units[lo : lo + BLOCK_UNITS]
+            ]
+            items.append((sampler, block, root_seed))
+        blocks = [
+            columns
+            for columns in executor.map(_generate_block, items)
+            if columns is not None
         ]
-        return SessionTable.concatenate(pieces)
+        if not blocks:
+            return SessionTable.empty()
+        if len(blocks) == 1:
+            return SessionTable(*blocks[0])
+        return SessionTable(
+            *(
+                np.concatenate([block[i] for block in blocks])
+                for i in range(len(SessionTable.COLUMNS))
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Campaign generation
+    # ------------------------------------------------------------------
+    def iter_campaign_chunks(
+        self,
+        n_days: int,
+        seed: int | np.integer | np.random.Generator,
+        *,
+        executor: SerialExecutor | ParallelExecutor | None = None,
+        chunk_sessions: int | None = None,
+    ) -> Iterator[CampaignChunk]:
+        """Generate the campaign chunk by chunk, in canonical order.
+
+        Only one chunk's sessions are materialized at a time, so a caller
+        that consumes and drops each :class:`CampaignChunk` keeps peak
+        memory bounded by ``chunk_sessions`` regardless of campaign scale.
+        ``executor`` fans each chunk's unit blocks across workers; the
+        output is byte-identical for any worker count or chunk size.
+        """
+        root_seed = coerce_root_seed(seed)
+        plans = self.plan_chunks(n_days, chunk_sessions)
+        runner = executor if executor is not None else SerialExecutor()
+        sampler = self.sampler()
+        for index, units in enumerate(plans):
+            table = self._generate_chunk(sampler, units, root_seed, runner)
+            yield CampaignChunk(
+                index=index,
+                n_chunks=len(plans),
+                units=tuple(units),
+                table=table,
+            )
+
+    def generate_campaign(
+        self,
+        n_days: int,
+        rng: int | np.integer | np.random.Generator,
+        *,
+        executor: SerialExecutor | ParallelExecutor | None = None,
+        jobs: int | None = None,
+        chunk_sessions: int | None = None,
+    ) -> SessionTable:
+        """Generate ``n_days`` of sessions over every configured BS.
+
+        ``rng`` may be an integer root seed or a ``Generator`` (from which
+        one root seed is drawn); every (day, BS) unit then runs on its own
+        spawned seed stream, so ``jobs=1`` and ``jobs=N`` runs — and any
+        ``chunk_sessions`` setting — produce byte-identical tables.  Pass
+        either an ``executor`` or a ``jobs`` count (an owned executor is
+        created and reaped for the call).
+
+        The whole campaign is materialized in memory here regardless of
+        ``chunk_sessions``, so this path assembles all unit blocks into
+        one table directly — chunk splitting would only add a redundant
+        copy.  For bounded peak memory, consume
+        :meth:`iter_campaign_chunks` or :meth:`spool_campaign` instead.
+        """
+        if executor is not None and jobs is not None:
+            raise GeneratorError("pass either executor= or jobs=, not both")
+        if chunk_sessions is not None:
+            # Validate eagerly so chunked and direct calls reject the same
+            # inputs; the value does not affect the (byte-identical) output.
+            self.plan_chunks(n_days, chunk_sessions)
+        owned = make_executor(jobs) if executor is None and jobs else None
+        runner = (
+            executor
+            if executor is not None
+            else owned if owned is not None else SerialExecutor()
+        )
+        try:
+            return self._generate_chunk(
+                self.sampler(),
+                self.campaign_units(n_days),
+                coerce_root_seed(rng),
+                runner,
+            )
+        finally:
+            if owned is not None:
+                owned.close()
+
+    # ------------------------------------------------------------------
+    # Cache spooling
+    # ------------------------------------------------------------------
+    def _content_parts(self) -> dict:
+        """Configuration facts determining the campaign's content."""
+        return {
+            "artifact": "generated-campaign",
+            "mix": self.mix.probabilities(),
+            "bank": json.loads(self.bank.to_json()),
+            "arrivals": {
+                str(bs_id): self.arrival_models[bs_id]
+                for bs_id in sorted(self.arrival_models)
+            },
+        }
+
+    def spool_campaign(
+        self,
+        n_days: int,
+        seed: int | np.integer | np.random.Generator,
+        cache: "ArtifactCache",
+        *,
+        executor: SerialExecutor | ParallelExecutor | None = None,
+        chunk_sessions: int | None = None,
+    ) -> CampaignManifest:
+        """Generate chunk-by-chunk through the artifact cache.
+
+        Each chunk is content-keyed by the generator's models, the root
+        seed and the chunk's unit identities, and persisted as ``.npz``
+        before the next chunk is generated — peak memory stays bounded by
+        one chunk.  Chunks already present under their key are loaded
+        instead of regenerated, so an interrupted spool resumes where it
+        stopped.  Returns the :class:`CampaignManifest` indexing the spool.
+        """
+        from ..io.cache import CacheError, content_key, load_table, save_table
+
+        root_seed = coerce_root_seed(seed)
+        plans = self.plan_chunks(n_days, chunk_sessions)
+        runner = executor if executor is not None else SerialExecutor()
+        sampler = self.sampler()
+        config = self._content_parts()
+        keys: list[str] = []
+        n_sessions = 0
+        total_volume = 0.0
+        for units in plans:
+            key = content_key(
+                {
+                    **config,
+                    "seed": root_seed,
+                    "units": [[day, bs_id] for day, bs_id in units],
+                }
+            )
+            table: SessionTable | None = None
+            if cache.has(GENERATED_KIND, key, ".npz"):
+                try:
+                    table = cache.fetch(
+                        GENERATED_KIND, key, ".npz", load_table
+                    )
+                except CacheError:
+                    table = None  # unreadable entry: regenerate below
+            if table is None:
+                table = self._generate_chunk(sampler, units, root_seed, runner)
+                cache.store(
+                    GENERATED_KIND,
+                    key,
+                    ".npz",
+                    lambda path, value=table: save_table(path, value),
+                )
+            keys.append(key)
+            n_sessions += len(table)
+            total_volume += table.total_volume_mb()
+        return CampaignManifest(
+            kind=GENERATED_KIND,
+            chunk_keys=tuple(keys),
+            n_sessions=n_sessions,
+            total_volume_mb=float(total_volume),
+        )
+
+
+def generate_campaign_reference(
+    generator: TrafficGenerator, n_days: int, rng: np.random.Generator
+) -> SessionTable:
+    """Pre-batching reference: the serial per-unit loop on one shared RNG.
+
+    This is the engine's historical implementation, kept as the regression
+    baseline: the batched engine must match its output *distribution* (the
+    property tests pin service draws exactly and volume histograms by EMD),
+    and the performance benchmark reports its throughput as the speedup
+    denominator.  Its shared-RNG design makes results depend on the
+    ``arrival_models`` iteration order — exactly the bug the seed-stream
+    engine fixes — so it must not be used for new campaigns.
+    """
+    if n_days < 1:
+        raise GeneratorError("n_days must be >= 1")
+    pieces = []
+    for day in range(n_days):
+        for bs_id, arrival in generator.arrival_models.items():
+            counts = arrival.sample_day(rng)
+            n = int(counts.sum())
+            if n == 0:
+                pieces.append(SessionTable.empty())
+                continue
+            start_minute = np.repeat(np.arange(MINUTES_PER_DAY), counts)
+            service_idx, volumes, durations = (
+                generator.bank.sample_mixed_sessions(generator.mix, rng, n)
+            )
+            pieces.append(
+                SessionTable(
+                    service_idx=service_idx,
+                    bs_id=np.full(n, bs_id),
+                    day=np.full(n, day),
+                    start_minute=start_minute,
+                    duration_s=durations,
+                    volume_mb=volumes,
+                    truncated=np.zeros(n, dtype=bool),
+                )
+            )
+    return SessionTable.concatenate(pieces)

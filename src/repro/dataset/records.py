@@ -103,9 +103,22 @@ class SessionTable:
     # ------------------------------------------------------------------
     @classmethod
     def empty(cls) -> "SessionTable":
-        """Return a table with zero rows."""
-        z = np.empty(0)
-        return cls(z, z, z, z, z, z, np.empty(0, dtype=bool))
+        """Return a table with zero rows and exact schema dtypes.
+
+        Columns are allocated in their schema dtypes directly (not coerced
+        from a float64 placeholder), so concatenating any number of empty
+        tables — e.g. a campaign where every BS sampled zero arrivals —
+        preserves the schema bit-for-bit.
+        """
+        return cls(
+            service_idx=np.empty(0, dtype=np.int16),
+            bs_id=np.empty(0, dtype=np.int32),
+            day=np.empty(0, dtype=np.int16),
+            start_minute=np.empty(0, dtype=np.int16),
+            duration_s=np.empty(0, dtype=np.float32),
+            volume_mb=np.empty(0, dtype=np.float32),
+            truncated=np.empty(0, dtype=bool),
+        )
 
     def __len__(self) -> int:
         return int(self.service_idx.size)

@@ -35,8 +35,34 @@ class TraceError(ValueError):
     """Raised on malformed trace files."""
 
 
+class _DeterministicGzipWriter(io.TextIOWrapper):
+    """Text writer over gzip with a pinned header (mtime 0, no filename).
+
+    The stock ``gzip.open`` embeds the wall-clock time and output filename
+    in the stream header, so two exports of the same campaign differ at
+    the byte level.  Pinning both makes same-seed traces comparable with a
+    plain ``cmp``.
+    """
+
+    def __init__(self, path: Path):
+        self._raw = open(path, "wb")
+        stream = gzip.GzipFile(
+            filename="", fileobj=self._raw, mode="wb", mtime=0
+        )
+        super().__init__(stream, encoding="utf-8", newline="")
+
+    def close(self) -> None:
+        """Flush and close the gzip stream and the underlying file."""
+        try:
+            super().close()
+        finally:
+            self._raw.close()
+
+
 def _open_text(path: Path, mode: str):
     if path.suffix == ".gz":
+        if mode == "w":
+            return _DeterministicGzipWriter(path)
         return gzip.open(path, mode + "t", encoding="utf-8", newline="")
     return open(path, mode, encoding="utf-8", newline="")
 

@@ -8,6 +8,8 @@ Builders for the named stages the CLI (and scripts) assemble into runs:
 * ``fit-models`` — per-service session-level model fitting fan-out;
 * ``fit-arrivals`` — per-decile bi-modal arrival model fitting;
 * ``read-trace`` — load a campaign from a CSV(.gz) trace instead;
+* ``generate`` — synthesize a campaign from a ``TrafficGenerator`` via the
+  batched seed-stream engine, spooled chunk-wise through the cache;
 * ``validate`` — check a campaign against the paper's stylized facts;
 * ``verify`` — the statistical fidelity gate: measure the paper's headline
   statistics on the run's artifacts and judge them against the golden
@@ -125,6 +127,72 @@ def fit_arrivals_stage(n_days: int) -> Stage:
         produces="arrivals",
         requires=("campaign", "network"),
         fn=run,
+    )
+
+
+def generate_stage(
+    n_days: int,
+    chunk_sessions: int | None = None,
+    materialize: bool = True,
+) -> Stage:
+    """Stage synthesizing a campaign from a ``generator`` artifact.
+
+    Runs the batched engine of
+    :class:`~repro.core.generator.TrafficGenerator` under the run context's
+    executor and root seed; every (day, BS) unit draws from its own spawned
+    seed stream, so the produced campaign is byte-identical for any
+    ``--jobs`` or ``chunk_sessions`` setting.  With a cache on the context,
+    chunks are spooled through it (bounded peak memory, resumable);
+    ``materialize=False`` then keeps only the campaign totals, never the
+    full table.  Produces a
+    :class:`~repro.core.generator.GenerationResult`.
+    """
+    from ..core.generator import GenerationResult
+
+    def run(ctx, artifacts):
+        generator = artifacts["generator"]
+        with ctx.executor() as executor:
+            if ctx.cache is not None:
+                manifest = generator.spool_campaign(
+                    n_days,
+                    ctx.seed,
+                    ctx.cache,
+                    executor=executor,
+                    chunk_sessions=chunk_sessions,
+                )
+                return GenerationResult(
+                    n_sessions=manifest.n_sessions,
+                    total_volume_mb=manifest.total_volume_mb,
+                    n_chunks=len(manifest.chunk_keys),
+                    chunk_keys=manifest.chunk_keys,
+                    table=manifest.load(ctx.cache) if materialize else None,
+                )
+            table = generator.generate_campaign(
+                n_days,
+                ctx.seed,
+                executor=executor,
+                chunk_sessions=chunk_sessions,
+            )
+            return GenerationResult(
+                n_sessions=len(table),
+                total_volume_mb=table.total_volume_mb(),
+                n_chunks=len(generator.plan_chunks(n_days, chunk_sessions)),
+                table=table if materialize else None,
+            )
+
+    def summarize(result):
+        return {
+            "sessions": result.n_sessions,
+            "chunks": result.n_chunks,
+            "GB": round(result.total_volume_mb / 1e3, 1),
+        }
+
+    return Stage(
+        name="generate",
+        produces="generated",
+        requires=("generator",),
+        fn=run,
+        summarize=summarize,
     )
 
 

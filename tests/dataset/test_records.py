@@ -113,6 +113,37 @@ class TestSelection:
     def test_concatenate_empty_list(self):
         assert len(SessionTable.concatenate([])) == 0
 
+    SCHEMA_DTYPES = {
+        "service_idx": np.int16,
+        "bs_id": np.int32,
+        "day": np.int16,
+        "start_minute": np.int16,
+        "duration_s": np.float32,
+        "volume_mb": np.float32,
+        "truncated": np.bool_,
+    }
+
+    def test_empty_table_has_exact_schema_dtypes(self):
+        table = SessionTable.empty()
+        for column, dtype in self.SCHEMA_DTYPES.items():
+            assert getattr(table, column).dtype == dtype, column
+
+    def test_concatenate_all_empty_pieces_keeps_schema(self):
+        # A campaign where every BS sampled zero arrivals must still yield
+        # a schema-correct empty table.
+        merged = SessionTable.concatenate([SessionTable.empty()] * 5)
+        assert len(merged) == 0
+        for column, dtype in self.SCHEMA_DTYPES.items():
+            assert getattr(merged, column).dtype == dtype, column
+
+    def test_concatenate_empty_with_populated_keeps_schema(self):
+        merged = SessionTable.concatenate(
+            [SessionTable.empty(), small_table(), SessionTable.empty()]
+        )
+        assert len(merged) == 4
+        for column, dtype in self.SCHEMA_DTYPES.items():
+            assert getattr(merged, column).dtype == dtype, column
+
 
 class TestDerived:
     def test_throughput(self):

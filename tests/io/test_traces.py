@@ -47,6 +47,16 @@ class TestRoundTrip:
         assert first == ",".join(TRACE_COLUMNS)
         assert len(read_trace(path)) == 3
 
+    def test_gzip_export_is_byte_deterministic(self, tmp_path):
+        # The gzip header must not embed wall-clock time or the output
+        # filename: two exports of the same table — whenever they run and
+        # whatever they are called — must be comparable with a plain cmp.
+        first = tmp_path / "first.csv.gz"
+        second = tmp_path / "differently-named.csv.gz"
+        write_trace(small_table(), first)
+        write_trace(small_table(), second)
+        assert first.read_bytes() == second.read_bytes()
+
     def test_empty_table_round_trip(self, tmp_path):
         path = tmp_path / "empty.csv"
         write_trace(SessionTable.empty(), path)
