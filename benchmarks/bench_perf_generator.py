@@ -25,12 +25,19 @@ Methodology notes, also embedded in the JSON:
 * Peak RSS is snapshotted after the streamed phase and again at exit: the
   streamed phase's high-water mark stays near the model-fitting footprint
   while the materialized phases scale with campaign size.
+* The telemetry phase times the same streamed workload with a full
+  :class:`~repro.obs.telemetry.Telemetry` attached (chunk spans, metrics,
+  JSONL sink) and reports the overhead against the uninstrumented path —
+  best-of-3 each way, runs interleaved to cancel machine drift.  The
+  budget is <3% relative overhead (an absolute epsilon absorbs timer
+  noise on very fast smoke workloads); breaching it fails the benchmark.
 """
 
 import argparse
 import json
 import resource
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -58,6 +65,14 @@ IDENTITY_DAYS = 1
 
 #: Root seed shared by every timed run.
 SEED = 0
+
+#: Telemetry overhead budget: relative bound plus an absolute epsilon
+#: absorbing scheduler/timer noise on smoke-sized workloads.
+TELEMETRY_OVERHEAD_PCT = 3.0
+TELEMETRY_OVERHEAD_EPS_S = 0.05
+
+#: Timing repetitions per telemetry-overhead arm (best-of).
+TELEMETRY_TRIALS = 3
 
 
 def peak_rss_mb() -> float:
@@ -153,6 +168,56 @@ def time_materialized(generator: TrafficGenerator, n_days: int) -> dict:
     }
 
 
+def time_telemetry_overhead(generator: TrafficGenerator, n_days: int) -> dict:
+    """Streamed-path cost of a fully attached telemetry, best-of-N.
+
+    Runs the plain and the instrumented arm interleaved so slow machine
+    drift hits both equally, and judges the best times against the <3%
+    budget (with the absolute epsilon for timer noise).  The instrumented
+    arm carries the whole subsystem: chunk spans, throughput counters and
+    the ``events.jsonl`` sink on real disk.
+    """
+    from repro.obs.telemetry import Telemetry
+
+    def streamed_once(telemetry) -> float:
+        start = time.perf_counter()
+        for chunk in generator.iter_campaign_chunks(
+            n_days, SEED, chunk_sessions=DEFAULT_CHUNK_SESSIONS,
+            telemetry=telemetry,
+        ):
+            len(chunk.table)
+        return time.perf_counter() - start
+
+    plain_times, instrumented_times = [], []
+    with tempfile.TemporaryDirectory() as tmpdir:
+        telemetry = Telemetry(directory=tmpdir, verbosity=0)
+        for _ in range(TELEMETRY_TRIALS):
+            plain_times.append(streamed_once(None))
+            instrumented_times.append(streamed_once(telemetry))
+        manifest = telemetry.finalize(command="bench-telemetry", seed=SEED)
+    plain = min(plain_times)
+    instrumented = min(instrumented_times)
+    overhead_s = instrumented - plain
+    overhead_pct = 100.0 * overhead_s / plain
+    within_budget = (
+        overhead_pct <= TELEMETRY_OVERHEAD_PCT
+        or overhead_s <= TELEMETRY_OVERHEAD_EPS_S
+    )
+    return {
+        "plain_seconds": round(plain, 4),
+        "instrumented_seconds": round(instrumented, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "budget_pct": TELEMETRY_OVERHEAD_PCT,
+        "epsilon_s": TELEMETRY_OVERHEAD_EPS_S,
+        "trials": TELEMETRY_TRIALS,
+        "within_budget": within_budget,
+        "spans_recorded": manifest["spans"]["total"],
+        "sessions_counted": manifest["metrics"]["counters"].get(
+            "generator.sessions", 0
+        ),
+    }
+
+
 def run(smoke: bool) -> dict:
     """Execute every benchmark phase and assemble the report payload."""
     n_bs, n_days = (SMOKE_BS, SMOKE_DAYS) if smoke else (FULL_BS, FULL_DAYS)
@@ -162,6 +227,7 @@ def run(smoke: bool) -> dict:
     identity = check_determinism(generator)
     streamed = time_streamed(generator, n_days)
     rss_streamed = peak_rss_mb()
+    telemetry = time_telemetry_overhead(generator, n_days)
     materialized = time_materialized(generator, n_days)
     reference = time_reference(generator, n_days)
 
@@ -173,6 +239,7 @@ def run(smoke: bool) -> dict:
         "reference_loop": reference,
         "batched_streamed": streamed,
         "batched_materialized": materialized,
+        "telemetry": telemetry,
         "speedup_streamed": round(
             streamed["sessions_per_s"] / reference["sessions_per_s"], 2
         ),
@@ -215,10 +282,23 @@ def main(argv: list[str] | None = None) -> int:
     print(f"reference loop:      {report['reference_loop']['sessions_per_s']:>12,} sessions/s")
     print(f"batched streamed:    {report['batched_streamed']['sessions_per_s']:>12,} sessions/s ({report['speedup_streamed']}x)")
     print(f"batched materialized:{report['batched_materialized']['sessions_per_s']:>12,} sessions/s ({report['speedup_materialized']}x)")
+    telemetry = report["telemetry"]
+    print(
+        f"telemetry overhead:  {telemetry['overhead_pct']:>11}% "
+        f"(budget {telemetry['budget_pct']}%, "
+        f"{telemetry['spans_recorded']} spans)"
+    )
     print(f"determinism: {report['determinism']}")
     print(f"report: {args.output}")
     if not all(report["determinism"].values()):
         print("FAIL: determinism contract violated", file=sys.stderr)
+        return 1
+    if not telemetry["within_budget"]:
+        print(
+            f"FAIL: telemetry overhead {telemetry['overhead_pct']}% "
+            f"exceeds the {telemetry['budget_pct']}% budget",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -16,7 +16,9 @@ independent per-(day, BS) seed-stream work units:
   the baseline campaign, measure the paper's headline statistics and judge
   them against the golden tolerance bands (exit 1 on any breach);
 * ``repro-traffic reproduce`` — regenerate a paper artefact at laptop
-  scale.
+  scale;
+* ``repro-traffic report`` — render the telemetry of a previous run
+  (manifest, stage table, metrics, slowest spans).
 
 Every subcommand accepts ``--jobs N`` to fan the heavy stages out across
 worker processes — output is bit-identical for any worker count thanks to
@@ -27,6 +29,14 @@ re-simulation; pass ``--no-cache`` to opt out.  ``generate`` runs the
 batched synthesis engine: ``--chunk-size`` bounds peak memory by spooling
 the campaign chunk-wise through the cache, and repeated runs resume from
 already-spooled chunks.
+
+Every run carries a :class:`~repro.obs.telemetry.Telemetry`: pass
+``--telemetry-dir DIR`` to stream span/stage/metric events into
+``DIR/events.jsonl`` and write a run manifest, ``--log-json`` for
+machine-readable stage lines, ``-v``/``-q`` to raise or lower verbosity,
+and ``--profile`` to capture per-stage cProfile dumps.  Telemetry is
+strictly out-of-band — identical seeds keep producing byte-identical
+campaigns whether it is enabled or not.
 """
 
 from __future__ import annotations
@@ -35,8 +45,9 @@ import argparse
 import sys
 
 from .io.cache import ArtifactCache
+from .obs.telemetry import Telemetry
 from .pipeline.context import RunContext
-from .pipeline.stages import Pipeline, StageEvent
+from .pipeline.stages import Pipeline
 from .pipeline.standard import (
     fit_arrivals_stage,
     fit_models_stage,
@@ -45,6 +56,30 @@ from .pipeline.standard import (
     simulate_stage,
     validate_stage,
 )
+
+
+def _add_telemetry_flags(sub: argparse.ArgumentParser) -> None:
+    """Attach the telemetry/verbosity flags every run subcommand shares."""
+    sub.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="write events.jsonl + manifest.json (+ profiles) into DIR",
+    )
+    sub.add_argument(
+        "--log-json", action="store_true",
+        help="render stage outcomes as JSON lines instead of text",
+    )
+    sub.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise verbosity (repeatable; -v adds span timing lines)",
+    )
+    sub.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="lower verbosity (repeatable; -q silences stage lines)",
+    )
+    sub.add_argument(
+        "--profile", action="store_true",
+        help="capture per-stage cProfile dumps into the telemetry dir",
+    )
 
 
 def _add_run_flags(sub: argparse.ArgumentParser, cache: bool = True) -> None:
@@ -62,6 +97,7 @@ def _add_run_flags(sub: argparse.ArgumentParser, cache: bool = True) -> None:
             "--no-cache", action="store_true",
             help="disable the artifact cache for this run",
         )
+    _add_telemetry_flags(sub)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -151,33 +187,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which paper artefact to regenerate",
     )
     _add_run_flags(rep, cache=False)
+
+    rpt = sub.add_parser(
+        "report", help="render the telemetry of a previous run"
+    )
+    rpt.add_argument(
+        "directory",
+        help="telemetry directory of the run (as given to --telemetry-dir)",
+    )
     return parser
 
 
-def _make_context(args: argparse.Namespace) -> RunContext:
-    """Build the run context a subcommand executes under."""
+def _make_context(
+    args: argparse.Namespace, telemetry: Telemetry
+) -> RunContext:
+    """Build the run context a subcommand executes under.
+
+    The run's telemetry is threaded through everything that reports into
+    it: the artifact cache (hit/miss/bytes counters), the context (stage
+    spans, default stage observer) and — via the context — the executors.
+    """
     cache = None
     if hasattr(args, "no_cache") and not args.no_cache:
-        cache = ArtifactCache(args.cache_dir)
+        cache = ArtifactCache(args.cache_dir, telemetry=telemetry)
     return RunContext(
-        seed=args.seed, jobs=getattr(args, "jobs", 1), cache=cache
+        seed=args.seed,
+        jobs=getattr(args, "jobs", 1),
+        cache=cache,
+        telemetry=telemetry,
     )
 
 
-def _print_event(event: StageEvent) -> None:
-    """Surface one pipeline stage outcome (cache hits stay visible)."""
-    print(f"[pipeline] {event.describe()}")
-
-
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _cmd_simulate(args: argparse.Namespace, ctx: RunContext) -> int:
     from .dataset.aggregation import service_shares
     from .io.tables import print_table
 
-    ctx = _make_context(args)
     pipeline = Pipeline(
         [network_stage(args.bs), simulate_stage(args.days)]
     )
-    run = pipeline.run(ctx, observer=_print_event)
+    run = pipeline.run(ctx)
     table = run.artifact("campaign")
     shares = service_shares(table)
     top = sorted(shares.items(), key=lambda kv: kv[1][0], reverse=True)[:10]
@@ -196,15 +244,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fit(args: argparse.Namespace) -> int:
+def _cmd_fit(args: argparse.Namespace, ctx: RunContext) -> int:
     from .io.params import save_release
 
-    ctx = _make_context(args)
     if args.from_trace:
         pipeline = Pipeline(
             [read_trace_stage(args.from_trace), fit_models_stage()]
         )
-        run = pipeline.run(ctx, observer=_print_event)
+        run = pipeline.run(ctx)
         bank = run.artifact("bank")
         save_release(args.output, bank)
         print(
@@ -220,21 +267,20 @@ def _cmd_fit(args: argparse.Namespace) -> int:
             fit_arrivals_stage(args.days),
         ]
     )
-    run = pipeline.run(ctx, observer=_print_event)
+    run = pipeline.run(ctx)
     bank = run.artifact("bank")
     save_release(args.output, bank, run.artifact("arrivals"))
     print(f"fitted {len(bank)} service models -> {args.output}")
     return 0
 
 
-def _cmd_generate(args: argparse.Namespace) -> int:
+def _cmd_generate(args: argparse.Namespace, ctx: RunContext) -> int:
     from .core.generator import TrafficGenerator
     from .core.service_mix import ServiceMix
     from .dataset.network import decile_peak_rate
     from .io.params import load_release
     from .pipeline.standard import generate_stage
 
-    ctx = _make_context(args)
     bank, arrivals = load_release(args.models)
     label = f"decile-{args.decile}"
     if label in arrivals:
@@ -260,9 +306,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         ],
         inputs=("generator",),
     )
-    run = pipeline.run(
-        ctx, initial={"generator": generator}, observer=_print_event
-    )
+    run = pipeline.run(ctx, initial={"generator": generator})
     result = run.artifact("generated")
     print(
         f"generated {result.n_sessions} sessions over {args.bs} BSs, "
@@ -277,10 +321,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_validate(args: argparse.Namespace) -> int:
+def _cmd_validate(args: argparse.Namespace, ctx: RunContext) -> int:
     from .io.tables import print_table
 
-    ctx = _make_context(args)
     if args.trace:
         stages = [read_trace_stage(args.trace), validate_stage(args.days)]
         source = args.trace
@@ -291,7 +334,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             validate_stage(args.days),
         ]
         source = f"simulated campaign ({args.bs} BSs, {args.days} day(s))"
-    run = Pipeline(stages).run(ctx, observer=_print_event)
+    run = Pipeline(stages).run(ctx)
     table = run.artifact("campaign")
     report = run.artifact("report")
     print_table(
@@ -303,16 +346,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
+def _cmd_verify(args: argparse.Namespace, ctx: RunContext) -> int:
     from .io.tables import print_table
     from .verify import Baseline, default_baseline_path, run_verification
 
-    ctx = _make_context(args)
     path = (
         args.baseline if args.baseline is not None else default_baseline_path()
     )
     baseline = Baseline.load(path)
-    report, _run = run_verification(ctx, baseline=baseline, observer=_print_event)
+    report, _run = run_verification(ctx, baseline=baseline)
     report.meta["baseline"] = str(path)
     print_table(
         ["claim", "value", "lo", "hi", "verdict"],
@@ -338,12 +380,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_reproduce(args: argparse.Namespace) -> int:
+def _cmd_reproduce(args: argparse.Namespace, ctx: RunContext) -> int:
     from .dataset.network import Network, NetworkConfig
     from .dataset.simulator import SimulationConfig, simulate
     from .io.tables import print_table
 
-    ctx = _make_context(args)
     if args.experiment == "table2":
         from .usecases.slicing import SlicingScenario, run_slicing_experiment
 
@@ -420,9 +461,40 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled experiment {args.experiment!r}")
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render the telemetry of a previous run (no context needed)."""
+    from .obs.report import ReportRenderError, render_run
+
+    try:
+        lines = render_run(args.directory)
+    except ReportRenderError as exc:
+        print(f"report error: {exc}", file=sys.stderr)
+        return 1
+    for line in lines:
+        print(line)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Run subcommands execute under one :class:`~repro.obs.telemetry.Telemetry`
+    built from the telemetry flags: the whole command runs inside a ``run``
+    span, stage events flow through the telemetry's verbosity-aware
+    renderer, and — telemetry directory or not — the run is finalized on
+    the way out, writing the manifest and the final metric snapshot when a
+    directory was given.
+    """
     args = _build_parser().parse_args(argv)
+    if args.command == "report":
+        return _cmd_report(args)
+    telemetry = Telemetry(
+        directory=getattr(args, "telemetry_dir", None),
+        verbosity=1 + getattr(args, "verbose", 0) - getattr(args, "quiet", 0),
+        log_json=getattr(args, "log_json", False),
+        profile=getattr(args, "profile", False),
+    )
+    ctx = _make_context(args, telemetry)
     handlers = {
         "simulate": _cmd_simulate,
         "fit": _cmd_fit,
@@ -431,7 +503,20 @@ def main(argv: list[str] | None = None) -> int:
         "verify": _cmd_verify,
         "reproduce": _cmd_reproduce,
     }
-    return handlers[args.command](args)
+    status = "error"
+    try:
+        with telemetry.span(f"run:{args.command}", kind="run"):
+            code = handlers[args.command](args, ctx)
+        status = "ok" if code == 0 else "failed"
+        return code
+    finally:
+        telemetry.finalize(
+            command=args.command,
+            seed=args.seed,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            config=vars(args),
+            status=status,
+        )
 
 
 if __name__ == "__main__":

@@ -49,6 +49,7 @@ from .service_mix import ServiceMix
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..io.cache import ArtifactCache
+    from ..obs.telemetry import Telemetry
 
 #: Stream label of per-(day, BS) generation RNGs (see :func:`unit_seed`).
 UNIT_STREAM = "generate"
@@ -651,6 +652,7 @@ class TrafficGenerator:
         *,
         executor: SerialExecutor | ParallelExecutor | None = None,
         chunk_sessions: int | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> Iterator[CampaignChunk]:
         """Generate the campaign chunk by chunk, in canonical order.
 
@@ -659,13 +661,32 @@ class TrafficGenerator:
         memory bounded by ``chunk_sessions`` regardless of campaign scale.
         ``executor`` fans each chunk's unit blocks across workers; the
         output is byte-identical for any worker count or chunk size.
+        ``telemetry`` (optional) records one ``chunk`` span per generated
+        chunk plus the engine's throughput counters
+        (``generator.sessions``, ``generator.chunks``,
+        ``generator.units``) — strictly out-of-band, the sessions are
+        unaffected.
         """
         root_seed = coerce_root_seed(seed)
         plans = self.plan_chunks(n_days, chunk_sessions)
         runner = executor if executor is not None else SerialExecutor()
         sampler = self.sampler()
+        obs = telemetry
         for index, units in enumerate(plans):
-            table = self._generate_chunk(sampler, units, root_seed, runner)
+            if obs:
+                with obs.span(
+                    f"chunk-{index}", kind="chunk",
+                    attrs={"index": index, "units": len(units)},
+                ) as span:
+                    table = self._generate_chunk(
+                        sampler, units, root_seed, runner
+                    )
+                    span.attrs["sessions"] = len(table)
+                obs.metrics.counter("generator.sessions").inc(len(table))
+                obs.metrics.counter("generator.chunks").inc()
+                obs.metrics.counter("generator.units").inc(len(units))
+            else:
+                table = self._generate_chunk(sampler, units, root_seed, runner)
             yield CampaignChunk(
                 index=index,
                 n_chunks=len(plans),
@@ -743,6 +764,7 @@ class TrafficGenerator:
         *,
         executor: SerialExecutor | ParallelExecutor | None = None,
         chunk_sessions: int | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> CampaignManifest:
         """Generate chunk-by-chunk through the artifact cache.
 
@@ -752,6 +774,12 @@ class TrafficGenerator:
         one chunk.  Chunks already present under their key are loaded
         instead of regenerated, so an interrupted spool resumes where it
         stopped.  Returns the :class:`CampaignManifest` indexing the spool.
+
+        ``telemetry`` (optional) records one ``chunk`` span per spooled
+        chunk — attributed ``cache: "hit"`` for replayed chunks and
+        ``cache: "miss"`` for freshly generated ones — plus the engine's
+        throughput counters; the spooled bytes are byte-identical either
+        way.
         """
         from ..io.cache import CacheError, content_key, load_table, save_table
 
@@ -759,11 +787,12 @@ class TrafficGenerator:
         plans = self.plan_chunks(n_days, chunk_sessions)
         runner = executor if executor is not None else SerialExecutor()
         sampler = self.sampler()
+        obs = telemetry
         config = self._content_parts()
         keys: list[str] = []
         n_sessions = 0
         total_volume = 0.0
-        for units in plans:
+        for index, units in enumerate(plans):
             key = content_key(
                 {
                     **config,
@@ -771,22 +800,43 @@ class TrafficGenerator:
                     "units": [[day, bs_id] for day, bs_id in units],
                 }
             )
-            table: SessionTable | None = None
-            if cache.has(GENERATED_KIND, key, ".npz"):
-                try:
-                    table = cache.fetch(
-                        GENERATED_KIND, key, ".npz", load_table
-                    )
-                except CacheError:
-                    table = None  # unreadable entry: regenerate below
-            if table is None:
-                table = self._generate_chunk(sampler, units, root_seed, runner)
+
+            def produce(table_key: str = key, chunk_units=units):
+                table: SessionTable | None = None
+                if cache.has(GENERATED_KIND, table_key, ".npz"):
+                    try:
+                        table = cache.fetch(
+                            GENERATED_KIND, table_key, ".npz", load_table
+                        )
+                    except CacheError:
+                        table = None  # unreadable entry: regenerate below
+                if table is not None:
+                    return table, "hit"
+                table = self._generate_chunk(
+                    sampler, chunk_units, root_seed, runner
+                )
                 cache.store(
                     GENERATED_KIND,
-                    key,
+                    table_key,
                     ".npz",
                     lambda path, value=table: save_table(path, value),
                 )
+                return table, "miss"
+
+            if obs:
+                with obs.span(
+                    f"chunk-{index}", kind="chunk",
+                    attrs={"index": index, "units": len(units)},
+                ) as span:
+                    table, provenance = produce()
+                    span.attrs["sessions"] = len(table)
+                    span.attrs["cache"] = provenance
+                    span.attrs["key"] = key
+                obs.metrics.counter("generator.sessions").inc(len(table))
+                obs.metrics.counter("generator.chunks").inc()
+                obs.metrics.counter("generator.units").inc(len(units))
+            else:
+                table, _provenance = produce()
             keys.append(key)
             n_sessions += len(table)
             total_volume += table.total_volume_mb()

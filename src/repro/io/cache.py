@@ -29,6 +29,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dataset.records import SessionTable
+    from ..obs.telemetry import Telemetry
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -97,10 +98,27 @@ def default_cache_root() -> Path:
 
 
 class ArtifactCache:
-    """Directory of cached artifacts addressed by (kind, content key)."""
+    """Directory of cached artifacts addressed by (kind, content key).
 
-    def __init__(self, root: str | Path | None = None):
+    With a :class:`~repro.obs.telemetry.Telemetry` attached, every probe,
+    load and store increments the run's cache metrics (``cache.hit``,
+    ``cache.miss``, ``cache.error``, ``cache.stores``, ``cache.bytes_read``,
+    ``cache.bytes_written``) — purely observational, artifact contents and
+    keys are untouched.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        telemetry: "Telemetry | None" = None,
+    ):
         self.root = Path(root) if root is not None else default_cache_root()
+        self.telemetry = telemetry
+
+    def _count(self, name: str, amount: int | float = 1) -> None:
+        """Increment one cache metric when telemetry is attached."""
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name).inc(amount)
 
     def path_for(self, kind: str, key: str, suffix: str) -> Path:
         """Path an artifact of ``kind`` with content ``key`` lives at."""
@@ -111,8 +129,15 @@ class ArtifactCache:
         return self.root / kind / f"{key}{suffix}"
 
     def has(self, kind: str, key: str, suffix: str) -> bool:
-        """Whether an artifact is present for this content key."""
-        return self.path_for(kind, key, suffix).exists()
+        """Whether an artifact is present for this content key.
+
+        A negative probe counts as one ``cache.miss`` — this is the
+        question every caller asks before deciding to recompute.
+        """
+        present = self.path_for(kind, key, suffix).exists()
+        if not present:
+            self._count("cache.miss")
+        return present
 
     def store(
         self,
@@ -141,6 +166,11 @@ class ArtifactCache:
             os.replace(tmp, final)
         finally:
             tmp.unlink(missing_ok=True)
+        self._count("cache.stores")
+        try:
+            self._count("cache.bytes_written", final.stat().st_size)
+        except OSError:  # pragma: no cover - concurrent eviction
+            pass
         return final
 
     def fetch(
@@ -153,11 +183,19 @@ class ArtifactCache:
         """Load a cached artifact via the ``load(path)`` callback."""
         path = self.path_for(kind, key, suffix)
         if not path.exists():
+            self._count("cache.miss")
             raise CacheError(f"no cached {kind} artifact for key {key}")
         try:
-            return load(path)
+            value = load(path)
         except Exception as exc:
+            self._count("cache.error")
             raise CacheError(f"cannot load cached {kind} at {path}: {exc}") from exc
+        self._count("cache.hit")
+        try:
+            self._count("cache.bytes_read", path.stat().st_size)
+        except OSError:  # pragma: no cover - concurrent eviction
+            pass
+        return value
 
 
 def save_table(path: str | Path, table: "SessionTable") -> None:

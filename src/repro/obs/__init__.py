@@ -1,0 +1,72 @@
+"""Run telemetry: hierarchical spans, metrics, JSONL events, manifests.
+
+The observability layer of the library.  One :class:`Telemetry` object
+accompanies a run and collects
+
+* **spans** — nested timed regions (run → stage → executor → worker →
+  unit/chunk) with monotonic wall/CPU durations and structured attributes
+  (:mod:`repro.obs.spans`);
+* **metrics** — counters, gauges and histograms incremented at the hot
+  seams: artifact-cache hits/misses/bytes, generator session/chunk
+  throughput, executor worker utilization, fidelity-gate verdicts
+  (:mod:`repro.obs.metrics`);
+* **sinks** — a line-delimited ``events.jsonl`` stream plus a per-run
+  ``manifest.json`` (seed, git sha, config digest, stage timings, metric
+  snapshot), validated by the checked-in schema
+  (:mod:`repro.obs.sinks`, :mod:`repro.obs.schema`) and rendered back by
+  ``repro-traffic report`` (:mod:`repro.obs.report`).
+
+Telemetry is strictly out-of-band — identical seeds produce byte-identical
+session tables and cache keys whether it is enabled or not — and the
+package is dependency-free (standard library only).  :data:`NULL_TELEMETRY`
+is the falsy do-nothing instance used when nothing was configured.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .report import render_manifest, render_run
+from .schema import SchemaError, validate_event, validate_events_file
+from .sinks import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    JsonlSink,
+    SinkError,
+    load_manifest,
+    read_events,
+)
+from .spans import SPAN_KINDS, ActiveSpan, SpanError, SpanRecord
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, TelemetryError
+
+__all__ = [
+    "ActiveSpan",
+    "Counter",
+    "EVENTS_FILENAME",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MANIFEST_FILENAME",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullMetricsRegistry",
+    "NullTelemetry",
+    "SPAN_KINDS",
+    "SchemaError",
+    "SinkError",
+    "SpanError",
+    "SpanRecord",
+    "Telemetry",
+    "TelemetryError",
+    "load_manifest",
+    "read_events",
+    "render_manifest",
+    "render_run",
+    "validate_event",
+    "validate_events_file",
+]

@@ -1,0 +1,223 @@
+"""In-process metrics registry: counters, gauges and histograms.
+
+The registry is the numeric half of the telemetry subsystem
+(:mod:`repro.obs`): instrumented seams — the artifact cache, the batched
+generator, the executors, the fidelity gate — increment named instruments
+here, and :meth:`MetricsRegistry.snapshot` folds everything into one
+JSON-able mapping for the run manifest and the final ``events.jsonl``
+record.
+
+Design constraints, in order:
+
+* **Out-of-band** — instruments never touch random streams, cache keys or
+  artifact bytes; dropping every call changes nothing about a run's
+  results.
+* **Cheap** — an increment is one attribute add on a plain object; the
+  histogram buckets by ``math.frexp`` (power-of-two decades), no search.
+* **Dependency-free** — standard library only, so the package imports in
+  any environment the library itself can run in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+
+class MetricsError(ValueError):
+    """Raised on invalid metric names or mismatched instrument kinds."""
+
+
+def _check_name(name: str) -> str:
+    """Validate an instrument name (dotted lowercase words)."""
+    if not name or name != name.strip():
+        raise MetricsError(f"invalid metric name {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically increasing count (events, sessions, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value of a quantity (utilization, claim statistic)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the current value, replacing any previous one."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of observed values.
+
+    Buckets are keyed by the binary exponent of the observation
+    (``frexp``), so ``observe`` costs one dict increment and the merged
+    snapshot still reconstructs the shape of e.g. per-unit wall times
+    across a whole campaign.  Count, sum, min and max are tracked exactly.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        exponent = math.frexp(value)[1] if value > 0 else 0
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float | None:
+        """Arithmetic mean of the observations (``None`` when empty)."""
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """Named instruments of one run, created on first use.
+
+    A name is bound to one instrument kind for the lifetime of the
+    registry; asking for the same name with a different kind is a bug in
+    the instrumentation and raises :class:`MetricsError`.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        instrument = self._instruments.get(_check_name(name))
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not kind:
+            raise MetricsError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created if absent)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created if absent)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created if absent)."""
+        return self._get(name, Histogram)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        """Iterate over the instruments in name order."""
+        return iter(
+            self._instruments[name] for name in sorted(self._instruments)
+        )
+
+    def __len__(self) -> int:
+        """Number of registered instruments."""
+        return len(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-able mapping of every instrument's current state.
+
+        Shape: ``{"counters": {name: value}, "gauges": {name: value},
+        "histograms": {name: {count, sum, min, max, mean}}}`` with names
+        sorted — byte-stable for identical instrument states, so manifests
+        diff cleanly run over run.
+        """
+        counters: dict[str, Any] = {}
+        gauges: dict[str, Any] = {}
+        histograms: dict[str, Any] = {}
+        for instrument in self:
+            if isinstance(instrument, Counter):
+                counters[instrument.name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[instrument.name] = instrument.value
+            else:
+                histograms[instrument.name] = {
+                    "count": instrument.count,
+                    "sum": instrument.total,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                    "mean": instrument.mean,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry whose instruments are shared do-nothing singletons.
+
+    The default when no telemetry is configured: instrumented code can
+    increment unconditionally and the disabled path stays allocation-free.
+    """
+
+    class _NullInstrument:
+        """Absorbs every instrument operation without recording anything."""
+
+        name = "null"
+        value = 0
+        count = 0
+        total = 0.0
+        min = None
+        max = None
+        mean = None
+        buckets: dict[int, int] = {}
+
+        def inc(self, amount: int | float = 1) -> None:
+            """Discard a counter increment."""
+
+        def set(self, value: float) -> None:
+            """Discard a gauge write."""
+
+        def observe(self, value: float) -> None:
+            """Discard a histogram observation."""
+
+    _NULL = _NullInstrument()
+
+    def counter(self, name: str):  # type: ignore[override]
+        """The shared no-op instrument, whatever the name."""
+        return self._NULL
+
+    def gauge(self, name: str):  # type: ignore[override]
+        """The shared no-op instrument, whatever the name."""
+        return self._NULL
+
+    def histogram(self, name: str):  # type: ignore[override]
+        """The shared no-op instrument, whatever the name."""
+        return self._NULL

@@ -1,0 +1,159 @@
+"""Render a past run's telemetry into human-readable tables.
+
+Backs the ``repro-traffic report <telemetry-dir>`` subcommand: loads the
+run's ``manifest.json`` (and, when present, its ``events.jsonl``) and
+formats the stage timing table, the metric snapshot and the span census as
+plain aligned text — no dependencies, so the renderer works in any
+environment that can read the files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from .sinks import EVENTS_FILENAME, load_manifest, read_events
+
+
+class ReportRenderError(ValueError):
+    """Raised when a telemetry directory cannot be rendered."""
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _table(headers: list[str], rows: list[list[Any]]) -> list[str]:
+    """Align a small table as text lines (header, rule, rows)."""
+    cells = [[_format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(row))).rstrip()
+        )
+    return lines
+
+
+def _stage_rows(stages: list[dict[str, Any]]) -> list[list[Any]]:
+    rows = []
+    for stage in stages:
+        cache = stage.get("cache")
+        key = stage.get("key")
+        provenance = cache if cache else "-"
+        if key:
+            provenance = f"{provenance} {key[:8]}" if cache else key[:8]
+        payload = stage.get("payload") or {}
+        rows.append(
+            [
+                stage.get("name", "?"),
+                stage.get("status", "?"),
+                stage.get("seconds"),
+                provenance,
+                ", ".join(f"{k}={v}" for k, v in payload.items()) or "-",
+            ]
+        )
+    return rows
+
+
+def render_manifest(manifest: dict[str, Any]) -> list[str]:
+    """Format one manifest payload as report lines."""
+    lines = [
+        f"command:       {_format_value(manifest.get('command'))}",
+        f"seed:          {_format_value(manifest.get('seed'))}",
+        f"status:        {_format_value(manifest.get('status'))}",
+        f"wall time:     {_format_value(manifest.get('wall_s'))} s",
+        f"git sha:       {_format_value(manifest.get('git_sha'))}",
+        f"config digest: {_format_value(manifest.get('config_digest'))}",
+        "",
+    ]
+    stages = manifest.get("stages") or []
+    if stages:
+        lines.append("Stages:")
+        lines.extend(
+            _table(
+                ["stage", "status", "seconds", "cache", "summary"],
+                _stage_rows(stages),
+            )
+        )
+        lines.append("")
+    metrics = manifest.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    if counters or gauges:
+        lines.append("Metrics:")
+        rows = [["counter", name, value] for name, value in counters.items()]
+        rows += [["gauge", name, value] for name, value in gauges.items()]
+        lines.extend(_table(["kind", "metric", "value"], rows))
+        lines.append("")
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        lines.append("Histograms:")
+        lines.extend(
+            _table(
+                ["metric", "count", "mean", "min", "max"],
+                [
+                    [name, h.get("count"), h.get("mean"), h.get("min"),
+                     h.get("max")]
+                    for name, h in histograms.items()
+                ],
+            )
+        )
+        lines.append("")
+    spans = manifest.get("spans") or {}
+    by_kind = spans.get("by_kind") or {}
+    if by_kind:
+        census = ", ".join(f"{kind}={n}" for kind, n in by_kind.items())
+        lines.append(f"Spans: {spans.get('total', 0)} ({census})")
+    return lines
+
+
+def render_run(directory: str | Path) -> list[str]:
+    """Render the report of one telemetry directory.
+
+    Requires ``manifest.json``; when the run's ``events.jsonl`` is present
+    too, the slowest recorded spans are appended so hotspots are visible
+    without any extra tooling.
+    """
+    directory = Path(directory)
+    try:
+        manifest = load_manifest(directory)
+    except OSError as exc:
+        raise ReportRenderError(str(exc)) from exc
+    lines = [f"Telemetry report: {directory}", ""]
+    lines.extend(render_manifest(manifest))
+    events_path = directory / EVENTS_FILENAME
+    if events_path.exists():
+        spans = [
+            event
+            for event in read_events(events_path)
+            if event.get("type") == "span"
+        ]
+        slowest = sorted(
+            spans, key=lambda e: e.get("wall_s", 0.0), reverse=True
+        )[:10]
+        if slowest:
+            lines.append("")
+            lines.append("Slowest spans:")
+            lines.extend(
+                _table(
+                    ["kind", "name", "wall_s", "cpu_s", "status"],
+                    [
+                        [e.get("kind"), e.get("name"), e.get("wall_s"),
+                         e.get("cpu_s"), e.get("status")]
+                        for e in slowest
+                    ],
+                )
+            )
+    return lines

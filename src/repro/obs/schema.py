@@ -1,0 +1,242 @@
+"""Schema of the ``events.jsonl`` telemetry stream, plus its validator.
+
+Every line of an event stream is one JSON object whose ``type`` field
+selects its shape:
+
+* ``span`` — one closed span of the run hierarchy;
+* ``stage`` — one pipeline stage outcome (the observer's record);
+* ``message`` — a free-form progress message;
+* ``metrics`` — the final metric snapshot (last line of a finished run).
+
+The canonical machine-readable form is the checked-in JSON Schema document
+``schemas/telemetry-events.schema.json``, generated from the field
+specifications below by :func:`json_schema` (the test suite asserts the
+file is in sync).  :func:`validate_event` / :func:`validate_events_file`
+implement the same constraints dependency-free, so CI can validate a run's
+stream without a jsonschema package.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+from .sinks import read_events
+from .spans import SPAN_KINDS
+
+#: Version tag of the event-stream format (bump on incompatible change).
+EVENTS_SCHEMA_ID = "repro-telemetry-events/1"
+
+#: Repository-relative path of the checked-in JSON Schema document.
+SCHEMA_PATH = "schemas/telemetry-events.schema.json"
+
+
+class SchemaError(ValueError):
+    """Raised when an event does not conform to the stream schema."""
+
+
+#: Field specifications per event type: ``name -> (json_types, required,
+#: enum)``.  ``json_types`` uses JSON Schema type names; ``enum`` limits
+#: the allowed values when not ``None``.
+EVENT_FIELDS: dict[str, dict[str, tuple[tuple[str, ...], bool, tuple | None]]] = {
+    "span": {
+        "type": (("string",), True, ("span",)),
+        "id": (("integer",), True, None),
+        "parent": (("integer", "null"), True, None),
+        "name": (("string",), True, None),
+        "kind": (("string",), True, tuple(SPAN_KINDS)),
+        "start_s": (("number",), True, None),
+        "wall_s": (("number",), True, None),
+        "cpu_s": (("number",), True, None),
+        "status": (("string",), True, ("ok", "error")),
+        "attrs": (("object",), True, None),
+    },
+    "stage": {
+        "type": (("string",), True, ("stage",)),
+        "name": (("string",), True, None),
+        "status": (("string",), True, ("computed", "cached")),
+        "seconds": (("number",), True, None),
+        "key": (("string", "null"), False, None),
+        "cache": (("string", "null"), False, ("hit", "miss", None)),
+        "payload": (("object", "null"), False, None),
+    },
+    "message": {
+        "type": (("string",), True, ("message",)),
+        "level": (("string",), True, None),
+        "text": (("string",), True, None),
+    },
+    "metrics": {
+        "type": (("string",), True, ("metrics",)),
+        "counters": (("object",), True, None),
+        "gauges": (("object",), True, None),
+        "histograms": (("object",), True, None),
+    },
+}
+
+
+def _json_type_of(value: Any) -> str:
+    """JSON Schema type name of a decoded JSON value."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, dict):
+        return "object"
+    raise SchemaError(f"value {value!r} is not a JSON value")
+
+
+def _matches(value: Any, json_types: tuple[str, ...]) -> bool:
+    actual = _json_type_of(value)
+    if actual in json_types:
+        return True
+    # JSON Schema semantics: every integer is also a number.
+    return actual == "integer" and "number" in json_types
+
+
+def validate_event(event: Any) -> str:
+    """Check one decoded event object; returns its type or raises.
+
+    Unknown fields are rejected — the stream is an interchange format, so
+    anything a producer emits must be in the schema.
+    """
+    if not isinstance(event, dict):
+        raise SchemaError(f"event is not a JSON object: {event!r}")
+    event_type = event.get("type")
+    fields = EVENT_FIELDS.get(event_type)  # type: ignore[arg-type]
+    if fields is None:
+        raise SchemaError(
+            f"unknown event type {event_type!r}; "
+            f"expected one of {sorted(EVENT_FIELDS)}"
+        )
+    for name, (json_types, required, enum) in fields.items():
+        if name not in event:
+            if required:
+                raise SchemaError(
+                    f"{event_type} event missing required field {name!r}"
+                )
+            continue
+        value = event[name]
+        if not _matches(value, json_types):
+            raise SchemaError(
+                f"{event_type} event field {name!r} has type "
+                f"{_json_type_of(value)}, expected {'/'.join(json_types)}"
+            )
+        if enum is not None and value not in enum:
+            raise SchemaError(
+                f"{event_type} event field {name!r} value {value!r} "
+                f"not in {enum}"
+            )
+    unknown = set(event) - set(fields)
+    if unknown:
+        raise SchemaError(
+            f"{event_type} event carries unknown fields {sorted(unknown)}"
+        )
+    return event_type  # type: ignore[return-value]
+
+
+def validate_events(events: Iterable[Any]) -> dict[str, int]:
+    """Validate a sequence of events; returns per-type counts.
+
+    A finished run's stream must contain at least one ``span`` event and
+    end with exactly one ``metrics`` snapshot — both are checked here.
+    """
+    counts: dict[str, int] = {}
+    last_type: str | None = None
+    for index, event in enumerate(events):
+        try:
+            last_type = validate_event(event)
+        except SchemaError as exc:
+            raise SchemaError(f"event #{index}: {exc}") from None
+        counts[last_type] = counts.get(last_type, 0) + 1
+    if counts.get("span", 0) < 1:
+        raise SchemaError("event stream contains no span events")
+    if counts.get("metrics", 0) != 1 or last_type != "metrics":
+        raise SchemaError(
+            "event stream must end with exactly one metrics snapshot"
+        )
+    return counts
+
+
+def validate_events_file(path: str | Path) -> dict[str, int]:
+    """Validate one ``events.jsonl`` file; returns per-type counts."""
+    return validate_events(read_events(path))
+
+
+def _field_schema(json_types: tuple[str, ...], enum: tuple | None) -> dict:
+    schema: dict[str, Any] = {
+        "type": list(json_types) if len(json_types) > 1 else json_types[0]
+    }
+    if enum is not None:
+        schema["enum"] = list(enum)
+    return schema
+
+
+def json_schema() -> dict[str, Any]:
+    """The stream schema as a standard JSON Schema document.
+
+    This is the generator of the checked-in
+    ``schemas/telemetry-events.schema.json``; regenerate with::
+
+        python -m repro.obs.schema
+
+    after changing :data:`EVENT_FIELDS`.
+    """
+    variants = []
+    for event_type in sorted(EVENT_FIELDS):
+        fields = EVENT_FIELDS[event_type]
+        variants.append(
+            {
+                "title": f"{event_type} event",
+                "type": "object",
+                "properties": {
+                    name: _field_schema(json_types, enum)
+                    for name, (json_types, _, enum) in sorted(fields.items())
+                },
+                "required": [
+                    name
+                    for name, (_, required, _enum) in sorted(fields.items())
+                    if required
+                ],
+                "additionalProperties": False,
+            }
+        )
+    return {
+        "$schema": "https://json-schema.org/draft/2020-12/schema",
+        "$id": EVENTS_SCHEMA_ID,
+        "title": "repro telemetry event stream (one object per JSONL line)",
+        "oneOf": variants,
+    }
+
+
+def render_schema() -> str:
+    """The checked-in schema file's exact text content."""
+    import json
+
+    return json.dumps(json_schema(), indent=2, sort_keys=True) + "\n"
+
+
+def _main() -> int:
+    """Regenerate the checked-in schema, or validate a stream argument."""
+    import sys
+
+    if len(sys.argv) > 1:
+        counts = validate_events_file(sys.argv[1])
+        print(f"{sys.argv[1]}: valid ({counts})")
+        return 0
+    path = Path(SCHEMA_PATH)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_schema())
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(_main())

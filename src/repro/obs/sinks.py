@@ -1,0 +1,198 @@
+"""Telemetry sinks: the JSONL event stream and the per-run manifest.
+
+Two durable outputs per instrumented run, both written into the run's
+telemetry directory (``--telemetry-dir``):
+
+* ``events.jsonl`` — one JSON object per line, streamed as spans close
+  (schema: :mod:`repro.obs.schema`).  Line-delimited so a crashed run
+  still leaves every completed span on disk, and so post-processing can
+  stream the file without loading it whole.
+* ``manifest.json`` — the run's self-describing summary: command, seed,
+  git revision, configuration digest, per-stage timings and the final
+  metric snapshot.  ``repro-traffic report`` renders it back into tables
+  (:mod:`repro.obs.report`).
+
+Everything here is standard library only and strictly out-of-band: sink
+failures are surfaced as :class:`SinkError` by the writer, never silently
+corrupted state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, IO, Iterator
+
+#: File name of the event stream inside a telemetry directory.
+EVENTS_FILENAME = "events.jsonl"
+
+#: File name of the run manifest inside a telemetry directory.
+MANIFEST_FILENAME = "manifest.json"
+
+#: Format tag stamped into every manifest (bump on incompatible change).
+MANIFEST_SCHEMA = "repro-telemetry-manifest/1"
+
+
+class SinkError(OSError):
+    """Raised when a telemetry sink cannot be written or read."""
+
+
+class JsonlSink:
+    """Append-only line-delimited JSON writer for ``events.jsonl``.
+
+    The file handle is opened lazily on the first event and must be
+    released with :meth:`close` (the owning telemetry does this at
+    finalization).  Events are written compactly (no spaces) with sorted
+    keys, one per line, flushed on close.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+        self.events_written = 0
+
+    def write(self, event: dict[str, Any]) -> None:
+        """Append one event object as a JSON line."""
+        if self._handle is None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            except OSError as exc:
+                raise SinkError(
+                    f"cannot open telemetry sink {self.path}: {exc}"
+                ) from exc
+        self._handle.write(
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+        )
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and release the underlying file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_events(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Stream the parsed events of an ``events.jsonl`` file.
+
+    Blank lines are skipped; an unparsable line raises :class:`SinkError`
+    naming its line number, so corrupt streams fail loudly.
+    """
+    path = Path(path)
+    try:
+        with path.open(encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SinkError(
+                        f"{path}:{number}: unparsable event line: {exc}"
+                    ) from exc
+                if not isinstance(event, dict):
+                    raise SinkError(
+                        f"{path}:{number}: event line is not a JSON object"
+                    )
+                yield event
+    except OSError as exc:
+        raise SinkError(f"cannot read event stream {path}: {exc}") from exc
+
+
+def git_revision() -> str | None:
+    """Current git commit hash, or ``None`` outside a repository.
+
+    Recorded in the manifest so an archived run names the exact code that
+    produced it.  Any failure (no git, no repo, timeout) degrades to
+    ``None`` — provenance must never break a run.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
+
+
+def config_digest(config: Any) -> str:
+    """Short stable digest of a JSON-able run configuration.
+
+    Values that are not natively JSON-serializable are folded in via
+    ``str()`` — the digest identifies a configuration, it does not need to
+    round-trip it.
+    """
+    text = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def build_manifest(
+    *,
+    command: str | None,
+    seed: int | None,
+    argv: list[str] | None,
+    config: Any,
+    status: str,
+    wall_s: float,
+    stages: list[dict[str, Any]],
+    metrics: dict[str, Any],
+    spans_by_kind: dict[str, int],
+    events_path: str | None,
+) -> dict[str, Any]:
+    """Assemble the manifest payload of one finished run."""
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "command": command,
+        "seed": seed,
+        "argv": argv,
+        "git_sha": git_revision(),
+        "config_digest": config_digest(config),
+        "finished_unix": time.time(),
+        "status": status,
+        "wall_s": round(wall_s, 6),
+        "stages": stages,
+        "metrics": metrics,
+        "spans": {
+            "total": sum(spans_by_kind.values()),
+            "by_kind": dict(sorted(spans_by_kind.items())),
+        },
+        "events_file": events_path,
+    }
+
+
+def write_manifest(directory: str | Path, manifest: dict[str, Any]) -> Path:
+    """Write ``manifest.json`` into the telemetry directory."""
+    directory = Path(directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / MANIFEST_FILENAME
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    except OSError as exc:
+        raise SinkError(f"cannot write manifest in {directory}: {exc}") from exc
+    return path
+
+
+def load_manifest(directory: str | Path) -> dict[str, Any]:
+    """Read a run's ``manifest.json`` back from its telemetry directory."""
+    path = Path(directory) / MANIFEST_FILENAME
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SinkError(f"cannot read manifest at {path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise SinkError(f"manifest at {path} is not a JSON object")
+    return manifest

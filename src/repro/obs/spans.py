@@ -1,0 +1,128 @@
+"""Hierarchical span records: what ran, under what, for how long.
+
+A *span* is one timed region of a run.  Spans nest — ``run`` → ``stage`` →
+``executor`` → ``worker`` → ``unit``/``chunk`` — and each closed span
+becomes an immutable :class:`SpanRecord` carrying monotonic wall-clock and
+process-CPU durations plus structured attributes.  The records are the raw
+material of the ``events.jsonl`` stream and the per-run manifest
+(:mod:`repro.obs.sinks`).
+
+Span identifiers are small sequential integers assigned by the owning
+:class:`~repro.obs.telemetry.Telemetry` — deterministic for a fixed
+execution structure, and trivially cheap (no UUIDs, no randomness, so
+telemetry can never perturb a run's random streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: The span kinds of the run hierarchy, outermost first.  ``profile`` marks
+#: an opt-in cProfile capture region; ``span`` is the generic fallback.
+SPAN_KINDS = (
+    "run",
+    "stage",
+    "executor",
+    "worker",
+    "unit",
+    "chunk",
+    "profile",
+    "span",
+)
+
+
+class SpanError(ValueError):
+    """Raised on invalid span kinds or malformed span lifecycles."""
+
+
+@dataclass
+class ActiveSpan:
+    """A span that is currently open (mutable while in flight).
+
+    Instrumented code receives the active span from
+    :meth:`~repro.obs.telemetry.Telemetry.span` and may add attributes —
+    e.g. the sessions a chunk ended up holding — right up to close time.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    kind: str
+    start_s: float
+    start_cpu_s: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPAN_KINDS:
+            raise SpanError(
+                f"unknown span kind {self.kind!r}; expected one of {SPAN_KINDS}"
+            )
+
+    def close(
+        self, end_s: float, end_cpu_s: float, status: str = "ok"
+    ) -> "SpanRecord":
+        """Freeze the span into its immutable record."""
+        return SpanRecord(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            kind=self.kind,
+            start_s=self.start_s,
+            wall_s=max(0.0, end_s - self.start_s),
+            cpu_s=max(0.0, end_cpu_s - self.start_cpu_s),
+            status=status,
+            attrs=dict(self.attrs),
+        )
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span: identity, position in the hierarchy, timings.
+
+    Attributes
+    ----------
+    span_id / parent_id:
+        Sequential identifier of the span and of its enclosing span
+        (``None`` for the root).
+    name:
+        Human-readable label (stage name, ``chunk-3``, ``worker-0`` …).
+    kind:
+        One of :data:`SPAN_KINDS`.
+    start_s:
+        Offset of the span's start from the telemetry origin, in seconds
+        on the monotonic clock.
+    wall_s / cpu_s:
+        Wall-clock and process-CPU duration of the span.  Worker-reported
+        spans carry the durations measured *inside* the worker process.
+    status:
+        ``"ok"`` or ``"error"``.
+    attrs:
+        Structured JSON-able attributes (unit counts, cache provenance,
+        worker pid, …).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    kind: str
+    start_s: float
+    wall_s: float
+    cpu_s: float
+    status: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_event(self) -> dict[str, Any]:
+        """The span as one ``events.jsonl`` line payload."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": round(self.start_s, 6),
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "status": self.status,
+            "attrs": self.attrs,
+        }

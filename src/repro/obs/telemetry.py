@@ -1,0 +1,397 @@
+"""The telemetry facade: spans, metrics, sinks and rendering in one object.
+
+One :class:`Telemetry` instance accompanies one run.  It owns
+
+* the **span stack** — instrumented code opens hierarchical spans with
+  :meth:`Telemetry.span` (run → stage → executor → worker → unit/chunk)
+  or reports worker-measured ones with :meth:`Telemetry.record_span`;
+* the **metrics registry** (:class:`~repro.obs.metrics.MetricsRegistry`)
+  the instrumented seams increment;
+* the **sinks** — with a telemetry directory configured, closed spans
+  stream into ``events.jsonl`` and :meth:`Telemetry.finalize` writes the
+  run manifest;
+* the **stage renderer** — :meth:`Telemetry.observe` is the single
+  verbosity-aware observer the pipeline hands its
+  :class:`~repro.pipeline.stages.StageEvent` stream to (it replaced the
+  per-subcommand ``_print_event`` copies in the CLI).
+
+Telemetry is strictly *out-of-band*: it never touches random streams,
+cache keys or artifact contents, so a run with telemetry enabled produces
+byte-identical results to the same run without it.
+
+:data:`NULL_TELEMETRY` is the do-nothing instance used when no telemetry
+is configured; it is *falsy*, so hot paths can skip per-unit timing with a
+plain truthiness check while still calling metric instruments
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from .metrics import MetricsRegistry, NullMetricsRegistry
+from .sinks import (
+    EVENTS_FILENAME,
+    JsonlSink,
+    build_manifest,
+    write_manifest,
+)
+from .spans import ActiveSpan, SpanRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pipeline.stages import StageEvent
+
+
+class TelemetryError(RuntimeError):
+    """Raised on telemetry lifecycle misuse (e.g. double finalization)."""
+
+
+class Telemetry:
+    """Telemetry of one run: span hierarchy, metrics, sinks, rendering.
+
+    Parameters
+    ----------
+    directory:
+        Telemetry output directory (``events.jsonl``, ``manifest.json``,
+        optional per-stage profiles).  ``None`` keeps everything
+        in-memory — spans and metrics still accumulate for programmatic
+        inspection, nothing is written.
+    verbosity:
+        ``0`` silences stage lines, ``1`` (default) prints one line per
+        stage outcome, ``2`` additionally prints closed run/stage/executor
+        spans with their timings.
+    log_json:
+        Render stage outcomes as compact JSON lines instead of the
+        human-readable form (machine-tailable stdout).
+    profile:
+        Enable the per-stage :mod:`cProfile` hook — each profiled stage
+        dumps ``profile-<stage>.pstats`` into ``directory``.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        verbosity: int = 1,
+        log_json: bool = False,
+        profile: bool = False,
+    ):
+        self.directory = Path(directory) if directory is not None else None
+        self.verbosity = int(verbosity)
+        self.log_json = bool(log_json)
+        self.profile = bool(profile)
+        self.metrics = MetricsRegistry()
+        self._origin = time.perf_counter()
+        self._sink = (
+            JsonlSink(self.directory / EVENTS_FILENAME)
+            if self.directory is not None
+            else None
+        )
+        self._stack: list[ActiveSpan] = []
+        self._records: list[SpanRecord] = []
+        self._spans_by_kind: dict[str, int] = {}
+        self._stages: list[dict[str, Any]] = []
+        self._next_span_id = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Clock and span plumbing
+    # ------------------------------------------------------------------
+    def elapsed_s(self) -> float:
+        """Seconds since this telemetry was created (monotonic clock)."""
+        return time.perf_counter() - self._origin
+
+    def _allocate_id(self) -> int:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        return span_id
+
+    def _commit(self, record: SpanRecord) -> None:
+        self._records.append(record)
+        self._spans_by_kind[record.kind] = (
+            self._spans_by_kind.get(record.kind, 0) + 1
+        )
+        if self._sink is not None:
+            self._sink.write(record.to_event())
+        if self.verbosity >= 2 and record.kind in ("run", "stage", "executor"):
+            self._emit_line(
+                f"[span] {record.kind}:{record.name} "
+                f"wall {record.wall_s:.3f}s cpu {record.cpu_s:.3f}s"
+            )
+
+    def current_span_id(self) -> int | None:
+        """Identifier of the innermost open span, if any."""
+        return self._stack[-1].span_id if self._stack else None
+
+    def current_stage(self) -> str | None:
+        """Name of the innermost open ``stage``-kind span, if any."""
+        for span in reversed(self._stack):
+            if span.kind == "stage":
+                return span.name
+        return None
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        kind: str = "span",
+        attrs: dict[str, Any] | None = None,
+    ) -> Iterator[ActiveSpan]:
+        """Open a child span of the innermost open span.
+
+        Yields the :class:`~repro.obs.spans.ActiveSpan`; callers may add
+        attributes until the block exits.  An exception escaping the block
+        closes the span with ``status="error"`` and re-raises.
+        """
+        span = ActiveSpan(
+            span_id=self._allocate_id(),
+            parent_id=self.current_span_id(),
+            name=name,
+            kind=kind,
+            start_s=self.elapsed_s(),
+            start_cpu_s=time.process_time(),
+            attrs=dict(attrs or {}),
+        )
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            self._stack.pop()
+            self._commit(
+                span.close(self.elapsed_s(), time.process_time(), "error")
+            )
+            raise
+        else:
+            self._stack.pop()
+            self._commit(span.close(self.elapsed_s(), time.process_time()))
+
+    def record_span(
+        self,
+        name: str,
+        kind: str,
+        wall_s: float,
+        cpu_s: float,
+        attrs: dict[str, Any] | None = None,
+        parent_id: int | None = None,
+        status: str = "ok",
+    ) -> SpanRecord:
+        """Commit a span that was timed elsewhere (e.g. inside a worker).
+
+        The span is attached under ``parent_id`` (default: the innermost
+        open span) and its start offset is back-computed from now minus
+        ``wall_s`` — workers run on their own clocks, so only durations
+        travel across the process boundary.
+        """
+        record = SpanRecord(
+            span_id=self._allocate_id(),
+            parent_id=(
+                parent_id if parent_id is not None else self.current_span_id()
+            ),
+            name=name,
+            kind=kind,
+            start_s=max(0.0, self.elapsed_s() - wall_s),
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            status=status,
+            attrs=dict(attrs or {}),
+        )
+        self._commit(record)
+        return record
+
+    def span_records(self, kind: str | None = None) -> list[SpanRecord]:
+        """Closed spans so far, optionally filtered by kind."""
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind == kind]
+
+    # ------------------------------------------------------------------
+    # Stage observation and rendering
+    # ------------------------------------------------------------------
+    def _emit_line(self, text: str) -> None:
+        print(text)
+
+    def observe(self, event: "StageEvent") -> None:
+        """The pipeline's stage observer: record and render one outcome.
+
+        This is the single verbosity-aware renderer every subcommand
+        shares: quiet runs (verbosity 0) stay silent, normal runs print
+        the classic ``[pipeline] …`` line, ``log_json`` runs print the
+        event as one compact JSON object instead.  The event is also
+        appended to the JSONL sink and folded into the manifest's stage
+        table.
+        """
+        entry = {
+            "name": event.stage,
+            "status": event.status,
+            "seconds": round(event.seconds, 6),
+            "key": event.key,
+            "cache": event.cache_status,
+            "payload": dict(event.payload) if event.payload else None,
+        }
+        self._stages.append(entry)
+        if self._sink is not None:
+            self._sink.write({"type": "stage", **entry})
+        if self.log_json:
+            self._emit_line(
+                json.dumps({"type": "stage", **entry}, sort_keys=True)
+            )
+        elif self.verbosity >= 1:
+            self._emit_line(f"[pipeline] {event.describe()}")
+
+    def message(self, text: str, level: str = "info") -> None:
+        """Record (and render) one free-form progress message."""
+        if self._sink is not None:
+            self._sink.write({"type": "message", "level": level, "text": text})
+        if self.log_json:
+            self._emit_line(
+                json.dumps(
+                    {"type": "message", "level": level, "text": text},
+                    sort_keys=True,
+                )
+            )
+        elif self.verbosity >= 1:
+            self._emit_line(text)
+
+    # ------------------------------------------------------------------
+    # Profiling hook
+    # ------------------------------------------------------------------
+    @contextmanager
+    def profile_stage(self, stage: str) -> Iterator[None]:
+        """Opt-in cProfile capture around one stage body.
+
+        Active only when the telemetry was created with ``profile=True``
+        and has a directory; the stats land in
+        ``<directory>/profile-<stage>.pstats`` and the capture is logged
+        as a ``profile`` span.
+        """
+        if not self.profile or self.directory is None:
+            yield
+            return
+        profiler = cProfile.Profile()
+        with self.span(f"profile:{stage}", kind="profile") as span:
+            profiler.enable()
+            try:
+                yield
+            finally:
+                profiler.disable()
+                self.directory.mkdir(parents=True, exist_ok=True)
+                path = self.directory / f"profile-{stage}.pstats"
+                profiler.dump_stats(str(path))
+                span.attrs["stage"] = stage
+                span.attrs["path"] = path.name
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` already ran."""
+        return self._finalized
+
+    def finalize(
+        self,
+        command: str | None = None,
+        seed: int | None = None,
+        argv: list[str] | None = None,
+        config: Any = None,
+        status: str = "ok",
+    ) -> dict[str, Any]:
+        """Close the run: flush sinks, write the manifest, return it.
+
+        Appends the final metric snapshot to the event stream, closes it,
+        and — when a telemetry directory is configured — writes
+        ``manifest.json`` next to it.  The manifest payload is returned
+        either way, so callers can inspect a memory-only run.  Calling
+        twice raises :class:`TelemetryError`.
+        """
+        if self._finalized:
+            raise TelemetryError("telemetry already finalized")
+        self._finalized = True
+        snapshot = self.metrics.snapshot()
+        if self._sink is not None:
+            self._sink.write({"type": "metrics", **snapshot})
+            self._sink.close()
+        manifest = build_manifest(
+            command=command,
+            seed=seed,
+            argv=argv,
+            config=config,
+            status=status,
+            wall_s=self.elapsed_s(),
+            stages=list(self._stages),
+            metrics=snapshot,
+            spans_by_kind=dict(self._spans_by_kind),
+            events_path=EVENTS_FILENAME if self._sink is not None else None,
+        )
+        if self.directory is not None:
+            write_manifest(self.directory, manifest)
+        return manifest
+
+
+class _DiscardDict(dict):
+    """A dict that silently drops writes (attrs of the null span)."""
+
+    def __setitem__(self, key, value):  # noqa: D105 - trivial override
+        """Discard the assignment."""
+
+    def update(self, *args, **kwargs):
+        """Discard the update."""
+
+
+class NullTelemetry(Telemetry):
+    """Do-nothing telemetry: every operation is a cheap no-op.
+
+    Falsy on purpose — ``if telemetry:`` guards per-unit timing loops —
+    while keeping the full :class:`Telemetry` interface callable, so
+    instrumented code never branches for metrics or span bookkeeping.
+    """
+
+    _NULL_SPAN = ActiveSpan(
+        span_id=-1,
+        parent_id=None,
+        name="null",
+        kind="span",
+        start_s=0.0,
+        start_cpu_s=0.0,
+        attrs=_DiscardDict(),
+    )
+
+    def __init__(self) -> None:
+        super().__init__(directory=None, verbosity=0)
+        self.metrics = NullMetricsRegistry()
+
+    def __bool__(self) -> bool:
+        """Null telemetry is falsy (real telemetry is truthy)."""
+        return False
+
+    @contextmanager
+    def span(self, name, kind="span", attrs=None):  # type: ignore[override]
+        """Yield the shared inert span without recording anything."""
+        yield self._NULL_SPAN
+
+    def record_span(self, *args, **kwargs):  # type: ignore[override]
+        """Discard an externally timed span."""
+        return None
+
+    def observe(self, event) -> None:
+        """Discard a stage event (library runs without telemetry)."""
+
+    def message(self, text: str, level: str = "info") -> None:
+        """Discard a progress message."""
+
+    @contextmanager
+    def profile_stage(self, stage: str):
+        """Never profile under null telemetry."""
+        yield
+
+    def finalize(self, *args, **kwargs):  # type: ignore[override]
+        """Nothing to flush; returns an empty manifest-shaped mapping."""
+        return {}
+
+
+#: Shared do-nothing telemetry used wherever none was configured.
+NULL_TELEMETRY = NullTelemetry()

@@ -25,6 +25,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..io.cache import ArtifactCache
+    from ..obs.telemetry import Telemetry
 
 #: Root seeds drawn from a Generator are taken uniformly below this bound.
 MAX_ROOT_SEED = 2**63
@@ -99,11 +100,17 @@ class RunContext:
         Optional :class:`~repro.io.cache.ArtifactCache`; when set, stages
         that declare an :class:`~repro.pipeline.stages.ArtifactSpec` are
         skipped on matching keys.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` collecting the
+        run's spans, metrics and stage events.  Strictly out-of-band: it
+        never feeds seed streams or cache keys, so enabling it cannot
+        change any artifact.
     """
 
     seed: int
     jobs: int = 1
     cache: "ArtifactCache | None" = None
+    telemetry: "Telemetry | None" = None
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -119,12 +126,29 @@ class RunContext:
         """Fresh generator on the run's stream for one named work unit."""
         return stream_rng(self.seed, *key)
 
+    @property
+    def obs(self) -> "Telemetry":
+        """The run's telemetry, or the shared no-op when none is set.
+
+        Instrumented code calls this unconditionally — with no telemetry
+        configured it gets the falsy
+        :data:`~repro.obs.telemetry.NULL_TELEMETRY`, whose spans and
+        metrics are free no-ops.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        from ..obs.telemetry import NULL_TELEMETRY
+
+        return NULL_TELEMETRY
+
     def executor(self):
         """New executor matching the run's ``jobs`` setting.
 
         The caller owns the executor's lifetime (use it as a context
-        manager so worker processes are reaped).
+        manager so worker processes are reaped).  The executor carries the
+        run's telemetry, so fan-outs report per-unit spans and worker
+        utilization.
         """
         from .executors import make_executor
 
-        return make_executor(self.jobs)
+        return make_executor(self.jobs, telemetry=self.telemetry)

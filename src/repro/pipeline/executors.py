@@ -6,6 +6,15 @@ runs serially or across a process pool without code changes — and, combined
 with the seed streams of :mod:`repro.pipeline.context`, with bit-identical
 results.
 
+Executors are telemetry-aware: constructed with a
+:class:`~repro.obs.telemetry.Telemetry` (as
+:meth:`~repro.pipeline.context.RunContext.executor` does), every ``map``
+call opens an ``executor`` span, workers report each unit's wall/CPU
+timings back to the parent, and the parent commits per-worker and per-unit
+spans plus utilization metrics (``executor.units``,
+``executor.unit_wall_s``, ``executor.busy_s``).  Telemetry is strictly
+out-of-band — results and their ordering are unaffected.
+
 Work functions handed to :class:`ParallelExecutor` must be picklable
 module-level callables and their items picklable values — the standard
 ``ProcessPoolExecutor`` constraints.
@@ -15,9 +24,13 @@ from __future__ import annotations
 
 import math
 import os
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import Telemetry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -34,7 +47,10 @@ class WorkerError(ExecutorError):
     the worker) are embedded in the error text, and the failing unit is
     identified by its input-order index — so a failing fan-out stage reports
     the *same* unit with the *same* traceback on every run, no matter how
-    the pool scheduled the work.
+    the pool scheduled the work.  When the executor runs under telemetry,
+    the error also carries the failing unit's span context — the enclosing
+    stage and the wall time the unit burned inside the worker — so parallel
+    failures are attributable without re-running serially.
 
     Attributes
     ----------
@@ -42,35 +58,58 @@ class WorkerError(ExecutorError):
         Input-order index of the failing work item.
     worker_traceback:
         The traceback formatted inside the worker process.
+    stage:
+        Name of the pipeline stage whose fan-out failed (``None`` when the
+        executor ran outside a stage span).
+    elapsed_s:
+        Wall seconds the unit ran inside the worker before failing
+        (``None`` when unknown).
     """
 
-    def __init__(self, item_index: int, worker_traceback: str):
+    def __init__(
+        self,
+        item_index: int,
+        worker_traceback: str,
+        stage: str | None = None,
+        elapsed_s: float | None = None,
+    ):
         self.item_index = item_index
         self.worker_traceback = worker_traceback
+        self.stage = stage
+        self.elapsed_s = elapsed_s
+        where = f" of stage {stage!r}" if stage else ""
+        took = f" after {elapsed_s:.3f}s" if elapsed_s is not None else ""
         super().__init__(
-            f"work item #{item_index} failed in a worker process; "
-            f"original worker traceback:\n{worker_traceback}"
+            f"work item #{item_index}{where} failed in a worker "
+            f"process{took}; original worker traceback:\n{worker_traceback}"
         )
 
 
 class _CapturedCall:
-    """Picklable wrapper running one unit and capturing any exception.
+    """Picklable wrapper running one unit and capturing outcome + timings.
 
-    Returns ``(True, result)`` on success and ``(False, formatted
-    traceback)`` on failure — strings survive pickling even when the
-    original exception object would not, so a failing unit can never break
-    the pool itself.
+    Returns ``(True, result, wall_s, cpu_s, pid)`` on success and
+    ``(False, formatted traceback, wall_s, cpu_s, pid)`` on failure —
+    strings survive pickling even when the original exception object would
+    not, so a failing unit can never break the pool itself.  The wall/CPU
+    durations are measured inside the worker and travel back as plain
+    floats, which is how parallel runs report per-unit span records.
     """
 
     def __init__(self, fn: Callable[[T], R]):
         self.fn = fn
 
-    def __call__(self, item: T) -> tuple[bool, object]:
+    def __call__(self, item: T) -> tuple[bool, object, float, float, int]:
         """Run the wrapped function, trading exceptions for markers."""
+        start = time.perf_counter()
+        start_cpu = time.process_time()
         try:
-            return True, self.fn(item)
+            result: tuple[bool, object] = (True, self.fn(item))
         except Exception:
-            return False, traceback.format_exc()
+            result = (False, traceback.format_exc())
+        wall = time.perf_counter() - start
+        cpu = time.process_time() - start_cpu
+        return (*result, wall, cpu, os.getpid())
 
 
 class SerialExecutor:
@@ -78,14 +117,45 @@ class SerialExecutor:
 
     The reference implementation the parallel path must match bit-for-bit;
     also the right choice for tiny workloads where process startup would
-    dominate.
+    dominate.  Under telemetry, each unit is timed and recorded as a
+    ``unit`` span beneath the ``map`` executor span.
     """
 
     jobs = 1
 
+    def __init__(self, telemetry: "Telemetry | None" = None):
+        self.telemetry = telemetry
+
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item, preserving input order."""
-        return [fn(item) for item in items]
+        obs = self.telemetry
+        if not obs:
+            return [fn(item) for item in items]
+        materialized = list(items)
+        results: list[R] = []
+        with obs.span(
+            "map", kind="executor",
+            attrs={"jobs": 1, "items": len(materialized)},
+        ) as span:
+            busy = 0.0
+            for index, item in enumerate(materialized):
+                start = time.perf_counter()
+                start_cpu = time.process_time()
+                results.append(fn(item))
+                wall = time.perf_counter() - start
+                busy += wall
+                obs.record_span(
+                    f"unit-{index}",
+                    "unit",
+                    wall,
+                    time.process_time() - start_cpu,
+                    attrs={"index": index},
+                )
+                obs.metrics.histogram("executor.unit_wall_s").observe(wall)
+            span.attrs["busy_s"] = round(busy, 6)
+            obs.metrics.counter("executor.units").inc(len(materialized))
+            obs.metrics.counter("executor.busy_s").inc(busy)
+        return results
 
     def close(self) -> None:
         """No resources to release; present for interface symmetry."""
@@ -104,13 +174,17 @@ class ParallelExecutor:
 
     The pool is created lazily on first use and must be released with
     :meth:`close` (or by using the executor as a context manager).  Results
-    are returned in input order, so callers see serial semantics.
+    are returned in input order, so callers see serial semantics.  Under
+    telemetry, workers report each unit's wall/CPU timings back with the
+    results, and the parent commits one ``worker`` span per worker process
+    plus a ``unit`` span per work item.
     """
 
-    def __init__(self, jobs: int):
+    def __init__(self, jobs: int, telemetry: "Telemetry | None" = None):
         if jobs < 1:
             raise ExecutorError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
+        self.telemetry = telemetry
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -124,8 +198,8 @@ class ParallelExecutor:
         A unit that raises does not abort the others mid-flight or tear the
         pool down: every unit runs, and the failure of the *first* failing
         item (in input order) is then re-raised as :class:`WorkerError`
-        carrying the original worker traceback — deterministic regardless of
-        worker scheduling.
+        carrying the original worker traceback plus the unit's span context
+        — deterministic regardless of worker scheduling.
         """
         materialized: Sequence[T] = list(items)
         if not materialized:
@@ -133,15 +207,83 @@ class ParallelExecutor:
         # A handful of chunks per worker balances pickling overhead against
         # load imbalance from heterogeneous unit costs (busy vs. quiet BSs).
         chunksize = max(1, math.ceil(len(materialized) / (self.jobs * 4)))
-        outcomes = list(
-            self._ensure_pool().map(
-                _CapturedCall(fn), materialized, chunksize=chunksize
+        obs = self.telemetry
+        if not obs:
+            outcomes = list(
+                self._ensure_pool().map(
+                    _CapturedCall(fn), materialized, chunksize=chunksize
+                )
             )
-        )
-        for index, (ok, value) in enumerate(outcomes):
+            self._raise_first_failure(outcomes, stage=None)
+            return [value for _, value, _, _, _ in outcomes]
+        stage = obs.current_stage()
+        with obs.span(
+            "map", kind="executor",
+            attrs={"jobs": self.jobs, "items": len(materialized)},
+        ) as span:
+            wall_start = time.perf_counter()
+            outcomes = list(
+                self._ensure_pool().map(
+                    _CapturedCall(fn), materialized, chunksize=chunksize
+                )
+            )
+            map_wall = time.perf_counter() - wall_start
+            self._raise_first_failure(outcomes, stage=stage)
+            self._record_units(obs, span, outcomes, map_wall)
+        return [value for _, value, _, _, _ in outcomes]
+
+    @staticmethod
+    def _raise_first_failure(outcomes, stage: str | None) -> None:
+        """Re-raise the first (input-order) failed unit, if any."""
+        for index, (ok, value, wall, _cpu, _pid) in enumerate(outcomes):
             if not ok:
-                raise WorkerError(index, str(value))
-        return [value for _, value in outcomes]
+                raise WorkerError(
+                    index, str(value), stage=stage, elapsed_s=wall
+                )
+
+    def _record_units(self, obs, span, outcomes, map_wall: float) -> None:
+        """Commit worker + unit spans and utilization metrics for one map.
+
+        One ``worker`` span per distinct worker process (in pid order, so
+        the record order is stable), each unit attached beneath its
+        worker.  Utilization is the summed in-worker busy time over the
+        pool's wall-time capacity for this map call.
+        """
+        by_pid: dict[int, list[tuple[int, float, float]]] = {}
+        for index, (_ok, _value, wall, cpu, pid) in enumerate(outcomes):
+            by_pid.setdefault(pid, []).append((index, wall, cpu))
+        busy = 0.0
+        for slot, pid in enumerate(sorted(by_pid)):
+            units = by_pid[pid]
+            worker_wall = sum(wall for _, wall, _ in units)
+            worker_cpu = sum(cpu for _, _, cpu in units)
+            busy += worker_wall
+            worker_span = obs.record_span(
+                f"worker-{slot}",
+                "worker",
+                worker_wall,
+                worker_cpu,
+                attrs={"pid": pid, "units": len(units)},
+            )
+            parent = worker_span.span_id if worker_span else None
+            for index, wall, cpu in units:
+                obs.record_span(
+                    f"unit-{index}",
+                    "unit",
+                    wall,
+                    cpu,
+                    attrs={"index": index},
+                    parent_id=parent,
+                )
+                obs.metrics.histogram("executor.unit_wall_s").observe(wall)
+        span.attrs["busy_s"] = round(busy, 6)
+        span.attrs["workers"] = len(by_pid)
+        if map_wall > 0:
+            utilization = busy / (self.jobs * map_wall)
+            span.attrs["utilization"] = round(utilization, 4)
+            obs.metrics.gauge("executor.utilization").set(utilization)
+        obs.metrics.counter("executor.units").inc(len(outcomes))
+        obs.metrics.counter("executor.busy_s").inc(busy)
 
     def close(self) -> None:
         """Shut the pool down and reap the worker processes."""
@@ -163,10 +305,18 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def make_executor(jobs: int) -> SerialExecutor | ParallelExecutor:
-    """Executor for a ``--jobs N`` setting: serial at 1, processes above."""
+def make_executor(
+    jobs: int, telemetry: "Telemetry | None" = None
+) -> SerialExecutor | ParallelExecutor:
+    """Executor for a ``--jobs N`` setting: serial at 1, processes above.
+
+    ``telemetry`` (optional) makes the executor report per-unit spans and
+    utilization metrics; pass the run's
+    :class:`~repro.obs.telemetry.Telemetry` or leave ``None`` for the
+    zero-overhead uninstrumented path.
+    """
     if jobs < 1:
         raise ExecutorError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1:
-        return SerialExecutor()
-    return ParallelExecutor(jobs)
+        return SerialExecutor(telemetry=telemetry)
+    return ParallelExecutor(jobs, telemetry=telemetry)

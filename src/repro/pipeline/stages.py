@@ -93,7 +93,11 @@ class StageEvent:
     ``payload`` carries the stage's machine-readable summary (built by the
     stage's ``summarize`` hook), so observers can stream structured results
     — e.g. the fidelity gate's per-check verdict counts — without reaching
-    into the artifact namespace.
+    into the artifact namespace.  ``cache_status`` records the stage's
+    cache provenance — ``"hit"`` for a replayed artifact, ``"miss"`` for a
+    freshly computed (and stored) one, ``None`` for an uncacheable stage or
+    a run without a cache — so logs distinguish cached replays from fresh
+    runs.
     """
 
     stage: str
@@ -101,16 +105,27 @@ class StageEvent:
     seconds: float
     key: str | None = None
     payload: Mapping[str, Any] | None = None
+    cache_status: str | None = None  # "hit" | "miss" | None
 
     def describe(self) -> str:
-        """One-line human-readable rendering of the event."""
+        """One-line human-readable rendering of the event.
+
+        Cache provenance is always spelled out with the artifact key's
+        prefix: ``cache hit [1f0c9a2e]`` for replays, ``cache miss ->
+        1f0c9a2e`` for fresh computations of cacheable stages.
+        """
         extra = ""
         if self.payload:
             parts = ", ".join(f"{k}={v}" for k, v in self.payload.items())
             extra = f" [{parts}]"
+        prefix = self.key[:8] if self.key else None
         if self.status == "cached":
-            return f"{self.stage}: cache hit ({self.key}){extra}"
-        suffix = f", key {self.key}" if self.key else ""
+            return f"{self.stage}: cache hit [{prefix}]{extra}"
+        suffix = ""
+        if self.cache_status == "miss":
+            suffix = f", cache miss -> {prefix}"
+        elif self.key:
+            suffix = f", key {prefix}"
         return f"{self.stage}: computed in {self.seconds:.2f}s{suffix}{extra}"
 
 
@@ -171,12 +186,18 @@ class Pipeline:
 
         ``initial`` seeds the artifact namespace (it must cover the declared
         ``inputs``); ``observer`` is called with each :class:`StageEvent` as
-        it happens, letting callers stream progress.
+        it happens, letting callers stream progress.  When no observer is
+        given and the context carries telemetry, the telemetry's
+        verbosity-aware :meth:`~repro.obs.telemetry.Telemetry.observe`
+        renderer is used — the single event renderer every subcommand
+        shares.
         """
         artifacts: dict[str, Any] = dict(initial or {})
         missing = [name for name in self.inputs if name not in artifacts]
         if missing:
             raise PipelineError(f"missing initial artifacts: {missing}")
+        if observer is None and ctx.telemetry is not None:
+            observer = ctx.telemetry.observe
         events: list[StageEvent] = []
         for stage in self.stages:
             event, value = self._run_stage(stage, ctx, artifacts)
@@ -194,7 +215,23 @@ class Pipeline:
                 raise PipelineError(
                     f"stage {stage.name!r} missing artifact {requirement!r}"
                 )
+        obs = ctx.obs
+        with obs.span(stage.name, kind="stage") as span:
+            event, value = self._execute_stage(stage, ctx, artifacts, obs)
+            span.attrs["status"] = event.status
+            if event.key is not None:
+                span.attrs["key"] = event.key
+            if event.cache_status is not None:
+                span.attrs["cache"] = event.cache_status
+        obs.metrics.counter("pipeline.stages").inc()
+        return event, value
+
+    def _execute_stage(
+        self, stage: Stage, ctx: RunContext, artifacts: dict[str, Any], obs
+    ) -> tuple[StageEvent, Any]:
+        """Run one stage body (or replay its cached artifact)."""
         key: str | None = None
+        cache_status: str | None = None
         spec = stage.spec
         if spec is not None and ctx.cache is not None:
             # Imported lazily: repro.io pulls in the model layers, which in
@@ -202,6 +239,7 @@ class Pipeline:
             from ..io.cache import content_key
 
             key = content_key(dict(spec.key_parts(ctx, artifacts)))
+            cache_status = "miss"
             if ctx.cache.has(spec.kind, key, spec.suffix):
                 from ..io.cache import CacheError
 
@@ -220,10 +258,12 @@ class Pipeline:
                     event = StageEvent(
                         stage.name, "cached", seconds, key,
                         payload=self._summarize(stage, value),
+                        cache_status="hit",
                     )
                     return event, value
         start = time.perf_counter()
-        value = stage.fn(ctx, artifacts)
+        with obs.profile_stage(stage.name):
+            value = stage.fn(ctx, artifacts)
         seconds = time.perf_counter() - start
         if spec is not None and ctx.cache is not None and key is not None:
             ctx.cache.store(
@@ -232,6 +272,7 @@ class Pipeline:
         event = StageEvent(
             stage.name, "computed", seconds, key,
             payload=self._summarize(stage, value),
+            cache_status=cache_status,
         )
         return event, value
 

@@ -159,6 +159,7 @@ def generate_stage(
                     ctx.cache,
                     executor=executor,
                     chunk_sessions=chunk_sessions,
+                    telemetry=ctx.telemetry,
                 )
                 return GenerationResult(
                     n_sessions=manifest.n_sessions,
@@ -173,6 +174,7 @@ def generate_stage(
                 executor=executor,
                 chunk_sessions=chunk_sessions,
             )
+            ctx.obs.metrics.counter("generator.sessions").inc(len(table))
             return GenerationResult(
                 n_sessions=len(table),
                 total_volume_mb=table.total_volume_mb(),
@@ -224,6 +226,7 @@ def verify_stage(baseline, n_days: int) -> Stage:
         report.meta.update(
             {"seed": ctx.seed, "campaign": baseline.campaign.to_dict()}
         )
+        report.record_metrics(ctx.obs.metrics)
         return report
 
     return Stage(

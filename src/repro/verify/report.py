@@ -121,6 +121,23 @@ class FidelityReport:
             "verdict": "OK" if self.ok else "FAILED",
         }
 
+    def record_metrics(self, metrics) -> None:
+        """Publish the gate's verdicts into a run's metrics registry.
+
+        Counts every judged statistic (``verify.checks``) and every
+        out-of-band one (``verify.failed``), and exposes each measured
+        value as a ``verify.value.<statistic>`` gauge — so a run manifest
+        carries the fidelity outcome next to the timing data.  ``metrics``
+        is a :class:`~repro.obs.metrics.MetricsRegistry` (or the null
+        registry, making this a no-op).
+        """
+        metrics.counter("verify.checks").inc(len(self.results))
+        metrics.counter("verify.failed").inc(len(self.failures()))
+        for result in self.results:
+            metrics.gauge(f"verify.value.{result.statistic}").set(
+                result.value
+            )
+
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-serializable rendering of the whole report."""

@@ -1,0 +1,55 @@
+"""Tests for the telemetry report renderer."""
+
+import pytest
+
+from repro.obs.report import ReportRenderError, render_manifest, render_run
+from repro.obs.telemetry import Telemetry
+
+
+def _finished_run_dir(tmp_path):
+    """A telemetry directory of one small finished run."""
+    telemetry = Telemetry(directory=tmp_path, verbosity=0)
+    with telemetry.span("run:test", kind="run"):
+        with telemetry.span("simulate", kind="stage"):
+            telemetry.metrics.counter("cache.hit").inc(2)
+            telemetry.metrics.gauge("executor.utilization").set(0.75)
+            telemetry.metrics.histogram("executor.unit_wall_s").observe(0.5)
+    telemetry.finalize(command="simulate", seed=3, status="ok")
+    return tmp_path
+
+
+class TestRenderRun:
+    def test_report_covers_manifest_metrics_and_spans(self, tmp_path):
+        text = "\n".join(render_run(_finished_run_dir(tmp_path)))
+        assert "command:       simulate" in text
+        assert "seed:          3" in text
+        assert "cache.hit" in text
+        assert "executor.utilization" in text
+        assert "executor.unit_wall_s" in text
+        assert "Slowest spans:" in text
+        assert "run:test" in text
+
+    def test_missing_manifest_raises_render_error(self, tmp_path):
+        with pytest.raises(ReportRenderError):
+            render_run(tmp_path / "nowhere")
+
+
+class TestRenderManifest:
+    def test_stage_rows_show_cache_provenance(self):
+        manifest = {
+            "command": "validate",
+            "stages": [
+                {"name": "simulate", "status": "cached", "seconds": 0.01,
+                 "key": "deadbeefcafe", "cache": "hit", "payload": None},
+                {"name": "validate", "status": "computed", "seconds": 1.5,
+                 "key": None, "cache": None, "payload": {"ok": True}},
+            ],
+        }
+        text = "\n".join(render_manifest(manifest))
+        assert "hit deadbeef" in text
+        assert "ok=True" in text
+
+    def test_empty_manifest_renders_header_only(self):
+        lines = render_manifest({"command": "x", "seed": 0})
+        assert any("command:" in line for line in lines)
+        assert not any("Stages:" in line for line in lines)

@@ -1,0 +1,89 @@
+"""Tests for the event-stream schema and its dependency-free validator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.schema import (
+    SCHEMA_PATH,
+    SchemaError,
+    render_schema,
+    validate_event,
+    validate_events,
+    validate_events_file,
+)
+from repro.obs.telemetry import Telemetry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _finished_stream(tmp_path):
+    """Produce a real finished run's events.jsonl and return its path."""
+    telemetry = Telemetry(directory=tmp_path, verbosity=0)
+    with telemetry.span("run:test", kind="run"):
+        with telemetry.span("simulate", kind="stage"):
+            telemetry.record_span("unit-0", "unit", 0.1, 0.1)
+    telemetry.message("done")
+    telemetry.finalize(command="test")
+    return tmp_path / "events.jsonl"
+
+
+class TestCheckedInSchema:
+    def test_checked_in_file_is_in_sync_with_generator(self):
+        path = REPO_ROOT / SCHEMA_PATH
+        assert path.exists(), "run: python -m repro.obs.schema"
+        assert path.read_text() == render_schema()
+
+
+class TestValidator:
+    def test_real_run_stream_validates(self, tmp_path):
+        counts = validate_events_file(_finished_stream(tmp_path))
+        assert counts["span"] == 3
+        assert counts["metrics"] == 1
+        assert counts["message"] == 1
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(SchemaError, match="unknown event type"):
+            validate_event({"type": "bogus"})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(SchemaError, match="missing required field"):
+            validate_event({"type": "message", "level": "info"})
+
+    def test_unknown_extra_field_rejected(self):
+        with pytest.raises(SchemaError, match="unknown fields"):
+            validate_event(
+                {"type": "message", "level": "info", "text": "x", "who": "me"}
+            )
+
+    def test_bad_enum_value_rejected(self):
+        event = {
+            "type": "span", "id": 0, "parent": None, "name": "x",
+            "kind": "not-a-kind", "start_s": 0.0, "wall_s": 0.1,
+            "cpu_s": 0.1, "status": "ok", "attrs": {},
+        }
+        with pytest.raises(SchemaError, match="kind"):
+            validate_event(event)
+
+    def test_stream_without_spans_rejected(self):
+        metrics = {
+            "type": "metrics", "counters": {}, "gauges": {}, "histograms": {},
+        }
+        with pytest.raises(SchemaError, match="no span events"):
+            validate_events([metrics])
+
+    def test_stream_must_end_with_one_metrics_snapshot(self, tmp_path):
+        span = {
+            "type": "span", "id": 0, "parent": None, "name": "x",
+            "kind": "run", "start_s": 0.0, "wall_s": 0.1, "cpu_s": 0.1,
+            "status": "ok", "attrs": {},
+        }
+        with pytest.raises(SchemaError, match="metrics snapshot"):
+            validate_events([span])
+
+    def test_corrupted_stream_file_rejected(self, tmp_path):
+        path = _finished_stream(tmp_path)
+        with path.open("a") as handle:
+            handle.write('{"type": "span", "id": "not-an-int"}\n')
+        with pytest.raises(SchemaError):
+            validate_events_file(path)

@@ -1,0 +1,168 @@
+"""Tests for the span hierarchy and the telemetry facade."""
+
+import json
+
+import pytest
+
+from repro.obs.sinks import load_manifest, read_events
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetryError,
+)
+
+
+class TestSpanHierarchy:
+    def test_nested_spans_record_parent_ids(self):
+        telemetry = Telemetry()
+        with telemetry.span("run:test", kind="run") as run:
+            with telemetry.span("simulate", kind="stage") as stage:
+                assert stage.parent_id == run.span_id
+        records = telemetry.span_records()
+        # Inner span closes first; ids are allocated outside-in.
+        assert [r.name for r in records] == ["simulate", "run:test"]
+        assert records[0].parent_id == records[1].span_id
+        assert records[1].parent_id is None
+
+    def test_span_ids_are_sequential_and_deterministic(self):
+        telemetry = Telemetry()
+        with telemetry.span("a"):
+            pass
+        with telemetry.span("b"):
+            pass
+        assert [r.span_id for r in telemetry.span_records()] == [0, 1]
+
+    def test_exception_closes_span_with_error_status(self):
+        telemetry = Telemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry.span("doomed", kind="stage"):
+                raise RuntimeError("boom")
+        (record,) = telemetry.span_records()
+        assert record.status == "error"
+        assert telemetry.current_span_id() is None  # stack unwound
+
+    def test_record_span_attaches_under_open_span(self):
+        telemetry = Telemetry()
+        with telemetry.span("map", kind="executor") as outer:
+            record = telemetry.record_span("unit-0", "unit", 0.5, 0.4)
+        assert record.parent_id == outer.span_id
+        assert record.wall_s == pytest.approx(0.5)
+        assert record.cpu_s == pytest.approx(0.4)
+
+    def test_current_stage_finds_innermost_stage_span(self):
+        telemetry = Telemetry()
+        assert telemetry.current_stage() is None
+        with telemetry.span("run:x", kind="run"):
+            with telemetry.span("simulate", kind="stage"):
+                with telemetry.span("map", kind="executor"):
+                    assert telemetry.current_stage() == "simulate"
+
+    def test_span_attrs_survive_into_record(self):
+        telemetry = Telemetry()
+        with telemetry.span("s", attrs={"a": 1}) as span:
+            span.attrs["b"] = 2
+        (record,) = telemetry.span_records()
+        assert record.attrs == {"a": 1, "b": 2}
+
+
+class TestSinksAndFinalize:
+    def test_events_jsonl_written_and_manifest_built(self, tmp_path):
+        telemetry = Telemetry(directory=tmp_path, verbosity=0)
+        with telemetry.span("run:test", kind="run"):
+            telemetry.metrics.counter("cache.hit").inc(3)
+        manifest = telemetry.finalize(
+            command="test", seed=7, argv=["test"], config={"seed": 7}
+        )
+        events = list(read_events(tmp_path / "events.jsonl"))
+        assert events[0]["type"] == "span"
+        assert events[-1]["type"] == "metrics"
+        assert manifest["seed"] == 7
+        assert manifest["metrics"]["counters"]["cache.hit"] == 3
+        assert manifest["spans"]["by_kind"] == {"run": 1}
+        assert load_manifest(tmp_path)["command"] == "test"
+
+    def test_memory_only_run_writes_nothing(self, tmp_path):
+        telemetry = Telemetry(verbosity=0)
+        with telemetry.span("a"):
+            pass
+        manifest = telemetry.finalize(command="t")
+        assert manifest["events_file"] is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_double_finalize_raises(self):
+        telemetry = Telemetry(verbosity=0)
+        telemetry.finalize()
+        with pytest.raises(TelemetryError):
+            telemetry.finalize()
+
+    def test_config_digest_stable_for_equal_configs(self):
+        first = Telemetry(verbosity=0).finalize(config={"seed": 1, "bs": 5})
+        second = Telemetry(verbosity=0).finalize(config={"bs": 5, "seed": 1})
+        assert first["config_digest"] == second["config_digest"]
+
+    def test_profile_stage_writes_pstats(self, tmp_path):
+        telemetry = Telemetry(directory=tmp_path, verbosity=0, profile=True)
+        with telemetry.profile_stage("simulate"):
+            sum(range(100))
+        assert (tmp_path / "profile-simulate.pstats").exists()
+        (record,) = telemetry.span_records("profile")
+        assert record.attrs["stage"] == "simulate"
+
+    def test_profile_disabled_by_default(self, tmp_path):
+        telemetry = Telemetry(directory=tmp_path, verbosity=0)
+        with telemetry.profile_stage("simulate"):
+            pass
+        assert not (tmp_path / "profile-simulate.pstats").exists()
+
+
+class TestRendering:
+    def test_verbosity_zero_prints_nothing(self, capsys):
+        from repro.pipeline.stages import StageEvent
+
+        telemetry = Telemetry(verbosity=0)
+        telemetry.observe(StageEvent("simulate", "computed", 0.1))
+        telemetry.message("hello")
+        assert capsys.readouterr().out == ""
+
+    def test_default_verbosity_prints_pipeline_lines(self, capsys):
+        from repro.pipeline.stages import StageEvent
+
+        telemetry = Telemetry()
+        telemetry.observe(StageEvent("simulate", "computed", 0.1))
+        assert "[pipeline] simulate: computed" in capsys.readouterr().out
+
+    def test_log_json_prints_machine_readable_lines(self, capsys):
+        from repro.pipeline.stages import StageEvent
+
+        telemetry = Telemetry(log_json=True)
+        telemetry.observe(
+            StageEvent("simulate", "cached", 0.1, key="abc", cache_status="hit")
+        )
+        line = capsys.readouterr().out.strip()
+        event = json.loads(line)
+        assert event["type"] == "stage"
+        assert event["cache"] == "hit"
+
+
+class TestNullTelemetry:
+    def test_null_telemetry_is_falsy(self):
+        assert not NULL_TELEMETRY
+        assert Telemetry(verbosity=0)  # real telemetry is truthy
+
+    def test_null_span_absorbs_attribute_writes(self):
+        with NULL_TELEMETRY.span("a", kind="stage") as span:
+            span.attrs["key"] = "value"
+            span.attrs.update(more=1)
+        assert dict(span.attrs) == {}
+
+    def test_null_operations_are_noops(self, capsys, tmp_path):
+        telemetry = NullTelemetry()
+        assert telemetry.record_span("u", "unit", 0.1, 0.1) is None
+        telemetry.observe(object())
+        telemetry.message("quiet")
+        with telemetry.profile_stage("s"):
+            pass
+        assert telemetry.finalize() == {}
+        assert telemetry.finalize() == {}  # never raises on re-finalize
+        assert capsys.readouterr().out == ""

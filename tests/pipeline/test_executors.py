@@ -110,6 +110,64 @@ class TestWorkerFailures:
         assert issubclass(WorkerError, ExecutorError)
 
 
+class TestExecutorTelemetry:
+    """Instrumented executors report per-unit spans — without changing results."""
+
+    def _telemetry(self):
+        from repro.obs.telemetry import Telemetry
+
+        return Telemetry(verbosity=0)
+
+    def test_serial_map_records_unit_spans(self):
+        telemetry = self._telemetry()
+        result = SerialExecutor(telemetry=telemetry).map(_square, [3, 1, 2])
+        assert result == [9, 1, 4]
+        assert len(telemetry.span_records("executor")) == 1
+        units = telemetry.span_records("unit")
+        assert [u.name for u in units] == ["unit-0", "unit-1", "unit-2"]
+        assert telemetry.metrics.counter("executor.units").value == 3
+
+    def test_parallel_map_records_worker_and_unit_spans(self):
+        telemetry = self._telemetry()
+        items = list(range(12))
+        with ParallelExecutor(jobs=2, telemetry=telemetry) as executor:
+            assert executor.map(_square, items) == [i * i for i in items]
+        workers = telemetry.span_records("worker")
+        units = telemetry.span_records("unit")
+        assert len(workers) >= 1
+        assert len(units) == 12
+        worker_ids = {w.span_id for w in workers}
+        assert all(u.parent_id in worker_ids for u in units)
+        (executor_span,) = telemetry.span_records("executor")
+        assert executor_span.attrs["items"] == 12
+        assert "utilization" in executor_span.attrs
+
+    def test_worker_error_carries_span_context(self):
+        telemetry = self._telemetry()
+        with telemetry.span("fan-out", kind="stage"):
+            with ParallelExecutor(jobs=2, telemetry=telemetry) as executor:
+                with pytest.raises(WorkerError) as excinfo:
+                    executor.map(_boom_on_negative, [1, -3, 2])
+        error = excinfo.value
+        assert error.item_index == 1
+        assert error.stage == "fan-out"
+        assert error.elapsed_s is not None and error.elapsed_s >= 0.0
+        assert "of stage 'fan-out'" in str(error)
+
+    def test_untelemetered_worker_error_has_no_span_context(self):
+        with ParallelExecutor(jobs=2) as executor:
+            with pytest.raises(WorkerError) as excinfo:
+                executor.map(_boom_on_negative, [-1])
+        assert excinfo.value.stage is None
+
+    def test_make_executor_threads_telemetry_through(self):
+        telemetry = self._telemetry()
+        assert make_executor(1, telemetry=telemetry).telemetry is telemetry
+        executor = make_executor(2, telemetry=telemetry)
+        assert executor.telemetry is telemetry
+        executor.close()
+
+
 class TestMakeExecutor:
     def test_one_job_is_serial(self):
         assert isinstance(make_executor(1), SerialExecutor)

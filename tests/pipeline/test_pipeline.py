@@ -166,3 +166,61 @@ class TestCaching:
         pipeline.run(RunContext(seed=3))
         pipeline.run(RunContext(seed=3))
         assert len(calls) == 2
+
+    def test_describe_spells_out_cache_provenance(self, tmp_path):
+        spec = _json_spec(lambda ctx, artifacts: {"seed": ctx.seed})
+        pipeline = Pipeline([self._counting_stage([], spec)])
+        ctx = RunContext(seed=3, cache=ArtifactCache(tmp_path))
+
+        first = pipeline.run(ctx).event("work")
+        assert first.cache_status == "miss"
+        assert f"cache miss -> {first.key[:8]}" in first.describe()
+        second = pipeline.run(ctx).event("work")
+        assert second.cache_status == "hit"
+        assert f"cache hit [{second.key[:8]}]" in second.describe()
+        # Uncacheable stages carry no provenance at all.
+        bare = Pipeline([_const_stage("a", 1)]).run(ctx).event("a")
+        assert bare.cache_status is None
+        assert "cache" not in bare.describe()
+
+
+class TestPipelineTelemetry:
+    """A context's telemetry observes stages and records stage spans."""
+
+    def test_telemetry_is_default_observer_and_spans_stages(self, tmp_path):
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry(verbosity=0)
+        ctx = RunContext(seed=0, telemetry=telemetry)
+        run = Pipeline([_const_stage("a", 1), _const_stage("b", 2)]).run(ctx)
+        stage_spans = telemetry.span_records("stage")
+        assert [s.name for s in stage_spans] == ["a", "b"]
+        assert telemetry.metrics.counter("pipeline.stages").value == 2
+        # Explicit observers still win over the telemetry default.
+        seen = []
+        Pipeline([_const_stage("c", 3)]).run(ctx, observer=seen.append)
+        assert [e.stage for e in seen] == ["c"]
+        assert run.events[0].stage == "a"
+
+    def test_stage_span_carries_cache_attrs(self, tmp_path):
+        from repro.obs.telemetry import Telemetry
+
+        spec = _json_spec(lambda ctx, artifacts: {"seed": ctx.seed})
+        stage = Stage(
+            name="work", produces="work",
+            fn=lambda ctx, artifacts: {"x": 1}, spec=spec,
+        )
+        telemetry = Telemetry(verbosity=0)
+        ctx = RunContext(
+            seed=3,
+            cache=ArtifactCache(tmp_path, telemetry=telemetry),
+            telemetry=telemetry,
+        )
+        Pipeline([stage]).run(ctx)
+        Pipeline([stage]).run(ctx)
+        first, second = telemetry.span_records("stage")
+        assert first.attrs["cache"] == "miss"
+        assert second.attrs["cache"] == "hit"
+        assert first.attrs["key"] == second.attrs["key"]
+        assert telemetry.metrics.counter("cache.hit").value == 1
+        assert telemetry.metrics.counter("cache.stores").value == 1

@@ -265,6 +265,120 @@ class TestVerify:
             assert band.provenance == before.claims[key].provenance
 
 
+class TestTelemetry:
+    """The telemetry flags: event stream, manifest, report, verbosity."""
+
+    def _fit_release(self, tmp_path, capsys):
+        models = tmp_path / "models.json"
+        main(["--seed", "1", "fit", "--bs", "10", "--days", "1",
+              "--output", str(models)])
+        capsys.readouterr()
+        return models
+
+    def test_generate_writes_events_and_manifest(self, tmp_path, capsys):
+        import json
+
+        models = self._fit_release(tmp_path, capsys)
+        tel = tmp_path / "telemetry"
+        code = main(
+            ["--seed", "2", "generate", "--models", str(models),
+             "--bs", "2", "--days", "1", "--jobs", "2",
+             "--telemetry-dir", str(tel)]
+        )
+        assert code == 0
+        from repro.obs.schema import validate_events_file
+
+        counts = validate_events_file(tel / "events.jsonl")
+        assert counts["span"] >= 1
+        assert counts["metrics"] == 1
+        manifest = json.loads((tel / "manifest.json").read_text())
+        assert manifest["command"] == "generate"
+        assert manifest["seed"] == 2
+        assert manifest["status"] == "ok"
+        assert [s["name"] for s in manifest["stages"]] == ["generate"]
+        assert "generator.sessions" in manifest["metrics"]["counters"]
+        assert manifest["spans"]["by_kind"].get("worker", 0) >= 1
+
+    def test_report_renders_previous_run(self, tmp_path, capsys):
+        models = self._fit_release(tmp_path, capsys)
+        tel = tmp_path / "telemetry"
+        main(["--seed", "2", "generate", "--models", str(models),
+              "--bs", "2", "--days", "1", "--telemetry-dir", str(tel)])
+        capsys.readouterr()
+        assert main(["report", str(tel)]) == 0
+        out = capsys.readouterr().out
+        assert "command:       generate" in out
+        assert "generator.sessions" in out
+        assert "Slowest spans:" in out
+
+    def test_report_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 1
+        assert "report error" in capsys.readouterr().err
+
+    def test_quiet_silences_pipeline_lines(self, capsys):
+        args = ["--seed", "6", "validate", "--bs", "10", "--days", "1",
+                "--no-cache"]
+        assert main(args + ["-q"]) in (0, 1)
+        out = capsys.readouterr().out
+        assert "[pipeline]" not in out
+        assert "verdict:" in out  # results still print
+
+    def test_log_json_emits_machine_readable_stage_lines(self, capsys):
+        import json
+
+        args = ["--seed", "6", "validate", "--bs", "10", "--days", "1",
+                "--no-cache", "--log-json"]
+        main(args)
+        out = capsys.readouterr().out
+        stage_lines = [
+            json.loads(line) for line in out.splitlines()
+            if line.startswith("{")
+        ]
+        assert any(
+            line["type"] == "stage" and line["name"] == "simulate"
+            for line in stage_lines
+        )
+        assert "[pipeline]" not in out
+
+    def test_verify_metrics_reach_manifest(self, tmp_path, capsys):
+        import json
+
+        tel = tmp_path / "telemetry"
+        code = main(["--seed", "0", "verify", "--telemetry-dir", str(tel)])
+        capsys.readouterr()
+        assert code == 0
+        manifest = json.loads((tel / "manifest.json").read_text())
+        counters = manifest["metrics"]["counters"]
+        assert counters["verify.checks"] >= 6
+        assert counters["verify.failed"] == 0
+        assert any(
+            name.startswith("verify.value.")
+            for name in manifest["metrics"]["gauges"]
+        )
+
+    def test_telemetry_does_not_change_generated_trace(self, tmp_path, capsys):
+        models = self._fit_release(tmp_path, capsys)
+        plain = tmp_path / "plain.csv.gz"
+        observed = tmp_path / "observed.csv.gz"
+        base = ["--seed", "2", "generate", "--models", str(models),
+                "--bs", "2", "--days", "1", "--no-cache"]
+        assert main(base + ["--trace", str(plain)]) == 0
+        assert main(
+            base + ["--trace", str(observed),
+                    "--telemetry-dir", str(tmp_path / "tel")]
+        ) == 0
+        capsys.readouterr()
+        assert plain.read_bytes() == observed.read_bytes()
+
+    def test_profile_writes_stage_pstats(self, tmp_path, capsys):
+        tel = tmp_path / "telemetry"
+        code = main(["--seed", "6", "validate", "--bs", "10", "--days", "1",
+                     "--no-cache", "--telemetry-dir", str(tel), "--profile"])
+        capsys.readouterr()
+        assert code == 0
+        assert (tel / "profile-simulate.pstats").exists()
+
+
 class TestTraceFlags:
     def test_simulate_exports_trace(self, tmp_path, capsys):
         path = tmp_path / "campaign.csv.gz"
