@@ -15,7 +15,6 @@ identical traffic:
 
 import numpy as np
 
-from repro.core.model_bank import ModelBank
 from repro.core.service_mix import ServiceMix
 from repro.dataset.records import SERVICE_NAMES
 from repro.io.tables import format_table

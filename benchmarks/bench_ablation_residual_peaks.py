@@ -9,7 +9,6 @@ Design choices probed (Section 5.2 / DESIGN.md):
   range of derivative thresholds.
 """
 
-import numpy as np
 
 from repro.core.volume_model import decompose_volume_pdf, fit_volume_model
 from repro.dataset.aggregation import pooled_volume_pdf

@@ -8,7 +8,6 @@ anchors are mu = 1.21 sessions/min for the first decile and 71 for the
 last.
 """
 
-import numpy as np
 
 from benchmarks.conftest import BENCH_N_DAYS
 from repro.core.arrivals import arrival_fit_error, fit_arrival_model_from_days

@@ -7,7 +7,6 @@ characteristic peak near 40 MB — must be recovered by the automatic
 procedure.
 """
 
-import numpy as np
 
 from repro.analysis.histogram import BIN_WIDTH
 from repro.core.volume_model import decompose_volume_pdf

@@ -13,7 +13,6 @@ import time
 
 import numpy as np
 
-from repro.core.duration_model import fit_power_law
 from repro.dataset.network import Network, NetworkConfig
 from repro.dataset.simulator import SimulationConfig
 from repro.dataset.streaming import simulate_aggregated

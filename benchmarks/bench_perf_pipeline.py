@@ -11,7 +11,6 @@ import time
 import numpy as np
 
 from repro.core.generator import TrafficGenerator
-from repro.core.model_bank import ModelBank
 from repro.core.service_mix import ServiceMix
 from repro.dataset.aggregation import (
     aggregate_per_bs_day,
@@ -82,7 +81,7 @@ def test_perf_pooled_aggregation(benchmark, bench_campaign):
     def run():
         return pooled_volume_pdf(sub), pooled_duration_volume(sub)
 
-    pdf, curve = benchmark.pedantic(run, rounds=5, iterations=1)
+    pdf, _ = benchmark.pedantic(run, rounds=5, iterations=1)
     assert pdf.total_mass > 0.99
 
 

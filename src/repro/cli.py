@@ -18,7 +18,12 @@ independent per-(day, BS) seed-stream work units:
 * ``repro-traffic reproduce`` — regenerate a paper artefact at laptop
   scale;
 * ``repro-traffic report`` — render the telemetry of a previous run
-  (manifest, stage table, metrics, slowest spans).
+  (manifest, stage table, metrics, slowest spans);
+* ``repro-traffic lint`` — run the AST-based invariant checker
+  (:mod:`repro.lint`) over ``src/``, ``tools/`` and ``benchmarks/``:
+  determinism (D), parallel-safety (P) and structure (S) rules, with
+  inline suppressions and a checked-in baseline (see
+  ``docs/LINTING.md``).
 
 Every subcommand accepts ``--jobs N`` to fan the heavy stages out across
 worker processes — output is bit-identical for any worker count thanks to
@@ -195,6 +200,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "directory",
         help="telemetry directory of the run (as given to --telemetry-dir)",
     )
+
+    from .lint.app import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro-lint invariant checker (determinism, "
+        "parallel safety, structure)",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -488,6 +502,10 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "lint":
+        from .lint.app import run as run_lint
+
+        return run_lint(args)
     telemetry = Telemetry(
         directory=getattr(args, "telemetry_dir", None),
         verbosity=1 + getattr(args, "verbose", 0) - getattr(args, "quiet", 0),

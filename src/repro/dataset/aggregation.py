@@ -19,7 +19,6 @@ import numpy as np
 
 from ..analysis.histogram import (
     BIN_WIDTH,
-    LOG_GRID,
     LOG_U_MAX,
     LOG_U_MIN,
     N_BINS,

@@ -184,10 +184,10 @@ def expand_app_sessions(
         if k == 1:
             weights = np.array([1.0])
         else:
-            weights = rng.dirichlet(np.full(k, 2.0))
+            weights = rng.dirichlet(np.full(k, 2.0, dtype=np.float64))
         flow_volumes = np.maximum(volumes[i] * weights, 1e-4)
         if parallel[i] or k == 1:
-            flow_durations = np.full(k, durations[i])
+            flow_durations = np.full(k, durations[i], dtype=np.float64)
             offsets_s = np.zeros(k)
         else:
             flow_durations = np.maximum(durations[i] * weights, 1.0)
@@ -198,13 +198,13 @@ def expand_app_sessions(
         minute = np.minimum(
             start_minutes[i] + (offsets_s // 60).astype(np.int64), 1439
         )
-        rows_service.append(np.full(k, service_idx))
-        rows_bs.append(np.full(k, bs_id[i]))
-        rows_day.append(np.full(k, day[i]))
+        rows_service.append(np.full(k, service_idx, dtype=np.int16))
+        rows_bs.append(np.full(k, bs_id[i], dtype=np.int32))
+        rows_day.append(np.full(k, day[i], dtype=np.int16))
         rows_minute.append(minute)
         rows_duration.append(flow_durations)
         rows_volume.append(flow_volumes)
-        rows_app.append(np.full(k, first_app_id + i))
+        rows_app.append(np.full(k, first_app_id + i, dtype=np.int64))
 
     flows = SessionTable(
         service_idx=np.concatenate(rows_service),

@@ -199,7 +199,7 @@ def _sessions_from_counts(
     n = int(counts.sum())
     if n == 0:
         return SessionTable.empty()
-    start_minute = np.repeat(np.arange(1440), counts)
+    start_minute = np.repeat(np.arange(1440, dtype=np.int64), counts)
     shares = _jittered_shares(rng, config.share_jitter_dex)
     service_idx = rng.choice(len(SERVICE_NAMES), size=n, p=shares)
     volumes, durations = _draw_session_bodies(service_idx, rng)
@@ -278,8 +278,8 @@ def _serve_at_bs(
 
     table = SessionTable(
         service_idx=service_idx,
-        bs_id=np.full(service_idx.size, bs_id),
-        day=np.full(service_idx.size, day),
+        bs_id=np.full(service_idx.size, bs_id, dtype=np.int32),
+        day=np.full(service_idx.size, day, dtype=np.int16),
         start_minute=start_minute,
         duration_s=observed_dur,
         volume_mb=observed_vol,

@@ -1,0 +1,170 @@
+"""The checked-in baseline of grandfathered lint findings.
+
+A baseline entry acknowledges one pre-existing violation without fixing
+it: it matches findings by ``(rule, path, symbol)`` — deliberately not
+by line number, so unrelated edits in the same file do not churn the
+file — and must carry a non-empty ``justification``.  The shipped
+baseline lives at ``baselines/repro_lint_baseline.json``; the goal
+state (and the shipped state) is an *empty* baseline, with intentional
+exceptions expressed as inline suppressions next to the code they
+excuse.
+
+New code never lands baselined: CI fails on any finding that is neither
+suppressed inline nor already in the baseline, and stale entries (ones
+matching nothing) fail the run too, so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from .rules import Finding
+
+#: Repository-relative path of the checked-in baseline.
+DEFAULT_BASELINE_PATH = "baselines/repro_lint_baseline.json"
+
+#: Format version of the baseline file.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised on malformed baseline files."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, anchored line-number-free."""
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry covers the given finding."""
+        return (
+            self.rule == finding.rule
+            and self.path == finding.path
+            and self.symbol == finding.symbol
+        )
+
+
+class Baseline:
+    """A set of grandfathered findings loaded from (or saved to) JSON."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self.entries = list(entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: invalid JSON ({exc})") from None
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise BaselineError(f"{path}: expected an object with 'findings'")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"{path}: unsupported baseline version {version!r}"
+            )
+        entries: list[BaselineEntry] = []
+        for index, raw in enumerate(payload["findings"]):
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=raw["rule"],
+                        path=raw["path"],
+                        symbol=raw.get("symbol", "<module>"),
+                        justification=raw.get("justification", ""),
+                    )
+                )
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"{path}: entry #{index} malformed ({exc!r})"
+                ) from None
+            if not entries[-1].justification.strip():
+                raise BaselineError(
+                    f"{path}: entry #{index} ({entries[-1].rule} "
+                    f"{entries[-1].path}) has no justification"
+                )
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "symbol": e.symbol,
+                    "justification": e.justification,
+                }
+                for e in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.symbol)
+                )
+            ],
+        }
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        justification: str = "TODO: justify or fix",
+    ) -> "Baseline":
+        """Baseline covering the given findings (``--write-baseline``)."""
+        seen: dict[tuple[str, str, str], BaselineEntry] = {}
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.symbol)
+            seen.setdefault(
+                key,
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    symbol=finding.symbol,
+                    justification=justification,
+                ),
+            )
+        return cls(seen.values())
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], int, list[BaselineEntry]]:
+        """Split findings against the baseline.
+
+        Returns ``(new_findings, baselined_count, stale_entries)`` where
+        stale entries matched no finding at all — they must be deleted
+        from the baseline file (the violation they excused is gone).
+        """
+        new: list[Finding] = []
+        used: set[int] = set()
+        baselined = 0
+        for finding in findings:
+            covered = False
+            for index, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    used.add(index)
+                    covered = True
+            if covered:
+                baselined += 1
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for index, entry in enumerate(self.entries)
+            if index not in used
+        ]
+        return new, baselined, stale

@@ -1,0 +1,214 @@
+"""The file-level lint driver: discover, parse, check — optionally in parallel.
+
+Files are independent work units (every rule sees exactly one file), so
+the driver fans them out through the same audited executor abstraction
+the pipeline uses (:func:`repro.pipeline.executors.make_executor`) —
+eating our own P203 dogfood — and merges the per-file reports into one
+globally sorted finding list, so serial and parallel runs print
+byte-identical output.
+
+A file that fails to parse is reported as one ``E999`` finding rather
+than aborting the run: the linter must keep working while the tree is
+mid-refactor.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline, BaselineEntry
+from .rules import FileContext, Finding, Rule, run_rules
+from .suppress import apply_suppressions, parse_suppressions
+
+#: Directories a bare run walks, relative to the repository root.
+DEFAULT_ROOTS = ("src", "tools", "benchmarks")
+
+#: Directory names never descended into.
+EXCLUDED_DIRS = frozenset(
+    {"__pycache__", "output", ".git", ".repro-cache", "node_modules"}
+)
+
+#: Rule id of parse failures.
+SYNTAX_RULE_ID = "E999"
+
+
+@dataclass(frozen=True)
+class FileReport:
+    """Picklable outcome of linting one file."""
+
+    path: str
+    findings: tuple[Finding, ...]
+    suppressed: int
+
+
+@dataclass
+class LintResult:
+    """Merged outcome of one lint run.
+
+    ``findings`` holds what is actionable *now* (suppressions and the
+    baseline already applied); ``unbaselined_findings`` is the same list
+    before baseline filtering, which ``--write-baseline`` snapshots.
+    """
+
+    root: str
+    files: int
+    findings: list[Finding]
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    unbaselined_findings: list[Finding] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        """Summary counters of the run (feeds both report formats)."""
+        return {
+            "files": self.files,
+            "findings": len(self.findings),
+            "errors": sum(
+                1 for f in self.findings if f.severity == "error"
+            ),
+            "warnings": sum(
+                1 for f in self.findings if f.severity == "warning"
+            ),
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "stale_baseline": len(self.stale_baseline),
+        }
+
+    def failed(self, fail_on: str = "warning") -> bool:
+        """Whether the run should exit non-zero.
+
+        ``fail_on="warning"`` (the default) fails on any finding;
+        ``fail_on="error"`` tolerates warnings.  Stale baseline entries
+        always fail — the baseline must only ever shrink.
+        """
+        if self.stale_baseline:
+            return True
+        if fail_on == "error":
+            return any(f.severity == "error" for f in self.findings)
+        return bool(self.findings)
+
+
+def lint_source(
+    path: str, source: str, rules: Sequence[Rule] | None = None
+) -> FileReport:
+    """Lint one in-memory file; the unit every test fixture drives.
+
+    ``path`` is the repository-relative path the rules scope on — tests
+    pass virtual paths like ``"src/repro/core/x.py"`` to place a snippet
+    inside or outside a rule's scope.
+    """
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError) as exc:
+        reason = getattr(exc, "msg", None) or str(exc)
+        return FileReport(
+            path=path,
+            findings=(
+                Finding(
+                    path=path,
+                    line=getattr(exc, "lineno", None) or 1,
+                    col=(getattr(exc, "offset", None) or 1) - 1,
+                    rule=SYNTAX_RULE_ID,
+                    severity="error",
+                    message=f"file does not parse: {reason}",
+                ),
+            ),
+            suppressed=0,
+        )
+    ctx = FileContext(path, source, tree)
+    findings = run_rules(ctx, rules)
+    suppressions, directive_problems = parse_suppressions(path, source)
+    kept, suppressed = apply_suppressions(findings, suppressions)
+    return FileReport(
+        path=path,
+        findings=tuple(sorted(kept + directive_problems)),
+        suppressed=suppressed,
+    )
+
+
+def _lint_file(payload: tuple[str, str]) -> FileReport:
+    """Worker kernel: lint one on-disk file (module-level, picklable)."""
+    root, rel = payload
+    source = (Path(root) / rel).read_text(encoding="utf-8")
+    return lint_source(rel, source)
+
+
+def discover_files(
+    root: Path, paths: Sequence[str] | None = None
+) -> list[str]:
+    """Python files to lint, as sorted repo-relative POSIX paths.
+
+    ``paths`` may name files or directories (relative to ``root`` or
+    absolute); ``None`` walks :data:`DEFAULT_ROOTS`.  Unknown paths
+    raise ``FileNotFoundError`` — a typo must not silently lint nothing.
+    """
+    root = root.resolve()
+    targets = list(paths) if paths else [
+        r for r in DEFAULT_ROOTS if (root / r).is_dir()
+    ]
+    found: set[str] = set()
+    for target in targets:
+        candidate = Path(target)
+        if not candidate.is_absolute():
+            candidate = root / candidate
+        if candidate.is_file():
+            found.add(candidate.resolve().relative_to(root).as_posix())
+        elif candidate.is_dir():
+            for file in candidate.rglob("*.py"):
+                if EXCLUDED_DIRS.intersection(file.parts):
+                    continue
+                found.add(file.resolve().relative_to(root).as_posix())
+        else:
+            raise FileNotFoundError(f"no such lint target: {target}")
+    return sorted(found)
+
+
+def lint_paths(
+    root: str | Path,
+    paths: Sequence[str] | None = None,
+    jobs: int = 1,
+    baseline: Baseline | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> LintResult:
+    """Lint a tree and merge the per-file reports into one result.
+
+    ``jobs > 1`` fans files across worker processes; output is
+    byte-identical to the serial run because findings carry their own
+    ordering.  ``rules`` (tests only) bypasses the per-file default
+    registry lookup — parallel runs always use the full default pack.
+    """
+    from ..pipeline.executors import make_executor
+
+    root = Path(root).resolve()
+    files = discover_files(root, paths)
+    payloads = [(str(root), rel) for rel in files]
+    if rules is not None or jobs == 1:
+        rule_list = list(rules) if rules is not None else None
+        reports = [
+            lint_source(
+                rel, (Path(root_str) / rel).read_text(encoding="utf-8"),
+                rule_list,
+            )
+            for root_str, rel in payloads
+        ]
+    else:
+        with make_executor(jobs) as executor:
+            reports = executor.map(_lint_file, payloads)
+    findings = sorted(f for report in reports for f in report.findings)
+    suppressed = sum(report.suppressed for report in reports)
+    result = LintResult(
+        root=str(root),
+        files=len(files),
+        findings=findings,
+        suppressed=suppressed,
+        unbaselined_findings=list(findings),
+    )
+    if baseline is not None:
+        kept, baselined, stale = baseline.apply(findings)
+        result.findings = kept
+        result.baselined = baselined
+        result.stale_baseline = stale
+    return result

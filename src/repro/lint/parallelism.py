@@ -1,0 +1,307 @@
+"""P-series rules: safety of the process-pool fan-out paths.
+
+The pipeline's parallel executor maps per-(day, BS) kernels across
+worker processes; correctness there requires that submitted callables
+survive pickling (module-level, argument-closed), that no code path
+communicates through mutable module globals (each worker holds its own
+copy, so writes silently diverge), and that all process fan-out flows
+through the one audited executor abstraction in
+:mod:`repro.pipeline.executors`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .rules import FileContext, Finding, Rule, register
+
+#: The one module allowed to touch process-pool primitives directly.
+EXECUTOR_MODULE = "src/repro/pipeline/executors.py"
+
+#: Call-site method names that ship a callable to an executor.
+SUBMIT_METHODS = ("map", "submit")
+
+#: Receiver names that look like executors/pools at a ``.map``/``.submit``
+#: call site.
+EXECUTOR_NAMES = ("executor", "pool", "ex")
+
+
+def _receiver_name(func: ast.expr) -> str | None:
+    """Trailing identifier of a call receiver (``self.executor`` → that)."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id
+    if isinstance(func, ast.Attribute) and isinstance(
+        func.value, ast.Attribute
+    ):
+        return func.value.attr
+    return None
+
+
+@register
+class NonModuleLevelWorkerCallable(Rule):
+    """P201 — lambdas/closures submitted to a process executor."""
+
+    id = "P201"
+    title = "worker callable not module-level"
+    severity = "error"
+    rationale = (
+        "ProcessPoolExecutor pickles the submitted callable by qualified "
+        "name: lambdas and nested functions either fail to pickle or drag "
+        "captured state across the process boundary.  Worker kernels must "
+        "be module-level functions closed over their arguments only."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag lambda / locally-defined callables at submit sites."""
+        nested = self._nested_function_names(ctx)
+        for call in ctx.calls():
+            if not (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in SUBMIT_METHODS
+            ):
+                continue
+            receiver = _receiver_name(call.func)
+            if receiver is None or not any(
+                token in receiver.lower() for token in EXECUTOR_NAMES
+            ):
+                continue
+            if not call.args:
+                continue
+            fn = call.args[0]
+            if isinstance(fn, ast.Lambda):
+                yield self.finding(
+                    ctx, fn,
+                    "lambda submitted to a process executor cannot be "
+                    "pickled by name; use a module-level kernel function",
+                )
+            elif isinstance(fn, ast.Name) and fn.id in nested:
+                yield self.finding(
+                    ctx, fn,
+                    f"locally-defined function {fn.id!r} submitted to a "
+                    "process executor; hoist the kernel to module level",
+                )
+
+    @staticmethod
+    def _nested_function_names(ctx: FileContext) -> set[str]:
+        """Names of functions defined inside other functions."""
+        names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for scope in ctx.ancestors(node):
+                    if isinstance(
+                        scope, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        names.add(node.name)
+                        break
+        return names
+
+
+@register
+class GlobalStateWrite(Rule):
+    """P202 — functions rebinding module globals via ``global``."""
+
+    id = "P202"
+    title = "module global written at runtime"
+    severity = "error"
+    rationale = (
+        "A 'global' write is invisible cross-process state: each pool "
+        "worker mutates its own copy, so parallel runs silently diverge "
+        "from serial ones.  Thread state through RunContext/arguments "
+        "instead."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Scope: the library package."""
+        return ctx.in_dirs("src")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag ``global`` declarations whose names are assigned."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared: set[str] = set()
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Global):
+                    declared.update(stmt.names)
+            if not declared:
+                continue
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Name) and isinstance(
+                    stmt.ctx, ast.Store
+                ) and stmt.id in declared:
+                    yield self.finding(
+                        ctx, stmt,
+                        f"module global {stmt.id!r} rebound inside "
+                        f"{node.name}(); workers each mutate a private copy",
+                    )
+                    declared.discard(stmt.id)
+
+
+@register
+class ExecutorBypass(Rule):
+    """P203 — process-pool primitives used outside the executor module."""
+
+    id = "P203"
+    title = "process fan-out bypasses pipeline.executors"
+    severity = "error"
+    rationale = (
+        "concurrent.futures/multiprocessing used directly skips the "
+        "executor contract the reproduction audits: order-preserving map, "
+        "deterministic WorkerError, per-unit telemetry and seed-stream "
+        "discipline.  All fan-out goes through "
+        "repro.pipeline.executors.make_executor."
+    )
+
+    _FORBIDDEN = ("concurrent.futures", "multiprocessing")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Scope: the library, minus the executor module itself."""
+        return ctx.in_dirs("src") and ctx.path != EXECUTOR_MODULE
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag imports of process-pool modules outside the executor."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._forbidden(alias.name):
+                        yield self.finding(
+                            ctx, node,
+                            f"import of {alias.name} outside "
+                            "pipeline.executors; use make_executor()",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if not node.level and node.module and self._forbidden(
+                    node.module
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"import from {node.module} outside "
+                        "pipeline.executors; use make_executor()",
+                    )
+
+    def _forbidden(self, module: str) -> bool:
+        return any(
+            module == m or module.startswith(m + ".") for m in self._FORBIDDEN
+        )
+
+
+@register
+class ModuleMutableMutation(Rule):
+    """P204 — module-level mutable containers mutated inside functions."""
+
+    id = "P204"
+    title = "module-level mutable container mutated at runtime"
+    severity = "error"
+    rationale = (
+        "A module-level dict/list/set written from function bodies is an "
+        "ad-hoc cache: per-process copies diverge under the pool, and "
+        "iteration over it can feed seed derivation in insertion order. "
+        "Import-time initialization is fine; runtime mutation is not."
+    )
+
+    _MUTATORS = (
+        "append", "add", "update", "setdefault", "insert", "extend",
+        "pop", "popitem", "remove", "discard", "clear",
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Scope: the deterministic compute layers."""
+        return ctx.in_dirs(
+            "src/repro/core",
+            "src/repro/pipeline",
+            "src/repro/io",
+            "src/repro/dataset",
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag function-body writes to module-level containers."""
+        containers = self._module_level_containers(ctx)
+        if not containers:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            shadowed = self._bound_locally(node)
+            for stmt in ast.walk(node):
+                name = self._mutated_name(stmt)
+                if (
+                    name is not None
+                    and name in containers
+                    and name not in shadowed
+                ):
+                    yield self.finding(
+                        ctx, stmt,
+                        f"module-level container {name!r} mutated inside "
+                        f"{node.name}(); pass state explicitly instead",
+                    )
+
+    @staticmethod
+    def _module_level_containers(ctx: FileContext) -> set[str]:
+        """Module-level names bound to dict/list/set displays or calls."""
+        names: set[str] = set()
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            mutable = isinstance(
+                value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                        ast.ListComp, ast.SetComp)
+            ) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("dict", "list", "set", "defaultdict")
+            )
+            if not mutable:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    @staticmethod
+    def _bound_locally(fn: ast.AST) -> set[str]:
+        """Names rebound (shadowed) inside the function."""
+        bound: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                bound.add(node.id)
+        args = getattr(fn, "args", None)
+        if args is not None:
+            for arg in (
+                args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                bound.add(arg.arg)
+        return bound
+
+    def _mutated_name(self, stmt: ast.AST) -> str | None:
+        """Container name a statement mutates, if any."""
+        # CONTAINER[key] = …  /  del CONTAINER[key]  /  CONTAINER[key] += …
+        target: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and stmt.targets:
+            target = stmt.targets[0]
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            target = stmt.target
+        elif isinstance(stmt, ast.Delete) and stmt.targets:
+            target = stmt.targets[0]
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+        ):
+            return target.value.id
+        # CONTAINER.append(…) and friends.
+        if (
+            isinstance(stmt, ast.Call)
+            and isinstance(stmt.func, ast.Attribute)
+            and stmt.func.attr in self._MUTATORS
+            and isinstance(stmt.func.value, ast.Name)
+        ):
+            return stmt.func.value.id
+        return None

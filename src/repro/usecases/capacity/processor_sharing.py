@@ -107,7 +107,6 @@ def simulate_processor_sharing(
     active: list[tuple[float, int]] = []  # (departure credit, flow id)
     credit = 0.0
     now = 0.0
-    cursor = 0
 
     def advance(to_time: float) -> None:
         nonlocal credit, now

@@ -93,7 +93,6 @@ class SlicingOutcome:
     ) -> tuple[np.ndarray, float]:
         """Fig 12 data: (per-minute real demand, allocated capacity) for one
         service slice at one antenna."""
-        service_pos = self.service_names.index(service)
         demand = self.real_demand[antenna_pos, SERVICE_INDEX[service]]
         capacity = self.results[strategy].capacity_mb_min[
             antenna_pos, SERVICE_INDEX[service]

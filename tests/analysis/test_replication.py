@@ -1,6 +1,5 @@
 """Tests for the replication helpers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.replication import (

@@ -1,14 +1,9 @@
 """Tests for model drift detection between releases."""
 
-import numpy as np
 import pytest
 
 from repro.core.distributions import LogNormal10
-from repro.core.drift import (
-    DriftReport,
-    ServiceDrift,
-    compare_banks,
-)
+from repro.core.drift import ServiceDrift, compare_banks
 from repro.core.duration_model import PowerLawModel
 from repro.core.model_bank import ModelBank
 from repro.core.service_model import SessionLevelModel

@@ -16,7 +16,7 @@ from repro.dataset.aggregation import (
     service_shares,
     share_variability,
 )
-from repro.dataset.records import SERVICE_NAMES, SessionTable
+from repro.dataset.records import SessionTable
 
 
 class TestDurationBins:

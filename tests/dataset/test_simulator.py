@@ -84,7 +84,6 @@ class TestSimulate:
         rng = np.random.default_rng(6)
         net = Network(NetworkConfig(n_bs=20), np.random.default_rng(7))
         table = simulate(net, SimulationConfig(n_days=1), rng)
-        deciles = {s.bs_id: s.decile for s in net}
         # Low-decile cells must not show sessions far above their organic
         # volume scale at a rate that only busy-cell spillover would cause.
         low = table.for_bs_ids(net.bs_ids_in_decile(0))

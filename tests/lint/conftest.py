@@ -1,0 +1,13 @@
+"""Fixtures for the lint-framework tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    """The repository root (two levels above this file)."""
+    return Path(__file__).resolve().parents[2]

@@ -1,0 +1,21 @@
+"""Shared helpers: run one rule against an in-memory snippet.
+
+Rule fixtures pass *virtual* repo-relative paths (``src/repro/core/x.py``)
+to place a snippet inside or outside a rule's scope — no files touch disk.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import Finding, get_rule, lint_source
+
+#: Default virtual path inside every rule's scope (core is covered by all
+#: D/P/S scoping prefixes that matter to the fixtures).
+CORE_PATH = "src/repro/core/snippet.py"
+
+
+def run_rule(rule_id: str, source: str, path: str = CORE_PATH) -> list[Finding]:
+    """Findings of one rule on a dedented snippet at a virtual path."""
+    report = lint_source(path, textwrap.dedent(source), [get_rule(rule_id)])
+    return [f for f in report.findings if f.rule == rule_id]

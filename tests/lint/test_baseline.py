@@ -1,0 +1,112 @@
+"""Baseline round-trip: save/load, matching, staleness, justification."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineError, Finding
+from repro.lint.baseline import BaselineEntry
+
+
+def _finding(rule="D102", path="src/repro/core/x.py", symbol="build"):
+    """A minimal finding for baseline-matching tests."""
+    return Finding(
+        path=path, line=10, col=4, rule=rule,
+        severity="error", message="m", symbol=symbol,
+    )
+
+
+def test_round_trip(tmp_path):
+    """save → load preserves entries, deterministically ordered."""
+    baseline = Baseline.from_findings(
+        [_finding(), _finding(rule="S305", symbol="fit")],
+        justification="grandfathered in PR 5",
+    )
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert sorted(e.rule for e in loaded.entries) == ["D102", "S305"]
+    assert all(e.justification == "grandfathered in PR 5"
+               for e in loaded.entries)
+    # Saving twice produces byte-identical files (diff-friendly).
+    text1 = path.read_text()
+    loaded.save(path)
+    assert path.read_text() == text1
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    """A repo without a baseline file simply has nothing grandfathered."""
+    baseline = Baseline.load(tmp_path / "nope.json")
+    assert baseline.entries == []
+
+
+def test_apply_splits_new_and_baselined():
+    """Covered findings drop out; uncovered ones stay actionable."""
+    baseline = Baseline([
+        BaselineEntry("D102", "src/repro/core/x.py", "build", "legacy"),
+    ])
+    covered = _finding()
+    fresh = _finding(rule="D101")
+    new, baselined, stale = baseline.apply([covered, fresh])
+    assert new == [fresh]
+    assert baselined == 1
+    assert stale == []
+
+
+def test_matching_ignores_line_numbers():
+    """Entries anchor on (rule, path, symbol) — edits above don't churn."""
+    entry = BaselineEntry("D102", "src/repro/core/x.py", "build", "legacy")
+    moved = Finding(
+        path="src/repro/core/x.py", line=999, col=0, rule="D102",
+        severity="error", message="m", symbol="build",
+    )
+    assert entry.matches(moved)
+
+
+def test_stale_entries_reported():
+    """An entry matching nothing must be deleted — baselines only shrink."""
+    baseline = Baseline([
+        BaselineEntry("D102", "src/repro/core/gone.py", "old", "legacy"),
+    ])
+    new, baselined, stale = baseline.apply([_finding()])
+    assert len(new) == 1
+    assert baselined == 0
+    assert stale == baseline.entries
+
+
+def test_empty_justification_rejected(tmp_path):
+    """Every grandfathered finding must say why it is tolerated."""
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "findings": [
+            {"rule": "D102", "path": "x.py", "symbol": "f",
+             "justification": "  "},
+        ],
+    }))
+    with pytest.raises(BaselineError, match="justification"):
+        Baseline.load(path)
+
+
+def test_wrong_version_rejected(tmp_path):
+    """Future format versions fail loudly instead of misparsing."""
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(BaselineError, match="version"):
+        Baseline.load(path)
+
+
+def test_invalid_json_rejected(tmp_path):
+    """Corrupt files are a usage error, not an empty baseline."""
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json")
+    with pytest.raises(BaselineError, match="invalid JSON"):
+        Baseline.load(path)
+
+
+def test_shipped_baseline_is_empty_and_valid(repo_root):
+    """The checked-in baseline loads and is empty — the goal state."""
+    baseline = Baseline.load(repo_root / "baselines/repro_lint_baseline.json")
+    assert baseline.entries == []

@@ -1,0 +1,145 @@
+"""Positive and negative fixtures for every P-series rule."""
+
+from __future__ import annotations
+
+from .helpers import run_rule
+
+
+class TestP201WorkerCallable:
+    """P201 flags non-picklable callables shipped to executors."""
+
+    def test_flags_lambda_submit(self):
+        """A lambda cannot be pickled by qualified name."""
+        bad = """
+            def run(executor, items):
+                return executor.map(lambda x: x + 1, items)
+        """
+        assert len(run_rule("P201", bad)) == 1
+
+    def test_flags_nested_function(self):
+        """A function defined inside another function is just as bad."""
+        bad = """
+            def run(pool, items):
+                def kernel(x):
+                    return x + 1
+                return pool.map(kernel, items)
+        """
+        found = run_rule("P201", bad)
+        assert len(found) == 1
+        assert "kernel" in found[0].message
+
+    def test_allows_module_level_kernel(self):
+        """A module-level kernel function is the sanctioned shape."""
+        good = """
+            def kernel(x):
+                return x + 1
+
+            def run(executor, items):
+                return executor.map(kernel, items)
+        """
+        assert run_rule("P201", good) == []
+
+    def test_non_executor_receiver_ignored(self):
+        """``seq.map(lambda …)`` on a non-executor name is fine."""
+        good = """
+            def run(frame, items):
+                return frame.map(lambda x: x + 1)
+        """
+        assert run_rule("P201", good) == []
+
+
+class TestP202GlobalWrite:
+    """P202 flags runtime rebinding of module globals."""
+
+    def test_flags_global_rebind(self):
+        """``global X; X = …`` diverges per worker process."""
+        bad = """
+            CACHE = None
+
+            def warm():
+                global CACHE
+                CACHE = 42
+        """
+        found = run_rule("P202", bad)
+        assert len(found) == 1
+        assert "CACHE" in found[0].message
+
+    def test_allows_read_only_global(self):
+        """Reading a module constant involves no ``global`` statement."""
+        good = """
+            LIMIT = 10
+
+            def check(x):
+                return x < LIMIT
+        """
+        assert run_rule("P202", good) == []
+
+
+class TestP203ExecutorBypass:
+    """P203 confines process-pool primitives to pipeline.executors."""
+
+    def test_flags_concurrent_futures_import(self):
+        """Direct ``concurrent.futures`` use skips the audited contract."""
+        bad = "from concurrent.futures import ProcessPoolExecutor\n"
+        assert len(run_rule("P203", bad)) == 1
+
+    def test_flags_multiprocessing_import(self):
+        """``import multiprocessing`` is the same bypass."""
+        assert len(run_rule("P203", "import multiprocessing\n")) == 1
+
+    def test_executor_module_itself_exempt(self):
+        """The one sanctioned module may import the primitives."""
+        src = "import concurrent.futures\n"
+        assert run_rule("P203", src, "src/repro/pipeline/executors.py") == []
+
+    def test_tools_out_of_scope(self):
+        """Scripts outside src/ are not part of the shipped contract."""
+        src = "import multiprocessing\n"
+        assert run_rule("P203", src, "tools/profile.py") == []
+
+
+class TestP204ModuleMutableMutation:
+    """P204 flags runtime writes into module-level containers."""
+
+    def test_flags_dict_subscript_write(self):
+        """``REGISTRY[key] = …`` inside a function is an ad-hoc cache."""
+        bad = """
+            REGISTRY = {}
+
+            def register(key, value):
+                REGISTRY[key] = value
+        """
+        found = run_rule("P204", bad)
+        assert len(found) == 1
+        assert "REGISTRY" in found[0].message
+
+    def test_flags_list_append(self):
+        """Mutator methods count too."""
+        bad = """
+            SEEN = []
+
+            def note(x):
+                SEEN.append(x)
+        """
+        assert len(run_rule("P204", bad)) == 1
+
+    def test_allows_import_time_fill(self):
+        """Filling a module table at import time is initialization."""
+        good = """
+            TABLE = {}
+            for name in ("a", "b"):
+                TABLE[name] = len(name)
+        """
+        assert run_rule("P204", good) == []
+
+    def test_allows_local_shadow(self):
+        """A local variable of the same name is not the module container."""
+        good = """
+            CACHE = {}
+
+            def build():
+                CACHE = {}
+                CACHE["x"] = 1
+                return CACHE
+        """
+        assert run_rule("P204", good) == []

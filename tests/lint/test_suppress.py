@@ -1,0 +1,112 @@
+"""Inline-suppression directives: same-line, next-line, file-level, typos."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import get_rule, lint_source
+from repro.lint.suppress import DIRECTIVE_RULE_ID, parse_suppressions
+
+PATH = "src/repro/core/snippet.py"
+
+
+def _report(source: str):
+    """Lint a dedented snippet with the D102 rule only."""
+    return lint_source(PATH, textwrap.dedent(source), [get_rule("D102")])
+
+
+def test_same_line_disable():
+    """``disable=`` on the offending line suppresses that finding."""
+    report = _report("""
+        import numpy as np
+        rng = np.random.default_rng()  # repro-lint: disable=D102 -- fuzz seed
+    """)
+    assert report.findings == ()
+    assert report.suppressed == 1
+
+
+def test_disable_next_line():
+    """``disable-next-line=`` covers the following line only."""
+    report = _report("""
+        import numpy as np
+        # repro-lint: disable-next-line=D102 -- fuzz seed
+        rng = np.random.default_rng()
+        other = np.random.default_rng()
+    """)
+    assert report.suppressed == 1
+    assert len(report.findings) == 1
+    assert report.findings[0].rule == "D102"
+
+
+def test_disable_file():
+    """``disable-file=`` suppresses everywhere in the file."""
+    report = _report("""
+        # repro-lint: disable-file=D102 -- generated fixture
+        import numpy as np
+        a = np.random.default_rng()
+        b = np.random.default_rng()
+    """)
+    assert report.findings == ()
+    assert report.suppressed == 2
+
+
+def test_other_rule_not_suppressed():
+    """A directive only covers the rules it names."""
+    report = _report("""
+        import numpy as np
+        rng = np.random.default_rng()  # repro-lint: disable=D101
+    """)
+    assert len(report.findings) == 1
+
+
+def test_disable_all_keyword():
+    """``disable=all`` suppresses every rule on the line."""
+    report = _report("""
+        import numpy as np
+        rng = np.random.default_rng()  # repro-lint: disable=all -- demo
+    """)
+    assert report.findings == ()
+    assert report.suppressed == 1
+
+
+def test_unknown_rule_id_is_x001_finding():
+    """A typo in a directive must be loud, not silently inert."""
+    report = _report("""
+        import numpy as np
+        x = 1  # repro-lint: disable=D999
+    """)
+    rules = [f.rule for f in report.findings]
+    assert rules == [DIRECTIVE_RULE_ID]
+    assert "D999" in report.findings[0].message
+
+
+def test_malformed_directive_is_x001_finding():
+    """A directive that fails to parse is reported too."""
+    report = _report("""
+        x = 1  # repro-lint: disable D102
+    """)
+    assert [f.rule for f in report.findings] == [DIRECTIVE_RULE_ID]
+
+
+def test_directive_in_string_literal_ignored():
+    """Only real comments count — tokenize, not substring search."""
+    source = textwrap.dedent("""
+        import numpy as np
+        doc = "# repro-lint: disable-file=D102"
+        rng = np.random.default_rng()
+    """)
+    report = lint_source(PATH, source, [get_rule("D102")])
+    assert len(report.findings) == 1
+    assert report.suppressed == 0
+
+
+def test_parse_extracts_justification():
+    """The `` -- why`` tail is kept on the parsed suppression."""
+    suppressions, problems = parse_suppressions(
+        PATH, "x = 1  # repro-lint: disable=D101,D102 -- known fixture\n"
+    )
+    assert problems == []
+    assert len(suppressions) == 1
+    assert suppressions[0].rules == frozenset({"D101", "D102"})
+    assert suppressions[0].justification == "known fixture"
+    assert not suppressions[0].file_level

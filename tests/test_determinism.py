@@ -7,7 +7,6 @@ component may touch global random state.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.model_bank import ModelBank
 from repro.core.packet_bridge import packetize_session

@@ -12,7 +12,6 @@ from repro.analysis.emd import emd
 from repro.analysis.normalization import zero_mean
 from repro.core.arrivals import fit_arrival_model_from_days
 from repro.core.generator import TrafficGenerator
-from repro.core.model_bank import ModelBank
 from repro.core.service_mix import ServiceMix
 from repro.dataset.aggregation import (
     minute_arrival_counts,
@@ -20,7 +19,6 @@ from repro.dataset.aggregation import (
     pooled_volume_pdf,
     service_shares,
 )
-from repro.dataset.records import SERVICE_NAMES
 
 
 @pytest.fixture(scope="module")

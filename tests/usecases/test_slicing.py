@@ -20,7 +20,6 @@ from repro.usecases.slicing.benchmarks import (
     normalized_shares,
     sample_category_sessions,
 )
-from repro.usecases.slicing.demand import campaign_peak_mask
 from repro.usecases.slicing.simulator import (
     SlicingScenario,
     evaluate_capacity,

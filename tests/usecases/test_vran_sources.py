@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.model_bank import ModelBank
 from repro.core.service_mix import ServiceMix
 from repro.dataset.records import SERVICE_NAMES
 from repro.usecases.vran.sources import (
@@ -99,7 +98,7 @@ class TestModelBankSource:
 class TestCategorySource:
     def test_bm_a_is_unscaled(self, skeleton):
         source = CategorySource.bm_a()
-        volumes, durations = source.decorate(skeleton, np.random.default_rng(6))
+        volumes, _ = source.decorate(skeleton, np.random.default_rng(6))
         assert np.all(volumes > 0)
 
     def test_bm_b_matches_total_mean_volume(self, measurement, mix, skeleton):
