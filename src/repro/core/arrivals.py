@@ -82,7 +82,9 @@ class ArrivalModel:
         n_night = peak_phase.size - n_peak
         if n_night:
             counts[~peak_phase] = self.night.sample(rng, n_night)
-        return np.clip(np.rint(counts), 0, None).astype(np.int64)
+        np.rint(counts, out=counts)
+        np.maximum(counts, 0.0, out=counts)
+        return counts.astype(np.int64)
 
     def sample_day(self, rng: np.random.Generator) -> np.ndarray:
         """Arrival counts for the 1440 minutes of one synthetic day."""

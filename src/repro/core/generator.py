@@ -1,4 +1,4 @@
-"""Model-driven session traffic generator — the batched synthesis engine.
+"""Model-driven session traffic generator — the fused arena engine.
 
 This is the "consumer side" of the library: given fitted arrival models,
 a service mix and a :class:`~repro.core.model_bank.ModelBank`, it produces
@@ -13,26 +13,36 @@ The engine mirrors the simulator's run architecture:
 * **Per-(day, BS) seed streams** — every work unit draws from its own
   ``np.random.SeedSequence`` stream derived from the root seed and the
   unit's identity alone (:func:`unit_seed`), so the campaign is
-  bit-identical for any unit order, chunking, or worker count.  The
-  historical single-shared-RNG loop (kept as
-  :func:`generate_campaign_reference`) silently depended on dict iteration
-  order and could never match a parallel run.
-* **Batched sampling** — per-service volume/duration draws go through one
-  flattened :class:`BatchSampler` table: a unit contributes three primitive
-  draw arrays (service uniforms, component uniforms, standard normals) and
-  the mixture gather + power-law inversion run vectorized across every
-  session of a whole unit block, instead of per-(unit, service) Python
-  calls.  The sampled distribution is exactly that of
-  :meth:`~repro.core.model_bank.ModelBank.sample_mixed_sessions`.
-* **Chunked output** — :meth:`TrafficGenerator.iter_campaign_chunks`
-  partitions the campaign into chunks of a configurable expected session
-  count, and :meth:`TrafficGenerator.spool_campaign` streams those chunks
-  through the artifact cache, so peak memory stays bounded at 45-day ×
+  bit-identical for any unit order, chunking, or worker count.  Unit
+  streams run on the SFC64 bit generator (:func:`unit_rng`), whose raw
+  float32 fill is ~1.8x faster than PCG64 — the uniform draw is the
+  engine's second-largest cost.  The historical single-shared-RNG loop
+  (kept as :func:`generate_campaign_reference`) silently depended on dict
+  iteration order and could never match a parallel run.
+* **Fused one-pass sampling** — each session consumes exactly ONE float32
+  uniform.  Its top 14 bits select a bucket of the flattened (service,
+  mixture-component) cell CDF: buckets lying fully inside one cell
+  resolve service and component with a single table gather, and the low
+  10 bits pick a quantized-normal z-bin whose volume and duration are
+  precomputed per cell (:class:`FusedTables`).  The small remainder —
+  buckets straddling a cell boundary, plus the two extreme z-bins, where
+  tail fidelity matters — takes an exact float64 inverse-CDF path.
+  Arrivals, bodies and day-boundary truncation all happen in one tiled
+  pass writing straight into caller-provided
+  :class:`~repro.dataset.records.SessionArena` slices: no per-chunk
+  temporaries, allocations amortized to zero.
+* **Arena-backed chunked output** —
+  :meth:`TrafficGenerator.iter_campaign_chunks` partitions the campaign
+  into chunks of a configurable expected session count and reuses one
+  arena across all of them, and :meth:`TrafficGenerator.spool_campaign`
+  streams those chunks through the artifact cache (optionally as raw
+  memmap-loadable segments), so peak memory stays bounded at 45-day ×
   thousands-of-BS scale.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Sequence
@@ -40,7 +50,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 import numpy as np
 
 from ..dataset.circadian import MINUTES_PER_DAY, peak_minute_mask
-from ..dataset.records import SERVICE_NAMES, SessionTable
+from ..dataset.records import SERVICE_NAMES, SessionArena, SessionTable
 from ..pipeline.context import coerce_root_seed, stream_seed
 from ..pipeline.executors import ParallelExecutor, SerialExecutor, make_executor
 from .arrivals import ArrivalModel
@@ -81,6 +91,32 @@ _LN10 = float(np.log(10.0))
 #: of CDF boundaries per bucket for realistic cell counts.
 _LUT_BUCKETS = 1 << 16
 
+#: Fused-kernel uniform split: the 24 random bits of one float32 uniform
+#: are ``(bucket << _ZB_BITS) | z-bin``.  2**14 cell-CDF buckets keep the
+#: per-bucket tables L2-resident while leaving only a tiny mixed-bucket
+#: fraction; 2**10 z-bins quantize the standard normal finely enough that
+#: only the two extreme bins need the exact tail path.
+_NB_BITS = 14
+_ZB_BITS = 10
+_NB = 1 << _NB_BITS
+_ZB = 1 << _ZB_BITS
+
+#: float32 scale mapping a uniform to its 24-bit integer (exact: numpy's
+#: float32 uniforms are ``k * 2**-24``, so scaling by ``2**24`` only
+#: shifts the exponent).
+_KSCALE = np.float32(1 << (_NB_BITS + _ZB_BITS))
+
+#: Sessions processed per fused-kernel tile — sized so one tile's scratch
+#: stays cache-resident (the full-array form is memory-bandwidth bound
+#: and measurably slower).
+_TILE = 1 << 17
+
+#: Clip range of the exact path's conditional quantile: the floor is the
+#: float32 uniform granularity scaled into a narrow cell, the ceiling the
+#: largest double below 1.0 — both keep :func:`_ndtri` finite.
+_V_FLOOR = 2.0 ** -33
+_V_CEIL = 1.0 - 2.0 ** -53
+
 
 class GeneratorError(ValueError):
     """Raised on inconsistent generator configuration."""
@@ -104,7 +140,120 @@ def unit_seed(
     the unit's sessions are reproducible no matter where, in what order, or
     in which chunk the unit runs.
     """
-    return stream_seed(root_seed, UNIT_STREAM, day, bs_id)
+    key = (int(root_seed), int(day), int(bs_id))
+    seq = _SEED_CACHE.get(key)
+    if seq is None:
+        if len(_SEED_CACHE) >= 1 << 16:
+            # repro-lint: disable-next-line=P204 -- content-keyed per-process memo; value is a pure function of the key
+            _SEED_CACHE.clear()
+        seq = stream_seed(root_seed, UNIT_STREAM, day, bs_id)
+        # repro-lint: disable-next-line=P204 -- content-keyed per-process memo; value is a pure function of the key
+        _SEED_CACHE[key] = seq
+    return seq
+
+
+#: Per-process memo of unit seed sequences — ``SeedSequence`` construction
+#: costs tens of microseconds, which at one per (day, BS) unit is visible
+#: next to the fused kernel; sequences are immutable and reusable.
+_SEED_CACHE: dict[tuple[int, int, int], np.random.SeedSequence] = {}
+
+
+def unit_rng(root_seed: int, day: int, bs_id: int) -> np.random.Generator:
+    """The RNG of one (day, BS) generation work unit.
+
+    Part of the engine's reproducibility contract: a unit regenerated
+    standalone through this helper matches its slice of any campaign bit
+    for bit.  Runs SFC64 over :func:`unit_seed` — not the ``default_rng``
+    PCG64 — because the fused kernel consumes one float32 uniform per
+    session and SFC64 fills float32 arrays ~1.8x faster; streams of
+    different units stay independent through the seed sequence exactly as
+    before.
+    """
+    return np.random.Generator(
+        np.random.SFC64(unit_seed(root_seed, day, bs_id))
+    )
+
+
+#: Per-process memo of initial SFC64 states, keyed like :data:`_SEED_CACHE`.
+#: A state is a pure function of the key; the setter of
+#: ``BitGenerator.state`` copies values in, so cached dicts never mutate.
+_SFC_STATE_CACHE: dict[tuple[int, int, int], dict] = {}
+
+
+def _unit_generator(
+    root_seed: int, day: int, bs_id: int
+) -> np.random.Generator:
+    """Process-shared ``Generator`` rewound to one unit's initial state.
+
+    Draw-for-draw identical to a fresh :func:`unit_rng` generator — SFC64
+    output is fully determined by its state — but skips the per-unit
+    ``Generator``/``SFC64`` construction, which is measurable at one unit
+    per (day, BS).  The returned generator is shared: it is only valid
+    until the next ``_unit_generator`` call in this process, so callers
+    must finish the unit's draws before starting the next unit (the
+    canonical per-unit draw order already guarantees this).
+    """
+    shared = _WORKER_STATE.get("unit_gen")
+    if shared is None:
+        bitgen = np.random.SFC64(0)
+        shared = (np.random.Generator(bitgen), bitgen)
+        # repro-lint: disable-next-line=P204 -- per-process generator reuse; state is rewound before every use
+        _WORKER_STATE["unit_gen"] = shared
+    gen, bitgen = shared
+    key = (int(root_seed), int(day), int(bs_id))
+    state = _SFC_STATE_CACHE.get(key)
+    if state is None:
+        if len(_SFC_STATE_CACHE) >= 1 << 16:
+            # repro-lint: disable-next-line=P204 -- content-keyed per-process memo; value is a pure function of the key
+            _SFC_STATE_CACHE.clear()
+        state = np.random.SFC64(unit_seed(root_seed, day, bs_id)).state
+        # repro-lint: disable-next-line=P204 -- content-keyed per-process memo; value is a pure function of the key
+        _SFC_STATE_CACHE[key] = state
+    bitgen.state = state
+    return gen
+
+
+def _ndtri(p: np.ndarray) -> np.ndarray:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Vectorized float64, relative error below 1.15e-9 over (0, 1) — ample
+    for distribution-level contracts, and keeps the core free of a scipy
+    dependency.  Inputs must lie strictly inside (0, 1).
+    """
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p = np.asarray(p, dtype=np.float64)
+    out = np.empty_like(p)
+    plow = 0.02425
+    low = p < plow
+    high = p > 1.0 - plow
+    mid = ~(low | high)
+    if mid.any():
+        q = p[mid] - 0.5
+        r = q * q
+        num = ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+        den = ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        out[mid] = q * num / den
+    if low.any():
+        q = np.sqrt(-2.0 * np.log(p[low]))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        out[low] = num / den
+    if high.any():
+        q = np.sqrt(-2.0 * np.log(1.0 - p[high]))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        out[high] = -num / den
+    return out
 
 
 @dataclass(frozen=True)
@@ -319,95 +468,340 @@ class BatchSampler:
         return volumes, durations
 
 
-def _assemble_unit_columns(
-    sampler: BatchSampler,
-    rng: np.random.Generator,
-    counts: np.ndarray,
-    bs_id: int,
-    day: int,
-) -> tuple[np.ndarray, ...] | None:
-    """Draw one unit's primitive arrays in the canonical stream order.
+# ----------------------------------------------------------------------
+# Fused one-uniform kernel
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FusedTables:
+    """Per-process derived tables of the fused one-uniform kernel.
 
-    Returns ``(cells, bs_col, day_col, start_minute, z)`` or ``None`` for a
-    unit with zero arrivals.  The draw order — arrival counts, service
-    uniforms, normals — is part of the reproducibility contract: both the
-    campaign blocks and :meth:`TrafficGenerator.generate_bs_day` follow it,
-    so a single unit regenerated standalone matches its slice of the full
-    campaign.
+    Built once per :class:`BatchSampler` content (see
+    :func:`fused_tables`), never pickled — each worker process derives its
+    own copy from the sampler it receives.
+
+    Attributes
+    ----------
+    base / svcb:
+        Per-bucket payload-row offset (``cell * 2**10``, int32) and
+        service index (int16) of the :data:`_NB` uniform buckets; mixed
+        buckets — those straddling a cell boundary — point at the NaN
+        sentinel payload row and are resolved on the exact path.
+    pay:
+        Raveled ``(cell + 1, z-bin)`` complex64 payload table — volume in
+        the real half, duration in the imaginary half — evaluated at the
+        z-bin's midpoint quantile (durations with the one-second floor
+        baked in).  Packing both under one index means one random memory
+        access per session instead of two, which is the kernel's dominant
+        cost.  The extra row and the two extreme z-bin columns have NaN
+        volumes so the kernel detects every exact-path session with a
+        single ``isnan`` pass.
+    cdf64 / lo64 / w64:
+        The cell CDF (last entry forced to exactly 1.0) and each cell's
+        lower edge and width, float64 — the exact path's inputs.
+    mu64 / sg64 / la64 / ib64 / svc16:
+        Per-cell model parameters in float64 (cast from the sampler's
+        float32 cells, so both paths share identical parameters) plus the
+        int16 service index.
     """
-    n = int(counts.sum())
-    if n == 0:
-        return None
-    cells = sampler.cells_from_uniforms(rng.random(n))
-    z = rng.standard_normal(n, dtype=np.float32)
-    return (
-        cells,
-        np.full(n, bs_id, dtype=np.int32),
-        np.full(n, day, dtype=np.int16),
-        np.repeat(_MINUTE_INDEX, counts),
-        z,
+
+    base: np.ndarray
+    svcb: np.ndarray
+    pay: np.ndarray
+    cdf64: np.ndarray
+    lo64: np.ndarray
+    w64: np.ndarray
+    mu64: np.ndarray
+    sg64: np.ndarray
+    la64: np.ndarray
+    ib64: np.ndarray
+    svc16: np.ndarray
+
+
+def _build_fused_tables(sampler: BatchSampler) -> FusedTables:
+    """Derive the fused-kernel tables from one sampler's cell tables."""
+    cdf64 = sampler.cell_cdf.astype(np.float64, copy=True)
+    cdf64[-1] = 1.0
+    n_cells = cdf64.shape[0]
+    lo64 = np.concatenate(([0.0], cdf64[:-1]))
+    w64 = cdf64 - lo64
+    mu64 = sampler.cell_mu.astype(np.float64)
+    sg64 = sampler.cell_sigma.astype(np.float64)
+    la64 = sampler.cell_log10_alpha.astype(np.float64)
+    ib64 = sampler.cell_inv_beta.astype(np.float64)
+
+    edges = np.arange(_NB + 1, dtype=np.float64) / _NB
+    cell_at = np.minimum(
+        cdf64.searchsorted(edges[:-1], side="right"), n_cells - 1
+    )
+    # A bucket is *pure* when its whole uniform interval maps to one cell
+    # under the exact float64 searchsorted — so the fast path and the
+    # exact path can never disagree on a pure bucket.
+    pure = (lo64[cell_at] <= edges[:-1]) & (cdf64[cell_at] >= edges[1:])
+    base = (np.where(pure, cell_at, n_cells) << _ZB_BITS).astype(np.int32)
+    svcb = np.where(pure, sampler.cell_service[cell_at], -1).astype(np.int16)
+
+    # Payload tables: volume/duration at each z-bin's midpoint quantile.
+    # The low 10 uniform bits are independent of the bucket under the
+    # target distribution, so they act as the session's (quantized)
+    # standard-normal draw.
+    qz = (np.arange(_ZB, dtype=np.float64) + 0.5) / _ZB
+    zmid = _ndtri(qz)
+    log10_v = mu64[:, None] + sg64[:, None] * zmid[None, :]
+    volt = np.empty((n_cells + 1, _ZB), dtype=np.float32)
+    volt[:-1] = np.exp(_LN10 * log10_v)
+    durt64 = np.exp(_LN10 * (log10_v - la64[:, None]) * ib64[:, None])
+    np.maximum(durt64, 1.0, out=durt64)
+    durt = np.empty((n_cells + 1, _ZB), dtype=np.float32)
+    durt[:-1] = durt64
+    durt[-1] = 1.0
+    # NaN poison: the sentinel row (mixed buckets) and the two extreme
+    # z-bin columns are exactly the sessions the exact path must resolve,
+    # so the kernel's fix-mask collapses to one isnan pass over volumes.
+    volt[-1] = np.nan
+    volt[:, 0] = np.nan
+    volt[:, _ZB - 1] = np.nan
+    pay = np.empty((n_cells + 1) * _ZB, dtype=np.complex64)
+    pay.real = volt.ravel()
+    pay.imag = durt.ravel()
+    return FusedTables(
+        base=base, svcb=svcb, pay=pay,
+        cdf64=cdf64, lo64=lo64, w64=w64,
+        mu64=mu64, sg64=sg64, la64=la64, ib64=ib64,
+        svc16=sampler.cell_service,
     )
 
 
-def _finish_columns(
-    sampler: BatchSampler,
-    cells: np.ndarray,
-    bs_col: np.ndarray,
-    day_col: np.ndarray,
-    start_minute: np.ndarray,
-    z: np.ndarray,
-) -> tuple[np.ndarray, ...]:
-    """Resolve primitive draws into the seven schema-exact table columns.
+#: Per-process cache of derived kernel tables, keyed by sampler content —
+#: workers receive freshly unpickled samplers per map call, so
+#: identity-based caching would rebuild the tables for every block.
+_FUSED_CACHE: dict[bytes, FusedTables] = {}
 
-    Column dtypes match the measurement substrate's schema directly (no
-    platform-dependent default-int detours), and sessions whose sampled
-    duration crosses the day boundary are flagged ``truncated`` — the
-    transient-session semantics of Section 4.3.  Their sampled duration and
-    volume are kept intact so the per-service distributions stay exactly
-    those of the fitted models.
+
+def fused_tables(sampler: BatchSampler) -> FusedTables:
+    """The (per-process cached) fused kernel tables of one sampler."""
+    digest = hashlib.sha1()
+    for array in (
+        sampler.cell_cdf, sampler.cell_service, sampler.cell_mu,
+        sampler.cell_sigma, sampler.cell_log10_alpha, sampler.cell_inv_beta,
+    ):
+        digest.update(array.tobytes())
+    key = digest.digest()
+    tables = _FUSED_CACHE.get(key)
+    if tables is None:
+        if len(_FUSED_CACHE) >= 8:
+            # repro-lint: disable-next-line=P204 -- content-keyed per-process memo; value is a pure function of the key
+            _FUSED_CACHE.clear()
+        tables = _build_fused_tables(sampler)
+        # repro-lint: disable-next-line=P204 -- content-keyed per-process memo; value is a pure function of the key
+        _FUSED_CACHE[key] = tables
+    return tables
+
+
+#: Per-process reusable state: the kernel's tile scratch, this process's
+#: block arena (parallel workers), and the per-block uniform buffer.
+#: Never pickled; each process grows its own lazily and reuses it forever.
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _scratch() -> dict[str, np.ndarray]:
+    """Tile-sized kernel scratch buffers of this process."""
+    scratch = _WORKER_STATE.get("scratch")
+    if scratch is None:
+        scratch = {
+            "tt": np.empty(_TILE, dtype=np.float32),
+            "kk": np.empty(_TILE, dtype=np.int32),
+            "ii": np.empty(_TILE, dtype=np.int32),
+            "jj": np.empty(_TILE, dtype=np.int32),
+            "bb": np.empty(_TILE, dtype=np.int32),
+            "cc": np.empty(_TILE, dtype=np.complex64),
+            "ff": np.empty(_TILE, dtype=np.float32),
+            "m1": np.empty(_TILE, dtype=bool),
+        }
+        # repro-lint: disable-next-line=P204 -- per-process scratch reuse; contents are overwritten before every read
+        _WORKER_STATE["scratch"] = scratch
+    return scratch
+
+
+def _worker_arena() -> SessionArena:
+    """This process's reusable block arena (parallel fan-out path)."""
+    arena = _WORKER_STATE.get("arena")
+    if arena is None:
+        arena = SessionArena(capacity=1 << 16)
+        # repro-lint: disable-next-line=P204 -- per-process arena reuse; every block resets it before writing
+        _WORKER_STATE["arena"] = arena
+    return arena
+
+
+def _uniform_buffer(filled: int, extra: int) -> np.ndarray:
+    """Grow-preserving per-process uniform buffer for ``filled + extra``."""
+    buf = _WORKER_STATE.get("ubuf")
+    needed = filled + extra
+    if buf is None:
+        buf = np.empty(max(needed, 1 << 17), dtype=np.float32)
+        # repro-lint: disable-next-line=P204 -- per-process buffer reuse; filled per block before the kernel reads it
+        _WORKER_STATE["ubuf"] = buf
+    elif buf.shape[0] < needed:
+        grown = np.empty(max(needed, buf.shape[0] * 2), dtype=np.float32)
+        grown[:filled] = buf[:filled]
+        # repro-lint: disable-next-line=P204 -- per-process buffer reuse; filled per block before the kernel reads it
+        _WORKER_STATE["ubuf"] = buf = grown
+    return buf
+
+
+def _exact_fix(
+    tables: FusedTables,
+    u_tile: np.ndarray,
+    fix: np.ndarray,
+    sv_tile: np.ndarray,
+    vol_tile: np.ndarray,
+    dur_tile: np.ndarray,
+) -> None:
+    """Exact float64 inverse-CDF resolution of the kernel's residual rows.
+
+    Covers sessions in mixed buckets (cell ambiguous on the fast path) and
+    the two extreme z-bins of pure buckets (where the quantized normal
+    would flatten the distribution tails).  The conditional quantile
+    within the resolved cell feeds :func:`_ndtri` directly, so the tails
+    keep full float64 resolution.
     """
-    service_idx = sampler.services_of_cells(cells)
-    volume_mb, duration_s = sampler.sample_bodies(cells, z)
-    truncated = (
-        start_minute.astype(np.float64) * 60.0 + duration_s > SECONDS_PER_DAY
-    )
-    return (
-        service_idx,
-        bs_col,
-        day_col,
-        start_minute,
-        duration_s,
-        volume_mb,
-        truncated,
-    )
+    uu = u_tile[fix].astype(np.float64)
+    cells = tables.cdf64.searchsorted(uu, side="right")
+    sv_tile[fix] = tables.svc16[cells]
+    v = (uu - tables.lo64[cells]) / tables.w64[cells]
+    np.clip(v, _V_FLOOR, _V_CEIL, out=v)
+    log10_v = tables.mu64[cells] + tables.sg64[cells] * _ndtri(v)
+    vol_tile[fix] = np.exp(_LN10 * log10_v)
+    dur = np.exp(_LN10 * (log10_v - tables.la64[cells]) * tables.ib64[cells])
+    np.maximum(dur, 1.0, out=dur)
+    dur_tile[fix] = dur
+
+
+def _fused_body_kernel(
+    tables: FusedTables,
+    u: np.ndarray,
+    minute: np.ndarray,
+    sv: np.ndarray,
+    dur: np.ndarray,
+    vol: np.ndarray,
+    trunc: np.ndarray,
+) -> None:
+    """One fused pass: uniforms → service, duration, volume, truncation.
+
+    Consumes each session's single float32 uniform and writes the four
+    sampled output columns in place (``sv``/``dur``/``vol``/``trunc`` are
+    caller-provided slices, typically arena columns).  Runs tile by tile
+    over preallocated scratch so every intermediate stays cache-resident;
+    the residual exact-path rows (mixed buckets, extreme z-bins — a
+    fraction of a percent) are fixed inside each tile before the
+    truncation predicate runs.
+
+    The truncation predicate ``dur > 86400 - 60 * minute`` is evaluated
+    in float32 — exact, because ``86400 - 60 * minute`` is an integer
+    below 2**17 and therefore exactly representable — matching the
+    reference float64 predicate ``minute * 60.0 + dur > 86400.0`` bit for
+    bit.
+    """
+    scratch = _scratch()
+    n = u.shape[0]
+    zb_mask = _ZB - 1
+    for lo in range(0, n, _TILE):
+        hi = min(lo + _TILE, n)
+        m = hi - lo
+        tt = scratch["tt"][:m]
+        kk = scratch["kk"][:m]
+        ii = scratch["ii"][:m]
+        jj = scratch["jj"][:m]
+        bb = scratch["bb"][:m]
+        cf = scratch["cc"][:m].view(np.float32)
+        ff = scratch["ff"][:m]
+        m1 = scratch["m1"][:m]
+        sv_t = sv[lo:hi]
+        vol_t = vol[lo:hi]
+        dur_t = dur[lo:hi]
+
+        np.multiply(u[lo:hi], _KSCALE, out=tt)
+        kk[...] = tt  # exact truncating cast: tt is an integer < 2**24
+        np.right_shift(kk, _ZB_BITS, out=ii)
+        np.take(tables.svcb, ii, out=sv_t)
+        np.take(tables.base, ii, out=bb)
+        np.bitwise_and(kk, zb_mask, out=jj)
+        np.add(bb, jj, out=bb)
+        np.take(tables.pay, bb, out=scratch["cc"][:m])
+        np.copyto(vol_t, cf[0::2])
+        np.copyto(dur_t, cf[1::2])
+
+        # The NaN-poisoned volume entries mark every exact-path session:
+        # mixed buckets (sentinel payload row) and extreme z-bins.
+        np.isnan(vol_t, out=m1)
+        fix = np.flatnonzero(m1)
+        if fix.size:
+            _exact_fix(tables, u[lo:hi], fix, sv_t, vol_t, dur_t)
+
+        ff[...] = minute[lo:hi]
+        np.multiply(ff, np.float32(-60.0), out=ff)
+        np.add(ff, np.float32(SECONDS_PER_DAY), out=ff)
+        np.greater(dur_t, ff, out=trunc[lo:hi])
 
 
 def _generate_block(
-    item: tuple[BatchSampler, list[tuple[int, int, ArrivalModel]], int],
-) -> tuple[np.ndarray, ...] | None:
+    item: tuple[
+        BatchSampler,
+        list[tuple[int, int, ArrivalModel]],
+        int,
+        SessionArena | None,
+    ],
+) -> tuple[np.ndarray, ...] | tuple[int, int] | None:
     """Executor work function: synthesize one block of (day, BS) units.
 
-    Each unit draws its primitives from its own seed stream; the mixture
-    gather and power-law inversion then run once over the concatenated
-    block, which is where the batching speedup comes from.  Returns the
-    block's finished column arrays (or ``None`` for an all-empty block);
-    table construction — and its validation pass — happens once per chunk,
-    not once per block.
+    Each unit draws from its own seed stream in the canonical order —
+    arrival counts first, then one float32 uniform per session — and the
+    fused kernel then resolves the whole block in one pass.
+
+    With a shared ``arena`` (serial path), the block appends to it in
+    place and returns its ``(lo, hi)`` row range — zero copies.  Without
+    one (parallel path), the block fills this worker process's reusable
+    arena and returns owning column copies: the pool pickles results and
+    may batch several blocks per transfer, so views into the reused arena
+    would alias each other.  Returns ``None`` for an all-empty block.
     """
-    sampler, units, root_seed = item
-    parts: list[tuple[np.ndarray, ...]] = []
+    sampler, units, root_seed, arena = item
+    shared = arena is not None
+    if not shared:
+        arena = _worker_arena()
+        arena.reset()
+    block_lo = len(arena)
+    filled = 0
     for day, bs_id, arrival in units:
-        rng = np.random.default_rng(unit_seed(root_seed, day, bs_id))
+        rng = _unit_generator(root_seed, day, bs_id)
         counts = arrival.sample_day(rng)
-        columns = _assemble_unit_columns(sampler, rng, counts, bs_id, day)
-        if columns is not None:
-            parts.append(columns)
-    if not parts:
+        n = int(counts.sum())
+        if n == 0:
+            continue
+        rows = arena.reserve(n)
+        ubuf = _uniform_buffer(filled, n)
+        rng.random(out=ubuf[filled : filled + n], dtype=np.float32)
+        arena.column("bs_id")[rows] = bs_id
+        arena.column("day")[rows] = day
+        arena.column("start_minute")[rows] = np.repeat(_MINUTE_INDEX, counts)
+        filled += n
+    block_hi = len(arena)
+    if block_hi == block_lo:
         return None
-    merged = tuple(
-        np.concatenate([part[i] for part in parts]) for i in range(5)
+    _fused_body_kernel(
+        fused_tables(sampler),
+        _WORKER_STATE["ubuf"][:filled],
+        arena.column("start_minute")[block_lo:block_hi],
+        arena.column("service_idx")[block_lo:block_hi],
+        arena.column("duration_s")[block_lo:block_hi],
+        arena.column("volume_mb")[block_lo:block_hi],
+        arena.column("truncated")[block_lo:block_hi],
     )
-    return _finish_columns(sampler, *merged)
+    if shared:
+        return (block_lo, block_hi)
+    return tuple(
+        np.array(arena.column(name)[block_lo:block_hi])
+        for name in SessionTable.COLUMNS
+    )
 
 
 @dataclass(frozen=True)
@@ -415,7 +809,9 @@ class CampaignChunk:
     """One memory-bounded piece of a generated campaign.
 
     Chunks arrive in canonical unit order; concatenating their tables
-    yields exactly the unchunked campaign.
+    yields exactly the unchunked campaign.  When the campaign runs over a
+    caller-provided arena, ``table`` is a zero-copy view into it, valid
+    until the next chunk is generated.
     """
 
     index: int
@@ -436,19 +832,37 @@ class CampaignManifest:
         Content keys of the chunks, in canonical campaign order.
     n_sessions / total_volume_mb:
         Campaign-level totals accumulated while spooling.
+    suffix:
+        On-disk chunk format: ``".npz"`` (compressed archive) or the raw
+        segment format of :mod:`repro.io.spool` (memmap spool).
     """
 
     kind: str
     chunk_keys: tuple[str, ...]
     n_sessions: int
     total_volume_mb: float
+    suffix: str = ".npz"
 
-    def iter_tables(self, cache: "ArtifactCache") -> Iterator[SessionTable]:
-        """Yield each spooled chunk table in canonical campaign order."""
+    def _loader(self, memmap: bool = False):
+        """Chunk loader callback matching this manifest's on-disk format."""
         from ..io.cache import load_table
+        from ..io.spool import SEGMENT_SUFFIX, load_segment
 
+        if self.suffix == SEGMENT_SUFFIX:
+            return lambda path: load_segment(path, memmap=memmap)
+        return load_table
+
+    def iter_tables(
+        self, cache: "ArtifactCache", *, memmap: bool = False
+    ) -> Iterator[SessionTable]:
+        """Yield each spooled chunk table in canonical campaign order.
+
+        ``memmap=True`` (segment spools only) maps chunk columns straight
+        from the cache files instead of reading them into fresh arrays.
+        """
+        loader = self._loader(memmap=memmap)
         for key in self.chunk_keys:
-            yield cache.fetch(self.kind, key, ".npz", load_table)
+            yield cache.fetch(self.kind, key, self.suffix, loader)
 
     def load(self, cache: "ArtifactCache") -> SessionTable:
         """Materialize the full campaign (memory-unbounded: prefer
@@ -506,6 +920,7 @@ class TrafficGenerator:
         self.mix = mix
         self.bank = bank
         self._sampler: BatchSampler | None = None
+        self._expected_sessions: dict[int, float] = {}
 
     @staticmethod
     def _check_mix_covered(mix: ServiceMix, bank: ModelBank) -> None:
@@ -534,21 +949,38 @@ class TrafficGenerator:
     ) -> GeneratedDay:
         """Generate one day of sessions at one BS.
 
-        Drawing from ``np.random.default_rng(unit_seed(seed, day, bs_id))``
-        reproduces exactly the unit's slice of a campaign generated under
-        root seed ``seed``.
+        Drawing from ``unit_rng(seed, day, bs_id)`` reproduces exactly the
+        unit's slice of a campaign generated under root seed ``seed`` —
+        the unit consumes its arrival counts first, then one float32
+        uniform per session, in that order.
         """
         try:
             arrivals = self.arrival_models[bs_id]
         except KeyError:
             raise GeneratorError(f"no arrival model for BS {bs_id}") from None
         minute_counts = arrivals.sample_day(rng)
-        columns = _assemble_unit_columns(
-            self.sampler(), rng, minute_counts, bs_id, day
-        )
-        if columns is None:
+        n = int(minute_counts.sum())
+        if n == 0:
             return GeneratedDay(SessionTable.empty(), minute_counts)
-        table = SessionTable(*_finish_columns(self.sampler(), *columns))
+        u = rng.random(n, dtype=np.float32)
+        start_minute = np.repeat(_MINUTE_INDEX, minute_counts)
+        service_idx = np.empty(n, dtype=np.int16)
+        duration_s = np.empty(n, dtype=np.float32)
+        volume_mb = np.empty(n, dtype=np.float32)
+        truncated = np.empty(n, dtype=bool)
+        _fused_body_kernel(
+            fused_tables(self.sampler()),
+            u, start_minute, service_idx, duration_s, volume_mb, truncated,
+        )
+        table = SessionTable(
+            service_idx,
+            np.full(n, bs_id, dtype=np.int32),
+            np.full(n, day, dtype=np.int16),
+            start_minute,
+            duration_s,
+            volume_mb,
+            truncated,
+        )
         return GeneratedDay(table, minute_counts)
 
     # ------------------------------------------------------------------
@@ -571,7 +1003,12 @@ class TrafficGenerator:
         The chunk planner uses this to bound each chunk's expected session
         count before anything is sampled.  Pareto night modes with infinite
         mean (shape <= 1) fall back to a finite multiple of their scale.
+        Memoized per BS — planning runs once per chunked call, and the
+        models are immutable.
         """
+        cached = self._expected_sessions.get(bs_id)
+        if cached is not None:
+            return cached
         try:
             model = self.arrival_models[bs_id]
         except KeyError:
@@ -580,7 +1017,11 @@ class TrafficGenerator:
         night_mean = model.night.mean()
         if not np.isfinite(night_mean):
             night_mean = model.night_scale * 4.0
-        return n_peak * model.peak_mu + (MINUTES_PER_DAY - n_peak) * night_mean
+        expected = (
+            n_peak * model.peak_mu + (MINUTES_PER_DAY - n_peak) * night_mean
+        )
+        self._expected_sessions[bs_id] = expected
+        return expected
 
     def plan_chunks(
         self, n_days: int, chunk_sessions: int | None = None
@@ -602,8 +1043,12 @@ class TrafficGenerator:
         chunks: list[list[tuple[int, int]]] = []
         current: list[tuple[int, int]] = []
         accumulated = 0.0
+        expected_by_bs = {
+            bs_id: self.expected_unit_sessions(bs_id)
+            for bs_id in self.arrival_models
+        }
         for day, bs_id in self.campaign_units(n_days):
-            expected = self.expected_unit_sessions(bs_id)
+            expected = expected_by_bs[bs_id]
             if current and accumulated + expected > budget:
                 chunks.append(current)
                 current, accumulated = [], 0.0
@@ -612,35 +1057,57 @@ class TrafficGenerator:
         chunks.append(current)
         return chunks
 
+    def _arena_for(
+        self, plans: Sequence[Sequence[tuple[int, int]]]
+    ) -> SessionArena:
+        """Fresh arena sized for the largest planned chunk (+8% headroom).
+
+        Sampled counts fluctuate around the expectation, so a modest
+        headroom absorbs nearly every chunk; the rare overshoot costs one
+        geometric growth, not a failure.
+        """
+        expected = {
+            bs_id: self.expected_unit_sessions(bs_id)
+            for bs_id in self.arrival_models
+        }
+        largest = max(
+            sum(expected[bs_id] for _, bs_id in units) for units in plans
+        )
+        return SessionArena(capacity=int(largest * 1.08) + 1024)
+
     def _generate_chunk(
         self,
         sampler: BatchSampler,
         units: Sequence[tuple[int, int]],
         root_seed: int,
         executor: SerialExecutor | ParallelExecutor,
-    ) -> SessionTable:
+        arena: SessionArena,
+    ) -> tuple[int, int]:
+        """Synthesize one chunk into ``arena``; returns its row range.
+
+        Serial executors append block by block straight into the shared
+        arena (zero copies); parallel executors receive copy-out blocks
+        from the workers' reusable arenas and the parent splices them into
+        the chunk arena in input order — byte-identical either way.
+        """
+        shared = isinstance(executor, SerialExecutor)
         items = []
         for lo in range(0, len(units), BLOCK_UNITS):
             block = [
                 (day, bs_id, self.arrival_models[bs_id])
                 for day, bs_id in units[lo : lo + BLOCK_UNITS]
             ]
-            items.append((sampler, block, root_seed))
-        blocks = [
-            columns
-            for columns in executor.map(_generate_block, items)
-            if columns is not None
-        ]
-        if not blocks:
-            return SessionTable.empty()
-        if len(blocks) == 1:
-            return SessionTable(*blocks[0])
-        return SessionTable(
-            *(
-                np.concatenate([block[i] for block in blocks])
-                for i in range(len(SessionTable.COLUMNS))
-            )
-        )
+            items.append((sampler, block, root_seed, arena if shared else None))
+        chunk_lo = len(arena)
+        results = executor.map(_generate_block, items)
+        if not shared:
+            for columns in results:
+                if columns is None:
+                    continue
+                rows = arena.reserve(columns[0].shape[0])
+                for name, column in zip(SessionTable.COLUMNS, columns):
+                    arena.column(name)[rows] = column
+        return chunk_lo, len(arena)
 
     # ------------------------------------------------------------------
     # Campaign generation
@@ -653,6 +1120,7 @@ class TrafficGenerator:
         executor: SerialExecutor | ParallelExecutor | None = None,
         chunk_sessions: int | None = None,
         telemetry: "Telemetry | None" = None,
+        arena: SessionArena | None = None,
     ) -> Iterator[CampaignChunk]:
         """Generate the campaign chunk by chunk, in canonical order.
 
@@ -661,38 +1129,71 @@ class TrafficGenerator:
         memory bounded by ``chunk_sessions`` regardless of campaign scale.
         ``executor`` fans each chunk's unit blocks across workers; the
         output is byte-identical for any worker count or chunk size.
+
+        ``arena`` (optional) is reused across every chunk: each yielded
+        chunk's table is then a **zero-copy view** into it, valid only
+        until the next chunk is drawn — the bounded-memory streaming
+        contract.  Without one, the engine still reuses an internal arena
+        but yields owning snapshot tables (safe to keep).
+
         ``telemetry`` (optional) records one ``chunk`` span per generated
         chunk plus the engine's throughput counters
         (``generator.sessions``, ``generator.chunks``,
-        ``generator.units``) — strictly out-of-band, the sessions are
-        unaffected.
+        ``generator.units``) and arena gauges (``generator.arena_mb``,
+        ``generator.arena_fill``) — strictly out-of-band, the sessions
+        are unaffected.
         """
         root_seed = coerce_root_seed(seed)
         plans = self.plan_chunks(n_days, chunk_sessions)
         runner = executor if executor is not None else SerialExecutor()
         sampler = self.sampler()
         obs = telemetry
+        zero_copy = arena is not None
+        work_arena = arena if zero_copy else self._arena_for(plans)
         for index, units in enumerate(plans):
+            work_arena.reset()
             if obs:
                 with obs.span(
                     f"chunk-{index}", kind="chunk",
                     attrs={"index": index, "units": len(units)},
                 ) as span:
-                    table = self._generate_chunk(
-                        sampler, units, root_seed, runner
+                    lo, hi = self._generate_chunk(
+                        sampler, units, root_seed, runner, work_arena
                     )
-                    span.attrs["sessions"] = len(table)
-                obs.metrics.counter("generator.sessions").inc(len(table))
-                obs.metrics.counter("generator.chunks").inc()
-                obs.metrics.counter("generator.units").inc(len(units))
+                    span.attrs["sessions"] = hi - lo
+                self._record_chunk_metrics(
+                    obs, work_arena, hi - lo, len(units)
+                )
             else:
-                table = self._generate_chunk(sampler, units, root_seed, runner)
+                lo, hi = self._generate_chunk(
+                    sampler, units, root_seed, runner, work_arena
+                )
+            table = (
+                work_arena.view(lo, hi)
+                if zero_copy
+                else work_arena.snapshot(lo, hi)
+            )
             yield CampaignChunk(
                 index=index,
                 n_chunks=len(plans),
                 units=tuple(units),
                 table=table,
             )
+
+    @staticmethod
+    def _record_chunk_metrics(
+        obs: "Telemetry", arena: SessionArena, sessions: int, units: int
+    ) -> None:
+        """Commit one chunk's throughput counters and arena gauges."""
+        obs.metrics.counter("generator.sessions").inc(sessions)
+        obs.metrics.counter("generator.chunks").inc()
+        obs.metrics.counter("generator.units").inc(units)
+        obs.metrics.gauge("generator.arena_mb").set(
+            round(arena.nbytes / (1 << 20), 3)
+        )
+        obs.metrics.gauge("generator.arena_fill").set(
+            round(arena.fill_ratio, 4)
+        )
 
     def generate_campaign(
         self,
@@ -712,11 +1213,12 @@ class TrafficGenerator:
         either an ``executor`` or a ``jobs`` count (an owned executor is
         created and reaped for the call).
 
-        The whole campaign is materialized in memory here regardless of
-        ``chunk_sessions``, so this path assembles all unit blocks into
-        one table directly — chunk splitting would only add a redundant
-        copy.  For bounded peak memory, consume
-        :meth:`iter_campaign_chunks` or :meth:`spool_campaign` instead.
+        The whole campaign is materialized here regardless of
+        ``chunk_sessions``: all unit blocks fill one expectation-sized
+        arena whose buffers the returned table aliases and keeps alive —
+        chunk splitting would only add a redundant copy.  For bounded peak
+        memory, consume :meth:`iter_campaign_chunks` or
+        :meth:`spool_campaign` instead.
         """
         if executor is not None and jobs is not None:
             raise GeneratorError("pass either executor= or jobs=, not both")
@@ -730,13 +1232,13 @@ class TrafficGenerator:
             if executor is not None
             else owned if owned is not None else SerialExecutor()
         )
+        units = self.campaign_units(n_days)
+        arena = self._arena_for([units])
         try:
-            return self._generate_chunk(
-                self.sampler(),
-                self.campaign_units(n_days),
-                coerce_root_seed(rng),
-                runner,
+            lo, hi = self._generate_chunk(
+                self.sampler(), units, coerce_root_seed(rng), runner, arena
             )
+            return arena.view(lo, hi)
         finally:
             if owned is not None:
                 owned.close()
@@ -765,29 +1267,48 @@ class TrafficGenerator:
         executor: SerialExecutor | ParallelExecutor | None = None,
         chunk_sessions: int | None = None,
         telemetry: "Telemetry | None" = None,
+        arena: SessionArena | None = None,
+        memmap_spool: bool = False,
     ) -> CampaignManifest:
         """Generate chunk-by-chunk through the artifact cache.
 
         Each chunk is content-keyed by the generator's models, the root
-        seed and the chunk's unit identities, and persisted as ``.npz``
-        before the next chunk is generated — peak memory stays bounded by
-        one chunk.  Chunks already present under their key are loaded
+        seed and the chunk's unit identities, and persisted before the
+        next chunk is generated — peak memory stays bounded by one chunk,
+        and every chunk reuses one arena (``arena`` lets callers share
+        theirs).  Chunks already present under their key are loaded
         instead of regenerated, so an interrupted spool resumes where it
-        stopped.  Returns the :class:`CampaignManifest` indexing the spool.
+        stopped; an unreadable (e.g. truncated) chunk artifact is
+        regenerated in place.  Returns the :class:`CampaignManifest`
+        indexing the spool.
+
+        ``memmap_spool=True`` streams each chunk as a raw arena segment
+        (:mod:`repro.io.spool`) instead of a compressed ``.npz``: writes
+        are straight column-buffer dumps and readers may memmap them —
+        the right trade at country scale, where compression time
+        dominates.  Chunk keys are identical either way; only the
+        artifact suffix differs.
 
         ``telemetry`` (optional) records one ``chunk`` span per spooled
         chunk — attributed ``cache: "hit"`` for replayed chunks and
         ``cache: "miss"`` for freshly generated ones — plus the engine's
-        throughput counters; the spooled bytes are byte-identical either
-        way.
+        throughput counters and arena gauges; the spooled bytes are
+        byte-identical either way.
         """
         from ..io.cache import CacheError, content_key, load_table, save_table
+        from ..io.spool import SEGMENT_SUFFIX, load_segment, save_segment
+
+        if memmap_spool:
+            suffix, save_fn, load_fn = SEGMENT_SUFFIX, save_segment, load_segment
+        else:
+            suffix, save_fn, load_fn = ".npz", save_table, load_table
 
         root_seed = coerce_root_seed(seed)
         plans = self.plan_chunks(n_days, chunk_sessions)
         runner = executor if executor is not None else SerialExecutor()
         sampler = self.sampler()
         obs = telemetry
+        work_arena = arena if arena is not None else self._arena_for(plans)
         config = self._content_parts()
         keys: list[str] = []
         n_sessions = 0
@@ -803,23 +1324,25 @@ class TrafficGenerator:
 
             def produce(table_key: str = key, chunk_units=units):
                 table: SessionTable | None = None
-                if cache.has(GENERATED_KIND, table_key, ".npz"):
+                if cache.has(GENERATED_KIND, table_key, suffix):
                     try:
                         table = cache.fetch(
-                            GENERATED_KIND, table_key, ".npz", load_table
+                            GENERATED_KIND, table_key, suffix, load_fn
                         )
                     except CacheError:
                         table = None  # unreadable entry: regenerate below
                 if table is not None:
                     return table, "hit"
-                table = self._generate_chunk(
-                    sampler, chunk_units, root_seed, runner
+                work_arena.reset()
+                lo, hi = self._generate_chunk(
+                    sampler, chunk_units, root_seed, runner, work_arena
                 )
+                table = work_arena.view(lo, hi)
                 cache.store(
                     GENERATED_KIND,
                     table_key,
-                    ".npz",
-                    lambda path, value=table: save_table(path, value),
+                    suffix,
+                    lambda path, value=table: save_fn(path, value),
                 )
                 return table, "miss"
 
@@ -832,9 +1355,9 @@ class TrafficGenerator:
                     span.attrs["sessions"] = len(table)
                     span.attrs["cache"] = provenance
                     span.attrs["key"] = key
-                obs.metrics.counter("generator.sessions").inc(len(table))
-                obs.metrics.counter("generator.chunks").inc()
-                obs.metrics.counter("generator.units").inc(len(units))
+                self._record_chunk_metrics(
+                    obs, work_arena, len(table), len(units)
+                )
             else:
                 table, _provenance = produce()
             keys.append(key)
@@ -845,6 +1368,7 @@ class TrafficGenerator:
             chunk_keys=tuple(keys),
             n_sessions=n_sessions,
             total_volume_mb=float(total_volume),
+            suffix=suffix,
         )
 
 

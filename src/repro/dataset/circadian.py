@@ -31,11 +31,25 @@ def is_peak_minute(minute_of_day: int) -> bool:
     return DAY_START_HOUR <= hour < NIGHT_START_HOUR
 
 
-def peak_minute_mask() -> np.ndarray:
-    """Boolean mask over the 1440 minutes of a day (True = peak phase)."""
+def _build_peak_minute_mask() -> np.ndarray:
     minutes = np.arange(MINUTES_PER_DAY)
     hours = minutes // 60
-    return (hours >= DAY_START_HOUR) & (hours < NIGHT_START_HOUR)
+    mask = (hours >= DAY_START_HOUR) & (hours < NIGHT_START_HOUR)
+    mask.flags.writeable = False
+    return mask
+
+
+#: Cached (read-only) peak mask — the hot sampling path asks for it per
+#: generated BS-day, so recomputing it each call is measurable overhead.
+_PEAK_MINUTE_MASK = _build_peak_minute_mask()
+
+
+def peak_minute_mask() -> np.ndarray:
+    """Boolean mask over the 1440 minutes of a day (True = peak phase).
+
+    Returns a shared read-only array; copy before mutating.
+    """
+    return _PEAK_MINUTE_MASK
 
 
 def n_peak_minutes() -> int:

@@ -5,11 +5,22 @@ stored column-wise in numpy arrays rather than as one object per session.
 :class:`SessionTable` is the interchange format between the simulator, the
 probe-emulation layer and the aggregation pipeline; :class:`SessionRecord`
 is a convenience row view for tests and examples.
+
+The column layout itself lives in one place — :data:`TABLE_SCHEMA`, a
+tuple of :class:`ColumnSpec` descriptors — and everything else (table
+construction, empty tables, the :class:`SessionArena` buffers, the spool
+format, the S301 lint mirror) derives from it.  Generation-scale producers
+write straight into a :class:`SessionArena`: one preallocated buffer per
+column, grown geometrically (or backed by memmap files), handing out
+zero-copy slices so the synthesis hot path never allocates per chunk.
+Validation is a separate :meth:`SessionTable.validate` pass — arena
+producers construct views in O(1) and validate once where it matters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -22,6 +33,195 @@ SERVICE_INDEX: dict[str, int] = {name: i for i, name in enumerate(SERVICE_NAMES)
 
 class RecordsError(ValueError):
     """Raised when session-table columns are inconsistent."""
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of the session-table schema: its name and dtype literal.
+
+    ``dtype`` is kept as the canonical numpy dtype *string* so the schema
+    reads as data (and the S301 lint rule can pin call sites against it
+    syntactically); :attr:`np_dtype` is the resolved ``np.dtype``.
+    """
+
+    name: str
+    dtype: str
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The resolved numpy dtype of this column."""
+        return np.dtype(self.dtype)
+
+
+#: The session-table schema — the single source of truth for column names,
+#: order and dtypes across the whole stack (tables, arenas, spool format,
+#: lint).  Mirrored (deliberately, as a drift tripwire) by
+#: ``repro.lint.structure.SESSION_TABLE_DTYPES``.
+TABLE_SCHEMA: tuple[ColumnSpec, ...] = (
+    ColumnSpec("service_idx", "int16"),
+    ColumnSpec("bs_id", "int32"),
+    ColumnSpec("day", "int16"),
+    ColumnSpec("start_minute", "int16"),
+    ColumnSpec("duration_s", "float32"),
+    ColumnSpec("volume_mb", "float32"),
+    ColumnSpec("truncated", "bool"),
+)
+
+#: Column name → resolved numpy dtype, in schema order.
+SCHEMA_DTYPES: dict[str, np.dtype] = {
+    spec.name: spec.np_dtype for spec in TABLE_SCHEMA
+}
+
+#: Bytes one session occupies across all schema columns.
+ROW_BYTES: int = sum(spec.np_dtype.itemsize for spec in TABLE_SCHEMA)
+
+#: Default capacity (sessions) of a fresh :class:`SessionArena`.
+DEFAULT_ARENA_CAPACITY = 1 << 20
+
+
+class SessionArena:
+    """Preallocated columnar buffer that session producers write into.
+
+    One contiguous array per schema column, all sharing a session
+    capacity.  Producers call :meth:`reserve` to claim the next ``n`` rows
+    and fill the returned column slices in place; the arena grows
+    geometrically when a reservation does not fit, so amortized writes
+    never reallocate.  :meth:`view` wraps the filled region as a zero-copy
+    :class:`SessionTable`; :meth:`snapshot` copies it out into an owning
+    table.  :meth:`reset` rewinds the write cursor for reuse (buffers are
+    kept), which is how chunked generation reuses one allocation across an
+    entire campaign.
+
+    With ``memmap_dir`` set, the column buffers live in memory-mapped
+    files under that directory instead of anonymous memory — the spool
+    path of country-scale campaigns, where the OS pages cold columns out.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_ARENA_CAPACITY,
+        memmap_dir: str | Path | None = None,
+    ):
+        if capacity < 1:
+            raise RecordsError("arena capacity must be >= 1")
+        self._capacity = int(capacity)
+        self._size = 0
+        self._memmap_dir = Path(memmap_dir) if memmap_dir is not None else None
+        self._generation = 0
+        self._columns: dict[str, np.ndarray] = {}
+        self._allocate(self._capacity)
+
+    @classmethod
+    def from_budget_mb(
+        cls, budget_mb: float, memmap_dir: str | Path | None = None
+    ) -> "SessionArena":
+        """Arena sized to hold ``budget_mb`` MiB of session rows."""
+        if budget_mb <= 0:
+            raise RecordsError("arena budget must be positive")
+        capacity = max(1, int(budget_mb * (1 << 20) / ROW_BYTES))
+        return cls(capacity=capacity, memmap_dir=memmap_dir)
+
+    # -- buffer management ---------------------------------------------
+    def _allocate(self, capacity: int) -> None:
+        """(Re)allocate every column at ``capacity``, preserving content."""
+        old = self._columns
+        fresh: dict[str, np.ndarray] = {}
+        self._generation += 1
+        for spec in TABLE_SCHEMA:
+            if self._memmap_dir is None:
+                column = np.empty(capacity, dtype=spec.np_dtype)
+            else:
+                self._memmap_dir.mkdir(parents=True, exist_ok=True)
+                path = self._memmap_dir / (
+                    f"{spec.name}.g{self._generation}.dat"
+                )
+                column = np.memmap(
+                    path, dtype=spec.np_dtype, mode="w+", shape=(capacity,)
+                )
+            if self._size:
+                column[: self._size] = old[spec.name][: self._size]
+            fresh[spec.name] = column
+        if self._memmap_dir is not None and old:
+            # Old-generation files are dead once their data is copied over.
+            for spec in TABLE_SCHEMA:
+                stale = getattr(old[spec.name], "filename", None)
+                del old[spec.name]
+                if stale is not None:
+                    Path(stale).unlink(missing_ok=True)
+        self._columns = fresh
+        self._capacity = capacity
+
+    def reserve(self, n: int) -> slice:
+        """Claim the next ``n`` rows; returns their slice into the columns.
+
+        Grows the arena geometrically (factor 2, at least to the needed
+        size) when the reservation does not fit, so a long sequence of
+        reservations costs amortized O(1) allocations.
+        """
+        if n < 0:
+            raise RecordsError("cannot reserve a negative row count")
+        needed = self._size + n
+        if needed > self._capacity:
+            self._allocate(max(needed, self._capacity * 2))
+        claimed = slice(self._size, needed)
+        self._size = needed
+        return claimed
+
+    def column(self, name: str) -> np.ndarray:
+        """Full-capacity buffer of one column (write through a slice)."""
+        return self._columns[name]
+
+    def reset(self) -> None:
+        """Rewind the write cursor; buffers (and capacity) are kept."""
+        self._size = 0
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Sessions the arena can hold before the next growth."""
+        return self._capacity
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently allocated across all column buffers."""
+        return self._capacity * ROW_BYTES
+
+    @property
+    def fill_ratio(self) -> float:
+        """Filled fraction of the allocated capacity (0..1)."""
+        return self._size / self._capacity
+
+    # -- table export ---------------------------------------------------
+    def view(self, lo: int = 0, hi: int | None = None) -> "SessionTable":
+        """Zero-copy :class:`SessionTable` over filled rows ``[lo, hi)``.
+
+        The returned table aliases the arena buffers: it is valid until
+        the arena grows, resets, or its rows are overwritten.  Callers
+        that outlive the arena's next write must :meth:`snapshot` instead.
+        """
+        hi = self._size if hi is None else hi
+        if not 0 <= lo <= hi <= self._size:
+            raise RecordsError("arena view out of the filled range")
+        return SessionTable(
+            *(self._columns[spec.name][lo:hi] for spec in TABLE_SCHEMA),
+            validate=False,
+        )
+
+    def snapshot(self, lo: int = 0, hi: int | None = None) -> "SessionTable":
+        """Owning copy of filled rows ``[lo, hi)`` as a table."""
+        hi = self._size if hi is None else hi
+        if not 0 <= lo <= hi <= self._size:
+            raise RecordsError("arena snapshot out of the filled range")
+        return SessionTable(
+            *(
+                np.array(self._columns[spec.name][lo:hi])
+                for spec in TABLE_SCHEMA
+            ),
+            validate=False,
+        )
 
 
 @dataclass(frozen=True)
@@ -38,14 +238,22 @@ class SessionRecord:
 
     @property
     def throughput_mbps(self) -> float:
-        """Average session throughput in Mbit/s."""
+        """Average session throughput in Mbit/s.
+
+        Raises :class:`RecordsError` on a zero-duration row (a float32
+        rounding artifact) rather than emitting ``inf``.
+        """
+        if self.duration_s == 0:
+            raise RecordsError(
+                "zero-duration session has no defined throughput"
+            )
         return self.volume_mb * 8.0 / self.duration_s
 
 
 class SessionTable:
     """Column-wise collection of session records.
 
-    Columns
+    Columns (see :data:`TABLE_SCHEMA`, the canonical definition)
     -------
     service_idx : int16 — index into :data:`SERVICE_NAMES`
     bs_id       : int32 — serving base station
@@ -54,17 +262,14 @@ class SessionTable:
     duration_s  : float32 — served duration in seconds
     volume_mb   : float32 — served traffic volume in MB
     truncated   : bool — whether the session was cut by mobility/handover
+
+    Construction coerces dtypes and, by default, runs the full
+    :meth:`validate` pass.  Hot paths that hand over columns already known
+    to be schema-exact (arena views, concatenations of validated tables)
+    pass ``validate=False`` and get O(1) construction.
     """
 
-    COLUMNS = (
-        "service_idx",
-        "bs_id",
-        "day",
-        "start_minute",
-        "duration_s",
-        "volume_mb",
-        "truncated",
-    )
+    COLUMNS = tuple(spec.name for spec in TABLE_SCHEMA)
 
     def __init__(
         self,
@@ -75,6 +280,8 @@ class SessionTable:
         duration_s: np.ndarray,
         volume_mb: np.ndarray,
         truncated: np.ndarray,
+        *,
+        validate: bool = True,
     ):
         self.service_idx = np.asarray(service_idx, dtype=np.int16)
         self.bs_id = np.asarray(bs_id, dtype=np.int32)
@@ -83,7 +290,17 @@ class SessionTable:
         self.duration_s = np.asarray(duration_s, dtype=np.float32)
         self.volume_mb = np.asarray(volume_mb, dtype=np.float32)
         self.truncated = np.asarray(truncated, dtype=bool)
+        if validate:
+            self.validate()
 
+    def validate(self) -> "SessionTable":
+        """Check column alignment and value ranges; returns ``self``.
+
+        Raises :class:`RecordsError` on misaligned columns, service
+        indices outside the catalog, non-positive durations or volumes
+        (zero durations included — the rows that would otherwise emit
+        infinite throughput), or start minutes outside 0..1439.
+        """
         n = self.service_idx.size
         for column in self.COLUMNS:
             if getattr(self, column).shape != (n,):
@@ -99,6 +316,7 @@ class SessionTable:
                 raise RecordsError("volumes must be positive")
             if self.start_minute.min() < 0 or self.start_minute.max() > 1439:
                 raise RecordsError("start_minute out of 0..1439")
+        return self
 
     # ------------------------------------------------------------------
     @classmethod
@@ -111,13 +329,8 @@ class SessionTable:
         preserves the schema bit-for-bit.
         """
         return cls(
-            service_idx=np.empty(0, dtype=np.int16),
-            bs_id=np.empty(0, dtype=np.int32),
-            day=np.empty(0, dtype=np.int16),
-            start_minute=np.empty(0, dtype=np.int16),
-            duration_s=np.empty(0, dtype=np.float32),
-            volume_mb=np.empty(0, dtype=np.float32),
-            truncated=np.empty(0, dtype=bool),
+            *(np.empty(0, dtype=spec.np_dtype) for spec in TABLE_SCHEMA),
+            validate=False,
         )
 
     def __len__(self) -> int:
@@ -129,7 +342,8 @@ class SessionTable:
         if mask.shape != (len(self),):
             raise RecordsError("mask must align with the table")
         return SessionTable(
-            *(getattr(self, column)[mask] for column in self.COLUMNS)
+            *(getattr(self, column)[mask] for column in self.COLUMNS),
+            validate=False,
         )
 
     def for_service(self, service: str) -> "SessionTable":
@@ -155,12 +369,23 @@ class SessionTable:
             *(
                 np.concatenate([getattr(t, column) for t in tables])
                 for column in SessionTable.COLUMNS
-            )
+            ),
+            validate=False,
         )
 
     # ------------------------------------------------------------------
     def throughput_mbps(self) -> np.ndarray:
-        """Per-session average throughput in Mbit/s."""
+        """Per-session average throughput in Mbit/s.
+
+        Raises :class:`RecordsError` if any row has a zero duration (a
+        float32 rounding artifact on unvalidated tables) — an explicit
+        error beats silently propagating ``inf`` into aggregates.
+        """
+        if len(self) and np.any(self.duration_s == 0):
+            raise RecordsError(
+                "zero-duration sessions have no defined throughput; "
+                "run validate() to locate them"
+            )
         return self.volume_mb.astype(float) * 8.0 / self.duration_s.astype(float)
 
     def rows(self):

@@ -37,6 +37,15 @@ _ARRAY_CONSTRUCTORS = frozenset(
     }
 )
 
+#: Canonical dtype *strings* per column, as they appear in the
+#: ``ColumnSpec`` descriptors of ``repro.dataset.records.TABLE_SCHEMA``
+#: (the arena-era schema source of truth).  Derived from
+#: :data:`SESSION_TABLE_DTYPES` so the two spellings cannot drift apart.
+_COLUMN_DTYPE_STRINGS: dict[str, str] = {
+    name: allowed[0].removeprefix("numpy.").removesuffix("_")
+    for name, allowed in SESSION_TABLE_DTYPES.items()
+}
+
 
 @register
 class SessionTableDtypeDrift(Rule):
@@ -61,7 +70,12 @@ class SessionTableDtypeDrift(Rule):
         """Flag explicit column dtypes that contradict the schema."""
         for call in ctx.calls():
             name = ctx.qualified(call.func)
-            if name is None or not name.endswith("SessionTable"):
+            if name is None:
+                continue
+            if name.endswith("ColumnSpec"):
+                yield from self._check_column_spec(ctx, call)
+                continue
+            if not name.endswith("SessionTable"):
                 continue
             for kw in call.keywords:
                 if kw.arg not in SESSION_TABLE_DTYPES:
@@ -77,6 +91,47 @@ class SessionTableDtypeDrift(Rule):
                         f"{dtype.replace('numpy', 'np')}, schema says "
                         f"{allowed[0].replace('numpy', 'np')}",
                     )
+
+    def _check_column_spec(
+        self, ctx: FileContext, call: ast.Call
+    ) -> Iterable[Finding]:
+        """Pin ``ColumnSpec(name, dtype)`` literals to the canonical schema.
+
+        The schema descriptor tuple in ``repro.dataset.records`` is the
+        arena-era source of truth; a descriptor renaming a column or
+        changing its dtype string must also touch the lint mirror here, so
+        accidental drift fails the lint run instead of silently changing
+        artifact layouts.
+        """
+        args: dict[str, ast.expr] = {}
+        for position, arg in enumerate(call.args[:2]):
+            args[("name", "dtype")[position]] = arg
+        for kw in call.keywords:
+            if kw.arg in ("name", "dtype"):
+                args[kw.arg] = kw.value
+        name_node, dtype_node = args.get("name"), args.get("dtype")
+        if not (
+            isinstance(name_node, ast.Constant)
+            and isinstance(name_node.value, str)
+            and isinstance(dtype_node, ast.Constant)
+            and isinstance(dtype_node.value, str)
+        ):
+            return
+        column, dtype = name_node.value, dtype_node.value
+        expected = _COLUMN_DTYPE_STRINGS.get(column)
+        if expected is None:
+            yield self.finding(
+                ctx, name_node,
+                f"ColumnSpec names unknown column {column!r}; the lint "
+                "schema mirror knows "
+                f"{sorted(_COLUMN_DTYPE_STRINGS)}",
+            )
+        elif dtype != expected:
+            yield self.finding(
+                ctx, dtype_node,
+                f"ColumnSpec for {column!r} declares dtype {dtype!r}, "
+                f"schema says {expected!r}",
+            )
 
     @staticmethod
     def _explicit_dtype(ctx: FileContext, value: ast.expr) -> str | None:

@@ -11,9 +11,10 @@ Executors are telemetry-aware: constructed with a
 :meth:`~repro.pipeline.context.RunContext.executor` does), every ``map``
 call opens an ``executor`` span, workers report each unit's wall/CPU
 timings back to the parent, and the parent commits per-worker and per-unit
-spans plus utilization metrics (``executor.units``,
-``executor.unit_wall_s``, ``executor.busy_s``).  Telemetry is strictly
-out-of-band — results and their ordering are unaffected.
+spans plus utilization and memory metrics (``executor.units``,
+``executor.unit_wall_s``, ``executor.busy_s``, ``executor.peak_rss_mb``).
+Telemetry is strictly out-of-band — results and their ordering are
+unaffected.
 
 Work functions handed to :class:`ParallelExecutor` must be picklable
 module-level callables and their items picklable values — the standard
@@ -24,6 +25,8 @@ from __future__ import annotations
 
 import math
 import os
+import resource
+import sys
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -34,6 +37,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+#: ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.
+_RSS_TO_MB = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+
+
+def peak_rss_mb() -> float:
+    """This process's lifetime peak resident set size, in MiB.
+
+    Monotone by construction (``ru_maxrss`` never decreases), so
+    per-phase comparisons need a fresh process per phase.
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / _RSS_TO_MB
 
 
 class ExecutorError(RuntimeError):
@@ -88,18 +104,21 @@ class WorkerError(ExecutorError):
 class _CapturedCall:
     """Picklable wrapper running one unit and capturing outcome + timings.
 
-    Returns ``(True, result, wall_s, cpu_s, pid)`` on success and
-    ``(False, formatted traceback, wall_s, cpu_s, pid)`` on failure —
-    strings survive pickling even when the original exception object would
-    not, so a failing unit can never break the pool itself.  The wall/CPU
-    durations are measured inside the worker and travel back as plain
-    floats, which is how parallel runs report per-unit span records.
+    Returns ``(True, result, wall_s, cpu_s, pid, rss_mb)`` on success and
+    ``(False, formatted traceback, wall_s, cpu_s, pid, rss_mb)`` on
+    failure — strings survive pickling even when the original exception
+    object would not, so a failing unit can never break the pool itself.
+    The wall/CPU durations and the worker's peak RSS are measured inside
+    the worker and travel back as plain floats, which is how parallel runs
+    report per-unit span records and per-worker memory gauges.
     """
 
     def __init__(self, fn: Callable[[T], R]):
         self.fn = fn
 
-    def __call__(self, item: T) -> tuple[bool, object, float, float, int]:
+    def __call__(
+        self, item: T
+    ) -> tuple[bool, object, float, float, int, float]:
         """Run the wrapped function, trading exceptions for markers."""
         start = time.perf_counter()
         start_cpu = time.process_time()
@@ -109,7 +128,7 @@ class _CapturedCall:
             result = (False, traceback.format_exc())
         wall = time.perf_counter() - start
         cpu = time.process_time() - start_cpu
-        return (*result, wall, cpu, os.getpid())
+        return (*result, wall, cpu, os.getpid(), peak_rss_mb())
 
 
 class SerialExecutor:
@@ -155,6 +174,7 @@ class SerialExecutor:
             span.attrs["busy_s"] = round(busy, 6)
             obs.metrics.counter("executor.units").inc(len(materialized))
             obs.metrics.counter("executor.busy_s").inc(busy)
+            obs.metrics.gauge("executor.peak_rss_mb").set(peak_rss_mb())
         return results
 
     def close(self) -> None:
@@ -215,7 +235,7 @@ class ParallelExecutor:
                 )
             )
             self._raise_first_failure(outcomes, stage=None)
-            return [value for _, value, _, _, _ in outcomes]
+            return [value for _, value, _, _, _, _ in outcomes]
         stage = obs.current_stage()
         with obs.span(
             "map", kind="executor",
@@ -230,12 +250,12 @@ class ParallelExecutor:
             map_wall = time.perf_counter() - wall_start
             self._raise_first_failure(outcomes, stage=stage)
             self._record_units(obs, span, outcomes, map_wall)
-        return [value for _, value, _, _, _ in outcomes]
+        return [value for _, value, _, _, _, _ in outcomes]
 
     @staticmethod
     def _raise_first_failure(outcomes, stage: str | None) -> None:
         """Re-raise the first (input-order) failed unit, if any."""
-        for index, (ok, value, wall, _cpu, _pid) in enumerate(outcomes):
+        for index, (ok, value, wall, _cpu, _pid, _rss) in enumerate(outcomes):
             if not ok:
                 raise WorkerError(
                     index, str(value), stage=stage, elapsed_s=wall
@@ -247,26 +267,34 @@ class ParallelExecutor:
         One ``worker`` span per distinct worker process (in pid order, so
         the record order is stable), each unit attached beneath its
         worker.  Utilization is the summed in-worker busy time over the
-        pool's wall-time capacity for this map call.
+        pool's wall-time capacity for this map call; the pool's peak RSS
+        gauge is the maximum lifetime peak across its worker processes.
         """
-        by_pid: dict[int, list[tuple[int, float, float]]] = {}
-        for index, (_ok, _value, wall, cpu, pid) in enumerate(outcomes):
-            by_pid.setdefault(pid, []).append((index, wall, cpu))
+        by_pid: dict[int, list[tuple[int, float, float, float]]] = {}
+        for index, (_ok, _value, wall, cpu, pid, rss) in enumerate(outcomes):
+            by_pid.setdefault(pid, []).append((index, wall, cpu, rss))
         busy = 0.0
+        pool_rss = 0.0
         for slot, pid in enumerate(sorted(by_pid)):
             units = by_pid[pid]
-            worker_wall = sum(wall for _, wall, _ in units)
-            worker_cpu = sum(cpu for _, _, cpu in units)
+            worker_wall = sum(wall for _, wall, _, _ in units)
+            worker_cpu = sum(cpu for _, _, cpu, _ in units)
+            worker_rss = max(rss for _, _, _, rss in units)
             busy += worker_wall
+            pool_rss = max(pool_rss, worker_rss)
             worker_span = obs.record_span(
                 f"worker-{slot}",
                 "worker",
                 worker_wall,
                 worker_cpu,
-                attrs={"pid": pid, "units": len(units)},
+                attrs={
+                    "pid": pid,
+                    "units": len(units),
+                    "peak_rss_mb": round(worker_rss, 1),
+                },
             )
             parent = worker_span.span_id if worker_span else None
-            for index, wall, cpu in units:
+            for index, wall, cpu, _rss in units:
                 obs.record_span(
                     f"unit-{index}",
                     "unit",
@@ -284,6 +312,7 @@ class ParallelExecutor:
             obs.metrics.gauge("executor.utilization").set(utilization)
         obs.metrics.counter("executor.units").inc(len(outcomes))
         obs.metrics.counter("executor.busy_s").inc(busy)
+        obs.metrics.gauge("executor.peak_rss_mb").set(pool_rss)
 
     def close(self) -> None:
         """Shut the pool down and reap the worker processes."""

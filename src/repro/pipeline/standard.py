@@ -134,6 +134,8 @@ def generate_stage(
     n_days: int,
     chunk_sessions: int | None = None,
     materialize: bool = True,
+    arena_mb: float | None = None,
+    memmap_spool: bool = False,
 ) -> Stage:
     """Stage synthesizing a campaign from a ``generator`` artifact.
 
@@ -144,15 +146,24 @@ def generate_stage(
     ``--jobs`` or ``chunk_sessions`` setting.  With a cache on the context,
     chunks are spooled through it (bounded peak memory, resumable);
     ``materialize=False`` then keeps only the campaign totals, never the
-    full table.  Produces a
-    :class:`~repro.core.generator.GenerationResult`.
+    full table.  ``arena_mb`` preallocates the reused session arena at a
+    fixed budget instead of sizing it from chunk expectations;
+    ``memmap_spool`` spools chunks as raw columnar segments instead of
+    ``.npz`` archives, so downstream consumers can memory-map them.
+    Produces a :class:`~repro.core.generator.GenerationResult`.
     """
     from ..core.generator import GenerationResult
+    from ..dataset.records import SessionArena
 
     def run(ctx, artifacts):
         generator = artifacts["generator"]
         with ctx.executor() as executor:
             if ctx.cache is not None:
+                arena = (
+                    SessionArena.from_budget_mb(arena_mb)
+                    if arena_mb is not None
+                    else None
+                )
                 manifest = generator.spool_campaign(
                     n_days,
                     ctx.seed,
@@ -160,6 +171,8 @@ def generate_stage(
                     executor=executor,
                     chunk_sessions=chunk_sessions,
                     telemetry=ctx.telemetry,
+                    arena=arena,
+                    memmap_spool=memmap_spool,
                 )
                 return GenerationResult(
                     n_sessions=manifest.n_sessions,

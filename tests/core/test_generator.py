@@ -10,6 +10,7 @@ from repro.core.generator import (
     GeneratorError,
     TrafficGenerator,
     generate_campaign_reference,
+    unit_rng,
     unit_seed,
 )
 from repro.core.service_mix import ServiceMix
@@ -127,7 +128,7 @@ class TestSeedStreams:
 
     def test_unit_regenerates_its_campaign_slice(self, tiny_generator):
         campaign = tiny_generator.generate_campaign(2, 11)
-        rng = np.random.default_rng(unit_seed(11, 1, 3))
+        rng = unit_rng(11, 1, 3)
         day = tiny_generator.generate_bs_day(3, 1, rng)
         sliced = campaign.select((campaign.day == 1) & (campaign.bs_id == 3))
         assert _tables_identical(day.table, sliced)
@@ -270,12 +271,8 @@ class TestDistributionFidelity:
     def test_any_seed_yields_schema_valid_reproducible_day(
         self, generator, seed
     ):
-        first = generator.generate_bs_day(
-            1, 0, np.random.default_rng(unit_seed(seed, 0, 1))
-        )
-        second = generator.generate_bs_day(
-            1, 0, np.random.default_rng(unit_seed(seed, 0, 1))
-        )
+        first = generator.generate_bs_day(1, 0, unit_rng(seed, 0, 1))
+        second = generator.generate_bs_day(1, 0, unit_rng(seed, 0, 1))
         assert _tables_identical(first.table, second.table)
         assert np.all(first.table.duration_s >= 1.0)
         assert np.all(first.table.volume_mb > 0)

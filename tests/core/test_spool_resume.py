@@ -1,0 +1,133 @@
+"""Spool-resume under the arena path: interruption and corruption recovery.
+
+A spooled campaign must survive a killed run (missing trailing chunk) and
+a torn write (truncated trailing chunk): the next ``spool_campaign`` call
+regenerates exactly the damaged chunks and the materialized campaign stays
+byte-identical to an uninterrupted spool.  Both artifact encodings are
+covered — compressed ``.npz`` archives and raw ``.seg`` segments
+(``memmap_spool=True``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arrivals import ArrivalModel
+from repro.core.generator import TrafficGenerator
+from repro.core.service_mix import ServiceMix
+from repro.dataset.records import TABLE_SCHEMA, SessionArena
+from repro.io.cache import ArtifactCache
+
+SEED = 11
+DAYS = 2
+CHUNK = 500
+
+
+@pytest.fixture(scope="module")
+def generator(bank):
+    """Low-rate generator spanning several chunks at CHUNK=500."""
+    arrival = ArrivalModel(peak_mu=2.0, peak_sigma=0.5, night_scale=0.4)
+    mix = ServiceMix.from_table1().restricted_to(bank.services())
+    return TrafficGenerator({0: arrival, 3: arrival, 7: arrival}, mix, bank)
+
+
+def spool(generator, cache, **kwargs):
+    return generator.spool_campaign(
+        DAYS, SEED, cache, chunk_sessions=CHUNK, **kwargs
+    )
+
+
+def assert_tables_identical(a, b) -> None:
+    for spec in TABLE_SCHEMA:
+        left, right = getattr(a, spec.name), getattr(b, spec.name)
+        assert left.dtype == right.dtype, spec.name
+        np.testing.assert_array_equal(left, right, err_msg=spec.name)
+
+
+@pytest.fixture(scope="module")
+def baseline(generator, tmp_path_factory):
+    """An uninterrupted spool: the byte-identity reference."""
+    cache = ArtifactCache(tmp_path_factory.mktemp("baseline"))
+    manifest = spool(generator, cache)
+    assert len(manifest.chunk_keys) > 1, "workload must span several chunks"
+    return manifest.load(cache)
+
+
+@pytest.mark.parametrize("memmap_spool", [False, True], ids=["npz", "seg"])
+class TestInterruptedSpool:
+    def test_killed_run_resumes_byte_identical(
+        self, generator, baseline, tmp_path, memmap_spool
+    ):
+        """Missing trailing chunk (process died before writing it)."""
+        cache = ArtifactCache(tmp_path)
+        first = spool(generator, cache, memmap_spool=memmap_spool)
+        last = cache.path_for(
+            first.kind, first.chunk_keys[-1], first.suffix
+        )
+        last.unlink()
+        resumed = spool(generator, cache, memmap_spool=memmap_spool)
+        assert resumed.chunk_keys == first.chunk_keys
+        assert last.exists()
+        assert_tables_identical(resumed.load(cache), baseline)
+
+    def test_torn_write_regenerates_byte_identical(
+        self, generator, baseline, tmp_path, memmap_spool
+    ):
+        """Truncated trailing chunk (torn write): detected and rebuilt."""
+        cache = ArtifactCache(tmp_path)
+        first = spool(generator, cache, memmap_spool=memmap_spool)
+        last = cache.path_for(
+            first.kind, first.chunk_keys[-1], first.suffix
+        )
+        raw = last.read_bytes()
+        last.write_bytes(raw[: len(raw) // 2])
+        resumed = spool(generator, cache, memmap_spool=memmap_spool)
+        assert last.read_bytes() == raw  # rebuilt, not trusted as-is
+        assert_tables_identical(resumed.load(cache), baseline)
+
+    def test_intact_chunks_not_rebuilt_on_resume(
+        self, generator, tmp_path, memmap_spool
+    ):
+        """Resume touches only the damaged chunk, never the intact ones."""
+        cache = ArtifactCache(tmp_path)
+        first = spool(generator, cache, memmap_spool=memmap_spool)
+        paths = {
+            key: cache.path_for(first.kind, key, first.suffix)
+            for key in first.chunk_keys
+        }
+        stamps = {
+            key: path.stat().st_mtime_ns for key, path in paths.items()
+        }
+        paths[first.chunk_keys[-1]].unlink()
+        spool(generator, cache, memmap_spool=memmap_spool)
+        for key in first.chunk_keys[:-1]:
+            assert paths[key].stat().st_mtime_ns == stamps[key]
+
+
+class TestEncodingsAgree:
+    def test_segment_spool_matches_npz_spool(
+        self, generator, baseline, tmp_path
+    ):
+        cache = ArtifactCache(tmp_path)
+        manifest = spool(generator, cache, memmap_spool=True)
+        assert manifest.suffix == ".seg"
+        assert_tables_identical(manifest.load(cache), baseline)
+
+    def test_memmapped_chunks_match_copies(self, generator, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        manifest = spool(generator, cache, memmap_spool=True)
+        copied = list(manifest.iter_tables(cache))
+        mapped = list(manifest.iter_tables(cache, memmap=True))
+        assert len(copied) == len(mapped)
+        for a, b in zip(copied, mapped):
+            assert isinstance(b.volume_mb.base, np.memmap)
+            assert_tables_identical(a, b)
+
+    def test_caller_arena_spool_matches(self, generator, baseline, tmp_path):
+        """A caller-provided (deliberately tiny) arena changes nothing."""
+        cache = ArtifactCache(tmp_path)
+        manifest = spool(
+            generator, cache, arena=SessionArena(capacity=64)
+        )
+        assert_tables_identical(manifest.load(cache), baseline)

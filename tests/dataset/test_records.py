@@ -165,6 +165,27 @@ class TestDerived:
         record = SessionRecord("Facebook", 0, 0, 10, 100.0, 5.0, False)
         assert record.throughput_mbps == pytest.approx(0.4)
 
+    def test_record_zero_duration_throughput_raises(self):
+        record = SessionRecord("Facebook", 0, 0, 10, 0.0, 100.0, False)
+        with pytest.raises(RecordsError):
+            record.throughput_mbps
+
+    def test_table_zero_duration_throughput_raises(self):
+        # validate=False is the only way a zero duration reaches the
+        # derived quantity; it must raise instead of returning inf.
+        table = SessionTable(
+            np.array([0], dtype=np.int16),
+            np.array([0], dtype=np.int32),
+            np.array([0], dtype=np.int16),
+            np.array([10], dtype=np.int16),
+            np.array([0.0], dtype=np.float32),
+            np.array([1.0], dtype=np.float32),
+            np.array([False]),
+            validate=False,
+        )
+        with pytest.raises(RecordsError):
+            table.throughput_mbps()
+
     def test_service_index_consistency(self):
         for name, idx in SERVICE_INDEX.items():
             assert SERVICE_NAMES[idx] == name

@@ -47,6 +47,54 @@ class TestS301SessionTableDtype:
         """
         assert run_rule("S301", bad, "tools/x.py") == []
 
+    def test_flags_column_spec_dtype_drift(self):
+        """A schema descriptor widening a column contradicts the mirror."""
+        bad = """
+            from repro.dataset.records import ColumnSpec
+            SCHEMA = (
+                ColumnSpec("bs_id", "int64"),
+            )
+        """
+        found = run_rule("S301", bad)
+        assert len(found) == 1
+        assert "bs_id" in found[0].message
+        assert "int64" in found[0].message
+
+    def test_flags_column_spec_unknown_column(self):
+        """A descriptor naming a column outside the schema is drift too."""
+        bad = """
+            from repro.dataset.records import ColumnSpec
+            EXTRA = ColumnSpec("latency_ms", "float32")
+        """
+        found = run_rule("S301", bad)
+        assert len(found) == 1
+        assert "latency_ms" in found[0].message
+
+    def test_allows_canonical_column_specs(self):
+        """The canonical descriptor tuple passes, keyword form included."""
+        good = """
+            from repro.dataset.records import ColumnSpec
+            SCHEMA = (
+                ColumnSpec("service_idx", "int16"),
+                ColumnSpec("bs_id", "int32"),
+                ColumnSpec("day", "int16"),
+                ColumnSpec("start_minute", "int16"),
+                ColumnSpec("duration_s", "float32"),
+                ColumnSpec("volume_mb", "float32"),
+                ColumnSpec(name="truncated", dtype="bool"),
+            )
+        """
+        assert run_rule("S301", good) == []
+
+    def test_column_spec_non_literal_ignored(self):
+        """Descriptors built from variables are out of static reach."""
+        good = """
+            from repro.dataset.records import ColumnSpec
+            def widen(name, dtype):
+                return ColumnSpec(name, dtype)
+        """
+        assert run_rule("S301", good) == []
+
 
 class TestS302TelemetryEventShape:
     """S302 checks sink.write dict literals against EVENT_FIELDS."""

@@ -88,6 +88,28 @@ class TestCli:
             l for l in second.splitlines() if "generated" in l
         ]
 
+    def test_generate_arena_and_memmap_spool_flags(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        models = tmp_path / "models.json"
+        main(
+            ["--seed", "1", "fit", "--bs", "10", "--days", "1",
+             "--output", str(models)]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "--seed", "2", "generate", "--models", str(models),
+                "--bs", "2", "--days", "1", "--decile", "2",
+                "--arena-mb", "2", "--memmap-spool",
+            ]
+        )
+        assert code == 0
+        assert "generated" in capsys.readouterr().out
+        assert list(cache_dir.rglob("*.seg"))  # raw segment chunks spooled
+
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):
             main([])
