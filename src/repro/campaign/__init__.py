@@ -1,0 +1,52 @@
+"""Nationwide-scale campaign aggregation: mergeable sketches + sharded driver.
+
+The paper's characterization rests on a national footprint (~282k BSs over
+45 days); materializing that many sessions is out of the question, so this
+package computes campaign-level statistics **without retaining sessions**:
+
+* :mod:`repro.campaign.sketches` — mergeable aggregate sketches
+  (count/sum/moment accumulators on exact integer quanta, fixed-bin
+  histograms, a seeded HyperLogLog distinct-count sketch) whose ``merge``
+  is bit-exactly associative and commutative, so any shard order — serial,
+  parallel, resumed — folds to byte-identical campaign aggregates;
+* :mod:`repro.campaign.driver` — the sharded campaign driver fanning
+  (day, BS-range) shards across the pipeline executors, streaming each
+  shard through a reused :class:`~repro.dataset.records.SessionArena`,
+  and checkpointing completed shards through the content-keyed artifact
+  cache so a killed run resumes exactly where it stopped;
+* :mod:`repro.campaign.fidelity` — the aggregate-only fidelity hook:
+  paper claims that need only merged sketches (service ranking, circadian
+  structure) judged against the golden baseline's tolerance bands.
+"""
+
+from .driver import (
+    CampaignError,
+    CampaignResult,
+    Shard,
+    plan_shards,
+    run_campaign,
+)
+from .fidelity import AGGREGATE_CLAIMS, evaluate_aggregate, measure_aggregate
+from .sketches import (
+    CampaignAggregate,
+    FixedHistogram,
+    HyperLogLog,
+    Moments,
+    SketchError,
+)
+
+__all__ = [
+    "AGGREGATE_CLAIMS",
+    "CampaignAggregate",
+    "CampaignError",
+    "CampaignResult",
+    "FixedHistogram",
+    "HyperLogLog",
+    "Moments",
+    "Shard",
+    "SketchError",
+    "evaluate_aggregate",
+    "measure_aggregate",
+    "plan_shards",
+    "run_campaign",
+]

@@ -1,0 +1,97 @@
+"""Aggregate-only fidelity: judging paper claims from merged sketches.
+
+A nationwide campaign never materializes its sessions, so the full
+``verify`` gate (which re-measures statistics on a session table) cannot
+run on it.  But several of the gated paper claims are *determined by* the
+campaign-level aggregates the sharded driver keeps:
+
+* ``rank-exponential-r2`` and ``top20-session-share`` (Fig 4) need only
+  the per-service session/traffic shares — exactly
+  :meth:`CampaignAggregate.shares_table`;
+* ``circadian-day-night-ratio`` (Fig 3) needs only the per-minute
+  arrival counts.
+
+This module measures those claims from a merged
+:class:`~repro.campaign.sketches.CampaignAggregate` and judges them under
+the **same tolerance bands** as the full gate, via the claim-subset mode
+of :func:`repro.verify.checks.evaluate`.  Because a shard-merged
+aggregate over a session set is bit-identical to the single-pass
+aggregate over the same sessions, the aggregate path measures the same
+numbers the table path would — the subset gate loses claims, never
+fidelity.
+"""
+
+from __future__ import annotations
+
+from ..analysis.ranking import (
+    RankedService,
+    fit_exponential_law,
+    top_k_session_fraction,
+)
+from ..verify.checks import CheckError, evaluate
+from .sketches import CampaignAggregate, SketchError
+
+#: The baseline claims a merged campaign aggregate fully determines.
+AGGREGATE_CLAIMS = (
+    "rank-exponential-r2",
+    "top20-session-share",
+    "circadian-day-night-ratio",
+)
+
+
+def ranking_from_aggregate(
+    aggregate: CampaignAggregate,
+) -> list[RankedService]:
+    """Fig 4 service ranking straight from merged share counters.
+
+    Mirrors :func:`repro.analysis.ranking.rank_services` — same stable
+    sort over the same (session share, traffic share) table, zero-share
+    services dropped — but sourced from the aggregate instead of a
+    session table.
+    """
+    shares = aggregate.shares_table()
+    ordered = sorted(shares.items(), key=lambda kv: kv[1][0], reverse=True)
+    return [
+        RankedService(
+            rank=i + 1,
+            service=name,
+            session_fraction=sessions,
+            traffic_fraction=traffic,
+        )
+        for i, (name, (sessions, traffic)) in enumerate(ordered)
+        if sessions > 0
+    ]
+
+
+def measure_aggregate(aggregate: CampaignAggregate) -> dict[str, float]:
+    """Measure every :data:`AGGREGATE_CLAIMS` statistic from one aggregate.
+
+    Raises :class:`~repro.verify.checks.CheckError` when the aggregate
+    cannot support a measurement (no sessions, no nighttime arrivals) —
+    the same failure mode the table-based measurements have.
+    """
+    if aggregate.n_sessions == 0:
+        raise CheckError("cannot measure claims of an empty campaign")
+    ranking = ranking_from_aggregate(aggregate)
+    law = fit_exponential_law(ranking)
+    try:
+        ratio = aggregate.day_night_ratio()
+    except SketchError as exc:
+        raise CheckError(str(exc)) from exc
+    return {
+        "rank-exponential-r2": float(law.r2),
+        "top20-session-share": float(top_k_session_fraction(ranking, 20)),
+        "circadian-day-night-ratio": float(ratio),
+    }
+
+
+def evaluate_aggregate(aggregate: CampaignAggregate, baseline):
+    """Judge an aggregate's claims under the golden baseline's bands.
+
+    Returns the same :class:`~repro.verify.report.FidelityReport` shape
+    as the full gate, restricted to :data:`AGGREGATE_CLAIMS`; the bands
+    are the baseline's own, not relaxed copies.
+    """
+    return evaluate(
+        measure_aggregate(aggregate), baseline, claims=AGGREGATE_CLAIMS
+    )

@@ -10,6 +10,10 @@ independent per-(day, BS) seed-stream work units:
   write a release file with every parameter tuple;
 * ``repro-traffic generate`` — load a release file and generate synthetic
   session-level traffic from the models;
+* ``repro-traffic campaign`` — run a sharded, aggregate-only campaign at
+  scale: (day, BS-range) shards stream through per-worker arenas, only
+  mergeable sketches are kept (bounded memory at any BS count), completed
+  shards checkpoint through the cache and ``--resume`` folds them back in;
 * ``repro-traffic validate`` — check a campaign (simulated and cached, or
   an exported trace) against the paper's stylized facts;
 * ``repro-traffic verify`` — run the statistical fidelity gate: simulate
@@ -159,6 +163,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "mappable) instead of .npz archives",
     )
     _add_run_flags(gen)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a sharded aggregate-only campaign (bounded memory at scale)",
+    )
+    camp.add_argument("--models", required=True, help="release file path")
+    camp.add_argument(
+        "--bs", type=int, default=100, help="number of generated BSs"
+    )
+    camp.add_argument("--days", type=int, default=1, help="number of days")
+    camp.add_argument(
+        "--decile", type=int, default=5, help="load decile of the generated BSs"
+    )
+    camp.add_argument(
+        "--shard-size", type=int, default=None, metavar="BS",
+        help="base stations per (day, BS-range) shard (default 64)",
+    )
+    camp.add_argument(
+        "--chunk-size", type=int, default=None, metavar="SESSIONS",
+        help="expected sessions a worker materializes at once (bounds its "
+        "arena; default 250000; never changes the aggregates)",
+    )
+    camp.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="fold completed shards back in from cached checkpoints "
+        "(--no-resume recomputes every shard)",
+    )
+    camp.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the merged campaign aggregate as canonical JSON",
+    )
+    camp.add_argument(
+        "--verify-aggregates", action="store_true",
+        help="judge the aggregate-determined paper claims against the "
+        "golden baseline (exit 1 on any breach)",
+    )
+    _add_run_flags(camp)
 
     val = sub.add_parser(
         "validate", help="validate a campaign against stylized facts"
@@ -347,6 +388,82 @@ def _cmd_generate(args: argparse.Namespace, ctx: RunContext) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace, ctx: RunContext) -> int:
+    from .campaign import run_campaign
+    from .campaign.driver import DEFAULT_SHARD_BS, DEFAULT_SHARD_CHUNK_SESSIONS
+    from .core.generator import TrafficGenerator
+    from .core.service_mix import ServiceMix
+    from .dataset.network import decile_peak_rate
+    from .io.params import load_release
+
+    bank, arrivals = load_release(args.models)
+    label = f"decile-{args.decile}"
+    if label in arrivals:
+        arrival = arrivals[label]
+    else:
+        # Release without arrival fits: fall back to the published decile
+        # anchors of Section 5.1 (same convention as ``generate``).
+        peak = decile_peak_rate(args.decile)
+        from .core.arrivals import ArrivalModel
+
+        arrival = ArrivalModel(peak, peak / 10.0, peak / 8.0)
+    mix = ServiceMix.from_table1().restricted_to(bank.services())
+    generator = TrafficGenerator(
+        {bs: arrival for bs in range(args.bs)}, mix, bank
+    )
+    with ctx.executor() as executor:
+        result = run_campaign(
+            generator,
+            args.days,
+            ctx.seed,
+            shard_bs=(
+                args.shard_size if args.shard_size is not None
+                else DEFAULT_SHARD_BS
+            ),
+            chunk_sessions=(
+                args.chunk_size if args.chunk_size is not None
+                else DEFAULT_SHARD_CHUNK_SESSIONS
+            ),
+            executor=executor,
+            cache=ctx.cache,
+            resume=args.resume,
+            telemetry=ctx.telemetry,
+        )
+    summary = result.summary()
+    print(
+        f"campaign: {summary['sessions']} sessions over {args.bs} BSs, "
+        f"{args.days} day(s) in {summary['shards']} shard(s) "
+        f"({summary['resumed_shards']} resumed, "
+        f"{summary['computed_shards']} computed)"
+    )
+    print(f"total traffic: {summary['volume_gb']:.1f} GB")
+    print(f"distinct sessions (HLL): ~{summary['distinct_estimate']:.0f}")
+    print(f"aggregate digest: {summary['digest']}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(result.aggregate.canonical_json())
+        print(f"aggregate: {args.output}")
+    if args.verify_aggregates:
+        from .campaign.fidelity import evaluate_aggregate
+        from .io.tables import print_table
+        from .verify import Baseline, default_baseline_path
+
+        path = default_baseline_path()
+        report = evaluate_aggregate(result.aggregate, Baseline.load(path))
+        print_table(
+            ["claim", "value", "lo", "hi", "verdict"],
+            [
+                [r.claim, r.value, r.lo, r.hi, "pass" if r.passed else "FAIL"]
+                for r in report.results
+            ],
+            title=f"Aggregate fidelity (seed {ctx.seed}, baseline {path})",
+        )
+        print("verdict:", report.summary()["verdict"])
+        if not report.ok:
+            return 1
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace, ctx: RunContext) -> int:
     from .io.tables import print_table
 
@@ -529,6 +646,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "fit": _cmd_fit,
         "generate": _cmd_generate,
+        "campaign": _cmd_campaign,
         "validate": _cmd_validate,
         "verify": _cmd_verify,
         "reproduce": _cmd_reproduce,

@@ -180,6 +180,24 @@ def unit_rng(root_seed: int, day: int, bs_id: int) -> np.random.Generator:
 _SFC_STATE_CACHE: dict[tuple[int, int, int], dict] = {}
 
 
+def clear_unit_memos() -> None:
+    """Drop the per-process unit seed/state memos.
+
+    The memos are content-keyed pure functions of ``(root_seed, day,
+    bs_id)`` and only pay off when the same unit is generated *again* in
+    this process — repeated benchmark passes, regenerated spool chunks.
+    A one-pass campaign never revisits a unit, so every entry is dead
+    weight (~1 KB/unit, up to the 2^16 cap): long-lived campaign workers
+    call this between shards to keep resident memory bounded by the
+    shard, not by the number of units ever generated.  Clearing is
+    always safe — it costs recomputation, never determinism.
+    """
+    # repro-lint: disable-next-line=P204 -- content-keyed per-process memo; clearing only costs recomputation
+    _SEED_CACHE.clear()
+    # repro-lint: disable-next-line=P204 -- content-keyed per-process memo; clearing only costs recomputation
+    _SFC_STATE_CACHE.clear()
+
+
 def _unit_generator(
     root_seed: int, day: int, bs_id: int
 ) -> np.random.Generator:
@@ -1242,6 +1260,31 @@ class TrafficGenerator:
         finally:
             if owned is not None:
                 owned.close()
+
+    def generate_units(
+        self,
+        units: Sequence[tuple[int, int]],
+        seed: int | np.integer | np.random.Generator,
+        *,
+        arena: SessionArena,
+        executor: SerialExecutor | ParallelExecutor | None = None,
+    ) -> SessionTable:
+        """Generate an explicit (day, BS) unit list into a caller's arena.
+
+        Every unit runs on its own spawned seed stream
+        (:func:`unit_seed`), so the rows are byte-identical to the same
+        units' slice of any full-campaign run under the same root seed —
+        the entry point the sharded campaign driver uses to synthesize
+        one shard at a time.  Rows are appended to ``arena`` (the caller
+        decides when to :meth:`~repro.dataset.records.SessionArena.reset`
+        it) and the returned table is a zero-copy view of the appended
+        range, valid until the arena is next reset.
+        """
+        runner = executor if executor is not None else SerialExecutor()
+        lo, hi = self._generate_chunk(
+            self.sampler(), list(units), coerce_root_seed(seed), runner, arena
+        )
+        return arena.view(lo, hi)
 
     # ------------------------------------------------------------------
     # Cache spooling

@@ -19,7 +19,12 @@ from typing import Iterable, Iterator
 from .rules import FileContext, Finding, Rule, register
 
 #: Layers that must stay free of wall clocks and ambient randomness.
-DETERMINISTIC_DIRS = ("src/repro/core", "src/repro/pipeline", "src/repro/io")
+DETERMINISTIC_DIRS = (
+    "src/repro/core",
+    "src/repro/pipeline",
+    "src/repro/io",
+    "src/repro/campaign",
+)
 
 #: Generator/simulator hot paths where array dtypes must be explicit.
 HOT_PATH_FILES = (

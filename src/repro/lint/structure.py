@@ -342,6 +342,7 @@ class PrintInComputeLayer(Rule):
         "src/repro/pipeline",
         "src/repro/verify",
         "src/repro/usecases",
+        "src/repro/campaign",
     )
 
     def applies_to(self, ctx: FileContext) -> bool:

@@ -18,10 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-#: The span kinds of the run hierarchy, outermost first.  ``profile`` marks
-#: an opt-in cProfile capture region; ``span`` is the generic fallback.
+#: The span kinds of the run hierarchy, outermost first.  ``campaign``
+#: wraps one sharded aggregate-only campaign (its executor/worker spans
+#: nest inside); ``profile`` marks an opt-in cProfile capture region;
+#: ``span`` is the generic fallback.
 SPAN_KINDS = (
     "run",
+    "campaign",
     "stage",
     "executor",
     "worker",

@@ -218,24 +218,44 @@ def measure_all(
     return measured
 
 
-def evaluate(measured: dict[str, float], baseline) -> FidelityReport:
+def evaluate(
+    measured: dict[str, float],
+    baseline,
+    claims: "list[str] | tuple[str, ...] | None" = None,
+) -> FidelityReport:
     """Judge measured statistics against a baseline's tolerance bands.
 
-    Every baseline claim must have been measured — a silently skipped claim
+    Every gated claim must have been measured — a silently skipped claim
     would let a regression of the measurement code itself pass the gate —
     and every measured statistic must have a band, so new statistics cannot
     ship ungated.  A non-finite measurement always fails its band.
+
+    ``claims`` (optional) restricts the gate to a named subset of the
+    baseline's claims — the hook aggregate-only verification uses
+    (:mod:`repro.campaign.fidelity`): a campaign that retained no sessions
+    can still be judged on every claim its merged sketches determine,
+    under the exact tolerance bands of the full gate.  The subset is
+    checked just as strictly: unknown names are rejected, and every named
+    claim must be measured.
     """
-    unknown = sorted(set(measured) - set(baseline.claims))
+    if claims is None:
+        gated = list(baseline.claims)
+    else:
+        foreign = sorted(set(claims) - set(baseline.claims))
+        if foreign:
+            raise CheckError(f"claims not in the baseline: {foreign}")
+        wanted = set(claims)
+        gated = [key for key in baseline.claims if key in wanted]
+    unknown = sorted(set(measured) - set(gated))
     if unknown:
         raise CheckError(
             f"measured statistics without a baseline band: {unknown}"
         )
-    missing = sorted(set(baseline.claims) - set(measured))
+    missing = sorted(set(gated) - set(measured))
     if missing:
         raise CheckError(f"baseline claims never measured: {missing}")
     results = []
-    for key in baseline.claims:
+    for key in gated:
         claim = baseline.claims[key]
         value = float(measured[key])
         passed = bool(

@@ -1,0 +1,1 @@
+"""Tests of the campaign aggregation layer (sketches, driver, fidelity)."""

@@ -1,0 +1,200 @@
+"""Campaign resume under faults: killed driver, corrupt checkpoints.
+
+Mirrors ``tests/core/test_spool_resume.py`` at the campaign layer: a
+driver process killed mid-campaign leaves a prefix of valid per-shard
+checkpoints behind; a torn or tampered checkpoint must be detected and
+recomputed, never trusted.  In every scenario the resumed campaign's
+merged aggregate must be **byte-identical** (same digest) to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.campaign.driver import CHECKPOINT_KIND, CHECKPOINT_SUFFIX
+from repro.core.arrivals import ArrivalModel
+from repro.core.generator import TrafficGenerator
+from repro.core.service_mix import ServiceMix
+from repro.io.cache import ArtifactCache
+from repro.io.params import save_release
+
+SEED = 11
+DAYS = 1
+N_BS = 10
+PRECISION = 10
+
+#: Arrival model every campaign in this module runs under.
+ARRIVAL = dict(peak_mu=2.0, peak_sigma=0.5, night_scale=0.4)
+
+#: Subprocess driver: same generator recipe as :func:`generator`, with an
+#: artificial per-shard delay so the parent can reliably kill it after the
+#: first checkpoint lands but before the campaign completes.
+_CHILD_SCRIPT = """
+import sys, time
+import repro.campaign.driver as driver
+from repro.campaign import run_campaign
+from repro.core.arrivals import ArrivalModel
+from repro.core.generator import TrafficGenerator
+from repro.core.service_mix import ServiceMix
+from repro.io.cache import ArtifactCache
+from repro.io.params import load_release
+
+release, cache_dir = sys.argv[1], sys.argv[2]
+bank, _ = load_release(release)
+arrival = ArrivalModel(peak_mu=2.0, peak_sigma=0.5, night_scale=0.4)
+mix = ServiceMix.from_table1().restricted_to(bank.services())
+generator = TrafficGenerator({{bs: arrival for bs in range({n_bs})}}, mix, bank)
+
+_real = driver._run_shard
+def _slowed(item):
+    time.sleep(0.2)
+    return _real(item)
+driver._run_shard = _slowed
+
+run_campaign(
+    generator, {days}, {seed}, shard_bs=1,
+    cache=ArtifactCache(cache_dir), hll_precision={precision},
+)
+"""
+
+
+@pytest.fixture(scope="module")
+def generator(bank):
+    mix = ServiceMix.from_table1().restricted_to(bank.services())
+    return TrafficGenerator(
+        {bs: ArrivalModel(**ARRIVAL) for bs in range(N_BS)}, mix, bank
+    )
+
+
+@pytest.fixture(scope="module")
+def release_file(bank, tmp_path_factory):
+    """The fitted bank on disk, for the killed subprocess to load."""
+    path = tmp_path_factory.mktemp("release") / "release.json"
+    save_release(path, bank)
+    return path
+
+
+@pytest.fixture(scope="module")
+def baseline_digest(generator):
+    """Digest of an uninterrupted run: the byte-identity reference."""
+    return run_campaign(
+        generator, DAYS, SEED, shard_bs=1, hll_precision=PRECISION
+    ).digest()
+
+
+def checkpoint_paths(cache_root) -> list:
+    """Every per-shard checkpoint currently in the cache, sorted."""
+    shard_dir = cache_root / CHECKPOINT_KIND
+    if not shard_dir.is_dir():
+        return []
+    return sorted(shard_dir.glob(f"*{CHECKPOINT_SUFFIX}"))
+
+
+def resume(generator, cache: ArtifactCache):
+    return run_campaign(
+        generator, DAYS, SEED, shard_bs=1, cache=cache, hll_precision=PRECISION
+    )
+
+
+class TestKilledDriver:
+    def test_killed_mid_campaign_resumes_byte_identical(
+        self, generator, release_file, baseline_digest, tmp_path
+    ):
+        """SIGKILL the driver after its first checkpoint, then resume."""
+        script = _CHILD_SCRIPT.format(
+            n_bs=N_BS, days=DAYS, seed=SEED, precision=PRECISION
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", script, str(release_file), str(tmp_path)],
+            env=env,
+            cwd=os.getcwd(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if checkpoint_paths(tmp_path) or child.poll() is not None:
+                    break
+                time.sleep(0.01)
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:  # pragma: no cover - cleanup guard
+                child.kill()
+                child.wait(timeout=30)
+        survived = checkpoint_paths(tmp_path)
+        assert survived, "child died before writing any checkpoint"
+        assert len(survived) < N_BS, "child finished before the kill"
+
+        result = resume(generator, ArtifactCache(tmp_path))
+        assert result.resumed_shards == len(survived)
+        assert result.computed_shards == N_BS - len(survived)
+        assert result.digest() == baseline_digest
+        assert len(checkpoint_paths(tmp_path)) == N_BS
+
+
+class TestCorruptCheckpoints:
+    @pytest.fixture()
+    def completed_cache(self, generator, tmp_path):
+        """A cache holding every shard checkpoint of a finished run."""
+        cache = ArtifactCache(tmp_path)
+        result = resume(generator, cache)
+        assert result.computed_shards == N_BS
+        return cache
+
+    def test_torn_checkpoint_recomputed_byte_identical(
+        self, generator, baseline_digest, completed_cache, tmp_path
+    ):
+        """A truncated checkpoint is detected, recomputed and rewritten."""
+        victim = checkpoint_paths(tmp_path)[2]
+        original = victim.read_bytes()
+        victim.write_bytes(original[: len(original) // 2])
+
+        result = resume(generator, completed_cache)
+        assert result.resumed_shards == N_BS - 1
+        assert result.computed_shards == 1
+        assert result.digest() == baseline_digest
+        assert victim.read_bytes() == original  # rebuilt, not trusted as-is
+
+    def test_tampered_format_version_recomputed(
+        self, generator, baseline_digest, completed_cache, tmp_path
+    ):
+        """Valid JSON of a foreign format version is rejected on load."""
+        victim = checkpoint_paths(tmp_path)[0]
+        original = victim.read_text(encoding="utf-8")
+        victim.write_text(
+            original.replace('"format":1', '"format":999'), encoding="utf-8"
+        )
+
+        result = resume(generator, completed_cache)
+        assert result.computed_shards == 1
+        assert result.digest() == baseline_digest
+        assert victim.read_text(encoding="utf-8") == original
+
+    def test_intact_checkpoints_not_rebuilt_on_resume(
+        self, generator, completed_cache, tmp_path
+    ):
+        """Resume touches only damaged checkpoints, never intact ones."""
+        paths = checkpoint_paths(tmp_path)
+        victim, intact = paths[-1], paths[:-1]
+        stamps = {p: p.stat().st_mtime_ns for p in intact}
+        victim.unlink()
+
+        result = resume(generator, completed_cache)
+        assert result.computed_shards == 1
+        assert victim.exists()
+        for path in intact:
+            assert path.stat().st_mtime_ns == stamps[path]
