@@ -29,6 +29,7 @@ from ..analysis.ranking import (
     top_k_session_fraction,
 )
 from ..verify.checks import CheckError, evaluate
+from ..verify.report import CheckResult, FidelityReport
 from .sketches import CampaignAggregate, SketchError
 
 #: The baseline claims a merged campaign aggregate fully determines.
@@ -85,13 +86,50 @@ def measure_aggregate(aggregate: CampaignAggregate) -> dict[str, float]:
     }
 
 
+def skipped_aggregate_report(baseline) -> FidelityReport:
+    """Deterministic per-claim ``skipped`` verdicts for an empty campaign.
+
+    An all-empty campaign (zero sessions in every shard) determines none
+    of the gated statistics — the day/night ratio and the top-20 share
+    would divide by zero.  Instead of erroring (or emitting NaN), every
+    :data:`AGGREGATE_CLAIMS` claim gets one skipped, passing
+    :class:`~repro.verify.report.CheckResult` carrying the baseline's own
+    band and a neutral placeholder value, so the report is a total
+    function of the aggregate and byte-identical across runs.
+    """
+    wanted = set(AGGREGATE_CLAIMS)
+    results = [
+        CheckResult(
+            claim=key,
+            statistic=key,
+            value=0.0,
+            lo=band.lo,
+            hi=band.hi,
+            passed=True,
+            provenance=band.provenance,
+            skipped=True,
+        )
+        for key, band in baseline.claims.items()
+        if key in wanted
+    ]
+    return FidelityReport(
+        results=results,
+        meta={"skipped_reason": "empty campaign: no sessions to measure"},
+    )
+
+
 def evaluate_aggregate(aggregate: CampaignAggregate, baseline):
     """Judge an aggregate's claims under the golden baseline's bands.
 
     Returns the same :class:`~repro.verify.report.FidelityReport` shape
     as the full gate, restricted to :data:`AGGREGATE_CLAIMS`; the bands
-    are the baseline's own, not relaxed copies.
+    are the baseline's own, not relaxed copies.  The all-empty campaign
+    — where no claim is measurable — yields the deterministic skipped
+    verdicts of :func:`skipped_aggregate_report` instead of a division
+    error.
     """
+    if aggregate.n_sessions == 0:
+        return skipped_aggregate_report(baseline)
     return evaluate(
         measure_aggregate(aggregate), baseline, claims=AGGREGATE_CLAIMS
     )

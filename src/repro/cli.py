@@ -21,6 +21,13 @@ independent per-(day, BS) seed-stream work units:
   them against the golden tolerance bands (exit 1 on any breach);
 * ``repro-traffic reproduce`` — regenerate a paper artefact at laptop
   scale;
+* ``repro-traffic serve`` — run the statistics service: ingest spooled
+  campaign checkpoints, merged aggregate JSON, model releases and
+  telemetry manifests into a SQLite aggregate store, then answer the
+  ``/v1`` query API (per-service shares, volume/duration PDFs, decile
+  arrival parameters, fidelity verdicts) for many concurrent clients
+  with sketch-digest ETags — strictly out-of-band: campaigns are
+  byte-identical whether or not a server ever ingested them;
 * ``repro-traffic report`` — render the telemetry of a previous run
   (manifest, stage table, metrics, slowest spans);
 * ``repro-traffic lint`` — run the AST-based invariant checker
@@ -244,6 +251,63 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_run_flags(rep, cache=False)
 
+    srv = sub.add_parser(
+        "serve",
+        help="serve ingested campaign aggregates over the /v1 query API",
+    )
+    srv.add_argument(
+        "--db", required=True,
+        help="SQLite aggregate-store path (created on first ingest)",
+    )
+    srv.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    srv.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default 8321; 0 picks an ephemeral port)",
+    )
+    srv.add_argument(
+        "--token", default=None,
+        help="bearer token required by POST /v1/submit "
+        "(unset leaves submissions disabled)",
+    )
+    srv.add_argument(
+        "--readonly", action="store_true",
+        help="refuse every mutating request, token or not",
+    )
+    srv.add_argument(
+        "--ingest-aggregate", action="append", default=[],
+        metavar="NAME=PATH",
+        help="ingest a merged aggregate JSON (campaign --output) "
+        "as campaign NAME (repeatable)",
+    )
+    srv.add_argument(
+        "--ingest-checkpoints", action="append", default=[],
+        metavar="NAME=CACHE_ROOT",
+        help="merge and ingest the campaign-shard checkpoints spooled "
+        "under a cache root (repeatable)",
+    )
+    srv.add_argument(
+        "--ingest-release", default=None, metavar="PATH",
+        help="ingest a model release's decile arrival parameters",
+    )
+    srv.add_argument(
+        "--ingest-manifest", action="append", default=[],
+        metavar="NAME=DIR",
+        help="attach a run's telemetry manifest (directory or "
+        "manifest.json) to campaign NAME (repeatable)",
+    )
+    srv.add_argument(
+        "--baseline", default=None,
+        help="fidelity baseline JSON (default: the checked-in "
+        "baselines/paper_claims.json)",
+    )
+    srv.add_argument(
+        "--ingest-only", action="store_true",
+        help="ingest, print the store contents and exit without serving",
+    )
+    _add_telemetry_flags(srv)
+
     rpt = sub.add_parser(
         "report", help="render the telemetry of a previous run"
     )
@@ -453,7 +517,11 @@ def _cmd_campaign(args: argparse.Namespace, ctx: RunContext) -> int:
         print_table(
             ["claim", "value", "lo", "hi", "verdict"],
             [
-                [r.claim, r.value, r.lo, r.hi, "pass" if r.passed else "FAIL"]
+                [
+                    r.claim, r.value, r.lo, r.hi,
+                    "skip" if r.skipped else
+                    ("pass" if r.passed else "FAIL"),
+                ]
                 for r in report.results
             ],
             title=f"Aggregate fidelity (seed {ctx.seed}, baseline {path})",
@@ -461,6 +529,105 @@ def _cmd_campaign(args: argparse.Namespace, ctx: RunContext) -> int:
         print("verdict:", report.summary()["verdict"])
         if not report.ok:
             return 1
+    return 0
+
+
+def _parse_ingest_pairs(
+    entries: list[str], flag: str
+) -> list[tuple[str, str]]:
+    """Split repeatable ``NAME=PATH`` ingest flags, rejecting malformed ones."""
+    pairs = []
+    for entry in entries:
+        name, sep, path = entry.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(
+                f"error: {flag} expects NAME=PATH, got {entry!r}"
+            )
+        pairs.append((name, path))
+    return pairs
+
+
+def _cmd_serve(args: argparse.Namespace, ctx: RunContext) -> int:
+    from .serve import DEFAULT_PORT, AggregateStore, ServeApp, make_server
+    from .serve.store import StoreError
+
+    telemetry = ctx.telemetry
+    baseline = None
+    if args.baseline:
+        from .verify import Baseline
+
+        baseline = Baseline.load(args.baseline)
+    store = AggregateStore(args.db, baseline=baseline)
+
+    aggregates = _parse_ingest_pairs(
+        args.ingest_aggregate, "--ingest-aggregate"
+    )
+    checkpoints = _parse_ingest_pairs(
+        args.ingest_checkpoints, "--ingest-checkpoints"
+    )
+    manifests = _parse_ingest_pairs(
+        args.ingest_manifest, "--ingest-manifest"
+    )
+    try:
+        if aggregates or checkpoints or manifests or args.ingest_release:
+            with telemetry.span("serve:ingest", kind="serve") as span:
+                for name, path in aggregates:
+                    digest = store.ingest_aggregate_file(name, path)
+                    print(f"ingested aggregate {name}: digest {digest}")
+                for name, root in checkpoints:
+                    digest, n = store.ingest_checkpoints(name, root)
+                    print(
+                        f"ingested {n} checkpoint(s) as {name}: "
+                        f"digest {digest}"
+                    )
+                for name, path in manifests:
+                    store.ingest_manifest_file(name, path)
+                    print(f"attached manifest to {name}")
+                if args.ingest_release:
+                    store.ingest_release(args.ingest_release)
+                    print(f"ingested release: {args.ingest_release}")
+                span.attrs["campaigns"] = len(store.campaign_names())
+            telemetry.metrics.counter("serve.ingested").inc(
+                len(aggregates) + len(checkpoints)
+            )
+    except StoreError as exc:
+        print(f"ingest error: {exc}", file=sys.stderr)
+        return 2
+    names = store.campaign_names()
+    telemetry.metrics.gauge("serve.campaigns").set(len(names))
+    print(
+        f"store {args.db}: {len(names)} campaign(s)"
+        + (f" ({', '.join(names)})" if names else "")
+    )
+    if args.ingest_only:
+        return 0
+
+    app = ServeApp(
+        store,
+        token=args.token,
+        readonly=args.readonly,
+        telemetry=telemetry,
+    )
+    port = args.port if args.port is not None else DEFAULT_PORT
+    server = make_server(args.host, port, app)
+    mode = "read-only" if args.readonly else (
+        "submit enabled" if args.token else "submit disabled"
+    )
+    print(
+        f"serving on http://{args.host}:{server.server_port}/v1 ({mode}); "
+        f"Ctrl-C to stop"
+    )
+    with telemetry.span(
+        "serve:listen",
+        kind="serve",
+        attrs={"port": server.server_port, "readonly": args.readonly},
+    ):
+        try:
+            server.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
     return 0
 
 
@@ -647,6 +814,7 @@ def main(argv: list[str] | None = None) -> int:
         "fit": _cmd_fit,
         "generate": _cmd_generate,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
         "validate": _cmd_validate,
         "verify": _cmd_verify,
         "reproduce": _cmd_reproduce,

@@ -206,12 +206,18 @@ class ModuleMutableMutation(Rule):
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        """Scope: the deterministic compute layers."""
+        """Scope: the deterministic compute layers and the serving layer.
+
+        ``serve`` is included because its threaded request handlers make
+        module-level mutable state a data race, not just a determinism
+        hazard.
+        """
         return ctx.in_dirs(
             "src/repro/core",
             "src/repro/pipeline",
             "src/repro/io",
             "src/repro/dataset",
+            "src/repro/serve",
         )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:

@@ -343,6 +343,7 @@ class PrintInComputeLayer(Rule):
         "src/repro/verify",
         "src/repro/usecases",
         "src/repro/campaign",
+        "src/repro/serve",
     )
 
     def applies_to(self, ctx: FileContext) -> bool:

@@ -20,11 +20,13 @@ from typing import Any
 
 #: The span kinds of the run hierarchy, outermost first.  ``campaign``
 #: wraps one sharded aggregate-only campaign (its executor/worker spans
-#: nest inside); ``profile`` marks an opt-in cProfile capture region;
-#: ``span`` is the generic fallback.
+#: nest inside); ``serve`` wraps one statistics-service lifetime (ingest
+#: plus request loop of ``repro-traffic serve``); ``profile`` marks an
+#: opt-in cProfile capture region; ``span`` is the generic fallback.
 SPAN_KINDS = (
     "run",
     "campaign",
+    "serve",
     "stage",
     "executor",
     "worker",

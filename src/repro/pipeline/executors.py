@@ -39,8 +39,16 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
-#: ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.
-_RSS_TO_MB = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+def _rss_to_mb(platform: str | None = None) -> float:
+    """Divisor turning ``ru_maxrss`` into MiB on the given platform.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.  Derived per
+    call (not frozen at import time) so the unit always tracks the
+    platform the process actually reports for — and so both branches are
+    testable under a mocked ``sys.platform``.
+    """
+    current = sys.platform if platform is None else platform
+    return 1024.0 * 1024.0 if current == "darwin" else 1024.0
 
 
 def peak_rss_mb() -> float:
@@ -49,7 +57,7 @@ def peak_rss_mb() -> float:
     Monotone by construction (``ru_maxrss`` never decreases), so
     per-phase comparisons need a fresh process per phase.
     """
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / _RSS_TO_MB
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / _rss_to_mb()
 
 
 class ExecutorError(RuntimeError):

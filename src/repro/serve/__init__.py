@@ -1,0 +1,44 @@
+"""Statistics-as-a-service: ingest + query API over campaign aggregates.
+
+The serving layer turns the batch CLI into a system that answers
+statistical queries for many concurrent clients without touching the
+generator, mirroring the aggregator → token-authenticated submit →
+DB-backed query webservice split of production measurement stacks:
+
+* :mod:`repro.serve.store` — the SQLite-backed
+  :class:`~repro.serve.store.AggregateStore`: ingests spooled shard
+  checkpoints, merged aggregate JSON, model releases and telemetry
+  manifests, re-verifying every aggregate's canonical digest, and
+  precomputes the query documents atomically per ingest;
+* :mod:`repro.serve.views` — pure builders of those documents, float-
+  identical to the batch fidelity path on the same sketches;
+* :mod:`repro.serve.http` — the dependency-free threaded WSGI query API
+  (``/v1/...``) with sketch-digest ETags and 304 revalidation;
+* :mod:`repro.serve.schema` — the JSONL submit-stream schema and its
+  validator;
+* :mod:`repro.serve.openapi` — the checked-in OpenAPI contract
+  (``schemas/openapi-serve.json``) plus a dependency-free response
+  validator for CI.
+
+Serving is strictly out-of-band: ingest reads finished campaign
+artifacts, so campaign outputs are byte-identical whether or not a
+server ever consumed them.
+"""
+
+from .http import DEFAULT_PORT, ServeApp, make_server
+from .openapi import openapi_spec, validate_response
+from .schema import SubmitSchemaError, validate_submission
+from .store import AggregateStore, DigestMismatchError, StoreError
+
+__all__ = [
+    "AggregateStore",
+    "DEFAULT_PORT",
+    "DigestMismatchError",
+    "ServeApp",
+    "StoreError",
+    "SubmitSchemaError",
+    "make_server",
+    "openapi_spec",
+    "validate_response",
+    "validate_submission",
+]

@@ -1,0 +1,422 @@
+"""Dependency-free threaded HTTP query API over the aggregate store.
+
+A plain WSGI application (:class:`ServeApp`) on the stdlib
+``wsgiref``/``socketserver`` stack — no web framework — serving the five
+endpoint families of the statistics service:
+
+========================  ====================================================
+``GET /v1/campaigns``     ingested campaigns (digests, sizes, manifests)
+``GET /v1/services/shares``  per-service session/traffic shares (Table 1/Fig 4)
+``GET /v1/pdf/volume``    campaign volume PDF on the global log grid
+``GET /v1/pdf/duration``  campaign duration PDF on the Section 3.2 bins
+``GET /v1/arrivals/deciles``  decile arrival parameters of the model release
+``GET /v1/fidelity``      aggregate-only fidelity verdicts
+``POST /v1/submit``       token-authenticated JSONL ingest
+========================  ====================================================
+
+Caching: every response carries a strong ``ETag`` derived from the
+underlying sketch digest (:func:`repro.serve.views.document_etag`); a
+request repeating the tag via ``If-None-Match`` is answered ``304 Not
+Modified`` with no body.  ``/v1/campaigns`` and ``/v1/services/shares``
+paginate with ``offset``/``limit`` query parameters; the page is folded
+into the tag, so each page caches independently.
+
+Submission: ``POST /v1/submit`` requires ``Authorization: Bearer <token>``
+(401 otherwise), validates the JSONL body against
+:mod:`repro.serve.schema` (400), rejects digest mismatches (409), and is
+refused outright in ``--readonly`` mode or when no token is configured
+(403).  Ingest is atomic in the store, so concurrent readers never
+observe a torn snapshot.
+
+Telemetry is optional and strictly out-of-band: with a telemetry
+attached, the app counts ``serve.requests``, ``serve.not_modified``,
+``serve.submissions`` and ``serve.rejected`` and keeps the
+``serve.campaigns`` gauge current — responses are byte-identical either
+way.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import socketserver
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+from urllib.parse import parse_qs
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer
+from wsgiref.simple_server import make_server as _wsgiref_make_server
+
+from .schema import SubmitSchemaError
+from .store import (
+    ARRIVALS_FAMILY,
+    AggregateStore,
+    DigestMismatchError,
+    StoreError,
+)
+from .views import RELEASE_SCOPE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import Telemetry
+
+#: Default TCP port of the statistics service.
+DEFAULT_PORT = 8321
+
+#: Upper bound on accepted submission bodies (64 MiB of JSONL).
+MAX_SUBMIT_BYTES = 64 * 1024 * 1024
+
+_STATUS_LINES = {
+    200: "200 OK",
+    304: "304 Not Modified",
+    400: "400 Bad Request",
+    401: "401 Unauthorized",
+    403: "403 Forbidden",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    409: "409 Conflict",
+    413: "413 Payload Too Large",
+    500: "500 Internal Server Error",
+}
+
+
+class ServeError(RuntimeError):
+    """Raised on invalid server configuration."""
+
+
+def _salted_etag(etag: str, offset: int | None, limit: int | None) -> str:
+    """Fold pagination into a document tag so each page caches alone."""
+    if offset is None and limit is None:
+        return etag
+    return f"{etag}-p{offset if offset is not None else 0}" + (
+        f"n{limit}" if limit is not None else ""
+    )
+
+
+def _etag_matches(header: str | None, etag: str) -> bool:
+    """``If-None-Match`` semantics for one strong entity tag."""
+    if header is None:
+        return False
+    if header.strip() == "*":
+        return True
+    candidates = [tag.strip() for tag in header.split(",")]
+    return f'"{etag}"' in candidates or etag in candidates
+
+
+class ServeApp:
+    """The WSGI application answering the ``/v1`` query API.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.serve.store.AggregateStore` to serve from.
+    token:
+        Bearer token required by ``POST /v1/submit``; with no token the
+        submit endpoint is disabled (403).
+    readonly:
+        Refuse every mutating request (403), token or not.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` for the
+        ``serve.*`` metrics; never changes a response byte.
+    """
+
+    def __init__(
+        self,
+        store: AggregateStore,
+        *,
+        token: str | None = None,
+        readonly: bool = False,
+        telemetry: "Telemetry | None" = None,
+    ):
+        self.store = store
+        self.token = token
+        self.readonly = bool(readonly)
+        self.telemetry = telemetry
+        self._routes: dict[str, Callable[[dict, dict], tuple]] = {
+            "/v1/campaigns": self._get_campaigns,
+            "/v1/services/shares": self._get_shares,
+            "/v1/pdf/volume": self._get_volume_pdf,
+            "/v1/pdf/duration": self._get_duration_pdf,
+            "/v1/arrivals/deciles": self._get_arrivals,
+            "/v1/fidelity": self._get_fidelity,
+            "/v1/openapi.json": self._get_openapi,
+        }
+
+    # -- metrics (out-of-band) -----------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name).inc(amount)
+
+    def _gauge_campaigns(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.gauge("serve.campaigns").set(
+                len(self.store.campaign_names())
+            )
+
+    # -- WSGI entry point ------------------------------------------------
+    def __call__(self, environ: dict, start_response) -> Iterable[bytes]:
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/")
+        self._count("serve.requests")
+        try:
+            if path == "/v1/submit":
+                if method != "POST":
+                    return self._error(start_response, 405, "POST only")
+                return self._post_submit(environ, start_response)
+            handler = self._routes.get(path)
+            if handler is None:
+                return self._error(
+                    start_response, 404, f"no such endpoint: {path}"
+                )
+            if method not in ("GET", "HEAD"):
+                return self._error(start_response, 405, "GET only")
+            query = {
+                key: values[-1]
+                for key, values in parse_qs(
+                    environ.get("QUERY_STRING", "")
+                ).items()
+            }
+            status, document, etag = handler(environ, query)
+            if status != 200:
+                return self._error(start_response, status, document)
+            if _etag_matches(environ.get("HTTP_IF_NONE_MATCH"), etag):
+                self._count("serve.not_modified")
+                start_response(
+                    _STATUS_LINES[304], [("ETag", f'"{etag}"')]
+                )
+                return [b""]
+            body = (
+                document
+                if isinstance(document, str)
+                else json.dumps(
+                    document, sort_keys=True, separators=(",", ":")
+                )
+            ).encode("utf-8")
+            start_response(
+                _STATUS_LINES[200],
+                [
+                    ("Content-Type", "application/json"),
+                    ("Content-Length", str(len(body))),
+                    ("ETag", f'"{etag}"'),
+                    ("Cache-Control", "no-cache"),
+                ],
+            )
+            return [body] if method == "GET" else [b""]
+        except _BadRequest as exc:
+            return self._error(start_response, 400, str(exc))
+
+    # -- helpers ---------------------------------------------------------
+    def _error(
+        self, start_response, status: int, message: str
+    ) -> Iterable[bytes]:
+        body = json.dumps(
+            {"error": message, "status": status}, sort_keys=True
+        ).encode("utf-8")
+        start_response(
+            _STATUS_LINES[status],
+            [
+                ("Content-Type", "application/json"),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
+
+    def _resolve_campaign(self, query: dict) -> str | tuple[int, str]:
+        """The campaign a query addresses: explicit, or the only one."""
+        name = query.get("campaign")
+        if name:
+            return name
+        names = self.store.campaign_names()
+        if len(names) == 1:
+            return names[0]
+        if not names:
+            return 404, "no campaigns ingested"
+        return (
+            400,
+            f"campaign parameter required (ingested: {', '.join(names)})",
+        )
+
+    @staticmethod
+    def _pagination(query: dict) -> tuple[int | None, int | None]:
+        offset = limit = None
+        try:
+            if "offset" in query:
+                offset = int(query["offset"])
+            if "limit" in query:
+                limit = int(query["limit"])
+        except ValueError as exc:
+            raise _BadRequest(f"invalid pagination parameter: {exc}") from exc
+        if (offset is not None and offset < 0) or (
+            limit is not None and limit < 0
+        ):
+            raise _BadRequest("offset and limit must be >= 0")
+        return offset, limit
+
+    @staticmethod
+    def _paginate(
+        document: dict, key: str, offset: int | None, limit: int | None
+    ) -> dict:
+        """Slice a document's item array, annotating the page window."""
+        if offset is None and limit is None:
+            return document
+        items = document[key]
+        lo = offset or 0
+        hi = lo + limit if limit is not None else None
+        page = dict(document)
+        page[key] = items[lo:hi]
+        page["offset"] = lo
+        page["total"] = len(items)
+        if limit is not None:
+            page["limit"] = limit
+        return page
+
+    def _stored_document(
+        self, scope: str, family: str, query: dict, items_key: str | None
+    ) -> tuple[int, Any, str]:
+        stored = self.store.document(scope, family)
+        if stored is None:
+            return 404, f"no {family} document for {scope!r}", ""
+        etag, body = stored
+        offset, limit = self._pagination(query)
+        if items_key is None or (offset is None and limit is None):
+            return 200, body, etag
+        document = self._paginate(
+            json.loads(body), items_key, offset, limit
+        )
+        return 200, document, _salted_etag(etag, offset, limit)
+
+    # -- GET endpoint families -------------------------------------------
+    def _get_campaigns(self, environ: dict, query: dict) -> tuple:
+        offset, limit = self._pagination(query)
+        entries = self.store.campaigns()
+        document = self._paginate(
+            {"campaigns": entries, "count": len(entries)},
+            "campaigns",
+            offset,
+            limit,
+        )
+        etag = _salted_etag(self.store.listing_etag(), offset, limit)
+        return 200, document, etag
+
+    def _get_shares(self, environ: dict, query: dict) -> tuple:
+        scope = self._resolve_campaign(query)
+        if isinstance(scope, tuple):
+            return scope[0], scope[1], ""
+        return self._stored_document(
+            scope, "services/shares", query, "services"
+        )
+
+    def _get_volume_pdf(self, environ: dict, query: dict) -> tuple:
+        scope = self._resolve_campaign(query)
+        if isinstance(scope, tuple):
+            return scope[0], scope[1], ""
+        return self._stored_document(scope, "pdf/volume", query, None)
+
+    def _get_duration_pdf(self, environ: dict, query: dict) -> tuple:
+        scope = self._resolve_campaign(query)
+        if isinstance(scope, tuple):
+            return scope[0], scope[1], ""
+        return self._stored_document(scope, "pdf/duration", query, None)
+
+    def _get_arrivals(self, environ: dict, query: dict) -> tuple:
+        return self._stored_document(
+            RELEASE_SCOPE, ARRIVALS_FAMILY, query, None
+        )
+
+    def _get_fidelity(self, environ: dict, query: dict) -> tuple:
+        scope = self._resolve_campaign(query)
+        if isinstance(scope, tuple):
+            return scope[0], scope[1], ""
+        return self._stored_document(scope, "fidelity", query, None)
+
+    def _get_openapi(self, environ: dict, query: dict) -> tuple:
+        from .openapi import render_spec, spec_etag
+
+        return 200, render_spec(), spec_etag()
+
+    # -- POST /v1/submit --------------------------------------------------
+    def _authorized(self, environ: dict) -> bool:
+        header = environ.get("HTTP_AUTHORIZATION", "")
+        scheme, _, credential = header.partition(" ")
+        return scheme.lower() == "bearer" and hmac.compare_digest(
+            credential.strip(), self.token or ""
+        )
+
+    def _post_submit(self, environ: dict, start_response) -> Iterable[bytes]:
+        if self.readonly:
+            self._count("serve.rejected")
+            return self._error(
+                start_response, 403, "server is read-only"
+            )
+        if not self.token:
+            self._count("serve.rejected")
+            return self._error(
+                start_response, 403,
+                "submissions disabled (no token configured)",
+            )
+        if not self._authorized(environ):
+            self._count("serve.rejected")
+            return self._error(
+                start_response, 401, "missing or invalid bearer token"
+            )
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length > MAX_SUBMIT_BYTES:
+            self._count("serve.rejected")
+            return self._error(start_response, 413, "submission too large")
+        raw = environ["wsgi.input"].read(length) if length else b""
+        try:
+            outcome = self.store.submit(raw.decode("utf-8", errors="strict"))
+        except DigestMismatchError as exc:
+            self._count("serve.rejected")
+            return self._error(start_response, 409, str(exc))
+        except (SubmitSchemaError, StoreError, UnicodeDecodeError) as exc:
+            self._count("serve.rejected")
+            return self._error(start_response, 400, str(exc))
+        self._count("serve.submissions")
+        self._gauge_campaigns()
+        body = json.dumps(
+            outcome, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        start_response(
+            _STATUS_LINES[200],
+            [
+                ("Content-Type", "application/json"),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
+
+
+class _BadRequest(ValueError):
+    """Internal signal: malformed query parameters (HTTP 400)."""
+
+
+class ThreadingWSGIServer(socketserver.ThreadingMixIn, WSGIServer):
+    """One thread per request; daemonic so shutdown never hangs."""
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Request handler with access logging routed through telemetry."""
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        app = getattr(self.server, "_serve_app", None)
+        telemetry = getattr(app, "telemetry", None)
+        if telemetry is not None and telemetry.verbosity >= 2:
+            telemetry.message(format % args, level="debug")
+
+
+def make_server(
+    host: str, port: int, app: ServeApp
+) -> ThreadingWSGIServer:
+    """A threaded WSGI server bound to ``host:port`` running ``app``."""
+    server = _wsgiref_make_server(
+        host,
+        port,
+        app,
+        server_class=ThreadingWSGIServer,
+        handler_class=_QuietHandler,
+    )
+    server._serve_app = app  # type: ignore[attr-defined]
+    return server

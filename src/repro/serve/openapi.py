@@ -1,0 +1,505 @@
+"""OpenAPI description of the query API, plus a dependency-free validator.
+
+The canonical machine-readable contract of :mod:`repro.serve.http` is the
+checked-in ``schemas/openapi-serve.json``, generated from the component
+schemas below by :func:`openapi_spec` (the test suite asserts the file is
+in sync; regenerate with ``python -m repro.serve.openapi``).  The schemas
+use a deliberately restricted JSON-Schema subset — ``type``, ``enum``,
+``properties``/``required``/``additionalProperties``, ``items`` and local
+``$ref`` — so :func:`validate_response` can enforce the contract without
+a jsonschema package: CI curls every endpoint and validates the body
+right here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Version tag of the API description (bump on incompatible change).
+OPENAPI_VERSION_TAG = "1.0.0"
+
+#: Repository-relative path of the checked-in OpenAPI document.
+SPEC_PATH = "schemas/openapi-serve.json"
+
+
+class OpenApiError(ValueError):
+    """Raised when a response does not conform to the API contract."""
+
+
+def _array(items: Mapping[str, Any]) -> dict:
+    return {"type": "array", "items": dict(items)}
+
+
+def _object(
+    properties: Mapping[str, Any],
+    required: list[str],
+    *,
+    additional: bool = False,
+) -> dict:
+    return {
+        "type": "object",
+        "properties": {k: dict(v) for k, v in properties.items()},
+        "required": sorted(required),
+        "additionalProperties": additional,
+    }
+
+
+_REF = "#/components/schemas/"
+
+_PAGINATION_PROPS = {
+    "offset": {"type": "integer"},
+    "limit": {"type": "integer"},
+    "total": {"type": "integer"},
+}
+
+
+def _component_schemas() -> dict[str, dict]:
+    """Every named schema of the API contract."""
+    return {
+        "Error": _object(
+            {"error": {"type": "string"}, "status": {"type": "integer"}},
+            ["error", "status"],
+        ),
+        "CampaignEntry": _object(
+            {
+                "name": {"type": "string"},
+                "digest": {"type": "string"},
+                "sessions": {"type": "integer"},
+                "units": {"type": "integer"},
+                "shards": {"type": "integer"},
+                "manifest": {"type": ["object", "null"]},
+            },
+            ["name", "digest", "sessions", "units", "shards", "manifest"],
+        ),
+        "CampaignList": _object(
+            {
+                "campaigns": _array({"$ref": _REF + "CampaignEntry"}),
+                "count": {"type": "integer"},
+                **_PAGINATION_PROPS,
+            },
+            ["campaigns", "count"],
+        ),
+        "ServiceShare": _object(
+            {
+                "service": {"type": "string"},
+                "session_share": {"type": "number"},
+                "traffic_share": {"type": "number"},
+            },
+            ["service", "session_share", "traffic_share"],
+        ),
+        "SharesDocument": _object(
+            {
+                "campaign": {"type": "string"},
+                "digest": {"type": "string"},
+                "sessions": {"type": "integer"},
+                "total_volume_mb": {"type": "number"},
+                "services": _array({"$ref": _REF + "ServiceShare"}),
+                **_PAGINATION_PROPS,
+            },
+            [
+                "campaign",
+                "digest",
+                "sessions",
+                "total_volume_mb",
+                "services",
+            ],
+        ),
+        "PdfDocument": _object(
+            {
+                "campaign": {"type": "string"},
+                "digest": {"type": "string"},
+                "axis": {
+                    "type": "string",
+                    "enum": ["log10_volume_mb", "duration_s"],
+                },
+                "edges": _array({"type": "number"}),
+                "density": _array({"type": "number"}),
+                "samples": {"type": "integer"},
+            },
+            ["campaign", "digest", "axis", "edges", "density", "samples"],
+        ),
+        "ArrivalDecile": _object(
+            {
+                "label": {"type": "string"},
+                "peak_mu": {"type": "number"},
+                "peak_sigma": {"type": "number"},
+                "night_scale": {"type": "number"},
+                "night_shape": {"type": "number"},
+            },
+            [
+                "label",
+                "peak_mu",
+                "peak_sigma",
+                "night_scale",
+                "night_shape",
+            ],
+        ),
+        "ArrivalsDocument": _object(
+            {
+                "release_digest": {"type": "string"},
+                "deciles": _array({"$ref": _REF + "ArrivalDecile"}),
+            },
+            ["release_digest", "deciles"],
+        ),
+        "FidelityCheck": _object(
+            {
+                "claim": {"type": "string"},
+                "statistic": {"type": "string"},
+                "value": {"type": "number"},
+                "lo": {"type": "number"},
+                "hi": {"type": "number"},
+                "passed": {"type": "boolean"},
+                "skipped": {"type": "boolean"},
+                "provenance": {"type": "string"},
+            },
+            [
+                "claim",
+                "statistic",
+                "value",
+                "lo",
+                "hi",
+                "passed",
+                "skipped",
+                "provenance",
+            ],
+        ),
+        "FidelitySummary": _object(
+            {
+                "checks": {"type": "integer"},
+                "claims": {"type": "integer"},
+                "failed": {"type": "integer"},
+                "skipped": {"type": "integer"},
+                "verdict": {
+                    "type": "string",
+                    "enum": ["OK", "FAILED", "SKIPPED"],
+                },
+            },
+            ["checks", "claims", "failed", "skipped", "verdict"],
+        ),
+        "FidelityDocument": _object(
+            {
+                "campaign": {"type": "string"},
+                "digest": {"type": "string"},
+                "claims": _array({"type": "string"}),
+                "summary": {"$ref": _REF + "FidelitySummary"},
+                "checks": _array({"$ref": _REF + "FidelityCheck"}),
+            },
+            ["campaign", "digest", "claims", "summary", "checks"],
+        ),
+        "SubmitResult": _object(
+            {
+                "ingested": {"type": "integer"},
+                "campaigns": _array({"type": "string"}),
+                "aggregate": {"type": "integer"},
+                "manifest": {"type": "integer"},
+            },
+            ["ingested", "campaigns"],
+        ),
+    }
+
+
+def _json_body(ref: str) -> dict:
+    return {
+        "content": {
+            "application/json": {"schema": {"$ref": _REF + ref}}
+        }
+    }
+
+
+def _error_responses(*codes: int) -> dict[str, dict]:
+    descriptions = {
+        400: "malformed request",
+        401: "missing or invalid bearer token",
+        403: "submissions disabled or server read-only",
+        404: "unknown campaign or missing document",
+        409: "digest mismatch",
+    }
+    return {
+        str(code): {
+            "description": descriptions[code],
+            **_json_body("Error"),
+        }
+        for code in codes
+    }
+
+
+_NOT_MODIFIED = {
+    "304": {"description": "entity tag still current (no body)"}
+}
+
+_CAMPAIGN_PARAM = {
+    "name": "campaign",
+    "in": "query",
+    "required": False,
+    "description": "campaign name (optional when exactly one is ingested)",
+    "schema": {"type": "string"},
+}
+
+_PAGE_PARAMS = [
+    {
+        "name": "offset",
+        "in": "query",
+        "required": False,
+        "schema": {"type": "integer", "minimum": 0},
+    },
+    {
+        "name": "limit",
+        "in": "query",
+        "required": False,
+        "schema": {"type": "integer", "minimum": 0},
+    },
+]
+
+
+def openapi_spec() -> dict[str, Any]:
+    """The full OpenAPI 3.1 document of the query API."""
+
+    def get_op(
+        summary: str,
+        ref: str,
+        *,
+        campaign: bool = True,
+        paged: bool = False,
+        errors: tuple[int, ...] = (404,),
+    ) -> dict:
+        parameters: list[dict] = []
+        if campaign:
+            parameters.append(dict(_CAMPAIGN_PARAM))
+        if paged:
+            parameters.extend(dict(p) for p in _PAGE_PARAMS)
+        error_codes = tuple(errors) + ((400,) if campaign or paged else ())
+        return {
+            "get": {
+                "summary": summary,
+                "parameters": parameters,
+                "responses": {
+                    "200": {
+                        "description": summary,
+                        **_json_body(ref),
+                    },
+                    **_NOT_MODIFIED,
+                    **_error_responses(*sorted(set(error_codes))),
+                },
+            }
+        }
+
+    return {
+        "openapi": "3.1.0",
+        "info": {
+            "title": "repro-traffic statistics service",
+            "description": (
+                "Query API over ingested campaign aggregates: per-service "
+                "shares, volume/duration PDFs, decile arrival parameters "
+                "and fidelity verdicts, served from precomputed documents "
+                "with sketch-digest ETags."
+            ),
+            "version": OPENAPI_VERSION_TAG,
+        },
+        "paths": {
+            "/v1/campaigns": get_op(
+                "ingested campaigns",
+                "CampaignList",
+                campaign=False,
+                paged=True,
+                errors=(),
+            ),
+            "/v1/services/shares": get_op(
+                "per-service session and traffic shares",
+                "SharesDocument",
+                paged=True,
+            ),
+            "/v1/pdf/volume": get_op(
+                "campaign volume PDF (global log10 grid)", "PdfDocument"
+            ),
+            "/v1/pdf/duration": get_op(
+                "campaign duration PDF (Section 3.2 bins)", "PdfDocument"
+            ),
+            "/v1/arrivals/deciles": get_op(
+                "decile arrival parameters of the model release",
+                "ArrivalsDocument",
+                campaign=False,
+            ),
+            "/v1/fidelity": get_op(
+                "aggregate-only fidelity verdicts", "FidelityDocument"
+            ),
+            "/v1/submit": {
+                "post": {
+                    "summary": "token-authenticated JSONL ingest",
+                    "security": [{"bearerToken": []}],
+                    "requestBody": {
+                        "required": True,
+                        "content": {
+                            "application/jsonl": {
+                                "schema": {"type": "string"}
+                            }
+                        },
+                    },
+                    "responses": {
+                        "200": {
+                            "description": "submission applied atomically",
+                            **_json_body("SubmitResult"),
+                        },
+                        **_error_responses(400, 401, 403, 409),
+                    },
+                }
+            },
+        },
+        "components": {
+            "schemas": _component_schemas(),
+            "securitySchemes": {
+                "bearerToken": {"type": "http", "scheme": "bearer"}
+            },
+        },
+    }
+
+
+def render_spec() -> str:
+    """The checked-in spec file's exact text content."""
+    return json.dumps(openapi_spec(), indent=2, sort_keys=True) + "\n"
+
+
+def spec_etag() -> str:
+    """Entity tag of the served ``/v1/openapi.json`` document."""
+    return hashlib.sha256(render_spec().encode("utf-8")).hexdigest()[:32]
+
+
+# ----------------------------------------------------------------------
+# Dependency-free response validation (the restricted schema subset)
+# ----------------------------------------------------------------------
+def _json_type_of(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, dict):
+        return "object"
+    raise OpenApiError(f"value {value!r} is not a JSON value")
+
+
+def _resolve(schema: Mapping[str, Any], spec: Mapping[str, Any]) -> dict:
+    ref = schema.get("$ref")
+    if ref is None:
+        return dict(schema)
+    if not ref.startswith(_REF):
+        raise OpenApiError(f"unsupported $ref {ref!r}")
+    name = ref[len(_REF):]
+    try:
+        return dict(spec["components"]["schemas"][name])
+    except KeyError as exc:
+        raise OpenApiError(f"unresolvable $ref {ref!r}") from exc
+
+
+def _check(
+    schema: Mapping[str, Any],
+    value: Any,
+    spec: Mapping[str, Any],
+    where: str,
+) -> None:
+    schema = _resolve(schema, spec)
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = [expected] if isinstance(expected, str) else list(expected)
+        actual = _json_type_of(value)
+        if actual == "integer" and "number" in allowed:
+            actual = "number"
+        if actual not in allowed:
+            raise OpenApiError(
+                f"{where}: expected {'/'.join(allowed)}, got {actual}"
+            )
+    enum = schema.get("enum")
+    if enum is not None and value not in enum:
+        raise OpenApiError(f"{where}: value {value!r} not in {enum}")
+    if isinstance(value, dict) and "properties" in schema:
+        properties = schema["properties"]
+        for name in schema.get("required", ()):
+            if name not in value:
+                raise OpenApiError(
+                    f"{where}: missing required property {name!r}"
+                )
+        for name, item in value.items():
+            if name in properties:
+                _check(properties[name], item, spec, f"{where}.{name}")
+            elif not schema.get("additionalProperties", True):
+                raise OpenApiError(
+                    f"{where}: unexpected property {name!r}"
+                )
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _check(schema["items"], item, spec, f"{where}[{index}]")
+
+
+def validate_response(
+    path: str,
+    status: int,
+    payload: Any,
+    *,
+    method: str = "get",
+    spec: Mapping[str, Any] | None = None,
+) -> None:
+    """Validate one decoded response body against the API contract.
+
+    ``path`` is the endpoint path (e.g. ``/v1/fidelity``), ``status`` the
+    HTTP status the body came with.  Raises :class:`OpenApiError` on any
+    contract breach; a 304 must have no payload (pass ``None``).
+    """
+    document = openapi_spec() if spec is None else spec
+    try:
+        operation = document["paths"][path][method.lower()]
+    except KeyError as exc:
+        raise OpenApiError(
+            f"no {method.upper()} operation for {path}"
+        ) from exc
+    try:
+        response = operation["responses"][str(status)]
+    except KeyError as exc:
+        raise OpenApiError(
+            f"{method.upper()} {path} does not define status {status}"
+        ) from exc
+    content = response.get("content")
+    if content is None:
+        if payload is not None:
+            raise OpenApiError(
+                f"{method.upper()} {path} -> {status} must have no body"
+            )
+        return
+    schema = content["application/json"]["schema"]
+    _check(schema, payload, document, f"{path}[{status}]")
+
+
+def _main() -> int:
+    """Regenerate the checked-in spec, or validate a response file.
+
+    * no arguments — write ``schemas/openapi-serve.json``;
+    * ``check PATH STATUS FILE`` — validate a saved JSON response body
+      against the contract (used by the CI serve-smoke job).
+    """
+    import sys
+
+    if len(sys.argv) >= 2 and sys.argv[1] == "check":
+        _, _, path, status, body_file = sys.argv[:5]
+        payload = json.loads(Path(body_file).read_text(encoding="utf-8"))
+        validate_response(path, int(status), payload)
+        # repro-lint: disable-next-line=S305 -- module CLI output, no run telemetry exists here
+        print(f"{body_file}: conforms to {path} -> {status}")
+        return 0
+    target = Path(SPEC_PATH)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_spec())
+    # repro-lint: disable-next-line=S305 -- module CLI output, no run telemetry exists here
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(_main())

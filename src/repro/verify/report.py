@@ -38,6 +38,11 @@ class CheckResult:
         Whether ``lo <= value <= hi``.
     provenance:
         Paper figure/table/section the claim reproduces.
+    skipped:
+        The claim could not be measured on this input (e.g. an all-empty
+        campaign) and was deterministically skipped instead of judged;
+        a skipped check never fails the gate and its ``value`` is the
+        neutral ``0.0`` placeholder, not a measurement.
     """
 
     claim: str
@@ -47,6 +52,7 @@ class CheckResult:
     hi: float
     passed: bool
     provenance: str = ""
+    skipped: bool = False
 
     def to_dict(self) -> dict:
         """JSON-serializable rendering of the verdict."""
@@ -58,11 +64,12 @@ class CheckResult:
             "hi": self.hi,
             "passed": self.passed,
             "provenance": self.provenance,
+            "skipped": self.skipped,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "CheckResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (``skipped`` defaults to judged)."""
         try:
             return cls(
                 claim=str(payload["claim"]),
@@ -72,6 +79,7 @@ class CheckResult:
                 hi=float(payload["hi"]),
                 passed=bool(payload["passed"]),
                 provenance=str(payload.get("provenance", "")),
+                skipped=bool(payload.get("skipped", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReportError(f"malformed check result: {exc}") from exc
@@ -112,13 +120,30 @@ class FidelityReport:
                 return result
         raise ReportError(f"no statistic named {statistic!r} in the report")
 
+    def skipped(self) -> list[CheckResult]:
+        """The checks that were deterministically skipped, not judged."""
+        return [r for r in self.results if r.skipped]
+
     def summary(self) -> dict[str, Any]:
-        """Compact payload for the pipeline's stage-event mechanism."""
+        """Compact payload for the pipeline's stage-event mechanism.
+
+        The verdict is ``FAILED`` on any breach, ``SKIPPED`` when every
+        check was skipped (nothing was actually judged) and ``OK``
+        otherwise.
+        """
+        skipped = len(self.skipped())
+        if not self.ok:
+            verdict = "FAILED"
+        elif self.results and skipped == len(self.results):
+            verdict = "SKIPPED"
+        else:
+            verdict = "OK"
         return {
             "checks": len(self.results),
             "claims": len(self.claims()),
             "failed": len(self.failures()),
-            "verdict": "OK" if self.ok else "FAILED",
+            "skipped": skipped,
+            "verdict": verdict,
         }
 
     def record_metrics(self, metrics) -> None:
@@ -133,7 +158,10 @@ class FidelityReport:
         """
         metrics.counter("verify.checks").inc(len(self.results))
         metrics.counter("verify.failed").inc(len(self.failures()))
+        metrics.counter("verify.skipped").inc(len(self.skipped()))
         for result in self.results:
+            if result.skipped:
+                continue  # a placeholder value is not a measurement
             metrics.gauge(f"verify.value.{result.statistic}").set(
                 result.value
             )

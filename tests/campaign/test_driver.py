@@ -233,6 +233,35 @@ class TestAggregateFidelity:
         with pytest.raises(CheckError, match="empty"):
             measure_aggregate(CampaignAggregate.empty(precision=P))
 
+    def test_empty_campaign_evaluates_to_skipped_verdict(self):
+        from repro.verify import Baseline, default_baseline_path
+
+        baseline = Baseline.load(default_baseline_path())
+        report = evaluate_aggregate(
+            CampaignAggregate.empty(precision=P), baseline
+        )
+        assert report.ok  # skipped checks never fail the gate
+        assert report.summary()["verdict"] == "SKIPPED"
+        assert sorted(report.claims()) == sorted(AGGREGATE_CLAIMS)
+        for claim in AGGREGATE_CLAIMS:
+            result = report.result(claim)
+            band = baseline.claims[claim]
+            assert result.skipped
+            assert result.passed
+            assert (result.lo, result.hi) == (band.lo, band.hi)
+
+    def test_empty_campaign_skipped_report_is_deterministic(self):
+        from repro.verify import Baseline, default_baseline_path
+
+        baseline = Baseline.load(default_baseline_path())
+        first = evaluate_aggregate(
+            CampaignAggregate.empty(precision=P), baseline
+        )
+        second = evaluate_aggregate(
+            CampaignAggregate.empty(precision=P), baseline
+        )
+        assert first.to_dict() == second.to_dict()
+
     def test_unknown_claim_subset_rejected(self, reference):
         from repro.verify import Baseline, default_baseline_path
         from repro.verify.checks import CheckError, evaluate

@@ -198,3 +198,70 @@ class TestCorruptCheckpoints:
         assert victim.exists()
         for path in intact:
             assert path.stat().st_mtime_ns == stamps[path]
+
+
+class TestChunkBudgetIndependentResume:
+    """Regression: checkpoint identity must not depend on the chunk budget.
+
+    ``_shard_key`` deliberately excludes ``chunk_sessions`` — the budget
+    bounds worker memory, never the statistics.  A resume under a
+    *different* ``--chunk-size`` must therefore hit every checkpoint the
+    first run wrote (0 recomputed) and merge to the byte-identical
+    digest.  If the budget ever leaks into the cache key or the shard
+    aggregation, this test turns that regression into a hard failure.
+    """
+
+    @pytest.mark.parametrize("resume_chunk", [777, 999, 10_000])
+    def test_resume_with_different_chunk_size_hits_checkpoints(
+        self, generator, baseline_digest, tmp_path, resume_chunk
+    ):
+        cache = ArtifactCache(tmp_path)
+        first = run_campaign(
+            generator,
+            DAYS,
+            SEED,
+            shard_bs=1,
+            cache=cache,
+            hll_precision=PRECISION,
+            chunk_sessions=10_000,
+        )
+        assert first.computed_shards == N_BS
+        stamps = {
+            p: p.stat().st_mtime_ns for p in checkpoint_paths(tmp_path)
+        }
+
+        resumed = run_campaign(
+            generator,
+            DAYS,
+            SEED,
+            shard_bs=1,
+            cache=cache,
+            hll_precision=PRECISION,
+            chunk_sessions=resume_chunk,
+        )
+        assert resumed.resumed_shards == N_BS
+        assert resumed.computed_shards == 0
+        assert resumed.digest() == first.digest() == baseline_digest
+        for path, stamp in stamps.items():
+            assert path.stat().st_mtime_ns == stamp  # untouched, not rewritten
+
+    def test_chunk_size_never_changes_checkpoint_bytes(
+        self, generator, tmp_path
+    ):
+        """Fresh runs under different budgets write identical checkpoints."""
+        digests = {}
+        for chunk in (123, 4_567):
+            root = tmp_path / f"chunk-{chunk}"
+            run_campaign(
+                generator,
+                DAYS,
+                SEED,
+                shard_bs=1,
+                cache=ArtifactCache(root),
+                hll_precision=PRECISION,
+                chunk_sessions=chunk,
+            )
+            digests[chunk] = {
+                p.name: p.read_bytes() for p in checkpoint_paths(root)
+            }
+        assert digests[123] == digests[4_567]

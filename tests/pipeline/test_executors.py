@@ -183,3 +183,40 @@ class TestMakeExecutor:
 
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1
+
+
+class TestRssUnits:
+    """``ru_maxrss`` units are platform-dependent: bytes on macOS, KiB on
+    Linux.  The divisor must be derived per call from the *current*
+    platform, never frozen at import time, so a module imported on one
+    platform and exercised under a mocked another reports correctly."""
+
+    def test_darwin_reports_bytes(self):
+        from repro.pipeline.executors import _rss_to_mb
+
+        assert _rss_to_mb("darwin") == 1024.0 * 1024.0
+
+    def test_linux_reports_kib(self):
+        from repro.pipeline.executors import _rss_to_mb
+
+        assert _rss_to_mb("linux") == 1024.0
+
+    def test_defaults_to_live_platform(self, monkeypatch):
+        import repro.pipeline.executors as executors
+
+        monkeypatch.setattr(executors.sys, "platform", "darwin")
+        assert executors._rss_to_mb() == 1024.0 * 1024.0
+        monkeypatch.setattr(executors.sys, "platform", "linux")
+        assert executors._rss_to_mb() == 1024.0
+
+    def test_peak_rss_uses_current_platform(self, monkeypatch):
+        import repro.pipeline.executors as executors
+
+        monkeypatch.setattr(executors.sys, "platform", "linux")
+        as_linux = executors.peak_rss_mb()
+        monkeypatch.setattr(executors.sys, "platform", "darwin")
+        as_darwin = executors.peak_rss_mb()
+        # Same ru_maxrss reading, divisors 1024 apart (allow for RSS
+        # growth between the two getrusage calls).
+        assert as_linux > 0.0
+        assert as_darwin <= as_linux / 1000.0

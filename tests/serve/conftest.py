@@ -1,0 +1,105 @@
+"""Shared serving-layer fixtures: one campaign aggregate, one store.
+
+Everything the serving tests judge is anchored to the same small campaign
+(the module-scoped ``aggregate``); byte/float-identity assertions compare
+served documents against direct :class:`CampaignAggregate` derivations on
+that object.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.campaign.sketches import CampaignAggregate
+from repro.core.arrivals import ArrivalModel
+from repro.core.generator import TrafficGenerator
+from repro.core.service_mix import ServiceMix
+from repro.verify import Baseline, default_baseline_path
+
+SEED = 11
+DAYS = 1
+N_BS = 6
+
+#: HLL precision small enough that test aggregates stay tiny.
+PRECISION = 10
+
+
+@pytest.fixture(scope="package")
+def generator(bank):
+    arrival = ArrivalModel(peak_mu=2.0, peak_sigma=0.5, night_scale=0.4)
+    mix = ServiceMix.from_table1().restricted_to(bank.services())
+    return TrafficGenerator(
+        {bs: arrival for bs in range(N_BS)}, mix, bank
+    )
+
+
+@pytest.fixture(scope="package")
+def aggregate(generator):
+    """Single-pass aggregate of the shared serving-test campaign."""
+    table = generator.generate_campaign(DAYS, SEED)
+    return CampaignAggregate.from_table(
+        table, n_units=N_BS * DAYS, precision=PRECISION
+    )
+
+
+@pytest.fixture(scope="package")
+def baseline():
+    return Baseline.load(default_baseline_path())
+
+
+@pytest.fixture()
+def store(baseline):
+    """A fresh in-memory store judged under the golden baseline."""
+    from repro.serve import AggregateStore
+
+    s = AggregateStore(":memory:", baseline=baseline)
+    yield s
+    s.close()
+
+
+def wsgi_get(app, path, query="", headers=None, method="GET"):
+    """Drive the WSGI app directly; returns (status, headers, body dict|bytes)."""
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "wsgi.input": io.BytesIO(b""),
+    }
+    for name, value in (headers or {}).items():
+        environ["HTTP_" + name.upper().replace("-", "_")] = value
+    captured = {}
+
+    def start_response(status, response_headers):
+        captured["status"] = int(status.split()[0])
+        captured["headers"] = dict(response_headers)
+
+    body = b"".join(app(environ, start_response))
+    return captured["status"], captured["headers"], body
+
+
+def wsgi_post(app, path, body, headers=None):
+    """POST a byte body through the WSGI app directly."""
+    environ = {
+        "REQUEST_METHOD": "POST",
+        "PATH_INFO": path,
+        "QUERY_STRING": "",
+        "CONTENT_LENGTH": str(len(body)),
+        "wsgi.input": io.BytesIO(body),
+    }
+    for name, value in (headers or {}).items():
+        environ["HTTP_" + name.upper().replace("-", "_")] = value
+    captured = {}
+
+    def start_response(status, response_headers):
+        captured["status"] = int(status.split()[0])
+        captured["headers"] = dict(response_headers)
+
+    raw = b"".join(app(environ, start_response))
+    return captured["status"], captured["headers"], raw
+
+
+def as_json(body: bytes):
+    return json.loads(body.decode("utf-8"))

@@ -1,0 +1,218 @@
+"""Aggregate store: ingest round trips, digest discipline, atomicity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.campaign.sketches import CampaignAggregate
+from repro.io.cache import ArtifactCache
+from repro.serve import AggregateStore, DigestMismatchError, StoreError
+from repro.serve.schema import SubmitSchemaError, validate_submission
+from repro.serve.store import ARRIVALS_FAMILY
+from repro.serve.views import AGGREGATE_FAMILIES, RELEASE_SCOPE, document_etag
+
+from .conftest import DAYS, PRECISION, SEED
+
+
+class TestIngestAggregate:
+    def test_round_trips_exactly(self, store, aggregate):
+        digest = store.ingest_aggregate("camp", aggregate.to_dict())
+        assert digest == aggregate.digest()
+        restored = store.aggregate("camp")
+        assert restored.digest() == digest
+        assert restored.canonical_json() == aggregate.canonical_json()
+
+    def test_precomputes_every_family_document(self, store, aggregate):
+        digest = store.ingest_aggregate("camp", aggregate.to_dict())
+        for family in AGGREGATE_FAMILIES:
+            stored = store.document("camp", family)
+            assert stored is not None, family
+            etag, body = stored
+            assert etag == document_etag(digest, family)
+            assert json.loads(body)["digest"] == digest
+
+    def test_matching_expected_digest_accepted(self, store, aggregate):
+        store.ingest_aggregate(
+            "camp", aggregate.to_dict(), expect_digest=aggregate.digest()
+        )
+        assert store.campaign_names() == ["camp"]
+
+    def test_digest_mismatch_stores_nothing(self, store, aggregate):
+        with pytest.raises(DigestMismatchError):
+            store.ingest_aggregate(
+                "camp", aggregate.to_dict(), expect_digest="0" * 64
+            )
+        assert store.campaign_names() == []
+        assert store.document("camp", "services/shares") is None
+
+    def test_empty_name_rejected(self, store, aggregate):
+        with pytest.raises(StoreError):
+            store.ingest_aggregate("", aggregate.to_dict())
+
+    def test_malformed_payload_rejected(self, store):
+        with pytest.raises(StoreError, match="invalid aggregate"):
+            store.ingest_aggregate("camp", {"format": 999})
+
+    def test_reingest_replaces_snapshot(self, store, aggregate):
+        store.ingest_aggregate("camp", aggregate.to_dict())
+        empty = CampaignAggregate.empty(precision=PRECISION)
+        store.ingest_aggregate("camp", empty.to_dict())
+        assert store.campaign_names() == ["camp"]
+        etag, _ = store.document("camp", "pdf/volume")
+        assert etag == document_etag(empty.digest(), "pdf/volume")
+
+
+class TestIngestCheckpoints:
+    def test_merges_to_campaign_digest(self, store, generator, tmp_path):
+        result = run_campaign(
+            generator,
+            DAYS,
+            SEED,
+            shard_bs=1,
+            cache=ArtifactCache(tmp_path),
+            hll_precision=PRECISION,
+        )
+        digest, n_shards = store.ingest_checkpoints("camp", tmp_path)
+        assert digest == result.digest()
+        assert n_shards == result.n_shards
+        entry = store.campaigns()[0]
+        assert entry["shards"] == n_shards
+        assert entry["sessions"] == result.aggregate.n_sessions
+
+    def test_empty_cache_rejected(self, store, tmp_path):
+        with pytest.raises(StoreError, match="no campaign-shard"):
+            store.ingest_checkpoints("camp", tmp_path)
+
+
+class TestIngestRelease:
+    def test_arrivals_document_matches_release(
+        self, store, bank, tmp_path
+    ):
+        from repro.core.arrivals import ArrivalModel
+        from repro.io.params import save_release
+
+        path = tmp_path / "release.json"
+        arrivals = {
+            "decile-2": ArrivalModel(peak_mu=1.5, peak_sigma=0.4, night_scale=0.5),
+            "decile-1": ArrivalModel(peak_mu=1.0, peak_sigma=0.3, night_scale=0.2),
+        }
+        save_release(path, bank, arrivals)
+        etag = store.ingest_release(path)
+        stored = store.document(RELEASE_SCOPE, ARRIVALS_FAMILY)
+        assert stored is not None and stored[0] == etag
+        document = json.loads(stored[1])
+        # Labels sorted; floats identical to the live models.
+        assert [d["label"] for d in document["deciles"]] == [
+            "decile-1", "decile-2",
+        ]
+        assert document["deciles"][1]["peak_mu"] == 1.5
+
+
+class TestManifests:
+    def test_manifest_joins_campaign_listing(self, store, aggregate):
+        store.ingest_aggregate("camp", aggregate.to_dict())
+        store.ingest_manifest("camp", {"run_id": "r1", "events": 42})
+        (entry,) = store.campaigns()
+        assert entry["manifest"] == {"events": 42, "run_id": "r1"}
+        assert store.manifest("camp") == {"events": 42, "run_id": "r1"}
+
+    def test_manifest_file_accepts_telemetry_dir(self, store, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"run_id": "r2"}), encoding="utf-8"
+        )
+        store.ingest_manifest_file("camp", tmp_path)
+        assert store.manifest("camp") == {"run_id": "r2"}
+
+
+class TestSubmit:
+    @staticmethod
+    def _line(aggregate, name="camp", digest=None):
+        return json.dumps(
+            {
+                "type": "aggregate",
+                "campaign": name,
+                "digest": digest or aggregate.digest(),
+                "payload": aggregate.to_dict(),
+            }
+        )
+
+    def test_submission_counts(self, store, aggregate):
+        text = "\n".join(
+            [
+                self._line(aggregate, "a"),
+                self._line(aggregate, "b"),
+                json.dumps(
+                    {
+                        "type": "manifest",
+                        "campaign": "a",
+                        "payload": {"run_id": "r"},
+                    }
+                ),
+            ]
+        )
+        outcome = store.submit(text)
+        assert outcome["ingested"] == 3
+        assert outcome["campaigns"] == ["a", "b"]
+        assert outcome["aggregate"] == 2
+        assert outcome["manifest"] == 1
+        assert store.campaign_names() == ["a", "b"]
+
+    def test_rejected_line_aborts_whole_submission(self, store, aggregate):
+        text = "\n".join(
+            [
+                self._line(aggregate, "good"),
+                self._line(aggregate, "bad", digest="f" * 64),
+            ]
+        )
+        with pytest.raises(DigestMismatchError):
+            store.submit(text)
+        # Atomic: the valid first line must not have landed either.
+        assert store.campaign_names() == []
+
+    def test_schema_violations_rejected(self, store, aggregate):
+        with pytest.raises(SubmitSchemaError):
+            store.submit(json.dumps({"type": "mystery", "campaign": "c"}))
+        with pytest.raises(SubmitSchemaError):
+            store.submit("")  # empty submission
+        with pytest.raises(SubmitSchemaError):
+            store.submit("{not json")
+
+    def test_validate_submission_rejects_unknown_fields(self, aggregate):
+        line = {
+            "type": "aggregate",
+            "campaign": "c",
+            "digest": aggregate.digest(),
+            "payload": aggregate.to_dict(),
+            "extra": True,
+        }
+        with pytest.raises(SubmitSchemaError, match="extra"):
+            validate_submission(line)
+
+
+class TestStoreFile:
+    def test_format_version_pinned(self, tmp_path, aggregate, baseline):
+        path = tmp_path / "store.sqlite"
+        first = AggregateStore(path, baseline=baseline)
+        first.ingest_aggregate("camp", aggregate.to_dict())
+        first.close()
+        # Reopen: data persisted, format accepted.
+        second = AggregateStore(path, baseline=baseline)
+        assert second.campaign_names() == ["camp"]
+        second.close()
+
+    def test_foreign_format_rejected(self, tmp_path, baseline):
+        import sqlite3
+
+        path = tmp_path / "store.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        conn.execute("INSERT INTO meta VALUES ('format', '999')")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="format 999"):
+            AggregateStore(path, baseline=baseline)

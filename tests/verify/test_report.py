@@ -5,7 +5,7 @@ import pytest
 from repro.verify.report import CheckResult, FidelityReport, ReportError
 
 
-def _result(claim="c", value=1.0, passed=True):
+def _result(claim="c", value=1.0, passed=True, skipped=False):
     return CheckResult(
         claim=claim,
         statistic=claim,
@@ -14,6 +14,7 @@ def _result(claim="c", value=1.0, passed=True):
         hi=2.0,
         passed=passed,
         provenance="Fig X",
+        skipped=skipped,
     )
 
 
@@ -21,6 +22,17 @@ class TestCheckResult:
     def test_round_trip(self):
         original = _result()
         assert CheckResult.from_dict(original.to_dict()) == original
+
+    def test_skipped_round_trip(self):
+        original = _result(skipped=True)
+        restored = CheckResult.from_dict(original.to_dict())
+        assert restored == original
+        assert restored.skipped
+
+    def test_skipped_defaults_to_judged_in_old_payloads(self):
+        payload = _result().to_dict()
+        del payload["skipped"]  # a pre-skipped-era archived report
+        assert not CheckResult.from_dict(payload).skipped
 
     def test_malformed_payload_rejected(self):
         with pytest.raises(ReportError):
@@ -52,8 +64,37 @@ class TestFidelityReport:
             "checks": 2,
             "claims": 2,
             "failed": 1,
+            "skipped": 0,
             "verdict": "FAILED",
         }
+
+    def test_all_skipped_verdict(self):
+        report = FidelityReport(
+            results=[_result(skipped=True), _result("d", skipped=True)]
+        )
+        assert report.ok  # skipped checks never fail the gate
+        assert report.summary()["verdict"] == "SKIPPED"
+        assert report.summary()["skipped"] == 2
+
+    def test_partially_skipped_stays_ok(self):
+        report = FidelityReport(
+            results=[_result(), _result("d", skipped=True)]
+        )
+        assert report.summary()["verdict"] == "OK"
+        assert [r.claim for r in report.skipped()] == ["d"]
+
+    def test_skipped_checks_publish_no_value_gauge(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        report = FidelityReport(
+            results=[_result("a"), _result("b", skipped=True)]
+        )
+        report.record_metrics(metrics)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["verify.skipped"] == 1
+        assert "verify.value.a" in snapshot["gauges"]
+        assert "verify.value.b" not in snapshot["gauges"]
 
     def test_json_file_round_trip(self, tmp_path):
         report = FidelityReport(
