@@ -39,7 +39,9 @@ from ..core.generator import (
 )
 from ..dataset.records import SessionArena
 from ..io.cache import ArtifactCache, CacheError, content_key
-from ..pipeline.executors import ParallelExecutor, SerialExecutor
+from ..obs.progress import ProgressTracker
+from ..pipeline.context import mint_trace_id
+from ..pipeline.executors import ParallelExecutor, SerialExecutor, peak_rss_mb
 from .sketches import (
     DEFAULT_HLL_PRECISION,
     DEFAULT_HLL_SEED,
@@ -106,10 +108,15 @@ class CampaignResult:
     resumed_shards: int
     computed_shards: int
     root_seed: int
+    trace_id: str | None = None
 
     def digest(self) -> str:
         """Byte-identity fingerprint of the merged aggregate."""
         return self.aggregate.digest()
+
+    def provenance(self) -> dict:
+        """Metadata identifying the run lineage that produced the bytes."""
+        return {"trace_id": self.trace_id}
 
     def summary(self) -> dict:
         """Headline numbers for CLI output and manifests."""
@@ -119,6 +126,7 @@ class CampaignResult:
             "resumed_shards": self.resumed_shards,
             "computed_shards": self.computed_shards,
             "digest": self.digest(),
+            "trace_id": self.trace_id,
         }
 
 
@@ -270,10 +278,27 @@ def _load_checkpoint(path: Path) -> CampaignAggregate:
 
 
 def _store_checkpoint(
-    cache: ArtifactCache, key: str, aggregate: CampaignAggregate
+    cache: ArtifactCache,
+    key: str,
+    aggregate: CampaignAggregate,
+    trace_id: str | None = None,
 ) -> None:
-    """Atomically persist one shard aggregate as canonical JSON."""
-    payload = aggregate.canonical_json().encode("utf-8")
+    """Atomically persist one shard aggregate as canonical JSON.
+
+    With a trace id, the checkpoint rides a ``provenance`` envelope key
+    *outside* the aggregate's own serialization:
+    :meth:`CampaignAggregate.from_dict` ignores unknown top-level keys,
+    so resume, digests and the canonical form are untouched — but any
+    spooled checkpoint names the run lineage that produced it.  The
+    trace id is itself a pure function of the root seed, so same-seed
+    runs still write byte-identical checkpoints.
+    """
+    document = aggregate.to_dict()
+    if trace_id is not None:
+        document["provenance"] = {"trace_id": trace_id}
+    payload = json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
 
     def save(tmp: Path) -> None:
         with open(tmp, "wb") as fh:
@@ -295,6 +320,7 @@ def run_campaign(
     telemetry: "Telemetry | None" = None,
     hll_precision: int = DEFAULT_HLL_PRECISION,
     hll_seed: int = DEFAULT_HLL_SEED,
+    trace_id: str | None = None,
 ) -> CampaignResult:
     """Run a sharded campaign and return its merged aggregates.
 
@@ -310,6 +336,14 @@ def run_campaign(
     ``chunk_sessions`` bounds each worker's arena by expected session
     count; it shapes memory only, never the result (and is excluded from
     checkpoint keys).
+
+    ``trace_id`` names the run lineage in checkpoints, heartbeats and the
+    result; when omitted it is taken from the telemetry (minted by
+    ``RunContext``) or derived from the root seed — either way a pure
+    function of the seed, so provenance never perturbs byte-identity.
+    With telemetry attached, the driver also maintains a live
+    ``progress.json`` (atomic rewrite per wave, EWMA rates, ETA) and
+    emits ``heartbeat`` events — both strictly observational.
     """
     if chunk_sessions < 1:
         raise CampaignError("chunk_sessions must be >= 1")
@@ -317,6 +351,8 @@ def run_campaign(
     shards = plan_shards(generator.arrival_models, n_days, shard_bs)
     runner = executor if executor is not None else SerialExecutor()
     obs = telemetry
+    if trace_id is None:
+        trace_id = getattr(obs, "trace_id", None) or mint_trace_id(root_seed)
 
     keys: dict[int, str] = {}
     resumed: dict[int, CampaignAggregate] = {}
@@ -357,6 +393,20 @@ def run_campaign(
     n_resumed, n_computed = len(resumed), 0
     total = CampaignAggregate.empty(precision=hll_precision, seed=hll_seed)
     folded = 0
+    sessions_done = sum(a.n_sessions for a in resumed.values())
+    progress = ProgressTracker(
+        obs, total_shards=len(shards), trace_id=trace_id
+    )
+    wave_number = 0
+
+    def beat() -> None:
+        """One progress snapshot + heartbeat for the current state."""
+        progress.update(
+            n_resumed + n_computed,
+            sessions_done,
+            wave=wave_number,
+            peak_rss_mb=peak_rss_mb(),
+        )
 
     def absorb() -> None:
         """Fold every aggregate already available, in canonical order.
@@ -381,7 +431,7 @@ def run_campaign(
 
     def dispatch(batch: list[Shard]) -> None:
         """Run one wave of shards, checkpointing each as it lands."""
-        nonlocal n_computed
+        nonlocal n_computed, sessions_done
         items = [
             (
                 shard,
@@ -399,15 +449,24 @@ def run_campaign(
             aggregate = CampaignAggregate.from_dict(payload)
             computed[shard.index] = aggregate
             n_computed += 1
+            sessions_done += aggregate.n_sessions
             if cache is not None:
-                _store_checkpoint(cache, keys[shard.index], aggregate)
+                _store_checkpoint(
+                    cache, keys[shard.index], aggregate, trace_id
+                )
 
     def execute() -> None:
         """Dispatch every pending shard, wave by wave, folding as we go."""
+        nonlocal wave_number
         absorb()  # leading run of restored shards
+        if progress.enabled:
+            beat()  # wave 0: surface the resumed state immediately
         for lo in range(0, len(pending), wave):
+            wave_number += 1
             dispatch(pending[lo : lo + wave])
             absorb()
+            if progress.enabled:
+                beat()
 
     if obs:
         with obs.span(
@@ -442,4 +501,5 @@ def run_campaign(
         resumed_shards=n_resumed,
         computed_shards=n_computed,
         root_seed=root_seed,
+        trace_id=trace_id,
     )

@@ -96,6 +96,12 @@ def _add_telemetry_flags(sub: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="capture per-stage cProfile dumps into the telemetry dir",
     )
+    sub.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="expose the run's live metrics as Prometheus text at "
+        "http://127.0.0.1:PORT/metrics for the run's duration "
+        "(0 picks an ephemeral port; strictly out-of-band)",
+    )
 
 
 def _add_run_flags(sub: argparse.ArgumentParser, cache: bool = True) -> None:
@@ -315,6 +321,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "directory",
         help="telemetry directory of the run (as given to --telemetry-dir)",
     )
+    rpt.add_argument(
+        "--follow", action="store_true",
+        help="tail a live run: stream heartbeat/stage/access events and "
+        "progress.json updates until the run finalizes",
+    )
+    rpt.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval while following (default 0.5)",
+    )
+    rpt.add_argument(
+        "--follow-timeout", type=float, default=None, metavar="SECONDS",
+        help="give up following after this many seconds (exit 1)",
+    )
 
     from .lint.app import add_lint_arguments
 
@@ -504,8 +523,16 @@ def _cmd_campaign(args: argparse.Namespace, ctx: RunContext) -> int:
     print(f"distinct sessions (HLL): ~{summary['distinct_estimate']:.0f}")
     print(f"aggregate digest: {summary['digest']}")
     if args.output:
+        import json
+
+        # The merged aggregate rides under a provenance envelope: the
+        # trace id sits *outside* the aggregate's canonical serialization,
+        # so digests and resume keys are unchanged and ``from_dict``
+        # (which ignores unknown keys) still round-trips the document.
+        document = result.aggregate.to_dict()
+        document["provenance"] = result.provenance()
         with open(args.output, "w", encoding="utf-8") as fh:
-            fh.write(result.aggregate.canonical_json())
+            fh.write(json.dumps(document, sort_keys=True, separators=(",", ":")))
         print(f"aggregate: {args.output}")
     if args.verify_aggregates:
         from .campaign.fidelity import evaluate_aggregate
@@ -773,8 +800,22 @@ def _cmd_reproduce(args: argparse.Namespace, ctx: RunContext) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render the telemetry of a previous run (no context needed)."""
-    from .obs.report import ReportRenderError, render_run
+    from .obs.report import ReportRenderError, follow_run, render_run
 
+    if args.follow:
+        try:
+            outcome = follow_run(
+                args.directory,
+                poll_s=args.poll,
+                timeout_s=args.follow_timeout,
+            )
+        except BrokenPipeError:
+            # Downstream pager/head closed the pipe; not a follow failure.
+            return 0
+        if outcome == "timeout":
+            print("follow: timed out before the run finalized", file=sys.stderr)
+            return 1
+        return 0
     try:
         lines = render_run(args.directory)
     except ReportRenderError as exc:
@@ -802,12 +843,25 @@ def main(argv: list[str] | None = None) -> int:
         from .lint.app import run as run_lint
 
         return run_lint(args)
+    from .pipeline.context import mint_trace_id
+
     telemetry = Telemetry(
         directory=getattr(args, "telemetry_dir", None),
         verbosity=1 + getattr(args, "verbose", 0) - getattr(args, "quiet", 0),
         log_json=getattr(args, "log_json", False),
         profile=getattr(args, "profile", False),
+        trace_id=mint_trace_id(args.seed),
     )
+    sidecar = None
+    metrics_port = getattr(args, "metrics_port", None)
+    if metrics_port is not None:
+        from .obs.expose import MetricsSidecar
+
+        sidecar = MetricsSidecar(telemetry.metrics.snapshot, metrics_port)
+        print(
+            f"metrics: http://127.0.0.1:{sidecar.port}/metrics",
+            file=sys.stderr,
+        )
     ctx = _make_context(args, telemetry)
     handlers = {
         "simulate": _cmd_simulate,
@@ -833,6 +887,8 @@ def main(argv: list[str] | None = None) -> int:
             config=vars(args),
             status=status,
         )
+        if sidecar is not None:
+            sidecar.close()
 
 
 if __name__ == "__main__":

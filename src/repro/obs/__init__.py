@@ -9,12 +9,17 @@ accompanies a run and collects
 * **metrics** — counters, gauges and histograms incremented at the hot
   seams: artifact-cache hits/misses/bytes, generator session/chunk
   throughput, executor worker utilization, fidelity-gate verdicts
-  (:mod:`repro.obs.metrics`);
+  (:mod:`repro.obs.metrics`), exposed live in the Prometheus text format
+  (:mod:`repro.obs.expose`);
 * **sinks** — a line-delimited ``events.jsonl`` stream plus a per-run
-  ``manifest.json`` (seed, git sha, config digest, stage timings, metric
-  snapshot), validated by the checked-in schema
+  ``manifest.json`` (seed, trace id, git sha, config digest, stage
+  timings, metric snapshot), validated by the checked-in schema
   (:mod:`repro.obs.sinks`, :mod:`repro.obs.schema`) and rendered back by
-  ``repro-traffic report`` (:mod:`repro.obs.report`).
+  ``repro-traffic report`` (:mod:`repro.obs.report`);
+* **progress** — for sharded campaigns, an atomically-rewritten
+  ``progress.json`` with EWMA rates and an ETA, plus heartbeat events,
+  tailed live by ``repro-traffic report --follow``
+  (:mod:`repro.obs.progress`).
 
 Telemetry is strictly out-of-band — identical seeds produce byte-identical
 session tables and cache keys whether it is enabled or not — and the
@@ -22,6 +27,14 @@ package is dependency-free (standard library only).  :data:`NULL_TELEMETRY`
 is the falsy do-nothing instance used when nothing was configured.
 """
 
+from .expose import (
+    CONTENT_TYPE,
+    ExpositionError,
+    MetricsSidecar,
+    parse_exposition,
+    registry_exposition,
+    render_exposition,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -30,7 +43,13 @@ from .metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
-from .report import render_manifest, render_run
+from .progress import (
+    PROGRESS_FILENAME,
+    ProgressError,
+    ProgressTracker,
+    load_progress,
+)
+from .report import follow_run, render_manifest, render_run
 from .schema import SchemaError, validate_event, validate_events_file
 from .sinks import (
     EVENTS_FILENAME,
@@ -45,17 +64,23 @@ from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, TelemetryError
 
 __all__ = [
     "ActiveSpan",
+    "CONTENT_TYPE",
     "Counter",
     "EVENTS_FILENAME",
+    "ExpositionError",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MANIFEST_FILENAME",
     "MetricsError",
     "MetricsRegistry",
+    "MetricsSidecar",
     "NULL_TELEMETRY",
     "NullMetricsRegistry",
     "NullTelemetry",
+    "PROGRESS_FILENAME",
+    "ProgressError",
+    "ProgressTracker",
     "SPAN_KINDS",
     "SchemaError",
     "SinkError",
@@ -63,8 +88,13 @@ __all__ = [
     "SpanRecord",
     "Telemetry",
     "TelemetryError",
+    "follow_run",
     "load_manifest",
+    "load_progress",
+    "parse_exposition",
     "read_events",
+    "registry_exposition",
+    "render_exposition",
     "render_manifest",
     "render_run",
     "validate_event",

@@ -1,0 +1,447 @@
+"""Prometheus text exposition over the metrics registry.
+
+The live half of the metrics pipeline: where :mod:`repro.obs.sinks`
+persists the final snapshot into ``manifest.json``, this module renders
+the *current* snapshot in the Prometheus text exposition format
+(version 0.0.4) so an operator can scrape a multi-hour campaign or a
+running ``/v1`` server.  Three pieces, all standard library only:
+
+* :func:`render_exposition` — snapshot → exposition text.  Counters map
+  to ``repro_<name>_total``, gauges to ``repro_<name>``, histograms to
+  the classic ``_bucket``/``_sum``/``_count`` triple with the frexp
+  power-of-two buckets translated to cumulative ``le`` bounds
+  (``le = 2^exponent``; exponents too large for a float fold into
+  ``+Inf``).  Label sets render sorted, so output is byte-stable for
+  identical registry states.
+* :func:`parse_exposition` — a dependency-free validator of exposition
+  text (used by the CI smoke and the tests; it checks ``TYPE`` lines,
+  sample syntax and the histogram cumulativity invariants without
+  needing a prometheus client).
+* :class:`MetricsSidecar` — a daemon-thread HTTP server exposing
+  ``GET /metrics`` for batch runs (``repro-traffic generate|campaign
+  --metrics-port``); the serve stack mounts the same renderer on its own
+  ``/metrics`` route instead.
+
+Exposition is read-only over the out-of-band registry, so scraping — or
+never scraping — cannot change a run's outputs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from .metrics import MetricsRegistry, parse_identity
+
+#: Content type of the text exposition format served at ``/metrics``.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Prefix of every exposed metric family.
+NAME_PREFIX = "repro_"
+
+
+class ExpositionError(ValueError):
+    """Raised when exposition text does not parse or violates invariants."""
+
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+_FAMILY_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>.*)"$')
+
+
+def metric_name(name: str) -> str:
+    """Prometheus family name of a registry instrument name."""
+    return NAME_PREFIX + _INVALID_NAME_CHARS.sub("_", name)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: Mapping[str, str] | None, extra: str = "") -> str:
+    parts = [
+        f'{key}="{_escape_label(labels[key])}"' for key in sorted(labels or {})
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if math.isnan(number):
+        return "NaN"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _le_bound(exponent: int) -> float:
+    """Upper bound of a frexp bucket: ``2^exponent`` (``inf`` on overflow)."""
+    try:
+        return math.ldexp(1.0, int(exponent))
+    except OverflowError:
+        return math.inf
+
+
+def render_exposition(snapshot: Mapping[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as exposition text.
+
+    Families are emitted in sorted exposed-name order, each with one
+    ``# HELP``/``# TYPE`` header followed by its series in sorted label
+    order.  Unset gauges (value ``None``) are skipped.  Histogram buckets
+    are cumulative over ascending ``le`` bounds and always close with the
+    ``+Inf`` bucket equal to ``_count``, as the format requires.
+    """
+    families: dict[str, list[str]] = {}
+    types: dict[str, str] = {}
+
+    for identity, value in snapshot.get("counters", {}).items():
+        name, labels = parse_identity(identity)
+        family = metric_name(name) + "_total"
+        types[family] = "counter"
+        families.setdefault(family, []).append(
+            f"{family}{_render_labels(labels)} {_format_value(value)}"
+        )
+
+    for identity, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue
+        name, labels = parse_identity(identity)
+        family = metric_name(name)
+        types[family] = "gauge"
+        families.setdefault(family, []).append(
+            f"{family}{_render_labels(labels)} {_format_value(value)}"
+        )
+
+    for identity, entry in snapshot.get("histograms", {}).items():
+        name, labels = parse_identity(identity)
+        family = metric_name(name)
+        types[family] = "histogram"
+        lines = families.setdefault(family, [])
+        count = int(entry.get("count", 0))
+        cumulative = 0
+        bounds: dict[float, int] = {}
+        for exponent, bucket_count in entry.get("buckets") or []:
+            bound = _le_bound(exponent)
+            bounds[bound] = bounds.get(bound, 0) + int(bucket_count)
+        for bound in sorted(b for b in bounds if not math.isinf(b)):
+            cumulative += bounds[bound]
+            le = 'le="' + _format_value(bound) + '"'
+            lines.append(
+                f"{family}_bucket{_render_labels(labels, le)} {cumulative}"
+            )
+        lines.append(
+            f"{family}_bucket" + _render_labels(labels, 'le="+Inf"')
+            + f" {count}"
+        )
+        lines.append(
+            f"{family}_sum{_render_labels(labels)}"
+            f" {_format_value(entry.get('sum', 0.0))}"
+        )
+        lines.append(f"{family}_count{_render_labels(labels)} {count}")
+
+    out: list[str] = []
+    for family in sorted(families):
+        out.append(f"# HELP {family} repro metric {family}")
+        out.append(f"# TYPE {family} {types[family]}")
+        out.extend(families[family])
+    return "\n".join(out) + "\n" if out else ""
+
+
+def registry_exposition(registry: MetricsRegistry) -> str:
+    """Convenience: render a registry's current snapshot."""
+    return render_exposition(registry.snapshot())
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(f"unparsable sample value {text!r}") from None
+
+
+def parse_exposition(text: str) -> dict[str, dict[str, Any]]:
+    """Parse and validate exposition text; returns per-family summaries.
+
+    Checks, dependency-free, what a Prometheus scraper would: ``# TYPE``
+    declared once per family and before its samples, well-formed sample
+    and label syntax, parseable values, no duplicate series, and for
+    histograms the cumulativity invariants (non-decreasing buckets,
+    mandatory ``+Inf`` bucket matching ``_count``, a ``_sum`` sample).
+    Returns ``{family: {"type": ..., "samples": ...}}``; raises
+    :class:`ExpositionError` on any violation.
+    """
+    types: dict[str, str] = {}
+    samples: dict[str, list[tuple[dict[str, str], float]]] = {}
+    seen_series: set[str] = set()
+
+    def family_of(sample_name: str) -> str:
+        if types.get(sample_name):
+            return sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if types.get(base) == "histogram":
+                    return base
+        return sample_name
+
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ExpositionError(f"line {number}: malformed comment {raw!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped",
+                ):
+                    raise ExpositionError(
+                        f"line {number}: malformed TYPE line {raw!r}"
+                    )
+                name = parts[2]
+                if not _FAMILY_NAME.match(name):
+                    raise ExpositionError(
+                        f"line {number}: invalid family name {name!r}"
+                    )
+                if name in types:
+                    raise ExpositionError(
+                        f"line {number}: duplicate TYPE for {name!r}"
+                    )
+                if name in samples:
+                    raise ExpositionError(
+                        f"line {number}: TYPE for {name!r} after its samples"
+                    )
+                types[name] = parts[3]
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ExpositionError(f"line {number}: malformed sample {raw!r}")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for pair in match.group("labels").split(","):
+                pair_match = _LABEL_PAIR.match(pair.strip())
+                if pair_match is None:
+                    raise ExpositionError(
+                        f"line {number}: malformed label pair {pair!r}"
+                    )
+                if pair_match.group("name") in labels:
+                    raise ExpositionError(
+                        f"line {number}: duplicate label "
+                        f"{pair_match.group('name')!r}"
+                    )
+                labels[pair_match.group("name")] = pair_match.group("value")
+        value = _parse_value(match.group("value"))
+        sample_name = match.group("name")
+        family = family_of(sample_name)
+        if family not in types:
+            raise ExpositionError(
+                f"line {number}: sample {sample_name!r} has no TYPE line"
+            )
+        series = sample_name + repr(sorted(labels.items()))
+        if series in seen_series:
+            raise ExpositionError(
+                f"line {number}: duplicate series {sample_name!r} "
+                f"with labels {labels!r}"
+            )
+        seen_series.add(series)
+        samples.setdefault(family, []).append((labels, value))
+        samples.setdefault(f"__name__:{sample_name}", []).append(
+            (labels, value)
+        )
+
+    result: dict[str, dict[str, Any]] = {}
+    for family, family_type in types.items():
+        family_samples = samples.get(family, [])
+        if family_type == "histogram":
+            _check_histogram(family, samples)
+        result[family] = {
+            "type": family_type,
+            "samples": len(family_samples),
+        }
+    return result
+
+
+def _check_histogram(
+    family: str, samples: dict[str, list[tuple[dict[str, str], float]]]
+) -> None:
+    """Enforce bucket cumulativity / ``+Inf`` / ``_sum`` invariants."""
+    buckets = samples.get(f"__name__:{family}_bucket", [])
+    counts = samples.get(f"__name__:{family}_count", [])
+    sums = samples.get(f"__name__:{family}_sum", [])
+    if not buckets:
+        raise ExpositionError(f"histogram {family!r} has no _bucket samples")
+    if not counts or not sums:
+        raise ExpositionError(
+            f"histogram {family!r} is missing _count or _sum samples"
+        )
+
+    def series_key(labels: Mapping[str, str]) -> str:
+        return repr(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+    by_series: dict[str, list[tuple[float, float]]] = {}
+    for labels, value in buckets:
+        if "le" not in labels:
+            raise ExpositionError(
+                f"histogram {family!r} bucket sample without le label"
+            )
+        by_series.setdefault(series_key(labels), []).append(
+            (_parse_value(labels["le"]), value)
+        )
+    count_by_series = {series_key(l): v for l, v in counts}
+    for key, entries in by_series.items():
+        entries.sort(key=lambda pair: pair[0])
+        previous = -math.inf
+        for bound, value in entries:
+            if value < previous:
+                raise ExpositionError(
+                    f"histogram {family!r} buckets are not cumulative"
+                )
+            previous = value
+        last_bound, last_value = entries[-1]
+        if not math.isinf(last_bound):
+            raise ExpositionError(
+                f"histogram {family!r} series is missing the +Inf bucket"
+            )
+        if key in count_by_series and count_by_series[key] != last_value:
+            raise ExpositionError(
+                f"histogram {family!r} _count disagrees with +Inf bucket"
+            )
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Request handler of the sidecar: ``GET /metrics`` only, silent logs."""
+
+    server: "_SidecarServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve the current exposition or 404 for any other path."""
+        if self.path.partition("?")[0] != "/metrics":
+            self.send_error(404, "not found")
+            return
+        try:
+            body = self.server.exposition().encode("utf-8")
+        except RuntimeError:
+            # Registry mutated mid-snapshot by the run thread; the next
+            # scrape will see a consistent state.
+            self.send_error(503, "snapshot in progress")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Never write access noise to stderr from the sidecar."""
+
+
+class _SidecarServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, snapshot_fn: Callable[[], Mapping[str, Any]]):
+        super().__init__(address, _MetricsHandler)
+        self._snapshot_fn = snapshot_fn
+
+    def exposition(self) -> str:
+        return render_exposition(self._snapshot_fn())
+
+
+class MetricsSidecar:
+    """Background ``/metrics`` endpoint for batch runs.
+
+    Serves the live exposition of ``snapshot_fn()`` (typically
+    ``telemetry.metrics.snapshot``) from a daemon thread; pass ``port=0``
+    to bind an ephemeral port (read it back from :attr:`port`).  Purely
+    read-only over the registry — starting, scraping or never starting the
+    sidecar cannot change a run's outputs.
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], Mapping[str, Any]],
+        port: int,
+        host: str = "127.0.0.1",
+    ):
+        self._server = _SidecarServer((host, port), snapshot_fn)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-sidecar",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return int(self._server.server_address[1])
+
+    def close(self) -> None:
+        """Stop serving and join the sidecar thread (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def _main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.expose [--quiet] <file|->``: validate text.
+
+    Exit codes: ``0`` valid exposition, ``1`` invalid, ``2`` usage error —
+    the same contract as ``python -m repro.obs.schema``.
+    """
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.expose",
+        description="Validate Prometheus text exposition (file or '-').",
+    )
+    parser.add_argument("path", help="exposition text file, or - for stdin")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the success line"
+    )
+    try:
+        options = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code else 0
+    try:
+        if options.path == "-":
+            text = sys.stdin.read()
+        else:
+            text = open(options.path, encoding="utf-8").read()
+        families = parse_exposition(text)
+    except (OSError, ExpositionError) as exc:
+        print(f"invalid exposition: {exc}", file=sys.stderr)
+        return 1
+    if not families:
+        print("invalid exposition: no metric families", file=sys.stderr)
+        return 1
+    if not options.quiet:
+        total = sum(entry["samples"] for entry in families.values())
+        print(f"valid exposition: {len(families)} families, {total} samples")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(_main())

@@ -5,7 +5,9 @@ The registry is the numeric half of the telemetry subsystem
 generator, the executors, the fidelity gate — increment named instruments
 here, and :meth:`MetricsRegistry.snapshot` folds everything into one
 JSON-able mapping for the run manifest and the final ``events.jsonl``
-record.
+record.  The same snapshot feeds the Prometheus text exposition
+(:mod:`repro.obs.expose`) and the cross-process merge used when workers
+report their own registries back to the parent.
 
 Design constraints, in order:
 
@@ -16,16 +18,23 @@ Design constraints, in order:
   histogram buckets by ``math.frexp`` (power-of-two decades), no search.
 * **Dependency-free** — standard library only, so the package imports in
   any environment the library itself can run in.
+
+Instruments may carry **labels** (small, sorted ``str -> str`` mappings,
+e.g. ``route``/``method``/``status`` on the serve request histogram).  A
+labeled instrument is registered under its *identity* — the name plus the
+sorted label set rendered ``name{k="v",...}`` — while the bare name still
+pins the instrument kind, so ``serve.request.seconds`` can never be a
+counter for one label set and a histogram for another.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 
 class MetricsError(ValueError):
-    """Raised on invalid metric names or mismatched instrument kinds."""
+    """Raised on invalid metric names, labels or mismatched kinds."""
 
 
 def _check_name(name: str) -> str:
@@ -35,14 +44,66 @@ def _check_name(name: str) -> str:
     return name
 
 
+_LABEL_FORBIDDEN = set('",\n\\{}')
+
+
+def _check_labels(
+    labels: Mapping[str, str] | None,
+) -> dict[str, str] | None:
+    """Validate and normalize a label mapping (``None`` when unlabeled)."""
+    if not labels:
+        return None
+    checked: dict[str, str] = {}
+    for key in sorted(labels):
+        value = labels[key]
+        if not key or not key.replace("_", "").isalnum():
+            raise MetricsError(f"invalid label name {key!r}")
+        if not isinstance(value, str) or _LABEL_FORBIDDEN & set(value):
+            raise MetricsError(
+                f"invalid label value {value!r} for label {key!r}"
+            )
+        checked[key] = value
+    return checked
+
+
+def label_identity(name: str, labels: Mapping[str, str] | None) -> str:
+    """Canonical identity of an instrument: ``name{k="v",...}``, sorted."""
+    if not labels:
+        return name
+    body = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+def parse_identity(identity: str) -> tuple[str, dict[str, str] | None]:
+    """Invert :func:`label_identity` (labels come back sorted)."""
+    if "{" not in identity:
+        return identity, None
+    name, _, rest = identity.partition("{")
+    if not rest.endswith("}"):
+        raise MetricsError(f"malformed metric identity {identity!r}")
+    labels: dict[str, str] = {}
+    for part in rest[:-1].split(","):
+        key, sep, value = part.partition("=")
+        if not sep or len(value) < 2 or value[0] != '"' or value[-1] != '"':
+            raise MetricsError(f"malformed metric identity {identity!r}")
+        labels[key] = value[1:-1]
+    return name, labels
+
+
 class Counter:
     """Monotonically increasing count (events, sessions, bytes)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict[str, str] | None = None):
         self.name = name
+        self.labels = labels
         self.value = 0
+
+    @property
+    def identity(self) -> str:
+        """Registry key: name plus sorted label set."""
+        return label_identity(self.name, self.labels)
 
     def inc(self, amount: int | float = 1) -> None:
         """Add ``amount`` (must be >= 0) to the count."""
@@ -52,19 +113,42 @@ class Counter:
             )
         self.value += amount
 
+    def merge(self, value: int | float) -> None:
+        """Fold a snapshot value from another registry into this counter."""
+        self.inc(value)
+
 
 class Gauge:
     """Last-written value of a quantity (utilization, claim statistic)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict[str, str] | None = None):
         self.name = name
+        self.labels = labels
         self.value: float | None = None
+
+    @property
+    def identity(self) -> str:
+        """Registry key: name plus sorted label set."""
+        return label_identity(self.name, self.labels)
 
     def set(self, value: float) -> None:
         """Record the current value, replacing any previous one."""
         self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the value by ``delta`` (unset gauges start from 0.0).
+
+        This is the in-flight idiom: ``add(1)`` on request entry,
+        ``add(-1)`` on exit.
+        """
+        self.value = (self.value or 0.0) + float(delta)
+
+    def merge(self, value: float | None) -> None:
+        """Fold a snapshot value in; the incoming write wins if present."""
+        if value is not None:
+            self.set(value)
 
 
 class Histogram:
@@ -74,17 +158,26 @@ class Histogram:
     (``frexp``), so ``observe`` costs one dict increment and the merged
     snapshot still reconstructs the shape of e.g. per-unit wall times
     across a whole campaign.  Count, sum, min and max are tracked exactly.
+    Non-positive and non-finite observations land in exponent 0 (``frexp``
+    of inf/nan reports exponent 0, and values <= 0 are folded there
+    explicitly) so the bucket keys stay small integers.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict[str, str] | None = None):
         self.name = name
+        self.labels = labels
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
         self.buckets: dict[int, int] = {}
+
+    @property
+    def identity(self) -> str:
+        """Registry key: name plus sorted label set."""
+        return label_identity(self.name, self.labels)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -98,6 +191,25 @@ class Histogram:
         exponent = math.frexp(value)[1] if value > 0 else 0
         self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
 
+    def merge(self, entry: Mapping[str, Any]) -> None:
+        """Fold a snapshot entry (``{count, sum, min, max, buckets}``) in."""
+        count = int(entry.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(entry.get("sum", 0.0))
+        other_min = entry.get("min")
+        if other_min is not None and (self.min is None or other_min < self.min):
+            self.min = float(other_min)
+        other_max = entry.get("max")
+        if other_max is not None and (self.max is None or other_max > self.max):
+            self.max = float(other_max)
+        for exponent, bucket_count in entry.get("buckets") or []:
+            exponent = int(exponent)
+            self.buckets[exponent] = (
+                self.buckets.get(exponent, 0) + int(bucket_count)
+            )
+
     @property
     def mean(self) -> float | None:
         """Arithmetic mean of the observations (``None`` when empty)."""
@@ -108,18 +220,35 @@ class MetricsRegistry:
     """Named instruments of one run, created on first use.
 
     A name is bound to one instrument kind for the lifetime of the
-    registry; asking for the same name with a different kind is a bug in
-    the instrumentation and raises :class:`MetricsError`.
+    registry; asking for the same name with a different kind — even under
+    a different label set — is a bug in the instrumentation and raises
+    :class:`MetricsError`.
     """
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, type] = {}
 
-    def _get(self, name: str, kind: type) -> Any:
-        instrument = self._instruments.get(_check_name(name))
+    def _get(
+        self,
+        name: str,
+        kind: type,
+        labels: Mapping[str, str] | None = None,
+    ) -> Any:
+        _check_name(name)
+        checked = _check_labels(labels)
+        identity = label_identity(name, checked)
+        instrument = self._instruments.get(identity)
         if instrument is None:
-            instrument = kind(name)
-            self._instruments[name] = instrument
+            registered = self._kinds.get(name)
+            if registered is not None and registered is not kind:
+                raise MetricsError(
+                    f"metric {name!r} already registered as "
+                    f"{registered.__name__}, not {kind.__name__}"
+                )
+            instrument = kind(name, checked)
+            self._instruments[identity] = instrument
+            self._kinds[name] = kind
         elif type(instrument) is not kind:
             raise MetricsError(
                 f"metric {name!r} already registered as "
@@ -127,22 +256,29 @@ class MetricsRegistry:
             )
         return instrument
 
-    def counter(self, name: str) -> Counter:
+    def counter(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Counter:
         """The counter registered under ``name`` (created if absent)."""
-        return self._get(name, Counter)
+        return self._get(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Gauge:
         """The gauge registered under ``name`` (created if absent)."""
-        return self._get(name, Gauge)
+        return self._get(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Histogram:
         """The histogram registered under ``name`` (created if absent)."""
-        return self._get(name, Histogram)
+        return self._get(name, Histogram, labels)
 
     def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
-        """Iterate over the instruments in name order."""
+        """Iterate over the instruments in identity order."""
         return iter(
-            self._instruments[name] for name in sorted(self._instruments)
+            self._instruments[identity]
+            for identity in sorted(self._instruments)
         )
 
     def __len__(self) -> int:
@@ -152,32 +288,60 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, Any]:
         """One JSON-able mapping of every instrument's current state.
 
-        Shape: ``{"counters": {name: value}, "gauges": {name: value},
-        "histograms": {name: {count, sum, min, max, mean}}}`` with names
-        sorted — byte-stable for identical instrument states, so manifests
-        diff cleanly run over run.
+        Shape: ``{"counters": {identity: value}, "gauges": {identity:
+        value}, "histograms": {identity: {count, sum, min, max, mean,
+        buckets}}}`` with identities sorted and histogram ``buckets`` as
+        ``[[exponent, count], ...]`` pairs in ascending exponent order —
+        byte-stable for identical instrument states, so manifests diff
+        cleanly run over run and snapshots merge deterministically across
+        processes.
         """
         counters: dict[str, Any] = {}
         gauges: dict[str, Any] = {}
         histograms: dict[str, Any] = {}
         for instrument in self:
             if isinstance(instrument, Counter):
-                counters[instrument.name] = instrument.value
+                counters[instrument.identity] = instrument.value
             elif isinstance(instrument, Gauge):
-                gauges[instrument.name] = instrument.value
+                gauges[instrument.identity] = instrument.value
             else:
-                histograms[instrument.name] = {
+                histograms[instrument.identity] = {
                     "count": instrument.count,
                     "sum": instrument.total,
                     "min": instrument.min,
                     "max": instrument.max,
                     "mean": instrument.mean,
+                    "buckets": [
+                        [exponent, instrument.buckets[exponent]]
+                        for exponent in sorted(instrument.buckets)
+                    ],
                 }
         return {
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
         }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges take the incoming write when present, and
+        histograms fold counts/sums/extremes/buckets exactly.  Identities
+        are processed in sorted order and every fold is commutative over
+        disjoint observations, so merging N worker snapshots yields the
+        same registry state regardless of arrival order.
+        """
+        for identity in sorted(snapshot.get("counters", {})):
+            name, labels = parse_identity(identity)
+            self.counter(name, labels).merge(snapshot["counters"][identity])
+        for identity in sorted(snapshot.get("gauges", {})):
+            name, labels = parse_identity(identity)
+            self.gauge(name, labels).merge(snapshot["gauges"][identity])
+        for identity in sorted(snapshot.get("histograms", {})):
+            name, labels = parse_identity(identity)
+            self.histogram(name, labels).merge(
+                snapshot["histograms"][identity]
+            )
 
 
 class NullMetricsRegistry(MetricsRegistry):
@@ -191,6 +355,8 @@ class NullMetricsRegistry(MetricsRegistry):
         """Absorbs every instrument operation without recording anything."""
 
         name = "null"
+        labels = None
+        identity = "null"
         value = 0
         count = 0
         total = 0.0
@@ -205,19 +371,28 @@ class NullMetricsRegistry(MetricsRegistry):
         def set(self, value: float) -> None:
             """Discard a gauge write."""
 
+        def add(self, delta: float) -> None:
+            """Discard a gauge shift."""
+
         def observe(self, value: float) -> None:
             """Discard a histogram observation."""
 
+        def merge(self, entry: Any) -> None:
+            """Discard a snapshot fold."""
+
     _NULL = _NullInstrument()
 
-    def counter(self, name: str):  # type: ignore[override]
+    def counter(self, name, labels=None):  # type: ignore[override]
         """The shared no-op instrument, whatever the name."""
         return self._NULL
 
-    def gauge(self, name: str):  # type: ignore[override]
+    def gauge(self, name, labels=None):  # type: ignore[override]
         """The shared no-op instrument, whatever the name."""
         return self._NULL
 
-    def histogram(self, name: str):  # type: ignore[override]
+    def histogram(self, name, labels=None):  # type: ignore[override]
         """The shared no-op instrument, whatever the name."""
         return self._NULL
+
+    def merge_snapshot(self, snapshot) -> None:  # type: ignore[override]
+        """Discard a snapshot fold."""

@@ -1,0 +1,186 @@
+"""Live campaign progress: atomic ``progress.json`` plus heartbeat events.
+
+A multi-hour sharded campaign (the paper's 282k BS × 45 day footprint
+extrapolates to ~46 h) needs something between "stare at stdout" and
+"wait for the manifest": this module gives the driver a
+:class:`ProgressTracker` that, after every dispatch wave,
+
+* rewrites ``<telemetry-dir>/progress.json`` **atomically** (write to a
+  ``.tmp-`` sibling, then ``os.replace``) so a tailer — human, the
+  ``report --follow`` subcommand, or a dashboard — never reads a torn
+  file;
+* emits a ``heartbeat`` event into ``events.jsonl`` through the owning
+  telemetry, schema-validated like every other event.
+
+Rates are EWMA-smoothed (recent waves dominate, early warm-up noise
+decays) and the ETA is derived from the smoothed shard rate.  Everything
+here is strictly out-of-band: the tracker only *observes* counts the
+driver already has, so enabling or disabling progress tracking cannot
+change a campaign's aggregates byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .telemetry import Telemetry
+
+#: File name of the live progress snapshot inside a telemetry directory.
+PROGRESS_FILENAME = "progress.json"
+
+#: Format tag stamped into every progress snapshot.
+PROGRESS_SCHEMA = "repro-campaign-progress/1"
+
+#: Smoothing factor of the rate EWMA (weight of the newest wave).
+DEFAULT_EWMA_ALPHA = 0.3
+
+
+class ProgressError(OSError):
+    """Raised when a progress snapshot cannot be read."""
+
+
+def load_progress(directory: str | Path) -> dict[str, Any]:
+    """Read ``progress.json`` back from a telemetry directory."""
+    path = Path(directory) / PROGRESS_FILENAME
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ProgressError(f"cannot read progress at {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProgressError(f"progress at {path} is not a JSON object")
+    return payload
+
+
+class ProgressTracker:
+    """Per-wave progress observer of one sharded campaign run.
+
+    Parameters
+    ----------
+    telemetry:
+        The run's telemetry.  A falsy (null) telemetry makes the tracker
+        fully inert; a telemetry without a directory still emits
+        heartbeat events in-memory semantics (discarded with the sink)
+        but writes no file.
+    total_shards:
+        Number of shards the campaign will execute in total.
+    trace_id:
+        The run-scoped trace identifier, echoed into every snapshot so a
+        tailer can correlate the file with events and served aggregates.
+    ewma_alpha:
+        Weight of the newest inter-wave rate sample in the EWMA.
+    """
+
+    def __init__(
+        self,
+        telemetry: "Telemetry",
+        *,
+        total_shards: int,
+        trace_id: str | None = None,
+        ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+    ):
+        self._telemetry = telemetry
+        self.enabled = bool(telemetry)
+        self.total_shards = int(total_shards)
+        self.trace_id = trace_id
+        self._alpha = float(ewma_alpha)
+        self._start = time.monotonic()
+        self._last_time = self._start
+        self._last_shards = 0
+        self._last_sessions = 0
+        self._shard_rate: float | None = None
+        self._session_rate: float | None = None
+        self.path: Path | None = (
+            telemetry.directory / PROGRESS_FILENAME
+            if self.enabled and telemetry.directory is not None
+            else None
+        )
+
+    def _smooth(self, previous: float | None, sample: float) -> float:
+        if previous is None:
+            return sample
+        return self._alpha * sample + (1.0 - self._alpha) * previous
+
+    def update(
+        self,
+        shards_done: int,
+        sessions: int,
+        *,
+        wave: int,
+        peak_rss_mb: float | None = None,
+    ) -> dict[str, Any] | None:
+        """Record one wave's completion; returns the written snapshot.
+
+        ``shards_done``/``sessions`` are cumulative totals.  Returns
+        ``None`` (and does nothing) when the tracker is inert.
+        """
+        if not self.enabled:
+            return None
+        now = time.monotonic()
+        elapsed = now - self._start
+        dt = now - self._last_time
+        if dt > 0 and shards_done > self._last_shards:
+            self._shard_rate = self._smooth(
+                self._shard_rate, (shards_done - self._last_shards) / dt
+            )
+            self._session_rate = self._smooth(
+                self._session_rate, (sessions - self._last_sessions) / dt
+            )
+        self._last_time = now
+        self._last_shards = int(shards_done)
+        self._last_sessions = int(sessions)
+        remaining = max(0, self.total_shards - int(shards_done))
+        if remaining == 0:
+            eta_s: float | None = 0.0
+        elif self._shard_rate:
+            eta_s = remaining / self._shard_rate
+        else:
+            eta_s = None
+        snapshot: dict[str, Any] = {
+            "schema": PROGRESS_SCHEMA,
+            "trace_id": self.trace_id,
+            "shards": {"done": int(shards_done), "total": self.total_shards},
+            "sessions": int(sessions),
+            "sessions_per_s": (
+                round(self._session_rate, 3)
+                if self._session_rate is not None
+                else None
+            ),
+            "shards_per_s": (
+                round(self._shard_rate, 6)
+                if self._shard_rate is not None
+                else None
+            ),
+            "wave": int(wave),
+            "elapsed_s": round(elapsed, 3),
+            "eta_s": round(eta_s, 3) if eta_s is not None else None,
+            "peak_rss_mb": (
+                round(peak_rss_mb, 3) if peak_rss_mb is not None else None
+            ),
+        }
+        if self.path is not None:
+            self._write(snapshot)
+        self._telemetry.heartbeat(
+            done=int(shards_done),
+            total=self.total_shards,
+            sessions=int(sessions),
+            rate=snapshot["sessions_per_s"],
+            eta_s=snapshot["eta_s"],
+            wave=int(wave),
+            elapsed_s=snapshot["elapsed_s"],
+        )
+        return snapshot
+
+    def _write(self, snapshot: dict[str, Any]) -> None:
+        """Atomically rewrite ``progress.json`` (tmp sibling + replace)."""
+        assert self.path is not None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".tmp-{self.path.name}")
+        tmp.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        )
+        os.replace(tmp, self.path)

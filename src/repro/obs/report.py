@@ -5,13 +5,22 @@ run's ``manifest.json`` (and, when present, its ``events.jsonl``) and
 formats the stage timing table, the metric snapshot and the span census as
 plain aligned text — no dependencies, so the renderer works in any
 environment that can read the files.
+
+``repro-traffic report --follow`` switches to :func:`follow_run`, which
+tails a *live* run instead: events are rendered as their lines land in
+``events.jsonl`` (heartbeats, stage outcomes, messages, access records)
+and the tail terminates when the final ``metrics`` snapshot appears — or
+when ``--follow-timeout`` elapses, so scripted smokes never hang.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
+from .progress import PROGRESS_FILENAME, load_progress
 from .sinks import EVENTS_FILENAME, load_manifest, read_events
 
 
@@ -157,3 +166,106 @@ def render_run(directory: str | Path) -> list[str]:
                 )
             )
     return lines
+
+
+def _follow_line(event: dict[str, Any]) -> str | None:
+    """One rendered line per followed event (``None`` to stay silent)."""
+    event_type = event.get("type")
+    if event_type == "heartbeat":
+        eta = event.get("eta_s")
+        rate = event.get("rate")
+        eta_text = f"eta {eta:.0f}s" if eta is not None else "eta n/a"
+        rate_text = f"{rate:,.0f}/s" if rate is not None else "warming up"
+        return (
+            f"[follow] wave {event.get('wave')}: "
+            f"{event.get('done')}/{event.get('total')} shards, "
+            f"{event.get('sessions'):,} sessions ({rate_text}), {eta_text}"
+        )
+    if event_type == "stage":
+        return (
+            f"[follow] stage {event.get('name')} {event.get('status')} "
+            f"in {_format_value(event.get('seconds'))}s"
+        )
+    if event_type == "message":
+        return f"[follow] {event.get('text')}"
+    if event_type == "access":
+        return (
+            f"[follow] {event.get('method')} {event.get('route')} "
+            f"{event.get('status')}"
+        )
+    return None
+
+
+def follow_run(
+    directory: str | Path,
+    *,
+    poll_s: float = 0.5,
+    timeout_s: float | None = None,
+    emit: Callable[[str], None] = print,
+) -> str:
+    """Tail a live run's telemetry; returns ``"finished"`` or ``"timeout"``.
+
+    Renders events as their lines land in ``events.jsonl`` and, alongside
+    each heartbeat, the matching ``progress.json`` snapshot.  Terminates
+    when the stream's final ``metrics`` snapshot appears (the run is
+    over) or when ``timeout_s`` elapses — a completed run's directory
+    therefore renders fully and returns immediately, which is what the CI
+    smoke relies on.  Unparsable (torn) trailing lines are retried on the
+    next poll, never fatal.
+    """
+    directory = Path(directory)
+    events_path = directory / EVENTS_FILENAME
+    start = time.monotonic()
+
+    def timed_out() -> bool:
+        return (
+            timeout_s is not None
+            and time.monotonic() - start >= timeout_s
+        )
+
+    while not events_path.exists():
+        if timed_out():
+            emit(f"[follow] timeout waiting for {events_path}")
+            return "timeout"
+        time.sleep(poll_s)
+    emit(f"[follow] tailing {events_path}")
+    buffer = ""
+    with events_path.open(encoding="utf-8") as handle:
+        while True:
+            chunk = handle.readline()
+            if not chunk:
+                if timed_out():
+                    emit("[follow] timeout")
+                    return "timeout"
+                time.sleep(poll_s)
+                continue
+            buffer += chunk
+            if not buffer.endswith("\n"):
+                continue
+            line, buffer = buffer.strip(), ""
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(event, dict):
+                continue
+            rendered = _follow_line(event)
+            if rendered is not None:
+                emit(rendered)
+            if event.get("type") == "heartbeat":
+                try:
+                    progress = load_progress(directory)
+                except OSError:
+                    progress = None
+                if progress is not None:
+                    rss = progress.get("peak_rss_mb")
+                    emit(
+                        f"[follow] {PROGRESS_FILENAME}: "
+                        f"elapsed {progress.get('elapsed_s')}s, "
+                        f"peak rss {_format_value(rss)} MB"
+                    )
+            if event.get("type") == "metrics":
+                emit("[follow] run finished (metrics snapshot observed)")
+                return "finished"

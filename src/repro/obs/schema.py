@@ -6,6 +6,9 @@ selects its shape:
 * ``span`` — one closed span of the run hierarchy;
 * ``stage`` — one pipeline stage outcome (the observer's record);
 * ``message`` — a free-form progress message;
+* ``access`` — one served HTTP request (the RED access-log record);
+* ``heartbeat`` — one campaign progress beat (shards done/total, rates,
+  ETA) mirroring the atomically-rewritten ``progress.json``;
 * ``metrics`` — the final metric snapshot (last line of a finished run).
 
 The canonical machine-readable form is the checked-in JSON Schema document
@@ -64,6 +67,25 @@ EVENT_FIELDS: dict[str, dict[str, tuple[tuple[str, ...], bool, tuple | None]]] =
         "type": (("string",), True, ("message",)),
         "level": (("string",), True, None),
         "text": (("string",), True, None),
+    },
+    "access": {
+        "type": (("string",), True, ("access",)),
+        "route": (("string",), True, None),
+        "method": (("string",), True, None),
+        "status": (("integer",), True, None),
+        "seconds": (("number",), True, None),
+        "bytes": (("integer",), True, None),
+        "trace": (("string", "null"), False, None),
+    },
+    "heartbeat": {
+        "type": (("string",), True, ("heartbeat",)),
+        "done": (("integer",), True, None),
+        "total": (("integer",), True, None),
+        "sessions": (("integer",), True, None),
+        "rate": (("number", "null"), True, None),
+        "eta_s": (("number", "null"), True, None),
+        "wave": (("integer",), True, None),
+        "elapsed_s": (("number",), True, None),
     },
     "metrics": {
         "type": (("string",), True, ("metrics",)),
@@ -223,18 +245,56 @@ def render_schema() -> str:
     return json.dumps(json_schema(), indent=2, sort_keys=True) + "\n"
 
 
-def _main() -> int:
-    """Regenerate the checked-in schema, or validate a stream argument."""
+def _main(argv: list[str] | None = None) -> int:
+    """Regenerate the checked-in schema, or validate a stream argument.
+
+    ``python -m repro.obs.schema [--quiet] [events.jsonl]`` — with a path
+    argument the stream is validated, without one the checked-in schema
+    document is regenerated.  Exit codes are a documented contract (CI
+    and scripts rely on them):
+
+    * ``0`` — the stream is valid (or the schema was regenerated);
+    * ``1`` — the stream is invalid or unreadable;
+    * ``2`` — usage error (unknown flag, extra arguments).
+
+    ``--quiet`` suppresses the success line; diagnostics still go to
+    stderr on failure.
+    """
+    import argparse
     import sys
 
-    if len(sys.argv) > 1:
-        counts = validate_events_file(sys.argv[1])
-        print(f"{sys.argv[1]}: valid ({counts})")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description=(
+            "Validate a telemetry events.jsonl stream, or (with no path) "
+            "regenerate the checked-in JSON Schema document."
+        ),
+    )
+    parser.add_argument(
+        "path", nargs="?", default=None, help="events.jsonl file to validate"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the success line"
+    )
+    try:
+        options = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; pin both.
+        return 2 if exc.code else 0
+    if options.path is not None:
+        try:
+            counts = validate_events_file(options.path)
+        except (SchemaError, OSError) as exc:
+            print(f"{options.path}: invalid: {exc}", file=sys.stderr)
+            return 1
+        if not options.quiet:
+            print(f"{options.path}: valid ({counts})")
         return 0
     path = Path(SCHEMA_PATH)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(render_schema())
-    print(f"wrote {path}")
+    if not options.quiet:
+        print(f"wrote {path}")
     return 0
 
 

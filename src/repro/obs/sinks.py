@@ -152,12 +152,14 @@ def build_manifest(
     metrics: dict[str, Any],
     spans_by_kind: dict[str, int],
     events_path: str | None,
+    trace_id: str | None = None,
 ) -> dict[str, Any]:
     """Assemble the manifest payload of one finished run."""
     return {
         "schema": MANIFEST_SCHEMA,
         "command": command,
         "seed": seed,
+        "trace_id": trace_id,
         "argv": argv,
         "git_sha": git_revision(),
         "config_digest": config_digest(config),

@@ -71,6 +71,12 @@ class Telemetry:
     profile:
         Enable the per-stage :mod:`cProfile` hook — each profiled stage
         dumps ``profile-<stage>.pstats`` into ``directory``.
+    trace_id:
+        Run-scoped trace identifier (minted deterministically from the
+        root seed by :class:`~repro.pipeline.context.RunContext`).  It is
+        stamped into the manifest, carried on ``access`` events and
+        echoed by downstream consumers (campaign checkpoints, the serve
+        store, the ``X-Repro-Trace`` response header).
     """
 
     def __init__(
@@ -79,11 +85,13 @@ class Telemetry:
         verbosity: int = 1,
         log_json: bool = False,
         profile: bool = False,
+        trace_id: str | None = None,
     ):
         self.directory = Path(directory) if directory is not None else None
         self.verbosity = int(verbosity)
         self.log_json = bool(log_json)
         self.profile = bool(profile)
+        self.trace_id = trace_id
         self.metrics = MetricsRegistry()
         self._origin = time.perf_counter()
         self._sink = (
@@ -256,6 +264,109 @@ class Telemetry:
         elif self.verbosity >= 1:
             self._emit_line(text)
 
+    def access(
+        self,
+        *,
+        route: str,
+        method: str,
+        status: int,
+        seconds: float,
+        bytes_sent: int,
+        trace: str | None = None,
+    ) -> None:
+        """Record one served HTTP request (the RED access-log line).
+
+        Streams a schema-validated ``access`` event into ``events.jsonl``
+        and, at verbosity >= 2 (or in ``log_json`` mode), renders one line
+        to stdout.  ``trace`` is the trace id of the campaign whose data
+        answered the request, when the route resolved one.
+        """
+        if self._sink is not None:
+            self._sink.write(
+                {
+                    "type": "access",
+                    "route": route,
+                    "method": method,
+                    "status": int(status),
+                    "seconds": round(float(seconds), 6),
+                    "bytes": int(bytes_sent),
+                    "trace": trace,
+                }
+            )
+        if self.log_json:
+            self._emit_line(
+                json.dumps(
+                    {
+                        "type": "access",
+                        "route": route,
+                        "method": method,
+                        "status": int(status),
+                        "seconds": round(float(seconds), 6),
+                        "bytes": int(bytes_sent),
+                        "trace": trace,
+                    },
+                    sort_keys=True,
+                )
+            )
+        elif self.verbosity >= 2:
+            self._emit_line(
+                f"[access] {method} {route} {int(status)} "
+                f"{float(seconds) * 1000.0:.1f}ms {int(bytes_sent)}B"
+            )
+
+    def heartbeat(
+        self,
+        *,
+        done: int,
+        total: int,
+        sessions: int,
+        rate: float | None,
+        eta_s: float | None,
+        wave: int,
+        elapsed_s: float,
+    ) -> None:
+        """Record one campaign progress beat (mirrors ``progress.json``).
+
+        Streams a schema-validated ``heartbeat`` event and, at verbosity
+        >= 1, renders a single human progress line.
+        """
+        if self._sink is not None:
+            self._sink.write(
+                {
+                    "type": "heartbeat",
+                    "done": int(done),
+                    "total": int(total),
+                    "sessions": int(sessions),
+                    "rate": rate,
+                    "eta_s": eta_s,
+                    "wave": int(wave),
+                    "elapsed_s": float(elapsed_s),
+                }
+            )
+        if self.log_json:
+            self._emit_line(
+                json.dumps(
+                    {
+                        "type": "heartbeat",
+                        "done": int(done),
+                        "total": int(total),
+                        "sessions": int(sessions),
+                        "rate": rate,
+                        "eta_s": eta_s,
+                        "wave": int(wave),
+                        "elapsed_s": float(elapsed_s),
+                    },
+                    sort_keys=True,
+                )
+            )
+        elif self.verbosity >= 1:
+            eta = f"eta {eta_s:.0f}s" if eta_s is not None else "eta n/a"
+            rate_text = f"{rate:,.0f}/s" if rate is not None else "warming up"
+            self._emit_line(
+                f"[campaign] wave {int(wave)}: {int(done)}/{int(total)} "
+                f"shards, {int(sessions):,} sessions ({rate_text}), {eta}"
+            )
+
     # ------------------------------------------------------------------
     # Profiling hook
     # ------------------------------------------------------------------
@@ -318,6 +429,7 @@ class Telemetry:
         manifest = build_manifest(
             command=command,
             seed=seed,
+            trace_id=self.trace_id,
             argv=argv,
             config=config,
             status=status,
@@ -382,6 +494,12 @@ class NullTelemetry(Telemetry):
 
     def message(self, text: str, level: str = "info") -> None:
         """Discard a progress message."""
+
+    def access(self, **kwargs) -> None:  # type: ignore[override]
+        """Discard an access record."""
+
+    def heartbeat(self, **kwargs) -> None:  # type: ignore[override]
+        """Discard a progress beat."""
 
     @contextmanager
     def profile_stage(self, stage: str):

@@ -290,16 +290,19 @@ class ParallelExecutor:
             worker_rss = max(rss for _, _, _, rss in units)
             busy += worker_wall
             pool_rss = max(pool_rss, worker_rss)
+            worker_attrs = {
+                "pid": pid,
+                "units": len(units),
+                "peak_rss_mb": round(worker_rss, 1),
+            }
+            if obs.trace_id is not None:
+                worker_attrs["trace"] = obs.trace_id
             worker_span = obs.record_span(
                 f"worker-{slot}",
                 "worker",
                 worker_wall,
                 worker_cpu,
-                attrs={
-                    "pid": pid,
-                    "units": len(units),
-                    "peak_rss_mb": round(worker_rss, 1),
-                },
+                attrs=worker_attrs,
             )
             parent = worker_span.span_id if worker_span else None
             for index, wall, cpu, _rss in units:

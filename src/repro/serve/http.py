@@ -40,11 +40,15 @@ from __future__ import annotations
 import hmac
 import json
 import socketserver
+import time
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 from urllib.parse import parse_qs
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer
 from wsgiref.simple_server import make_server as _wsgiref_make_server
 
+from ..obs.expose import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..obs.expose import render_exposition
+from ..obs.metrics import MetricsRegistry
 from .schema import SubmitSchemaError
 from .store import (
     ARRIVALS_FAMILY,
@@ -129,6 +133,13 @@ class ServeApp:
         self.token = token
         self.readonly = bool(readonly)
         self.telemetry = telemetry
+        # RED instrumentation writes here: the run's registry when a
+        # telemetry is attached, a private one otherwise — so /metrics
+        # always has something to expose and instrumented code never
+        # branches.  Either way the registry is out-of-band.
+        self.metrics: MetricsRegistry = (
+            telemetry.metrics if telemetry is not None else MetricsRegistry()
+        )
         self._routes: dict[str, Callable[[dict, dict], tuple]] = {
             "/v1/campaigns": self._get_campaigns,
             "/v1/services/shares": self._get_shares,
@@ -138,24 +149,82 @@ class ServeApp:
             "/v1/fidelity": self._get_fidelity,
             "/v1/openapi.json": self._get_openapi,
         }
+        #: Campaign-scoped routes whose responses carry ``X-Repro-Trace``.
+        self._traced_routes = frozenset(
+            (
+                "/v1/services/shares",
+                "/v1/pdf/volume",
+                "/v1/pdf/duration",
+                "/v1/fidelity",
+            )
+        )
 
     # -- metrics (out-of-band) -----------------------------------------
     def _count(self, name: str, amount: int = 1) -> None:
-        if self.telemetry is not None:
-            self.telemetry.metrics.counter(name).inc(amount)
+        self.metrics.counter(name).inc(amount)
 
     def _gauge_campaigns(self) -> None:
-        if self.telemetry is not None:
-            self.telemetry.metrics.gauge("serve.campaigns").set(
-                len(self.store.campaign_names())
-            )
+        self.metrics.gauge("serve.campaigns").set(
+            len(self.store.campaign_names())
+        )
 
     # -- WSGI entry point ------------------------------------------------
     def __call__(self, environ: dict, start_response) -> Iterable[bytes]:
+        """RED-instrumented entry: time, count and log every request.
+
+        Wraps :meth:`_handle` with the request-level telemetry of the
+        tentpole: a per-(route, method, status) latency histogram, an
+        in-flight gauge, and a schema-validated ``access`` event through
+        the run's sink.  The wrapper only observes — status and body pass
+        through byte-identical.
+        """
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/")
+        route = (
+            path
+            if path in self._routes or path in ("/v1/submit", "/metrics")
+            else "other"
+        )
+        captured: dict[str, Any] = {"status": 500}
+
+        def recording_start_response(status, headers, *args):
+            captured["status"] = int(status.split()[0])
+            return start_response(status, headers, *args)
+
+        self.metrics.gauge("serve.inflight").add(1)
+        start = time.perf_counter()
+        try:
+            body = [
+                chunk for chunk in self._handle(environ, recording_start_response)
+            ]
+        finally:
+            self.metrics.gauge("serve.inflight").add(-1)
+        seconds = time.perf_counter() - start
+        status = int(captured["status"])
+        self.metrics.histogram(
+            "serve.request.seconds",
+            {"route": route, "method": method, "status": str(status)},
+        ).observe(seconds)
+        if self.telemetry is not None:
+            self.telemetry.access(
+                route=route,
+                method=method,
+                status=status,
+                seconds=seconds,
+                bytes_sent=sum(len(chunk) for chunk in body),
+                trace=environ.get("repro.serve.trace"),
+            )
+        return body
+
+    def _handle(self, environ: dict, start_response) -> Iterable[bytes]:
         method = environ.get("REQUEST_METHOD", "GET")
         path = environ.get("PATH_INFO", "/")
         self._count("serve.requests")
         try:
+            if path == "/metrics":
+                if method not in ("GET", "HEAD"):
+                    return self._error(start_response, 405, "GET only")
+                return self._get_metrics(environ, start_response, method)
             if path == "/v1/submit":
                 if method != "POST":
                     return self._error(start_response, 405, "POST only")
@@ -176,10 +245,17 @@ class ServeApp:
             status, document, etag = handler(environ, query)
             if status != 200:
                 return self._error(start_response, status, document)
+            trace_headers: list[tuple[str, str]] = []
+            if path in self._traced_routes:
+                trace = self._campaign_trace(query)
+                if trace:
+                    environ["repro.serve.trace"] = trace
+                    trace_headers.append(("X-Repro-Trace", trace))
             if _etag_matches(environ.get("HTTP_IF_NONE_MATCH"), etag):
                 self._count("serve.not_modified")
                 start_response(
-                    _STATUS_LINES[304], [("ETag", f'"{etag}"')]
+                    _STATUS_LINES[304],
+                    [("ETag", f'"{etag}"')] + trace_headers,
                 )
                 return [b""]
             body = (
@@ -196,7 +272,8 @@ class ServeApp:
                     ("Content-Length", str(len(body))),
                     ("ETag", f'"{etag}"'),
                     ("Cache-Control", "no-cache"),
-                ],
+                ]
+                + trace_headers,
             )
             return [body] if method == "GET" else [b""]
         except _BadRequest as exc:
@@ -232,6 +309,13 @@ class ServeApp:
             400,
             f"campaign parameter required (ingested: {', '.join(names)})",
         )
+
+    def _campaign_trace(self, query: dict) -> str | None:
+        """Trace id of the campaign a query addresses, if recorded."""
+        scope = self._resolve_campaign(query)
+        if isinstance(scope, tuple):
+            return None
+        return self.store.trace(scope)
 
     @staticmethod
     def _pagination(query: dict) -> tuple[int | None, int | None]:
@@ -330,6 +414,21 @@ class ServeApp:
         from .openapi import render_spec, spec_etag
 
         return 200, render_spec(), spec_etag()
+
+    # -- GET /metrics ------------------------------------------------------
+    def _get_metrics(
+        self, environ: dict, start_response, method: str
+    ) -> Iterable[bytes]:
+        """Prometheus text exposition of the app's metrics registry."""
+        body = render_exposition(self.metrics.snapshot()).encode("utf-8")
+        start_response(
+            _STATUS_LINES[200],
+            [
+                ("Content-Type", METRICS_CONTENT_TYPE),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body] if method == "GET" else [b""]
 
     # -- POST /v1/submit --------------------------------------------------
     def _authorized(self, environ: dict) -> bool:

@@ -71,8 +71,17 @@ def _component_schemas() -> dict[str, dict]:
                 "units": {"type": "integer"},
                 "shards": {"type": "integer"},
                 "manifest": {"type": ["object", "null"]},
+                "trace": {"type": ["string", "null"]},
             },
-            ["name", "digest", "sessions", "units", "shards", "manifest"],
+            [
+                "name",
+                "digest",
+                "sessions",
+                "units",
+                "shards",
+                "manifest",
+                "trace",
+            ],
         ),
         "CampaignList": _object(
             {

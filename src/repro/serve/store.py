@@ -97,8 +97,20 @@ class AggregateStore:
                 " aggregate TEXT NOT NULL,"
                 " sessions INTEGER NOT NULL,"
                 " units INTEGER NOT NULL,"
-                " shards INTEGER NOT NULL)"
+                " shards INTEGER NOT NULL,"
+                " trace_id TEXT)"
             )
+            # Additive migration: stores created before trace provenance
+            # landed lack the column; ALTER is idempotent per open, cheap,
+            # and keeps the format version at 1 (old readers still work).
+            columns = {
+                row[1]
+                for row in conn.execute("PRAGMA table_info(campaigns)")
+            }
+            if "trace_id" not in columns:
+                conn.execute(
+                    "ALTER TABLE campaigns ADD COLUMN trace_id TEXT"
+                )
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS documents ("
                 " scope TEXT NOT NULL,"
@@ -146,14 +158,15 @@ class AggregateStore:
     def _write_campaign(
         self, conn: sqlite3.Connection, name: str,
         aggregate: CampaignAggregate, shards: int,
+        trace_id: str | None = None,
     ) -> str:
         """Replace one campaign's aggregate row and all its documents."""
         digest = aggregate.digest()
         documents = build_aggregate_documents(name, aggregate, self.baseline)
         conn.execute(
             "INSERT OR REPLACE INTO campaigns "
-            "(name, digest, aggregate, sessions, units, shards) "
-            "VALUES (?, ?, ?, ?, ?, ?)",
+            "(name, digest, aggregate, sessions, units, shards, trace_id) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
             (
                 name,
                 digest,
@@ -161,6 +174,7 @@ class AggregateStore:
                 aggregate.n_sessions,
                 aggregate.n_units,
                 shards,
+                trace_id,
             ),
         )
         for family, document in documents.items():
@@ -183,6 +197,22 @@ class AggregateStore:
         except SketchError as exc:
             raise StoreError(f"invalid aggregate payload: {exc}") from exc
 
+    @staticmethod
+    def _extract_trace(payload: Mapping[str, Any]) -> str | None:
+        """The ``provenance.trace_id`` a producer rode on the payload.
+
+        Campaign checkpoints and ``campaign --output`` files carry a
+        ``provenance`` envelope key outside the aggregate's own
+        serialization (``from_dict`` ignores it); absence is fine —
+        provenance is additive, never required.
+        """
+        provenance = payload.get("provenance")
+        if isinstance(provenance, Mapping):
+            trace = provenance.get("trace_id")
+            if isinstance(trace, str) and trace:
+                return trace
+        return None
+
     def ingest_aggregate(
         self,
         name: str,
@@ -190,16 +220,21 @@ class AggregateStore:
         *,
         expect_digest: str | None = None,
         shards: int = 0,
+        trace_id: str | None = None,
     ) -> str:
         """Ingest one merged aggregate payload; returns its digest.
 
         ``expect_digest`` is the digest the producer computed; when given,
         it must equal the digest of the re-serialized canonical payload
         (:class:`DigestMismatchError` otherwise — nothing is stored).
+        ``trace_id`` overrides the payload's own ``provenance.trace_id``
+        when given.
         """
         if not name:
             raise StoreError("campaign name must be non-empty")
         aggregate = self._parse_aggregate(payload)
+        if trace_id is None:
+            trace_id = self._extract_trace(payload)
         digest = aggregate.digest()
         if expect_digest is not None and expect_digest != digest:
             raise DigestMismatchError(
@@ -207,7 +242,7 @@ class AggregateStore:
                 f"submitted {expect_digest}, canonical bytes give {digest}"
             )
         with self._lock, self._conn as conn:
-            self._write_campaign(conn, name, aggregate, shards)
+            self._write_campaign(conn, name, aggregate, shards, trace_id)
         return digest
 
     def ingest_aggregate_file(self, name: str, path: str | Path) -> str:
@@ -238,19 +273,23 @@ class AggregateStore:
                 f"no {CHECKPOINT_KIND} checkpoints under {directory}"
             )
         total: CampaignAggregate | None = None
+        trace_id: str | None = None
         for path in paths:
             try:
-                shard = CampaignAggregate.from_dict(
-                    json.loads(path.read_text(encoding="utf-8"))
-                )
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                shard = CampaignAggregate.from_dict(payload)
             except (OSError, json.JSONDecodeError, SketchError) as exc:
                 raise StoreError(
                     f"cannot load checkpoint {path}: {exc}"
                 ) from exc
+            if trace_id is None and isinstance(payload, Mapping):
+                trace_id = self._extract_trace(payload)
             total = shard if total is None else total.merge(shard)
         assert total is not None
         with self._lock, self._conn as conn:
-            digest = self._write_campaign(conn, name, total, len(paths))
+            digest = self._write_campaign(
+                conn, name, total, len(paths), trace_id
+            )
         return digest, len(paths)
 
     def ingest_release(self, path: str | Path) -> str:
@@ -325,7 +364,7 @@ class AggregateStore:
                     f"line #{len(lines)}: not valid JSON: {exc}"
                 ) from exc
         counts = validate_submissions(lines)
-        aggregates: list[tuple[str, CampaignAggregate]] = []
+        aggregates: list[tuple[str, CampaignAggregate, str | None]] = []
         manifests: list[tuple[str, Any]] = []
         campaigns: list[str] = []
         for line in lines:
@@ -338,14 +377,20 @@ class AggregateStore:
                         f" submitted {line['digest']},"
                         f" canonical bytes give {digest}"
                     )
-                aggregates.append((line["campaign"], aggregate))
+                aggregates.append(
+                    (
+                        line["campaign"],
+                        aggregate,
+                        self._extract_trace(line["payload"]),
+                    )
+                )
             else:
                 manifests.append((line["campaign"], line["payload"]))
             if line["campaign"] not in campaigns:
                 campaigns.append(line["campaign"])
         with self._lock, self._conn as conn:
-            for name, aggregate in aggregates:
-                self._write_campaign(conn, name, aggregate, 0)
+            for name, aggregate, trace_id in aggregates:
+                self._write_campaign(conn, name, aggregate, 0, trace_id)
             for name, payload in manifests:
                 conn.execute(
                     "INSERT OR REPLACE INTO manifests (campaign, body) "
@@ -370,18 +415,19 @@ class AggregateStore:
         with self._lock:
             rows = self._conn.execute(
                 "SELECT c.name, c.digest, c.sessions, c.units, c.shards,"
-                " m.body FROM campaigns c"
+                " c.trace_id, m.body FROM campaigns c"
                 " LEFT JOIN manifests m ON m.campaign = c.name"
                 " ORDER BY c.name"
             ).fetchall()
         entries = []
-        for name, digest, sessions, units, shards, manifest in rows:
+        for name, digest, sessions, units, shards, trace, manifest in rows:
             entry: dict[str, Any] = {
                 "name": name,
                 "digest": digest,
                 "sessions": sessions,
                 "units": units,
                 "shards": shards,
+                "trace": trace,
                 "manifest": (
                     json.loads(manifest) if manifest is not None else None
                 ),
@@ -417,6 +463,14 @@ class AggregateStore:
         if row is None:
             return None
         return CampaignAggregate.from_dict(json.loads(row[0]))
+
+    def trace(self, name: str) -> str | None:
+        """One campaign's trace id, if its producer recorded provenance."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT trace_id FROM campaigns WHERE name = ?", (name,)
+            ).fetchone()
+        return row[0] if row is not None else None
 
     def manifest(self, name: str) -> dict[str, Any] | None:
         """One campaign's attached run manifest, if any."""

@@ -273,3 +273,59 @@ class TestAggregateFidelity:
                 baseline,
                 claims=["no-such-claim"],
             )
+
+
+class TestTraceProvenance:
+    """Trace ids flow seed -> driver -> checkpoints without touching bytes."""
+
+    def test_trace_id_is_a_pure_function_of_the_root_seed(self, generator):
+        from repro.pipeline.context import mint_trace_id
+
+        result = run_campaign(generator, DAYS, SEED, hll_precision=P)
+        assert result.trace_id == mint_trace_id(SEED)
+        assert result.provenance() == {"trace_id": result.trace_id}
+        assert result.summary()["trace_id"] == result.trace_id
+
+    def test_telemetry_and_progress_never_change_the_digest(
+        self, generator, reference, tmp_path
+    ):
+        from repro.obs.progress import load_progress
+        from repro.obs.telemetry import Telemetry
+
+        plain = run_campaign(generator, DAYS, SEED, hll_precision=P)
+        telemetry = Telemetry(directory=tmp_path, verbosity=0)
+        observed = run_campaign(
+            generator, DAYS, SEED, telemetry=telemetry, hll_precision=P
+        )
+        telemetry.finalize(command="campaign")
+        assert observed.digest() == plain.digest() == reference.digest()
+        assert (
+            observed.aggregate.canonical_json()
+            == plain.aggregate.canonical_json()
+        )
+        progress = load_progress(tmp_path)
+        assert progress["shards"]["done"] == progress["shards"]["total"]
+        assert progress["trace_id"] == observed.trace_id
+
+    def test_checkpoints_ride_the_provenance_envelope(
+        self, generator, tmp_path
+    ):
+        import json
+
+        from repro.campaign.driver import CHECKPOINT_KIND, CHECKPOINT_SUFFIX
+
+        result = run_campaign(
+            generator,
+            DAYS,
+            SEED,
+            shard_bs=2,
+            cache=ArtifactCache(tmp_path),
+            hll_precision=P,
+        )
+        paths = sorted((tmp_path / CHECKPOINT_KIND).glob(f"*{CHECKPOINT_SUFFIX}"))
+        assert len(paths) == result.n_shards
+        for path in paths:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            assert payload["provenance"] == {"trace_id": result.trace_id}
+            # The envelope is ignored by the canonical deserializer.
+            CampaignAggregate.from_dict(payload)

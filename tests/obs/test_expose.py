@@ -1,0 +1,285 @@
+"""Prometheus exposition: rendering, parsing, the sidecar and its CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.expose import (
+    CONTENT_TYPE,
+    ExpositionError,
+    MetricsSidecar,
+    _main as expose_main,
+    metric_name,
+    parse_exposition,
+    registry_exposition,
+    render_exposition,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    """A registry exercising every instrument kind and a label set."""
+    registry = MetricsRegistry()
+    registry.counter("cache.hits").inc(3)
+    registry.counter(
+        "serve.requests.by", {"route": "/v1/fidelity", "status": "200"}
+    ).inc(2)
+    registry.gauge("executor.utilization").set(0.75)
+    histogram = registry.histogram("executor.unit_wall_s")
+    for value in (0.25, 0.5, 3.0, 3.5):
+        histogram.observe(value)
+    return registry
+
+
+class TestRendering:
+    def test_round_trips_through_the_parser(self):
+        families = parse_exposition(registry_exposition(populated_registry()))
+        assert families[metric_name("cache.hits") + "_total"] == {
+            "type": "counter",
+            "samples": 1,
+        }
+        assert families["repro_serve_requests_by_total"]["type"] == "counter"
+        assert families["repro_executor_utilization"]["type"] == "gauge"
+        histogram = families["repro_executor_unit_wall_s"]
+        assert histogram["type"] == "histogram"
+        # buckets (incl. +Inf) plus _sum plus _count
+        assert histogram["samples"] >= 4
+
+    def test_counter_names_carry_the_total_suffix(self):
+        text = registry_exposition(populated_registry())
+        assert "repro_cache_hits_total 3" in text
+        assert (
+            'repro_serve_requests_by_total{route="/v1/fidelity",'
+            'status="200"} 2' in text
+        )
+
+    def test_output_is_byte_stable_across_insertion_order(self):
+        forward = populated_registry()
+        backward = MetricsRegistry()
+        histogram = backward.histogram("executor.unit_wall_s")
+        for value in (0.25, 0.5, 3.0, 3.5):
+            histogram.observe(value)
+        backward.gauge("executor.utilization").set(0.75)
+        backward.counter(
+            "serve.requests.by", {"status": "200", "route": "/v1/fidelity"}
+        ).inc(2)
+        backward.counter("cache.hits").inc(3)
+        assert registry_exposition(forward) == registry_exposition(backward)
+
+    def test_unset_gauges_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.written")
+        registry.counter("seen").inc()
+        text = registry_exposition(registry)
+        assert "never_written" not in text
+        assert parse_exposition(text)
+
+    def test_empty_registry_renders_nothing(self):
+        assert registry_exposition(MetricsRegistry()) == ""
+        assert parse_exposition("") == {}
+
+    def test_histogram_inf_bucket_equals_count(self):
+        text = registry_exposition(populated_registry())
+        inf_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_executor_unit_wall_s_bucket")
+            and 'le="+Inf"' in line
+        )
+        count_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_executor_unit_wall_s_count")
+        )
+        assert inf_line.rsplit(" ", 1)[1] == count_line.rsplit(" ", 1)[1]
+
+
+class TestHistogramEdgeMagnitudes:
+    """frexp bucketing survives the pathological float magnitudes."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [0.0, -1.5, -math.inf, math.inf, math.nan],
+        ids=["zero", "negative", "neg-inf", "pos-inf", "nan"],
+    )
+    def test_non_positive_and_non_finite_land_in_exponent_zero(self, value):
+        registry = MetricsRegistry()
+        registry.histogram("edge").observe(value)
+        entry = registry.snapshot()["histograms"]["edge"]
+        assert entry["buckets"] == [[0, 1]]
+        # inf/nan contaminate the sum but the exposition still parses.
+        assert parse_exposition(registry_exposition(registry))
+
+    def test_subnormal_magnitude_keeps_its_tiny_bound(self):
+        registry = MetricsRegistry()
+        registry.histogram("edge").observe(5e-324)  # smallest subnormal
+        ((exponent, count),) = registry.snapshot()["histograms"]["edge"][
+            "buckets"
+        ]
+        assert count == 1
+        assert math.ldexp(1.0, exponent) >= 5e-324
+        text = registry_exposition(registry)
+        assert parse_exposition(text)["repro_edge"]["type"] == "histogram"
+
+    def test_huge_magnitudes_fold_into_the_inf_bucket(self):
+        registry = MetricsRegistry()
+        registry.histogram("edge").observe(1.7e308)  # frexp exponent 1024
+        text = registry_exposition(registry)
+        bucket_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_edge_bucket")
+        ]
+        # 2^1024 overflows a float bound, so only +Inf remains.
+        assert bucket_lines == ['repro_edge_bucket{le="+Inf"} 1']
+        assert parse_exposition(text)
+
+    def test_mixed_magnitudes_render_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("edge")
+        for value in (5e-324, 0.0, -2.0, 0.75, 1.5e3, 1.7e308, math.inf):
+            histogram.observe(value)
+        families = parse_exposition(registry_exposition(registry))
+        assert families["repro_edge"]["type"] == "histogram"
+
+
+class TestParserRejects:
+    def test_sample_without_type_line(self):
+        with pytest.raises(ExpositionError, match="no TYPE"):
+            parse_exposition("repro_x_total 1\n")
+
+    def test_duplicate_type_line(self):
+        text = "# TYPE repro_x counter\n# TYPE repro_x counter\n"
+        with pytest.raises(ExpositionError, match="duplicate TYPE"):
+            parse_exposition(text)
+
+    def test_duplicate_series(self):
+        text = (
+            "# TYPE repro_x counter\nrepro_x 1\nrepro_x 2\n"
+        )
+        with pytest.raises(ExpositionError, match="duplicate series"):
+            parse_exposition(text)
+
+    def test_malformed_label_pair(self):
+        text = '# TYPE repro_x counter\nrepro_x{route=/v1} 1\n'
+        with pytest.raises(ExpositionError, match="malformed"):
+            parse_exposition(text)
+
+    def test_unparsable_value(self):
+        text = "# TYPE repro_x counter\nrepro_x many\n"
+        with pytest.raises(ExpositionError, match="unparsable"):
+            parse_exposition(text)
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 1\n'
+            "repro_h_sum 0.5\n"
+            "repro_h_count 1\n"
+        )
+        with pytest.raises(ExpositionError, match="\\+Inf"):
+            parse_exposition(text)
+
+    def test_histogram_non_cumulative_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 2\n'
+            'repro_h_bucket{le="2"} 1\n'
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 0.5\n"
+            "repro_h_count 2\n"
+        )
+        with pytest.raises(ExpositionError, match="not cumulative"):
+            parse_exposition(text)
+
+    def test_histogram_count_disagrees_with_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 0.5\n"
+            "repro_h_count 3\n"
+        )
+        with pytest.raises(ExpositionError, match="disagrees"):
+            parse_exposition(text)
+
+
+class TestMetricsSidecar:
+    def test_serves_the_live_exposition_over_http(self):
+        registry = MetricsRegistry()
+        registry.counter("work.units").inc(7)
+        sidecar = MetricsSidecar(registry.snapshot, 0)
+        try:
+            base = f"http://127.0.0.1:{sidecar.port}"
+            with urllib.request.urlopen(base + "/metrics", timeout=10) as rsp:
+                assert rsp.status == 200
+                assert rsp.headers["Content-Type"] == CONTENT_TYPE
+                first = rsp.read().decode("utf-8")
+            assert "repro_work_units_total 7" in first
+            assert parse_exposition(first)
+
+            registry.counter("work.units").inc(5)  # scrapes see live state
+            with urllib.request.urlopen(base + "/metrics", timeout=10) as rsp:
+                assert "repro_work_units_total 12" in rsp.read().decode()
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(base + "/other", timeout=10)
+            assert excinfo.value.code == 404
+        finally:
+            sidecar.close()
+
+    def test_close_is_idempotent(self):
+        sidecar = MetricsSidecar(MetricsRegistry().snapshot, 0)
+        sidecar.close()
+        sidecar.close()
+
+
+class TestExposeCli:
+    """``python -m repro.obs.expose`` honours the 0/1/2 exit contract."""
+
+    def write_valid(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        path.write_text(registry_exposition(populated_registry()))
+        return path
+
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        assert expose_main([str(self.write_valid(tmp_path))]) == 0
+        assert "valid exposition" in capsys.readouterr().out
+
+    def test_quiet_suppresses_the_success_line(self, tmp_path, capsys):
+        assert expose_main(["--quiet", str(self.write_valid(tmp_path))]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_stdin_dash_is_accepted(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(registry_exposition(populated_registry()))
+        )
+        assert expose_main(["-"]) == 0
+        assert "valid exposition" in capsys.readouterr().out
+
+    def test_invalid_text_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.prom"
+        path.write_text("repro_x_total 1\n")
+        assert expose_main([str(path)]) == 1
+        assert "invalid exposition" in capsys.readouterr().err
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert expose_main([str(tmp_path / "absent.prom")]) == 1
+        assert "invalid exposition" in capsys.readouterr().err
+
+    def test_empty_exposition_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "empty.prom"
+        path.write_text("")
+        assert expose_main([str(path)]) == 1
+        assert "no metric families" in capsys.readouterr().err
+
+    def test_usage_errors_exit_two(self, capsys):
+        assert expose_main([]) == 2
+        assert expose_main(["--bogus-flag", "x"]) == 2
+        assert expose_main(["a", "b"]) == 2
+        capsys.readouterr()  # drain argparse noise

@@ -1,0 +1,164 @@
+"""Label identity, snapshot canonical form, and cross-process merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsError,
+    MetricsRegistry,
+    label_identity,
+    parse_identity,
+)
+from repro.obs.telemetry import Telemetry
+from repro.pipeline.executors import ParallelExecutor, SerialExecutor
+
+WORKER_SEEDS = [3, 1, 4, 1, 5, 9, 2, 6]
+
+
+def worker_snapshot(seed: int) -> dict:
+    """One worker's registry snapshot (module-level: must pickle)."""
+    registry = MetricsRegistry()
+    registry.counter("work.items").inc(seed)
+    registry.counter("work.calls", {"shard": str(seed % 2)}).inc()
+    histogram = registry.histogram("work.wall_s")
+    for index in range(seed):
+        histogram.observe(float(index) + 0.5)
+    registry.gauge("work.peak_rss_mb").set(float(seed))
+    return registry.snapshot()
+
+
+def merged(snapshots) -> dict:
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return registry.snapshot()
+
+
+class TestLabelIdentity:
+    def test_identity_round_trips_and_sorts_labels(self):
+        identity = label_identity("a.b", {"route": "/v1/x", "method": "GET"})
+        assert identity == 'a.b{method="GET",route="/v1/x"}'
+        assert parse_identity(identity) == (
+            "a.b", {"method": "GET", "route": "/v1/x"}
+        )
+        assert parse_identity("bare") == ("bare", None)
+
+    def test_malformed_identity_rejected(self):
+        with pytest.raises(MetricsError, match="malformed"):
+            parse_identity("a{route=/v1}")
+
+    def test_invalid_label_names_and_values_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError, match="invalid label name"):
+            registry.counter("a", {"bad name": "x"})
+        with pytest.raises(MetricsError, match="invalid label value"):
+            registry.counter("a", {"route": 'say "hi"'})
+
+    def test_bare_name_pins_the_kind_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.hits", {"route": "/a"})
+        with pytest.raises(MetricsError, match="already registered"):
+            registry.histogram("serve.hits", {"route": "/b"})
+        with pytest.raises(MetricsError, match="already registered"):
+            registry.gauge("serve.hits")
+
+    def test_gauge_add_implements_the_inflight_idiom(self):
+        gauge = MetricsRegistry().gauge("serve.inflight")
+        gauge.add(1)
+        gauge.add(1)
+        gauge.add(-1)
+        assert gauge.value == 1.0
+
+
+class TestMergeSemantics:
+    def test_counters_and_histograms_merge_order_independently(self):
+        snapshots = [worker_snapshot(seed) for seed in WORKER_SEEDS]
+        forward = merged(snapshots)
+        backward = merged(reversed(snapshots))
+        assert forward["counters"] == backward["counters"]
+        assert forward["histograms"] == backward["histograms"]
+        assert forward["counters"]["work.items"] == sum(WORKER_SEEDS)
+        assert (
+            forward["histograms"]["work.wall_s"]["count"] == sum(WORKER_SEEDS)
+        )
+
+    def test_gauges_take_the_last_write(self):
+        snapshots = [worker_snapshot(seed) for seed in WORKER_SEEDS]
+        assert merged(snapshots)["gauges"]["work.peak_rss_mb"] == float(
+            WORKER_SEEDS[-1]
+        )
+
+    def test_merging_none_gauge_keeps_the_existing_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(2.5)
+        registry.merge_snapshot({"gauges": {"g": None}})
+        assert registry.snapshot()["gauges"]["g"] == 2.5
+
+    def test_empty_histogram_entry_is_a_merge_no_op(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        before = registry.snapshot()
+        registry.merge_snapshot(
+            {"histograms": {"h": {"count": 0, "sum": 0.0, "buckets": []}}}
+        )
+        assert registry.snapshot() == before
+
+
+class TestCrossProcessMerge:
+    """Worker snapshots merge identically whatever process ran them."""
+
+    def test_parallel_snapshots_match_serial_byte_for_byte(self):
+        serial = SerialExecutor().map(worker_snapshot, WORKER_SEEDS)
+        with ParallelExecutor(2) as executor:
+            parallel = executor.map(worker_snapshot, WORKER_SEEDS)
+        assert parallel == serial
+        assert json.dumps(merged(parallel), sort_keys=True) == json.dumps(
+            merged(serial), sort_keys=True
+        )
+
+    def test_instrumented_parallel_map_feeds_the_parent_registry(self):
+        telemetry = Telemetry(verbosity=0)
+        with ParallelExecutor(2, telemetry=telemetry) as executor:
+            executor.map(worker_snapshot, WORKER_SEEDS)
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["counters"]["executor.units"] == len(WORKER_SEEDS)
+        assert (
+            snapshot["histograms"]["executor.unit_wall_s"]["count"]
+            == len(WORKER_SEEDS)
+        )
+
+
+class TestManifestSnapshotCanonicalForm:
+    """The manifest's metric snapshot is canonical and round-trips."""
+
+    def test_snapshot_survives_json_and_merge_round_trip(self):
+        snapshots = [worker_snapshot(seed) for seed in WORKER_SEEDS]
+        original = merged(snapshots)
+        decoded = json.loads(json.dumps(original, sort_keys=True))
+        rebuilt = MetricsRegistry()
+        rebuilt.merge_snapshot(decoded)
+        assert rebuilt.snapshot() == original
+
+    def test_snapshot_keys_and_buckets_are_sorted(self):
+        snapshot = merged(worker_snapshot(seed) for seed in WORKER_SEEDS)
+        for section in ("counters", "gauges", "histograms"):
+            keys = list(snapshot[section])
+            assert keys == sorted(keys)
+        buckets = snapshot["histograms"]["work.wall_s"]["buckets"]
+        exponents = [exponent for exponent, _ in buckets]
+        assert exponents == sorted(exponents)
+
+    def test_finalized_manifest_carries_the_exact_snapshot(self, tmp_path):
+        telemetry = Telemetry(directory=tmp_path, verbosity=0)
+        telemetry.metrics.counter("work.items").inc(3)
+        telemetry.metrics.histogram("work.wall_s").observe(0.25)
+        with telemetry.span("run:test", kind="run"):
+            pass
+        expected = telemetry.metrics.snapshot()
+        manifest = telemetry.finalize(command="test")
+        assert manifest["metrics"] == expected
+        written = json.loads((tmp_path / "manifest.json").read_text())
+        assert written["metrics"] == expected

@@ -1,0 +1,139 @@
+"""Campaign progress: atomic ``progress.json``, heartbeats, follow mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.progress import (
+    PROGRESS_FILENAME,
+    PROGRESS_SCHEMA,
+    ProgressError,
+    ProgressTracker,
+    load_progress,
+)
+from repro.obs.report import follow_run
+from repro.obs.schema import validate_events_file
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
+TRACE = "a" * 32
+
+
+def finished_run(tmp_path, waves=3, total=4):
+    """A real finished run with heartbeats; returns its last snapshot."""
+    telemetry = Telemetry(directory=tmp_path, verbosity=0)
+    tracker = ProgressTracker(telemetry, total_shards=total, trace_id=TRACE)
+    last = None
+    with telemetry.span("run:test", kind="run"):
+        for wave in range(1, waves + 1):
+            done = min(total, wave * 2)
+            last = tracker.update(
+                done, done * 100, wave=wave, peak_rss_mb=64.0
+            )
+    telemetry.finalize(command="test")
+    return last
+
+
+class TestProgressTracker:
+    def test_snapshot_written_atomically_and_loadable(self, tmp_path):
+        last = finished_run(tmp_path)
+        assert last is not None
+        loaded = load_progress(tmp_path)
+        assert loaded == last
+        assert loaded["schema"] == PROGRESS_SCHEMA
+        assert loaded["trace_id"] == TRACE
+        assert loaded["shards"] == {"done": 4, "total": 4}
+        assert loaded["peak_rss_mb"] == 64.0
+        # No torn temp sibling survives the atomic rewrite.
+        assert list(tmp_path.glob(".tmp-*")) == []
+
+    def test_eta_zero_once_complete_and_none_before_any_rate(self, tmp_path):
+        telemetry = Telemetry(directory=tmp_path, verbosity=0)
+        tracker = ProgressTracker(telemetry, total_shards=4, trace_id=TRACE)
+        warmup = tracker.update(0, 0, wave=0)
+        assert warmup["eta_s"] is None
+        assert warmup["sessions_per_s"] is None
+        done = tracker.update(4, 400, wave=1)
+        assert done["eta_s"] == 0.0
+        assert done["sessions_per_s"] is not None
+
+    def test_heartbeats_land_in_the_validated_stream(self, tmp_path):
+        finished_run(tmp_path, waves=3)
+        counts = validate_events_file(tmp_path / "events.jsonl")
+        assert counts["heartbeat"] == 3
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "events.jsonl").read_text().splitlines()
+        ]
+        beats = [e for e in events if e["type"] == "heartbeat"]
+        assert [b["wave"] for b in beats] == [1, 2, 3]
+        assert beats[-1]["done"] == 4
+
+    def test_null_telemetry_makes_the_tracker_inert(self, tmp_path):
+        tracker = ProgressTracker(
+            NULL_TELEMETRY, total_shards=4, trace_id=TRACE
+        )
+        assert not tracker.enabled
+        assert tracker.path is None
+        assert tracker.update(2, 100, wave=1) is None
+        assert not (tmp_path / PROGRESS_FILENAME).exists()
+
+    def test_directoryless_telemetry_snapshots_without_writing(self, tmp_path):
+        telemetry = Telemetry(directory=None, verbosity=0)
+        tracker = ProgressTracker(telemetry, total_shards=2, trace_id=TRACE)
+        assert tracker.path is None
+        snapshot = tracker.update(1, 50, wave=1)
+        assert snapshot is not None and snapshot["shards"]["done"] == 1
+        assert not (tmp_path / PROGRESS_FILENAME).exists()
+
+
+class TestLoadProgress:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ProgressError, match="cannot read"):
+            load_progress(tmp_path)
+
+    def test_non_object_payload_raises(self, tmp_path):
+        (tmp_path / PROGRESS_FILENAME).write_text("[1, 2]\n")
+        with pytest.raises(ProgressError, match="not a JSON object"):
+            load_progress(tmp_path)
+
+
+class TestFollowRun:
+    def test_finished_run_renders_fully_and_returns(self, tmp_path):
+        finished_run(tmp_path, waves=2)
+        lines: list[str] = []
+        outcome = follow_run(
+            tmp_path, poll_s=0.01, timeout_s=30.0, emit=lines.append
+        )
+        assert outcome == "finished"
+        waves = [line for line in lines if line.startswith("[follow] wave")]
+        assert len(waves) == 2
+        assert any(PROGRESS_FILENAME in line for line in lines)
+        assert lines[-1] == "[follow] run finished (metrics snapshot observed)"
+
+    def test_times_out_waiting_for_an_absent_stream(self, tmp_path):
+        lines: list[str] = []
+        outcome = follow_run(
+            tmp_path, poll_s=0.01, timeout_s=0.05, emit=lines.append
+        )
+        assert outcome == "timeout"
+        assert lines and "timeout" in lines[-1]
+
+    def test_times_out_on_a_stream_that_never_finishes(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text(
+            json.dumps(
+                {
+                    "type": "heartbeat", "done": 1, "total": 2,
+                    "sessions": 10, "rate": None, "eta_s": None,
+                    "wave": 1, "elapsed_s": 0.5,
+                }
+            )
+            + "\n"
+        )
+        lines: list[str] = []
+        outcome = follow_run(
+            tmp_path, poll_s=0.01, timeout_s=0.2, emit=lines.append
+        )
+        assert outcome == "timeout"
+        assert any(line.startswith("[follow] wave 1") for line in lines)

@@ -7,6 +7,7 @@ import pytest
 from repro.obs.schema import (
     SCHEMA_PATH,
     SchemaError,
+    _main as schema_main,
     render_schema,
     validate_event,
     validate_events,
@@ -87,3 +88,42 @@ class TestValidator:
             handle.write('{"type": "span", "id": "not-an-int"}\n')
         with pytest.raises(SchemaError):
             validate_events_file(path)
+
+
+class TestSchemaCli:
+    """``python -m repro.obs.schema`` honours the 0/1/2 exit contract."""
+
+    def test_valid_stream_exits_zero(self, tmp_path, capsys):
+        path = _finished_stream(tmp_path)
+        assert schema_main([str(path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_quiet_suppresses_the_success_line(self, tmp_path, capsys):
+        path = _finished_stream(tmp_path)
+        assert schema_main(["--quiet", str(path)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_invalid_stream_exits_one(self, tmp_path, capsys):
+        path = _finished_stream(tmp_path)
+        with path.open("a") as handle:
+            handle.write('{"type": "bogus"}\n')
+        assert schema_main([str(path)]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert schema_main([str(tmp_path / "absent.jsonl")]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_usage_errors_exit_two(self, capsys):
+        assert schema_main(["--bogus-flag"]) == 2
+        assert schema_main(["a.jsonl", "b.jsonl"]) == 2
+        capsys.readouterr()  # drain argparse noise
+
+    def test_regenerate_writes_the_checked_in_document(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert schema_main(["--quiet"]) == 0
+        written = tmp_path / SCHEMA_PATH
+        assert written.read_text() == render_schema()
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,177 @@
+"""Trace provenance and request-level RED telemetry on the serve stack.
+
+The observability layer must be strictly out-of-band: these tests pin
+that responses stay byte-identical with or without telemetry attached,
+while the ``X-Repro-Trace`` header, the ``/metrics`` exposition and the
+``access`` events faithfully report what the service did.
+"""
+
+from __future__ import annotations
+
+from repro.obs.expose import CONTENT_TYPE, parse_exposition
+from repro.obs.schema import validate_events_file
+from repro.obs.telemetry import Telemetry
+from repro.pipeline.context import mint_trace_id
+from repro.serve import ServeApp
+
+from .conftest import SEED, as_json, wsgi_get
+
+TRACE = mint_trace_id(SEED)
+
+
+def ingest_with_provenance(store, aggregate, name="camp"):
+    """Ingest the shared aggregate under a provenance envelope."""
+    payload = aggregate.to_dict()
+    payload["provenance"] = {"trace_id": TRACE}
+    return store.ingest_aggregate(name, payload)
+
+
+class TestTraceProvenance:
+    def test_envelope_rides_outside_the_canonical_payload(
+        self, store, aggregate
+    ):
+        digest = ingest_with_provenance(store, aggregate)
+        # from_dict ignored the envelope: the stored bytes are canonical.
+        assert digest == aggregate.digest()
+        assert store.trace("camp") == TRACE
+
+    def test_campaign_listing_carries_the_trace(self, store, aggregate):
+        ingest_with_provenance(store, aggregate)
+        app = ServeApp(store)
+        status, _, body = wsgi_get(app, "/v1/campaigns")
+        assert status == 200
+        (entry,) = as_json(body)["campaigns"]
+        assert entry["trace"] == TRACE
+
+    def test_traced_routes_answer_with_the_header(self, store, aggregate):
+        ingest_with_provenance(store, aggregate)
+        app = ServeApp(store)
+        for path in (
+            "/v1/services/shares",
+            "/v1/pdf/volume",
+            "/v1/pdf/duration",
+            "/v1/fidelity",
+        ):
+            status, headers, _ = wsgi_get(app, path, "campaign=camp")
+            assert status == 200
+            assert headers["X-Repro-Trace"] == TRACE
+
+    def test_304_responses_keep_the_header(self, store, aggregate):
+        ingest_with_provenance(store, aggregate)
+        app = ServeApp(store)
+        _, first, _ = wsgi_get(app, "/v1/fidelity", "campaign=camp")
+        status, headers, body = wsgi_get(
+            app,
+            "/v1/fidelity",
+            "campaign=camp",
+            headers={"If-None-Match": first["ETag"]},
+        )
+        assert status == 304 and body == b""
+        assert headers["X-Repro-Trace"] == TRACE
+
+    def test_no_provenance_means_no_header(self, store, aggregate):
+        store.ingest_aggregate("camp", aggregate.to_dict())
+        app = ServeApp(store)
+        status, headers, _ = wsgi_get(app, "/v1/fidelity", "campaign=camp")
+        assert status == 200
+        assert "X-Repro-Trace" not in headers
+        assert store.trace("camp") is None
+
+    def test_explicit_trace_id_overrides_the_payload(self, store, aggregate):
+        payload = aggregate.to_dict()
+        payload["provenance"] = {"trace_id": "overridden"}
+        store.ingest_aggregate("camp", payload, trace_id=TRACE)
+        assert store.trace("camp") == TRACE
+
+    def test_telemetry_never_changes_a_response_byte(
+        self, store, aggregate, tmp_path
+    ):
+        ingest_with_provenance(store, aggregate)
+        plain = ServeApp(store)
+        telemetry = Telemetry(directory=tmp_path, verbosity=0)
+        instrumented = ServeApp(store, telemetry=telemetry)
+        for path, query in (
+            ("/v1/campaigns", ""),
+            ("/v1/services/shares", "campaign=camp"),
+            ("/v1/fidelity", "campaign=camp"),
+        ):
+            status_a, headers_a, body_a = wsgi_get(plain, path, query)
+            status_b, headers_b, body_b = wsgi_get(instrumented, path, query)
+            assert (status_a, body_a) == (status_b, body_b)
+            assert headers_a == headers_b
+
+
+class TestMetricsEndpoint:
+    def test_exposition_reports_red_series(self, store, aggregate):
+        ingest_with_provenance(store, aggregate)
+        app = ServeApp(store)
+        wsgi_get(app, "/v1/services/shares", "campaign=camp")
+        wsgi_get(app, "/v1/campaigns")
+        wsgi_get(app, "/v1/nope")  # 404 gets its own status label
+        status, headers, body = wsgi_get(app, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        text = body.decode("utf-8")
+        families = parse_exposition(text)
+        assert families["repro_serve_requests_total"]["type"] == "counter"
+        assert (
+            families["repro_serve_request_seconds"]["type"] == "histogram"
+        )
+        assert 'route="/v1/services/shares"' in text
+        assert 'status="404"' in text
+        # The request loop is idle while we scrape, so in-flight counts
+        # only the scrape itself.
+        assert "repro_serve_inflight 1" in text
+
+    def test_head_returns_headers_only(self, store):
+        app = ServeApp(store)
+        status, headers, body = wsgi_get(app, "/metrics", method="HEAD")
+        assert status == 200 and body == b""
+        assert int(headers["Content-Length"]) > 0
+
+    def test_post_rejected(self, store):
+        app = ServeApp(store)
+        status, _, _ = wsgi_get(app, "/metrics", method="POST")
+        assert status == 405
+
+    def test_metrics_route_measures_itself(self, store):
+        app = ServeApp(store)
+        wsgi_get(app, "/metrics")
+        _, _, body = wsgi_get(app, "/metrics")
+        assert 'route="/metrics"' in body.decode("utf-8")
+
+
+class TestAccessEvents:
+    def test_requests_stream_schema_valid_access_events(
+        self, store, aggregate, tmp_path
+    ):
+        ingest_with_provenance(store, aggregate)
+        telemetry = Telemetry(directory=tmp_path, verbosity=0)
+        app = ServeApp(store, telemetry=telemetry)
+        with telemetry.span("serve:test", kind="serve"):
+            wsgi_get(app, "/v1/services/shares", "campaign=camp")
+            wsgi_get(app, "/v1/campaigns")
+        telemetry.finalize(command="serve")
+        counts = validate_events_file(tmp_path / "events.jsonl")
+        assert counts["access"] == 2
+
+    def test_access_events_carry_the_resolved_trace(
+        self, store, aggregate, tmp_path
+    ):
+        import json
+
+        ingest_with_provenance(store, aggregate)
+        telemetry = Telemetry(directory=tmp_path, verbosity=0)
+        app = ServeApp(store, telemetry=telemetry)
+        with telemetry.span("serve:test", kind="serve"):
+            wsgi_get(app, "/v1/fidelity", "campaign=camp")
+            wsgi_get(app, "/v1/campaigns")
+        telemetry.finalize(command="serve")  # flush the buffered sink
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "events.jsonl").read_text().splitlines()
+            if '"access"' in line
+        ]
+        traced = {e["route"]: e["trace"] for e in events}
+        assert traced["/v1/fidelity"] == TRACE
+        assert traced["/v1/campaigns"] is None
