@@ -14,10 +14,18 @@ review time, over ``src/``, ``tools/`` and ``benchmarks/``.
 Layout
 ------
 * :mod:`repro.lint.rules` — the pluggable Rule API: :class:`Finding`,
-  :class:`Rule`, the rule registry and the per-file analysis context;
+  :class:`Rule`, :class:`ProjectRule`, the rule registry and the
+  per-file analysis context;
 * :mod:`repro.lint.determinism` — D-series determinism rules;
 * :mod:`repro.lint.parallelism` — P-series parallel-safety rules;
 * :mod:`repro.lint.structure` — S-series structural contract rules;
+* :mod:`repro.lint.graph` — per-file :class:`ModuleSummary` extraction
+  and the folded :class:`ProjectGraph` whole-program view;
+* :mod:`repro.lint.dataflow` — fixpoint dataflow (RNG/seed/metric
+  provenance, lock-order pairs) over the project call graph;
+* :mod:`repro.lint.provenance` — W-series interprocedural RNG rules;
+* :mod:`repro.lint.threads` — T-series serve-stack thread-safety rules;
+* :mod:`repro.lint.contracts` — C-series cross-artifact drift rules;
 * :mod:`repro.lint.suppress` — inline ``# repro-lint: disable=RULE``
   suppressions;
 * :mod:`repro.lint.baseline` — the checked-in baseline of grandfathered
@@ -34,34 +42,46 @@ Run it with ``repro-traffic lint`` or ``python -m repro.lint``; see
 """
 
 from .baseline import Baseline, BaselineError
+from .dataflow import DataflowResult
 from .driver import LintResult, lint_paths, lint_source
+from .graph import ModuleSummary, ProjectGraph, summarize_source
 from .report import render_human, render_json, validate_report
 from .rules import (
     Finding,
     FileContext,
     LintError,
+    ProjectRule,
     Rule,
     all_rules,
     default_rules,
     get_rule,
+    project_rules,
     register,
+    run_project_rules,
 )
 
 __all__ = [
     "Baseline",
     "BaselineError",
+    "DataflowResult",
     "FileContext",
     "Finding",
     "LintError",
     "LintResult",
+    "ModuleSummary",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "default_rules",
     "get_rule",
     "lint_paths",
     "lint_source",
+    "project_rules",
     "register",
     "render_human",
     "render_json",
+    "run_project_rules",
+    "summarize_source",
     "validate_report",
 ]

@@ -12,7 +12,12 @@ import argparse
 import sys
 from pathlib import Path
 
-from .baseline import DEFAULT_BASELINE_PATH, Baseline, BaselineError
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+)
 from .driver import lint_paths
 from .report import (
     REPORT_SCHEMA_PATH,
@@ -72,6 +77,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="rewrite the baseline from this run's findings and exit 0",
     )
     parser.add_argument(
+        "--update-baseline", action="store_true",
+        help=(
+            "regenerate the baseline from this run's findings, keeping "
+            "the justification of every surviving entry, and exit 0"
+        ),
+    )
+    parser.add_argument(
         "--fail-on", choices=("error", "warning"), default="warning",
         help="minimum severity that fails the run (default: any finding)",
     )
@@ -121,6 +133,40 @@ def run(args: argparse.Namespace) -> int:
     except FileNotFoundError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+    if args.update_baseline:
+        try:
+            previous = Baseline.load(baseline_path)
+        except BaselineError:
+            previous = Baseline()
+        justifications = {
+            (e.rule, e.path, e.symbol): e.justification
+            for e in previous.entries
+        }
+        updated = Baseline.from_findings(result.unbaselined_findings)
+        updated.entries = [
+            BaselineEntry(
+                rule=e.rule,
+                path=e.path,
+                symbol=e.symbol,
+                justification=justifications.get(
+                    (e.rule, e.path, e.symbol), e.justification
+                ),
+            )
+            for e in updated.entries
+        ]
+        updated.save(baseline_path)
+        preserved = sum(
+            1
+            for e in updated.entries
+            if (e.rule, e.path, e.symbol) in justifications
+        )
+        print(
+            f"baseline updated: {baseline_path} "
+            f"({len(updated.entries)} entries, {preserved} "
+            "justifications preserved) — justify or fix every new entry "
+            "before committing"
+        )
+        return 0
     if args.write_baseline:
         Baseline.from_findings(result.unbaselined_findings).save(
             baseline_path
@@ -147,8 +193,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based invariant checker: determinism (D), parallel "
-            "safety (P) and structural contracts (S) of the "
+            "AST-based invariant checker: per-file determinism (D), "
+            "parallel safety (P) and structural contracts (S), plus "
+            "whole-program RNG provenance (W), serve-stack thread "
+            "safety (T) and cross-artifact drift (C) of the "
             "session-level traffic reproduction"
         ),
     )

@@ -1,0 +1,218 @@
+"""C-series rules: cross-artifact contract drift.
+
+The repository ships machine- and human-readable contracts next to the
+code they describe: the OpenAPI document of the statistics service, the
+CLI reference in ``docs/USAGE.md``, the metric-name tables in
+``docs/OBSERVABILITY.md``.  Each drifts one PR at a time — a route
+lands without a spec entry, a flag without a usage line, a counter
+without a table row.  These rules pin the artifacts to the code by
+comparing harvested literals (and names recovered through the metric
+dataflow) against the checked-in files on every lint run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterable, Iterator
+
+from .graph import MetricLiteral, ProjectGraph
+from .rules import Finding, ProjectRule, register
+
+#: The serve module whose route literals define the HTTP surface.
+HTTP_MODULE = "src/repro/serve/http.py"
+
+#: The checked-in OpenAPI document of the statistics service.
+OPENAPI_ARTIFACT = "schemas/openapi-serve.json"
+
+#: The CLI module whose ``add_argument`` flags define the command surface.
+CLI_MODULE = "src/repro/cli.py"
+
+#: The CLI reference document flags must appear in.
+USAGE_ARTIFACT = "docs/USAGE.md"
+
+#: The metric-name reference document instrumented names must appear in.
+OBSERVABILITY_ARTIFACT = "docs/OBSERVABILITY.md"
+
+
+def _mentions(text: str, token: str) -> bool:
+    """Whether ``token`` appears in ``text`` as a whole word.
+
+    The following character (if any) must not extend the token —
+    ``--follow`` in the text does not document ``--follow-timeout``.
+    """
+    pattern = re.escape(token) + r"(?![A-Za-z0-9_.\-])"
+    return re.search(pattern, text) is not None
+
+
+@register
+class RouteSpecDrift(ProjectRule):
+    """C601 — served routes and the OpenAPI document disagree."""
+
+    id = "C601"
+    title = "HTTP route missing from the OpenAPI contract (or vice versa)"
+    severity = "error"
+    rationale = (
+        "schemas/openapi-serve.json is the machine-readable contract "
+        "clients and the CI smoke test validate against.  A route "
+        "handled in serve/http.py but absent from the document is an "
+        "undocumented surface; a documented path no handler answers is "
+        "a broken promise.  Both directions are checked on every run."
+    )
+
+    artifacts = (OPENAPI_ARTIFACT,)
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        """Compare route literals in http.py with the spec's paths."""
+        module = project.modules.get(HTTP_MODULE)
+        if module is None or not module.route_literals:
+            return
+        spec_text = project.artifact(OPENAPI_ARTIFACT)
+        spec_paths: set[str] = set()
+        if spec_text is not None:
+            try:
+                payload = json.loads(spec_text)
+                spec_paths = set(payload.get("paths", {}))
+            except (json.JSONDecodeError, AttributeError):
+                yield self.project_finding(
+                    OPENAPI_ARTIFACT, 1, 0,
+                    f"{OPENAPI_ARTIFACT} is not a JSON object with "
+                    "'paths'; the route contract cannot be checked",
+                    symbol="paths",
+                )
+                return
+        seen: set[str] = set()
+        for route, line, col in module.route_literals:
+            if route in seen:
+                continue
+            seen.add(route)
+            if route not in spec_paths:
+                yield self.project_finding(
+                    HTTP_MODULE, line, col,
+                    f"route {route!r} is handled here but missing from "
+                    f"{OPENAPI_ARTIFACT}; regenerate the document "
+                    "(python -m repro.serve.openapi) after adding the "
+                    "operation",
+                    symbol="<module>",
+                )
+        for path in sorted(spec_paths - seen):
+            yield self.project_finding(
+                OPENAPI_ARTIFACT, 1, 0,
+                f"{OPENAPI_ARTIFACT} documents {path!r} but no literal "
+                f"in {HTTP_MODULE} handles it; remove the operation or "
+                "wire the route",
+                symbol="paths",
+            )
+
+
+@register
+class CliUsageDrift(ProjectRule):
+    """C602 — a ``repro-traffic`` flag undocumented in USAGE.md."""
+
+    id = "C602"
+    title = "CLI flag missing from docs/USAGE.md"
+    severity = "error"
+    rationale = (
+        "docs/USAGE.md is the only place a user can discover the "
+        "command surface without reading argparse wiring; every "
+        "long-form flag cli.py registers must appear there verbatim.  "
+        "The whole-program pass harvests add_argument literals, so a "
+        "new flag fails review until its documentation lands with it."
+    )
+
+    artifacts = (USAGE_ARTIFACT,)
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        """Flag add_argument long options absent from the usage doc."""
+        module = project.modules.get(CLI_MODULE)
+        if module is None or not module.flag_literals:
+            return
+        usage = project.artifact(USAGE_ARTIFACT) or ""
+        seen: set[str] = set()
+        for flag, line, col in module.flag_literals:
+            if flag in seen:
+                continue
+            seen.add(flag)
+            if not _mentions(usage, flag):
+                yield self.project_finding(
+                    CLI_MODULE, line, col,
+                    f"flag {flag!r} is not documented in "
+                    f"{USAGE_ARTIFACT}; add it to the command's usage "
+                    "section",
+                    symbol="<module>",
+                )
+
+
+@register
+class MetricDocDrift(ProjectRule):
+    """C603 — an instrumented metric name undocumented."""
+
+    id = "C603"
+    title = "metric name missing from docs/OBSERVABILITY.md"
+    severity = "error"
+    rationale = (
+        "Dashboards and the CI telemetry smoke test are written "
+        "against docs/OBSERVABILITY.md's metric tables; an instrumented "
+        "name the document omits is invisible operational surface.  "
+        "Names are harvested at counter()/gauge()/histogram() call "
+        "sites and — via the dataflow pass — through wrapper functions "
+        "whose parameter reaches the name position, so helpers like "
+        "ServeApp._count cannot hide a metric."
+    )
+
+    artifacts = (OBSERVABILITY_ARTIFACT,)
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        """Flag instrumented metric names the document omits."""
+        doc = project.artifact(OBSERVABILITY_ARTIFACT) or ""
+        reported: set[str] = set()
+        for literal, path in self._instrumented_names(project):
+            if literal.name in reported:
+                continue
+            if _mentions(doc, literal.name):
+                reported.add(literal.name)
+                continue
+            reported.add(literal.name)
+            yield self.project_finding(
+                path, literal.line, literal.col,
+                f"metric {literal.name!r} is instrumented here but "
+                f"missing from {OBSERVABILITY_ARTIFACT}; add it to the "
+                "matching instrument table",
+                symbol=literal.symbol,
+            )
+
+    @staticmethod
+    def _instrumented_names(
+        project: ProjectGraph,
+    ) -> Iterator[tuple[MetricLiteral, str]]:
+        """Every literal metric name, direct or through a wrapper."""
+        flow = project.dataflow()
+        for module in project.modules_under("src"):
+            for literal in module.metric_literals:
+                yield literal, module.path
+            for function in module.functions:
+                for call in function.calls:
+                    callee = project.functions.get(call.callee or "")
+                    if callee is None:
+                        continue
+                    sinks = flow.metric_params.get(
+                        callee.qualname, frozenset()
+                    )
+                    if not sinks:
+                        continue
+                    params = callee.effective_params()
+                    for index, value in enumerate(call.string_args):
+                        if (
+                            value is not None
+                            and index < len(params)
+                            and params[index] in sinks
+                        ):
+                            yield (
+                                MetricLiteral(
+                                    name=value,
+                                    line=call.line,
+                                    col=call.col,
+                                    symbol=call.symbol,
+                                ),
+                                module.path,
+                            )

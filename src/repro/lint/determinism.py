@@ -245,10 +245,35 @@ def _rng_args(call: ast.Call) -> Iterator[str]:
     """Names of rng-looking arguments of one call."""
     values = list(call.args) + [kw.value for kw in call.keywords]
     for value in values:
-        if isinstance(value, ast.Name) and (
-            value.id == "rng" or value.id.endswith("_rng")
-        ):
+        if isinstance(value, ast.Name) and rng_named(value.id):
             yield value.id
+
+
+def rng_named(name: str) -> bool:
+    """The name heuristic D106 (and the W-series) treat as a generator."""
+    return name == "rng" or name.endswith("_rng")
+
+
+def is_view_loop(iter_expr: ast.expr) -> bool:
+    """Whether a loop iterates a dict view (possibly wrapped).
+
+    Shared with the whole-program W403 rule, which generalizes D106
+    across call boundaries.
+    """
+    expr = iter_expr
+    # Unwrap enumerate()/sorted()/list()/tuple() one level at a time.
+    while (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("enumerate", "sorted", "list", "tuple")
+        and expr.args
+    ):
+        expr = expr.args[0]
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in ("items", "values", "keys")
+    )
 
 
 @register
@@ -295,20 +320,7 @@ class SharedRngInCollectionLoop(Rule):
     @staticmethod
     def _is_view_loop(iter_expr: ast.expr) -> bool:
         """Whether the loop iterates a dict view (possibly wrapped)."""
-        expr = iter_expr
-        # Unwrap enumerate()/sorted()/list()/tuple() one level at a time.
-        while (
-            isinstance(expr, ast.Call)
-            and isinstance(expr.func, ast.Name)
-            and expr.func.id in ("enumerate", "sorted", "list", "tuple")
-            and expr.args
-        ):
-            expr = expr.args[0]
-        return (
-            isinstance(expr, ast.Call)
-            and isinstance(expr.func, ast.Attribute)
-            and expr.func.attr in ("items", "values", "keys")
-        )
+        return is_view_loop(iter_expr)
 
 
 @register

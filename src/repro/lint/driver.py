@@ -20,8 +20,16 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from .baseline import Baseline, BaselineEntry
-from .rules import FileContext, Finding, Rule, run_rules
-from .suppress import apply_suppressions, parse_suppressions
+from .graph import ModuleSummary, ProjectGraph, summarize_source
+from .rules import (
+    FileContext,
+    Finding,
+    Rule,
+    project_rules,
+    run_project_rules,
+    run_rules,
+)
+from .suppress import Suppression, apply_suppressions, parse_suppressions
 
 #: Directories a bare run walks, relative to the repository root.
 DEFAULT_ROOTS = ("src", "tools", "benchmarks")
@@ -42,6 +50,22 @@ class FileReport:
     path: str
     findings: tuple[Finding, ...]
     suppressed: int
+
+
+@dataclass(frozen=True)
+class FileOutcome:
+    """Worker result: the per-file report plus the project-pass inputs.
+
+    ``summary`` and ``suppressions`` are only populated when the run
+    will execute the whole-program pass (a full default run); subtree
+    and rule-filtered lints skip the extraction.  Everything here is
+    picklable, so summaries ride the ordinary parallel fan-out and the
+    parent folds them deterministically in sorted path order.
+    """
+
+    report: FileReport
+    summary: ModuleSummary | None = None
+    suppressions: tuple[Suppression, ...] = ()
 
 
 @dataclass
@@ -100,6 +124,7 @@ def lint_source(
     pass virtual paths like ``"src/repro/core/x.py"`` to place a snippet
     inside or outside a rule's scope.
     """
+    path = path.replace("\\", "/")
     try:
         tree = ast.parse(source)
     except (SyntaxError, ValueError) as exc:
@@ -129,11 +154,19 @@ def lint_source(
     )
 
 
-def _lint_file(payload: tuple[str, str]) -> FileReport:
+def _lint_file(payload: tuple[str, str, bool]) -> FileOutcome:
     """Worker kernel: lint one on-disk file (module-level, picklable)."""
-    root, rel = payload
+    root, rel, want_summary = payload
     source = (Path(root) / rel).read_text(encoding="utf-8")
-    return lint_source(rel, source)
+    report = lint_source(rel, source)
+    if not want_summary:
+        return FileOutcome(report=report)
+    suppressions, _ = parse_suppressions(rel, source)
+    return FileOutcome(
+        report=report,
+        summary=summarize_source(rel, source),
+        suppressions=tuple(suppressions),
+    )
 
 
 def discover_files(
@@ -166,6 +199,51 @@ def discover_files(
     return sorted(found)
 
 
+def _project_artifacts(root: Path) -> dict[str, str]:
+    """Text of every artifact a registered project rule compares against.
+
+    Missing artifacts are simply absent — a rule that needs one treats
+    absence as "nothing to check", so exported subtrees and test
+    fixtures without the documents lint clean.
+    """
+    texts: dict[str, str] = {}
+    for rule in project_rules():
+        for rel in rule.artifacts:
+            if rel in texts:
+                continue
+            candidate = root / rel
+            if candidate.is_file():
+                texts[rel] = candidate.read_text(encoding="utf-8")
+    return texts
+
+
+def _run_project_pass(
+    root: Path, outcomes: Sequence[FileOutcome]
+) -> tuple[list[Finding], int]:
+    """Fold summaries into a graph and run the whole-program rules.
+
+    Runs serially in the parent process over summaries sorted by path,
+    so serial and parallel drivers produce byte-identical output.
+    Inline suppressions of the file a finding lands in apply exactly as
+    they do to per-file findings.
+    """
+    summaries = [o.summary for o in outcomes if o.summary is not None]
+    graph = ProjectGraph.build(summaries, _project_artifacts(root))
+    raw = run_project_rules(graph)
+    by_path: dict[str, tuple[Suppression, ...]] = {
+        o.report.path: o.suppressions for o in outcomes
+    }
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        file_kept, file_suppressed = apply_suppressions(
+            [finding], list(by_path.get(finding.path, ()))
+        )
+        kept.extend(file_kept)
+        suppressed += file_suppressed
+    return kept, suppressed
+
+
 def lint_paths(
     root: str | Path,
     paths: Sequence[str] | None = None,
@@ -179,28 +257,51 @@ def lint_paths(
     byte-identical to the serial run because findings carry their own
     ordering.  ``rules`` (tests only) bypasses the per-file default
     registry lookup — parallel runs always use the full default pack.
+
+    A full default run (no path filter, no rule filter) additionally
+    executes the whole-program pass: workers extract per-file summaries
+    alongside their reports, the parent folds them into a
+    :class:`~repro.lint.graph.ProjectGraph` and the W/T/C project rules
+    run serially over it.
     """
     from ..pipeline.executors import make_executor
 
     root = Path(root).resolve()
     files = discover_files(root, paths)
-    payloads = [(str(root), rel) for rel in files]
+    want_project = paths is None and rules is None
+    payloads = [(str(root), rel, want_project) for rel in files]
     if rules is not None or jobs == 1:
         rule_list = list(rules) if rules is not None else None
-        reports = [
-            lint_source(
-                rel, (Path(root_str) / rel).read_text(encoding="utf-8"),
-                rule_list,
-            )
-            for root_str, rel in payloads
-        ]
+        outcomes = []
+        for root_str, rel, want_summary in payloads:
+            source = (Path(root_str) / rel).read_text(encoding="utf-8")
+            report = lint_source(rel, source, rule_list)
+            if want_summary:
+                suppressions, _ = parse_suppressions(rel, source)
+                outcomes.append(
+                    FileOutcome(
+                        report=report,
+                        summary=summarize_source(rel, source),
+                        suppressions=tuple(suppressions),
+                    )
+                )
+            else:
+                outcomes.append(FileOutcome(report=report))
     else:
         with make_executor(jobs) as executor:
-            reports = executor.map(_lint_file, payloads)
-    findings = sorted(f for report in reports for f in report.findings)
-    suppressed = sum(report.suppressed for report in reports)
+            outcomes = executor.map(_lint_file, payloads)
+    findings = sorted(
+        f for outcome in outcomes for f in outcome.report.findings
+    )
+    suppressed = sum(o.report.suppressed for o in outcomes)
+    if want_project:
+        project_findings, project_suppressed = _run_project_pass(
+            root, outcomes
+        )
+        findings = sorted(findings + project_findings)
+        suppressed += project_suppressed
     result = LintResult(
-        root=str(root),
+        root=root.as_posix(),
         files=len(files),
         findings=findings,
         suppressed=suppressed,

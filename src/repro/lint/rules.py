@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Callable, ClassVar, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, ClassVar, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .graph import ProjectGraph
 
 #: Ordered severity levels, most severe first.
 SEVERITIES = ("error", "warning")
@@ -229,6 +232,49 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class of whole-program rules (the W/T/C series).
+
+    Project rules consume the :class:`~repro.lint.graph.ProjectGraph`
+    the driver folds worker summaries into, instead of one file's AST.
+    They run serially in the parent process after the per-file fan-out,
+    so parallel runs stay byte-identical; :meth:`check` is therefore a
+    no-op and :meth:`check_project` is the entry point.  ``artifacts``
+    names the repo-relative non-Python files (OpenAPI document, docs)
+    the rule compares code against; the driver loads them from the
+    repository root and tests inject them directly.
+    """
+
+    artifacts: ClassVar[tuple[str, ...]] = ()
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Project rules have no per-file findings."""
+        return ()
+
+    def check_project(self, project: "ProjectGraph") -> Iterable[Finding]:
+        """Yield this rule's findings over the whole program."""
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        symbol: str = "<module>",
+    ) -> Finding:
+        """Build a :class:`Finding` from summary-level coordinates."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            symbol=symbol,
+        )
+
+
 #: The process-wide rule registry, keyed by rule id.
 _REGISTRY: dict[str, Rule] = {}
 
@@ -249,7 +295,14 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 def _load_packs() -> None:
     """Import the built-in rule packs (idempotent, registry-populating)."""
-    from . import determinism, parallelism, structure  # noqa: F401
+    from . import (  # noqa: F401
+        contracts,
+        determinism,
+        parallelism,
+        provenance,
+        structure,
+        threads,
+    )
 
 
 def all_rules() -> list[Rule]:
@@ -281,11 +334,33 @@ def known_rule_ids() -> frozenset[str]:
 def run_rules(
     ctx: FileContext, rules: Iterable[Rule] | None = None
 ) -> list[Finding]:
-    """Apply rules to one file context; returns sorted findings."""
+    """Apply per-file rules to one file context; returns sorted findings.
+
+    Project rules are skipped here — they see the whole program at
+    once, through :func:`run_project_rules` in the driver's parent
+    process.
+    """
     found: list[Finding] = []
     for rule in rules if rules is not None else default_rules():
+        if isinstance(rule, ProjectRule):
+            continue
         if rule.applies_to(ctx):
             found.extend(rule.check(ctx))
+    return sorted(found)
+
+
+def project_rules() -> list[ProjectRule]:
+    """Every registered whole-program rule, sorted by id."""
+    return [r for r in all_rules() if isinstance(r, ProjectRule)]
+
+
+def run_project_rules(
+    project: "ProjectGraph", rules: Iterable[ProjectRule] | None = None
+) -> list[Finding]:
+    """Apply project rules to one graph; returns sorted findings."""
+    found: list[Finding] = []
+    for rule in rules if rules is not None else project_rules():
+        found.extend(rule.check_project(project))
     return sorted(found)
 
 

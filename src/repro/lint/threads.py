@@ -1,0 +1,162 @@
+"""T-series rules: thread-safety of the serve stack.
+
+``repro-traffic serve`` answers requests on a ``ThreadingMixIn`` WSGI
+server: every method of :class:`~repro.serve.http.ServeApp` and
+:class:`~repro.serve.store.AggregateStore` may run on a fresh handler
+thread, concurrently with every other.  The inferred discipline these
+rules audit is the one the code already follows on its good paths —
+instance state is either written once in ``__init__`` (before the
+server starts) or touched only while holding ``self._lock`` — plus two
+classics the discipline implies: SQLite connections opened with
+``check_same_thread=False`` are only safe strictly under that lock, and
+nested lock acquisition must keep a single global order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .graph import ClassSummary, FunctionSummary, ProjectGraph
+from .rules import Finding, ProjectRule, register
+
+#: The threaded request-handling layer these rules audit.
+SERVE_DIRS = ("src/repro/serve",)
+
+#: Dunder methods that run before (or outside) the threaded phase.
+_SINGLE_THREADED_METHODS = frozenset({"__init__", "__new__", "__del__"})
+
+
+def _serve_methods(
+    project: ProjectGraph, cls: ClassSummary
+) -> Iterable[FunctionSummary]:
+    """The summaries of one serve class's methods."""
+    summary = project.modules.get(cls.path)
+    if summary is None:
+        return
+    for function in summary.functions:
+        if function.class_name == cls.name:
+            yield function
+
+
+@register
+class UnguardedSharedWrite(ProjectRule):
+    """T501 — instance attribute written off-lock on a handler thread."""
+
+    id = "T501"
+    title = "unguarded shared-attribute write in serve class"
+    severity = "error"
+    rationale = (
+        "Serve-stack methods run concurrently on handler threads; an "
+        "instance attribute written outside __init__ without self._lock "
+        "held is a data race (two lazy initializers interleave, a "
+        "reader observes a half-updated pair).  Shared mutable state is "
+        "written once in __init__ or strictly under the lock."
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        """Flag off-lock self-attribute writes outside ``__init__``."""
+        for module in project.modules_under(*SERVE_DIRS):
+            for cls in module.classes:
+                for method in _serve_methods(project, cls):
+                    if method.name in _SINGLE_THREADED_METHODS:
+                        continue
+                    for write in method.attr_writes:
+                        if write.locks_held:
+                            continue
+                        yield self.project_finding(
+                            cls.path, write.line, write.col,
+                            f"self.{write.attr} written in "
+                            f"{cls.name}.{method.name}() without a lock "
+                            "held; handler threads race here — guard "
+                            "with self._lock or assign in __init__",
+                            symbol=write.symbol,
+                        )
+
+
+@register
+class SqliteAcrossThreads(ProjectRule):
+    """T502 — a cross-thread SQLite handle touched off-lock."""
+
+    id = "T502"
+    title = "sqlite connection used across threads without the lock"
+    severity = "error"
+    rationale = (
+        "sqlite3.connect(..., check_same_thread=False) disables the "
+        "driver's own thread guard, shifting the burden to the caller: "
+        "the connection object is not thread-safe, so every use must "
+        "hold the same lock.  An off-lock cursor on a handler thread "
+        "corrupts in-flight transactions of another."
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        """Flag off-lock accesses to ``__init__``-opened connections."""
+        for module in project.modules_under(*SERVE_DIRS):
+            for cls in module.classes:
+                if not cls.sqlite_attrs:
+                    continue
+                watched = frozenset(cls.sqlite_attrs)
+                for method in _serve_methods(project, cls):
+                    if method.name in _SINGLE_THREADED_METHODS:
+                        continue
+                    for read in method.attr_reads:
+                        if read.attr not in watched or read.locks_held:
+                            continue
+                        yield self.project_finding(
+                            cls.path, read.line, read.col,
+                            f"self.{read.attr} (a check_same_thread="
+                            "False sqlite connection) used in "
+                            f"{cls.name}.{method.name}() without "
+                            "self._lock held; connections are not "
+                            "thread-safe off-lock",
+                            symbol=read.symbol,
+                        )
+
+
+@register
+class LockOrderInversion(ProjectRule):
+    """T503 — two locks acquired in opposite orders somewhere."""
+
+    id = "T503"
+    title = "lock acquisition-order inversion"
+    severity = "error"
+    rationale = (
+        "If one code path takes lock A then B while another takes B "
+        "then A — possibly through a call chain — two handler threads "
+        "can each hold one lock and wait forever on the other.  The "
+        "call-graph closure makes the indirect half visible: a call "
+        "made under A to a function that acquires B contributes the "
+        "pair (A, B)."
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        """Flag (A→B, B→A) pair conflicts across the serve layer."""
+        flow = project.dataflow()
+        sites: dict[tuple[str, str], list[tuple[str, int, int, str]]] = {}
+        for function in project.functions_under(*SERVE_DIRS):
+            symbol = (
+                f"{function.class_name}.{function.name}"
+                if function.class_name is not None
+                else function.name
+            )
+            for held, acquired, line, col in sorted(
+                flow.lock_pairs.get(function.qualname, frozenset())
+            ):
+                sites.setdefault((held, acquired), []).append(
+                    (function.path, line, col, symbol)
+                )
+        for held, acquired in sorted(sites):
+            if held >= acquired:
+                continue  # report each unordered pair once
+            reverse = sites.get((acquired, held))
+            if reverse is None:
+                continue
+            path, line, col, symbol = min(sites[(held, acquired)])
+            r_path, r_line, _, _ = min(reverse)
+            yield self.project_finding(
+                path, line, col,
+                f"{held!r} is held while acquiring {acquired!r} here, "
+                f"but {r_path}:{r_line} acquires them in the opposite "
+                "order; pick one global order to make deadlock "
+                "impossible",
+                symbol=symbol,
+            )

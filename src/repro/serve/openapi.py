@@ -334,6 +334,42 @@ def openapi_spec() -> dict[str, Any]:
             "/v1/fidelity": get_op(
                 "aggregate-only fidelity verdicts", "FidelityDocument"
             ),
+            "/v1/openapi.json": {
+                "get": {
+                    "summary": "this OpenAPI document",
+                    "parameters": [],
+                    "responses": {
+                        "200": {
+                            "description": "the API contract itself",
+                            "content": {
+                                "application/json": {
+                                    "schema": {"type": "object"}
+                                }
+                            },
+                        },
+                        **_NOT_MODIFIED,
+                    },
+                }
+            },
+            "/metrics": {
+                "get": {
+                    "summary": "plain-text metrics exposition",
+                    "parameters": [],
+                    "responses": {
+                        "200": {
+                            "description": (
+                                "one '# TYPE' header plus one sample "
+                                "line per instrument"
+                            ),
+                            "content": {
+                                "text/plain": {
+                                    "schema": {"type": "string"}
+                                }
+                            },
+                        }
+                    },
+                }
+            },
             "/v1/submit": {
                 "post": {
                     "summary": "token-authenticated JSONL ingest",

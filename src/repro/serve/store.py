@@ -146,11 +146,12 @@ class AggregateStore:
     @property
     def baseline(self):
         """The fidelity baseline, lazily loaded from the golden file."""
-        if self._baseline is None:
-            from ..verify import Baseline, default_baseline_path
+        with self._lock:
+            if self._baseline is None:
+                from ..verify import Baseline, default_baseline_path
 
-            self._baseline = Baseline.load(default_baseline_path())
-        return self._baseline
+                self._baseline = Baseline.load(default_baseline_path())
+            return self._baseline
 
     # ------------------------------------------------------------------
     # Ingestion (each public method = one atomic snapshot swap)

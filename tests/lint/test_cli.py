@@ -80,6 +80,40 @@ def test_write_baseline_then_clean(tmp_path, capsys):
     assert "stale baseline" in out
 
 
+def test_update_baseline_preserves_justifications(tmp_path, capsys):
+    """--update-baseline keeps surviving entries' hand-written reasons."""
+    root = _repo(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    main(["--root", str(root), "--baseline", str(baseline),
+          "--write-baseline"])
+    # Hand-justify the entry, then grow a second violation.
+    payload = json.loads(baseline.read_text())
+    payload["findings"][0]["justification"] = "legacy fuzz harness"
+    baseline.write_text(json.dumps(payload))
+    (root / "src" / "repro" / "core" / "worse.py").write_text(BAD)
+    capsys.readouterr()
+    assert main(["--root", str(root), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "1 justifications preserved" in out
+    entries = {
+        e["path"]: e["justification"]
+        for e in json.loads(baseline.read_text())["findings"]
+    }
+    assert entries["src/repro/core/bad.py"] == "legacy fuzz harness"
+    assert entries["src/repro/core/worse.py"] == "TODO: justify or fix"
+    # A fixed violation drops out of the regenerated baseline entirely.
+    (root / "src" / "repro" / "core" / "worse.py").write_text(
+        '"""Fixed."""\nVALUE = 1\n'
+    )
+    assert main(["--root", str(root), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    paths = [
+        e["path"] for e in json.loads(baseline.read_text())["findings"]
+    ]
+    assert paths == ["src/repro/core/bad.py"]
+
+
 def test_no_baseline_flag_reports_grandfathered(tmp_path, capsys):
     """--no-baseline surfaces baselined findings again."""
     root = _repo(tmp_path)

@@ -1,0 +1,190 @@
+"""Project graph, dataflow fixpoints, and the driver's whole-program pass.
+
+The integration tests build a real on-disk tree containing a violation
+only a project rule can see, then pin the driver contract: serial and
+parallel runs byte-identical (project findings included), inline
+suppressions covering project findings, and subtree/rule-filtered runs
+skipping the pass entirely.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_paths, render_json, summarize_source
+from repro.lint.graph import module_of
+
+from .helpers import build_graph
+
+SERVE_SNIPPET = """
+import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._doc = None
+
+    def refresh(self, doc):
+        self._doc = doc
+"""
+
+
+class TestModuleSummaries:
+    def test_module_of(self):
+        assert module_of("src/repro/serve/http.py") == "repro.serve.http"
+        assert module_of("src/repro/__init__.py") == "repro"
+        assert module_of("tools/gen_docs.py") == "tools.gen_docs"
+
+    def test_function_and_class_summaries(self):
+        summary = summarize_source(
+            "src/repro/serve/c.py", textwrap.dedent(SERVE_SNIPPET)
+        )
+        assert summary is not None
+        assert [c.name for c in summary.classes] == ["Cache"]
+        assert summary.classes[0].lock_attrs == ("_lock",)
+        names = {f.qualname for f in summary.functions}
+        assert "repro.serve.c.Cache.refresh" in names
+        refresh = next(f for f in summary.functions if f.name == "refresh")
+        assert refresh.effective_params() == ("doc",)
+        assert refresh.attr_writes[0].locks_held == ()
+
+    def test_unparseable_source_returns_none(self):
+        assert summarize_source("src/repro/x.py", "def broken(:") is None
+
+    def test_summaries_are_picklable(self):
+        import pickle
+
+        summary = summarize_source(
+            "src/repro/serve/c.py", textwrap.dedent(SERVE_SNIPPET)
+        )
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone == summary
+
+
+class TestDataflow:
+    def test_rng_params_propagate_through_wrappers(self):
+        graph = build_graph(
+            {
+                "src/repro/core/a.py": """
+                def leaf(gen):
+                    return gen.normal()
+
+                def middle(stream):
+                    return leaf(stream)
+
+                def top(value):
+                    return middle(value)
+                """,
+            }
+        )
+        flow = graph.dataflow()
+        assert flow.draws_from("repro.core.a.leaf") == {"gen"}
+        assert flow.draws_from("repro.core.a.middle") == {"stream"}
+        assert flow.draws_from("repro.core.a.top") == {"value"}
+
+    def test_rng_returners_close_transitively(self):
+        graph = build_graph(
+            {
+                "src/repro/core/a.py": """
+                import numpy as np
+
+                def mint(seed):
+                    return np.random.default_rng(seed)
+
+                def remint(seed):
+                    return mint(seed)
+                """,
+            }
+        )
+        flow = graph.dataflow()
+        assert "repro.core.a.mint" in flow.rng_returners
+        assert "repro.core.a.remint" in flow.rng_returners
+
+    def test_lock_pairs_cross_function(self):
+        graph = build_graph(
+            {
+                "src/repro/serve/l.py": """
+                import threading
+
+                class P:
+                    def __init__(self):
+                        self._a_lock = threading.Lock()
+                        self._b_lock = threading.Lock()
+
+                    def take_b(self):
+                        with self._b_lock:
+                            pass
+
+                    def indirect(self):
+                        with self._a_lock:
+                            self.take_b()
+                """,
+            }
+        )
+        flow = graph.dataflow()
+        pairs = {
+            (held, acquired)
+            for held, acquired, _, _ in flow.lock_pairs[
+                "repro.serve.l.P.indirect"
+            ]
+        }
+        assert ("_a_lock", "_b_lock") in pairs
+
+    def test_dataflow_is_memoized(self):
+        graph = build_graph({"src/repro/core/a.py": "X = 1"})
+        assert graph.dataflow() is graph.dataflow()
+
+
+def _write_tree(root: Path, *, suppressed: bool = False) -> Path:
+    (root / "src" / "repro" / "serve").mkdir(parents=True)
+    source = textwrap.dedent(SERVE_SNIPPET)
+    if suppressed:
+        source = source.replace(
+            "self._doc = doc",
+            "self._doc = doc  "
+            "# repro-lint: disable=T501 -- single-threaded test double",
+        )
+    (root / "src" / "repro" / "serve" / "cache.py").write_text(
+        source, encoding="utf-8"
+    )
+    return root
+
+
+class TestProjectPassIntegration:
+    def test_full_run_reports_project_finding(self, tmp_path):
+        result = lint_paths(_write_tree(tmp_path))
+        assert [f.rule for f in result.findings] == ["T501"]
+        finding = result.findings[0]
+        assert finding.path == "src/repro/serve/cache.py"
+        assert finding.symbol == "Cache.refresh"
+
+    def test_inline_suppression_covers_project_finding(self, tmp_path):
+        result = lint_paths(_write_tree(tmp_path, suppressed=True))
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_parallel_identical_to_serial_with_project_findings(
+        self, tmp_path
+    ):
+        _write_tree(tmp_path)
+        serial = lint_paths(tmp_path, jobs=1)
+        parallel = lint_paths(tmp_path, jobs=2)
+        assert render_json(serial) == render_json(parallel)
+        assert [f.rule for f in parallel.findings] == ["T501"]
+
+    def test_subtree_run_skips_project_pass(self, tmp_path):
+        _write_tree(tmp_path)
+        result = lint_paths(tmp_path, paths=["src/repro/serve"])
+        assert result.findings == []
+
+    def test_rule_filtered_run_skips_project_pass(self, tmp_path):
+        from repro.lint import get_rule
+
+        _write_tree(tmp_path)
+        result = lint_paths(tmp_path, rules=[get_rule("D102")])
+        assert result.findings == []
+
+    def test_result_root_is_posix(self, tmp_path):
+        result = lint_paths(_write_tree(tmp_path))
+        assert "\\" not in result.root

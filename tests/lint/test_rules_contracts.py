@@ -1,0 +1,178 @@
+"""C-series fixtures: cross-artifact contract drift.
+
+Artifacts are injected directly into the graph, mirroring how the
+driver loads them from the repository root; an absent artifact means
+"nothing to check against", so exported subtrees lint clean.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .helpers import run_project_rule
+
+HTTP = "src/repro/serve/http.py"
+CLI = "src/repro/cli.py"
+SPEC = "schemas/openapi-serve.json"
+USAGE = "docs/USAGE.md"
+OBS = "docs/OBSERVABILITY.md"
+
+
+def _spec(*paths: str) -> str:
+    return json.dumps({"paths": {p: {"get": {}} for p in paths}})
+
+
+class TestC601RouteSpecDrift:
+    ROUTES = """
+        ROUTES = {
+            "/v1/things": "things",
+            "/v1/things/detail": "detail",
+        }
+    """
+
+    def test_in_sync_is_clean(self):
+        findings = run_project_rule(
+            "C601",
+            {HTTP: self.ROUTES},
+            {SPEC: _spec("/v1/things", "/v1/things/detail")},
+        )
+        assert findings == []
+
+    def test_route_missing_from_spec(self):
+        findings = run_project_rule(
+            "C601",
+            {HTTP: self.ROUTES},
+            {SPEC: _spec("/v1/things")},
+        )
+        assert len(findings) == 1
+        assert findings[0].path == HTTP
+        assert "/v1/things/detail" in findings[0].message
+
+    def test_spec_path_without_handler(self):
+        findings = run_project_rule(
+            "C601",
+            {HTTP: self.ROUTES},
+            {SPEC: _spec("/v1/things", "/v1/things/detail", "/v1/ghost")},
+        )
+        assert len(findings) == 1
+        assert findings[0].path == SPEC
+        assert findings[0].symbol == "paths"
+        assert "/v1/ghost" in findings[0].message
+
+    def test_unparseable_spec_is_one_finding(self):
+        findings = run_project_rule(
+            "C601", {HTTP: self.ROUTES}, {SPEC: "not json"}
+        )
+        assert len(findings) == 1
+        assert findings[0].path == SPEC
+
+    def test_no_http_module_is_clean(self):
+        findings = run_project_rule(
+            "C601",
+            {"src/repro/core/x.py": "VALUE = 1"},
+            {SPEC: _spec("/v1/things")},
+        )
+        assert findings == []
+
+
+class TestC602CliUsageDrift:
+    CLI_SOURCE = """
+        import argparse
+
+        def build():
+            p = argparse.ArgumentParser()
+            p.add_argument("--seed", type=int)
+            p.add_argument("--chunk-size", type=int)
+            return p
+    """
+
+    def test_documented_flags_are_clean(self):
+        findings = run_project_rule(
+            "C602",
+            {CLI: self.CLI_SOURCE},
+            {USAGE: "Use `--seed N` and `--chunk-size SESSIONS`."},
+        )
+        assert findings == []
+
+    def test_undocumented_flag(self):
+        findings = run_project_rule(
+            "C602",
+            {CLI: self.CLI_SOURCE},
+            {USAGE: "Only `--seed` is described here."},
+        )
+        assert len(findings) == 1
+        assert "'--chunk-size'" in findings[0].message
+
+    def test_prefix_mention_does_not_count(self):
+        """``--chunk-size-hint`` in the doc documents a different flag."""
+        findings = run_project_rule(
+            "C602",
+            {CLI: self.CLI_SOURCE},
+            {USAGE: "`--seed` and `--chunk-size-hint` are flags."},
+        )
+        assert len(findings) == 1
+
+    def test_missing_artifact_flags_everything(self):
+        findings = run_project_rule("C602", {CLI: self.CLI_SOURCE}, {})
+        assert len(findings) == 2
+
+
+class TestC603MetricDocDrift:
+    def test_direct_literal_documented(self):
+        findings = run_project_rule(
+            "C603",
+            {
+                "src/repro/obs/inst.py": """
+                def tick(registry):
+                    registry.counter("gen.sessions").inc()
+                """,
+            },
+            {OBS: "| `gen.sessions` | counter | sessions generated |"},
+        )
+        assert findings == []
+
+    def test_direct_literal_undocumented(self):
+        findings = run_project_rule(
+            "C603",
+            {
+                "src/repro/obs/inst.py": """
+                def tick(registry):
+                    registry.counter("gen.sessions").inc()
+                """,
+            },
+            {OBS: "no metrics documented here"},
+        )
+        assert len(findings) == 1
+        assert "'gen.sessions'" in findings[0].message
+
+    def test_prefix_mention_does_not_count(self):
+        """``serve.requests.total`` does not document ``serve.requests``."""
+        findings = run_project_rule(
+            "C603",
+            {
+                "src/repro/obs/inst.py": """
+                def tick(registry):
+                    registry.counter("serve.requests").inc()
+                """,
+            },
+            {OBS: "| `serve.requests.total` |"},
+        )
+        assert len(findings) == 1
+
+    def test_name_through_wrapper_function(self):
+        """C603 sees names routed through helpers via the dataflow pass."""
+        files = {
+            "src/repro/serve/app2.py": """
+            class App:
+                def __init__(self, metrics):
+                    self.metrics = metrics
+
+                def _count(self, name, amount=1):
+                    self.metrics.counter(name).inc(amount)
+
+                def handle(self):
+                    self._count("serve.hits")
+            """,
+        }
+        assert run_project_rule("C603", files, {OBS: "nothing"}) != []
+        assert run_project_rule("C603", files, {OBS: "`serve.hits`"}) == []

@@ -1,0 +1,239 @@
+"""T-series fixtures: thread-safety audit of the serve stack.
+
+The fixtures model the real serve classes — a lock and a
+``check_same_thread=False`` SQLite connection opened in ``__init__``,
+methods running concurrently on handler threads.
+"""
+
+from __future__ import annotations
+
+from .helpers import run_project_rule
+
+
+class TestT501UnguardedSharedWrite:
+    def test_off_lock_write_outside_init(self):
+        findings = run_project_rule(
+            "T501",
+            {
+                "src/repro/serve/cachey.py": """
+                import threading
+
+                class DocumentCache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._doc = None
+
+                    def refresh(self, doc):
+                        self._doc = doc
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert findings[0].symbol == "DocumentCache.refresh"
+        assert "self._doc" in findings[0].message
+
+    def test_write_under_lock_is_clean(self):
+        findings = run_project_rule(
+            "T501",
+            {
+                "src/repro/serve/cachey.py": """
+                import threading
+
+                class DocumentCache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._doc = None
+
+                    def refresh(self, doc):
+                        with self._lock:
+                            self._doc = doc
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_init_writes_are_exempt(self):
+        findings = run_project_rule(
+            "T501",
+            {
+                "src/repro/serve/cachey.py": """
+                import threading
+
+                class DocumentCache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._doc = None
+                        self._hits = 0
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_outside_serve_is_out_of_scope(self):
+        findings = run_project_rule(
+            "T501",
+            {
+                "src/repro/core/cachey.py": """
+                class SingleThreaded:
+                    def __init__(self):
+                        self._doc = None
+
+                    def refresh(self, doc):
+                        self._doc = doc
+                """,
+            },
+        )
+        assert findings == []
+
+
+class TestT502SqliteAcrossThreads:
+    STORE_HEADER = """
+        import sqlite3
+        import threading
+
+        class Store:
+            def __init__(self, path):
+                self._lock = threading.RLock()
+                self._conn = sqlite3.connect(path, check_same_thread=False)
+    """
+
+    def test_off_lock_connection_use(self):
+        findings = run_project_rule(
+            "T502",
+            {
+                "src/repro/serve/store2.py": self.STORE_HEADER
+                + """
+            def query(self):
+                return self._conn.execute("SELECT 1").fetchone()
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "self._conn" in findings[0].message
+
+    def test_locked_connection_use_is_clean(self):
+        findings = run_project_rule(
+            "T502",
+            {
+                "src/repro/serve/store2.py": self.STORE_HEADER
+                + """
+            def query(self):
+                with self._lock:
+                    return self._conn.execute("SELECT 1").fetchone()
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_combined_with_statement_counts_as_locked(self):
+        """``with self._lock, self._conn as conn:`` holds the lock."""
+        findings = run_project_rule(
+            "T502",
+            {
+                "src/repro/serve/store2.py": self.STORE_HEADER
+                + """
+            def swap(self):
+                with self._lock, self._conn as conn:
+                    conn.execute("DELETE FROM t")
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_non_sqlite_attribute_reads_ignored(self):
+        findings = run_project_rule(
+            "T502",
+            {
+                "src/repro/serve/store2.py": self.STORE_HEADER
+                + """
+            def path_of(self):
+                return self.path
+                """,
+            },
+        )
+        assert findings == []
+
+
+class TestT503LockOrderInversion:
+    def test_direct_inversion(self):
+        findings = run_project_rule(
+            "T503",
+            {
+                "src/repro/serve/locks.py": """
+                import threading
+
+                class Pair:
+                    def __init__(self):
+                        self._a_lock = threading.Lock()
+                        self._b_lock = threading.Lock()
+
+                    def forward(self):
+                        with self._a_lock:
+                            with self._b_lock:
+                                pass
+
+                    def backward(self):
+                        with self._b_lock:
+                            with self._a_lock:
+                                pass
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "opposite" in findings[0].message
+
+    def test_consistent_order_is_clean(self):
+        findings = run_project_rule(
+            "T503",
+            {
+                "src/repro/serve/locks.py": """
+                import threading
+
+                class Pair:
+                    def __init__(self):
+                        self._a_lock = threading.Lock()
+                        self._b_lock = threading.Lock()
+
+                    def one(self):
+                        with self._a_lock:
+                            with self._b_lock:
+                                pass
+
+                    def two(self):
+                        with self._a_lock:
+                            with self._b_lock:
+                                pass
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_inversion_through_call_chain(self):
+        """The second half of the cycle hides behind a method call."""
+        findings = run_project_rule(
+            "T503",
+            {
+                "src/repro/serve/locks.py": """
+                import threading
+
+                class Pair:
+                    def __init__(self):
+                        self._a_lock = threading.Lock()
+                        self._b_lock = threading.Lock()
+
+                    def take_a(self):
+                        with self._a_lock:
+                            pass
+
+                    def forward(self):
+                        with self._a_lock:
+                            with self._b_lock:
+                                pass
+
+                    def backward(self):
+                        with self._b_lock:
+                            self.take_a()
+                """,
+            },
+        )
+        assert len(findings) == 1

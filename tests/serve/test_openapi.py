@@ -42,10 +42,16 @@ class TestSpecFile:
             assert path in spec["paths"], path
 
     def test_every_get_documents_304(self):
+        """Every ETagged GET documents 304; /metrics is live, un-ETagged."""
         spec = openapi_spec()
         for path, item in spec["paths"].items():
-            if "get" in item:
+            if "get" in item and path != "/metrics":
                 assert "304" in item["get"]["responses"], path
+
+    def test_spec_covers_served_routes(self):
+        spec = openapi_spec()
+        assert "/v1/openapi.json" in spec["paths"]
+        assert "/metrics" in spec["paths"]
 
 
 class TestLiveConformance:
